@@ -1,0 +1,440 @@
+(* wlcq — command-line frontend for the WL-dimension library.
+
+   Subcommands mirror the paper's objects: widths of a query, answer
+   counting, WL-equivalence of graphs, CFI constructions, lower-bound
+   witnesses, and dominating sets. *)
+
+open Cmdliner
+module G = Wlcq_graph
+module Core = Wlcq_core
+module Bigint = Wlcq_util.Bigint
+
+let query_arg =
+  let doc =
+    "Conjunctive query, e.g. \"(x1, x2) := exists y . E(x1, y) & E(x2, y)\"."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+
+let graph_conv =
+  let parse s =
+    match G.Spec.parse s with Ok g -> Ok g | Error e -> Error (`Msg e)
+  in
+  let print ppf g = G.Graph.pp ppf g in
+  Arg.conv (parse, print)
+
+let graph_opt name doc =
+  Arg.(required & opt (some graph_conv) None & info [ name ] ~docv:"GRAPH" ~doc)
+
+let parse_query s =
+  match Core.Parser.parse s with
+  | Ok p -> p
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    exit 2
+
+(* ------------------------------------------------------------------ *)
+(* wlcq widths                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let widths_cmd =
+  let run query_str =
+    let p = parse_query query_str in
+    let q = p.Core.Parser.query in
+    let core = Core.Minimize.counting_core q in
+    Printf.printf "query:               %s\n"
+      (Core.Parser.to_formula ~names:p.Core.Parser.names q);
+    Printf.printf "variables:           %d free, %d quantified\n"
+      (Core.Cq.num_free q)
+      (Array.length (Core.Cq.quantified_vars q));
+    Printf.printf "connected:           %b\n" (Core.Cq.is_connected q);
+    Printf.printf "counting minimal:    %b\n" (Core.Minimize.is_counting_minimal q);
+    if not (Core.Minimize.is_counting_minimal q) then
+      Printf.printf "counting core:       %s\n" (Core.Parser.to_formula core);
+    Printf.printf "treewidth:           %d\n"
+      (Wlcq_treewidth.Exact.treewidth q.Core.Cq.graph);
+    Printf.printf "quantified star size:%d\n"
+      (Core.Extension.quantified_star_size q);
+    Printf.printf "extension width:     %d\n" (Core.Extension.extension_width q);
+    Printf.printf "semantic ext. width: %d\n"
+      (Core.Extension.semantic_extension_width q);
+    Printf.printf "WL-dimension:        %d   (Theorem 1)\n"
+      (Core.Wl_dimension.dimension q)
+  in
+  let doc = "Compute the width measures and WL-dimension of a query." in
+  Cmd.v (Cmd.info "widths" ~doc) Term.(const run $ query_arg)
+
+(* ------------------------------------------------------------------ *)
+(* wlcq ans                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ans_cmd =
+  let run query_str graph interpolate injective =
+    let p = parse_query query_str in
+    let q = p.Core.Parser.query in
+    if injective then
+      Printf.printf "%d\n" (Core.Cq.count_answers_injective q graph)
+    else if interpolate then
+      Printf.printf "%s\n"
+        (Bigint.to_string (Core.Wl_dimension.answers_via_interpolation q graph))
+    else Printf.printf "%d\n" (Core.Cq.count_answers q graph)
+  in
+  let interpolate =
+    Arg.(value & flag
+         & info [ "interpolate" ]
+             ~doc:"Compute via the Lemma 22 / Observation 23 Vandermonde \
+                   interpolation from homomorphism counts.")
+  in
+  let injective =
+    Arg.(value & flag
+         & info [ "injective" ] ~doc:"Count injective answers only.")
+  in
+  let doc = "Count the answers of a query in a graph." in
+  Cmd.v (Cmd.info "ans" ~doc)
+    Term.(const run $ query_arg
+          $ graph_opt "graph" ("Data graph. " ^ G.Spec.describe)
+          $ interpolate $ injective)
+
+(* ------------------------------------------------------------------ *)
+(* wlcq tw                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let tw_cmd =
+  let run graph =
+    Printf.printf "%d\n" (Wlcq_treewidth.Exact.treewidth graph)
+  in
+  let doc = "Compute the exact treewidth of a graph." in
+  Cmd.v (Cmd.info "tw" ~doc)
+    Term.(const run $ graph_opt "graph" ("Graph. " ^ G.Spec.describe))
+
+(* ------------------------------------------------------------------ *)
+(* wlcq wl                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let wl_cmd =
+  let run k g1 g2 =
+    let eq = Wlcq_wl.Equivalence.equivalent k g1 g2 in
+    Printf.printf "%d-WL-equivalent: %b\n" k eq;
+    if eq then exit 0 else exit 1
+  in
+  let k =
+    Arg.(value & opt int 1 & info [ "k" ] ~doc:"WL dimension (>= 1).")
+  in
+  let doc = "Test k-WL-equivalence of two graphs (Definition 19)." in
+  Cmd.v (Cmd.info "wl" ~doc)
+    Term.(const run $ k
+          $ graph_opt "g1" ("First graph. " ^ G.Spec.describe)
+          $ graph_opt "g2" "Second graph.")
+
+(* ------------------------------------------------------------------ *)
+(* wlcq cfi                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cfi_cmd =
+  let run base check_k =
+    let even, odd = Wlcq_cfi.Pairs.twisted_pair base in
+    Printf.printf "base:  %d vertices, %d edges, treewidth %d\n"
+      (G.Graph.num_vertices base) (G.Graph.num_edges base)
+      (Wlcq_treewidth.Exact.treewidth base);
+    Printf.printf "chi(F, {}):  %d vertices, %d edges\n"
+      (Wlcq_cfi.Cfi.num_vertices even)
+      (G.Graph.num_edges even.Wlcq_cfi.Cfi.graph);
+    Printf.printf "chi(F, {0}): %d vertices, %d edges\n"
+      (Wlcq_cfi.Cfi.num_vertices odd)
+      (G.Graph.num_edges odd.Wlcq_cfi.Cfi.graph);
+    Printf.printf "isomorphic:  %b   (Lemma 26 predicts false)\n"
+      (G.Iso.isomorphic even.Wlcq_cfi.Cfi.graph odd.Wlcq_cfi.Cfi.graph);
+    (match check_k with
+     | None -> ()
+     | Some k ->
+       Printf.printf "%d-WL-equivalent: %b\n" k
+         (Wlcq_wl.Equivalence.equivalent k even.Wlcq_cfi.Cfi.graph
+            odd.Wlcq_cfi.Cfi.graph))
+  in
+  let check_k =
+    Arg.(value & opt (some int) None
+         & info [ "check-wl" ]
+             ~doc:"Also test k-WL-equivalence of the twisted pair.")
+  in
+  let doc = "Build the twisted CFI pair over a base graph (Definition 25)." in
+  Cmd.v (Cmd.info "cfi" ~doc)
+    Term.(const run
+          $ graph_opt "base" ("Base graph. " ^ G.Spec.describe)
+          $ check_k)
+
+(* ------------------------------------------------------------------ *)
+(* wlcq witness                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let witness_cmd =
+  let run query_str check_wl emit =
+    let p = parse_query query_str in
+    let q = p.Core.Parser.query in
+    let w = Core.Wl_dimension.lower_bound_witness q in
+    let k =
+      Wlcq_treewidth.Exact.treewidth w.Core.Wl_dimension.f.Core.Extension.graph
+    in
+    Printf.printf "core:        %s\n"
+      (Core.Parser.to_formula w.Core.Wl_dimension.core);
+    Printf.printf "ew = tw(F):  %d  (ell = %d)\n" k
+      w.Core.Wl_dimension.f.Core.Extension.ell;
+    Printf.printf "chi sizes:   %d / %d vertices\n"
+      (Wlcq_cfi.Cfi.num_vertices w.Core.Wl_dimension.even)
+      (Wlcq_cfi.Cfi.num_vertices w.Core.Wl_dimension.odd);
+    let e, o = Core.Wl_dimension.ans_id_counts w in
+    Printf.printf "Ans^id:      %d vs %d  (Lemma 57 predicts >)\n" e o;
+    if check_wl && k >= 2 then
+      Printf.printf "(k-1)-WL-equivalent: %b  (Lemma 35 predicts true)\n"
+        (Core.Wl_dimension.witness_pair_equivalent w (k - 1));
+    if emit then begin
+      match Core.Wl_dimension.separating_pair ~max_z:2 q with
+      | None -> Printf.printf "no separating pair found within the z-bound\n"
+      | Some (g1, g2) ->
+        Printf.printf "separating pair (graph6, |Ans| = %d vs %d):\n"
+          (Core.Cq.count_answers q g1)
+          (Core.Cq.count_answers q g2);
+        Printf.printf "  %s\n  %s\n" (G.Graph6.encode g1) (G.Graph6.encode g2)
+    end
+  in
+  let check_wl =
+    Arg.(value & flag
+         & info [ "check-wl" ]
+             ~doc:"Verify the (k-1)-WL-equivalence of the witness pair.")
+  in
+  let emit =
+    Arg.(value & flag
+         & info [ "emit-g6" ]
+             ~doc:"Print a plain-answer separating pair in graph6 format \
+                   (Lemma 40 cloning).")
+  in
+  let doc =
+    "Build and check the Section-4 lower-bound witness for a query."
+  in
+  Cmd.v (Cmd.info "witness" ~doc)
+    Term.(const run $ query_arg $ check_wl $ emit)
+
+(* ------------------------------------------------------------------ *)
+(* wlcq domsets                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let domsets_cmd =
+  let run k graph via =
+    let count =
+      match via with
+      | "direct" -> Core.Domset.count_direct k graph
+      | "stars" -> Core.Domset.count_via_stars k graph
+      | "quantum" -> Core.Domset.count_via_quantum k graph
+      | other ->
+        Printf.eprintf "error: unknown method %S (direct|stars|quantum)\n"
+          other;
+        exit 2
+    in
+    Printf.printf "%s\n" (Bigint.to_string count)
+  in
+  let k = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Dominating-set size.") in
+  let via =
+    Arg.(value & opt string "direct"
+         & info [ "via" ]
+             ~doc:"Counting method: direct, stars (complement/star \
+                   reduction), or quantum (Corollary 68 expansion).")
+  in
+  let doc = "Count size-k dominating sets (Corollary 6)." in
+  Cmd.v (Cmd.info "domsets" ~doc)
+    Term.(const run $ k
+          $ graph_opt "graph" ("Graph. " ^ G.Spec.describe)
+          $ via)
+
+(* ------------------------------------------------------------------ *)
+(* wlcq union                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let union_cmd =
+  let run union_str graph =
+    match Core.Ucq.of_string union_str with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 2
+    | Ok u ->
+      Printf.printf "disjuncts:     %d\n" (List.length (Core.Ucq.disjuncts u));
+      List.iter
+        (fun q -> Printf.printf "  %s\n" (Core.Parser.to_formula q))
+        (Core.Ucq.disjuncts u);
+      let quantum = Core.Ucq.to_quantum u in
+      Printf.printf "quantum terms: %d\n"
+        (List.length (Core.Quantum.terms quantum));
+      Printf.printf "WL-dimension:  %d   (hsew, Corollary 5)\n"
+        (Core.Ucq.wl_dimension u);
+      (match graph with
+       | None -> ()
+       | Some g ->
+         Printf.printf "answers:       %d\n" (Core.Ucq.count_answers u g))
+  in
+  let graph =
+    Arg.(value & opt (some graph_conv) None
+         & info [ "graph" ] ~docv:"GRAPH"
+             ~doc:("Optionally count the union's answers in this graph. "
+                   ^ G.Spec.describe))
+  in
+  let doc =
+    "Analyse a union of conjunctive queries, e.g. \"(x1, x2) := E(x1, x2) | \
+     exists y . E(x1, y) & E(y, x2)\"."
+  in
+  Cmd.v (Cmd.info "union" ~doc) Term.(const run $ query_arg $ graph)
+
+(* ------------------------------------------------------------------ *)
+(* wlcq kg-widths / kg-ans                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_kg_query s =
+  match Wlcq_kg.Kparser.parse s with
+  | Ok p -> p
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    exit 2
+
+let kg_widths_cmd =
+  let run query_str =
+    let p = parse_kg_query query_str in
+    let q = p.Wlcq_kg.Kparser.query in
+    Printf.printf "query:               %s\n" (Wlcq_kg.Kparser.to_formula p);
+    Printf.printf "connected:           %b\n" (Wlcq_kg.Kcq.is_connected q);
+    Printf.printf "counting minimal:    %b\n"
+      (Wlcq_kg.Kcq.is_counting_minimal q);
+    Printf.printf "extension width:     %d\n" (Wlcq_kg.Kcq.extension_width q);
+    Printf.printf "semantic ext. width: %d\n"
+      (Wlcq_kg.Kcq.semantic_extension_width q);
+    Printf.printf "WL-dimension:        %d\n" (Wlcq_kg.Kcq.wl_dimension q)
+  in
+  let doc =
+    "Width measures of a knowledge-graph query, e.g. \"(x, y) := exists z . \
+     knows(x, z) & worksAt(z, y) & Person(x)\"."
+  in
+  Cmd.v (Cmd.info "kg-widths" ~doc) Term.(const run $ query_arg)
+
+let kg_ans_cmd =
+  let run query_str graph_str =
+    let p = parse_kg_query query_str in
+    match Wlcq_kg.Kspec.parse graph_str with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 2
+    | Ok g ->
+      Printf.printf "%d\n" (Wlcq_kg.Kcq.count_answers p.Wlcq_kg.Kparser.query g)
+  in
+  let graph =
+    Arg.(required & opt (some string) None
+         & info [ "graph" ] ~docv:"KGRAPH"
+             ~doc:("Data knowledge graph. " ^ Wlcq_kg.Kspec.describe))
+  in
+  let doc =
+    "Count the answers of a knowledge-graph query.  Relation/label ids in \
+     the query are assigned in order of first use; make the data spec use \
+     the same ids."
+  in
+  Cmd.v (Cmd.info "kg-ans" ~doc) Term.(const run $ query_arg $ graph)
+
+(* ------------------------------------------------------------------ *)
+(* wlcq certify                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let certify_cmd =
+  let run query_str sample =
+    let p = parse_query query_str in
+    let c =
+      Core.Certificate.certify ?sample p.Core.Parser.query
+    in
+    Format.printf "%a@." Core.Certificate.pp c;
+    if Core.Certificate.is_valid c then begin
+      Format.printf "@.certificate re-checked: VALID@.";
+      exit 0
+    end
+    else begin
+      Format.printf "@.certificate re-checked: INVALID@.";
+      exit 1
+    end
+  in
+  let sample =
+    Arg.(value & opt (some graph_conv) None
+         & info [ "sample" ] ~docv:"GRAPH"
+             ~doc:("Sample graph for the upper-bound demonstration \
+                    (default: C5). " ^ G.Spec.describe))
+  in
+  let doc =
+    "Produce and re-check a full Theorem 1 certificate for a query: upper \
+     bound by interpolation, lower bound by the Section-4 CFI witness."
+  in
+  Cmd.v (Cmd.info "certify" ~doc) Term.(const run $ query_arg $ sample)
+
+(* ------------------------------------------------------------------ *)
+(* wlcq invariants                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let invariants_cmd =
+  let run () =
+    Printf.printf "%-16s %-22s %s\n" "parameter" "dimension lower bound"
+      "witness pair";
+    List.iter
+      (fun p ->
+         match Core.Invariant.dimension_lower_bound p with
+         | None ->
+           Printf.printf "%-16s %-22s %s\n" p.Core.Invariant.name
+             ">= 1 (no separation)" "-"
+         | Some (k, pair) ->
+           Printf.printf "%-16s %-22s %s\n" p.Core.Invariant.name
+             (Printf.sprintf ">= %d" k) pair)
+      (Core.Invariant.standard_library ())
+  in
+  let doc =
+    "Survey WL-dimension lower bounds of standard graph parameters against \
+     the built-in witness-pair library."
+  in
+  Cmd.v (Cmd.info "invariants" ~doc) Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* wlcq profile                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let profile_cmd =
+  let run g1 g2 max_size tw_bound =
+    match
+      Wlcq_wl.Hom_profile.first_difference ~max_size ~tw_bound g1 g2
+    with
+    | None ->
+      Printf.printf
+        "no distinguishing pattern with <= %d vertices and treewidth <= %d\n"
+        max_size tw_bound;
+      exit 1
+    | Some (pattern, c1, c2) ->
+      Printf.printf "smallest distinguishing pattern: %s  (graph6: %s)\n"
+        (G.Graph.to_string pattern)
+        (G.Graph6.encode pattern);
+      Printf.printf "hom counts: %s vs %s\n" (Bigint.to_string c1)
+        (Bigint.to_string c2)
+  in
+  let max_size =
+    Arg.(value & opt int 5
+         & info [ "max-size" ] ~doc:"Largest pattern size to try.")
+  in
+  let tw_bound =
+    Arg.(value & opt int 3
+         & info [ "tw" ] ~doc:"Treewidth bound on the patterns.")
+  in
+  let doc =
+    "Find the smallest connected pattern whose homomorphism counts \
+     distinguish two graphs (Definition 19 made concrete)."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run
+          $ graph_opt "g1" ("First graph. " ^ G.Spec.describe)
+          $ graph_opt "g2" "Second graph."
+          $ max_size $ tw_bound)
+
+let main =
+  let doc =
+    "The Weisfeiler-Leman dimension of conjunctive queries (PODS 2024)"
+  in
+  Cmd.group (Cmd.info "wlcq" ~version:"1.0.0" ~doc)
+    [ widths_cmd; ans_cmd; tw_cmd; wl_cmd; cfi_cmd; witness_cmd; domsets_cmd;
+      union_cmd; kg_widths_cmd; kg_ans_cmd; invariants_cmd; profile_cmd;
+      certify_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,81 @@
+open Wlcq_graph
+module Bitset = Wlcq_util.Bitset
+
+type t = {
+  graph : Graph.t;
+  base : Graph.t;
+  twist : Bitset.t;
+  projection : int array;
+  subset : Bitset.t array;
+}
+
+let build base twist =
+  let n = Graph.num_vertices base in
+  if Bitset.capacity twist <> n then
+    invalid_arg "Cfi.build: twist set universe must be V(base)";
+  (* enumerate vertices (w, S): S over the neighbour list of w with the
+     parity prescribed by the twist *)
+  let vertices = ref [] in
+  for w = n - 1 downto 0 do
+    let neigh = Array.of_list (Graph.neighbours_list base w) in
+    let d = Array.length neigh in
+    let want_odd = Bitset.mem twist w in
+    for mask = (1 lsl d) - 1 downto 0 do
+      let parity_odd =
+        let rec pop m acc = if m = 0 then acc else pop (m land (m - 1)) (acc + 1) in
+        pop mask 0 mod 2 = 1
+      in
+      if parity_odd = want_odd then begin
+        let s = Bitset.create n in
+        Array.iteri
+          (fun i v -> if (mask lsr i) land 1 = 1 then Bitset.set s v)
+          neigh;
+        vertices := (w, s) :: !vertices
+      end
+    done
+  done;
+  let vertices = Array.of_list !vertices in
+  let count = Array.length vertices in
+  let projection = Array.map fst vertices in
+  let subset = Array.map snd vertices in
+  (* index vertices per base vertex for fast edge generation *)
+  let by_base = Array.make n [] in
+  Array.iteri
+    (fun i (w, _) -> by_base.(w) <- i :: by_base.(w))
+    vertices;
+  let edges = ref [] in
+  Graph.iter_edges base (fun w w' ->
+      List.iter
+        (fun i ->
+           List.iter
+             (fun j ->
+                if Bitset.mem subset.(i) w' = Bitset.mem subset.(j) w then
+                  edges := (i, j) :: !edges)
+             by_base.(w'))
+        by_base.(w));
+  { graph = Graph.create count !edges; base; twist; projection; subset }
+
+let even base = build base (Bitset.create (Graph.num_vertices base))
+
+let odd base =
+  if Graph.num_vertices base = 0 then
+    invalid_arg "Cfi.odd: base graph is empty";
+  build base (Bitset.singleton (Graph.num_vertices base) 0)
+
+let vertex t w s =
+  let found = ref None in
+  Array.iteri
+    (fun i w' ->
+       if !found = None && w' = w && Bitset.equal t.subset.(i) s then
+         found := Some i)
+    t.projection;
+  !found
+
+let num_vertices t = Graph.num_vertices t.graph
+
+let projection_is_homomorphism t =
+  let ok = ref true in
+  Graph.iter_edges t.graph (fun i j ->
+      if not (Graph.adjacent t.base t.projection.(i) t.projection.(j)) then
+        ok := false);
+  !ok

@@ -1,0 +1,47 @@
+(** The CFI construction [χ(G, W)] (Definition 25).
+
+    Given a base graph [G] and a twist set [W ⊆ V(G)], the CFI graph
+    has vertices [(w, S)] for every [w ∈ V(G)] and [S ⊆ N_G(w)] with
+    [|S| ≡ |{w} ∩ W| (mod 2)], and edges between [(w, S)] and
+    [(w', S')] whenever [{w, w'} ∈ E(G)] and [w' ∈ S ⟺ w ∈ S'].
+
+    Key facts implemented/exercised here:
+    - the first projection [π₁] is a homomorphism onto the base
+      (Observation 29);
+    - for connected [G], [χ(G, W) ≅ χ(G, W')] iff
+      [|W| ≡ |W'| (mod 2)] (Lemma 26, checked experimentally in T4);
+    - if [tw(G) = t] then [χ(G, ∅) ≅_{t-1} χ(G, {w})] (Lemma 27,
+      checked in T5). *)
+
+open Wlcq_graph
+module Bitset = Wlcq_util.Bitset
+
+type t = {
+  graph : Graph.t;  (** the CFI graph *)
+  base : Graph.t;  (** the base graph [G] *)
+  twist : Bitset.t;  (** the twist set [W] *)
+  projection : int array;  (** [π₁]: CFI vertex index → base vertex *)
+  subset : Bitset.t array;  (** CFI vertex index → its set [S] over [V(G)] *)
+}
+
+(** [build base twist] constructs [χ(base, twist)].  The number of CFI
+    vertices is [Σ_w 2^(deg w - 1)] (for vertices of positive degree),
+    so keep base degrees moderate.
+    @raise Invalid_argument when the twist set is not over [V(base)]. *)
+val build : Graph.t -> Bitset.t -> t
+
+(** [even base] is [χ(base, ∅)]. *)
+val even : Graph.t -> t
+
+(** [odd base] is [χ(base, {0})] — a representative of the odd
+    isomorphism class (Lemma 26). *)
+val odd : Graph.t -> t
+
+(** [vertex t w s] is the index of the CFI vertex [(w, s)], if present. *)
+val vertex : t -> int -> Bitset.t -> int option
+
+(** [num_vertices t] is the CFI graph's vertex count. *)
+val num_vertices : t -> int
+
+(** [projection_is_homomorphism t] checks Observation 29. *)
+val projection_is_homomorphism : t -> bool

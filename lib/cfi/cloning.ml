@@ -1,0 +1,47 @@
+open Wlcq_graph
+
+type t = { graph : Graph.t; colouring : int array; back : int array }
+
+let clone ~g ~f ~c spec =
+  let n = Graph.num_vertices g in
+  if Array.length c <> n then
+    invalid_arg "Cloning.clone: colouring array size mismatch";
+  Array.iter
+    (fun x ->
+       if x < 0 || x >= Graph.num_vertices f then
+         invalid_arg "Cloning.clone: colour out of range")
+    c;
+  let mult = Array.make (Graph.num_vertices f) 1 in
+  let listed = Array.make (Graph.num_vertices f) false in
+  List.iter
+    (fun (v, z) ->
+       if v < 0 || v >= Graph.num_vertices f then
+         invalid_arg "Cloning.clone: cloned vertex out of range";
+       if listed.(v) then invalid_arg "Cloning.clone: repeated cloned vertex";
+       if z < 1 then invalid_arg "Cloning.clone: multiplicity must be >= 1";
+       listed.(v) <- true;
+       mult.(v) <- z)
+    spec;
+  (* new vertex list: for each original u, mult.(c.(u)) copies *)
+  let back = ref [] in
+  for u = n - 1 downto 0 do
+    for _ = 1 to mult.(c.(u)) do back := u :: !back done
+  done;
+  let back = Array.of_list !back in
+  let count = Array.length back in
+  let colouring = Array.map (fun u -> c.(u)) back in
+  (* adjacency: clones inherit the originals' adjacency *)
+  let copies = Array.make n [] in
+  Array.iteri (fun i u -> copies.(u) <- i :: copies.(u)) back;
+  let edges = ref [] in
+  Graph.iter_edges g (fun u v ->
+      List.iter
+        (fun i -> List.iter (fun j -> edges := (i, j) :: !edges) copies.(v))
+        copies.(u));
+  { graph = Graph.create count !edges; colouring; back }
+
+let rho_is_homomorphism t g =
+  let ok = ref true in
+  Graph.iter_edges t.graph (fun i j ->
+      if not (Graph.adjacent g t.back.(i) t.back.(j)) then ok := false);
+  !ok

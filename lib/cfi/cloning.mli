@@ -1,0 +1,32 @@
+(** Colour-block cloning [𝒢(G, F, c, v̄, z̄)] (Definition 33).
+
+    Given a graph [G], a connected graph [F], an [F]-colouring
+    [c : G → F], distinct vertices [v̄ = (v_1, …, v_k)] of [F] and
+    multiplicities [z̄ = (z_1, …, z_k)], the cloned graph replaces each
+    colour class [c⁻¹(v_i)] by [z_i] copies; clones inherit all
+    adjacencies of their originals (clones of one vertex are never
+    adjacent to each other, since [G] has no self-loops).
+
+    The companion colouring [𝒞] maps every clone to the colour of its
+    original, and Lemma 34 / Lemma 38 relate (coloured) homomorphism
+    and answer counts before and after cloning by monomial factors
+    [Π z_i^{d_i}] — this is the interpolation engine of Lemma 40. *)
+
+open Wlcq_graph
+
+type t = {
+  graph : Graph.t;  (** the cloned graph [𝒢] *)
+  colouring : int array;  (** [𝒞]: cloned vertex → V(F) *)
+  back : int array;  (** ρ: cloned vertex → original vertex of [G] *)
+}
+
+(** [clone ~g ~f ~c spec] builds [𝒢(g, f, c, v̄, z̄)] where [spec]
+    lists the pairs [(v_i, z_i)] (colours of [f] not listed keep
+    multiplicity 1).
+    @raise Invalid_argument when [c] is not a colouring array over
+    [V(g)], a listed vertex is repeated, or a multiplicity is < 1. *)
+val clone : g:Graph.t -> f:Graph.t -> c:int array -> (int * int) list -> t
+
+(** [rho_is_homomorphism t g] checks that the clone-collapsing map ρ is
+    a homomorphism back to [g]. *)
+val rho_is_homomorphism : t -> Graph.t -> bool

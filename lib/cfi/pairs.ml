@@ -1,0 +1,14 @@
+open Wlcq_graph
+module Bitset = Wlcq_util.Bitset
+
+let twisted_pair base = (Cfi.even base, Cfi.odd base)
+
+let same_parity_isomorphic base w w' =
+  let n = Graph.num_vertices base in
+  let a = Cfi.build base (Bitset.singleton n w) in
+  let b = Cfi.build base (Bitset.singleton n w') in
+  Iso.isomorphic a.Cfi.graph b.Cfi.graph
+
+let parity_classes_differ base =
+  let a, b = twisted_pair base in
+  not (Iso.isomorphic a.Cfi.graph b.Cfi.graph)

@@ -1,0 +1,22 @@
+(** Twisted CFI pairs — the standard source of k-WL-equivalent but
+    non-isomorphic graphs.
+
+    For a connected base graph [F] of treewidth [t], the pair
+    [(χ(F, ∅), χ(F, {w}))] is non-isomorphic (Lemma 26) yet
+    [(t−1)]-WL-equivalent (Lemma 27).  These pairs drive the lower
+    bound of Theorem 24 and experiments T4/T5. *)
+
+open Wlcq_graph
+
+(** [twisted_pair base] is [(χ(base, ∅), χ(base, {0}))]. *)
+val twisted_pair : Graph.t -> Cfi.t * Cfi.t
+
+(** [same_parity_isomorphic base w w'] checks Lemma 26 on a concrete
+    instance: builds [χ(base, {w})] and [χ(base, {w'})] and tests
+    isomorphism (expected: isomorphic, both twists odd). *)
+val same_parity_isomorphic : Graph.t -> int -> int -> bool
+
+(** [parity_classes_differ base] checks that [χ(base, ∅)] and
+    [χ(base, {0})] are NOT isomorphic (the other half of Lemma 26,
+    for connected [base] with at least one edge). *)
+val parity_classes_differ : Graph.t -> bool

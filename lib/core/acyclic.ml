@@ -1,0 +1,106 @@
+open Wlcq_graph
+module Bitset = Wlcq_util.Bitset
+
+type skeleton = {
+  arity : int;
+  constraints : (int * int * int) list;
+  faithful : bool;
+}
+
+let skeleton q =
+  let h = q.Cq.graph in
+  if not (Cq.is_connected q) then
+    invalid_arg "Acyclic.skeleton: query must be connected";
+  if not (Traversal.is_forest h) then
+    invalid_arg "Acyclic.skeleton: query must be acyclic";
+  if Cq.num_free q = 0 then
+    invalid_arg "Acyclic.skeleton: query must have a free variable";
+  let xs = Cq.free_vars q in
+  let pos = Hashtbl.create 8 in
+  Array.iteri (fun p x -> Hashtbl.replace pos x p) xs;
+  (* direct edges between free variables *)
+  let direct = ref [] in
+  Graph.iter_edges h (fun u v ->
+      match (Hashtbl.find_opt pos u, Hashtbl.find_opt pos v) with
+      | Some a, Some b -> direct := (min a b, max a b, 0) :: !direct
+      | _ -> ());
+  (* quantified components: a component adjacent to exactly two free
+     variables contributes a weighted edge (the unique path through
+     it); more than two breaks faithfulness *)
+  let faithful = ref true in
+  let contracted = ref [] in
+  List.iter
+    (fun (members, attached) ->
+       match attached with
+       | [] | [ _ ] -> () (* dangling: vacuous over min-degree-1 graphs *)
+       | [ a; b ] ->
+         (* length of the unique a-b path inside the component *)
+         let vertices = a :: b :: members in
+         let sub, back = Ops.induced h vertices in
+         let sub_pos = Hashtbl.create 8 in
+         Array.iteri (fun i v -> Hashtbl.replace sub_pos v i) back;
+         let d =
+           Traversal.distance sub (Hashtbl.find sub_pos a)
+             (Hashtbl.find sub_pos b)
+         in
+         assert (d >= 2);
+         let pa = Hashtbl.find pos a and pb = Hashtbl.find pos b in
+         contracted := (min pa pb, max pa pb, d - 1) :: !contracted
+       | _ -> faithful := false)
+    (Extension.quantified_components q);
+  {
+    arity = Array.length xs;
+    constraints = List.rev !direct @ List.rev !contracted;
+    faithful = !faithful;
+  }
+
+(* boolean matrices B.(len) with B.(len).(u).(v) = exists walk of
+   length exactly len *)
+let walk_tables g max_len =
+  let n = Graph.num_vertices g in
+  let id = Array.init n (fun u -> Array.init n (fun v -> u = v)) in
+  let adj = Array.init n (fun u -> Array.init n (Graph.adjacent g u)) in
+  let mul a b =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            let rec any k =
+              k < n && ((a.(i).(k) && b.(k).(j)) || any (k + 1))
+            in
+            any 0))
+  in
+  let tables = Array.make (max_len + 1) id in
+  for len = 1 to max_len do
+    tables.(len) <- mul tables.(len - 1) adj
+  done;
+  tables
+
+let walk_exists g u v len =
+  if len < 0 then invalid_arg "Acyclic.walk_exists: negative length";
+  (walk_tables g len).(len).(u).(v)
+
+let count_answers_walks q g =
+  let s = skeleton q in
+  if not s.faithful then
+    invalid_arg
+      "Acyclic.count_answers_walks: a quantified component touches three or \
+       more free variables; the walk semantics is not faithful (see the \
+       reproduction note)";
+  let n = Graph.num_vertices g in
+  let isolated = ref false in
+  for v = 0 to n - 1 do
+    if Graph.degree g v = 0 then isolated := true
+  done;
+  if !isolated then
+    invalid_arg "Acyclic.count_answers_walks: data graph has isolated vertices";
+  let max_len =
+    List.fold_left (fun acc (_, _, w) -> max acc (w + 1)) 0 s.constraints
+  in
+  let tables = walk_tables g max_len in
+  let count = ref 0 in
+  Wlcq_util.Combinat.iter_tuples n s.arity (fun phi ->
+      if
+        List.for_all
+          (fun (a, b, w) -> tables.(w + 1).(phi.(a)).(phi.(b)))
+          s.constraints
+      then incr count);
+  !count

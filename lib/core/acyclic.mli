@@ -1,0 +1,50 @@
+(** The weighted-skeleton semantics of acyclic queries — the machinery
+    of Observation 62's proof.
+
+    For a connected acyclic query [(H, X)], the proof of Observation 62
+    contracts each quantified path between two free variables into a
+    weighted edge ([w] = number of internal quantified vertices) and
+    reads answers as maps [φ : X → V(G)] such that every weighted edge
+    [{x₁, x₂}] admits a walk of length [w + 1] between the images —
+    valid over graphs without isolated vertices (dangling quantified
+    subtrees are then vacuous: every vertex of positive degree starts
+    walks of all lengths).
+
+    {b Reproduction note.}  The proof calls the contracted object a
+    tree, but for star-like queries it is not: a quantified component
+    adjacent to three or more free variables (e.g. the k-star for
+    [k ≥ 3]) contracts to a clique, and its "common neighbour"
+    constraint is strictly stronger than the pairwise walk
+    constraints.  The walk semantics is therefore faithful exactly
+    when every quantified component is adjacent to at most two free
+    variables — {!skeleton} reports this — while Observation 62's
+    {e statement} holds for all acyclic queries (experiment T7 checks
+    stars up to k = 4 on [2K₃]/[C₆] directly). *)
+
+open Wlcq_graph
+
+type skeleton = {
+  arity : int;  (** number of free variables *)
+  constraints : (int * int * int) list;
+      (** [(a, b, w)]: free positions joined by a quantified path with
+          [w] internal vertices ([w = 0] for direct [H[X]] edges);
+          multi-edges between the same pair are kept *)
+  faithful : bool;
+      (** true when every quantified component touches ≤ 2 free
+          variables, so the walk semantics below is exact *)
+}
+
+(** [skeleton q] contracts a connected acyclic query.
+    @raise Invalid_argument when [q] is not connected/acyclic or has
+    no free variable. *)
+val skeleton : Cq.t -> skeleton
+
+(** [count_answers_walks q g] counts answers through the walk
+    semantics.  Requires a faithful skeleton and a data graph without
+    isolated vertices.
+    @raise Invalid_argument otherwise. *)
+val count_answers_walks : Cq.t -> Graph.t -> int
+
+(** [walk_exists g u v len] tests for a (not necessarily simple) walk
+    of length exactly [len] from [u] to [v]. *)
+val walk_exists : Graph.t -> int -> int -> int -> bool

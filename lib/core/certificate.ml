@@ -1,0 +1,136 @@
+open Wlcq_graph
+module Bigint = Wlcq_util.Bigint
+
+type lower_bound = {
+  f_treewidth : int;
+  ell : int;
+  ans_id_even : int;
+  ans_id_odd : int;
+  extendable_matches : bool;
+  pair_equivalent : bool option;
+  separating : (Graph.t * Graph.t * int * int) option;
+}
+
+type t = {
+  query : Cq.t;
+  core : Cq.t;
+  dimension : int;
+  sample : Graph.t;
+  sample_direct : int;
+  sample_interpolated : Bigint.t;
+  lower : lower_bound option;
+}
+
+(* The interpolation system has |V(sample)|^|Y| unknowns; pick the
+   largest sample (among small cycles / K2) keeping it modest. *)
+let default_sample core =
+  let y = Array.length (Cq.quantified_vars core) in
+  let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+  let rec pick n = if n <= 3 then n else if pow n y <= 32 then n else pick (n - 1) in
+  let n = if y = 0 then 5 else pick 5 in
+  if pow n y > 32 || n < 3 then Builders.clique 2 else Builders.cycle n
+
+let certify ?sample ?(max_equivalence_check = 2) q =
+  if not (Cq.is_connected q) then
+    invalid_arg "Certificate.certify: query must be connected";
+  if Cq.is_boolean q then
+    invalid_arg "Certificate.certify: query must have a free variable";
+  let core = Minimize.counting_core q in
+  let sample =
+    match sample with Some g -> g | None -> default_sample core
+  in
+  let dimension = Extension.extension_width core in
+  let sample_direct = Cq.count_answers q sample in
+  let sample_interpolated = Wl_dimension.answers_via_interpolation q sample in
+  let lower =
+    if Cq.is_full core then None
+    else begin
+      let w = Wl_dimension.lower_bound_witness q in
+      let ans_id_even, ans_id_odd = Wl_dimension.ans_id_counts w in
+      let check_twist chi =
+        let s = Extendable.make w.Wl_dimension.core w.Wl_dimension.f chi in
+        Extendable.count s = Extendable.count_cp_answers s
+      in
+      let extendable_matches =
+        check_twist w.Wl_dimension.even && check_twist w.Wl_dimension.odd
+      in
+      let pair_equivalent =
+        if dimension - 1 >= 1 && dimension - 1 <= max_equivalence_check then
+          Some (Wl_dimension.witness_pair_equivalent w (dimension - 1))
+        else None
+      in
+      let separating =
+        match Wl_dimension.separating_pair ~max_z:2 q with
+        | None -> None
+        | Some (g1, g2) ->
+          Some (g1, g2, Cq.count_answers q g1, Cq.count_answers q g2)
+      in
+      Some
+        {
+          f_treewidth =
+            Wlcq_treewidth.Exact.treewidth w.Wl_dimension.f.Extension.graph;
+          ell = w.Wl_dimension.f.Extension.ell;
+          ans_id_even;
+          ans_id_odd;
+          extendable_matches;
+          pair_equivalent;
+          separating;
+        }
+    end
+  in
+  { query = q; core; dimension; sample; sample_direct; sample_interpolated;
+    lower }
+
+let is_valid c =
+  Minimize.is_counting_minimal c.core
+  && c.dimension = Extension.extension_width c.core
+  && c.dimension = Wl_dimension.dimension c.query
+  && Bigint.equal c.sample_interpolated (Bigint.of_int c.sample_direct)
+  && c.sample_direct = Cq.count_answers c.query c.sample
+  &&
+  match c.lower with
+  | None -> Cq.is_full c.core
+  | Some l ->
+    l.f_treewidth = c.dimension
+    && l.ell mod 2 = 1
+    && l.ans_id_even > l.ans_id_odd
+    && l.extendable_matches
+    && l.pair_equivalent <> Some false
+    && (match l.separating with
+        | None -> true
+        | Some (g1, g2, c1, c2) ->
+          c1 <> c2
+          && c1 = Cq.count_answers c.query g1
+          && c2 = Cq.count_answers c.query g2)
+
+let pp ppf c =
+  let f = Format.fprintf in
+  f ppf "query:           %s@." (Parser.to_formula c.query);
+  f ppf "counting core:   %s@." (Parser.to_formula c.core);
+  f ppf "WL-dimension:    %d  (Theorem 1: sew of the core)@." c.dimension;
+  f ppf "@.upper bound (Lemma 22 / Observation 23):@.";
+  f ppf "  on %a:@." Graph.pp c.sample;
+  f ppf "  direct count %d = interpolated %s from |Hom(F_ell, .)| counts@."
+    c.sample_direct
+    (Bigint.to_string c.sample_interpolated);
+  match c.lower with
+  | None ->
+    f ppf "@.lower bound: core is a full query — covered by Neuen's@.";
+    f ppf "theorem (dimension = treewidth), no F_ell construction needed@."
+  | Some l ->
+    f ppf "@.lower bound (Section 4):@.";
+    f ppf "  F = F_%d(core), tw(F) = %d@." l.ell l.f_treewidth;
+    f ppf "  Ans^id on chi(F, {}) / chi(F, {x1}): %d > %d  (Lemma 57)@."
+      l.ans_id_even l.ans_id_odd;
+    f ppf "  extendable sets = cpAns on both twists: %b  (Lemma 55)@."
+      l.extendable_matches;
+    (match l.pair_equivalent with
+     | Some b -> f ppf "  chi pair (k-1)-WL-equivalent: %b  (Lemma 35)@." b
+     | None -> f ppf "  chi pair (k-1)-WL-equivalence: skipped (k too large)@.");
+    (match l.separating with
+     | Some (g1, _, c1, c2) ->
+       f ppf "  separating pair via cloning (Lemma 40): |Ans| = %d vs %d@."
+         c1 c2;
+       f ppf "  (graphs on %d vertices; export with wlcq witness --emit-g6)@."
+         (Graph.num_vertices g1)
+     | None -> f ppf "  no separating pair found within the z-bound@.")

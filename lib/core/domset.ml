@@ -1,0 +1,45 @@
+open Wlcq_graph
+module Bitset = Wlcq_util.Bitset
+module Bigint = Wlcq_util.Bigint
+module Rat = Wlcq_util.Rat
+
+let is_dominating g d =
+  let n = Graph.num_vertices g in
+  let covered = Bitset.create n in
+  List.iter
+    (fun v ->
+       Bitset.set covered v;
+       Graph.iter_neighbours g v (fun w -> Bitset.set covered w))
+    d;
+  Bitset.cardinal covered = n
+
+let count_direct k g =
+  let n = Graph.num_vertices g in
+  let count = ref 0 in
+  Wlcq_util.Combinat.iter_subsets_of_size k n (fun subset ->
+      if is_dominating g (Array.to_list subset) then incr count);
+  Bigint.of_int !count
+
+(* |Δ_k(G)| = C(n,k) − Inj((S_k,X_k), Ḡ)/k!  (proof of Corollary 68) *)
+let via_injective_count inj_count k g =
+  let n = Graph.num_vertices g in
+  let complement = Ops.complement g in
+  let inj = inj_count k complement in
+  let per_subset, rem = Bigint.divmod inj (Bigint.factorial k) in
+  if not (Bigint.is_zero rem) then
+    failwith "Domset: injective answer count not divisible by k!";
+  Bigint.sub (Bigint.binomial n k) per_subset
+
+let count_via_stars k g =
+  via_injective_count
+    (fun k g -> Bigint.of_int (Cq.count_answers_injective (Star.query k) g))
+    k g
+
+let count_via_quantum k g =
+  via_injective_count
+    (fun k g ->
+       let v = Quantum.evaluate (Quantum.injective_star k) g in
+       match Rat.to_bigint_opt v with
+       | Some b -> b
+       | None -> failwith "Domset: non-integer quantum evaluation")
+    k g

@@ -1,0 +1,164 @@
+open Wlcq_graph
+module Bitset = Wlcq_util.Bitset
+module Cfi = Wlcq_cfi.Cfi
+
+type t = {
+  core : Cq.t;
+  f : Extension.f_ell;
+  chi : Cfi.t;
+  fibres : int list array;
+      (* per free position p: CFI vertices projecting to F-vertex p *)
+  copy_blocks : Bitset.t array array;
+      (* copy_blocks.(i).(j-1) = V_i^j as a set of F-vertices *)
+}
+
+let make core f chi =
+  if not (Graph.equal chi.Cfi.base f.Extension.graph) then
+    invalid_arg "Extendable.make: CFI graph is not over F";
+  let k = Cq.num_free core in
+  Bitset.iter
+    (fun v ->
+       if v >= k then
+         invalid_arg "Extendable.make: twist must be a set of free variables")
+    chi.Cfi.twist;
+  let fibres = Array.make k [] in
+  Array.iteri
+    (fun i w -> if w < k then fibres.(w) <- i :: fibres.(w))
+    chi.Cfi.projection;
+  (* components C_1..C_m of H[Y], then their per-copy vertex sets in F *)
+  let h = core.Cq.graph in
+  let ys = Array.to_list (Cq.quantified_vars core) in
+  let comps =
+    if ys = [] then []
+    else begin
+      let sub, back = Ops.induced h ys in
+      List.map
+        (List.map (fun v -> back.(v)))
+        (Traversal.component_members sub)
+    end
+  in
+  let nf = Graph.num_vertices f.Extension.graph in
+  let copy_blocks =
+    Array.of_list
+      (List.map
+         (fun members ->
+            Array.init f.Extension.ell (fun j ->
+                let s = Bitset.create nf in
+                for v = 0 to nf - 1 do
+                  if f.Extension.copy.(v) = j + 1
+                     && List.mem f.Extension.gamma.(v) members
+                  then Bitset.set s v
+                done;
+                s))
+         comps)
+  in
+  { core; f; chi; fibres; copy_blocks }
+
+let subsets_of t phi =
+  Array.mapi
+    (fun p v ->
+       if t.chi.Cfi.projection.(v) <> p then
+         invalid_arg "Extendable: assignment does not project to the free \
+                      variables";
+       t.chi.Cfi.subset.(v))
+    phi
+
+let is_extendable t phi =
+  let s = subsets_of t phi in
+  let k = Array.length s in
+  let xs = Cq.free_vars t.core in
+  let pos = Hashtbl.create 8 in
+  Array.iteri (fun p x -> Hashtbl.replace pos x p) xs;
+  (* (E1) over the edges of H[X]; the F-vertex of free position p is p *)
+  let e1 = ref true in
+  Graph.iter_edges t.core.Cq.graph (fun u v ->
+      match (Hashtbl.find_opt pos u, Hashtbl.find_opt pos v) with
+      | Some a, Some b ->
+        if Bitset.mem s.(b) a <> Bitset.mem s.(a) b then e1 := false
+      | _ -> ());
+  !e1
+  && Array.for_all
+    (fun blocks ->
+       Array.exists
+         (fun block ->
+            let total = ref 0 in
+            for p = 0 to k - 1 do
+              total := !total + Bitset.cardinal (Bitset.inter s.(p) block)
+            done;
+            !total mod 2 = 0)
+         blocks)
+    t.copy_blocks
+
+let count t =
+  let k = Cq.num_free t.core in
+  let phi = Array.make k 0 in
+  let total = ref 0 in
+  let rec go p =
+    if p = k then begin
+      if is_extendable t phi then incr total
+    end
+    else
+      List.iter
+        (fun v ->
+           phi.(p) <- v;
+           go (p + 1))
+        t.fibres.(p)
+  in
+  go 0;
+  !total
+
+(* The Lemma 52 partition: the class of an extendable assignment is
+   the least component index i whose (E2) condition is witnessed by a
+   copy j > 1, or 0 when every component's only even copy is j = 1. *)
+let class_of t phi =
+  let s = subsets_of t phi in
+  let k = Array.length s in
+  let witnessed_above_one blocks =
+    let found = ref false in
+    Array.iteri
+      (fun j block ->
+         if j >= 1 then begin
+           let total = ref 0 in
+           for p = 0 to k - 1 do
+             total := !total + Bitset.cardinal (Bitset.inter s.(p) block)
+           done;
+           if !total mod 2 = 0 then found := true
+         end)
+      blocks;
+    !found
+  in
+  let m = Array.length t.copy_blocks in
+  let rec go i =
+    if i >= m then 0
+    else if witnessed_above_one t.copy_blocks.(i) then i + 1
+    else go (i + 1)
+  in
+  go 0
+
+let class_counts t =
+  let m = Array.length t.copy_blocks in
+  let counts = Array.make (m + 1) 0 in
+  let k = Cq.num_free t.core in
+  let phi = Array.make k 0 in
+  let rec go p =
+    if p = k then begin
+      if is_extendable t phi then begin
+        let c = class_of t phi in
+        counts.(c) <- counts.(c) + 1
+      end
+    end
+    else
+      List.iter
+        (fun v ->
+           phi.(p) <- v;
+           go (p + 1))
+        t.fibres.(p)
+  in
+  go 0;
+  counts
+
+let count_cp_answers t =
+  let c =
+    Array.map (fun v -> t.f.Extension.gamma.(v)) t.chi.Cfi.projection
+  in
+  Cq.count_cp_answers t.core t.chi.Cfi.graph ~c

@@ -1,0 +1,55 @@
+(** Extendable assignments [𝓔(X, F, W)] (Definition 51) — the
+    parity-combinatorial core of the lower bound.
+
+    For a counting-minimal connected query, an odd [ℓ], [F = F_ℓ(H,X)]
+    and a twist [W ⊆ X], an assignment [φ : X → V(χ(F,W))] with
+    [c(φ(x_p)) = x_p] (so [φ(x_p) = (x_p, S_p)]) is {e extendable}
+    when
+
+    - (E1) for every edge [{x_a, x_b}] of [H[X]]:
+      [x_a ∈ S_b ⟺ x_b ∈ S_a], and
+    - (E2) for every connected component [C_i] of [H[Y]] there is a
+      copy [j ∈ [ℓ]] with [Σ_p |S_p ∩ V_i^j|] even.
+
+    Lemma 55 shows [𝓔(X, F, W) = cpAns((H,X), (χ(F,W), c))], and
+    Lemma 52 shows [|𝓔(X, F, ∅)| > |𝓔(X, F, {x₁})|] — together these
+    give the strict answer-count gap of Lemma 57.  This module
+    evaluates both sides independently so the experiments can certify
+    the equality and the strict inequality. *)
+
+(** A prepared setting tying together the query core, [F_ℓ], and one
+    CFI graph over it. *)
+type t
+
+(** [make core f chi] prepares the setting.  [core] must be the
+    counting-minimal query that [f] was built from, and [chi] a CFI
+    graph over [f.graph] whose twist is a subset of the free-variable
+    vertices. *)
+val make : Cq.t -> Extension.f_ell -> Wlcq_cfi.Cfi.t -> t
+
+(** [is_extendable t phi] checks (E1) and (E2) for an assignment given
+    as an array of CFI-vertex indices, parallel to the free variables.
+    The assignment must already satisfy [c(φ(x_p)) = x_p].
+    @raise Invalid_argument when some [φ(x_p)] does not project to
+    [x_p]. *)
+val is_extendable : t -> int array -> bool
+
+(** [count t] is [|𝓔(X, F, W)|], by enumeration over the CFI fibres of
+    the free variables. *)
+val count : t -> int
+
+(** [count_cp_answers t] is [|cpAns((H,X), (χ(F,W), c))|] computed via
+    the generic answer-counting machinery — Lemma 55 asserts it equals
+    [count t]. *)
+val count_cp_answers : t -> int
+
+(** [class_counts t] is the partition of [𝓔(X, F, W)] from the proof
+    of Lemma 52: element [i] of the returned array ([1 ≤ i ≤ m], one
+    per quantified component) counts [𝓔(X, F, W, i)] — the extendable
+    assignments whose first witness of (E2) with copy index [j > 1]
+    happens at component [i] — and element [0] counts the remainder
+    [𝓔(X, F, W, 0)].  The proof's three claims become checkable
+    numerics: [|𝓔(∅, i)| = |𝓔({x₁}, i)|] for [i ≥ 1] (Claim 1, via a
+    path-switching bijection), [|𝓔(∅, 0)| > 0] (Claim 2) and
+    [|𝓔({x₁}, 0)| = 0] (Claim 3). *)
+val class_counts : t -> int array

@@ -1,0 +1,129 @@
+open Wlcq_graph
+module Bitset = Wlcq_util.Bitset
+
+(* Connected components of H[Y], each paired with the set of free
+   variables adjacent to it in H. *)
+let quantified_components q =
+  let h = q.Cq.graph in
+  let ys = Array.to_list (Cq.quantified_vars q) in
+  if ys = [] then []
+  else begin
+    let sub, back = Ops.induced h ys in
+    let comps = Traversal.component_members sub in
+    List.map
+      (fun comp ->
+         let members = List.map (fun v -> back.(v)) comp in
+         let attached =
+           List.sort_uniq compare
+             (List.concat_map
+                (fun y ->
+                   List.filter
+                     (fun w -> Bitset.mem q.Cq.free w)
+                     (Graph.neighbours_list h y))
+                members)
+         in
+         (members, attached))
+      comps
+  end
+
+let gamma_graph q =
+  let h = q.Cq.graph in
+  let extra =
+    List.concat_map
+      (fun (_, attached) ->
+         let rec pairs = function
+           | [] -> []
+           | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+         in
+         pairs attached)
+      (quantified_components q)
+  in
+  Ops.add_edges h extra
+
+let contract q =
+  let gamma = gamma_graph q in
+  let xs = Array.to_list (Cq.free_vars q) in
+  fst (Ops.induced gamma xs)
+
+let extension_width q = Wlcq_treewidth.Exact.treewidth (gamma_graph q)
+
+let semantic_extension_width q = extension_width (Minimize.counting_core q)
+
+let quantified_star_size q =
+  List.fold_left
+    (fun acc (_, attached) -> max acc (List.length attached))
+    0 (quantified_components q)
+
+type f_ell = {
+  graph : Graph.t;
+  gamma : int array;
+  copy : int array;
+  ell : int;
+}
+
+let f_ell q ell =
+  if ell < 1 then invalid_arg "Extension.f_ell: ell must be positive";
+  let h = q.Cq.graph in
+  let xs = Cq.free_vars q in
+  let ys = Cq.quantified_vars q in
+  let k = Array.length xs and l = Array.length ys in
+  (* vertex layout: free variables first (in order), then for each copy
+     index i in 1..ell the block of quantified variables *)
+  let count = k + (ell * l) in
+  let gamma = Array.make count 0 in
+  let copy = Array.make count 0 in
+  Array.iteri (fun i x -> gamma.(i) <- x) xs;
+  for i = 1 to ell do
+    Array.iteri
+      (fun j y ->
+         let v = k + ((i - 1) * l) + j in
+         gamma.(v) <- y;
+         copy.(v) <- i)
+      ys
+  done;
+  (* positions: free variable x -> its index; quantified y in copy i *)
+  let xpos = Hashtbl.create 8 and ypos = Hashtbl.create 8 in
+  Array.iteri (fun i x -> Hashtbl.replace xpos x i) xs;
+  Array.iteri (fun j y -> Hashtbl.replace ypos y j) ys;
+  let yvertex y i = k + ((i - 1) * l) + Hashtbl.find ypos y in
+  let edges = ref [] in
+  Graph.iter_edges h (fun u v ->
+      let fu = Bitset.mem q.Cq.free u and fv = Bitset.mem q.Cq.free v in
+      match (fu, fv) with
+      | true, true ->
+        edges := (Hashtbl.find xpos u, Hashtbl.find xpos v) :: !edges
+      | true, false ->
+        for i = 1 to ell do
+          edges := (Hashtbl.find xpos u, yvertex v i) :: !edges
+        done
+      | false, true ->
+        for i = 1 to ell do
+          edges := (yvertex u i, Hashtbl.find xpos v) :: !edges
+        done
+      | false, false ->
+        for i = 1 to ell do
+          edges := (yvertex u i, yvertex v i) :: !edges
+        done);
+  { graph = Graph.create count !edges; gamma; copy; ell }
+
+let gamma_is_homomorphism fe q =
+  let ok = ref true in
+  Graph.iter_edges fe.graph (fun u v ->
+      if not (Graph.adjacent q.Cq.graph fe.gamma.(u) fe.gamma.(v)) then
+        ok := false);
+  !ok
+
+let ew_via_f_ell q ~max_ell =
+  let best = ref min_int in
+  for ell = 1 to max_ell do
+    best := max !best (Wlcq_treewidth.Exact.treewidth (f_ell q ell).graph)
+  done;
+  !best
+
+let minimal_saturating_ell q =
+  let target = extension_width q in
+  let rec go ell =
+    if Wlcq_treewidth.Exact.treewidth (f_ell q ell).graph = target then ell
+    else go (ell + 1)
+  in
+  go 1

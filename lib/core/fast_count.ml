@@ -1,0 +1,180 @@
+open Wlcq_graph
+module Bitset = Wlcq_util.Bitset
+module Bigint = Wlcq_util.Bigint
+module Combinat = Wlcq_util.Combinat
+
+(* A constraint over free-variable positions: a sorted scope and a
+   satisfaction check on the images of the scope (parallel arrays). *)
+type constraint_ = { scope : int list; holds : int array -> bool }
+
+let count_answers q g =
+  let h = q.Cq.graph in
+  let n = Graph.num_vertices g in
+  let xs = Cq.free_vars q in
+  let k = Array.length xs in
+  let pos_of = Hashtbl.create 8 in
+  Array.iteri (fun p x -> Hashtbl.replace pos_of x p) xs;
+  let components = Extension.quantified_components q in
+  (* Components with no attachment contribute a global boolean factor:
+     some homomorphism must exist for them at all. *)
+  let boolean_ok =
+    List.for_all
+      (fun (members, attached) ->
+         attached <> []
+         || begin
+           let sub, _ = Ops.induced h members in
+           Wlcq_hom.Brute.exists sub g
+         end)
+      components
+  in
+  if not boolean_ok then Bigint.zero
+  else if k = 0 then
+    if Wlcq_hom.Brute.exists h g then Bigint.one else Bigint.zero
+  else begin
+    (* Predicate P_i for each attached component, memoised over the
+       assignments of its attachment set. *)
+    let component_constraints =
+      List.filter_map
+        (fun (members, attached) ->
+           if attached = [] then None
+           else begin
+             let vertices = List.sort_uniq compare (members @ attached) in
+             let sub, back = Ops.induced h vertices in
+             let sub_pos = Hashtbl.create 8 in
+             Array.iteri (fun i v -> Hashtbl.replace sub_pos v i) back;
+             let attach_sub =
+               List.map (Hashtbl.find sub_pos) attached
+             in
+             let memo : (int list, bool) Hashtbl.t = Hashtbl.create 64 in
+             let holds images =
+               let key = Array.to_list images in
+               match Hashtbl.find_opt memo key with
+               | Some b -> b
+               | None ->
+                 let pins =
+                   List.map2 (fun sv img -> (sv, img)) attach_sub key
+                 in
+                 let b = Wlcq_hom.Brute.exists ~pins sub g in
+                 Hashtbl.replace memo key b;
+                 b
+             in
+             Some { scope = List.map (Hashtbl.find pos_of) attached; holds }
+           end)
+        components
+    in
+    (* Edge constraints from H[X]. *)
+    let edge_constraints = ref [] in
+    Graph.iter_edges h (fun u v ->
+        match (Hashtbl.find_opt pos_of u, Hashtbl.find_opt pos_of v) with
+        | Some a, Some b ->
+          edge_constraints :=
+            { scope = [ min a b; max a b ];
+              holds = (fun images -> Graph.adjacent g images.(0) images.(1)) }
+            :: !edge_constraints
+        | _ -> ());
+    let constraints = component_constraints @ !edge_constraints in
+    (* DP over a tree decomposition of the contract Γ(H,X)[X] (over
+       position space).  Each δ_i is a clique there and hence contained
+       in some bag; edges of H[X] likewise. *)
+    let contract = Extension.contract q in
+    let d = Wlcq_treewidth.Exact.optimal_decomposition contract in
+    let nodes = Graph.num_vertices d.Wlcq_treewidth.Decomposition.tree in
+    let bags = d.Wlcq_treewidth.Decomposition.bags in
+    let bag_list t = Bitset.to_list bags.(t) in
+    (* Assign each constraint to the first bag containing its scope. *)
+    let assigned = Array.make nodes [] in
+    List.iter
+      (fun c ->
+         let rec find t =
+           if t >= nodes then
+             failwith "Fast_count: constraint scope not covered by any bag \
+                       (decomposition bug)"
+           else if List.for_all (fun p -> Bitset.mem bags.(t) p) c.scope then
+             assigned.(t) <- c :: assigned.(t)
+           else find (t + 1)
+         in
+         find 0)
+      constraints;
+    (* Root the tree at 0, children before parents. *)
+    let parent = Array.make nodes (-1) in
+    let order = ref [] in
+    let seen = Array.make nodes false in
+    let queue = Queue.create () in
+    seen.(0) <- true;
+    Queue.add 0 queue;
+    while not (Queue.is_empty queue) do
+      let t = Queue.take queue in
+      order := t :: !order;
+      Graph.iter_neighbours d.Wlcq_treewidth.Decomposition.tree t (fun s ->
+          if not seen.(s) then begin
+            seen.(s) <- true;
+            parent.(s) <- t;
+            Queue.add s queue
+          end)
+    done;
+    let children = Array.make nodes [] in
+    Array.iteri
+      (fun s p -> if p >= 0 then children.(p) <- s :: children.(p))
+      parent;
+    let tables : (int list, Bigint.t) Hashtbl.t array =
+      Array.init nodes (fun _ -> Hashtbl.create 64)
+    in
+    let restrict assoc keys = List.map (fun p -> List.assoc p assoc) keys in
+    List.iter
+      (fun t ->
+         let bag = bag_list t in
+         let grouped =
+           List.map
+             (fun s ->
+                let shared =
+                  Bitset.to_list (Bitset.inter bags.(t) bags.(s))
+                in
+                let sbag = bag_list s in
+                let proj : (int list, Bigint.t) Hashtbl.t =
+                  Hashtbl.create 64
+                in
+                Hashtbl.iter
+                  (fun key v ->
+                     let assoc = List.combine sbag key in
+                     let r = restrict assoc shared in
+                     let prev =
+                       Option.value ~default:Bigint.zero
+                         (Hashtbl.find_opt proj r)
+                     in
+                     Hashtbl.replace proj r (Bigint.add prev v))
+                  tables.(s);
+                (shared, proj))
+             children.(t)
+         in
+         let bag_arr = Array.of_list bag in
+         Combinat.iter_tuples n (Array.length bag_arr) (fun images ->
+             let assoc =
+               Array.to_list
+                 (Array.mapi (fun i img -> (bag_arr.(i), img)) images)
+             in
+             let satisfied =
+               List.for_all
+                 (fun c ->
+                    c.holds
+                      (Array.of_list (restrict assoc c.scope)))
+                 assigned.(t)
+             in
+             if satisfied then begin
+               let value =
+                 List.fold_left
+                   (fun acc (shared, proj) ->
+                      if Bigint.is_zero acc then acc
+                      else
+                        match
+                          Hashtbl.find_opt proj (restrict assoc shared)
+                        with
+                        | None -> Bigint.zero
+                        | Some v -> Bigint.mul acc v)
+                   Bigint.one grouped
+               in
+               if not (Bigint.is_zero value) then
+                 Hashtbl.replace tables.(t) (restrict assoc bag) value
+             end))
+      !order;
+    Hashtbl.fold (fun _ v acc -> Bigint.add acc v) tables.(0) Bigint.zero
+  end

@@ -1,0 +1,29 @@
+(** Polynomial-time answer counting for bounded extension width — the
+    algorithmic content of the positive side of Corollary 4.
+
+    The classification of Chen–Durand–Mengel and Dell–Roth–Wellnitz
+    (quoted in the proof of Corollary 4) makes [#CQ] tractable exactly
+    when the treewidth of the query {e and} of its contract are
+    bounded — equivalently, when the extension width is bounded.  The
+    algorithm implemented here is the standard witness of tractability:
+
+    + for each connected component [C_i] of [H[Y]] with attachment set
+      [δ_i = N(C_i) ∩ X], tabulate the predicate
+      [P_i(σ) = "σ : δ_i → V(G) extends to a homomorphism of the
+      component"] — at most [|V(G)|^{|δ_i|}] entries, and
+      [|δ_i| ≤ ew + 1] because [δ_i] is a clique of [Γ(H,X)];
+    + count the assignments [a : X → V(G)] that are homomorphisms on
+      [H[X]] and satisfy every [P_i], by dynamic programming over a
+      tree decomposition of the contract [Γ(H,X)[X]] (each [δ_i] is a
+      clique there, hence fits in a bag).
+
+    The total cost is [|V(G)|^{O(ew)}] — polynomial for fixed
+    extension width, in contrast to the [|V(G)|^{|X|}] enumeration of
+    {!Cq.count_answers}.  Both are cross-validated in the test suite
+    and compared in bench series F3. *)
+
+open Wlcq_graph
+
+(** [count_answers q g] is [|Ans(q, g)|] as a {!Wlcq_util.Bigint}
+    (unlike enumeration, the DP can exceed native range). *)
+val count_answers : Cq.t -> Graph.t -> Wlcq_util.Bigint.t

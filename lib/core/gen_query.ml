@@ -1,0 +1,44 @@
+module Prng = Wlcq_util.Prng
+module Graph = Wlcq_graph.Graph
+
+let random_connected rng ~num_vars ~num_free ~edge_prob =
+  if num_vars < 1 then invalid_arg "Gen_query: need at least one variable";
+  if num_free > num_vars || num_free < 0 then
+    invalid_arg "Gen_query: bad free-variable count";
+  let h = Wlcq_graph.Gen.random_connected rng num_vars edge_prob in
+  let vs = Array.init num_vars (fun i -> i) in
+  Prng.shuffle rng vs;
+  Cq.make h (Array.to_list (Array.sub vs 0 num_free))
+
+let random_star_like rng ~num_free ~centres =
+  if num_free < 1 || centres < 1 then
+    invalid_arg "Gen_query: need free variables and centres";
+  (* vertices: free 0..num_free-1, centres after *)
+  let centre j = num_free + j in
+  let edges = ref [] in
+  (* path over the centres keeps the query connected *)
+  for j = 0 to centres - 2 do
+    edges := (centre j, centre (j + 1)) :: !edges
+  done;
+  for x = 0 to num_free - 1 do
+    (* a non-empty random subset of centres *)
+    let attached = ref [] in
+    for j = 0 to centres - 1 do
+      if Prng.bool rng then attached := j :: !attached
+    done;
+    let attached =
+      match !attached with [] -> [ Prng.int rng centres ] | l -> l
+    in
+    List.iter (fun j -> edges := (x, centre j) :: !edges) attached
+  done;
+  let h = Graph.create (num_free + centres) !edges in
+  Cq.make h (List.init num_free (fun i -> i))
+
+let quantified_path len =
+  if len < 1 then invalid_arg "Gen_query.quantified_path: len must be >= 1";
+  (* vertices: x1 = 0, x2 = 1, quantified 2 .. len+1 *)
+  let edges =
+    ((0, 2) :: List.init (len - 1) (fun i -> (2 + i, 3 + i)))
+    @ [ (len + 1, 1) ]
+  in
+  Cq.make (Graph.create (len + 2) edges) [ 0; 1 ]

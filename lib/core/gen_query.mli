@@ -1,0 +1,25 @@
+(** Seeded random conjunctive-query generation — workload generators
+    for benchmarks and property tests.
+
+    All generators take a {!Wlcq_util.Prng} so that experiment
+    workloads are reproducible from their seeds. *)
+
+(** [random_connected rng ~num_vars ~num_free ~edge_prob] draws a
+    connected query graph (random spanning tree + extra edges) and
+    marks a uniformly random subset of [num_free] variables as free.
+    @raise Invalid_argument when [num_free > num_vars] or
+    [num_vars < 1]. *)
+val random_connected :
+  Wlcq_util.Prng.t -> num_vars:int -> num_free:int -> edge_prob:float -> Cq.t
+
+(** [random_star_like rng ~num_free ~centres] draws a generalised star
+    query: [num_free] free variables, [centres] quantified centres,
+    each free variable attached to a non-empty random subset of the
+    centres, centres connected in a path.  These queries interpolate
+    between low and high extension width. *)
+val random_star_like :
+  Wlcq_util.Prng.t -> num_free:int -> centres:int -> Cq.t
+
+(** [quantified_path len] is the bounded-sew family used by bench F3:
+    free endpoints joined by a path of [len] quantified variables. *)
+val quantified_path : int -> Cq.t

@@ -1,0 +1,49 @@
+(** Graph parameters and experimental WL-dimension bounds.
+
+    The paper studies the WL-dimension of one family of graph
+    parameters (answer counts of conjunctive queries); this module
+    packages arbitrary graph parameters as first-class values and
+    estimates dimension {e lower} bounds the way the paper's proofs
+    do: exhibit a pair of k-WL-equivalent graphs the parameter tells
+    apart, concluding dimension ≥ k + 1.  The built-in pair library
+    contains the witnesses constructed elsewhere in this repository
+    (2K₃/C₆, twisted CFI pairs, the Shrikhande/rook SRG pair).
+
+    Upper bounds cannot be certified by finitely many pairs; the
+    companion check {!invariant_on_pairs} reports consistency with a
+    conjectured dimension on the library. *)
+
+open Wlcq_graph
+
+type t = {
+  name : string;
+  value : Graph.t -> string;
+      (** canonical printed value — equality of strings is equality of
+          the parameter *)
+}
+
+(** [of_int name f] / [of_bigint name f] wrap numeric parameters. *)
+val of_int : string -> (Graph.t -> int) -> t
+
+val of_bigint : string -> (Graph.t -> Wlcq_util.Bigint.t) -> t
+
+(** [of_query q] is the paper's parameter [G ↦ |Ans(q, G)|]. *)
+val of_query : string -> Cq.t -> t
+
+(** [witness_pairs ()] is the library of non-isomorphic k-WL-equivalent
+    pairs, as [(name, k, g1, g2)] — [g1 ≅_k g2] is guaranteed (and
+    re-checked in the test suite). *)
+val witness_pairs : unit -> (string * int * Graph.t * Graph.t) list
+
+(** [dimension_lower_bound p] is [Some (k + 1, pair_name)] for the
+    largest [k] such that [p] distinguishes some [k]-equivalent pair
+    in the library, or [None] when [p] agrees on all pairs. *)
+val dimension_lower_bound : t -> (int * string) option
+
+(** [invariant_on_pairs p ~dim] checks that [p] agrees on every
+    library pair with equivalence level [>= dim] — a necessary
+    condition for [p] to have WL-dimension [<= dim]. *)
+val invariant_on_pairs : t -> dim:int -> bool
+
+(** A small built-in library of parameters used by experiment T13. *)
+val standard_library : unit -> t list

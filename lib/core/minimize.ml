@@ -1,0 +1,66 @@
+open Wlcq_graph
+module Bitset = Wlcq_util.Bitset
+
+exception Found of int array
+
+(* Search for an endomorphism of H that maps X bijectively onto X and
+   whose image misses at least one vertex.  Free variables are
+   restricted to land in X; bijectivity and image size are checked on
+   each enumerated endomorphism. *)
+let shrinking_raw q =
+  let h = q.Cq.graph in
+  let n = Graph.num_vertices h in
+  let free = q.Cq.free in
+  let candidates v =
+    if Bitset.mem free v then Bitset.copy free else Bitset.full n
+  in
+  try
+    Wlcq_hom.Brute.iter ~candidates h h (fun endo ->
+        let image = Bitset.create n in
+        Array.iter (fun v -> Bitset.set image v) endo;
+        if Bitset.cardinal image < n then begin
+          (* check that X maps bijectively onto X *)
+          let ximg = Bitset.create n in
+          let bijective = ref true in
+          Bitset.iter
+            (fun x ->
+               if Bitset.mem ximg endo.(x) then bijective := false
+               else Bitset.set ximg endo.(x))
+            free;
+          if !bijective && Bitset.equal ximg free then
+            raise (Found (Array.copy endo))
+        end);
+    None
+  with Found endo -> Some endo
+
+(* Raise the endomorphism to the power that fixes X pointwise (the
+   order of the permutation it induces on X); the image can only
+   shrink, so the result still has a proper image. *)
+let fix_free_pointwise q endo =
+  let compose f g = Array.init (Array.length g) (fun v -> f.(g.(v))) in
+  let identity_on_free h = Bitset.for_all (fun x -> h.(x) = x) q.Cq.free in
+  let rec go h = if identity_on_free h then h else go (compose endo h) in
+  go endo
+
+let shrinking_endomorphism q =
+  Option.map (fix_free_pointwise q) (shrinking_raw q)
+
+let is_counting_minimal q = shrinking_raw q = None
+
+let rec counting_core q =
+  match shrinking_endomorphism q with
+  | None -> q
+  | Some endo ->
+    let h = q.Cq.graph in
+    let n = Graph.num_vertices h in
+    let image = Bitset.create n in
+    Array.iter (fun v -> Bitset.set image v) endo;
+    let members = Bitset.to_list image in
+    let sub, back = Ops.induced h members in
+    (* back maps new labels to old; invert to relocate X *)
+    let new_of_old = Hashtbl.create n in
+    Array.iteri (fun i v -> Hashtbl.replace new_of_old v i) back;
+    let new_free =
+      List.map (Hashtbl.find new_of_old) (Bitset.to_list q.Cq.free)
+    in
+    counting_core (Cq.make sub new_free)

@@ -1,0 +1,29 @@
+(** Counting minimisation (Definition 9, Lemma 44).
+
+    Two queries are counting equivalent when they have the same number
+    of answers in every graph; each equivalence class has a unique (up
+    to isomorphism) minimal representative, the {e counting core}.
+
+    The core is computed by repeatedly shrinking with endomorphisms:
+    whenever [H] admits an endomorphism [h] that maps [X] bijectively
+    onto [X] and whose image is a proper subset of [V(H)], the query
+    retracts onto the induced subgraph on the image of a suitable power
+    of [h] (the power fixing [X] pointwise), which preserves the set of
+    answers in every graph.  At the fixed point no such endomorphism
+    exists, which is exactly the counting-minimality criterion behind
+    Lemma 44.  For full queries ([X = V(H)]) every such endomorphism is
+    an automorphism, so full queries are always minimal (Section 5). *)
+
+(** [counting_core q] is the counting-minimal representative of [q]'s
+    counting-equivalence class (free variables keep their relative
+    order; vertex labels are compacted). *)
+val counting_core : Cq.t -> Cq.t
+
+(** [is_counting_minimal q] holds when no proper shrinking
+    endomorphism exists. *)
+val is_counting_minimal : Cq.t -> bool
+
+(** [shrinking_endomorphism q] is a witness endomorphism (as an array
+    over [V(H)]) that fixes [X] pointwise and has a proper image, if
+    one exists. *)
+val shrinking_endomorphism : Cq.t -> int array option

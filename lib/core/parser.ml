@@ -1,0 +1,208 @@
+type parsed = { query : Cq.t; names : string array }
+
+type token =
+  | Ident of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Amp
+  | Bar
+  | Define  (* ":=" *)
+
+let tokenize s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '(' -> go (i + 1) (Lparen :: acc)
+      | ')' -> go (i + 1) (Rparen :: acc)
+      | ',' -> go (i + 1) (Comma :: acc)
+      | '.' -> go (i + 1) (Dot :: acc)
+      | '&' -> go (i + 1) (Amp :: acc)
+      | '|' -> go (i + 1) (Bar :: acc)
+      | ':' ->
+        if i + 1 < n && s.[i + 1] = '=' then go (i + 2) (Define :: acc)
+        else Error (Printf.sprintf "unexpected ':' at position %d" i)
+      | c when (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' ->
+        let j = ref i in
+        while
+          !j < n
+          && (let c = s.[!j] in
+              (c >= 'a' && c <= 'z')
+              || (c >= 'A' && c <= 'Z')
+              || (c >= '0' && c <= '9')
+              || c = '_' || c = '\'')
+        do
+          incr j
+        done;
+        go !j (Ident (String.sub s i (!j - i)) :: acc)
+      | c -> Error (Printf.sprintf "unexpected character %C at position %d" c i)
+  in
+  go 0 []
+
+let ( let* ) = Result.bind
+
+(* head: '(' [ident (',' ident)*] ')' ':=' *)
+let parse_head tokens =
+  match tokens with
+  | Lparen :: rest ->
+    let rec idents acc = function
+      | Rparen :: Define :: rest -> Ok (List.rev acc, rest)
+      | Ident x :: Comma :: rest -> idents (x :: acc) rest
+      | Ident x :: Rparen :: Define :: rest -> Ok (List.rev (x :: acc), rest)
+      | _ -> Error "malformed head: expected '(x1, ..., xk) :='"
+    in
+    idents [] rest
+  | _ -> Error "query must start with a head '(x1, ..., xk) :='"
+
+let parse_exists tokens =
+  match tokens with
+  | Ident "exists" :: rest ->
+    let rec idents acc = function
+      | Dot :: rest -> Ok (List.rev acc, rest)
+      | Ident x :: rest when x <> "E" -> idents (x :: acc) rest
+      | _ -> Error "malformed quantifier: expected 'exists y1 y2 ... .'"
+    in
+    (match rest with
+     | Ident x :: _ when x <> "E" -> idents [] rest
+     | _ -> Error "'exists' must be followed by at least one variable")
+  | _ -> Ok ([], tokens)
+
+let parse_atoms tokens =
+  let atom = function
+    | Ident "E" :: Lparen :: Ident a :: Comma :: Ident b :: Rparen :: rest ->
+      Ok ((a, b), rest)
+    | _ -> Error "malformed atom: expected 'E(u, v)'"
+  in
+  let* first, rest = atom tokens in
+  let rec more acc = function
+    | Amp :: rest ->
+      let* a, rest = atom rest in
+      more (a :: acc) rest
+    | [] -> Ok (List.rev acc)
+    | _ -> Error "trailing tokens after atoms"
+  in
+  more [ first ] rest
+
+(* Split a token stream at top-level '|' separators. *)
+let split_bars tokens =
+  let rec go current acc = function
+    | [] -> List.rev (List.rev current :: acc)
+    | Bar :: rest -> go [] (List.rev current :: acc) rest
+    | t :: rest -> go (t :: current) acc rest
+  in
+  go [] [] tokens
+
+(* Build a query from declared names and atoms. *)
+let build free_names exist_names atoms =
+  (* assign ids: free first, then existential *)
+  let ids = Hashtbl.create 16 in
+  let names = free_names @ exist_names in
+  let* () =
+    List.fold_left
+      (fun acc name ->
+         let* () = acc in
+         if Hashtbl.mem ids name then
+           Error (Printf.sprintf "variable %s declared twice" name)
+         else begin
+           Hashtbl.replace ids name (Hashtbl.length ids);
+           Ok ()
+         end)
+      (Ok ()) names
+  in
+  let* edges =
+    List.fold_left
+      (fun acc (a, b) ->
+         let* edges = acc in
+         match (Hashtbl.find_opt ids a, Hashtbl.find_opt ids b) with
+         | None, _ -> Error (Printf.sprintf "undeclared variable %s" a)
+         | _, None -> Error (Printf.sprintf "undeclared variable %s" b)
+         | Some u, Some v ->
+           if u = v then
+             Error
+               (Printf.sprintf
+                  "atom E(%s, %s) is a self-loop: unsatisfiable on simple \
+                   graphs"
+                  a b)
+           else Ok ((u, v) :: edges))
+      (Ok []) atoms
+  in
+  let n = List.length names in
+  let graph = Wlcq_graph.Graph.create n edges in
+  let free = List.init (List.length free_names) (fun i -> i) in
+  Ok { query = Cq.make graph free; names = Array.of_list names }
+
+let parse s =
+  let* tokens = tokenize s in
+  let* free_names, rest = parse_head tokens in
+  let* exist_names, rest = parse_exists rest in
+  let* atoms = parse_atoms rest in
+  build free_names exist_names atoms
+
+let parse_union s =
+  let* tokens = tokenize s in
+  let* free_names, rest = parse_head tokens in
+  let parts = split_bars rest in
+  List.fold_left
+    (fun acc part ->
+       let* parsed = acc in
+       let* exist_names, rest = parse_exists part in
+       let* atoms = parse_atoms rest in
+       let* p = build free_names exist_names atoms in
+       Ok (p :: parsed))
+    (Ok []) parts
+  |> Result.map List.rev
+
+let parse_union_exn s =
+  match parse_union s with
+  | Ok ps -> ps
+  | Error msg -> invalid_arg ("Parser.parse_union: " ^ msg)
+
+let parse_exn s =
+  match parse s with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Parser.parse: " ^ msg)
+
+let default_names q =
+  let n = Wlcq_graph.Graph.num_vertices q.Cq.graph in
+  let names = Array.make n "" in
+  Array.iteri
+    (fun i x -> names.(x) <- Printf.sprintf "x%d" (i + 1))
+    (Cq.free_vars q);
+  Array.iteri
+    (fun i y -> names.(y) <- Printf.sprintf "y%d" (i + 1))
+    (Cq.quantified_vars q);
+  names
+
+let to_formula ?names q =
+  let names = match names with Some a -> a | None -> default_names q in
+  let buf = Buffer.create 64 in
+  let xs = Cq.free_vars q and ys = Cq.quantified_vars q in
+  Buffer.add_char buf '(';
+  Array.iteri
+    (fun i x ->
+       if i > 0 then Buffer.add_string buf ", ";
+       Buffer.add_string buf names.(x))
+    xs;
+  Buffer.add_string buf ") := ";
+  if Array.length ys > 0 then begin
+    Buffer.add_string buf "exists";
+    Array.iter
+      (fun y ->
+         Buffer.add_char buf ' ';
+         Buffer.add_string buf names.(y))
+      ys;
+    Buffer.add_string buf " . "
+  end;
+  let edges = Wlcq_graph.Graph.edges q.Cq.graph in
+  if edges = [] then Buffer.add_string buf "(* no atoms *)"
+  else
+    List.iteri
+      (fun i (u, v) ->
+         if i > 0 then Buffer.add_string buf " & ";
+         Buffer.add_string buf (Printf.sprintf "E(%s, %s)" names.(u) names.(v)))
+      edges;
+  Buffer.contents buf

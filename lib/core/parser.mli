@@ -1,0 +1,50 @@
+(** A textual surface syntax for conjunctive queries.
+
+    Queries are written in the paper's style, e.g. the 2-star
+    [φ(x1, x2) = ∃y : E(x1,y) ∧ E(x2,y)] becomes
+
+    {v (x1, x2) := exists y . E(x1, y) & E(x2, y) v}
+
+    Grammar (whitespace-insensitive):
+    {v
+    query  ::= '(' [idents] ')' ':=' [ 'exists' ident+ '.' ] atoms
+    atoms  ::= atom ('&' atom)*
+    atom   ::= 'E' '(' ident ',' ident ')'
+    idents ::= ident (',' ident)*
+    v}
+
+    Free variables are listed in the head; every other variable must be
+    declared after [exists].  Since the data model is simple graphs,
+    atoms [E(z, z)] are rejected (they are unsatisfiable and the paper
+    excludes self-loops).  Duplicate atoms are merged. *)
+
+type parsed = {
+  query : Cq.t;
+  names : string array;  (** variable name of each vertex of [H] *)
+}
+
+(** [parse s] parses a query, assigning vertex ids to free variables
+    first (in head order) and then to existential variables (in
+    declaration order). *)
+val parse : string -> (parsed, string) result
+
+(** [parse_exn s] is [parse], raising [Invalid_argument] on errors. *)
+val parse_exn : string -> parsed
+
+(** [parse_union s] parses a union of conjunctive queries sharing one
+    head, with disjuncts separated by ['|'] and independently scoped
+    existential variables, e.g.
+
+    {v (x1, x2) := E(x1, x2) | exists y . E(x1, y) & E(y, x2) v}
+
+    Returns one parsed query per disjunct (all with the head's free
+    variables). *)
+val parse_union : string -> (parsed list, string) result
+
+(** [parse_union_exn s] raises [Invalid_argument] on errors. *)
+val parse_union_exn : string -> parsed list
+
+(** [to_formula ?names q] renders a query back to the surface syntax.
+    Default names are [x1, x2, …] for free and [y1, y2, …] for
+    quantified variables. *)
+val to_formula : ?names:string array -> Cq.t -> string

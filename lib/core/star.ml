@@ -1,0 +1,24 @@
+open Wlcq_graph
+module Bitset = Wlcq_util.Bitset
+
+let query k =
+  if k < 1 then invalid_arg "Star.query: k must be positive";
+  let graph = Graph.create (k + 1) (List.init k (fun i -> (i, k))) in
+  Cq.make graph (List.init k (fun i -> i))
+
+let gamma_is_clique k =
+  let gamma = Extension.gamma_graph (query k) in
+  Iso.isomorphic gamma (Builders.clique (k + 1))
+
+let count_common_neighbour_tuples g k =
+  let n = Graph.num_vertices g in
+  let count = ref 0 in
+  Wlcq_util.Combinat.iter_tuples n k (fun t ->
+      (* a common neighbour of all components of the tuple *)
+      let common =
+        Array.fold_left
+          (fun acc v -> Bitset.inter acc (Graph.neighbours g v))
+          (Bitset.full n) t
+      in
+      if not (Bitset.is_empty common) then incr count);
+  !count

@@ -1,0 +1,24 @@
+(** The k-star query [(S_k, X_k)] (Definition 66) — the paper's running
+    example.
+
+    [S_k] has free variables [x_1, …, x_k] all adjacent to a single
+    quantified centre [y]; answers in [G] are the k-tuples of vertices
+    with a common neighbour.  Although [S_k] is acyclic (treewidth 1),
+    [Γ(S_k, X_k) = K_{k+1}], so [sew(S_k, X_k) = k] — the separation
+    between treewidth and WL-dimension that motivates the paper
+    (Section 1.1, Corollaries 61 and 67). *)
+
+open Wlcq_graph
+
+(** [query k] is [(S_k, X_k)]: vertices [0..k-1] free, vertex [k] the
+    quantified centre. *)
+val query : int -> Cq.t
+
+(** [gamma_is_clique k] checks that [Γ(S_k, X_k) ≅ K_{k+1}]. *)
+val gamma_is_clique : int -> bool
+
+(** [count_common_neighbour_tuples g k] counts k-tuples of vertices of
+    [g] sharing a common neighbour, by direct enumeration — the
+    semantic definition of [|Ans((S_k,X_k), g)|], used to
+    cross-validate the generic answer counter. *)
+val count_common_neighbour_tuples : Graph.t -> int -> int

@@ -1,0 +1,186 @@
+open Wlcq_graph
+module Bitset = Wlcq_util.Bitset
+module Bigint = Wlcq_util.Bigint
+module Rat = Wlcq_util.Rat
+module Cfi = Wlcq_cfi.Cfi
+module Cloning = Wlcq_cfi.Cloning
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1 (with the Section 1.3 extensions for empty X and          *)
+(* disconnected queries)                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec dimension q =
+  let h = q.Cq.graph in
+  if Graph.num_vertices h = 0 then 0
+  else if not (Cq.is_connected q) then
+    (* (A): maximum over connected components *)
+    List.fold_left
+      (fun acc members ->
+         let sub, back = Ops.induced h members in
+         let free =
+           List.filteri
+             (fun i _ -> Bitset.mem q.Cq.free back.(i))
+             (List.init (List.length members) (fun i -> i))
+         in
+         max acc (dimension (Cq.make sub free)))
+      0
+      (Traversal.component_members h)
+  else if Cq.is_boolean q then
+    (* (B): counting answers = deciding hom existence; the dimension is
+       the treewidth of the homomorphic core *)
+    Wlcq_treewidth.Exact.treewidth (Minimize.counting_core q).Cq.graph
+  else Extension.semantic_extension_width q
+
+(* ------------------------------------------------------------------ *)
+(* Lower-bound witness (Section 4)                                     *)
+(* ------------------------------------------------------------------ *)
+
+type witness = {
+  core : Cq.t;
+  f : Extension.f_ell;
+  x1 : int;
+  even : Cfi.t;
+  odd : Cfi.t;
+  colouring_even : int array;
+  colouring_odd : int array;
+}
+
+let lower_bound_witness q =
+  let core = Minimize.counting_core q in
+  if not (Cq.is_connected core) then
+    invalid_arg "Wl_dimension.lower_bound_witness: query must be connected";
+  if Cq.is_boolean core then
+    invalid_arg "Wl_dimension.lower_bound_witness: query has no free variables";
+  if Cq.is_full core then
+    invalid_arg
+      "Wl_dimension.lower_bound_witness: core is a full query (covered by \
+       Neuen's theorem; no F_ell construction needed)";
+  (* smallest odd ℓ with tw(F_ℓ) = ew(core); treewidth is monotone in ℓ
+     and capped at ew (Lemma 16), so bumping to the next odd value is
+     safe *)
+  let ell0 = Extension.minimal_saturating_ell core in
+  let ell = if ell0 mod 2 = 1 then ell0 else ell0 + 1 in
+  let f = Extension.f_ell core ell in
+  (* x₁: a free variable adjacent to a quantified one; its F-vertex is
+     its position among the free variables (Extension.f_ell places the
+     free variables first) *)
+  let xs = Cq.free_vars core in
+  let x1 =
+    let h = core.Cq.graph in
+    let adjacent_to_y p =
+      List.exists
+        (fun w -> not (Bitset.mem core.Cq.free w))
+        (Graph.neighbours_list h xs.(p))
+    in
+    let rec find p =
+      if p >= Array.length xs then
+        invalid_arg
+          "Wl_dimension.lower_bound_witness: no free variable adjacent to a \
+           quantified one (impossible for connected non-full queries)"
+      else if adjacent_to_y p then p
+      else find (p + 1)
+    in
+    find 0
+  in
+  let even = Cfi.even f.Extension.graph in
+  let odd =
+    Cfi.build f.Extension.graph
+      (Bitset.singleton (Graph.num_vertices f.Extension.graph) x1)
+  in
+  let colouring (chi : Cfi.t) =
+    Array.map (fun v -> f.Extension.gamma.(v)) chi.Cfi.projection
+  in
+  {
+    core;
+    f;
+    x1;
+    even;
+    odd;
+    colouring_even = colouring even;
+    colouring_odd = colouring odd;
+  }
+
+let identity_tau w = Cq.free_vars w.core
+
+let ans_id_counts w =
+  let tau = identity_tau w in
+  ( Cq.count_answers_tau w.core w.even.Cfi.graph ~c:w.colouring_even ~tau,
+    Cq.count_answers_tau w.core w.odd.Cfi.graph ~c:w.colouring_odd ~tau )
+
+let cp_ans_counts w =
+  ( Cq.count_cp_answers w.core w.even.Cfi.graph ~c:w.colouring_even,
+    Cq.count_cp_answers w.core w.odd.Cfi.graph ~c:w.colouring_odd )
+
+let witness_pair_equivalent w k =
+  Wlcq_wl.Equivalence.equivalent k w.even.Cfi.graph w.odd.Cfi.graph
+
+let separating_pair ?(max_z = 3) q =
+  let w = lower_bound_witness q in
+  let k = Cq.num_free w.core in
+  let clone_both spec =
+    let build (chi : Cfi.t) =
+      Cloning.clone ~g:chi.Cfi.graph ~f:w.f.Extension.graph
+        ~c:chi.Cfi.projection spec
+    in
+    (build w.even, build w.odd)
+  in
+  let result = ref None in
+  (try
+     Wlcq_util.Combinat.iter_tuples max_z k (fun t ->
+         let spec = Array.to_list (Array.mapi (fun p z -> (p, z + 1)) t) in
+         let ge, go = clone_both spec in
+         let ce = Cq.count_answers w.core ge.Cloning.graph in
+         let co = Cq.count_answers w.core go.Cloning.graph in
+         if ce <> co then begin
+           result := Some (ge.Cloning.graph, go.Cloning.graph);
+           raise Exit
+         end)
+   with Exit -> ());
+  !result
+
+(* ------------------------------------------------------------------ *)
+(* Upper bound: interpolation (Lemma 22 / Observation 23)              *)
+(* ------------------------------------------------------------------ *)
+
+let answers_via_interpolation ?(max_system = 64) q g =
+  let core = Minimize.counting_core q in
+  if Cq.is_full core then
+    (* no quantified variables: answers are homomorphisms *)
+    Wlcq_hom.Td_count.count core.Cq.graph g
+  else begin
+    let y_count = Array.length (Cq.quantified_vars core) in
+    let n = Graph.num_vertices g in
+    if n = 0 then Bigint.zero
+    else begin
+      (* n̂ = |Ω| = number of functions Y → V(G) *)
+      let n_hat =
+        let rec pow acc i = if i = 0 then acc else pow (acc * n) (i - 1) in
+        pow 1 y_count
+      in
+      if n_hat > max_system then
+        invalid_arg
+          (Printf.sprintf
+             "Wl_dimension.answers_via_interpolation: system size %d exceeds \
+              the limit %d"
+             n_hat max_system);
+      (* |Hom(F_ℓ, G)| = Σ_{i=1}^{n̂} a_i · i^ℓ where a_i sums the
+         answer classes whose extension set has size i, and
+         |Ans| = Σ_i a_i (proof of Lemma 22). *)
+      let rhs =
+        Array.init n_hat (fun i ->
+            let ell = i + 1 in
+            Wlcq_hom.Td_count.count (Extension.f_ell core ell).Extension.graph
+              g)
+      in
+      let nodes = Array.init n_hat (fun i -> Bigint.of_int (i + 1)) in
+      let coeffs = Wlcq_util.Linalg.vandermonde_solve nodes rhs in
+      let total = Array.fold_left Rat.add Rat.zero coeffs in
+      match Rat.to_bigint_opt total with
+      | Some v -> v
+      | None ->
+        failwith
+          "Wl_dimension.answers_via_interpolation: non-integer total \
+           (interpolation bug)"
+    end
+  end

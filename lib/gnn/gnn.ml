@@ -1,0 +1,64 @@
+open Wlcq_graph
+module Core = Wlcq_core
+
+type t = {
+  order : int;
+  graph : Graph.t;
+  features : int array;
+  num_classes : int;
+  layers : int;
+}
+
+let make ~order g =
+  if order < 1 then invalid_arg "Gnn.make: order must be positive";
+  if order = 1 then begin
+    let r = Wlcq_wl.Refinement.run g in
+    {
+      order;
+      graph = g;
+      features = r.Wlcq_wl.Refinement.colours;
+      num_classes = r.Wlcq_wl.Refinement.num_colours;
+      layers = r.Wlcq_wl.Refinement.rounds;
+    }
+  end
+  else begin
+    let r = Wlcq_wl.Kwl.run order g in
+    {
+      order;
+      graph = g;
+      features = r.Wlcq_wl.Kwl.colours;
+      num_classes = r.Wlcq_wl.Kwl.num_colours;
+      layers = r.Wlcq_wl.Kwl.rounds;
+    }
+  end
+
+let feature_histogram n =
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (fun c ->
+       Hashtbl.replace counts c
+         (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+    n.features;
+  List.sort compare (Hashtbl.fold (fun c k acc -> (c, k) :: acc) counts [])
+
+let indistinguishable ~order g1 g2 =
+  Wlcq_wl.Equivalence.equivalent order g1 g2
+
+let sufficient_order q = Core.Extension.semantic_extension_width q
+
+let answer_count_readout q n =
+  if n.order >= sufficient_order q then
+    (* the Observation 23 readout: |Ans| from hom counts of the F_ℓ
+       graphs, each determined by the order-k partition; for data
+       graphs where the interpolation system would be huge, fall back
+       to the equivalent tractable counter (Fast_count) *)
+    match Core.Wl_dimension.answers_via_interpolation q n.graph with
+    | v -> Some v
+    | exception Invalid_argument _ ->
+      Some (Core.Fast_count.count_answers q n.graph)
+  else None
+
+let inexpressibility_witness q =
+  match Core.Wl_dimension.separating_pair ~max_z:2 q with
+  | exception Invalid_argument _ -> None
+  | pair -> pair

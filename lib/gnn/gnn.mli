@@ -1,0 +1,64 @@
+(** Higher-order Graph Neural Networks and conjunctive-query counting
+    (Section 1.2).
+
+    By Proposition 3 (Morris et al.), the feature partition [P_N(G)]
+    of a {e fully refined} order-k GNN equals the partition computed
+    by the k-dimensional WL algorithm on k-tuples.  This module
+    represents fully refined GNNs by exactly that object — the stable
+    partition — and packages the paper's two-sided expressiveness
+    result:
+
+    - if [order ≥ sew(H,X)], the number of answers is computable from
+      the partition: Observation 23 writes [|Ans|] as a rational
+      combination of counts [|Hom(F_ℓ, G)|] from graphs of treewidth
+      [≤ sew], each of which is determined by the order-[sew] partition
+      (Dvořák; Lanzinger–Barceló);
+    - if [order < sew(H,X)], no readout whatsoever computes [|Ans|]:
+      Theorem 1's witness pair has equal order-[(sew−1)] features but
+      different answer counts.
+
+    "Features" here are partition classes, exactly as in the paper
+    ("issues of dimension are beyond the scope"). *)
+
+open Wlcq_graph
+
+type t = {
+  order : int;  (** k: features live on k-tuples of vertices *)
+  graph : Graph.t;  (** the underlying graph *)
+  features : int array;  (** stable feature class of each k-tuple
+                             (base-n encoding; for order 1, of each
+                             vertex) *)
+  num_classes : int;
+  layers : int;  (** rounds until the GNN is fully refined *)
+}
+
+(** [make ~order g] is the fully refined order-k GNN on [g]
+    (Proposition 3: its partition is the stable k-WL colouring). *)
+val make : order:int -> Graph.t -> t
+
+(** [feature_histogram n] is the multiset of feature classes. *)
+val feature_histogram : t -> (int * int) list
+
+(** [indistinguishable n1 n2] holds when the two GNNs produce the same
+    feature multiset — the precondition under which any readout must
+    return equal values on both graphs.  The two GNNs must have the
+    same order and be built in a shared feature namespace, so this
+    function rebuilds them jointly from their graphs. *)
+val indistinguishable : order:int -> Graph.t -> Graph.t -> bool
+
+(** [sufficient_order q] is the least GNN order able to count the
+    answers of [q]: [sew q] (Theorem 1 both ways). *)
+val sufficient_order : Wlcq_core.Cq.t -> int
+
+(** [answer_count_readout q n] is [Some |Ans(q, n.graph)|] when
+    [n.order ≥ sew q] — the readout the upper bound promises — and
+    [None] otherwise (Theorem 1 shows no correct readout exists). *)
+val answer_count_readout :
+  Wlcq_core.Cq.t -> t -> Wlcq_util.Bigint.t option
+
+(** [inexpressibility_witness q] is a pair of graphs on which every
+    order-[(sew q − 1)] GNN computes identical features yet the
+    answer counts differ; [None] if the search is not applicable
+    (e.g. full-query cores) or the bounded cloning search fails. *)
+val inexpressibility_witness :
+  Wlcq_core.Cq.t -> (Graph.t * Graph.t) option

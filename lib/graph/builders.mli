@@ -1,0 +1,59 @@
+(** Standard graph families.
+
+    These are the base graphs of the paper's examples and proofs:
+    stars (Section 1.1, Section 5.4), cliques (Γ of the star query is
+    [K_{k+1}]), triangles and 6-cycles (Observation 62), paths and
+    cycles for width examples, and grids as canonical
+    treewidth-[min(a,b)] bases for CFI constructions. *)
+
+(** [path n] is the path on [n] vertices [0 - 1 - ... - n-1]. *)
+val path : int -> Graph.t
+
+(** [cycle n] is the cycle on [n >= 3] vertices. *)
+val cycle : int -> Graph.t
+
+(** [clique n] is the complete graph [K_n]. *)
+val clique : int -> Graph.t
+
+(** [star k] is the star with centre [0] and leaves [1 .. k]. *)
+val star : int -> Graph.t
+
+(** [complete_bipartite a b] is [K_{a,b}] with parts [0..a-1] and
+    [a..a+b-1]. *)
+val complete_bipartite : int -> int -> Graph.t
+
+(** [grid a b] is the [a × b] grid; vertex [(i,j)] is [i*b + j]. *)
+val grid : int -> int -> Graph.t
+
+(** [petersen ()] is the Petersen graph (10 vertices, treewidth 4). *)
+val petersen : unit -> Graph.t
+
+(** [hypercube d] is the [d]-dimensional hypercube [Q_d]. *)
+val hypercube : int -> Graph.t
+
+(** [matching k] is [k] disjoint edges on [2k] vertices. *)
+val matching : int -> Graph.t
+
+(** [two_triangles ()] is [2K₃] — two disjoint triangles, the standard
+    1-WL-equivalent partner of [C₆] (Observation 62). *)
+val two_triangles : unit -> Graph.t
+
+(** [wheel n] is a cycle on [n] vertices [1..n] plus a hub [0]. *)
+val wheel : int -> Graph.t
+
+(** [tree_of_parents parents] builds a tree from a parent array:
+    [parents.(0) = -1] for the root, and [parents.(i) < i].
+    @raise Invalid_argument on malformed input. *)
+val tree_of_parents : int array -> Graph.t
+
+(** [rook ()] is the 4×4 rook's graph: vertices [(i,j)] of a 4×4 board
+    (encoded [4i + j]), adjacent when they share a row or column.
+    Strongly regular with parameters (16, 6, 2, 2). *)
+val rook : unit -> Graph.t
+
+(** [shrikhande ()] is the Shrikhande graph: vertices [Z₄ × Z₄],
+    adjacent when the difference is [±(1,0)], [±(0,1)] or [±(1,1)].
+    Strongly regular with the same parameters (16, 6, 2, 2) as the
+    rook's graph but not isomorphic to it — the canonical pair that
+    2-WL cannot distinguish and 3-WL can. *)
+val shrikhande : unit -> Graph.t

@@ -1,0 +1,28 @@
+(** Seeded random graph generation.
+
+    Data graphs for cross-validation experiments (e.g. checking that
+    counting-minimisation preserves answer counts, Definition 9, or
+    that the Lemma 22 interpolation matches direct counting) are drawn
+    from these generators.  Everything is driven by {!Wlcq_util.Prng},
+    so experiments are reproducible from their seeds. *)
+
+(** [gnp rng n p] is an Erdős–Rényi graph: each of the [n choose 2]
+    edges is present independently with probability [p]. *)
+val gnp : Wlcq_util.Prng.t -> int -> float -> Graph.t
+
+(** [random_tree rng n] is a uniform-ish random tree built by attaching
+    each vertex to a uniformly random predecessor. *)
+val random_tree : Wlcq_util.Prng.t -> int -> Graph.t
+
+(** [random_connected rng n p] is [gnp] conditioned on connectivity by
+    adding a random spanning tree first. *)
+val random_connected : Wlcq_util.Prng.t -> int -> float -> Graph.t
+
+(** [random_regular_ish rng n d] is a graph with all degrees ≤ [d]
+    built by a simple pairing heuristic (not exactly uniform; adequate
+    for workload generation). *)
+val random_regular_ish : Wlcq_util.Prng.t -> int -> int -> Graph.t
+
+(** [random_bipartite rng a b p] draws each of the [a*b] cross edges
+    independently with probability [p]. *)
+val random_bipartite : Wlcq_util.Prng.t -> int -> int -> float -> Graph.t

@@ -1,0 +1,60 @@
+module Bitset = Wlcq_util.Bitset
+
+type t = { n : int; adj : Bitset.t array; m : int }
+
+let empty n =
+  if n < 0 then invalid_arg "Graph.empty: negative vertex count";
+  { n; adj = Array.init n (fun _ -> Bitset.create n); m = 0 }
+
+let create n edge_list =
+  let g = empty n in
+  List.iter
+    (fun (u, v) ->
+       if u < 0 || u >= n || v < 0 || v >= n then
+         invalid_arg "Graph.create: endpoint out of range";
+       if u = v then invalid_arg "Graph.create: self-loop";
+       Bitset.set g.adj.(u) v;
+       Bitset.set g.adj.(v) u)
+    edge_list;
+  let m = ref 0 in
+  Array.iter (fun s -> m := !m + Bitset.cardinal s) g.adj;
+  { g with m = !m / 2 }
+
+let num_vertices g = g.n
+let num_edges g = g.m
+
+let adjacent g u v = Bitset.mem g.adj.(u) v
+let degree g v = Bitset.cardinal g.adj.(v)
+let neighbours g v = Bitset.copy g.adj.(v)
+let neighbours_list g v = Bitset.to_list g.adj.(v)
+let iter_neighbours g v f = Bitset.iter f g.adj.(v)
+let fold_neighbours g v f init = Bitset.fold f g.adj.(v) init
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    Bitset.iter (fun v -> if u < v then f u v) g.adj.(u)
+  done
+
+let edges g =
+  let acc = ref [] in
+  iter_edges g (fun u v -> acc := (u, v) :: !acc);
+  List.rev !acc
+
+let vertices g = List.init g.n (fun i -> i)
+
+let equal g1 g2 =
+  g1.n = g2.n && Array.for_all2 Bitset.equal g1.adj g2.adj
+
+let degree_sequence g =
+  List.sort (fun a b -> compare b a) (List.init g.n (degree g))
+
+let max_degree g = List.fold_left max 0 (List.init g.n (degree g))
+
+let pp ppf g =
+  Format.fprintf ppf "graph(n=%d, edges=[%a])" g.n
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf (u, v) -> Format.fprintf ppf "(%d,%d)" u v))
+    (edges g)
+
+let to_string g = Format.asprintf "%a" pp g

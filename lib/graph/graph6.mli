@@ -1,0 +1,14 @@
+(** The graph6 interchange format (McKay).
+
+    graph6 is the de-facto standard ASCII format for undirected simple
+    graphs (used by nauty, geng, the House of Graphs, …).  Supporting
+    it lets the library exchange instances with the wider ecosystem.
+    This implementation covers graphs with up to 258047 vertices (the
+    1- and 4-byte size headers; the 8-byte long form is rejected). *)
+
+(** [encode g] is the graph6 string for [g]. *)
+val encode : Graph.t -> string
+
+(** [decode s] parses a graph6 string.
+    @raise Invalid_argument on malformed input. *)
+val decode : string -> Graph.t

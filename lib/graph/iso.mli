@@ -1,0 +1,51 @@
+(** Graph isomorphism and automorphisms.
+
+    The paper needs isomorphism in several places: Lemma 26's parity
+    criterion ([χ(G,W) ≅ χ(G,W')] iff [|W| ≡ |W'| mod 2]), query
+    isomorphism (Definition 9's counting-minimal representatives are
+    unique up to isomorphism), and the partial automorphisms
+    [Aut(H,X)] of Definition 42.
+
+    The search is plain backtracking pruned by stable colour-refinement
+    colours, which handles the CFI-scale graphs used in the experiments
+    comfortably. *)
+
+(** [find_isomorphism g1 g2] is [Some p] with [p] mapping vertices of
+    [g1] to vertices of [g2] such that [p] is an isomorphism, or
+    [None]. *)
+val find_isomorphism : Graph.t -> Graph.t -> Wlcq_util.Perm.t option
+
+(** [isomorphic g1 g2] tests isomorphism. *)
+val isomorphic : Graph.t -> Graph.t -> bool
+
+(** [automorphisms g] lists all automorphisms of [g] (intended for
+    small graphs — query graphs, not data graphs). *)
+val automorphisms : Graph.t -> Wlcq_util.Perm.t list
+
+(** [find_isomorphism_fixing g1 g2 pins] finds an isomorphism subject
+    to prescribed images: each pair [(u, v)] in [pins] forces
+    [p.(u) = v]. *)
+val find_isomorphism_fixing :
+  Graph.t -> Graph.t -> (int * int) list -> Wlcq_util.Perm.t option
+
+(** [find_isomorphism_respecting g1 init1 g2 init2] finds an
+    isomorphism [p] that maps colour classes onto colour classes:
+    [init2.(p.(v)) = init1.(v)] for every [v].  Used for
+    conjunctive-query isomorphism (free variables must map to free
+    variables, Definition 9). *)
+val find_isomorphism_respecting :
+  Graph.t -> int array -> Graph.t -> int array -> Wlcq_util.Perm.t option
+
+(** [refine g init] runs colour refinement (1-WL) on [g] starting from
+    the initial colouring [init] (any int labels) and returns the
+    stable colouring with colours normalised to [0 .. c-1] in a
+    canonical order (by refinement history), together with [c].  Two
+    graphs refined with matching initial colourings get comparable
+    colour ids, so histograms can be compared across graphs when run
+    through {!refine_pair}. *)
+val refine : Graph.t -> int array -> int array * int
+
+(** [refine_pair g1 init1 g2 init2] refines both graphs in the same
+    colour namespace and returns [(colours1, colours2, c)]. *)
+val refine_pair :
+  Graph.t -> int array -> Graph.t -> int array -> int array * int array * int

@@ -1,0 +1,92 @@
+let complement g =
+  let n = Graph.num_vertices g in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if not (Graph.adjacent g u v) then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create n !edges
+
+let disjoint_union g1 g2 =
+  let n1 = Graph.num_vertices g1 in
+  let shifted =
+    List.map (fun (u, v) -> (u + n1, v + n1)) (Graph.edges g2)
+  in
+  Graph.create (n1 + Graph.num_vertices g2) (Graph.edges g1 @ shifted)
+
+let tensor_product g1 g2 =
+  let n1 = Graph.num_vertices g1 and n2 = Graph.num_vertices g2 in
+  let idx u v = (u * n2) + v in
+  let edges = ref [] in
+  Graph.iter_edges g1 (fun u1 u2 ->
+      Graph.iter_edges g2 (fun v1 v2 ->
+          (* both orientations of the g2 edge pair with the g1 edge *)
+          edges := (idx u1 v1, idx u2 v2) :: (idx u1 v2, idx u2 v1) :: !edges));
+  Graph.create (n1 * n2) !edges
+
+let induced g vs =
+  let vs = Array.of_list vs in
+  let k = Array.length vs in
+  let pos = Hashtbl.create k in
+  Array.iteri
+    (fun i v ->
+       if Hashtbl.mem pos v then invalid_arg "Ops.induced: duplicate vertex";
+       Hashtbl.add pos v i)
+    vs;
+  let edges = ref [] in
+  Array.iteri
+    (fun i v ->
+       Graph.iter_neighbours g v (fun w ->
+           match Hashtbl.find_opt pos w with
+           | Some j when i < j -> edges := (i, j) :: !edges
+           | _ -> ()))
+    vs;
+  (Graph.create k !edges, vs)
+
+let relabel g p =
+  if not (Wlcq_util.Perm.is_permutation p)
+     || Array.length p <> Graph.num_vertices g then
+    invalid_arg "Ops.relabel: not a permutation of the vertex set";
+  Graph.create (Graph.num_vertices g)
+    (List.map (fun (u, v) -> (p.(u), p.(v))) (Graph.edges g))
+
+let add_edges g es = Graph.create (Graph.num_vertices g) (Graph.edges g @ es)
+
+let remove_vertex g v =
+  let n = Graph.num_vertices g in
+  if v < 0 || v >= n then invalid_arg "Ops.remove_vertex: out of range";
+  let shift u = if u > v then u - 1 else u in
+  let edges =
+    List.filter_map
+      (fun (a, b) ->
+         if a = v || b = v then None else Some (shift a, shift b))
+      (Graph.edges g)
+  in
+  Graph.create (n - 1) edges
+
+let quotient g cls =
+  let n = Graph.num_vertices g in
+  if Array.length cls <> n then invalid_arg "Ops.quotient: class array size";
+  let c = 1 + Array.fold_left max (-1) cls in
+  Array.iter
+    (fun id -> if id < 0 then invalid_arg "Ops.quotient: negative class id")
+    cls;
+  let inhabited = Array.make c false in
+  Array.iter (fun id -> inhabited.(id) <- true) cls;
+  if not (Array.for_all (fun b -> b) inhabited) then
+    invalid_arg "Ops.quotient: uninhabited class id";
+  let edges = ref [] in
+  Graph.iter_edges g (fun u v ->
+      if cls.(u) = cls.(v) then
+        invalid_arg "Ops.quotient: identification creates a self-loop"
+      else edges := (cls.(u), cls.(v)) :: !edges);
+  Graph.create c !edges
+
+let join g1 g2 =
+  let n1 = Graph.num_vertices g1 and n2 = Graph.num_vertices g2 in
+  let cross = ref [] in
+  for u = 0 to n1 - 1 do
+    for v = n1 to n1 + n2 - 1 do cross := (u, v) :: !cross done
+  done;
+  add_edges (disjoint_union g1 g2) !cross

@@ -1,0 +1,49 @@
+(** Graph operations.
+
+    These implement the constructions the paper composes: complement
+    (Corollary 68 relates dominating sets of [G] to star answers in the
+    complement), tensor product (Corollary 5's lower bound multiplies
+    hom counts), disjoint union (Observation 62's [2K₃]), induced
+    subgraphs ([H[Y]] throughout), vertex identification (the quotient
+    queries [(S_k, X_k)/J] of Corollary 68), and edge additions (the
+    extension graph [Γ(H,X)] of Definition 11). *)
+
+(** [complement g] is the self-loop-free complement of [g]. *)
+val complement : Graph.t -> Graph.t
+
+(** [disjoint_union g1 g2] places [g2] after [g1]; vertex [v] of [g2]
+    becomes [num_vertices g1 + v]. *)
+val disjoint_union : Graph.t -> Graph.t -> Graph.t
+
+(** [tensor_product g1 g2] is the categorical product: vertex [(u,v)]
+    is encoded as [u * num_vertices g2 + v], and [(u1,v1) ~ (u2,v2)]
+    iff [u1 ~ u2] and [v1 ~ v2].  Satisfies
+    [|Hom(H, g1 ⊗ g2)| = |Hom(H,g1)| · |Hom(H,g2)|]. *)
+val tensor_product : Graph.t -> Graph.t -> Graph.t
+
+(** [induced g vs] is the subgraph induced by the distinct vertices
+    [vs], together with the array mapping new indices to old ones (in
+    the order given by [vs]). *)
+val induced : Graph.t -> int list -> Graph.t * int array
+
+(** [relabel g p] renames vertex [v] to [p.(v)]; [p] must be a
+    permutation of [0 .. n-1]. *)
+val relabel : Graph.t -> Wlcq_util.Perm.t -> Graph.t
+
+(** [add_edges g es] is [g] with the edges [es] added. *)
+val add_edges : Graph.t -> (int * int) list -> Graph.t
+
+(** [remove_vertex g v] deletes [v]; vertices above [v] shift down by
+    one. *)
+val remove_vertex : Graph.t -> int -> Graph.t
+
+(** [quotient g cls] identifies vertices with equal class ids.
+    [cls.(v)] must be in [0 .. c-1] where [c] is the returned graph's
+    vertex count; every class id in that range must be inhabited.
+    @raise Invalid_argument when identification would create a
+    self-loop (an edge inside a class) or on malformed class ids. *)
+val quotient : Graph.t -> int array -> Graph.t
+
+(** [join g1 g2] is the complete join: disjoint union plus all edges
+    between the two sides. *)
+val join : Graph.t -> Graph.t -> Graph.t

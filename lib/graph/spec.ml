@@ -1,0 +1,88 @@
+let describe =
+  "graph specs: path:N | cycle:N | clique:N | star:N | bipartite:A,B | \
+   grid:A,B | hypercube:D | wheel:N | matching:K | petersen | twotriangles \
+   | gnp:N,P,SEED | g6:STRING (graph6) | \"N; u-v u-v ...\" (explicit edge \
+   list)"
+
+let int_of s = int_of_string_opt (String.trim s)
+
+let parse_named name args =
+  let ints () = List.filter_map int_of (String.split_on_char ',' args) in
+  match (name, ints ()) with
+  | "path", [ n ] -> Ok (Builders.path n)
+  | "cycle", [ n ] when n >= 3 -> Ok (Builders.cycle n)
+  | "clique", [ n ] -> Ok (Builders.clique n)
+  | "star", [ n ] -> Ok (Builders.star n)
+  | "bipartite", [ a; b ] -> Ok (Builders.complete_bipartite a b)
+  | "grid", [ a; b ] -> Ok (Builders.grid a b)
+  | "hypercube", [ d ] -> Ok (Builders.hypercube d)
+  | "wheel", [ n ] when n >= 3 -> Ok (Builders.wheel n)
+  | "matching", [ k ] -> Ok (Builders.matching k)
+  | "gnp", _ ->
+    (match String.split_on_char ',' args with
+     | [ n; p; seed ] ->
+       (match (int_of n, float_of_string_opt (String.trim p), int_of seed)
+        with
+        | Some n, Some p, Some seed ->
+          Ok (Gen.gnp (Wlcq_util.Prng.create seed) n p)
+        | _ -> Error "gnp expects gnp:N,P,SEED")
+     | _ -> Error "gnp expects gnp:N,P,SEED")
+  | _ -> Error (Printf.sprintf "unknown graph family %S or bad arguments" name)
+
+let parse_edge_list s =
+  match String.index_opt s ';' with
+  | None -> Error "edge list form is \"N; u-v u-v ...\""
+  | Some i ->
+    let n = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of n with
+     | None -> Error "edge list must start with the vertex count"
+     | Some n ->
+       let tokens =
+         List.filter (fun t -> t <> "")
+           (String.split_on_char ' ' (String.trim rest))
+       in
+       let parse_edge t =
+         match String.split_on_char '-' t with
+         | [ u; v ] ->
+           (match (int_of u, int_of v) with
+            | Some u, Some v -> Ok (u, v)
+            | _ -> Error (Printf.sprintf "bad edge %S" t))
+         | _ -> Error (Printf.sprintf "bad edge %S" t)
+       in
+       let rec collect acc = function
+         | [] -> Ok (List.rev acc)
+         | t :: rest ->
+           (match parse_edge t with
+            | Ok e -> collect (e :: acc) rest
+            | Error e -> Error e)
+       in
+       (match collect [] tokens with
+        | Error e -> Error e
+        | Ok edges ->
+          (try Ok (Graph.create n edges)
+           with Invalid_argument msg -> Error msg)))
+
+let parse s =
+  let s = String.trim s in
+  if s = "" then Error "empty graph spec"
+  else if String.contains s ';' then parse_edge_list s
+  else
+    match String.index_opt s ':' with
+    | None ->
+      (match s with
+       | "petersen" -> Ok (Builders.petersen ())
+       | "twotriangles" -> Ok (Builders.two_triangles ())
+       | _ -> Error (Printf.sprintf "unknown graph %S (%s)" s describe))
+    | Some i ->
+      let name = String.sub s 0 i in
+      let args = String.sub s (i + 1) (String.length s - i - 1) in
+      if name = "g6" then
+        try Ok (Graph6.decode args)
+        with Invalid_argument msg -> Error msg
+      else parse_named name args
+
+let parse_exn s =
+  match parse s with
+  | Ok g -> g
+  | Error e -> invalid_arg ("Spec.parse: " ^ e)

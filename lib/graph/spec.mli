@@ -1,0 +1,19 @@
+(** Textual graph specifications for the command-line tools.
+
+    Accepted forms:
+    - named families: [path:6], [cycle:5], [clique:4], [star:3],
+      [bipartite:3,4], [grid:3,3], [hypercube:3], [wheel:5],
+      [matching:3], [petersen], [twotriangles];
+    - random graphs: [gnp:n,p,seed] (deterministic in the seed);
+    - explicit edge lists: ["6; 0-1 1-2 2-3"] — vertex count, then
+      space-separated edges [u-v]. *)
+
+(** [parse s] builds the specified graph. *)
+val parse : string -> (Graph.t, string) result
+
+(** [parse_exn s] raises [Invalid_argument] on malformed specs. *)
+val parse_exn : string -> Graph.t
+
+(** [describe] is a human-readable summary of the accepted forms (for
+    [--help] texts). *)
+val describe : string

@@ -1,0 +1,72 @@
+module Bigint = Wlcq_util.Bigint
+
+let adjacency g =
+  let n = Graph.num_vertices g in
+  Array.init n (fun u ->
+      Array.init n (fun v ->
+          if Graph.adjacent g u v then Bigint.one else Bigint.zero))
+
+let mat_mul a b =
+  let n = Array.length a in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          let s = ref Bigint.zero in
+          for k = 0 to n - 1 do
+            s := Bigint.add !s (Bigint.mul a.(i).(k) b.(k).(j))
+          done;
+          !s))
+
+let trace a =
+  let n = Array.length a in
+  let s = ref Bigint.zero in
+  for i = 0 to n - 1 do s := Bigint.add !s a.(i).(i) done;
+  !s
+
+(* Faddeev–LeVerrier: M_1 = A, c_{n-1} = -tr(M_1);
+   M_{k+1} = A (M_k + c_{n-k} I), c_{n-k-1} = -tr(M_{k+1})/(k+1).
+   All divisions are exact over the integers. *)
+let characteristic_polynomial g =
+  let n = Graph.num_vertices g in
+  let c = Array.make (n + 1) Bigint.zero in
+  c.(n) <- Bigint.one;
+  if n > 0 then begin
+    let a = adjacency g in
+    let m = ref a in
+    for k = 1 to n do
+      if k > 1 then begin
+        (* M_k = A (M_{k-1} + c_{n-k+1} I) *)
+        let adjusted =
+          Array.mapi
+            (fun i row ->
+               Array.mapi
+                 (fun j x ->
+                    if i = j then Bigint.add x c.(n - k + 1) else x)
+                 row)
+            !m
+        in
+        m := mat_mul a adjusted
+      end;
+      let t = trace !m in
+      let q, r = Bigint.divmod (Bigint.neg t) (Bigint.of_int k) in
+      assert (Bigint.is_zero r);
+      c.(n - k) <- q
+    done
+  end;
+  c
+
+let cospectral g1 g2 =
+  let c1 = characteristic_polynomial g1 in
+  let c2 = characteristic_polynomial g2 in
+  Array.length c1 = Array.length c2 && Array.for_all2 Bigint.equal c1 c2
+
+let closed_walks g k =
+  if k < 0 then invalid_arg "Spectral.closed_walks: negative length";
+  let n = Graph.num_vertices g in
+  if n = 0 then Bigint.zero
+  else if k = 0 then Bigint.of_int n
+  else begin
+    let a = adjacency g in
+    let p = ref a in
+    for _ = 2 to k do p := mat_mul a !p done;
+    trace !p
+  end

@@ -1,0 +1,25 @@
+(** Exact adjacency spectra.
+
+    The characteristic polynomial of the adjacency matrix is a graph
+    parameter in the paper's sense, and a neat showcase for the
+    WL-dimension framework: its coefficients are determined by closed
+    walk counts — homomorphism counts from cycles, which have
+    treewidth 2 — so the parameter is 2-WL-invariant; and it is {e
+    not} 1-WL-invariant ([2K₃] and [C₆] are 1-WL-equivalent but not
+    cospectral).  Hence its WL-dimension is exactly 2, which
+    experiment T12 certifies.
+
+    Computation is the Faddeev–LeVerrier recurrence over exact
+    integers (all divisions are exact). *)
+
+(** [characteristic_polynomial g] is the coefficient array
+    [c] of [det(λI − A) = Σ c.(i) λ^i], with [c.(n) = 1]. *)
+val characteristic_polynomial : Graph.t -> Wlcq_util.Bigint.t array
+
+(** [cospectral g1 g2] tests equality of characteristic polynomials. *)
+val cospectral : Graph.t -> Graph.t -> bool
+
+(** [closed_walks g k] is [tr(A^k)], the number of closed walks of
+    length [k].
+    @raise Invalid_argument when [k < 0]. *)
+val closed_walks : Graph.t -> int -> Wlcq_util.Bigint.t

@@ -1,0 +1,149 @@
+let connected_components g =
+  let n = Graph.num_vertices g in
+  let labels = Array.make n (-1) in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if labels.(v) < 0 then begin
+      let id = !count in
+      incr count;
+      labels.(v) <- id;
+      Queue.add v queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.take queue in
+        Graph.iter_neighbours g u (fun w ->
+            if labels.(w) < 0 then begin
+              labels.(w) <- id;
+              Queue.add w queue
+            end)
+      done
+    end
+  done;
+  (labels, !count)
+
+let component_members g =
+  let labels, c = connected_components g in
+  let buckets = Array.make c [] in
+  for v = Graph.num_vertices g - 1 downto 0 do
+    buckets.(labels.(v)) <- v :: buckets.(labels.(v))
+  done;
+  Array.to_list buckets
+
+let is_connected g =
+  let _, c = connected_components g in
+  c <= 1
+
+let bfs_distances g src =
+  let n = Graph.num_vertices g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    Graph.iter_neighbours g u (fun w ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(u) + 1;
+          Queue.add w queue
+        end)
+  done;
+  dist
+
+let distance g u v = (bfs_distances g u).(v)
+
+let shortest_path g u v =
+  let n = Graph.num_vertices g in
+  let parent = Array.make n (-1) in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(u) <- 0;
+  Queue.add u queue;
+  while not (Queue.is_empty queue) do
+    let x = Queue.take queue in
+    Graph.iter_neighbours g x (fun w ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(x) + 1;
+          parent.(w) <- x;
+          Queue.add w queue
+        end)
+  done;
+  if dist.(v) < 0 then None
+  else begin
+    let rec build w acc = if w = u then u :: acc else build parent.(w) (w :: acc) in
+    Some (build v [])
+  end
+
+let is_forest g =
+  let labels, c = connected_components g in
+  ignore labels;
+  (* a graph is a forest iff m = n - (number of components) *)
+  Graph.num_edges g = Graph.num_vertices g - c
+
+let is_tree g = is_connected g && is_forest g
+
+let bipartition g =
+  let n = Graph.num_vertices g in
+  let side = Array.make n (-1) in
+  let ok = ref true in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if side.(v) < 0 then begin
+      side.(v) <- 0;
+      Queue.add v queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.take queue in
+        Graph.iter_neighbours g u (fun w ->
+            if side.(w) < 0 then begin
+              side.(w) <- 1 - side.(u);
+              Queue.add w queue
+            end
+            else if side.(w) = side.(u) then ok := false)
+      done
+    end
+  done;
+  if !ok then Some side else None
+
+let girth g =
+  (* BFS from every vertex; a non-tree edge at depths (d, d') closes a
+     cycle of length d + d' + 1. *)
+  let n = Graph.num_vertices g in
+  let best = ref max_int in
+  for src = 0 to n - 1 do
+    let dist = Array.make n (-1) in
+    let parent = Array.make n (-1) in
+    let queue = Queue.create () in
+    dist.(src) <- 0;
+    Queue.add src queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.take queue in
+      Graph.iter_neighbours g u (fun w ->
+          if dist.(w) < 0 then begin
+            dist.(w) <- dist.(u) + 1;
+            parent.(w) <- u;
+            Queue.add w queue
+          end
+          else if parent.(u) <> w && parent.(w) <> u then
+            best := min !best (dist.(u) + dist.(w) + 1))
+    done
+  done;
+  if !best = max_int then None else Some !best
+
+let degeneracy_order g =
+  let n = Graph.num_vertices g in
+  let deg = Array.init n (Graph.degree g) in
+  let removed = Array.make n false in
+  let order = ref [] in
+  let degeneracy = ref 0 in
+  for _ = 1 to n do
+    (* smallest remaining degree *)
+    let v = ref (-1) in
+    for u = 0 to n - 1 do
+      if not removed.(u) && (!v < 0 || deg.(u) < deg.(!v)) then v := u
+    done;
+    degeneracy := max !degeneracy deg.(!v);
+    removed.(!v) <- true;
+    order := !v :: !order;
+    Graph.iter_neighbours g !v (fun w ->
+        if not removed.(w) then deg.(w) <- deg.(w) - 1)
+  done;
+  (List.rev !order, !degeneracy)

@@ -1,0 +1,49 @@
+(** Graph traversal and structural predicates.
+
+    Connectivity matters throughout the paper: Theorem 1 is stated for
+    connected queries, [H[Y]]'s connected components define the
+    extension graph Γ(H,X), and Lemma 58's edge-parity assignment works
+    per connected component. *)
+
+(** [connected_components g] labels every vertex with a component id in
+    [0 .. c-1] and returns [(labels, c)].  Component ids are assigned
+    in order of smallest contained vertex. *)
+val connected_components : Graph.t -> int array * int
+
+(** [component_members g] is the list of components, each as a sorted
+    vertex list, ordered by smallest member. *)
+val component_members : Graph.t -> int list list
+
+(** [is_connected g] tests connectivity; the empty graph counts as
+    connected. *)
+val is_connected : Graph.t -> bool
+
+(** [bfs_distances g src] is the array of BFS distances from [src];
+    unreachable vertices get [-1]. *)
+val bfs_distances : Graph.t -> int -> int array
+
+(** [distance g u v] is the length of a shortest [u]-[v] path, or [-1]
+    when none exists. *)
+val distance : Graph.t -> int -> int -> int
+
+(** [shortest_path g u v] is a shortest path as a vertex list
+    [u; ...; v], or [None] when unreachable. *)
+val shortest_path : Graph.t -> int -> int -> int list option
+
+(** [is_forest g] tests acyclicity. *)
+val is_forest : Graph.t -> bool
+
+(** [is_tree g] tests connected + acyclic. *)
+val is_tree : Graph.t -> bool
+
+(** [bipartition g] is [Some sides] with [sides.(v) ∈ {0,1}] when [g]
+    is bipartite, [None] otherwise. *)
+val bipartition : Graph.t -> int array option
+
+(** [girth g] is the length of a shortest cycle, or [None] for forests. *)
+val girth : Graph.t -> int option
+
+(** [degeneracy_order g] is [(order, d)] where [order] lists the
+    vertices in a smallest-last elimination order witnessing
+    degeneracy [d]. *)
+val degeneracy_order : Graph.t -> int list * int

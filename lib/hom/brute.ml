@@ -1,0 +1,113 @@
+open Wlcq_graph
+module Bitset = Wlcq_util.Bitset
+
+(* Assignment order: BFS through each component, seeded by pinned
+   vertices first, so that each newly assigned vertex is adjacent to an
+   already-assigned one whenever the component allows it. *)
+let assignment_order h pins =
+  let n = Graph.num_vertices h in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let queue = Queue.create () in
+  let push v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      Queue.add v queue
+    end
+  in
+  let drain () =
+    while not (Queue.is_empty queue) do
+      let u = Queue.take queue in
+      order := u :: !order;
+      Graph.iter_neighbours h u push
+    done
+  in
+  List.iter (fun (u, _) -> push u) pins;
+  drain ();
+  for v = 0 to n - 1 do
+    push v;
+    drain ()
+  done;
+  Array.of_list (List.rev !order)
+
+exception Found
+
+let iter ?(pins = []) ?candidates h g f =
+  let n = Graph.num_vertices h in
+  let ng = Graph.num_vertices g in
+  if n = 0 then f [||]
+  else if ng = 0 then ()
+  else begin
+    let pinned = Array.make n (-1) in
+    List.iter
+      (fun (u, v) ->
+         if u < 0 || u >= n || v < 0 || v >= ng then
+           invalid_arg "Brute: pin out of range";
+         pinned.(u) <- v)
+      pins;
+    let order = assignment_order h pins in
+    let image = Array.make n (-1) in
+    (* For position i in the order, precompute the already-assigned
+       neighbours of order.(i). *)
+    let earlier_neighbours =
+      Array.mapi
+        (fun i u ->
+           let before = Array.sub order 0 i in
+           List.filter
+             (fun w -> Array.exists (fun x -> x = w) before)
+             (Graph.neighbours_list h u))
+        order
+    in
+    let all = Bitset.full ng in
+    let rec go i =
+      if i = n then f image
+      else begin
+        let u = order.(i) in
+        let base =
+          match candidates with None -> all | Some c -> c u
+        in
+        (* candidates must be adjacent (in g) to the images of all
+           previously assigned neighbours of u *)
+        let cand =
+          List.fold_left
+            (fun acc w -> Bitset.inter acc (Graph.neighbours g image.(w)))
+            base earlier_neighbours.(i)
+        in
+        let try_v v =
+          image.(u) <- v;
+          go (i + 1);
+          image.(u) <- -1
+        in
+        if pinned.(u) >= 0 then begin
+          if Bitset.mem cand pinned.(u) then try_v pinned.(u)
+        end
+        else Bitset.iter try_v cand
+      end
+    in
+    go 0
+  end
+
+let count ?pins ?candidates h g =
+  let c = ref 0 in
+  iter ?pins ?candidates h g (fun _ -> incr c);
+  !c
+
+let exists ?pins ?candidates h g =
+  try
+    iter ?pins ?candidates h g (fun _ -> raise Found);
+    false
+  with Found -> true
+
+let enumerate ?pins ?candidates h g =
+  let acc = ref [] in
+  iter ?pins ?candidates h g (fun m -> acc := Array.copy m :: !acc);
+  List.rev !acc
+
+let is_homomorphism h g map =
+  Array.length map = Graph.num_vertices h
+  && begin
+    let ok = ref true in
+    Graph.iter_edges h (fun u v ->
+        if not (Graph.adjacent g map.(u) map.(v)) then ok := false);
+    !ok
+  end

@@ -1,0 +1,50 @@
+(** Backtracking homomorphism search.
+
+    [Hom(H, G)] is the set of edge-preserving maps [V(H) → V(G)]
+    (Section 2).  The search assigns the vertices of [H] in a
+    connectivity-aware order and prunes each candidate against the
+    images of already-assigned neighbours, so it is exponential only in
+    the "unconstrained frontier" of [H] — entirely adequate for the
+    query-sized pattern graphs of the experiments, and the reference
+    implementation that the treewidth DP ({!Td_count}) is validated
+    against.
+
+    Two refinements are shared by all entry points:
+    - [pins] prescribes images of selected [H]-vertices (used for
+      answer counting, where the free variables are pinned);
+    - [candidates] restricts the image of each [H]-vertex to a set
+      (used for colour-prescribed homomorphisms, Definition 48). *)
+
+open Wlcq_graph
+
+(** [iter ?pins ?candidates h g f] applies [f] to every homomorphism
+    from [h] to [g] (as an array indexed by [V(h)]).  The array is
+    reused between calls. *)
+val iter :
+  ?pins:(int * int) list ->
+  ?candidates:(int -> Wlcq_util.Bitset.t) ->
+  Graph.t -> Graph.t -> (int array -> unit) -> unit
+
+(** [count ?pins ?candidates h g] is [|Hom(h, g)|] subject to the
+    restrictions.  (Counting by enumeration cannot overflow a native
+    int in feasible time.) *)
+val count :
+  ?pins:(int * int) list ->
+  ?candidates:(int -> Wlcq_util.Bitset.t) ->
+  Graph.t -> Graph.t -> int
+
+(** [exists ?pins ?candidates h g] tests whether a homomorphism exists
+    (early exit). *)
+val exists :
+  ?pins:(int * int) list ->
+  ?candidates:(int -> Wlcq_util.Bitset.t) ->
+  Graph.t -> Graph.t -> bool
+
+(** [enumerate ?pins ?candidates h g] lists all homomorphisms. *)
+val enumerate :
+  ?pins:(int * int) list ->
+  ?candidates:(int -> Wlcq_util.Bitset.t) ->
+  Graph.t -> Graph.t -> int array list
+
+(** [is_homomorphism h g map] checks that [map] preserves all edges. *)
+val is_homomorphism : Graph.t -> Graph.t -> int array -> bool

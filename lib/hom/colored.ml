@@ -1,0 +1,56 @@
+open Wlcq_graph
+module Bitset = Wlcq_util.Bitset
+
+let is_colouring g f c =
+  Array.length c = Graph.num_vertices g
+  && Array.for_all (fun x -> x >= 0 && x < Graph.num_vertices f) c
+  && begin
+    let ok = ref true in
+    Graph.iter_edges g (fun u v ->
+        if not (Graph.adjacent f c.(u) c.(v)) then ok := false);
+    !ok
+  end
+
+(* Candidate sets by colour class: vertex u of h may only map into the
+   colour class of tau.(u). *)
+let class_candidates g ~c ~tau =
+  let ng = Graph.num_vertices g in
+  let classes = Hashtbl.create 16 in
+  Array.iteri
+    (fun v colour ->
+       let s =
+         match Hashtbl.find_opt classes colour with
+         | Some s -> s
+         | None ->
+           let s = Bitset.create ng in
+           Hashtbl.replace classes colour s;
+           s
+       in
+       Bitset.set s v)
+    c;
+  fun u ->
+    match Hashtbl.find_opt classes tau.(u) with
+    | Some s -> s
+    | None -> Bitset.create ng
+
+let iter_hom_tau ~h ~g ~f ~c ~tau fn =
+  if not (is_colouring g f c) then
+    invalid_arg "Colored: c is not an F-colouring of G";
+  if not (Brute.is_homomorphism h f tau) then
+    invalid_arg "Colored: tau is not a homomorphism from H to F";
+  Brute.iter ~candidates:(class_candidates g ~c ~tau) h g fn
+
+let count_hom_tau ~h ~g ~f ~c ~tau =
+  let n = ref 0 in
+  iter_hom_tau ~h ~g ~f ~c ~tau (fun _ -> incr n);
+  !n
+
+let count_cp_hom ~h ~g ~c =
+  let tau = Array.init (Graph.num_vertices h) (fun v -> v) in
+  count_hom_tau ~h ~g ~f:h ~c ~tau
+
+let partition_check ~h ~g ~f ~c =
+  let sum = ref 0 in
+  Brute.iter h f (fun tau ->
+      sum := !sum + count_hom_tau ~h ~g ~f ~c ~tau:(Array.copy tau));
+  (!sum, Brute.count h g)

@@ -1,0 +1,38 @@
+(** Coloured homomorphisms.
+
+    Implements the machinery of Sections 4.2 and 4.4:
+    - an [F]-colouring of [G] is a homomorphism [c : G → F]
+      (Definition 28);
+    - [Hom_τ(H, G, F, c)] is the set of homomorphisms [h : H → G] with
+      [c ∘ h = τ] (Definition 30), which partitions [Hom(H, G)] over
+      [τ ∈ Hom(H, F)] (Observation 31);
+    - [cpHom(H, (G, c))] is the colour-prescribed case [τ = id]
+      (Definition 48). *)
+
+open Wlcq_graph
+
+(** [is_colouring g f c] checks that [c] is a homomorphism from [g] to
+    [f] given as an array over [V(g)]. *)
+val is_colouring : Graph.t -> Graph.t -> int array -> bool
+
+(** [count_hom_tau ~h ~g ~f ~c ~tau] is [|Hom_τ(h, g, f, c)|]: the
+    number of homomorphisms [φ : h → g] with [c(φ(v)) = tau.(v)] for
+    every [v].  [tau] must be a homomorphism from [h] to [f]. *)
+val count_hom_tau :
+  h:Graph.t -> g:Graph.t -> f:Graph.t -> c:int array -> tau:int array -> int
+
+(** [iter_hom_tau ~h ~g ~f ~c ~tau fn] iterates over the same set. *)
+val iter_hom_tau :
+  h:Graph.t -> g:Graph.t -> f:Graph.t -> c:int array -> tau:int array ->
+  (int array -> unit) -> unit
+
+(** [count_cp_hom ~h ~g ~c] is [|cpHom(h, (g, c))|]: homomorphisms
+    [φ : h → g] with [c(φ(v)) = v] for all [v ∈ V(h)] — here [c] is an
+    [h]-colouring of [g] (Definition 48). *)
+val count_cp_hom : h:Graph.t -> g:Graph.t -> c:int array -> int
+
+(** [partition_check ~h ~g ~f ~c] verifies Observation 31 by summing
+    [|Hom_τ|] over all [τ ∈ Hom(h, f)] and comparing with
+    [|Hom(h, g)|]; returns the pair [(sum, total)]. *)
+val partition_check :
+  h:Graph.t -> g:Graph.t -> f:Graph.t -> c:int array -> int * int

@@ -1,0 +1,74 @@
+open Wlcq_graph
+module Bitset = Wlcq_util.Bitset
+
+(* Injective backtracking: Brute's search with a used-image filter. *)
+let count h g =
+  let n = Graph.num_vertices h in
+  let ng = Graph.num_vertices g in
+  if n = 0 then 1
+  else if n > ng then 0
+  else begin
+    let used = Array.make ng false in
+    let counter = ref 0 in
+    let image = Array.make n (-1) in
+    let rec go u =
+      if u = n then incr counter
+      else begin
+        (* candidates adjacent to all previously assigned neighbours *)
+        let cand =
+          Graph.fold_neighbours h u
+            (fun w acc ->
+               if w < u then Bitset.inter acc (Graph.neighbours g image.(w))
+               else acc)
+            (Bitset.full ng)
+        in
+        Bitset.iter
+          (fun v ->
+             if not used.(v) then begin
+               used.(v) <- true;
+               image.(u) <- v;
+               go (u + 1);
+               used.(v) <- false;
+               image.(u) <- -1
+             end)
+          cand
+      end
+    in
+    go 0;
+    !counter
+  end
+
+(* Möbius function of the partition lattice between the discrete
+   partition and ρ: the product over blocks B of (-1)^(|B|-1)(|B|-1)!. *)
+let moebius blocks =
+  List.fold_left
+    (fun acc block ->
+       let b = List.length block in
+       let sign = if (b - 1) mod 2 = 0 then 1 else -1 in
+       let fact = List.fold_left ( * ) 1 (List.init (max 0 (b - 1)) (fun i -> i + 1)) in
+       acc * sign * fact)
+    1 blocks
+
+let count_by_quotients h g =
+  let n = Graph.num_vertices h in
+  let total = ref 0 in
+  List.iter
+    (fun partition ->
+       let cls = Array.make n (-1) in
+       List.iteri
+         (fun id block -> List.iter (fun v -> cls.(v) <- id) block)
+         partition;
+       let hom_count =
+         match Ops.quotient h cls with
+         | q -> Brute.count q g
+         | exception Invalid_argument _ -> 0
+         (* identifying adjacent vertices creates a self-loop: no
+            homomorphisms into a simple graph *)
+       in
+       total := !total + (moebius partition * hom_count))
+    (Wlcq_util.Combinat.partitions (Graph.vertices h));
+  !total
+
+let count_subgraph_copies h g =
+  let aut = List.length (Iso.automorphisms h) in
+  count h g / aut

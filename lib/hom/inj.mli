@@ -1,0 +1,25 @@
+(** Injective homomorphisms (embeddings) and subgraph counts.
+
+    Corollary 68 relates dominating-set counting to
+    [Inj((S_k, X_k), G)]; its proof expands injective answers into a
+    quantum query by inclusion–exclusion over identifications of free
+    variables.  This module provides the graph-level analogues, both by
+    direct search and — as an independent cross-check — by the
+    quotient-lattice inclusion–exclusion. *)
+
+open Wlcq_graph
+
+(** [count h g] is the number of injective homomorphisms from [h] to
+    [g]. *)
+val count : Graph.t -> Graph.t -> int
+
+(** [count_by_quotients h g] computes the same value as [count] via
+    inclusion–exclusion over the partition lattice of [V(h)]:
+    [Inj(h,g) = Σ_ρ μ(ρ) · Hom(h/ρ, g)] where quotients that create
+    self-loops contribute zero.  Exponential in [|V(h)|]; used for
+    cross-validation. *)
+val count_by_quotients : Graph.t -> Graph.t -> int
+
+(** [count_subgraph_copies h g] is the number of subgraphs of [g]
+    isomorphic to [h], i.e. [count h g / |Aut(h)|]. *)
+val count_subgraph_copies : Graph.t -> Graph.t -> int

@@ -1,0 +1,99 @@
+open Wlcq_graph
+open Wlcq_treewidth
+module Bitset = Wlcq_util.Bitset
+module Bigint = Wlcq_util.Bigint
+
+(* Tables map the images of the bag vertices (in increasing H-vertex
+   order) to the number of homomorphisms of the subtree's part of H
+   extending them. *)
+
+let count_with_nice nd h g =
+  if not (Nice.is_valid_for nd h) then
+    invalid_arg "Nice_count: decomposition does not match the pattern";
+  let ng = Graph.num_vertices g in
+  let tables =
+    Array.make (Nice.num_nodes nd) (Hashtbl.create 1 : (int list, Bigint.t) Hashtbl.t)
+  in
+  let bump table key v =
+    let prev = Option.value ~default:Bigint.zero (Hashtbl.find_opt table key) in
+    Hashtbl.replace table key (Bigint.add prev v)
+  in
+  Array.iteri
+    (fun i node ->
+       let table : (int list, Bigint.t) Hashtbl.t = Hashtbl.create 64 in
+       (match node with
+        | Nice.Leaf -> Hashtbl.replace table [] Bigint.one
+        | Nice.Introduce (v, c) ->
+          let bag = Bitset.to_list nd.Nice.bags.(i) in
+          (* neighbours of v inside the bag, with their key positions *)
+          let constrained =
+            List.filteri (fun _ u -> u <> v && Graph.adjacent h u v) bag
+          in
+          let positions =
+            List.map
+              (fun u ->
+                 let rec index j = function
+                   | [] -> assert false
+                   | x :: _ when x = u -> j
+                   | _ :: rest -> index (j + 1) rest
+                 in
+                 index 0 bag)
+              constrained
+          in
+          let vpos =
+            let rec index j = function
+              | [] -> assert false
+              | x :: _ when x = v -> j
+              | _ :: rest -> index (j + 1) rest
+            in
+            index 0 bag
+          in
+          Hashtbl.iter
+            (fun ckey cnt ->
+               for w = 0 to ng - 1 do
+                 (* splice w into position vpos *)
+                 let rec splice j = function
+                   | rest when j = vpos -> w :: rest
+                   | [] -> [ w ]
+                   | x :: rest -> x :: splice (j + 1) rest
+                 in
+                 let key = splice 0 ckey in
+                 let ok =
+                   List.for_all
+                     (fun p -> Graph.adjacent g (List.nth key p) w)
+                     positions
+                 in
+                 if ok then bump table key cnt
+               done)
+            tables.(c)
+        | Nice.Forget (v, c) ->
+          let cbag = Bitset.to_list nd.Nice.bags.(c) in
+          let vpos =
+            let rec index j = function
+              | [] -> assert false
+              | x :: _ when x = v -> j
+              | _ :: rest -> index (j + 1) rest
+            in
+            index 0 cbag
+          in
+          Hashtbl.iter
+            (fun ckey cnt ->
+               let key = List.filteri (fun j _ -> j <> vpos) ckey in
+               bump table key cnt)
+            tables.(c)
+        | Nice.Join (c1, c2) ->
+          Hashtbl.iter
+            (fun key cnt1 ->
+               match Hashtbl.find_opt tables.(c2) key with
+               | Some cnt2 -> Hashtbl.replace table key (Bigint.mul cnt1 cnt2)
+               | None -> ())
+            tables.(c1));
+       tables.(i) <- table)
+    nd.Nice.nodes;
+  Option.value ~default:Bigint.zero
+    (Hashtbl.find_opt tables.(nd.Nice.root) [])
+
+let count h g =
+  let d = Exact.optimal_decomposition h in
+  let nd = Nice.of_decomposition d ~universe:(Graph.num_vertices h) in
+  count_with_nice nd h g

@@ -1,0 +1,19 @@
+(** Homomorphism counting by dynamic programming over a {e nice} tree
+    decomposition of the pattern.
+
+    An independent implementation of [|Hom(H, G)|] with one DP rule
+    per node kind (leaf / introduce / forget / join), used to
+    cross-validate {!Td_count} (which runs on arbitrary
+    decompositions).  Same asymptotics: [O(|V(G)|^{w+1})] for
+    decomposition width [w]. *)
+
+open Wlcq_graph
+
+(** [count h g] is [|Hom(h, g)|]. *)
+val count : Graph.t -> Graph.t -> Wlcq_util.Bigint.t
+
+(** [count_with_nice nd h g] uses the supplied nice decomposition
+    (must be valid for [h]).
+    @raise Invalid_argument otherwise. *)
+val count_with_nice :
+  Wlcq_treewidth.Nice.t -> Graph.t -> Graph.t -> Wlcq_util.Bigint.t

@@ -1,0 +1,117 @@
+open Wlcq_graph
+open Wlcq_treewidth
+module Bitset = Wlcq_util.Bitset
+module Bigint = Wlcq_util.Bigint
+
+(* The table at a decomposition node t maps each partial homomorphism
+   φ : B_t → V(G) (a hom of H[B_t]) to the number of homomorphisms of
+   H[V_t] → G extending φ, where V_t is the union of the bags in the
+   subtree rooted at t.  Children are combined by grouping their tables
+   by the restriction to the shared bag intersection: any vertex common
+   to two children's subtrees lies in B_t by (T2), so the product over
+   children counts every subtree vertex exactly once. *)
+
+let count_with_decomposition d h g =
+  if not (Decomposition.is_valid_for d h) then
+    invalid_arg "Td_count: decomposition does not match the pattern";
+  let nodes = Graph.num_vertices d.Decomposition.tree in
+  if Graph.num_vertices h = 0 then Bigint.one
+  else if Graph.num_vertices g = 0 then Bigint.zero
+  else begin
+    (* Root the decomposition tree at node 0 and compute a post-order. *)
+    let parent = Array.make nodes (-1) in
+    let order = ref [] in
+    let seen = Array.make nodes false in
+    let queue = Queue.create () in
+    seen.(0) <- true;
+    Queue.add 0 queue;
+    while not (Queue.is_empty queue) do
+      let t = Queue.take queue in
+      order := t :: !order;
+      Graph.iter_neighbours d.Decomposition.tree t (fun s ->
+          if not seen.(s) then begin
+            seen.(s) <- true;
+            parent.(s) <- t;
+            Queue.add s queue
+          end)
+    done;
+    let postorder = !order (* reverse BFS order: children before parents *) in
+    let bag_vertices t = Bitset.to_list d.Decomposition.bags.(t) in
+    (* Enumerate partial homomorphisms of H[bag] into g via the pruned
+       backtracking of Brute on the induced subgraph. *)
+    let bag_assignments t =
+      let bag = bag_vertices t in
+      let sub, back = Ops.induced h bag in
+      let acc = ref [] in
+      Brute.iter sub g (fun m ->
+          (* translate to an association keyed by H-vertices *)
+          let assoc = Array.to_list (Array.mapi (fun i v -> (back.(i), v)) m) in
+          acc := assoc :: !acc);
+      !acc
+    in
+    let restrict assoc keys =
+      List.map (fun k -> List.assoc k assoc) keys
+    in
+    let tables : (int list, Bigint.t) Hashtbl.t array =
+      Array.init nodes (fun _ -> Hashtbl.create 64)
+    in
+    (* keys of a node's table: images of the bag vertices in increasing
+       H-vertex order *)
+    let children = Array.make nodes [] in
+    Array.iteri
+      (fun s p -> if p >= 0 then children.(p) <- s :: children.(p))
+      parent;
+    List.iter
+      (fun t ->
+         let bag = bag_vertices t in
+         (* Per child: group the child table by the restriction to the
+            intersection with this bag. *)
+         let grouped =
+           List.map
+             (fun s ->
+                let shared =
+                  Bitset.to_list
+                    (Bitset.inter d.Decomposition.bags.(t)
+                       d.Decomposition.bags.(s))
+                in
+                let sbag = bag_vertices s in
+                let proj : (int list, Bigint.t) Hashtbl.t =
+                  Hashtbl.create 64
+                in
+                Hashtbl.iter
+                  (fun key v ->
+                     let assoc = List.combine sbag key in
+                     let r = restrict assoc shared in
+                     let prev =
+                       Option.value ~default:Bigint.zero
+                         (Hashtbl.find_opt proj r)
+                     in
+                     Hashtbl.replace proj r (Bigint.add prev v))
+                  tables.(s);
+                (shared, proj))
+             children.(t)
+         in
+         List.iter
+           (fun assoc ->
+              let key = restrict assoc bag in
+              let value =
+                List.fold_left
+                  (fun acc (shared, proj) ->
+                     if Bigint.is_zero acc then acc
+                     else
+                       match
+                         Hashtbl.find_opt proj (restrict assoc shared)
+                       with
+                       | None -> Bigint.zero
+                       | Some v -> Bigint.mul acc v)
+                  Bigint.one grouped
+              in
+              if not (Bigint.is_zero value) then
+                Hashtbl.replace tables.(t) key value)
+           (bag_assignments t))
+      postorder;
+    Hashtbl.fold (fun _ v acc -> Bigint.add acc v) tables.(0) Bigint.zero
+  end
+
+let count h g =
+  count_with_decomposition (Exact.optimal_decomposition h) h g

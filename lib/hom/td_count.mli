@@ -1,0 +1,27 @@
+(** Homomorphism counting by dynamic programming over a tree
+    decomposition of the pattern.
+
+    This is the classical [O(|V(G)|^{w+1})] algorithm (w = width of the
+    decomposition of [H]) that makes homomorphism counts from
+    bounded-treewidth graphs tractable.  It is the computational engine
+    behind the paper's upper bound: Observation 23 computes
+    [|Ans((H,X),G)|] from the counts [|Hom(F_ℓ, G)|], and the graphs
+    [F_ℓ] have treewidth at most [ew(H,X)] (Lemma 16), so each count is
+    produced by this module in polynomial time for fixed width.
+
+    Counts are returned as {!Wlcq_util.Bigint} values: unlike
+    enumeration, the DP multiplies sub-counts and can exceed the native
+    integer range. *)
+
+open Wlcq_graph
+
+(** [count h g] is [|Hom(h, g)|], computed over an optimal tree
+    decomposition of [h]. *)
+val count : Graph.t -> Graph.t -> Wlcq_util.Bigint.t
+
+(** [count_with_decomposition d h g] uses the supplied decomposition
+    (which must be valid for [h]).
+    @raise Invalid_argument when [d] is not valid for [h]. *)
+val count_with_decomposition :
+  Wlcq_treewidth.Decomposition.t -> Graph.t -> Graph.t ->
+  Wlcq_util.Bigint.t

@@ -1,0 +1,62 @@
+(** Conjunctive queries over knowledge graphs (Section 1.3, item C).
+
+    A query is a knowledge graph [H] (variables, with labelled
+    directed atoms between them and vertex-label atoms on them)
+    together with the free-variable set [X].  Answers, counting
+    equivalence, the extension graph [Γ], extension width, and the
+    semantic extension width all lift verbatim, with treewidth taken
+    over the {e underlying} Gaifman graph.  The paper's Theorem 1
+    extends to this setting; the test suite checks consistency with
+    the plain-graph machinery under the {!Kgraph.of_graph} encoding. *)
+
+module Bitset = Wlcq_util.Bitset
+
+type t = private { graph : Kgraph.t; free : Bitset.t }
+
+(** [make h xs] is the query [(h, xs)].
+    @raise Invalid_argument on duplicates or out-of-range variables. *)
+val make : Kgraph.t -> int list -> t
+
+val free_vars : t -> int array
+val quantified_vars : t -> int array
+val num_free : t -> int
+val is_connected : t -> bool
+(** Connectivity of the underlying Gaifman graph. *)
+
+(** [is_answer q g a] tests extendability of the assignment [a]
+    (parallel to [free_vars q]) to a knowledge-graph homomorphism. *)
+val is_answer : t -> Kgraph.t -> int array -> bool
+
+(** [count_answers q g] is [|Ans(q, g)|]. *)
+val count_answers : t -> Kgraph.t -> int
+
+(** [gamma_graph q] is [Γ(H, X)] over the underlying graph: [H]'s
+    Gaifman graph plus an edge between free variables sharing an
+    adjacent quantified component. *)
+val gamma_graph : t -> Wlcq_graph.Graph.t
+
+(** [extension_width q] is [tw(Γ(H, X))]. *)
+val extension_width : t -> int
+
+(** [counting_core q] is the counting-minimal representative, computed
+    by shrinking with label- and direction-preserving endomorphisms
+    that fix [X] pointwise (the Lemma 44 machinery lifted to knowledge
+    graphs). *)
+val counting_core : t -> t
+
+(** [is_counting_minimal q] holds when no shrinking endomorphism
+    exists. *)
+val is_counting_minimal : t -> bool
+
+(** [semantic_extension_width q] is the extension width of the
+    counting core. *)
+val semantic_extension_width : t -> int
+
+(** [wl_dimension q] is the WL-dimension over knowledge graphs: the
+    semantic extension width (Theorem 1 as extended by Section 1.3
+    (C)); connected queries with [X ≠ ∅] only. *)
+val wl_dimension : t -> int
+
+(** [of_cq q] encodes a plain-graph query via {!Kgraph.of_graph}
+    (vertex label 0, edge label 0). *)
+val of_cq : Wlcq_core.Cq.t -> t

@@ -1,0 +1,77 @@
+type t = {
+  n : int;
+  vertex_labels : int array;
+  out : (int * int) list array;  (* out.(u) = sorted (target, label) *)
+  inc : (int * int) list array;  (* inc.(v) = sorted (source, label) *)
+  m : int;
+}
+
+let create ~n ~vertex_labels ~edges =
+  if n < 0 then invalid_arg "Kgraph.create: negative vertex count";
+  if Array.length vertex_labels <> n then
+    invalid_arg "Kgraph.create: vertex label array size mismatch";
+  Array.iter
+    (fun l -> if l < 0 then invalid_arg "Kgraph.create: negative vertex label")
+    vertex_labels;
+  List.iter
+    (fun (u, v, l) ->
+       if u < 0 || u >= n || v < 0 || v >= n then
+         invalid_arg "Kgraph.create: endpoint out of range";
+       if u = v then invalid_arg "Kgraph.create: self-loop";
+       if l < 0 then invalid_arg "Kgraph.create: negative edge label")
+    edges;
+  let edges = List.sort_uniq compare edges in
+  let out = Array.make n [] and inc = Array.make n [] in
+  List.iter
+    (fun (u, v, l) ->
+       out.(u) <- (v, l) :: out.(u);
+       inc.(v) <- (u, l) :: inc.(v))
+    edges;
+  Array.iteri (fun i l -> out.(i) <- List.sort compare l) out;
+  Array.iteri (fun i l -> inc.(i) <- List.sort compare l) inc;
+  { n; vertex_labels = Array.copy vertex_labels; out; inc;
+    m = List.length edges }
+
+let num_vertices g = g.n
+let num_edges g = g.m
+let vertex_label g v = g.vertex_labels.(v)
+let has_edge g u v label = List.mem (v, label) g.out.(u)
+let out_edges g u = g.out.(u)
+let in_edges g v = g.inc.(v)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    List.iter (fun (v, l) -> acc := (u, v, l) :: !acc) (List.rev g.out.(u))
+  done;
+  !acc
+
+let edge_labels g =
+  List.sort_uniq compare (List.map (fun (_, _, l) -> l) (edges g))
+
+let underlying g =
+  Wlcq_graph.Graph.create g.n
+    (List.map (fun (u, v, _) -> (u, v)) (edges g))
+
+let of_graph g ~vertex_label ~edge_label =
+  let n = Wlcq_graph.Graph.num_vertices g in
+  let edges =
+    List.concat_map
+      (fun (u, v) -> [ (u, v, edge_label); (v, u, edge_label) ])
+      (Wlcq_graph.Graph.edges g)
+  in
+  create ~n ~vertex_labels:(Array.make n vertex_label) ~edges
+
+let equal g1 g2 =
+  g1.n = g2.n && g1.vertex_labels = g2.vertex_labels && g1.out = g2.out
+
+let pp ppf g =
+  Format.fprintf ppf "kgraph(n=%d, labels=[%a], edges=[%a])" g.n
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Format.pp_print_int)
+    (Array.to_list g.vertex_labels)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf (u, v, l) -> Format.fprintf ppf "%d-%d>%d" u l v))
+    (edges g)

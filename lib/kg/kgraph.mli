@@ -1,0 +1,66 @@
+(** Knowledge graphs (Section 1.3, item C).
+
+    The paper notes that its analysis extends from plain graphs to
+    {e knowledge graphs}: directed graphs with vertex labels and edge
+    labels, where parallel edges with distinct labels are allowed but
+    self-loops are not.  This module provides that data model; the
+    rest of [wlcq_kg] lifts homomorphisms, the WL algorithm, and
+    conjunctive queries to it.
+
+    Vertices are [0 .. n-1]; vertex labels and edge labels are small
+    integers (use {!Kparser}'s tables to attach names). *)
+
+type t
+
+(** [create ~n ~vertex_labels ~edges] builds a knowledge graph.
+    [vertex_labels] has length [n]; [edges] lists directed labelled
+    edges [(source, target, label)].  Duplicate edges are merged;
+    parallel edges with distinct labels are kept.
+    @raise Invalid_argument on self-loops, out-of-range endpoints,
+    negative labels, or a mis-sized label array. *)
+val create :
+  n:int -> vertex_labels:int array -> edges:(int * int * int) list -> t
+
+(** [num_vertices g] is [n]. *)
+val num_vertices : t -> int
+
+(** [num_edges g] is the number of distinct labelled directed edges. *)
+val num_edges : t -> int
+
+(** [vertex_label g v] is the label of [v]. *)
+val vertex_label : t -> int -> int
+
+(** [has_edge g u v label] tests for the directed edge [u -> v] with
+    the given label. *)
+val has_edge : t -> int -> int -> int -> bool
+
+(** [out_edges g u] lists [(target, label)] pairs, sorted. *)
+val out_edges : t -> int -> (int * int) list
+
+(** [in_edges g v] lists [(source, label)] pairs, sorted. *)
+val in_edges : t -> int -> (int * int) list
+
+(** [edges g] lists all [(source, target, label)] triples, sorted. *)
+val edges : t -> (int * int * int) list
+
+(** [edge_labels g] is the sorted list of edge labels in use. *)
+val edge_labels : t -> int list
+
+(** [underlying g] is the undirected simple Gaifman graph: [{u,v}] is
+    an edge iff some labelled directed edge connects [u] and [v] in
+    either direction.  Treewidth and the extension graph of
+    knowledge-graph queries are defined over this graph. *)
+val underlying : t -> Wlcq_graph.Graph.t
+
+(** [of_graph g ~vertex_label ~edge_label] encodes an undirected
+    simple graph as a knowledge graph: every undirected edge becomes
+    the two directed edges with [edge_label], every vertex gets
+    [vertex_label].  Plain-graph results must be invariant under this
+    encoding, which the tests exploit. *)
+val of_graph : Wlcq_graph.Graph.t -> vertex_label:int -> edge_label:int -> t
+
+(** [equal g1 g2] is labelled equality (same vertices, labels and
+    edges). *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,218 @@
+type parsed = {
+  query : Kcq.t;
+  names : string array;
+  relations : string array;
+  labels : string array;
+}
+
+type token = Ident of string | Lparen | Rparen | Comma | Dot | Amp | Define
+
+let tokenize s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '(' -> go (i + 1) (Lparen :: acc)
+      | ')' -> go (i + 1) (Rparen :: acc)
+      | ',' -> go (i + 1) (Comma :: acc)
+      | '.' -> go (i + 1) (Dot :: acc)
+      | '&' -> go (i + 1) (Amp :: acc)
+      | ':' ->
+        if i + 1 < n && s.[i + 1] = '=' then go (i + 2) (Define :: acc)
+        else Error (Printf.sprintf "unexpected ':' at position %d" i)
+      | c when (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' ->
+        let j = ref i in
+        while
+          !j < n
+          && (let c = s.[!j] in
+              (c >= 'a' && c <= 'z')
+              || (c >= 'A' && c <= 'Z')
+              || (c >= '0' && c <= '9')
+              || c = '_' || c = '\'')
+        do
+          incr j
+        done;
+        go !j (Ident (String.sub s i (!j - i)) :: acc)
+      | c -> Error (Printf.sprintf "unexpected character %C at position %d" c i)
+  in
+  go 0 []
+
+let ( let* ) = Result.bind
+
+let parse_head tokens =
+  match tokens with
+  | Lparen :: Rparen :: Define :: rest -> Ok ([], rest)
+  | Lparen :: rest ->
+    let rec idents acc = function
+      | Ident x :: Comma :: rest -> idents (x :: acc) rest
+      | Ident x :: Rparen :: Define :: rest -> Ok (List.rev (x :: acc), rest)
+      | _ -> Error "malformed head: expected '(x1, ..., xk) :='"
+    in
+    idents [] rest
+  | _ -> Error "query must start with a head '(x1, ..., xk) :='"
+
+let parse_exists tokens =
+  match tokens with
+  | Ident "exists" :: rest ->
+    let rec idents acc = function
+      | Dot :: rest -> Ok (List.rev acc, rest)
+      | Ident x :: rest -> idents (x :: acc) rest
+      | _ -> Error "malformed quantifier: expected 'exists y1 y2 ... .'"
+    in
+    (match rest with
+     | Ident _ :: _ -> idents [] rest
+     | _ -> Error "'exists' must be followed by at least one variable")
+  | _ -> Ok ([], tokens)
+
+type atom = Unary of string * string | Binary of string * string * string
+
+let parse_atoms tokens =
+  let atom = function
+    | Ident r :: Lparen :: Ident a :: Comma :: Ident b :: Rparen :: rest ->
+      Ok (Binary (r, a, b), rest)
+    | Ident l :: Lparen :: Ident a :: Rparen :: rest -> Ok (Unary (l, a), rest)
+    | _ -> Error "malformed atom: expected 'R(u, v)' or 'L(u)'"
+  in
+  let* first, rest = atom tokens in
+  let rec more acc = function
+    | Amp :: rest ->
+      let* a, rest = atom rest in
+      more (a :: acc) rest
+    | [] -> Ok (List.rev acc)
+    | _ -> Error "trailing tokens after atoms"
+  in
+  more [ first ] rest
+
+let parse ?(relations = [||]) ?(labels = [| "_" |]) s =
+  let* tokens = tokenize s in
+  let* free_names, rest = parse_head tokens in
+  let* exist_names, rest = parse_exists rest in
+  let* atoms = parse_atoms rest in
+  let names = free_names @ exist_names in
+  let var_ids = Hashtbl.create 16 in
+  let* () =
+    List.fold_left
+      (fun acc name ->
+         let* () = acc in
+         if Hashtbl.mem var_ids name then
+           Error (Printf.sprintf "variable %s declared twice" name)
+         else begin
+           Hashtbl.replace var_ids name (Hashtbl.length var_ids);
+           Ok ()
+         end)
+      (Ok ()) names
+  in
+  let var_of name =
+    match Hashtbl.find_opt var_ids name with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "undeclared variable %s" name)
+  in
+  let relation_ids = Hashtbl.create 8 in
+  let relation_names = ref [] in
+  Array.iteri
+    (fun i name ->
+       Hashtbl.replace relation_ids name i;
+       relation_names := name :: !relation_names)
+    relations;
+  let relation_of name =
+    match Hashtbl.find_opt relation_ids name with
+    | Some id -> id
+    | None ->
+      let id = Hashtbl.length relation_ids in
+      Hashtbl.replace relation_ids name id;
+      relation_names := name :: !relation_names;
+      id
+  in
+  let label_ids = Hashtbl.create 8 in
+  let label_names = ref [] in
+  let labels = if Array.length labels = 0 then [| "_" |] else labels in
+  Array.iteri
+    (fun i name ->
+       Hashtbl.replace label_ids name i;
+       label_names := name :: !label_names)
+    labels;
+  let label_of name =
+    match Hashtbl.find_opt label_ids name with
+    | Some id -> id
+    | None ->
+      let id = Hashtbl.length label_ids in
+      Hashtbl.replace label_ids name id;
+      label_names := name :: !label_names;
+      id
+  in
+  let n = List.length names in
+  let vertex_labels = Array.make n 0 in
+  let* edges =
+    List.fold_left
+      (fun acc atom ->
+         let* edges = acc in
+         match atom with
+         | Binary (r, a, b) ->
+           let* u = var_of a in
+           let* v = var_of b in
+           if u = v then
+             Error (Printf.sprintf "atom %s(%s, %s) is a self-loop" r a b)
+           else Ok ((u, v, relation_of r) :: edges)
+         | Unary (l, a) ->
+           let* u = var_of a in
+           let id = label_of l in
+           if vertex_labels.(u) <> 0 && vertex_labels.(u) <> id then
+             Error (Printf.sprintf "variable %s has two distinct labels" a)
+           else begin
+             vertex_labels.(u) <- id;
+             Ok edges
+           end)
+      (Ok []) atoms
+  in
+  let graph = Kgraph.create ~n ~vertex_labels ~edges in
+  let free = List.init (List.length free_names) (fun i -> i) in
+  Ok
+    {
+      query = Kcq.make graph free;
+      names = Array.of_list names;
+      relations = Array.of_list (List.rev !relation_names);
+      labels = Array.of_list (List.rev !label_names);
+    }
+
+let parse_exn ?relations ?labels s =
+  match parse ?relations ?labels s with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Kparser.parse: " ^ msg)
+
+let to_formula p =
+  let q = p.query in
+  let buf = Buffer.create 64 in
+  let xs = Kcq.free_vars q and ys = Kcq.quantified_vars q in
+  Buffer.add_char buf '(';
+  Array.iteri
+    (fun i x ->
+       if i > 0 then Buffer.add_string buf ", ";
+       Buffer.add_string buf p.names.(x))
+    xs;
+  Buffer.add_string buf ") := ";
+  if Array.length ys > 0 then begin
+    Buffer.add_string buf "exists";
+    Array.iter
+      (fun y ->
+         Buffer.add_char buf ' ';
+         Buffer.add_string buf p.names.(y))
+      ys;
+    Buffer.add_string buf " . "
+  end;
+  let atoms = ref [] in
+  Array.iteri
+    (fun v l ->
+       if l <> 0 then
+         atoms := Printf.sprintf "%s(%s)" p.labels.(l) p.names.(v) :: !atoms)
+    (Array.init (Kgraph.num_vertices q.Kcq.graph)
+       (Kgraph.vertex_label q.Kcq.graph));
+  List.iter
+    (fun (u, v, l) ->
+       atoms :=
+         Printf.sprintf "%s(%s, %s)" p.relations.(l) p.names.(u) p.names.(v)
+         :: !atoms)
+    (Kgraph.edges q.Kcq.graph);
+  Buffer.add_string buf (String.concat " & " (List.rev !atoms));
+  Buffer.contents buf

@@ -1,0 +1,43 @@
+(** Surface syntax for knowledge-graph conjunctive queries.
+
+    Binary atoms are directed labelled edges, unary atoms assign
+    vertex labels:
+
+    {v (x, y) := exists z . knows(x, z) & worksAt(z, y) & Person(x) v}
+
+    Grammar (whitespace-insensitive):
+    {v
+    query ::= '(' [idents] ')' ':=' [ 'exists' ident+ '.' ] atoms
+    atom  ::= ident '(' ident ',' ident ')'    (directed edge atom)
+            | ident '(' ident ')'              (vertex label atom)
+    v}
+
+    Relation and label names get integer ids in order of first use;
+    unlabelled variables get the reserved vertex label [0] (named
+    labels start at [1]).  At most one label atom per variable;
+    self-loop atoms are rejected. *)
+
+type parsed = {
+  query : Kcq.t;
+  names : string array;  (** variable names by vertex *)
+  relations : string array;  (** edge-label names by id *)
+  labels : string array;  (** vertex-label names by id; id [0] is the
+                              default label and prints as ["_"] *)
+}
+
+(** [parse ?relations ?labels s] parses a query.  When querying a
+    fixed knowledge graph, pass its relation- and label-name tables so
+    the query's atom ids line up with the data's: [relations.(i)] /
+    [labels.(i)] pre-bind name → id [i] ([labels] must start with the
+    default label at index 0).  Names not in the tables are assigned
+    fresh ids after them. *)
+val parse :
+  ?relations:string array -> ?labels:string array -> string ->
+  (parsed, string) result
+
+val parse_exn :
+  ?relations:string array -> ?labels:string array -> string -> parsed
+
+(** [to_formula p] renders the parsed query back to the surface
+    syntax. *)
+val to_formula : parsed -> string

@@ -1,0 +1,77 @@
+let describe =
+  "kgraph spec: \"N ; labels l0 l1 ... ; edges u-l>v u-l>v ...\" (labels \
+   section optional, defaults to 0)"
+
+let ( let* ) = Result.bind
+
+let words s =
+  List.filter (fun t -> t <> "") (String.split_on_char ' ' (String.trim s))
+
+let parse_edge t =
+  (* u-l>v *)
+  match String.index_opt t '-' with
+  | None -> Error (Printf.sprintf "bad edge %S (expected u-l>v)" t)
+  | Some i ->
+    (match String.index_opt t '>' with
+     | None -> Error (Printf.sprintf "bad edge %S (expected u-l>v)" t)
+     | Some j when j > i ->
+       let u = String.sub t 0 i in
+       let l = String.sub t (i + 1) (j - i - 1) in
+       let v = String.sub t (j + 1) (String.length t - j - 1) in
+       (match (int_of_string_opt u, int_of_string_opt l, int_of_string_opt v)
+        with
+        | Some u, Some l, Some v -> Ok (u, v, l)
+        | _ -> Error (Printf.sprintf "bad edge %S" t))
+     | Some _ -> Error (Printf.sprintf "bad edge %S" t))
+
+let parse s =
+  let sections = List.map String.trim (String.split_on_char ';' s) in
+  match sections with
+  | [] -> Error "empty spec"
+  | count :: rest ->
+    (match int_of_string_opt (String.trim count) with
+     | None -> Error "spec must start with the vertex count"
+     | Some n ->
+       let labels = ref (Array.make n 0) in
+       let edges = ref [] in
+       let* () =
+         List.fold_left
+           (fun acc section ->
+              let* () = acc in
+              match words section with
+              | [] -> Ok ()
+              | "labels" :: ls ->
+                if List.length ls <> n then
+                  Error "labels section must list one label per vertex"
+                else begin
+                  (match
+                     List.map
+                       (fun t ->
+                          match int_of_string_opt t with
+                          | Some v -> v
+                          | None -> -1)
+                       ls
+                   with
+                   | parsed when List.for_all (fun v -> v >= 0) parsed ->
+                     labels := Array.of_list parsed;
+                     Ok ()
+                   | _ -> Error "bad label value")
+                end
+              | "edges" :: es ->
+                List.fold_left
+                  (fun acc t ->
+                     let* () = acc in
+                     let* e = parse_edge t in
+                     edges := e :: !edges;
+                     Ok ())
+                  (Ok ()) es
+              | w :: _ -> Error (Printf.sprintf "unknown section %S" w))
+           (Ok ()) rest
+       in
+       (try Ok (Kgraph.create ~n ~vertex_labels:!labels ~edges:!edges)
+        with Invalid_argument msg -> Error msg))
+
+let parse_exn s =
+  match parse s with
+  | Ok g -> g
+  | Error e -> invalid_arg ("Kspec.parse: " ^ e)

@@ -1,0 +1,11 @@
+(** Textual knowledge-graph specifications for the command line.
+
+    Format: semicolon-separated sections,
+    {v N [; labels l0 l1 ... lN-1] [; edges u-l>v u-l>v ...] v}
+    e.g. ["3; labels 1 1 2; edges 0-0>1 1-1>2"] — three vertices with
+    labels 1,1,2, an edge [0 → 1] with edge label 0 and an edge
+    [1 → 2] with edge label 1.  Omitted labels default to 0. *)
+
+val parse : string -> (Kgraph.t, string) result
+val parse_exn : string -> Kgraph.t
+val describe : string

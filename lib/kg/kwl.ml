@@ -1,0 +1,164 @@
+type result = { colours : int array; num_colours : int; rounds : int }
+
+let canonicalise labelled =
+  let distinct =
+    List.sort_uniq compare (List.concat_map Array.to_list labelled)
+  in
+  let ids = Hashtbl.create 256 in
+  List.iteri (fun i s -> Hashtbl.replace ids s i) distinct;
+  (List.map (Array.map (Hashtbl.find ids)) labelled, List.length distinct)
+
+(* ------------------------------------------------------------------ *)
+(* Colour refinement                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let refine_many graphs =
+  let init =
+    List.map
+      (fun g ->
+         Array.init (Kgraph.num_vertices g) (fun v ->
+             [ Kgraph.vertex_label g v ]))
+      graphs
+  in
+  let colourings, num = canonicalise init in
+  let round colourings =
+    let signatures =
+      List.map2
+        (fun g colours ->
+           Array.init (Kgraph.num_vertices g) (fun v ->
+               let outs =
+                 List.map (fun (w, l) -> (0, l, colours.(w)))
+                   (Kgraph.out_edges g v)
+               in
+               let ins =
+                 List.map (fun (w, l) -> (1, l, colours.(w)))
+                   (Kgraph.in_edges g v)
+               in
+               (colours.(v), List.sort compare (outs @ ins))))
+        graphs colourings
+    in
+    canonicalise signatures
+  in
+  let rec go colourings num rounds =
+    let colourings', num' = round colourings in
+    if num' = num then (colourings, num, rounds)
+    else go colourings' num' (rounds + 1)
+  in
+  let colourings, num, rounds = go colourings num 0 in
+  List.map (fun colours -> { colours; num_colours = num; rounds }) colourings
+
+let refine g = match refine_many [ g ] with [ r ] -> r | _ -> assert false
+
+let refine_pair g1 g2 =
+  match refine_many [ g1; g2 ] with
+  | [ r1; r2 ] -> (r1, r2)
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Folklore k-WL on k-tuples                                           *)
+(* ------------------------------------------------------------------ *)
+
+let decode_tuple k n idx =
+  let t = Array.make k 0 in
+  let r = ref idx in
+  for i = k - 1 downto 0 do
+    t.(i) <- !r mod n;
+    r := !r / n
+  done;
+  t
+
+(* atomic type: vertex labels plus, for each ordered pair (i, j) with
+   i <> j, the sorted list of labels of edges t_i -> t_j, plus the
+   equality pattern *)
+let atomic g k idx =
+  let n = Kgraph.num_vertices g in
+  let t = decode_tuple k n idx in
+  let labels = Array.to_list (Array.map (Kgraph.vertex_label g) t) in
+  let rels = ref [] in
+  for i = k - 1 downto 0 do
+    for j = k - 1 downto 0 do
+      if i <> j then begin
+        let ls =
+          List.filter_map
+            (fun (w, l) -> if w = t.(j) then Some l else None)
+            (Kgraph.out_edges g t.(i))
+        in
+        rels := (i, j, t.(i) = t.(j), List.sort compare ls) :: !rels
+      end
+    done
+  done;
+  (labels, !rels)
+
+let run_many k graphs =
+  if k < 2 then invalid_arg "Kwl.run: requires k >= 2 (use refine for k = 1)";
+  let tuple_counts =
+    List.map
+      (fun g ->
+         let n = Kgraph.num_vertices g in
+         let rec pow acc i = if i = 0 then acc else pow (acc * n) (i - 1) in
+         pow 1 k)
+      graphs
+  in
+  let init =
+    List.map2
+      (fun g count -> Array.init count (fun idx -> atomic g k idx))
+      graphs tuple_counts
+  in
+  let colourings, num = canonicalise init in
+  let round colourings =
+    let signatures =
+      List.map2
+        (fun (g, count) colours ->
+           let n = Kgraph.num_vertices g in
+           let place = Array.make k 1 in
+           for i = k - 2 downto 0 do place.(i) <- place.(i + 1) * n done;
+           Array.init count (fun idx ->
+               let t = decode_tuple k n idx in
+               let entries = ref [] in
+               for w = 0 to n - 1 do
+                 let entry =
+                   Array.init k (fun i ->
+                       colours.(idx + ((w - t.(i)) * place.(i))))
+                 in
+                 entries := Array.to_list entry :: !entries
+               done;
+               (colours.(idx), List.sort compare !entries)))
+        (List.combine graphs tuple_counts)
+        colourings
+    in
+    canonicalise signatures
+  in
+  let rec go colourings num rounds =
+    let colourings', num' = round colourings in
+    if num' = num then (colourings, num, rounds)
+    else go colourings' num' (rounds + 1)
+  in
+  let colourings, num, rounds = go colourings num 0 in
+  List.map (fun colours -> { colours; num_colours = num; rounds }) colourings
+
+let run k g = match run_many k [ g ] with [ r ] -> r | _ -> assert false
+
+let run_pair k g1 g2 =
+  match run_many k [ g1; g2 ] with
+  | [ r1; r2 ] -> (r1, r2)
+  | _ -> assert false
+
+let histogram r =
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (fun c ->
+       Hashtbl.replace counts c
+         (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+    r.colours;
+  List.sort compare (Hashtbl.fold (fun c n acc -> (c, n) :: acc) counts [])
+
+let equivalent k g1 g2 =
+  if k < 1 then invalid_arg "Kwl.equivalent: k must be positive"
+  else if k = 1 then begin
+    let r1, r2 = refine_pair g1 g2 in
+    histogram r1 = histogram r2
+  end
+  else begin
+    let r1, r2 = run_pair k g1 g2 in
+    histogram r1 = histogram r2
+  end

@@ -1,0 +1,32 @@
+(** The Weisfeiler-Leman algorithm on knowledge graphs
+    (Section 1.3 (C), following Barceló et al.).
+
+    Colour refinement starts from the vertex labels and folds the
+    multiset of (edge label, direction, neighbour colour) triples per
+    round; folklore k-WL starts from atomic types that record the
+    vertex labels, equalities, and the labelled directed edges inside
+    each k-tuple.  On a plain graph encoded via {!Kgraph.of_graph}
+    both coincide with the plain-graph algorithms — the test suite
+    checks this compatibility. *)
+
+type result = { colours : int array; num_colours : int; rounds : int }
+
+(** [refine g] is colour refinement (1-WL) on the knowledge graph. *)
+val refine : Kgraph.t -> result
+
+(** [refine_pair g1 g2] refines jointly (comparable colours). *)
+val refine_pair : Kgraph.t -> Kgraph.t -> result * result
+
+(** [run k g] is folklore k-WL on k-tuples ([k >= 2]). *)
+val run : int -> Kgraph.t -> result
+
+(** [run_pair k g1 g2] refines jointly. *)
+val run_pair : int -> Kgraph.t -> Kgraph.t -> result * result
+
+(** [equivalent k g1 g2] decides [g1 ≅_k g2] over knowledge graphs
+    ([k = 1] is colour refinement).
+    @raise Invalid_argument when [k < 1]. *)
+val equivalent : int -> Kgraph.t -> Kgraph.t -> bool
+
+(** [histogram r] is the sorted [(colour, multiplicity)] list. *)
+val histogram : result -> (int * int) list

@@ -1,0 +1,95 @@
+open Wlcq_graph
+
+type formula =
+  | True
+  | Edge of int * int
+  | Eq of int * int
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+  | Count_geq of int * int * formula
+
+let exists i phi = Count_geq (1, i, phi)
+let forall i phi = Not (Count_geq (1, i, Not phi))
+
+let count_eq n i phi =
+  And [ Count_geq (n, i, phi); Not (Count_geq (n + 1, i, phi)) ]
+
+let rec variables = function
+  | True -> []
+  | Edge (i, j) | Eq (i, j) -> [ i; j ]
+  | Not phi -> variables phi
+  | And phis | Or phis -> List.concat_map variables phis
+  | Count_geq (_, i, phi) -> i :: variables phi
+
+let variable_width phi = List.length (List.sort_uniq compare (variables phi))
+
+let rec free = function
+  | True -> []
+  | Edge (i, j) | Eq (i, j) -> [ i; j ]
+  | Not phi -> free phi
+  | And phis | Or phis -> List.concat_map free phis
+  | Count_geq (_, i, phi) -> List.filter (fun j -> j <> i) (free phi)
+
+let free_variables phi = List.sort_uniq compare (free phi)
+
+let rec eval phi g env =
+  match phi with
+  | True -> true
+  | Edge (i, j) ->
+    let u = env.(i) and v = env.(j) in
+    if u < 0 || v < 0 then invalid_arg "Counting_logic.eval: unbound variable";
+    Graph.adjacent g u v
+  | Eq (i, j) ->
+    let u = env.(i) and v = env.(j) in
+    if u < 0 || v < 0 then invalid_arg "Counting_logic.eval: unbound variable";
+    u = v
+  | Not phi -> not (eval phi g env)
+  | And phis -> List.for_all (fun p -> eval p g env) phis
+  | Or phis -> List.exists (fun p -> eval p g env) phis
+  | Count_geq (n, i, body) ->
+    let saved = env.(i) in
+    let count = ref 0 in
+    let nv = Graph.num_vertices g in
+    let v = ref 0 in
+    while !count < n && !v < nv do
+      env.(i) <- !v;
+      if eval body g env then incr count;
+      incr v
+    done;
+    env.(i) <- saved;
+    !count >= n
+
+let holds phi g =
+  (match free_variables phi with
+   | [] -> ()
+   | _ -> invalid_arg "Counting_logic.holds: sentence expected");
+  let width = 1 + List.fold_left max (-1) (variables phi) in
+  eval phi g (Array.make (max 1 width) (-1))
+
+let distinguishes phi g1 g2 = holds phi g1 <> holds phi g2
+
+(* ------------------------------------------------------------------ *)
+(* Canned sentences                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let triangle_at_0 =
+  exists 1 (And [ Edge (0, 1); exists 2 (And [ Edge (0, 2); Edge (1, 2) ]) ])
+
+let has_triangle = exists 0 triangle_at_0
+
+let min_degree_geq d = forall 0 (Count_geq (d, 1, Edge (0, 1)))
+
+let regular d = forall 0 (count_eq d 1 (Edge (0, 1)))
+
+let num_vertices_geq n = Count_geq (n, 0, True)
+
+let has_path3 =
+  exists 0
+    (exists 1
+       (And
+          [ Edge (0, 1);
+            exists 2
+              (And [ Edge (1, 2); Not (Eq (0, 2)) ]) ]))
+
+let vertex_on_triangle_count_geq n = Count_geq (n, 0, triangle_at_0)

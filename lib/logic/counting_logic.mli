@@ -1,0 +1,78 @@
+(** First-order logic with counting quantifiers — the logic [C^k]
+    behind the paper's characterisation (II) of WL-equivalence:
+    [G ≅_k G'] iff no [C^{k+1}] sentence (first-order with counting
+    quantifiers, at most [k+1] variables) distinguishes [G] from [G']
+    (Immerman–Lander; Cai–Fürer–Immerman).
+
+    Variables are indexed [0, 1, 2, …]; the {e variable width} of a
+    formula is the number of distinct indices it mentions (reusing an
+    index after quantifying it again does not increase the width,
+    exactly as in the finite-variable logics literature).  The
+    evaluator is a direct model checker, exponential in the quantifier
+    depth — ample for certifying the characterisation on the
+    experiment-scale graphs. *)
+
+open Wlcq_graph
+
+type formula =
+  | True
+  | Edge of int * int  (** [E(x_i, x_j)] *)
+  | Eq of int * int  (** [x_i = x_j] *)
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+  | Count_geq of int * int * formula
+      (** [Count_geq (n, i, phi)] is [∃^{≥n} x_i . phi] *)
+
+(** [exists i phi] is [∃ x_i . phi] ([∃^{≥1}]). *)
+val exists : int -> formula -> formula
+
+(** [forall i phi] is [∀ x_i . phi] ([¬∃ ¬]). *)
+val forall : int -> formula -> formula
+
+(** [count_eq n i phi] is [∃^{=n} x_i . phi]. *)
+val count_eq : int -> int -> formula -> formula
+
+(** [variable_width phi] is the number of distinct variable indices in
+    [phi]. *)
+val variable_width : formula -> int
+
+(** [free_variables phi] lists the free variable indices, sorted. *)
+val free_variables : formula -> int list
+
+(** [eval phi g env] model-checks [phi] in [g]; [env] maps variable
+    indices to vertices (only free indices are read).
+    @raise Invalid_argument when a free variable is unbound (mapped to
+    [-1]) or out of range. *)
+val eval : formula -> Graph.t -> int array -> bool
+
+(** [holds phi g] evaluates a sentence (no free variables). *)
+val holds : formula -> Graph.t -> bool
+
+(** [distinguishes phi g1 g2] tests whether the sentence [phi] holds
+    in exactly one of the two graphs. *)
+val distinguishes : formula -> Graph.t -> Graph.t -> bool
+
+(** Canned sentences used in the experiments. *)
+
+(** [has_triangle] — a 3-variable sentence: some triangle exists. *)
+val has_triangle : formula
+
+(** [min_degree_geq d] — a 2-variable [C^2] sentence:
+    [∀x ∃^{≥d} y . E(x,y)]. *)
+val min_degree_geq : int -> formula
+
+(** [regular d] — a 2-variable [C^2] sentence: every vertex has degree
+    exactly [d]. *)
+val regular : int -> formula
+
+(** [num_vertices_geq n] — a 1-variable sentence: [∃^{≥n} x . true]. *)
+val num_vertices_geq : int -> formula
+
+(** [has_path3] — a 3-variable sentence: a path on 3 distinct
+    vertices exists. *)
+val has_path3 : formula
+
+(** [vertex_on_triangle_count_geq n] — a 3-variable [C^3] sentence:
+    at least [n] vertices lie on a triangle. *)
+val vertex_on_triangle_count_geq : int -> formula

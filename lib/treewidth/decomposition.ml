@@ -1,0 +1,79 @@
+open Wlcq_graph
+module Bitset = Wlcq_util.Bitset
+
+type t = { tree : Graph.t; bags : Bitset.t array }
+
+let make tree bags =
+  if Graph.num_vertices tree <> Array.length bags then
+    invalid_arg "Decomposition.make: one bag per tree node required";
+  if Graph.num_vertices tree > 0 && not (Traversal.is_tree tree) then
+    invalid_arg "Decomposition.make: underlying graph is not a tree";
+  { tree; bags }
+
+let width d =
+  Array.fold_left (fun acc b -> max acc (Bitset.cardinal b)) 0 d.bags - 1
+
+let singleton h =
+  let n = Graph.num_vertices h in
+  { tree = Graph.empty 1; bags = [| Bitset.full n |] }
+
+let is_valid_for d h =
+  let n = Graph.num_vertices h in
+  let nodes = Graph.num_vertices d.tree in
+  let bag_capacity_ok =
+    Array.for_all (fun b -> Bitset.capacity b = n) d.bags
+  in
+  bag_capacity_ok
+  && begin
+    (* (T1): every vertex is covered *)
+    let covered = Array.make n false in
+    Array.iter (Bitset.iter (fun v -> covered.(v) <- true)) d.bags;
+    Array.for_all (fun b -> b) covered
+  end
+  && begin
+    (* (T3): every edge lies in some bag *)
+    let ok = ref true in
+    Graph.iter_edges h (fun u v ->
+        if not
+            (Array.exists (fun b -> Bitset.mem b u && Bitset.mem b v) d.bags)
+        then ok := false);
+    !ok
+  end
+  && begin
+    (* (T2): for each vertex, the nodes whose bag contains it induce a
+       connected subtree *)
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      let holders =
+        List.filter (fun t -> Bitset.mem d.bags.(t) v)
+          (List.init nodes (fun i -> i))
+      in
+      match holders with
+      | [] -> ok := false
+      | first :: _ ->
+        let member = Array.make nodes false in
+        List.iter (fun t -> member.(t) <- true) holders;
+        (* BFS within holders *)
+        let seen = Array.make nodes false in
+        let queue = Queue.create () in
+        seen.(first) <- true;
+        Queue.add first queue;
+        while not (Queue.is_empty queue) do
+          let t = Queue.take queue in
+          Graph.iter_neighbours d.tree t (fun s ->
+              if member.(s) && not seen.(s) then begin
+                seen.(s) <- true;
+                Queue.add s queue
+              end)
+        done;
+        if not (List.for_all (fun t -> seen.(t)) holders) then ok := false
+    done;
+    !ok
+  end
+
+let pp ppf d =
+  Format.fprintf ppf "decomposition(width=%d)@." (width d);
+  Array.iteri
+    (fun i b -> Format.fprintf ppf "  bag %d: %a@." i Bitset.pp b)
+    d.bags;
+  Format.fprintf ppf "  tree: %a" Graph.pp d.tree

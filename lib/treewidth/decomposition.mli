@@ -1,0 +1,33 @@
+(** Tree decompositions (Definition 10).
+
+    A decomposition of a graph [H] is a tree whose nodes carry bags of
+    vertices of [H], satisfying (T1) every vertex occurs in a bag,
+    (T2) the bags containing any fixed vertex induce a connected
+    subtree, and (T3) every edge is contained in some bag.  The width
+    is the maximum bag size minus one. *)
+
+open Wlcq_graph
+
+type t = {
+  tree : Graph.t;  (** the decomposition tree, nodes are bag indices *)
+  bags : Wlcq_util.Bitset.t array;  (** bag contents, over [V(H)] *)
+}
+
+(** [make tree bags] checks that [tree] is a tree (a single node is
+    allowed) with one bag per node.
+    @raise Invalid_argument otherwise. *)
+val make : Graph.t -> Wlcq_util.Bitset.t array -> t
+
+(** [width d] is [max |bag| - 1]; the empty decomposition has width
+    [-1]. *)
+val width : t -> int
+
+(** [is_valid_for d h] checks (T1), (T2), (T3) against [h]. *)
+val is_valid_for : t -> Graph.t -> bool
+
+(** [singleton h] is the trivial decomposition with one bag containing
+    all of [V(h)]. *)
+val singleton : Graph.t -> t
+
+(** [pp] prints bags and tree edges. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+(** Elimination orders and their tree decompositions.
+
+    Eliminating a vertex connects its remaining neighbours into a
+    clique; the width of an order is the maximum degree at elimination
+    time, and the minimum over all orders equals the treewidth.  Both
+    the heuristics and the exact branch-and-bound search work in this
+    order space, and this module converts a winning order back into an
+    explicit tree decomposition. *)
+
+open Wlcq_graph
+
+(** [width_of_order g order] is the width achieved by eliminating the
+    vertices of [g] in the given order (a permutation of the vertex
+    set). *)
+val width_of_order : Graph.t -> int list -> int
+
+(** [decomposition_of_order g order] builds a tree decomposition of [g]
+    whose width equals [width_of_order g order]; bag [i] holds the
+    [i]-th eliminated vertex together with its higher (not yet
+    eliminated) neighbours in the fill-in graph.  For the empty graph
+    the result is the trivial single-empty-bag decomposition. *)
+val decomposition_of_order : Graph.t -> int list -> Decomposition.t
+
+(** [fill_graph g order] is [g] plus all fill-in edges created when
+    eliminating in [order] (a chordal supergraph of [g]). *)
+val fill_graph : Graph.t -> int list -> Graph.t

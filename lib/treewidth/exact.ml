@@ -1,0 +1,176 @@
+open Wlcq_graph
+module Bitset = Wlcq_util.Bitset
+
+(* ------------------------------------------------------------------ *)
+(* Branch and bound over elimination orders.                           *)
+(* ------------------------------------------------------------------ *)
+
+let live_neighbours adj alive v =
+  Bitset.fold (fun w acc -> if alive.(w) then w :: acc else acc) adj.(v) []
+
+let is_simplicial adj alive v =
+  let neigh = live_neighbours adj alive v in
+  let rec all_pairs = function
+    | [] -> true
+    | a :: rest ->
+      List.for_all (fun b -> Bitset.mem adj.(a) b) rest && all_pairs rest
+  in
+  all_pairs neigh
+
+(* Search for an order of width < best.  State is copied per branch;
+   the memo table maps the eliminated set to the smallest running
+   maximum with which it has been reached. *)
+let branch_and_bound g initial_ub initial_order =
+  let n = Graph.num_vertices g in
+  let best = ref initial_ub in
+  let best_order = ref initial_order in
+  let memo : (Bitset.t, int) Hashtbl.t = Hashtbl.create 1024 in
+  let rec go adj alive eliminated prefix current_max remaining =
+    if current_max >= !best then ()
+    else if remaining = 0 then begin
+      best := current_max;
+      best_order := List.rev prefix
+    end
+    else if remaining - 1 <= current_max then begin
+      (* finishing in any order costs at most remaining-1 <= current *)
+      let rest = List.filter (fun v -> alive.(v)) (Graph.vertices g) in
+      best := current_max;
+      best_order := List.rev_append prefix rest
+    end
+    else begin
+      match Hashtbl.find_opt memo eliminated with
+      | Some m when m <= current_max -> ()
+      | _ ->
+        Hashtbl.replace memo eliminated current_max;
+        (* Simplicial vertices of low degree are always safe to
+           eliminate first. *)
+        let simplicial =
+          List.find_opt
+            (fun v ->
+               alive.(v)
+               && Bitset.cardinal
+                    (Bitset.of_list n (live_neighbours adj alive v))
+                  < !best
+               && is_simplicial adj alive v)
+            (Graph.vertices g)
+        in
+        let candidates =
+          match simplicial with
+          | Some v -> [ v ]
+          | None ->
+            let live = List.filter (fun v -> alive.(v)) (Graph.vertices g) in
+            List.sort
+              (fun a b ->
+                 compare
+                   (List.length (live_neighbours adj alive a))
+                   (List.length (live_neighbours adj alive b)))
+              live
+        in
+        List.iter
+          (fun v ->
+             let neigh = live_neighbours adj alive v in
+             let cost = List.length neigh in
+             if max current_max cost < !best then begin
+               let adj' = Array.map Bitset.copy adj in
+               List.iter
+                 (fun a ->
+                    List.iter
+                      (fun b ->
+                         if a <> b then begin
+                           Bitset.set adj'.(a) b;
+                           Bitset.set adj'.(b) a
+                         end)
+                      neigh)
+                 neigh;
+               let alive' = Array.copy alive in
+               alive'.(v) <- false;
+               go adj' alive' (Bitset.add eliminated v) (v :: prefix)
+                 (max current_max cost) (remaining - 1)
+             end)
+          candidates
+    end
+  in
+  let adj = Array.init n (Graph.neighbours g) in
+  let alive = Array.make n true in
+  go adj alive (Bitset.create n) [] 0 n;
+  (!best, !best_order)
+
+let solve g =
+  let n = Graph.num_vertices g in
+  if n = 0 then (-1, [])
+  else begin
+    let order_md = Heuristics.min_degree_order g in
+    let order_mf = Heuristics.min_fill_order g in
+    let w_md = Elimination.width_of_order g order_md in
+    let w_mf = Elimination.width_of_order g order_mf in
+    let ub, ub_order =
+      if w_mf <= w_md then (w_mf, order_mf) else (w_md, order_md)
+    in
+    let lb = Heuristics.lower_bound g in
+    if lb >= ub then (ub, ub_order)
+    else begin
+      (* the BB improves on ub+1 (i.e., finds width <= ub) or keeps it *)
+      let w, order = branch_and_bound g (ub + 1) ub_order in
+      if w <= ub then (w, order) else (ub, ub_order)
+    end
+  end
+
+let treewidth g = fst (solve g)
+let optimal_order g = snd (solve g)
+
+let optimal_decomposition g =
+  let _, order = solve g in
+  Elimination.decomposition_of_order g order
+
+let is_at_most g k = treewidth g <= k
+
+(* ------------------------------------------------------------------ *)
+(* Subset dynamic program (Bodlaender et al.), for cross-validation.   *)
+(* ------------------------------------------------------------------ *)
+
+let treewidth_dp g =
+  let n = Graph.num_vertices g in
+  if n > 22 then invalid_arg "Exact.treewidth_dp: too many vertices";
+  if n = 0 then -1
+  else begin
+    (* q s v: the degree of v once the vertices in the mask s have been
+       eliminated = number of w outside s (and <> v) reachable from v
+       through s. *)
+    let adj = Array.init n (fun v -> Graph.neighbours_list g v) in
+    let q s v =
+      let seen = Array.make n false in
+      let queue = Queue.create () in
+      let count = ref 0 in
+      seen.(v) <- true;
+      Queue.add v queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.take queue in
+        List.iter
+          (fun w ->
+             if not seen.(w) then begin
+               seen.(w) <- true;
+               if (s lsr w) land 1 = 1 then Queue.add w queue
+               else incr count
+             end)
+          adj.(u)
+      done;
+      !count
+    in
+    let size = 1 lsl n in
+    let tw = Array.make size max_int in
+    tw.(0) <- -1;
+    (* iterate masks in increasing order; every proper submask of s is
+       numerically smaller, so a plain loop respects dependencies *)
+    for s = 1 to size - 1 do
+      let best = ref max_int in
+      for v = 0 to n - 1 do
+        if (s lsr v) land 1 = 1 then begin
+          let s' = s land lnot (1 lsl v) in
+          let cost = max tw.(s') (q s' v) in
+          if cost < !best then best := cost
+        end
+      done;
+      tw.(s) <- !best
+    done;
+    tw.(size - 1)
+  end

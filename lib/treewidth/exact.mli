@@ -1,0 +1,33 @@
+(** Exact treewidth.
+
+    The default solver is a branch-and-bound search over elimination
+    orders (QuickBB-style) with memoisation on the eliminated set —
+    sound because the filled graph after eliminating a set of vertices
+    is independent of the elimination order within the set.  It is
+    bracketed by the greedy upper bounds and the contraction lower
+    bound of {!Heuristics}.
+
+    A Held–Karp-style subset dynamic program ({!treewidth_dp}) is
+    provided as an independent implementation for cross-validation
+    (see the ablation notes in DESIGN.md). *)
+
+open Wlcq_graph
+
+(** [treewidth g] is the exact treewidth of [g] ([-1] for the empty
+    graph, [0] for edgeless graphs). *)
+val treewidth : Graph.t -> int
+
+(** [optimal_order g] is an elimination order witnessing
+    [treewidth g]. *)
+val optimal_order : Graph.t -> int list
+
+(** [optimal_decomposition g] is a minimum-width tree decomposition. *)
+val optimal_decomposition : Graph.t -> Decomposition.t
+
+(** [is_at_most g k] decides [treewidth g <= k]. *)
+val is_at_most : Graph.t -> int -> bool
+
+(** [treewidth_dp g] computes the treewidth by the O(2^n · n²) subset
+    dynamic program.
+    @raise Invalid_argument when [g] has more than 22 vertices. *)
+val treewidth_dp : Graph.t -> int

@@ -1,0 +1,122 @@
+open Wlcq_graph
+module Bitset = Wlcq_util.Bitset
+
+(* Greedy elimination with a scoring function over the current (filled)
+   adjacency. *)
+let greedy_order score g =
+  let n = Graph.num_vertices g in
+  let adj = Array.init n (Graph.neighbours g) in
+  let alive = Array.make n true in
+  let order = ref [] in
+  for _ = 1 to n do
+    let best = ref (-1) in
+    let best_score = ref max_int in
+    for v = 0 to n - 1 do
+      if alive.(v) then begin
+        let s = score adj alive v in
+        if s < !best_score then begin
+          best := v;
+          best_score := s
+        end
+      end
+    done;
+    let v = !best in
+    let neigh =
+      Bitset.fold (fun w acc -> if alive.(w) then w :: acc else acc) adj.(v) []
+    in
+    List.iter
+      (fun a ->
+         List.iter
+           (fun b ->
+              if a <> b then begin
+                Bitset.set adj.(a) b;
+                Bitset.set adj.(b) a
+              end)
+           neigh)
+      neigh;
+    alive.(v) <- false;
+    order := v :: !order
+  done;
+  List.rev !order
+
+let live_degree adj alive v =
+  Bitset.fold (fun w acc -> if alive.(w) then acc + 1 else acc) adj.(v) 0
+
+let min_degree_order g = greedy_order live_degree g
+
+let fill_count adj alive v =
+  let neigh =
+    Bitset.fold (fun w acc -> if alive.(w) then w :: acc else acc) adj.(v) []
+  in
+  let missing = ref 0 in
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+      List.iter (fun b -> if not (Bitset.mem adj.(a) b) then incr missing) rest;
+      pairs rest
+  in
+  pairs neigh;
+  !missing
+
+let min_fill_order g = greedy_order fill_count g
+
+let upper_bound g =
+  if Graph.num_vertices g = 0 then -1
+  else
+    min
+      (Elimination.width_of_order g (min_degree_order g))
+      (Elimination.width_of_order g (min_fill_order g))
+
+(* MMD+ lower bound: repeatedly contract a minimum-degree vertex into
+   its lowest-degree neighbour; the running maximum of minimum degrees
+   lower-bounds the treewidth (minors do not increase treewidth, and
+   min-degree lower-bounds the treewidth of each minor). *)
+let lower_bound g =
+  let n = Graph.num_vertices g in
+  if n = 0 then -1
+  else begin
+    let adj = Array.init n (Graph.neighbours g) in
+    let alive = Array.make n true in
+    let alive_count = ref n in
+    let bound = ref 0 in
+    while !alive_count > 1 do
+      (* minimum-degree live vertex *)
+      let v = ref (-1) in
+      let vd = ref max_int in
+      for u = 0 to n - 1 do
+        if alive.(u) then begin
+          let d = live_degree adj alive u in
+          if d < !vd then (v := u; vd := d)
+        end
+      done;
+      bound := max !bound !vd;
+      if !vd = 0 then begin
+        alive.(!v) <- false;
+        decr alive_count
+      end
+      else begin
+        (* contract v into its minimum-degree live neighbour *)
+        let w = ref (-1) in
+        let wd = ref max_int in
+        Bitset.iter
+          (fun u ->
+             if alive.(u) then begin
+               let d = live_degree adj alive u in
+               if d < !wd then (w := u; wd := d)
+             end)
+          adj.(!v);
+        let w = !w in
+        Bitset.iter
+          (fun u ->
+             if alive.(u) && u <> w then begin
+               Bitset.set adj.(w) u;
+               Bitset.set adj.(u) w
+             end)
+          adj.(!v);
+        Bitset.clear adj.(w) !v;
+        alive.(!v) <- false;
+        decr alive_count
+      end
+    done;
+    !bound
+  end

@@ -1,0 +1,21 @@
+(** Treewidth heuristics: upper bounds from greedy elimination orders
+    and lower bounds from degeneracy / contraction.  These bracket the
+    exact branch-and-bound search in {!Exact}. *)
+
+open Wlcq_graph
+
+(** [min_degree_order g] is the greedy order that always eliminates a
+    vertex of minimum current degree. *)
+val min_degree_order : Graph.t -> int list
+
+(** [min_fill_order g] is the greedy order that always eliminates a
+    vertex whose elimination creates the fewest fill edges. *)
+val min_fill_order : Graph.t -> int list
+
+(** [upper_bound g] is the best width over the greedy orders. *)
+val upper_bound : Graph.t -> int
+
+(** [lower_bound g] is a treewidth lower bound: the maximum, over the
+    minor-monotone contraction sequence (MMD+), of the minimum degree —
+    at least the degeneracy of [g]. *)
+val lower_bound : Graph.t -> int

@@ -1,0 +1,83 @@
+(** Arbitrary-precision signed integers.
+
+    The sealed build environment has no [zarith]; answer counts and the
+    Vandermonde systems of Lemma 22 overflow native integers, so this
+    module provides a from-scratch implementation.  Magnitudes are
+    little-endian limb arrays in base 10^9 (which makes decimal
+    printing trivial and keeps products of limbs inside the native
+    63-bit range). *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+val of_int : int -> t
+
+(** [of_string s] parses an optionally ['-']-prefixed decimal numeral.
+    @raise Invalid_argument on malformed input. *)
+val of_string : string -> t
+
+val to_string : t -> string
+
+(** [to_int_opt x] is [Some n] when [x] fits in a native [int]. *)
+val to_int_opt : t -> int option
+
+(** [sign x] is [-1], [0] or [1]. *)
+val sign : t -> int
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [0 <= |r| < |b|], and
+    [r] carrying the sign of [a] (truncated division, as [Stdlib.(/)]).
+    @raise Division_by_zero when [b] is zero. *)
+val divmod : t -> t -> t * t
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+(** [pow x k] is [x] raised to the non-negative power [k].
+    @raise Invalid_argument when [k < 0]. *)
+val pow : t -> int -> t
+
+(** [gcd a b] is the non-negative greatest common divisor. *)
+val gcd : t -> t -> t
+
+(** [factorial k] is [k!].
+    @raise Invalid_argument when [k < 0]. *)
+val factorial : int -> t
+
+(** [binomial n k] is the binomial coefficient [C(n, k)] ([zero] when
+    [k < 0] or [k > n]). *)
+val binomial : int -> int -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val succ : t -> t
+val pred : t -> t
+
+val pp : Format.formatter -> t -> unit
+val hash : t -> int
+
+(** Infix aliases: [a + b], [a - b], [a * b], [a / b]. *)
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

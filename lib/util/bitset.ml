@@ -1,0 +1,146 @@
+(* Packed bitsets: 62 bits per word keeps all shifts well inside the
+   63-bit native int range on 64-bit platforms. *)
+
+let bits_per_word = 62
+
+type t = { n : int; words : int array }
+
+let nwords n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { n; words = Array.make (max 1 (nwords n)) 0 }
+
+let capacity s = s.n
+
+let copy s = { n = s.n; words = Array.copy s.words }
+
+let check s i =
+  if i < 0 || i >= s.n then invalid_arg "Bitset: index out of range"
+
+let mem s i =
+  check s i;
+  s.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let set s i =
+  check s i;
+  let w = i / bits_per_word in
+  s.words.(w) <- s.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let clear s i =
+  check s i;
+  let w = i / bits_per_word in
+  s.words.(w) <- s.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let add s i = let s' = copy s in set s' i; s'
+let remove s i = let s' = copy s in clear s' i; s'
+
+let singleton n i = let s = create n in set s i; s
+
+(* Mask of valid bits in the last word, so [complement] and [full] never
+   set bits beyond the universe. *)
+let last_mask n =
+  let r = n mod bits_per_word in
+  if r = 0 && n > 0 then -1 lsr (63 - bits_per_word)
+  else (1 lsl r) - 1
+
+let full n =
+  let s = create n in
+  if n > 0 then begin
+    let k = nwords n in
+    for w = 0 to k - 2 do s.words.(w) <- -1 lsr (63 - bits_per_word) done;
+    s.words.(k - 1) <- last_mask n
+  end;
+  s
+
+let of_list n xs = let s = create n in List.iter (set s) xs; s
+
+let same_capacity a b =
+  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch"
+
+let map2 f a b =
+  same_capacity a b;
+  let words = Array.init (Array.length a.words)
+      (fun i -> f a.words.(i) b.words.(i)) in
+  { n = a.n; words }
+
+let union a b = map2 (lor) a b
+let inter a b = map2 (land) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+let symdiff a b = map2 (lxor) a b
+
+let complement s =
+  let s' = full s.n in
+  { n = s.n;
+    words = Array.init (Array.length s.words)
+        (fun i -> s'.words.(i) land lnot s.words.(i)) }
+
+let subset a b =
+  same_capacity a b;
+  let ok = ref true in
+  Array.iteri (fun i w -> if w land lnot b.words.(i) <> 0 then ok := false)
+    a.words;
+  !ok
+
+let disjoint a b =
+  same_capacity a b;
+  let ok = ref true in
+  Array.iteri (fun i w -> if w land b.words.(i) <> 0 then ok := false) a.words;
+  !ok
+
+let equal a b = a.n = b.n && a.words = b.words
+
+let compare a b =
+  let c = Stdlib.compare a.n b.n in
+  if c <> 0 then c else Stdlib.compare a.words b.words
+
+let popcount w =
+  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+  go 0 w
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+
+let is_empty s = Array.for_all (fun w -> w = 0) s.words
+
+let iter f s =
+  for w = 0 to Array.length s.words - 1 do
+    let word = ref s.words.(w) in
+    while !word <> 0 do
+      (* lowest set bit *)
+      let b = !word land (- !word) in
+      let rec log2 b i = if b = 1 then i else log2 (b lsr 1) (i + 1) in
+      f ((w * bits_per_word) + log2 b 0);
+      word := !word land lnot b
+    done
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+exception Early_exit
+
+let for_all p s =
+  try iter (fun i -> if not (p i) then raise Early_exit) s; true
+  with Early_exit -> false
+
+let exists p s =
+  try iter (fun i -> if p i then raise Early_exit) s; false
+  with Early_exit -> true
+
+let choose s =
+  let r = ref (-1) in
+  (try iter (fun i -> r := i; raise Early_exit) s with Early_exit -> ());
+  if !r < 0 then raise Not_found else !r
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_int)
+    (to_list s)
+
+let hash s = Hashtbl.hash (s.n, s.words)

@@ -1,0 +1,70 @@
+let range n = List.init n (fun i -> i)
+
+let subsets xs =
+  List.fold_left
+    (fun acc x -> acc @ List.map (fun s -> s @ [ x ]) acc)
+    [ [] ] xs
+
+let rec subsets_of_size k xs =
+  if k = 0 then [ [] ]
+  else
+    match xs with
+    | [] -> []
+    | x :: rest ->
+      List.map (fun s -> x :: s) (subsets_of_size (k - 1) rest)
+      @ subsets_of_size k rest
+
+let iter_subsets_of_size k n f =
+  if k = 0 then f [||]
+  else if k <= n then begin
+    let a = Array.init k (fun i -> i) in
+    let rec next () =
+      f a;
+      (* advance the rightmost index that can move *)
+      let i = ref (k - 1) in
+      while !i >= 0 && a.(!i) = n - k + !i do decr i done;
+      if !i >= 0 then begin
+        a.(!i) <- a.(!i) + 1;
+        for j = !i + 1 to k - 1 do a.(j) <- a.(j - 1) + 1 done;
+        next ()
+      end
+    in
+    next ()
+  end
+
+let rec partitions = function
+  | [] -> [ [] ]
+  | x :: rest ->
+    let sub = partitions rest in
+    List.concat_map
+      (fun part ->
+         (* x as its own block, or added to each existing block *)
+         ([ x ] :: part)
+         :: List.mapi
+           (fun i block ->
+              List.mapi (fun j b -> if i = j then x :: block else b) part)
+           part)
+      sub
+
+let iter_tuples n k f =
+  if k = 0 then f [||]
+  else if n > 0 then begin
+    let a = Array.make k 0 in
+    let rec go pos =
+      if pos = k then f a
+      else
+        for v = 0 to n - 1 do
+          a.(pos) <- v;
+          go (pos + 1)
+        done
+    in
+    go 0
+  end
+
+let iter_functions dom_size cod_size f = iter_tuples cod_size dom_size f
+
+let cartesian xss =
+  List.fold_right
+    (fun xs acc ->
+       List.concat_map (fun x -> List.map (fun rest -> x :: rest) acc) xs)
+    xss [ [] ]

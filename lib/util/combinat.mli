@@ -1,0 +1,36 @@
+(** Combinatorial enumeration helpers.
+
+    Used throughout: subsets for CFI vertices (Definition 25), set
+    partitions for the injective-answer inclusion–exclusion of
+    Corollary 68, k-subsets for dominating sets, and tuple spaces for
+    the k-WL algorithm. *)
+
+(** [subsets xs] is all subsets of [xs] as lists, in binary-counter
+    order (the first is [[]]). *)
+val subsets : 'a list -> 'a list list
+
+(** [subsets_of_size k xs] is all k-element subsets of [xs]. *)
+val subsets_of_size : int -> 'a list -> 'a list list
+
+(** [iter_subsets_of_size k n f] calls [f] on every sorted k-subset of
+    [0 .. n-1]; the array is reused between calls. *)
+val iter_subsets_of_size : int -> int -> (int array -> unit) -> unit
+
+(** [partitions xs] is all set partitions of [xs] (Bell-number many;
+    intended for small inputs). *)
+val partitions : 'a list -> 'a list list list
+
+(** [iter_tuples n k f] calls [f] on every length-[k] tuple over
+    [0 .. n-1] (n^k of them); the array is reused between calls. *)
+val iter_tuples : int -> int -> (int array -> unit) -> unit
+
+(** [iter_functions dom_size cod_size f] is [iter_tuples cod_size
+    dom_size f] — every function from a [dom_size]-element domain to a
+    [cod_size]-element codomain, as an array indexed by the domain. *)
+val iter_functions : int -> int -> (int array -> unit) -> unit
+
+(** [range n] is [[0; 1; ...; n-1]]. *)
+val range : int -> int list
+
+(** [cartesian xss] is the cartesian product of a list of lists. *)
+val cartesian : 'a list list -> 'a list list

@@ -1,0 +1,64 @@
+type t = int array
+
+let identity n = Array.init n (fun i -> i)
+
+let is_permutation a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  let ok = ref true in
+  Array.iter
+    (fun x ->
+       if x < 0 || x >= n || seen.(x) then ok := false else seen.(x) <- true)
+    a;
+  !ok
+
+let compose p q =
+  if Array.length p <> Array.length q then
+    invalid_arg "Perm.compose: size mismatch";
+  Array.map (fun i -> p.(i)) q
+
+let inverse p =
+  let n = Array.length p in
+  let inv = Array.make n 0 in
+  Array.iteri (fun i x -> inv.(x) <- i) p;
+  inv
+
+let apply p i =
+  if i < 0 || i >= Array.length p then invalid_arg "Perm.apply: out of range";
+  p.(i)
+
+(* Heap's algorithm, iterative over a working copy. *)
+let iter_all n f =
+  let a = Array.init n (fun i -> i) in
+  let c = Array.make n 0 in
+  f a;
+  let i = ref 0 in
+  while !i < n do
+    if c.(!i) < !i then begin
+      let j = if !i mod 2 = 0 then 0 else c.(!i) in
+      let tmp = a.(j) in
+      a.(j) <- a.(!i);
+      a.(!i) <- tmp;
+      f a;
+      c.(!i) <- c.(!i) + 1;
+      i := 0
+    end
+    else begin
+      c.(!i) <- 0;
+      incr i
+    end
+  done
+
+let all n =
+  let acc = ref [] in
+  iter_all n (fun p -> acc := Array.copy p :: !acc);
+  List.rev !acc
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf p =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+       Format.pp_print_int)
+    (Array.to_list p)

@@ -1,0 +1,31 @@
+(** Permutations of [0 .. n-1], represented as arrays mapping index to
+    image.  Used for query automorphisms (Definition 42), the
+    [Bij(X)] sums of Section 4.3, and isomorphism search. *)
+
+type t = int array
+
+(** [identity n] is the identity permutation on [0 .. n-1]. *)
+val identity : int -> t
+
+(** [is_permutation a] checks that [a] is a bijection of its index set. *)
+val is_permutation : t -> bool
+
+(** [compose p q] is the permutation [i ↦ p.(q.(i))]. *)
+val compose : t -> t -> t
+
+(** [inverse p] is the inverse permutation. *)
+val inverse : t -> t
+
+(** [apply p i] is [p.(i)] with a bounds check. *)
+val apply : t -> int -> int
+
+(** [all n] enumerates all [n!] permutations of [0 .. n-1] (intended
+    for small [n]). *)
+val all : int -> t list
+
+(** [iter_all n f] applies [f] to each permutation of [0 .. n-1]; the
+    array passed to [f] is reused and must not be stashed. *)
+val iter_all : int -> (t -> unit) -> unit
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

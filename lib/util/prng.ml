@@ -1,0 +1,45 @@
+(* SplitMix64 (Steele, Lea, Flood 2014): tiny state, good statistical
+   quality, and trivially splittable — ideal for reproducible
+   experiments. *)
+
+type t = { mutable state : int64 }
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state gamma;
+  mix t.state
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: non-positive bound";
+  (* rejection-free for our purposes: 62 random bits mod bound; the
+     bias is < bound / 2^62, negligible for experiment sizes. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let float t =
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 11) in
+  float_of_int v /. 9007199254740992.0 (* 2^53 *)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let split t = { state = mix (next t) }

@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    All randomised experiments and property tests in this repository
+    seed their own generator so that every table in [bench/main.ml] and
+    every qcheck counterexample is reproducible. *)
+
+type t
+
+(** [create seed] is a fresh generator. *)
+val create : int -> t
+
+(** [copy t] duplicates the generator state. *)
+val copy : t -> t
+
+(** [next t] is the next raw 64-bit value (as an [int64]). *)
+val next : t -> int64
+
+(** [int t bound] is uniform in [0, bound).
+    @raise Invalid_argument when [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [bool t] is a uniform boolean. *)
+val bool : t -> bool
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [shuffle t a] permutes [a] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [split t] derives an independent generator. *)
+val split : t -> t

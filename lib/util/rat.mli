@@ -1,0 +1,50 @@
+(** Exact rational arithmetic over {!Bigint}.
+
+    Values are kept normalised: the denominator is positive and the
+    numerator and denominator are coprime.  Used by {!Linalg} for the
+    exact Vandermonde / Gaussian-elimination solves of Lemma 22 and
+    Observation 23. *)
+
+type t = private { num : Bigint.t; den : Bigint.t }
+
+val zero : t
+val one : t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] is the normalised rational [num/den].
+    @raise Division_by_zero when [den] is zero. *)
+
+val of_int : int -> t
+val of_bigint : Bigint.t -> t
+
+val of_ints : int -> int -> t
+(** [of_ints a b] is [a/b]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val inv : t -> t
+val abs : t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val sign : t -> int
+
+val is_integer : t -> bool
+
+val to_bigint_opt : t -> Bigint.t option
+(** [to_bigint_opt q] is [Some n] when [q] is the integer [n]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+end

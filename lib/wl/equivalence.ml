@@ -1,0 +1,45 @@
+open Wlcq_graph
+module Bigint = Wlcq_util.Bigint
+
+let equivalent k g1 g2 =
+  if k < 1 then invalid_arg "Equivalence.equivalent: k must be positive"
+  else if k = 1 then Refinement.equivalent g1 g2
+  else Kwl.equivalent k g1 g2
+
+let iter_patterns max_size f =
+  for n = 1 to max_size do
+    let pairs = ref [] in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do pairs := (u, v) :: !pairs done
+    done;
+    let pairs = Array.of_list !pairs in
+    let m = Array.length pairs in
+    for mask = 0 to (1 lsl m) - 1 do
+      let edges = ref [] in
+      Array.iteri
+        (fun i e -> if (mask lsr i) land 1 = 1 then edges := e :: !edges)
+        pairs;
+      f (Graph.create n !edges)
+    done
+  done
+
+exception Distinguished of Graph.t
+
+let hom_indistinguishable ~tw_bound ~max_pattern_size g1 g2 =
+  try
+    iter_patterns max_pattern_size (fun pattern ->
+        if Wlcq_treewidth.Exact.treewidth pattern <= tw_bound then begin
+          let c1 = Wlcq_hom.Td_count.count pattern g1 in
+          let c2 = Wlcq_hom.Td_count.count pattern g2 in
+          if not (Bigint.equal c1 c2) then raise (Distinguished pattern)
+        end);
+    None
+  with Distinguished pattern -> Some pattern
+
+let wl_dimension_of_pair g1 g2 ~max_k =
+  let rec go k =
+    if k > max_k then None
+    else if not (equivalent k g1 g2) then Some k
+    else go (k + 1)
+  in
+  go 1

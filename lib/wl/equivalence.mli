@@ -1,0 +1,34 @@
+(** WL-equivalence oracles (Definition 19) and distinguishing-pattern
+    search.
+
+    [≅_k] is defined via homomorphism indistinguishability over graphs
+    of treewidth at most [k].  The default oracle runs the matching WL
+    algorithm (colour refinement for [k = 1], folklore k-WL for
+    [k >= 2]); an independent brute-force oracle enumerates small
+    pattern graphs and compares homomorphism counts directly, and is
+    used to cross-validate the algebraic one in the test suite. *)
+
+open Wlcq_graph
+
+(** [equivalent k g1 g2] decides [g1 ≅_k g2].
+    @raise Invalid_argument when [k < 1]. *)
+val equivalent : int -> Graph.t -> Graph.t -> bool
+
+(** [iter_patterns max_size f] applies [f] to every graph with between
+    1 and [max_size] vertices (one representative per labelled graph;
+    no isomorphism dedup). *)
+val iter_patterns : int -> (Graph.t -> unit) -> unit
+
+(** [hom_indistinguishable ~tw_bound ~max_pattern_size g1 g2] compares
+    [|Hom(F, g1)|] and [|Hom(F, g2)|] for every pattern [F] with at
+    most [max_pattern_size] vertices and treewidth at most [tw_bound];
+    returns the first distinguishing pattern, or [None] when the graphs
+    agree on all of them. *)
+val hom_indistinguishable :
+  tw_bound:int -> max_pattern_size:int -> Graph.t -> Graph.t ->
+  Graph.t option
+
+(** [wl_dimension_of_pair g1 g2 ~max_k] is the least [k <= max_k] with
+    [not (g1 ≅_k g2)], or [None] if the graphs are equivalent up to
+    [max_k]. *)
+val wl_dimension_of_pair : Graph.t -> Graph.t -> max_k:int -> int option

@@ -1,0 +1,86 @@
+open Wlcq_graph
+
+(* Count-based refinement: the signature of a vertex is its class plus
+   the vector of neighbour counts per class.  Stops when the number of
+   classes stabilises. *)
+let refine_counts graphs =
+  let colourings =
+    List.map (fun g -> Array.make (Graph.num_vertices g) 0) graphs
+  in
+  let rec go colourings c =
+    let signatures =
+      List.map2
+        (fun g colours ->
+           Array.init (Graph.num_vertices g) (fun v ->
+               let counts = Array.make c 0 in
+               Graph.iter_neighbours g v (fun w ->
+                   counts.(colours.(w)) <- counts.(colours.(w)) + 1);
+               (colours.(v), Array.to_list counts)))
+        graphs colourings
+    in
+    let distinct =
+      List.sort_uniq compare (List.concat_map Array.to_list signatures)
+    in
+    let ids = Hashtbl.create 64 in
+    List.iteri (fun i s -> Hashtbl.replace ids s i) distinct;
+    let colourings' =
+      List.map (Array.map (fun s -> Hashtbl.find ids s)) signatures
+    in
+    let c' = List.length distinct in
+    if c' = c then (colourings, c) else go colourings' c'
+  in
+  go colourings 1
+
+let coarsest_equitable g =
+  match refine_counts [ g ] with
+  | [ classes ], c -> (classes, c)
+  | _ -> assert false
+
+let coarsest_equitable_pair g1 g2 =
+  match refine_counts [ g1; g2 ] with
+  | [ c1; c2 ], c -> (c1, c2, c)
+  | _ -> assert false
+
+let degree_matrix g classes c =
+  let n = Graph.num_vertices g in
+  if Array.length classes <> n then
+    invalid_arg "Fractional.degree_matrix: partition size mismatch";
+  let matrix = Array.make_matrix c c (-1) in
+  for v = 0 to n - 1 do
+    let counts = Array.make c 0 in
+    Graph.iter_neighbours g v (fun w ->
+        counts.(classes.(w)) <- counts.(classes.(w)) + 1);
+    for j = 0 to c - 1 do
+      let i = classes.(v) in
+      if matrix.(i).(j) < 0 then matrix.(i).(j) <- counts.(j)
+      else if matrix.(i).(j) <> counts.(j) then
+        invalid_arg "Fractional.degree_matrix: partition is not equitable"
+    done
+  done;
+  matrix
+
+let class_sizes classes c =
+  let sizes = Array.make c 0 in
+  Array.iter (fun i -> sizes.(i) <- sizes.(i) + 1) classes;
+  sizes
+
+let isomorphic g1 g2 =
+  Graph.num_vertices g1 = Graph.num_vertices g2
+  && begin
+    let c1, c2, c = coarsest_equitable_pair g1 g2 in
+    class_sizes c1 c = class_sizes c2 c
+    && begin
+      (* classes inhabited in both graphs get the same degree rows;
+         classes inhabited in only one graph already break the size
+         comparison above *)
+      let m1 = degree_matrix g1 c1 c and m2 = degree_matrix g2 c2 c in
+      let ok = ref true in
+      for i = 0 to c - 1 do
+        for j = 0 to c - 1 do
+          if m1.(i).(j) >= 0 && m2.(i).(j) >= 0 && m1.(i).(j) <> m2.(i).(j)
+          then ok := false
+        done
+      done;
+      !ok
+    end
+  end

@@ -1,0 +1,34 @@
+(** Fractional isomorphism — the paper's characterisation (I):
+    [G ≅_1 G'] iff [G] and [G'] are fractionally isomorphic
+    (Tinhofer).
+
+    Two graphs are fractionally isomorphic iff they share a {e common
+    equitable partition}: partitions of the two vertex sets into
+    classes [P_1 … P_c] / [Q_1 … Q_c] with [|P_i| = |Q_i|] such that
+    every vertex of [P_i] has exactly [d_{ij}] neighbours in [P_j],
+    and likewise in [G'] with the same numbers.  This module computes
+    the coarsest equitable partitions by count-based refinement — an
+    implementation independent of {!Refinement}'s multiset signatures,
+    so the two can cross-validate each other in the test suite. *)
+
+open Wlcq_graph
+
+(** [coarsest_equitable g] is the coarsest equitable partition of [g]
+    as [(classes, c)]: class ids in [0 .. c-1]. *)
+val coarsest_equitable : Graph.t -> int array * int
+
+(** [coarsest_equitable_pair g1 g2] refines both graphs in a shared
+    class namespace. *)
+val coarsest_equitable_pair :
+  Graph.t -> Graph.t -> int array * int array * int
+
+(** [degree_matrix g classes c] is the [c × c] matrix whose [(i, j)]
+    entry is the number of neighbours in class [j] of any vertex in
+    class [i].
+    @raise Invalid_argument when the partition is not equitable. *)
+val degree_matrix : Graph.t -> int array -> int -> int array array
+
+(** [isomorphic g1 g2] decides fractional isomorphism: equal class
+    sizes and equal degree matrices under the common coarsest
+    equitable partition. *)
+val isomorphic : Graph.t -> Graph.t -> bool

@@ -1,0 +1,40 @@
+open Wlcq_graph
+module Bigint = Wlcq_util.Bigint
+
+let patterns ~max_size ~tw_bound =
+  let acc = ref [] in
+  for n = 1 to max_size do
+    let reps = ref [] in
+    let pairs = ref [] in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do pairs := (u, v) :: !pairs done
+    done;
+    let pairs = Array.of_list !pairs in
+    let m = Array.length pairs in
+    for mask = 0 to (1 lsl m) - 1 do
+      let edges = ref [] in
+      Array.iteri
+        (fun i e -> if (mask lsr i) land 1 = 1 then edges := e :: !edges)
+        pairs;
+      let g = Graph.create n !edges in
+      if Traversal.is_connected g
+         && Wlcq_treewidth.Exact.treewidth g <= tw_bound
+         && not (List.exists (Iso.isomorphic g) !reps)
+      then reps := g :: !reps
+    done;
+    acc := !acc @ List.rev !reps
+  done;
+  !acc
+
+let profile ~patterns g =
+  List.map (fun pattern -> Wlcq_hom.Td_count.count pattern g) patterns
+
+let first_difference ~max_size ~tw_bound g1 g2 =
+  let rec go = function
+    | [] -> None
+    | pattern :: rest ->
+      let c1 = Wlcq_hom.Td_count.count pattern g1 in
+      let c2 = Wlcq_hom.Td_count.count pattern g2 in
+      if Bigint.equal c1 c2 then go rest else Some (pattern, c1, c2)
+  in
+  go (patterns ~max_size ~tw_bound)

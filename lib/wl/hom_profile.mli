@@ -1,0 +1,30 @@
+(** Homomorphism-count profiles (Lovász vectors) restricted to
+    bounded-treewidth patterns.
+
+    By Definition 19, [G ≅_k G'] iff the two graphs have equal
+    profiles over {e all} patterns of treewidth ≤ k; a profile over
+    the patterns up to a fixed size is the finite fragment of that
+    characterisation.  Profiles are the "features" through which
+    Observation 23's readout factors, and they make hom-based
+    separations tangible: {!first_difference} exhibits the smallest
+    pattern on which two graphs disagree. *)
+
+open Wlcq_graph
+
+(** [patterns ~max_size ~tw_bound] lists one representative per
+    isomorphism class of {e connected} graphs with [1 .. max_size]
+    vertices and treewidth at most [tw_bound], in order of size.
+    Intended for small [max_size] (≤ 6). *)
+val patterns : max_size:int -> tw_bound:int -> Graph.t list
+
+(** [profile ~patterns g] is the vector of [|Hom(F, g)|] over the
+    pattern list. *)
+val profile : patterns:Graph.t list -> Graph.t -> Wlcq_util.Bigint.t list
+
+(** [first_difference ~max_size ~tw_bound g1 g2] is the smallest
+    pattern (in the {!patterns} order) with different hom counts into
+    [g1] and [g2], together with the two counts; [None] when the
+    bounded profiles agree. *)
+val first_difference :
+  max_size:int -> tw_bound:int -> Graph.t -> Graph.t ->
+  (Graph.t * Wlcq_util.Bigint.t * Wlcq_util.Bigint.t) option

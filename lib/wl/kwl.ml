@@ -1,0 +1,111 @@
+open Wlcq_graph
+
+type result = { colours : int array; num_colours : int; rounds : int }
+
+(* Tuples are encoded in base n: the tuple (v_0, ..., v_{k-1}) has
+   index sum_i v_i * n^(k-1-i).  [weights] are the per-position place
+   values, so substituting coordinate i by w is
+   idx + (w - v_i) * weights.(i). *)
+
+let decode_tuple k n idx =
+  let t = Array.make k 0 in
+  let r = ref idx in
+  for i = k - 1 downto 0 do
+    t.(i) <- !r mod n;
+    r := !r / n
+  done;
+  t
+
+let atomic g k idx =
+  let n = Graph.num_vertices g in
+  let t = decode_tuple k n idx in
+  (* equality pattern and adjacency pattern over ordered pairs i < j *)
+  let sig_ = ref [] in
+  for i = k - 1 downto 0 do
+    for j = k - 1 downto i + 1 do
+      let eq = if t.(i) = t.(j) then 1 else 0 in
+      let adj = if Graph.adjacent g t.(i) t.(j) then 1 else 0 in
+      sig_ := (2 * eq) + adj :: !sig_
+    done
+  done;
+  !sig_
+
+(* Jointly canonicalise arbitrary comparable labels to 0..c-1. *)
+let canonicalise labelled =
+  let distinct =
+    List.sort_uniq compare (List.concat_map Array.to_list labelled)
+  in
+  let ids = Hashtbl.create 256 in
+  List.iteri (fun i s -> Hashtbl.replace ids s i) distinct;
+  (List.map (Array.map (Hashtbl.find ids)) labelled, List.length distinct)
+
+let run_many k graphs =
+  if k < 2 then invalid_arg "Kwl: requires k >= 2 (use Refinement for k = 1)";
+  let sizes = List.map (fun g -> Graph.num_vertices g) graphs in
+  let tuple_counts =
+    List.map
+      (fun n ->
+         let rec pow acc i = if i = 0 then acc else pow (acc * n) (i - 1) in
+         pow 1 k)
+      sizes
+  in
+  (* initial colouring by atomic type *)
+  let init =
+    List.map2
+      (fun g count -> Array.init count (fun idx -> atomic g k idx))
+      graphs tuple_counts
+  in
+  let colourings, num = canonicalise init in
+  let round colourings =
+    let signatures =
+      List.map2
+        (fun (g, count) colours ->
+           let n = Graph.num_vertices g in
+           (* place value of coordinate i in the base-n encoding *)
+           let place = Array.make k 1 in
+           for i = k - 2 downto 0 do place.(i) <- place.(i + 1) * n done;
+           Array.init count (fun idx ->
+               let t = decode_tuple k n idx in
+               let entries = ref [] in
+               for w = 0 to n - 1 do
+                 let entry =
+                   Array.init k (fun i ->
+                       (* index of t with coordinate i replaced by w *)
+                       colours.(idx + ((w - t.(i)) * place.(i))))
+                 in
+                 entries := Array.to_list entry :: !entries
+               done;
+               (colours.(idx), List.sort compare !entries)))
+        (List.combine graphs tuple_counts)
+        colourings
+    in
+    canonicalise signatures
+  in
+  let rec go colourings num rounds =
+    let colourings', num' = round colourings in
+    if num' = num then (colourings, num, rounds)
+    else go colourings' num' (rounds + 1)
+  in
+  let colourings, num, rounds = go colourings num 0 in
+  List.map (fun colours -> { colours; num_colours = num; rounds }) colourings
+
+let run k g =
+  match run_many k [ g ] with [ r ] -> r | _ -> assert false
+
+let run_pair k g1 g2 =
+  match run_many k [ g1; g2 ] with
+  | [ r1; r2 ] -> (r1, r2)
+  | _ -> assert false
+
+let histogram r =
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (fun c ->
+       Hashtbl.replace counts c
+         (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+    r.colours;
+  List.sort compare (Hashtbl.fold (fun c n acc -> (c, n) :: acc) counts [])
+
+let equivalent k g1 g2 =
+  let r1, r2 = run_pair k g1 g2 in
+  histogram r1 = histogram r2

@@ -1,0 +1,38 @@
+(** The folklore k-dimensional Weisfeiler-Leman algorithm.
+
+    For [k >= 2], folklore k-WL colours the k-tuples of vertices:
+    initially by their atomic type (the equality and adjacency pattern
+    of the tuple), then iteratively by
+    [c'(v̄) = (c(v̄), {{ (c(v̄[1/w]), …, c(v̄[k/w])) : w ∈ V }})]
+    until stable.  Two graphs have equal stable colour histograms iff
+    they agree on homomorphism counts from all graphs of treewidth at
+    most k (Dvořák; Dell–Grohe–Rattan) — which is exactly the paper's
+    Definition 19 of [≅_k].  The [k = 1] case of Definition 19 is
+    colour refinement and is handled by {!Refinement}; this module
+    requires [k >= 2].
+
+    Complexity is Θ(n^{k+1}) per round — fine for the experiment
+    scale (CFI graphs of a few dozen vertices, k ≤ 3). *)
+
+open Wlcq_graph
+
+type result = {
+  colours : int array;  (** stable colour of each of the [n^k] tuples,
+                            indexed by the base-[n] encoding of the
+                            tuple *)
+  num_colours : int;  (** colours in the shared namespace *)
+  rounds : int;  (** rounds until stabilisation *)
+}
+
+(** [run k g] refines the k-tuples of [g].
+    @raise Invalid_argument when [k < 2]. *)
+val run : int -> Graph.t -> result
+
+(** [run_pair k g1 g2] refines both graphs in a shared namespace. *)
+val run_pair : int -> Graph.t -> Graph.t -> result * result
+
+(** [histogram r] is the sorted [(colour, multiplicity)] list. *)
+val histogram : result -> (int * int) list
+
+(** [equivalent k g1 g2] tests folklore-k-WL-equivalence ([k >= 2]). *)
+val equivalent : int -> Graph.t -> Graph.t -> bool

@@ -1,0 +1,129 @@
+open Wlcq_graph
+
+(* Kuhn's augmenting-path algorithm for bipartite perfect matching;
+   [allowed left right] gives edge admissibility, both sides of size
+   [n]. *)
+let perfect_matching n allowed =
+  let match_of_right = Array.make n (-1) in
+  let rec try_augment left visited =
+    let rec go right =
+      if right >= n then false
+      else if allowed left right && not visited.(right) then begin
+        visited.(right) <- true;
+        if match_of_right.(right) < 0
+           || try_augment match_of_right.(right) visited
+        then begin
+          match_of_right.(right) <- left;
+          true
+        end
+        else go (right + 1)
+      end
+      else go (right + 1)
+    in
+    go 0
+  in
+  let ok = ref true in
+  for left = 0 to n - 1 do
+    if !ok && not (try_augment left (Array.make n false)) then ok := false
+  done;
+  !ok
+
+let decode_tuple k n idx =
+  let t = Array.make k 0 in
+  let r = ref idx in
+  for i = k - 1 downto 0 do
+    t.(i) <- !r mod n;
+    r := !r / n
+  done;
+  t
+
+let encode_tuple n t =
+  Array.fold_left (fun acc v -> (acc * n) + v) 0 t
+
+(* atomic compatibility: identical equality and adjacency patterns *)
+let atomically_compatible g1 g2 t1 t2 =
+  let k = Array.length t1 in
+  let ok = ref true in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      if (t1.(i) = t1.(j)) <> (t2.(i) = t2.(j)) then ok := false;
+      if Graph.adjacent g1 t1.(i) t1.(j) <> Graph.adjacent g2 t2.(i) t2.(j)
+      then ok := false
+    done
+  done;
+  !ok
+
+(* Greatest fixpoint of the Duplicator-safe positions, as a boolean
+   matrix over (tuple of g1, tuple of g2) index pairs.  Requires
+   |V(g1)| = |V(g2)|. *)
+let safe_positions k g1 g2 =
+  let n = Graph.num_vertices g1 in
+  assert (Graph.num_vertices g2 = n);
+  let count =
+    let rec pow acc i = if i = 0 then acc else pow (acc * n) (i - 1) in
+    pow 1 k
+  in
+  let place = Array.make k 1 in
+  for i = k - 2 downto 0 do place.(i) <- place.(i + 1) * n done;
+  let safe = Array.make_matrix count count false in
+  for p = 0 to count - 1 do
+    let t1 = decode_tuple k n p in
+    for q = 0 to count - 1 do
+      let t2 = decode_tuple k n q in
+      safe.(p).(q) <- atomically_compatible g1 g2 t1 t2
+    done
+  done;
+  (* deletion rounds: a position survives when there is ONE bijection
+     that keeps the continuations safe for EVERY pebble — Duplicator
+     announces the bijection before Spoiler chooses the pebble *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for p = 0 to count - 1 do
+      let t1 = decode_tuple k n p in
+      for q = 0 to count - 1 do
+        if safe.(p).(q) then begin
+          let t2 = decode_tuple k n q in
+          let survives =
+            perfect_matching n (fun v w ->
+                let rec all_pebbles i =
+                  i >= k
+                  || (safe.(p + ((v - t1.(i)) * place.(i)))
+                        .(q + ((w - t2.(i)) * place.(i)))
+                      && all_pebbles (i + 1))
+                in
+                all_pebbles 0)
+          in
+          if not survives then begin
+            safe.(p).(q) <- false;
+            changed := true
+          end
+        end
+      done
+    done
+  done;
+  safe
+
+let duplicator_wins k g1 g2 t1 t2 =
+  if k < 2 then invalid_arg "Pebble: requires k >= 2";
+  if Array.length t1 <> k || Array.length t2 <> k then
+    invalid_arg "Pebble.duplicator_wins: tuple arity mismatch";
+  let n = Graph.num_vertices g1 in
+  if Graph.num_vertices g2 <> n then false
+  else begin
+    let safe = safe_positions k g1 g2 in
+    safe.(encode_tuple n t1).(encode_tuple n t2)
+  end
+
+let equivalent k g1 g2 =
+  if k < 2 then invalid_arg "Pebble: requires k >= 2";
+  let n = Graph.num_vertices g1 in
+  if Graph.num_vertices g2 <> n then false
+  else if n = 0 then true
+  else begin
+    let safe = safe_positions k g1 g2 in
+    let count = Array.length safe in
+    (* equal colour multisets <=> perfect matching between the tuple
+       sets under the safe relation (Hall) *)
+    perfect_matching count (fun p q -> safe.(p).(q))
+  end

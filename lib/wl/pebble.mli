@@ -1,0 +1,35 @@
+(** The bijective pebble game — an independent oracle for
+    [≅_k].
+
+    By Hella's theorem (via Cai–Fürer–Immerman / Immerman–Lander),
+    two k-tuples receive the same stable folklore-k-WL colour exactly
+    when Duplicator wins the bijective k-pebble game from them: at
+    each round Spoiler picks a pebble pair [i], Duplicator answers
+    with a bijection [f : V(G) → V(H)], Spoiler places the pebbles on
+    some [v / f(v)], and Duplicator survives as long as the pebbled
+    maps stay partial isomorphisms.
+
+    This module computes Duplicator's winning positions directly as a
+    greatest fixpoint: start from all atomically compatible tuple
+    pairs and repeatedly delete a pair when, for some pebble, no
+    bijection keeps every continuation inside the surviving set (a
+    bipartite perfect-matching test).  Graph equivalence is then a
+    perfect matching between the tuple sets under the surviving
+    relation — multiset equality of colours, by Hall's theorem.
+
+    The algorithm shares nothing with {!Kwl}'s colour refinement, so
+    agreement between the two (checked in the test suite) is a strong
+    cross-validation of both.  Cost is Θ(n^{2k}) space; intended for
+    the small instances of the experiments. *)
+
+open Wlcq_graph
+
+(** [equivalent k g1 g2] decides folklore-k-WL-equivalence through the
+    game ([k >= 2]; use {!Refinement} for [k = 1]).
+    @raise Invalid_argument when [k < 2]. *)
+val equivalent : int -> Graph.t -> Graph.t -> bool
+
+(** [duplicator_wins k g1 g2 t1 t2] tests whether Duplicator wins from
+    the position pebbling the k-tuple [t1] in [g1] against [t2] in
+    [g2]. *)
+val duplicator_wins : int -> Graph.t -> Graph.t -> int array -> int array -> bool

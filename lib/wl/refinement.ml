@@ -1,0 +1,59 @@
+open Wlcq_graph
+
+type result = { colours : int array; num_colours : int; rounds : int }
+
+(* Joint refinement over a list of graphs sharing one colour
+   namespace.  Each round maps every vertex to the pair (old colour,
+   sorted multiset of neighbour colours) and canonically renumbers by
+   the sorted order of these signatures. *)
+let run_many graphs =
+  let colourings = List.map (fun g -> Array.make (Graph.num_vertices g) 0) graphs in
+  let round colourings =
+    let signatures =
+      List.map2
+        (fun g colours ->
+           Array.init (Graph.num_vertices g) (fun v ->
+               let neigh =
+                 Graph.fold_neighbours g v (fun w acc -> colours.(w) :: acc) []
+               in
+               (colours.(v), List.sort compare neigh)))
+        graphs colourings
+    in
+    let distinct =
+      List.sort_uniq compare (List.concat_map Array.to_list signatures)
+    in
+    let ids = Hashtbl.create 64 in
+    List.iteri (fun i s -> Hashtbl.replace ids s i) distinct;
+    ( List.map (Array.map (fun s -> Hashtbl.find ids s)) signatures,
+      List.length distinct )
+  in
+  let rec go colourings num rounds =
+    let colourings', num' = round colourings in
+    if num' = num then (colourings, num, rounds)
+    else go colourings' num' (rounds + 1)
+  in
+  let colourings, num, rounds = go colourings 1 0 in
+  List.map
+    (fun colours -> { colours; num_colours = num; rounds })
+    colourings
+
+let run g =
+  match run_many [ g ] with [ r ] -> r | _ -> assert false
+
+let run_pair g1 g2 =
+  match run_many [ g1; g2 ] with
+  | [ r1; r2 ] -> (r1, r2)
+  | _ -> assert false
+
+let histogram r =
+  let counts = Hashtbl.create 16 in
+  Array.iter
+    (fun c ->
+       Hashtbl.replace counts c
+         (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+    r.colours;
+  List.sort compare (Hashtbl.fold (fun c n acc -> (c, n) :: acc) counts [])
+
+let equivalent g1 g2 =
+  let r1, r2 = run_pair g1 g2 in
+  histogram r1 = histogram r2

@@ -1,0 +1,29 @@
+(** One-dimensional Weisfeiler-Leman: colour refinement.
+
+    Two graphs are 1-WL-equivalent in the sense of Definition 19
+    (equal homomorphism counts from all trees) exactly when colour
+    refinement run on both graphs jointly produces equal stable colour
+    histograms (Dvořák). *)
+
+open Wlcq_graph
+
+type result = {
+  colours : int array;  (** stable colour of each vertex *)
+  num_colours : int;  (** number of distinct colours (shared namespace) *)
+  rounds : int;  (** refinement rounds until stabilisation *)
+}
+
+(** [run g] refines [g] from the uniform initial colouring. *)
+val run : Graph.t -> result
+
+(** [run_pair g1 g2] refines both graphs in a shared colour namespace
+    (colours are comparable across the two results). *)
+val run_pair : Graph.t -> Graph.t -> result * result
+
+(** [histogram r] is the multiset of stable colours as a sorted
+    [(colour, multiplicity)] list. *)
+val histogram : result -> (int * int) list
+
+(** [equivalent g1 g2] tests 1-WL-equivalence (equal stable
+    histograms under joint refinement). *)
+val equivalent : Graph.t -> Graph.t -> bool

@@ -1,0 +1,240 @@
+open Wlcq_graph
+open Wlcq_cfi
+module Bitset = Wlcq_util.Bitset
+module Prng = Wlcq_util.Prng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Construction basics                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_sizes () =
+  (* χ(C4): every vertex has degree 2, so 2 even subsets each -> 8 *)
+  check_int "chi(C4) size" 8 (Cfi.num_vertices (Cfi.even (Builders.cycle 4)));
+  (* χ(K4): degree 3, 4 even subsets each -> 16 *)
+  check_int "chi(K4) size" 16 (Cfi.num_vertices (Cfi.even (Builders.clique 4)));
+  (* twisting does not change per-vertex counts *)
+  check_int "chi(K4,{0}) size" 16
+    (Cfi.num_vertices (Cfi.odd (Builders.clique 4)))
+
+let test_projection_homomorphism () =
+  List.iter
+    (fun base ->
+       check_bool "projection is a homomorphism (even)" true
+         (Cfi.projection_is_homomorphism (Cfi.even base));
+       check_bool "projection is a homomorphism (odd)" true
+         (Cfi.projection_is_homomorphism (Cfi.odd base)))
+    [ Builders.cycle 4; Builders.clique 4; Builders.grid 2 3;
+      Builders.path 4 ]
+
+let test_subset_parity_invariant () =
+  let base = Builders.clique 4 in
+  let even = Cfi.even base and odd = Cfi.odd base in
+  Array.iteri
+    (fun i s ->
+       check_int "even twist: |S| even" 0 (Bitset.cardinal s mod 2);
+       ignore i)
+    even.Cfi.subset;
+  Array.iteri
+    (fun i s ->
+       let w = odd.Cfi.projection.(i) in
+       let expected = if w = 0 then 1 else 0 in
+       check_int "odd twist parity" expected (Bitset.cardinal s mod 2))
+    odd.Cfi.subset
+
+let test_vertex_lookup () =
+  let base = Builders.cycle 4 in
+  let t = Cfi.even base in
+  (* (0, {}) exists; (0, {1}) has odd parity so it does not *)
+  check_bool "empty subset found" true (Cfi.vertex t 0 (Bitset.create 4) <> None);
+  check_bool "odd subset absent" true
+    (Cfi.vertex t 0 (Bitset.of_list 4 [ 1 ]) = None);
+  check_bool "both neighbours found" true
+    (Cfi.vertex t 0 (Bitset.of_list 4 [ 1; 3 ]) <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 26: parity decides isomorphism                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_lemma26_same_parity () =
+  List.iter
+    (fun base ->
+       let n = Graph.num_vertices base in
+       check_bool "odd twists isomorphic" true
+         (Pairs.same_parity_isomorphic base 0 (n - 1));
+       (* two-element twist is isomorphic to the empty twist *)
+       let both = Cfi.build base (Bitset.of_list n [ 0; 1 ]) in
+       let even = Cfi.even base in
+       check_bool "even twists isomorphic" true
+         (Iso.isomorphic both.Cfi.graph even.Cfi.graph))
+    [ Builders.cycle 4; Builders.cycle 5; Builders.clique 4 ]
+
+let test_lemma26_different_parity () =
+  List.iter
+    (fun base ->
+       check_bool "odd vs even not isomorphic" true
+         (Pairs.parity_classes_differ base))
+    [ Builders.cycle 4; Builders.cycle 5; Builders.clique 4;
+      Builders.grid 2 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 27: (t-1)-WL-equivalence of twisted pairs                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_lemma27_cycle () =
+  (* tw(C4) = 2: the pair is 1-WL-equivalent but 2-WL separates *)
+  let even, odd = Pairs.twisted_pair (Builders.cycle 4) in
+  check_bool "chi(C4) pair 1-WL-equivalent" true
+    (Wlcq_wl.Equivalence.equivalent 1 even.Cfi.graph odd.Cfi.graph);
+  check_bool "chi(C4) pair separated by 2-WL" false
+    (Wlcq_wl.Equivalence.equivalent 2 even.Cfi.graph odd.Cfi.graph)
+
+let test_lemma27_clique () =
+  (* tw(K4) = 3: the pair is 2-WL-equivalent but 3-WL separates *)
+  let even, odd = Pairs.twisted_pair (Builders.clique 4) in
+  check_bool "chi(K4) pair 1-WL-equivalent" true
+    (Wlcq_wl.Equivalence.equivalent 1 even.Cfi.graph odd.Cfi.graph);
+  check_bool "chi(K4) pair 2-WL-equivalent" true
+    (Wlcq_wl.Equivalence.equivalent 2 even.Cfi.graph odd.Cfi.graph);
+  check_bool "chi(K4) pair separated by 3-WL" false
+    (Wlcq_wl.Equivalence.equivalent 3 even.Cfi.graph odd.Cfi.graph)
+
+let test_lemma27_hom_counts () =
+  (* Definition 19 directly: treewidth-1 patterns cannot separate the
+     χ(C4) pair, and some treewidth-2 pattern can *)
+  let even, odd = Pairs.twisted_pair (Builders.cycle 4) in
+  check_bool "no small tree separates" true
+    (Wlcq_wl.Equivalence.hom_indistinguishable ~tw_bound:1
+       ~max_pattern_size:5 even.Cfi.graph odd.Cfi.graph
+     = None);
+  check_bool "a tw<=2 pattern separates" true
+    (Wlcq_wl.Equivalence.hom_indistinguishable ~tw_bound:2
+       ~max_pattern_size:5 even.Cfi.graph odd.Cfi.graph
+     <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Cloning (Definition 33, Lemmas 34/35)                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_clone_structure () =
+  let base = Builders.cycle 4 in
+  let t = Cfi.even base in
+  let cloned =
+    Cloning.clone ~g:t.Cfi.graph ~f:base ~c:t.Cfi.projection [ (0, 3) ]
+  in
+  (* colour class of 0 has 2 CFI vertices; tripling adds 4 vertices *)
+  check_int "clone size" 12 (Graph.num_vertices cloned.Cloning.graph);
+  check_bool "rho is a homomorphism" true
+    (Cloning.rho_is_homomorphism cloned t.Cfi.graph);
+  check_bool "C' is an F-colouring" true
+    (Wlcq_hom.Colored.is_colouring cloned.Cloning.graph base
+       cloned.Cloning.colouring)
+
+let test_clone_identity () =
+  let base = Builders.cycle 4 in
+  let t = Cfi.even base in
+  let cloned =
+    Cloning.clone ~g:t.Cfi.graph ~f:base ~c:t.Cfi.projection [ (0, 1) ]
+  in
+  check_bool "multiplicity 1 is the identity" true
+    (Graph.equal cloned.Cloning.graph t.Cfi.graph)
+
+let test_lemma34_hom_scaling () =
+  (* |Hom_tau(H, G', F, c')| = |Hom_tau(H, G, F, c)| * prod z_i^{d_i} *)
+  let f = Builders.cycle 4 in
+  let t = Cfi.even f in
+  let g = t.Cfi.graph and c = t.Cfi.projection in
+  let h = Builders.path 3 in
+  let z = 3 in
+  let cloned = Cloning.clone ~g ~f ~c [ (0, z) ] in
+  Wlcq_hom.Brute.iter h f (fun tau ->
+      let tau = Array.copy tau in
+      let d0 = Array.fold_left (fun acc x -> if x = 0 then acc + 1 else acc) 0 tau in
+      let before = Wlcq_hom.Colored.count_hom_tau ~h ~g ~f ~c ~tau in
+      let after =
+        Wlcq_hom.Colored.count_hom_tau ~h ~g:cloned.Cloning.graph ~f
+          ~c:cloned.Cloning.colouring ~tau
+      in
+      let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+      check_int "Lemma 34 scaling" (before * pow z d0) after)
+
+let test_lemma35_clone_equivalence () =
+  (* cloning preserves the (t-1)-WL-equivalence of the twisted pair *)
+  let f = Builders.cycle 4 in
+  let even, odd = Pairs.twisted_pair f in
+  let clone t =
+    Cloning.clone ~g:t.Cfi.graph ~f ~c:t.Cfi.projection [ (0, 2); (2, 3) ]
+  in
+  let ge = clone even and go = clone odd in
+  check_bool "cloned pair still 1-WL-equivalent" true
+    (Wlcq_wl.Equivalence.equivalent 1 ge.Cloning.graph go.Cloning.graph);
+  check_bool "cloned pair still non-isomorphic" false
+    (Iso.isomorphic ge.Cloning.graph go.Cloning.graph)
+
+let cfi_qcheck =
+  [
+    QCheck.Test.make ~name:"Lemma 26 parity on random connected bases"
+      ~count:10
+      QCheck.(int_bound 100000)
+      (fun seed ->
+         let rng = Prng.create seed in
+         let base = Gen.random_connected rng 5 0.3 in
+         Pairs.parity_classes_differ base
+         && Pairs.same_parity_isomorphic base 0
+              (Graph.num_vertices base - 1));
+    QCheck.Test.make ~name:"projection subsets lie in base neighbourhoods"
+      ~count:20
+      QCheck.(int_bound 100000)
+      (fun seed ->
+         let rng = Prng.create seed in
+         let base = Gen.random_connected rng 5 0.4 in
+         let t = Cfi.even base in
+         let ok = ref true in
+         Array.iteri
+           (fun i s ->
+              let w = t.Cfi.projection.(i) in
+              if not (Bitset.subset s (Graph.neighbours base w)) then
+                ok := false)
+           t.Cfi.subset;
+         !ok);
+  ]
+
+let () =
+  let qsuite name tests =
+    (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+  in
+  Alcotest.run "wlcq_cfi"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "sizes" `Quick test_sizes;
+          Alcotest.test_case "projection homomorphism" `Quick
+            test_projection_homomorphism;
+          Alcotest.test_case "subset parity" `Quick test_subset_parity_invariant;
+          Alcotest.test_case "vertex lookup" `Quick test_vertex_lookup;
+        ] );
+      ( "lemma26",
+        [
+          Alcotest.test_case "same parity isomorphic" `Quick
+            test_lemma26_same_parity;
+          Alcotest.test_case "different parity distinct" `Quick
+            test_lemma26_different_parity;
+        ] );
+      ( "lemma27",
+        [
+          Alcotest.test_case "cycle base (tw 2)" `Quick test_lemma27_cycle;
+          Alcotest.test_case "clique base (tw 3)" `Slow test_lemma27_clique;
+          Alcotest.test_case "hom counts" `Quick test_lemma27_hom_counts;
+        ] );
+      ( "cloning",
+        [
+          Alcotest.test_case "structure" `Quick test_clone_structure;
+          Alcotest.test_case "identity" `Quick test_clone_identity;
+          Alcotest.test_case "Lemma 34 scaling" `Quick test_lemma34_hom_scaling;
+          Alcotest.test_case "Lemma 35 equivalence" `Quick
+            test_lemma35_clone_equivalence;
+        ] );
+      qsuite "properties" cfi_qcheck;
+    ]

@@ -1,0 +1,114 @@
+open Wlcq_gnn
+open Wlcq_graph
+module Core = Wlcq_core
+module Bigint = Wlcq_util.Bigint
+module Prng = Wlcq_util.Prng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let star2 = Core.Star.query 2
+let star3 = Core.Star.query 3
+
+let test_make_orders () =
+  let g = Builders.grid 3 3 in
+  let n1 = Gnn.make ~order:1 g in
+  check_int "order-1 features on vertices" 9 (Array.length n1.Gnn.features);
+  let n2 = Gnn.make ~order:2 g in
+  check_int "order-2 features on pairs" 81 (Array.length n2.Gnn.features);
+  check_bool "fully refined has stable classes" true (n2.Gnn.num_classes > 1)
+
+let test_proposition3_partition () =
+  (* the fully-refined partition is the k-WL partition: histograms of
+     two isomorphic graphs agree at every order *)
+  let g = Builders.petersen () in
+  let rng = Prng.create 5 in
+  let p = Array.init 10 (fun i -> i) in
+  Prng.shuffle rng p;
+  let h = Ops.relabel g p in
+  check_bool "order-1 indistinguishable" true
+    (Gnn.indistinguishable ~order:1 g h);
+  check_bool "order-2 indistinguishable" true
+    (Gnn.indistinguishable ~order:2 g h)
+
+let test_sufficient_order () =
+  check_int "star2 needs order 2" 2 (Gnn.sufficient_order star2);
+  check_int "star3 needs order 3" 3 (Gnn.sufficient_order star3);
+  check_int "edge query needs order 1" 1
+    (Gnn.sufficient_order
+       (Core.Parser.parse_exn "(x1, x2) := E(x1, x2)").Core.Parser.query)
+
+let test_readout_correct_when_order_sufficient () =
+  List.iter
+    (fun g ->
+       let n = Gnn.make ~order:2 g in
+       match Gnn.answer_count_readout star2 n with
+       | None -> Alcotest.fail "order 2 should suffice for star2"
+       | Some v ->
+         check_bool "readout matches direct count" true
+           (Bigint.equal v (Bigint.of_int (Core.Cq.count_answers star2 g))))
+    [ Builders.cycle 5; Builders.clique 4; Builders.two_triangles () ]
+
+let test_readout_refuses_low_order () =
+  let n = Gnn.make ~order:1 (Builders.cycle 5) in
+  check_bool "order 1 refuses star2" true
+    (Gnn.answer_count_readout star2 n = None)
+
+let test_inexpressibility_witness () =
+  (* the Theorem 1 lower bound as a GNN statement: a pair with equal
+     order-1 features but different star2 answer counts *)
+  match Gnn.inexpressibility_witness star2 with
+  | None -> Alcotest.fail "expected a witness pair"
+  | Some (g1, g2) ->
+    check_bool "equal order-1 features" true
+      (Gnn.indistinguishable ~order:1 g1 g2);
+    check_bool "different answer counts" true
+      (Core.Cq.count_answers star2 g1 <> Core.Cq.count_answers star2 g2);
+    (* an order-2 GNN does distinguish them, as Theorem 1 promises *)
+    check_bool "order-2 distinguishes" false
+      (Gnn.indistinguishable ~order:2 g1 g2)
+
+let test_no_witness_for_full_query () =
+  let q = Core.Cq.make (Builders.cycle 4) [ 0; 1; 2; 3 ] in
+  check_bool "full-query witness unsupported" true
+    (Gnn.inexpressibility_witness q = None)
+
+let gnn_qcheck =
+  [
+    QCheck.Test.make
+      ~name:"readout equals direct count whenever the order suffices"
+      ~count:20
+      QCheck.(pair (int_range 3 6) (int_bound 100000))
+      (fun (n, seed) ->
+         let rng = Prng.create seed in
+         let g = Gen.gnp rng n 0.5 in
+         let net = Gnn.make ~order:2 g in
+         match Gnn.answer_count_readout star2 net with
+         | None -> false
+         | Some v ->
+           Bigint.equal v (Bigint.of_int (Core.Cq.count_answers star2 g)));
+  ]
+
+let () =
+  let qsuite name tests =
+    (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+  in
+  Alcotest.run "wlcq_gnn"
+    [
+      ( "gnn",
+        [
+          Alcotest.test_case "orders" `Quick test_make_orders;
+          Alcotest.test_case "Proposition 3 partition" `Quick
+            test_proposition3_partition;
+          Alcotest.test_case "sufficient order" `Quick test_sufficient_order;
+          Alcotest.test_case "readout when sufficient" `Quick
+            test_readout_correct_when_order_sufficient;
+          Alcotest.test_case "readout refuses low order" `Quick
+            test_readout_refuses_low_order;
+          Alcotest.test_case "inexpressibility witness" `Quick
+            test_inexpressibility_witness;
+          Alcotest.test_case "full query unsupported" `Quick
+            test_no_witness_for_full_query;
+        ] );
+      qsuite "properties" gnn_qcheck;
+    ]

@@ -1,0 +1,498 @@
+open Wlcq_graph
+module Prng = Wlcq_util.Prng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Graph basics                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_create_dedup () =
+  let g = Graph.create 3 [ (0, 1); (1, 0); (0, 1) ] in
+  check_int "edges deduplicated" 1 (Graph.num_edges g);
+  check_bool "adjacent both ways" true
+    (Graph.adjacent g 0 1 && Graph.adjacent g 1 0)
+
+let test_create_rejects () =
+  Alcotest.check_raises "self-loop" (Invalid_argument "Graph.create: self-loop")
+    (fun () -> ignore (Graph.create 3 [ (1, 1) ]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Graph.create: endpoint out of range") (fun () ->
+        ignore (Graph.create 3 [ (0, 3) ]))
+
+let test_degrees () =
+  let g = Builders.star 5 in
+  check_int "centre degree" 5 (Graph.degree g 0);
+  check_int "leaf degree" 1 (Graph.degree g 3);
+  Alcotest.(check (list int)) "degree sequence" [ 5; 1; 1; 1; 1; 1 ]
+    (Graph.degree_sequence g)
+
+let test_edges_listing () =
+  let g = Builders.cycle 4 in
+  Alcotest.(check (list (pair int int)))
+    "cycle edges" [ (0, 1); (0, 3); (1, 2); (2, 3) ] (Graph.edges g)
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_builders_counts () =
+  check_int "path edges" 5 (Graph.num_edges (Builders.path 6));
+  check_int "cycle edges" 6 (Graph.num_edges (Builders.cycle 6));
+  check_int "clique edges" 15 (Graph.num_edges (Builders.clique 6));
+  check_int "K_{3,4} edges" 12 (Graph.num_edges (Builders.complete_bipartite 3 4));
+  check_int "grid 3x4 edges" 17 (Graph.num_edges (Builders.grid 3 4));
+  check_int "petersen edges" 15 (Graph.num_edges (Builders.petersen ()));
+  check_int "hypercube Q3 edges" 12 (Graph.num_edges (Builders.hypercube 3));
+  check_int "2K3 edges" 6 (Graph.num_edges (Builders.two_triangles ()));
+  check_int "wheel 5 edges" 10 (Graph.num_edges (Builders.wheel 5))
+
+let test_petersen_regular () =
+  let g = Builders.petersen () in
+  check_bool "3-regular" true
+    (List.for_all (fun v -> Graph.degree g v = 3) (Graph.vertices g));
+  check_bool "girth 5" true (Traversal.girth g = Some 5)
+
+(* ------------------------------------------------------------------ *)
+(* Ops                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_complement () =
+  let g = Builders.cycle 5 in
+  let c = Ops.complement g in
+  check_int "C5 complement edges" 5 (Graph.num_edges c);
+  check_bool "C5 self-complementary" true (Iso.isomorphic g c);
+  check_bool "complement involutive" true (Graph.equal (Ops.complement c) g)
+
+let test_disjoint_union () =
+  let g = Ops.disjoint_union (Builders.cycle 3) (Builders.cycle 3) in
+  check_bool "2K3 built two ways" true
+    (Iso.isomorphic g (Builders.two_triangles ()))
+
+let test_tensor_product () =
+  (* K2 ⊗ K2 = 2K2; C3 ⊗ K2 = C6 *)
+  let k2 = Builders.clique 2 in
+  check_bool "K2xK2 = 2 disjoint edges" true
+    (Iso.isomorphic (Ops.tensor_product k2 k2) (Builders.matching 2));
+  check_bool "C3xK2 = C6" true
+    (Iso.isomorphic (Ops.tensor_product (Builders.cycle 3) k2)
+       (Builders.cycle 6))
+
+let test_induced () =
+  let g = Builders.cycle 6 in
+  let sub, mapping = Ops.induced g [ 0; 1; 2 ] in
+  check_int "induced path edges" 2 (Graph.num_edges sub);
+  Alcotest.(check (array int)) "mapping" [| 0; 1; 2 |] mapping
+
+let test_quotient () =
+  (* identifying two antipodal vertices of C4 yields a path shape with
+     doubled edge collapsed: vertices {02}, 1, 3, edges {02}-1, {02}-3 *)
+  let g = Builders.cycle 4 in
+  let q = Ops.quotient g [| 0; 1; 0; 2 |] in
+  check_int "quotient vertices" 3 (Graph.num_vertices q);
+  check_int "quotient edges" 2 (Graph.num_edges q);
+  Alcotest.check_raises "self-loop rejected"
+    (Invalid_argument "Ops.quotient: identification creates a self-loop")
+    (fun () -> ignore (Ops.quotient (Builders.clique 2) [| 0; 0 |]))
+
+let test_remove_vertex () =
+  let g = Builders.cycle 5 in
+  let p = Ops.remove_vertex g 0 in
+  check_bool "C5 minus vertex = P4" true (Iso.isomorphic p (Builders.path 4))
+
+let test_join () =
+  (* join of edgeless graphs is complete bipartite *)
+  let j = Ops.join (Graph.empty 2) (Graph.empty 3) in
+  check_bool "join = K_{2,3}" true
+    (Iso.isomorphic j (Builders.complete_bipartite 2 3));
+  check_bool "wheel = K1 join C5" true
+    (Iso.isomorphic (Ops.join (Graph.empty 1) (Builders.cycle 5))
+       (Builders.wheel 5))
+
+(* ------------------------------------------------------------------ *)
+(* Traversal                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_components () =
+  let g = Builders.two_triangles () in
+  let _, c = Traversal.connected_components g in
+  check_int "two components" 2 c;
+  check_bool "not connected" false (Traversal.is_connected g);
+  check_bool "cycle connected" true (Traversal.is_connected (Builders.cycle 5));
+  Alcotest.(check (list (list int)))
+    "component members" [ [ 0; 1; 2 ]; [ 3; 4; 5 ] ]
+    (Traversal.component_members g)
+
+let test_distances () =
+  let g = Builders.cycle 6 in
+  check_int "antipodal distance" 3 (Traversal.distance g 0 3);
+  check_int "adjacent distance" 1 (Traversal.distance g 0 1);
+  check_int "unreachable" (-1)
+    (Traversal.distance (Builders.two_triangles ()) 0 3);
+  match Traversal.shortest_path g 0 3 with
+  | None -> Alcotest.fail "expected path"
+  | Some p ->
+    check_int "path length" 4 (List.length p);
+    check_bool "endpoints" true (List.hd p = 0 && List.nth p 3 = 3)
+
+let test_trees_and_forests () =
+  check_bool "path is tree" true (Traversal.is_tree (Builders.path 7));
+  check_bool "cycle not forest" false (Traversal.is_forest (Builders.cycle 5));
+  check_bool "matching is forest" true (Traversal.is_forest (Builders.matching 3));
+  check_bool "matching not tree" false (Traversal.is_tree (Builders.matching 3))
+
+let test_bipartition () =
+  check_bool "even cycle bipartite" true
+    (Traversal.bipartition (Builders.cycle 6) <> None);
+  check_bool "odd cycle not bipartite" true
+    (Traversal.bipartition (Builders.cycle 5) = None);
+  check_bool "hypercube bipartite" true
+    (Traversal.bipartition (Builders.hypercube 4) <> None)
+
+let test_girth () =
+  check_bool "C7 girth" true (Traversal.girth (Builders.cycle 7) = Some 7);
+  check_bool "K4 girth" true (Traversal.girth (Builders.clique 4) = Some 3);
+  check_bool "tree girth" true (Traversal.girth (Builders.path 5) = None);
+  check_bool "Q3 girth" true (Traversal.girth (Builders.hypercube 3) = Some 4)
+
+let test_degeneracy () =
+  let _, d = Traversal.degeneracy_order (Builders.clique 5) in
+  check_int "K5 degeneracy" 4 d;
+  let _, d = Traversal.degeneracy_order (Builders.path 9) in
+  check_int "path degeneracy" 1 d;
+  let _, d = Traversal.degeneracy_order (Builders.grid 4 4) in
+  check_int "grid degeneracy" 2 d
+
+(* ------------------------------------------------------------------ *)
+(* Iso                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_iso_positive () =
+  let g = Builders.cycle 5 in
+  let p = [| 3; 1; 4; 0; 2 |] in
+  let h = Ops.relabel g p in
+  check_bool "relabelled cycle isomorphic" true (Iso.isomorphic g h);
+  match Iso.find_isomorphism g h with
+  | None -> Alcotest.fail "expected isomorphism"
+  | Some q ->
+    (* verify q is a genuine isomorphism *)
+    check_bool "witness valid" true
+      (List.for_all
+         (fun (u, v) -> Graph.adjacent h q.(u) q.(v))
+         (Graph.edges g))
+
+let test_iso_negative () =
+  (* same degree sequence, not isomorphic: C6 vs 2K3 *)
+  check_bool "C6 vs 2K3" false
+    (Iso.isomorphic (Builders.cycle 6) (Builders.two_triangles ()));
+  (* 1-WL-equivalent pair needing actual search: C6 vs 2K3 covered;
+     also path vs star with equal edge count *)
+  check_bool "P4 vs K1,3" false
+    (Iso.isomorphic (Builders.path 4) (Builders.star 3))
+
+let test_automorphisms () =
+  check_int "C5 automorphisms" 10
+    (List.length (Iso.automorphisms (Builders.cycle 5)));
+  check_int "K4 automorphisms" 24
+    (List.length (Iso.automorphisms (Builders.clique 4)));
+  check_int "P3 automorphisms" 2
+    (List.length (Iso.automorphisms (Builders.path 3)));
+  check_int "star 4 automorphisms" 24
+    (List.length (Iso.automorphisms (Builders.star 4)));
+  check_int "petersen automorphisms" 120
+    (List.length (Iso.automorphisms (Builders.petersen ())))
+
+let test_iso_fixing () =
+  let g = Builders.path 3 in
+  (* fixing an endpoint to the midpoint is impossible *)
+  check_bool "bad pin" true (Iso.find_isomorphism_fixing g g [ (0, 1) ] = None);
+  check_bool "identity pin" true
+    (Iso.find_isomorphism_fixing g g [ (0, 0) ] <> None);
+  check_bool "reversal pin" true
+    (Iso.find_isomorphism_fixing g g [ (0, 2) ] <> None)
+
+let test_refine () =
+  let g = Builders.star 3 in
+  let colours, c = Iso.refine g (Array.make 4 0) in
+  check_int "star has 2 stable colours" 2 c;
+  check_bool "leaves share colour" true
+    (colours.(1) = colours.(2) && colours.(2) = colours.(3));
+  check_bool "centre differs" true (colours.(0) <> colours.(1))
+
+let test_refine_pair_distinguishes () =
+  (* P4 vs K1,3 have the same degree multiset but refinement separates *)
+  let g1 = Builders.path 4 and g2 = Builders.star 3 in
+  let c1, c2, c = Iso.refine_pair g1 (Array.make 4 0) g2 (Array.make 4 0) in
+  let hist colours =
+    let h = Array.make c 0 in
+    Array.iter (fun x -> h.(x) <- h.(x) + 1) colours;
+    Array.to_list h
+  in
+  check_bool "refinement distinguishes" true (hist c1 <> hist c2)
+
+let iso_qcheck =
+  [
+    QCheck.Test.make ~name:"random relabelling is isomorphic" ~count:60
+      QCheck.(pair (int_range 1 9) (int_bound 10000))
+      (fun (n, seed) ->
+         let rng = Prng.create seed in
+         let g = Gen.gnp rng n 0.4 in
+         let vs = Array.init n (fun i -> i) in
+         Prng.shuffle rng vs;
+         Iso.isomorphic g (Ops.relabel g vs));
+    QCheck.Test.make ~name:"iso implies equal degree sequence" ~count:60
+      QCheck.(pair (int_range 1 8) (int_bound 10000))
+      (fun (n, seed) ->
+         let rng = Prng.create seed in
+         let g1 = Gen.gnp rng n 0.5 in
+         let g2 = Gen.gnp rng n 0.5 in
+         (not (Iso.isomorphic g1 g2))
+         || Graph.degree_sequence g1 = Graph.degree_sequence g2);
+    QCheck.Test.make ~name:"automorphism count divides n!" ~count:40
+      QCheck.(pair (int_range 1 6) (int_bound 10000))
+      (fun (n, seed) ->
+         let rng = Prng.create seed in
+         let g = Gen.gnp rng n 0.5 in
+         let a = List.length (Iso.automorphisms g) in
+         let fact = List.fold_left ( * ) 1 (List.init n (fun i -> i + 1)) in
+         a > 0 && fact mod a = 0);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Graph6                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph6_known () =
+  (* canonical examples: the 5-cycle is "DUW" in graph6 *)
+  check_bool "C5 decodes from DUW" true
+    (Iso.isomorphic (Graph6.decode "DUW") (Builders.cycle 5));
+  (* K4 is "C~" *)
+  check_bool "K4 decodes from C~" true
+    (Iso.isomorphic (Graph6.decode "C~") (Builders.clique 4));
+  (* empty graph on 1 vertex is "@" *)
+  check_int "single vertex" 1 (Graph.num_vertices (Graph6.decode "@"))
+
+let test_graph6_roundtrip_known () =
+  List.iter
+    (fun g ->
+       check_bool "roundtrip preserves the labelled graph" true
+         (Graph.equal (Graph6.decode (Graph6.encode g)) g))
+    [ Builders.petersen (); Builders.cycle 5; Builders.clique 7;
+      Builders.grid 3 4; Graph.empty 3; Graph.empty 0;
+      Builders.star 62 (* forces the 4-byte size header *) ]
+
+let test_graph6_rejects () =
+  List.iter
+    (fun s ->
+       check_bool ("rejects " ^ String.escaped s) true
+         (try
+            ignore (Graph6.decode s);
+            false
+          with Invalid_argument _ -> true))
+    [ ""; "D"; "DUWW"; "D\x01\x01" ]
+
+let test_graph6_in_spec () =
+  match Spec.parse "g6:DUW" with
+  | Error e -> Alcotest.fail e
+  | Ok g -> check_bool "spec g6 form" true (Iso.isomorphic g (Builders.cycle 5))
+
+let graph6_qcheck =
+  [
+    QCheck.Test.make ~name:"graph6 roundtrip on random graphs" ~count:80
+      QCheck.(pair (int_range 0 40) (int_bound 100000))
+      (fun (n, seed) ->
+         let rng = Prng.create seed in
+         let g = Gen.gnp rng n 0.3 in
+         Graph.equal (Graph6.decode (Graph6.encode g)) g);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Spectral                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Bigint = Wlcq_util.Bigint
+
+let poly_strings g =
+  Array.to_list (Array.map Bigint.to_string (Spectral.characteristic_polynomial g))
+
+let test_charpoly_known () =
+  (* K3: λ^3 - 3λ - 2 *)
+  Alcotest.(check (list string)) "K3" [ "-2"; "-3"; "0"; "1" ]
+    (poly_strings (Builders.clique 3));
+  (* C4: λ^4 - 4λ^2 *)
+  Alcotest.(check (list string)) "C4" [ "0"; "0"; "-4"; "0"; "1" ]
+    (poly_strings (Builders.cycle 4));
+  (* P3: λ^3 - 2λ *)
+  Alcotest.(check (list string)) "P3" [ "0"; "-2"; "0"; "1" ]
+    (poly_strings (Builders.path 3));
+  (* empty graph: λ^n *)
+  Alcotest.(check (list string)) "empty" [ "0"; "0"; "0"; "1" ]
+    (poly_strings (Graph.empty 3))
+
+let test_cospectral_classics () =
+  (* the Saltire pair: K1,4 and C4 + K1 share λ^5 - 4λ^3 *)
+  let saltire = Ops.disjoint_union (Builders.cycle 4) (Graph.empty 1) in
+  check_bool "saltire pair cospectral" true
+    (Spectral.cospectral (Builders.star 4) saltire);
+  check_bool "saltire pair not isomorphic" false
+    (Iso.isomorphic (Builders.star 4) saltire);
+  (* SRGs with equal parameters are cospectral *)
+  check_bool "shrikhande/rook cospectral" true
+    (Spectral.cospectral (Builders.shrikhande ()) (Builders.rook ()));
+  (* 2K3 and C6 are 1-WL-equivalent but NOT cospectral: the spectrum
+     sees triangles (closed 3-walks) *)
+  check_bool "2K3/C6 not cospectral" false
+    (Spectral.cospectral (Builders.two_triangles ()) (Builders.cycle 6))
+
+let test_closed_walks () =
+  (* tr A^2 = 2m; tr A^3 = 6 * #triangles *)
+  let g = Builders.clique 4 in
+  check_bool "tr A^2" true
+    (Bigint.equal (Spectral.closed_walks g 2) (Bigint.of_int 12));
+  check_bool "tr A^3 = 6 * 4 triangles" true
+    (Bigint.equal (Spectral.closed_walks g 3) (Bigint.of_int 24));
+  check_bool "petersen triangle-free walks" true
+    (Bigint.is_zero (Spectral.closed_walks (Builders.petersen ()) 3))
+
+let spectral_qcheck =
+  [
+    QCheck.Test.make ~name:"isomorphic graphs are cospectral" ~count:40
+      QCheck.(pair (int_range 1 8) (int_bound 100000))
+      (fun (n, seed) ->
+         let rng = Prng.create seed in
+         let g = Gen.gnp rng n 0.4 in
+         let p = Array.init n (fun i -> i) in
+         Prng.shuffle rng p;
+         Spectral.cospectral g (Ops.relabel g p));
+    QCheck.Test.make ~name:"tr A^2 counts edge endpoints" ~count:40
+      QCheck.(pair (int_range 1 9) (int_bound 100000))
+      (fun (n, seed) ->
+         let rng = Prng.create seed in
+         let g = Gen.gnp rng n 0.4 in
+         Bigint.equal (Spectral.closed_walks g 2)
+           (Bigint.of_int (2 * Graph.num_edges g)));
+    QCheck.Test.make
+      ~name:"charpoly constant term is the determinant sign pattern"
+      ~count:20
+      QCheck.(pair (int_range 1 6) (int_bound 100000))
+      (fun (n, seed) ->
+         let rng = Prng.create seed in
+         let g = Gen.gnp rng n 0.5 in
+         (* c_0 = det(-A) = (-1)^n det(A); cross-check against the
+            exact rational determinant *)
+         let c = Spectral.characteristic_polynomial g in
+         let a =
+           Array.init n (fun i ->
+               Array.init n (fun j ->
+                   if Graph.adjacent g i j then Wlcq_util.Rat.of_int 1
+                   else Wlcq_util.Rat.zero))
+         in
+         let det = Wlcq_util.Linalg.determinant a in
+         let expected =
+           if n mod 2 = 0 then det else Wlcq_util.Rat.neg det
+         in
+         Wlcq_util.Rat.equal (Wlcq_util.Rat.of_bigint c.(0)) expected);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Gen                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_gen_tree () =
+  let rng = Prng.create 1 in
+  for n = 1 to 20 do
+    let t = Gen.random_tree rng n in
+    check_bool "random tree is a tree" true (Traversal.is_tree t)
+  done
+
+let test_gen_connected () =
+  let rng = Prng.create 2 in
+  for _ = 1 to 10 do
+    let g = Gen.random_connected rng 15 0.1 in
+    check_bool "random connected is connected" true (Traversal.is_connected g)
+  done
+
+let test_gen_gnp_extremes () =
+  let rng = Prng.create 3 in
+  check_int "p=0 no edges" 0 (Graph.num_edges (Gen.gnp rng 10 0.0));
+  check_int "p=1 complete" 45 (Graph.num_edges (Gen.gnp rng 10 1.0))
+
+let test_gen_degree_cap () =
+  let rng = Prng.create 4 in
+  let g = Gen.random_regular_ish rng 20 3 in
+  check_bool "degree cap respected" true
+    (List.for_all (fun v -> Graph.degree g v <= 3) (Graph.vertices g))
+
+let () =
+  let qsuite name tests =
+    (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+  in
+  Alcotest.run "wlcq_graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "create dedup" `Quick test_create_dedup;
+          Alcotest.test_case "create rejects" `Quick test_create_rejects;
+          Alcotest.test_case "degrees" `Quick test_degrees;
+          Alcotest.test_case "edges listing" `Quick test_edges_listing;
+        ] );
+      ( "builders",
+        [
+          Alcotest.test_case "edge counts" `Quick test_builders_counts;
+          Alcotest.test_case "petersen" `Quick test_petersen_regular;
+        ] );
+      ( "ops",
+        [
+          Alcotest.test_case "complement" `Quick test_complement;
+          Alcotest.test_case "disjoint union" `Quick test_disjoint_union;
+          Alcotest.test_case "tensor product" `Quick test_tensor_product;
+          Alcotest.test_case "induced" `Quick test_induced;
+          Alcotest.test_case "quotient" `Quick test_quotient;
+          Alcotest.test_case "remove vertex" `Quick test_remove_vertex;
+          Alcotest.test_case "join" `Quick test_join;
+        ] );
+      ( "traversal",
+        [
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "distances" `Quick test_distances;
+          Alcotest.test_case "trees/forests" `Quick test_trees_and_forests;
+          Alcotest.test_case "bipartition" `Quick test_bipartition;
+          Alcotest.test_case "girth" `Quick test_girth;
+          Alcotest.test_case "degeneracy" `Quick test_degeneracy;
+        ] );
+      ( "iso",
+        [
+          Alcotest.test_case "positive" `Quick test_iso_positive;
+          Alcotest.test_case "negative" `Quick test_iso_negative;
+          Alcotest.test_case "automorphisms" `Quick test_automorphisms;
+          Alcotest.test_case "pinned" `Quick test_iso_fixing;
+          Alcotest.test_case "refine" `Quick test_refine;
+          Alcotest.test_case "refine pair" `Quick
+            test_refine_pair_distinguishes;
+        ] );
+      qsuite "iso-properties" iso_qcheck;
+      ( "graph6",
+        [
+          Alcotest.test_case "known strings" `Quick test_graph6_known;
+          Alcotest.test_case "roundtrip" `Quick test_graph6_roundtrip_known;
+          Alcotest.test_case "rejects malformed" `Quick test_graph6_rejects;
+          Alcotest.test_case "spec integration" `Quick test_graph6_in_spec;
+        ] );
+      qsuite "graph6-properties" graph6_qcheck;
+      ( "spectral",
+        [
+          Alcotest.test_case "known polynomials" `Quick test_charpoly_known;
+          Alcotest.test_case "cospectral classics" `Quick
+            test_cospectral_classics;
+          Alcotest.test_case "closed walks" `Quick test_closed_walks;
+        ] );
+      qsuite "spectral-properties" spectral_qcheck;
+      ( "gen",
+        [
+          Alcotest.test_case "random tree" `Quick test_gen_tree;
+          Alcotest.test_case "random connected" `Quick test_gen_connected;
+          Alcotest.test_case "gnp extremes" `Quick test_gen_gnp_extremes;
+          Alcotest.test_case "degree cap" `Quick test_gen_degree_cap;
+        ] );
+    ]

@@ -1,0 +1,296 @@
+open Wlcq_graph
+open Wlcq_hom
+module Prng = Wlcq_util.Prng
+module Bigint = Wlcq_util.Bigint
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Brute                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_known_hom_counts () =
+  (* Hom(K2, G) = 2m; Hom(K1, G) = n *)
+  let g = Builders.petersen () in
+  check_int "Hom(K1,petersen)" 10 (Brute.count (Builders.clique 1) g);
+  check_int "Hom(K2,petersen)" 30 (Brute.count (Builders.clique 2) g);
+  (* triangles: petersen is triangle-free *)
+  check_int "Hom(K3,petersen)" 0 (Brute.count (Builders.clique 3) g);
+  (* Hom(K3,K3) = 6, Hom(C5,K3): closed walks... use known small case
+     Hom(P3, K3) = 3*2*2 = 12 *)
+  check_int "Hom(K3,K3)" 6 (Brute.count (Builders.clique 3) (Builders.clique 3));
+  check_int "Hom(P3,K3)" 12 (Brute.count (Builders.path 3) (Builders.clique 3))
+
+let test_hom_walks () =
+  (* |Hom(P_k, G)| counts walks of length k-1; in C4 every vertex has 2
+     neighbours so |Hom(P3, C4)| = 4*2*2 = 16 *)
+  check_int "Hom(P3,C4)" 16 (Brute.count (Builders.path 3) (Builders.cycle 4));
+  (* homs from C4 into K2: 4-cycles map onto an edge back and forth = 2 *)
+  check_int "Hom(C4,K2)" 2 (Brute.count (Builders.cycle 4) (Builders.clique 2));
+  (* no homs from odd cycle into bipartite graph *)
+  check_int "Hom(C5,C6)" 0 (Brute.count (Builders.cycle 5) (Builders.cycle 6))
+
+let test_hom_pins () =
+  let p3 = Builders.path 3 in
+  let c4 = Builders.cycle 4 in
+  (* pinning the middle of P3 to a fixed vertex: 2*2 = 4 *)
+  check_int "pinned middle" 4 (Brute.count ~pins:[ (1, 0) ] p3 c4);
+  (* pinning both endpoints to adjacent vertices: middle must be common
+     neighbour of 0 and 1 in C4: none *)
+  check_int "pinned ends adjacent" 0
+    (Brute.count ~pins:[ (0, 0); (2, 1) ] p3 c4);
+  (* pinning both endpoints to the same vertex: 2 common neighbours *)
+  check_int "pinned ends equal" 2 (Brute.count ~pins:[ (0, 0); (2, 0) ] p3 c4)
+
+let test_hom_empty_cases () =
+  check_int "empty pattern" 1 (Brute.count (Graph.empty 0) (Builders.cycle 4));
+  check_int "empty target" 0 (Brute.count (Builders.path 2) (Graph.empty 0));
+  (* pattern with isolated vertices: each contributes a factor n *)
+  check_int "isolated vertices" 16
+    (Brute.count (Graph.empty 2) (Builders.cycle 4))
+
+let test_enumerate_valid () =
+  let h = Builders.cycle 3 and g = Builders.clique 4 in
+  let homs = Brute.enumerate h g in
+  check_int "Hom(C3,K4) count" 24 (List.length homs);
+  check_bool "all are homomorphisms" true
+    (List.for_all (Brute.is_homomorphism h g) homs);
+  let distinct = List.sort_uniq compare homs in
+  check_int "no duplicates" 24 (List.length distinct)
+
+(* ------------------------------------------------------------------ *)
+(* Td_count                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_td_matches_brute_known () =
+  let cases =
+    [
+      (Builders.path 4, Builders.petersen ());
+      (Builders.cycle 5, Builders.clique 4);
+      (Builders.star 3, Builders.cycle 6);
+      (Builders.clique 3, Builders.wheel 5);
+      (Builders.two_triangles (), Builders.clique 4);
+      (Builders.grid 2 3, Builders.clique 3);
+      (Graph.empty 2, Builders.cycle 4);
+    ]
+  in
+  List.iter
+    (fun (h, g) ->
+       let brute = Brute.count h g in
+       let td = Td_count.count h g in
+       check_bool
+         (Printf.sprintf "td=brute on %s -> %s" (Graph.to_string h)
+            (Graph.to_string g))
+         true
+         (Bigint.equal td (Bigint.of_int brute)))
+    cases
+
+let test_td_large_count () =
+  (* Hom(star_5, K10): centre 10 choices, each leaf 9 -> 10*9^5 *)
+  let v = Td_count.count (Builders.star 5) (Builders.clique 10) in
+  check_bool "star into clique" true
+    (Bigint.equal v (Bigint.of_int (10 * 59049)));
+  (* edgeless pattern with 12 vertices into K20: 20^12 overflows 32-bit
+     ranges comfortably; check against pow *)
+  let v = Td_count.count (Graph.empty 12) (Builders.clique 20) in
+  check_bool "20^12" true (Bigint.equal v (Bigint.pow (Bigint.of_int 20) 12))
+
+let test_nice_count_matches () =
+  let cases =
+    [
+      (Builders.path 4, Builders.petersen ());
+      (Builders.cycle 5, Builders.clique 4);
+      (Builders.star 3, Builders.cycle 6);
+      (Builders.two_triangles (), Builders.clique 4);
+      (Graph.empty 0, Builders.cycle 4);
+      (Graph.empty 2, Builders.cycle 4);
+      (Builders.path 2, Graph.empty 0);
+    ]
+  in
+  List.iter
+    (fun (h, g) ->
+       check_bool "nice = brute" true
+         (Bigint.equal (Nice_count.count h g)
+            (Bigint.of_int (Brute.count h g))))
+    cases
+
+let td_qcheck =
+  [
+    QCheck.Test.make ~name:"nice count equals brute count on random pairs"
+      ~count:60
+      QCheck.(triple (int_range 1 6) (int_range 1 7) (int_bound 100000))
+      (fun (nh, ng, seed) ->
+         let rng = Prng.create seed in
+         let h = Gen.gnp rng nh 0.5 in
+         let g = Gen.gnp rng ng 0.5 in
+         Bigint.equal (Nice_count.count h g) (Bigint.of_int (Brute.count h g)));
+    QCheck.Test.make ~name:"td count equals brute count on random pairs"
+      ~count:60
+      QCheck.(triple (int_range 1 6) (int_range 1 7) (int_bound 100000))
+      (fun (nh, ng, seed) ->
+         let rng = Prng.create seed in
+         let h = Gen.gnp rng nh 0.5 in
+         let g = Gen.gnp rng ng 0.5 in
+         Bigint.equal (Td_count.count h g) (Bigint.of_int (Brute.count h g)));
+    QCheck.Test.make ~name:"hom counts multiply over tensor products"
+      ~count:30
+      QCheck.(triple (int_range 1 4) (int_range 1 4) (int_bound 100000))
+      (fun (nh, ng, seed) ->
+         let rng = Prng.create seed in
+         let h = Gen.gnp rng nh 0.5 in
+         let g1 = Gen.gnp rng ng 0.5 in
+         let g2 = Gen.gnp rng ng 0.6 in
+         Brute.count h (Ops.tensor_product g1 g2)
+         = Brute.count h g1 * Brute.count h g2);
+    QCheck.Test.make ~name:"hom counts multiply over disjoint patterns"
+      ~count:30
+      QCheck.(triple (int_range 1 4) (int_range 1 5) (int_bound 100000))
+      (fun (nh, ng, seed) ->
+         let rng = Prng.create seed in
+         let h1 = Gen.gnp rng nh 0.5 in
+         let h2 = Gen.gnp rng nh 0.4 in
+         let g = Gen.gnp rng ng 0.5 in
+         Brute.count (Ops.disjoint_union h1 h2) g
+         = Brute.count h1 g * Brute.count h2 g);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Colored                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_is_colouring () =
+  let g = Builders.cycle 6 and f = Builders.clique 2 in
+  check_bool "C6 is K2-colourable" true
+    (Colored.is_colouring g f [| 0; 1; 0; 1; 0; 1 |]);
+  check_bool "bad colouring rejected" false
+    (Colored.is_colouring g f [| 0; 0; 1; 0; 1; 0 |])
+
+let test_partition_identity () =
+  (* Observation 31 on a concrete instance *)
+  let h = Builders.path 3 in
+  let g = Builders.cycle 6 in
+  let f = Builders.clique 2 in
+  let c = [| 0; 1; 0; 1; 0; 1 |] in
+  let sum, total = Colored.partition_check ~h ~g ~f ~c in
+  check_int "partition sums to total" total sum
+
+let test_cp_hom () =
+  (* G = two disjoint copies of H, coloured by the copy projection:
+     colour-prescribed homs pick one vertex per colour class; for H=K2
+     each copy contributes its edge in 1 prescribed way, and mixing
+     copies is non-adjacent, so count = 2 *)
+  let h = Builders.clique 2 in
+  let g = Builders.matching 2 in
+  let c = [| 0; 1; 0; 1 |] in
+  check_int "cp homs in doubled K2" 2 (Colored.count_cp_hom ~h ~g ~c)
+
+let colored_qcheck =
+  [
+    QCheck.Test.make ~name:"Observation 31: Hom_tau partitions Hom"
+      ~count:30
+      QCheck.(pair (int_range 1 4) (int_bound 100000))
+      (fun (nh, seed) ->
+         let rng = Prng.create seed in
+         let h = Gen.gnp rng nh 0.6 in
+         let f = Builders.clique 3 in
+         (* G = tensor product F x K2 with projection colouring *)
+         let g = Ops.tensor_product f (Builders.clique 2) in
+         let c = Array.init (Graph.num_vertices g) (fun v -> v / 2) in
+         let sum, total = Colored.partition_check ~h ~g ~f ~c in
+         sum = total);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Inj                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_inj_known () =
+  (* injective homs K3 -> K4: 4*3*2 = 24 *)
+  check_int "Inj(K3,K4)" 24 (Inj.count (Builders.clique 3) (Builders.clique 4));
+  (* injective homs P3 -> C5: 5*2*1 (each middle vertex, two directions,
+     endpoints distinct automatically) = 10 ordered paths * ... direct:
+     paths of length 2 in C5: 5 centres, 2 orders -> 10 *)
+  check_int "Inj(P3,C5)" 10 (Inj.count (Builders.path 3) (Builders.cycle 5));
+  check_int "Inj bigger pattern" 0
+    (Inj.count (Builders.clique 4) (Builders.clique 3))
+
+let test_inj_quotients_agree () =
+  let cases =
+    [
+      (Builders.path 3, Builders.cycle 5);
+      (Builders.star 3, Builders.clique 4);
+      (Builders.cycle 4, Builders.clique 4);
+      (Builders.clique 2, Builders.petersen ());
+    ]
+  in
+  List.iter
+    (fun (h, g) ->
+       check_int "quotient IE agrees" (Inj.count h g)
+         (Inj.count_by_quotients h g))
+    cases
+
+let test_subgraph_copies () =
+  (* C5 contains 5 copies of P3; K4 contains 4 triangles *)
+  check_int "P3 copies in C5" 5
+    (Inj.count_subgraph_copies (Builders.path 3) (Builders.cycle 5));
+  check_int "triangles in K4" 4
+    (Inj.count_subgraph_copies (Builders.clique 3) (Builders.clique 4));
+  check_int "edges of petersen" 15
+    (Inj.count_subgraph_copies (Builders.clique 2) (Builders.petersen ()))
+
+let inj_qcheck =
+  [
+    QCheck.Test.make ~name:"inclusion-exclusion over quotients" ~count:40
+      QCheck.(triple (int_range 1 4) (int_range 1 5) (int_bound 100000))
+      (fun (nh, ng, seed) ->
+         let rng = Prng.create seed in
+         let h = Gen.gnp rng nh 0.5 in
+         let g = Gen.gnp rng ng 0.5 in
+         Inj.count h g = Inj.count_by_quotients h g);
+    QCheck.Test.make ~name:"inj bounded by hom" ~count:40
+      QCheck.(triple (int_range 1 4) (int_range 1 5) (int_bound 100000))
+      (fun (nh, ng, seed) ->
+         let rng = Prng.create seed in
+         let h = Gen.gnp rng nh 0.5 in
+         let g = Gen.gnp rng ng 0.5 in
+         Inj.count h g <= Brute.count h g);
+  ]
+
+let () =
+  let qsuite name tests =
+    (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+  in
+  Alcotest.run "wlcq_hom"
+    [
+      ( "brute",
+        [
+          Alcotest.test_case "known counts" `Quick test_known_hom_counts;
+          Alcotest.test_case "walk counts" `Quick test_hom_walks;
+          Alcotest.test_case "pins" `Quick test_hom_pins;
+          Alcotest.test_case "empty cases" `Quick test_hom_empty_cases;
+          Alcotest.test_case "enumerate" `Quick test_enumerate_valid;
+        ] );
+      ( "td_count",
+        [
+          Alcotest.test_case "matches brute" `Quick test_td_matches_brute_known;
+          Alcotest.test_case "large counts" `Quick test_td_large_count;
+          Alcotest.test_case "nice DP matches" `Quick test_nice_count_matches;
+        ] );
+      qsuite "td-properties" td_qcheck;
+      ( "colored",
+        [
+          Alcotest.test_case "is_colouring" `Quick test_is_colouring;
+          Alcotest.test_case "partition identity" `Quick
+            test_partition_identity;
+          Alcotest.test_case "cp homs" `Quick test_cp_hom;
+        ] );
+      qsuite "colored-properties" colored_qcheck;
+      ( "inj",
+        [
+          Alcotest.test_case "known counts" `Quick test_inj_known;
+          Alcotest.test_case "quotient IE" `Quick test_inj_quotients_agree;
+          Alcotest.test_case "subgraph copies" `Quick test_subgraph_copies;
+        ] );
+      qsuite "inj-properties" inj_qcheck;
+    ]

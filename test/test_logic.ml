@@ -1,0 +1,169 @@
+open Wlcq_logic.Counting_logic
+open Wlcq_graph
+module Prng = Wlcq_util.Prng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation basics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_sentences_basic () =
+  check_bool "K4 has a triangle" true (holds has_triangle (Builders.clique 4));
+  check_bool "C6 has no triangle" false (holds has_triangle (Builders.cycle 6));
+  check_bool "petersen triangle-free" false
+    (holds has_triangle (Builders.petersen ()));
+  check_bool "petersen 3-regular" true (holds (regular 3) (Builders.petersen ()));
+  check_bool "P4 not regular" false (holds (regular 1) (Builders.path 4));
+  check_bool "C5 min degree 2" true (holds (min_degree_geq 2) (Builders.cycle 5));
+  check_bool "C5 min degree 3 fails" false
+    (holds (min_degree_geq 3) (Builders.cycle 5));
+  check_bool ">= 10 vertices" true
+    (holds (num_vertices_geq 10) (Builders.petersen ()));
+  check_bool ">= 11 vertices fails" false
+    (holds (num_vertices_geq 11) (Builders.petersen ()));
+  check_bool "P3 has path3" true (holds has_path3 (Builders.path 3));
+  check_bool "matching has no path3" false
+    (holds has_path3 (Builders.matching 3))
+
+let test_counting_quantifiers () =
+  (* exactly 6 vertices of 2K3 lie on a triangle; 0 in C6 *)
+  check_bool "2K3: >=6 on triangles" true
+    (holds (vertex_on_triangle_count_geq 6) (Builders.two_triangles ()));
+  check_bool "2K3: not >=7" false
+    (holds (vertex_on_triangle_count_geq 7) (Builders.two_triangles ()));
+  check_bool "C6: none on triangles" false
+    (holds (vertex_on_triangle_count_geq 1) (Builders.cycle 6))
+
+let test_variable_width () =
+  check_int "triangle width" 3 (variable_width has_triangle);
+  check_int "regular width" 2 (variable_width (regular 3));
+  check_int "vertex count width" 1 (variable_width (num_vertices_geq 5));
+  check_int "path3 width" 3 (variable_width has_path3)
+
+(* an open formula: "x_0 lies on a triangle" *)
+let triangle_at_0_open =
+  exists 1 (And [ Edge (0, 1); exists 2 (And [ Edge (0, 2); Edge (1, 2) ]) ])
+
+let test_free_variables () =
+  Alcotest.(check (list int)) "sentence has no free vars" []
+    (free_variables has_triangle);
+  Alcotest.(check (list int)) "open formula" [ 0 ]
+    (free_variables triangle_at_0_open);
+  (* evaluating the open formula with a binding *)
+  let g = Builders.two_triangles () in
+  check_bool "vertex 0 on a triangle" true (eval triangle_at_0_open g [| 0; -1; -1 |])
+
+(* ------------------------------------------------------------------ *)
+(* Characterisation (II): C^{k+1} vs k-WL                              *)
+(* ------------------------------------------------------------------ *)
+
+(* a small library of sentences by variable width *)
+let c2_sentences =
+  [ min_degree_geq 1; min_degree_geq 2; min_degree_geq 3; regular 2;
+    regular 3; num_vertices_geq 5; num_vertices_geq 7;
+    forall 0 (Count_geq (2, 1, Edge (0, 1))) ]
+
+let c3_sentences =
+  [ has_triangle; has_path3; vertex_on_triangle_count_geq 1;
+    vertex_on_triangle_count_geq 3; vertex_on_triangle_count_geq 6 ]
+
+let test_c2_agrees_on_1wl_equivalent () =
+  (* 2K3 ~1 C6, so no C^2 sentence may distinguish them *)
+  let g1 = Builders.two_triangles () and g2 = Builders.cycle 6 in
+  check_bool "pair is 1-WL-equivalent" true
+    (Wlcq_wl.Equivalence.equivalent 1 g1 g2);
+  List.iter
+    (fun phi ->
+       check_int "width <= 2" 2 (max 2 (variable_width phi));
+       check_bool "C2 sentence agrees" false (distinguishes phi g1 g2))
+    c2_sentences
+
+let test_c3_separates_non_2wl_equivalent () =
+  (* the pair is not 2-WL-equivalent, so SOME C^3 sentence separates:
+     the triangle sentence does *)
+  let g1 = Builders.two_triangles () and g2 = Builders.cycle 6 in
+  check_bool "pair not 2-WL-equivalent" false
+    (Wlcq_wl.Equivalence.equivalent 2 g1 g2);
+  check_bool "triangle sentence separates" true
+    (distinguishes has_triangle g1 g2)
+
+let test_c2_agrees_on_cfi_pair () =
+  (* chi(C4) twisted pair is 1-WL-equivalent: C^2 sentences agree *)
+  let even, odd = Wlcq_cfi.Pairs.twisted_pair (Builders.cycle 4) in
+  let g1 = even.Wlcq_cfi.Cfi.graph and g2 = odd.Wlcq_cfi.Cfi.graph in
+  List.iter
+    (fun phi ->
+       check_bool "C2 sentence agrees on CFI pair" false
+         (distinguishes phi g1 g2))
+    c2_sentences
+
+let test_c3_agrees_on_2wl_equivalent () =
+  (* chi(K4) twisted pair is 2-WL-equivalent: C^3 sentences agree *)
+  let even, odd = Wlcq_cfi.Pairs.twisted_pair (Builders.clique 4) in
+  let g1 = even.Wlcq_cfi.Cfi.graph and g2 = odd.Wlcq_cfi.Cfi.graph in
+  List.iter
+    (fun phi ->
+       check_bool "C3 sentence agrees on 2-WL-equivalent pair" false
+         (distinguishes phi g1 g2))
+    (c2_sentences @ c3_sentences)
+
+let logic_qcheck =
+  [
+    QCheck.Test.make
+      ~name:"isomorphic graphs agree on all canned sentences" ~count:30
+      QCheck.(pair (int_range 2 7) (int_bound 100000))
+      (fun (n, seed) ->
+         let rng = Prng.create seed in
+         let g = Gen.gnp rng n 0.5 in
+         let p = Array.init n (fun i -> i) in
+         Prng.shuffle rng p;
+         let h = Ops.relabel g p in
+         List.for_all (fun phi -> not (distinguishes phi g h))
+           (c2_sentences @ c3_sentences));
+    QCheck.Test.make
+      ~name:"triangle sentence matches hom count positivity" ~count:30
+      QCheck.(pair (int_range 1 7) (int_bound 100000))
+      (fun (n, seed) ->
+         let rng = Prng.create seed in
+         let g = Gen.gnp rng n 0.5 in
+         holds has_triangle g
+         = (Wlcq_hom.Brute.count (Builders.clique 3) g > 0));
+    QCheck.Test.make
+      ~name:"min_degree_geq matches the degree sequence" ~count:50
+      QCheck.(triple (int_range 1 7) (int_range 0 4) (int_bound 100000))
+      (fun (n, d, seed) ->
+         let rng = Prng.create seed in
+         let g = Gen.gnp rng n 0.5 in
+         holds (min_degree_geq d) g
+         = List.for_all (fun v -> Graph.degree g v >= d) (Graph.vertices g));
+  ]
+
+let () =
+  let qsuite name tests =
+    (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+  in
+  Alcotest.run "wlcq_logic"
+    [
+      ( "evaluation",
+        [
+          Alcotest.test_case "sentences" `Quick test_sentences_basic;
+          Alcotest.test_case "counting quantifiers" `Quick
+            test_counting_quantifiers;
+          Alcotest.test_case "variable width" `Quick test_variable_width;
+          Alcotest.test_case "free variables" `Quick test_free_variables;
+        ] );
+      ( "characterisation-II",
+        [
+          Alcotest.test_case "C2 agrees on 1-WL pair" `Quick
+            test_c2_agrees_on_1wl_equivalent;
+          Alcotest.test_case "C3 separates non-2-WL pair" `Quick
+            test_c3_separates_non_2wl_equivalent;
+          Alcotest.test_case "C2 agrees on CFI pair" `Quick
+            test_c2_agrees_on_cfi_pair;
+          Alcotest.test_case "C3 agrees on 2-WL pair" `Slow
+            test_c3_agrees_on_2wl_equivalent;
+        ] );
+      qsuite "properties" logic_qcheck;
+    ]
