@@ -12,7 +12,10 @@
      dune exec bench/main.exe             # all tables + timing series
      dune exec bench/main.exe -- T1 T6    # selected experiments
      dune exec bench/main.exe -- tables   # T1-T14 only
-     dune exec bench/main.exe -- timing   # F1-F3 and A1/A2 only *)
+     dune exec bench/main.exe -- timing   # F1-F3 and A1/A2 only
+     dune exec bench/main.exe -- timing-smoke
+                                          # one tiny instance per series,
+                                            non-zero exit on failure (CI) *)
 
 open Wlcq_core
 module G = Wlcq_graph
@@ -760,6 +763,50 @@ let f2 () =
     [ ("petersen", G.Builders.petersen ());
       ("grid4x4", G.Builders.grid 4 4);
       ("chi(C4)", (Cfi.even (G.Builders.cycle 4)).Cfi.graph) ];
+  (* old-vs-new: the list-based reference engine against the hashed
+     flat-buffer engine, forced single-thread, full runs to the stable
+     partition.  Partition cardinality and round count must agree. *)
+  Printf.printf
+    "\nold-vs-new (single thread, full run to stabilisation, CPU time):\n";
+  Printf.printf "%-22s %-3s %12s %12s %9s %-7s\n" "instance" "k" "old" "new"
+    "speedup" "verdict";
+  let cpu_time f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, Sys.time () -. t0)
+  in
+  let speedup_row ?(min_speedup = 0.0) name k run_old run_new agree =
+    let old_r, told = cpu_time run_old in
+    let new_r, tnew = cpu_time run_new in
+    let speedup = told /. Float.max tnew 1e-9 in
+    let ok = agree old_r new_r && speedup >= min_speedup in
+    record ok;
+    Printf.printf "%-22s %-3d %9.1f ms %9.1f ms %8.1fx %-7s\n" name k
+      (told *. 1e3) (tnew *. 1e3) speedup (verdict ok)
+  in
+  let single_agree (a : Wlcq_wl.Kwl.result) (b : Wlcq_wl.Kwl.result) =
+    a.Wlcq_wl.Kwl.num_colours = b.Wlcq_wl.Kwl.num_colours
+    && a.Wlcq_wl.Kwl.rounds = b.Wlcq_wl.Kwl.rounds
+  in
+  let pair_agree (a1, a2) (b1, b2) = single_agree a1 b1 && single_agree a2 b2 in
+  let rng_su = Prng.create 77 in
+  List.iter
+    (fun (name, k, g) ->
+       speedup_row name k
+         (fun () -> Wlcq_wl.Kwl.run_reference k g)
+         (fun () -> Wlcq_wl.Kwl.run ~domains:1 k g)
+         single_agree)
+    [ ("gnp12", 2, G.Gen.gnp rng_su 12 0.3);
+      ("gnp20", 2, G.Gen.gnp rng_su 20 0.3);
+      ("gnp10", 3, G.Gen.gnp rng_su 10 0.3) ];
+  (* the acceptance instance: a 20-vertex CFI twisted pair at k = 3 *)
+  let even, odd = Wlcq_cfi.Pairs.twisted_pair (G.Builders.cycle 10) in
+  speedup_row ~min_speedup:5.0
+    (Printf.sprintf "chi(C10) pair (n=%d)" (Cfi.num_vertices even))
+    3
+    (fun () -> Wlcq_wl.Kwl.run_pair_reference 3 even.Cfi.graph odd.Cfi.graph)
+    (fun () -> Wlcq_wl.Kwl.run_pair ~domains:1 3 even.Cfi.graph odd.Cfi.graph)
+    pair_agree;
   let rng = Prng.create 42 in
   let tests =
     List.concat_map
@@ -772,8 +819,19 @@ let f2 () =
            Bechamel.Test.make
              ~name:(Printf.sprintf "2-WL/gnp%d" n)
              (Bechamel.Staged.stage (fun () ->
+                  ignore (Wlcq_wl.Kwl.run ~domains:1 2 g)));
+           Bechamel.Test.make
+             ~name:(Printf.sprintf "2-WL-par/gnp%d" n)
+             (Bechamel.Staged.stage (fun () ->
                   ignore (Wlcq_wl.Kwl.run 2 g))) ])
-      [ 8; 16; 24 ]
+      [ 8; 16; 24; 32; 48 ]
+    @ (let g = G.Gen.gnp rng 12 0.3 in
+       [ Bechamel.Test.make ~name:"3-WL/gnp12"
+           (Bechamel.Staged.stage (fun () ->
+                ignore (Wlcq_wl.Kwl.run ~domains:1 3 g)));
+         Bechamel.Test.make ~name:"3-WL-par/gnp12"
+           (Bechamel.Staged.stage (fun () ->
+                ignore (Wlcq_wl.Kwl.run 3 g))) ])
   in
   run_timing "F2-kWL" tests
 
@@ -890,11 +948,58 @@ let ablation () =
   in
   run_timing "A2-hom-counters" tests
 
+(* ------------------------------------------------------------------ *)
+(* timing-smoke: one tiny instance per timing series, for CI.  Runs in *)
+(* well under a second and exits non-zero on any disagreement, so the  *)
+(* bench executable itself is exercised by `dune runtest`.             *)
+(* ------------------------------------------------------------------ *)
+
+let timing_smoke () =
+  header "timing-smoke" "one tiny instance per series (F1-F3, A1)";
+  (* F1: the two hom-counting engines agree *)
+  let h = G.Builders.path 4 in
+  let g = G.Gen.gnp (Prng.create 7) 10 0.3 in
+  let brute = Bigint.of_int (Wlcq_hom.Brute.count h g) in
+  let td = Wlcq_hom.Td_count.count h g in
+  let ok = Bigint.equal brute td in
+  record ok;
+  Printf.printf "F1  Hom(P4, gnp10): brute=%s td-dp=%s %s\n"
+    (Bigint.to_string brute) (Bigint.to_string td) (verdict ok);
+  (* F2: the hashed WL engines match the reference verdicts *)
+  let even, odd = Wlcq_cfi.Pairs.twisted_pair (G.Builders.cycle 4) in
+  let ge = even.Cfi.graph and go = odd.Cfi.graph in
+  let ok =
+    Wlcq_wl.Refinement.equivalent ge go
+    && (not (Wlcq_wl.Kwl.equivalent 2 ge go))
+    && Wlcq_wl.Kwl.equivalent 2 ge go
+       = Wlcq_wl.Kwl.equivalent_reference 2 ge go
+  in
+  record ok;
+  Printf.printf
+    "F2  chi(C4) twist: 1-WL-equivalent, 2-WL-separated, engines agree %s\n"
+    (verdict ok);
+  (* F3: enumeration and the Corollary 4 DP agree *)
+  let q = Gen_query.quantified_path 2 in
+  let g = G.Builders.grid 3 3 in
+  let direct = Cq.count_answers q g in
+  let fast = Fast_count.count_answers q g in
+  let ok = Bigint.equal fast (Bigint.of_int direct) in
+  record ok;
+  Printf.printf "F3  quant-path2 on grid3x3: direct=%d fast-dp=%s %s\n" direct
+    (Bigint.to_string fast) (verdict ok);
+  (* A1: the two exact treewidth algorithms agree *)
+  let g = G.Gen.gnp (Prng.create 9) 8 0.35 in
+  let a = TW.Exact.treewidth g and b = TW.Exact.treewidth_dp g in
+  let ok = a = b in
+  record ok;
+  Printf.printf "A1  treewidth gnp8: bb=%d dp=%d %s\n" a b (verdict ok)
+
 let all_experiments =
   [ ("T1", t1); ("T2", t2); ("T3", t3); ("T4", t4); ("T5", t5); ("T6", t6);
     ("T7", t7); ("T8", t8); ("T9", t9); ("T10", t10); ("T11", t11);
     ("T12", t12); ("T13", t13); ("T14", t14); ("T15", t15);
-    ("F1", f1); ("F2", f2); ("F3", f3); ("A1", ablation) ]
+    ("F1", f1); ("F2", f2); ("F3", f3); ("A1", ablation);
+    ("timing-smoke", timing_smoke) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -81,7 +81,21 @@ let count_answers q g =
     let nodes = Graph.num_vertices d.Wlcq_treewidth.Decomposition.tree in
     let bags = d.Wlcq_treewidth.Decomposition.bags in
     let bag_list t = Bitset.to_list bags.(t) in
-    (* Assign each constraint to the first bag containing its scope. *)
+    (* [positions_in bag_arr sub] maps each position of [sub] to its
+       index in [bag_arr] — restrictions become O(|sub|) array reads
+       instead of O(|bag|²) assoc scans. *)
+    let inv = Array.make k (-1) in
+    let positions_in bag_arr sub =
+      Array.iteri (fun i p -> inv.(p) <- i) bag_arr;
+      let pos = Array.of_list (List.map (fun p -> inv.(p)) sub) in
+      Array.iter (fun p -> inv.(p) <- -1) bag_arr;
+      pos
+    in
+    let restrict_images images pos =
+      Array.fold_right (fun p acc -> images.(p) :: acc) pos []
+    in
+    (* Assign each constraint to the first bag containing its scope,
+       together with the scope's positions inside that bag. *)
     let assigned = Array.make nodes [] in
     List.iter
       (fun c ->
@@ -90,7 +104,9 @@ let count_answers q g =
              failwith "Fast_count: constraint scope not covered by any bag \
                        (decomposition bug)"
            else if List.for_all (fun p -> Bitset.mem bags.(t) p) c.scope then
-             assigned.(t) <- c :: assigned.(t)
+             assigned.(t) <-
+               (c, positions_in (Array.of_list (bag_list t)) c.scope)
+               :: assigned.(t)
            else find (t + 1)
          in
          find 0)
@@ -119,61 +135,56 @@ let count_answers q g =
     let tables : (int list, Bigint.t) Hashtbl.t array =
       Array.init nodes (fun _ -> Hashtbl.create 64)
     in
-    let restrict assoc keys = List.map (fun p -> List.assoc p assoc) keys in
     List.iter
       (fun t ->
          let bag = bag_list t in
+         let bag_arr = Array.of_list bag in
          let grouped =
            List.map
              (fun s ->
                 let shared =
                   Bitset.to_list (Bitset.inter bags.(t) bags.(s))
                 in
-                let sbag = bag_list s in
+                let sbag_arr = Array.of_list (bag_list s) in
+                let spos_child = positions_in sbag_arr shared in
                 let proj : (int list, Bigint.t) Hashtbl.t =
                   Hashtbl.create 64
                 in
                 Hashtbl.iter
                   (fun key v ->
-                     let assoc = List.combine sbag key in
-                     let r = restrict assoc shared in
+                     let karr = Array.of_list key in
+                     let r = restrict_images karr spos_child in
                      let prev =
                        Option.value ~default:Bigint.zero
                          (Hashtbl.find_opt proj r)
                      in
                      Hashtbl.replace proj r (Bigint.add prev v))
                   tables.(s);
-                (shared, proj))
+                (positions_in bag_arr shared, proj))
              children.(t)
          in
-         let bag_arr = Array.of_list bag in
          Combinat.iter_tuples n (Array.length bag_arr) (fun images ->
-             let assoc =
-               Array.to_list
-                 (Array.mapi (fun i img -> (bag_arr.(i), img)) images)
-             in
              let satisfied =
                List.for_all
-                 (fun c ->
-                    c.holds
-                      (Array.of_list (restrict assoc c.scope)))
+                 (fun (c, scope_pos) ->
+                    c.holds (Array.map (Array.get images) scope_pos))
                  assigned.(t)
              in
              if satisfied then begin
                let value =
                  List.fold_left
-                   (fun acc (shared, proj) ->
+                   (fun acc (spos, proj) ->
                       if Bigint.is_zero acc then acc
                       else
                         match
-                          Hashtbl.find_opt proj (restrict assoc shared)
+                          Hashtbl.find_opt proj (restrict_images images spos)
                         with
                         | None -> Bigint.zero
                         | Some v -> Bigint.mul acc v)
                    Bigint.one grouped
                in
                if not (Bigint.is_zero value) then
-                 Hashtbl.replace tables.(t) (restrict assoc bag) value
+                 Hashtbl.replace tables.(t) (Array.to_list images) value
              end))
       !order;
     Hashtbl.fold (fun _ v acc -> Bigint.add acc v) tables.(0) Bigint.zero

@@ -112,8 +112,27 @@ let cp_ans_counts w =
   ( Cq.count_cp_answers w.core w.even.Cfi.graph ~c:w.colouring_even,
     Cq.count_cp_answers w.core w.odd.Cfi.graph ~c:w.colouring_odd )
 
+(* The k-WL oracle is called repeatedly on the same CFI pairs (per
+   candidate k by the callers, and per query sharing a core by the
+   bench tables), and a k-WL run is by far the costliest step of the
+   pipeline — memoise verdicts per (k, pair).  Graphs are immutable
+   and structurally comparable; the pair is ordered so both argument
+   orders share one entry. *)
+let equivalent_memo : (int * Graph.t * Graph.t, bool) Hashtbl.t =
+  Hashtbl.create 64
+
+let equivalent_cached k g1 g2 =
+  let g1, g2 = if compare g1 g2 <= 0 then (g1, g2) else (g2, g1) in
+  let key = (k, g1, g2) in
+  match Hashtbl.find_opt equivalent_memo key with
+  | Some v -> v
+  | None ->
+    let v = Wlcq_wl.Equivalence.equivalent k g1 g2 in
+    Hashtbl.add equivalent_memo key v;
+    v
+
 let witness_pair_equivalent w k =
-  Wlcq_wl.Equivalence.equivalent k w.even.Cfi.graph w.odd.Cfi.graph
+  equivalent_cached k w.even.Cfi.graph w.odd.Cfi.graph
 
 let separating_pair ?(max_z = 3) q =
   let w = lower_bound_witness q in

@@ -61,6 +61,12 @@ val cp_ans_counts : witness -> int * int
     [k = tw(F) − 1]). *)
 val witness_pair_equivalent : witness -> int -> bool
 
+(** [equivalent_cached k g1 g2] is {!Wlcq_wl.Equivalence.equivalent}
+    behind a process-wide memo table keyed on [(k, pair)] (order
+    insensitive).  The lower-bound pipeline re-asks the oracle about
+    the same CFI pairs many times; the memo makes repeats free. *)
+val equivalent_cached : int -> Graph.t -> Graph.t -> bool
+
 (** [separating_pair ?max_z q] is a pair of graphs [(G, G')] with
     [G ≅_{sew−1} G'] and [|Ans(q,G)| ≠ |Ans(q,G')|], obtained from the
     witness by colour-block cloning with multiplicities up to [max_z]

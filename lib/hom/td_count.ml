@@ -37,20 +37,18 @@ let count_with_decomposition d h g =
     done;
     let postorder = !order (* reverse BFS order: children before parents *) in
     let bag_vertices t = Bitset.to_list d.Decomposition.bags.(t) in
-    (* Enumerate partial homomorphisms of H[bag] into g via the pruned
-       backtracking of Brute on the induced subgraph. *)
-    let bag_assignments t =
-      let bag = bag_vertices t in
-      let sub, back = Ops.induced h bag in
-      let acc = ref [] in
-      Brute.iter sub g (fun m ->
-          (* translate to an association keyed by H-vertices *)
-          let assoc = Array.to_list (Array.mapi (fun i v -> (back.(i), v)) m) in
-          acc := assoc :: !acc);
-      !acc
+    (* [positions_in bag_arr sub] maps each H-vertex of [sub] to its
+       index in [bag_arr] — restrictions become O(|sub|) array reads
+       instead of O(|bag|²) assoc scans. *)
+    let inv = Array.make (Graph.num_vertices h) (-1) in
+    let positions_in bag_arr sub =
+      Array.iteri (fun i v -> inv.(v) <- i) bag_arr;
+      let pos = Array.of_list (List.map (fun v -> inv.(v)) sub) in
+      Array.iter (fun v -> inv.(v) <- -1) bag_arr;
+      pos
     in
-    let restrict assoc keys =
-      List.map (fun k -> List.assoc k assoc) keys
+    let restrict_images images pos =
+      Array.fold_right (fun p acc -> images.(p) :: acc) pos []
     in
     let tables : (int list, Bigint.t) Hashtbl.t array =
       Array.init nodes (fun _ -> Hashtbl.create 64)
@@ -64,6 +62,7 @@ let count_with_decomposition d h g =
     List.iter
       (fun t ->
          let bag = bag_vertices t in
+         let bag_arr = Array.of_list bag in
          (* Per child: group the child table by the restriction to the
             intersection with this bag. *)
          let grouped =
@@ -74,41 +73,50 @@ let count_with_decomposition d h g =
                     (Bitset.inter d.Decomposition.bags.(t)
                        d.Decomposition.bags.(s))
                 in
-                let sbag = bag_vertices s in
+                let sbag_arr = Array.of_list (bag_vertices s) in
+                let spos_child = positions_in sbag_arr shared in
                 let proj : (int list, Bigint.t) Hashtbl.t =
                   Hashtbl.create 64
                 in
                 Hashtbl.iter
                   (fun key v ->
-                     let assoc = List.combine sbag key in
-                     let r = restrict assoc shared in
+                     let karr = Array.of_list key in
+                     let r = restrict_images karr spos_child in
                      let prev =
                        Option.value ~default:Bigint.zero
                          (Hashtbl.find_opt proj r)
                      in
                      Hashtbl.replace proj r (Bigint.add prev v))
                   tables.(s);
-                (shared, proj))
+                (positions_in bag_arr shared, proj))
              children.(t)
          in
-         List.iter
-           (fun assoc ->
-              let key = restrict assoc bag in
-              let value =
-                List.fold_left
-                  (fun acc (shared, proj) ->
-                     if Bigint.is_zero acc then acc
-                     else
-                       match
-                         Hashtbl.find_opt proj (restrict assoc shared)
-                       with
-                       | None -> Bigint.zero
-                       | Some v -> Bigint.mul acc v)
-                  Bigint.one grouped
-              in
-              if not (Bigint.is_zero value) then
-                Hashtbl.replace tables.(t) key value)
-           (bag_assignments t))
+         (* Enumerate partial homomorphisms of H[bag] into g via the
+            pruned backtracking of Brute on the induced subgraph; the
+            hom array is parallel to [bag_arr] because [Ops.induced]
+            keeps the ascending vertex order. *)
+         let sub, _back = Ops.induced h bag in
+         Brute.iter sub g (fun m ->
+             let value =
+               List.fold_left
+                 (fun acc (spos, proj) ->
+                    if Bigint.is_zero acc then acc
+                    else
+                      match
+                        Hashtbl.find_opt proj (restrict_images m spos)
+                      with
+                      | None -> Bigint.zero
+                      | Some v -> Bigint.mul acc v)
+                 Bigint.one grouped
+             in
+             if not (Bigint.is_zero value) then begin
+               let key = Array.to_list m in
+               let prev =
+                 Option.value ~default:Bigint.zero
+                   (Hashtbl.find_opt tables.(t) key)
+               in
+               Hashtbl.replace tables.(t) key (Bigint.add prev value)
+             end))
       postorder;
     Hashtbl.fold (fun _ v acc -> Bigint.add acc v) tables.(0) Bigint.zero
   end

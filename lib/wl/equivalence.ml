@@ -3,6 +3,12 @@ module Bigint = Wlcq_util.Bigint
 
 let equivalent k g1 g2 =
   if k < 1 then invalid_arg "Equivalence.equivalent: k must be positive"
+  else if
+    (* |Hom(K1, ·)| = n and |Hom(K2, ·)| = 2m are treewidth-1 counts,
+       so graphs differing in either are distinguished at every k *)
+    Graph.num_vertices g1 <> Graph.num_vertices g2
+    || Graph.num_edges g1 <> Graph.num_edges g2
+  then false
   else if k = 1 then Refinement.equivalent g1 g2
   else Kwl.equivalent k g1 g2
 

@@ -1,7 +1,12 @@
 open Wlcq_graph
 module Bigint = Wlcq_util.Bigint
 
-let patterns ~max_size ~tw_bound =
+(* Pattern enumeration is pure in (max_size, tw_bound) and is
+   re-requested by every [first_difference] call (T15 runs one per
+   witness pair), so memoise it; the graphs are immutable. *)
+let patterns_memo : (int * int, Graph.t list) Hashtbl.t = Hashtbl.create 8
+
+let patterns_uncached ~max_size ~tw_bound =
   let acc = ref [] in
   for n = 1 to max_size do
     let reps = ref [] in
@@ -25,6 +30,14 @@ let patterns ~max_size ~tw_bound =
     acc := !acc @ List.rev !reps
   done;
   !acc
+
+let patterns ~max_size ~tw_bound =
+  match Hashtbl.find_opt patterns_memo (max_size, tw_bound) with
+  | Some ps -> ps
+  | None ->
+    let ps = patterns_uncached ~max_size ~tw_bound in
+    Hashtbl.add patterns_memo (max_size, tw_bound) ps;
+    ps
 
 let profile ~patterns g =
   List.map (fun pattern -> Wlcq_hom.Td_count.count pattern g) patterns

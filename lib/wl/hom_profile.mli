@@ -14,7 +14,9 @@ open Wlcq_graph
 (** [patterns ~max_size ~tw_bound] lists one representative per
     isomorphism class of {e connected} graphs with [1 .. max_size]
     vertices and treewidth at most [tw_bound], in order of size.
-    Intended for small [max_size] (≤ 6). *)
+    Intended for small [max_size] (≤ 6).  Results are memoised per
+    [(max_size, tw_bound)]; the returned graphs are immutable and
+    shared between calls. *)
 val patterns : max_size:int -> tw_bound:int -> Graph.t list
 
 (** [profile ~patterns g] is the vector of [|Hom(F, g)|] over the

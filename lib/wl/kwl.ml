@@ -3,9 +3,30 @@ open Wlcq_graph
 type result = { colours : int array; num_colours : int; rounds : int }
 
 (* Tuples are encoded in base n: the tuple (v_0, ..., v_{k-1}) has
-   index sum_i v_i * n^(k-1-i).  [weights] are the per-position place
+   index sum_i v_i * n^(k-1-i).  [place] are the per-position place
    values, so substituting coordinate i by w is
-   idx + (w - v_i) * weights.(i). *)
+   idx + (w - v_i) * place.(i). *)
+
+(* [tuple_count k n] is n^k, with an overflow guard: the colour buffer
+   is a flat array over the tuple space, so n^k must fit
+   [Sys.max_array_length] (and the k.n^k decode table must fit too). *)
+let tuple_count k n =
+  let limit = Sys.max_array_length in
+  let rec go acc i =
+    if i = 0 then acc
+    else if n > 0 && acc > limit / n then
+      invalid_arg
+        (Printf.sprintf
+           "Kwl: tuple space n^k = %d^%d exceeds Sys.max_array_length" n k)
+    else go (acc * n) (i - 1)
+  in
+  let c = go 1 k in
+  if k > 0 && c > limit / (max k 1) then
+    invalid_arg
+      (Printf.sprintf
+         "Kwl: decode table k * n^k = %d * %d^%d exceeds Sys.max_array_length"
+         k n k);
+  c
 
 let decode_tuple k n idx =
   let t = Array.make k 0 in
@@ -16,10 +37,15 @@ let decode_tuple k n idx =
   done;
   t
 
-let atomic g k idx =
+(* ------------------------------------------------------------------ *)
+(* Reference implementation (the original list-based engine).          *)
+(* Kept verbatim so the optimised engine below can be differentially   *)
+(* checked against it; do not "optimise" this code.                    *)
+(* ------------------------------------------------------------------ *)
+
+let atomic_ref g k idx =
   let n = Graph.num_vertices g in
   let t = decode_tuple k n idx in
-  (* equality pattern and adjacency pattern over ordered pairs i < j *)
   let sig_ = ref [] in
   for i = k - 1 downto 0 do
     for j = k - 1 downto i + 1 do
@@ -39,20 +65,14 @@ let canonicalise labelled =
   List.iteri (fun i s -> Hashtbl.replace ids s i) distinct;
   (List.map (Array.map (Hashtbl.find ids)) labelled, List.length distinct)
 
-let run_many k graphs =
+let run_many_reference k graphs =
   if k < 2 then invalid_arg "Kwl: requires k >= 2 (use Refinement for k = 1)";
   let sizes = List.map (fun g -> Graph.num_vertices g) graphs in
-  let tuple_counts =
-    List.map
-      (fun n ->
-         let rec pow acc i = if i = 0 then acc else pow (acc * n) (i - 1) in
-         pow 1 k)
-      sizes
-  in
+  let tuple_counts = List.map (fun n -> tuple_count k n) sizes in
   (* initial colouring by atomic type *)
   let init =
     List.map2
-      (fun g count -> Array.init count (fun idx -> atomic g k idx))
+      (fun g count -> Array.init count (fun idx -> atomic_ref g k idx))
       graphs tuple_counts
   in
   let colourings, num = canonicalise init in
@@ -89,15 +109,460 @@ let run_many k graphs =
   let colourings, num, rounds = go colourings num 0 in
   List.map (fun colours -> { colours; num_colours = num; rounds }) colourings
 
-let run k g =
-  match run_many k [ g ] with [ r ] -> r | _ -> assert false
+let run_reference k g =
+  match run_many_reference k [ g ] with [ r ] -> r | _ -> assert false
 
-let run_pair k g1 g2 =
-  match run_many k [ g1; g2 ] with
+let run_pair_reference k g1 g2 =
+  match run_many_reference k [ g1; g2 ] with
   | [ r1; r2 ] -> (r1, r2)
   | _ -> assert false
 
-let histogram r =
+(* ------------------------------------------------------------------ *)
+(* The optimised engine.                                               *)
+(*                                                                     *)
+(* Layout: per graph a flat [int array] of tuple colours plus a        *)
+(* precomputed decode table (tuples.(idx*k + i) = coordinate i).       *)
+(* Colour ids live in one namespace shared by all graphs and are never *)
+(* reused: a class that splits keeps its id for one part and fresh ids *)
+(* are allocated for the others, so refinement is visible as "some     *)
+(* tuple's colour changed to a brand-new id".                          *)
+(*                                                                     *)
+(* Each round recolours only the dirty tuples: those with a            *)
+(* substitution neighbour (a tuple differing in at most one            *)
+(* coordinate) whose colour changed last round.  This is sound because *)
+(* fresh ids are globally fresh: a dirty tuple's new signature         *)
+(* contains an id that existed in no previous signature, so it can     *)
+(* never collide with the (unchanged) signature of a clean tuple, and  *)
+(* a clean tuple's signature is literally unchanged.                   *)
+(*                                                                     *)
+(* A signature is [old colour; sorted entries] where entry w packs the *)
+(* k colours (c(t[0/w]), ..., c(t[k-1/w])) into one int when they fit  *)
+(* (bits-per-colour * k <= 62) and into k ints otherwise.  Signatures  *)
+(* are renumbered through a hashtable keyed on a 64-bit rolling hash,  *)
+(* with every probe compared against the stored packed signature, so   *)
+(* correctness never depends on hash luck.                             *)
+(*                                                                     *)
+(* The per-round signature computation writes to disjoint slots of a   *)
+(* shared arena and is parallelised over chunks of the dirty list with *)
+(* Domain.spawn when the round is large enough to pay for the spawns.  *)
+(* Renumbering stays sequential and deterministic.                     *)
+(* ------------------------------------------------------------------ *)
+
+type graph_state = {
+  g : Graph.t;
+  n : int;
+  count : int;
+  tuples : int array;  (* count * k decode table *)
+  place : int array;  (* k place values *)
+  colours : int array;  (* count tuple colours *)
+  dirty : Bytes.t;  (* count dirty flags for the next round *)
+}
+
+let hash_mix h x =
+  let h = (h lxor x) * 0x9E3779B97F4A7C1 in
+  let h = h lxor (h lsr 29) in
+  (h * 0xBF58476D1CE4E5B) land max_int
+
+let hash_segment arena base len =
+  let h = ref 0x27220A95 in
+  for i = base to base + len - 1 do
+    h := hash_mix !h (Array.unsafe_get arena i)
+  done;
+  !h
+
+let seg_equal arena b1 b2 len =
+  let rec go i =
+    i = len
+    || Array.unsafe_get arena (b1 + i) = Array.unsafe_get arena (b2 + i)
+       && go (i + 1)
+  in
+  go 0
+
+(* In-place ascending sort of arr.[lo, lo+len): insertion sort for the
+   short arrays the engine produces, falling back to Array.sort via a
+   copy for long ones. *)
+let sort_int_range arr lo len =
+  if len <= 48 then
+    for i = lo + 1 to lo + len - 1 do
+      let x = arr.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && arr.(!j) > x do
+        arr.(!j + 1) <- arr.(!j);
+        decr j
+      done;
+      arr.(!j + 1) <- x
+    done
+  else begin
+    let tmp = Array.sub arr lo len in
+    Array.sort (fun (a : int) b -> if a < b then -1 else if a > b then 1 else 0) tmp;
+    Array.blit tmp 0 arr lo len
+  end
+
+(* Sort the [n] blocks of [k] ints starting at [lo] lexicographically,
+   via a permutation of block indices (the unpacked-signature path). *)
+let sort_blocks arr lo n k =
+  let perm = Array.init n (fun i -> i) in
+  let cmp a b =
+    let ba = lo + (a * k) and bb = lo + (b * k) in
+    let rec go i =
+      if i = k then 0
+      else
+        let x = arr.(ba + i) and y = arr.(bb + i) in
+        if x < y then -1 else if x > y then 1 else go (i + 1)
+    in
+    go 0
+  in
+  Array.sort cmp perm;
+  let tmp = Array.sub arr lo (n * k) in
+  Array.iteri
+    (fun pos p -> Array.blit tmp (p * k) arr (lo + (pos * k)) k)
+    perm
+
+let make_state k g =
+  let n = Graph.num_vertices g in
+  let count = tuple_count k n in
+  let tuples = Array.make (max 1 (count * k)) 0 in
+  for idx = 0 to count - 1 do
+    let r = ref idx in
+    for i = k - 1 downto 0 do
+      tuples.((idx * k) + i) <- !r mod n;
+      r := !r / n
+    done
+  done;
+  let place = Array.make k 1 in
+  for i = k - 2 downto 0 do
+    place.(i) <- place.(i + 1) * n
+  done;
+  {
+    g;
+    n;
+    count;
+    tuples;
+    place;
+    colours = Array.make (max 1 count) (-1);
+    dirty = Bytes.make (max 1 count) '\000';
+  }
+
+(* Atomic type of tuple [idx]: the (equality, adjacency) pattern over
+   ordered pairs i < j, packed into one int when k(k-1) <= 62 bits. *)
+let atomic_packed st k idx =
+  let tb = idx * k in
+  let p = ref 0 in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      let u = st.tuples.(tb + i) and v = st.tuples.(tb + j) in
+      let eq = if u = v then 1 else 0 in
+      let adj = if Graph.adjacent st.g u v then 1 else 0 in
+      p := (!p lsl 2) lor ((2 * eq) + adj)
+    done
+  done;
+  !p
+
+exception Histograms_diverged
+
+(* The engine proper.  [on_round] is called after the initial
+   colouring and after every completed round with the number of
+   colours in use; it may raise to stop refinement early (used by the
+   equivalence oracle's histogram check). *)
+let run_engine ?domains ~on_round k states =
+  let total = Array.fold_left (fun acc st -> acc + st.count) 0 states in
+  let max_n = Array.fold_left (fun acc st -> max acc st.n) 0 states in
+  (* bits per colour id; ids are < total, the number of tuples *)
+  let bits =
+    let rec go b = if 1 lsl b >= max 2 total then b else go (b + 1) in
+    go 1
+  in
+  let packed = bits * k <= 62 in
+  let entry_words = if packed then 1 else k in
+  let sigw = 1 + (max_n * entry_words) in
+  let next_colour = ref 0 in
+  (* ---------------- initial colouring by atomic type ---------------- *)
+  let atomic_fits = k * (k - 1) <= 62 in
+  let init_buckets : (int, (int * int) list ref) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  (* arena of atomic signatures, one slot of width aw per tuple *)
+  let aw = if atomic_fits then 1 else k * (k - 1) / 2 in
+  let init_arena = Array.make (max 1 (total * aw)) 0 in
+  let slot0 = ref 0 in
+  Array.iter
+    (fun st ->
+       for idx = 0 to st.count - 1 do
+         let base = !slot0 * aw in
+         if atomic_fits then init_arena.(base) <- atomic_packed st k idx
+         else begin
+           let tb = idx * k in
+           let o = ref base in
+           for i = 0 to k - 1 do
+             for j = i + 1 to k - 1 do
+               let u = st.tuples.(tb + i) and v = st.tuples.(tb + j) in
+               let eq = if u = v then 1 else 0 in
+               let adj = if Graph.adjacent st.g u v then 1 else 0 in
+               init_arena.(!o) <- (2 * eq) + adj;
+               incr o
+             done
+           done
+         end;
+         let h = hash_segment init_arena base aw in
+         let bucket =
+           match Hashtbl.find_opt init_buckets h with
+           | Some b -> b
+           | None ->
+             let b = ref [] in
+             Hashtbl.add init_buckets h b;
+             b
+         in
+         let colour =
+           let rec find = function
+             | [] ->
+               let c = !next_colour in
+               incr next_colour;
+               bucket := (base, c) :: !bucket;
+               c
+             | (base', c) :: rest ->
+               if seg_equal init_arena base base' aw then c else find rest
+           in
+           find !bucket
+         in
+         st.colours.(idx) <- colour;
+         incr slot0
+       done)
+    states;
+  on_round !next_colour;
+  (* ------------------------- refinement rounds ---------------------- *)
+  (* per-round job list: graph index + tuple index, slot = position *)
+  let jobs_g = Array.make (max 1 total) 0 in
+  let jobs_t = Array.make (max 1 total) 0 in
+  let hashes = Array.make (max 1 total) 0 in
+  let arena = Array.make (max 1 (total * sigw)) 0 in
+  let changed_g = Array.make (max 1 total) 0 in
+  let changed_t = Array.make (max 1 total) 0 in
+  (* class bookkeeping, sized by the id ceiling [total] *)
+  let class_size = Array.make (max 1 total) 0 in
+  Array.iter
+    (fun st ->
+       for idx = 0 to st.count - 1 do
+         class_size.(st.colours.(idx)) <- class_size.(st.colours.(idx)) + 1
+       done)
+    states;
+  let dirty_in_class = Array.make (max 1 total) 0 in
+  let claimed = Bytes.make (max 1 total) '\000' in
+  let buckets : (int, (int * int) list ref) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  (* signature computation for jobs in [lo, hi) — the parallel part;
+     writes only to disjoint arena / hashes slots *)
+  let compute_range lo hi =
+    let entry = Array.make (max 1 (max_n * entry_words)) 0 in
+    for s = lo to hi - 1 do
+      let st = states.(jobs_g.(s)) in
+      let idx = jobs_t.(s) in
+      let n = st.n in
+      let colours = st.colours and tuples = st.tuples and place = st.place in
+      let tb = idx * k in
+      if packed then begin
+        for w = 0 to n - 1 do
+          let p = ref 0 in
+          for i = 0 to k - 1 do
+            let c =
+              Array.unsafe_get colours
+                (idx + ((w - Array.unsafe_get tuples (tb + i))
+                        * Array.unsafe_get place i))
+            in
+            p := (!p lsl bits) lor c
+          done;
+          Array.unsafe_set entry w !p
+        done;
+        (* pad so joint runs over graphs of different sizes compare
+           fixed-width signatures; -1 sorts before any packed entry *)
+        for w = n to max_n - 1 do entry.(w) <- -1 done;
+        sort_int_range entry 0 max_n
+      end
+      else begin
+        for w = 0 to n - 1 do
+          for i = 0 to k - 1 do
+            entry.((w * k) + i) <-
+              colours.(idx + ((w - tuples.(tb + i)) * place.(i)))
+          done
+        done;
+        for j = n * k to (max_n * k) - 1 do entry.(j) <- -1 done;
+        sort_blocks entry 0 max_n k
+      end;
+      let base = s * sigw in
+      arena.(base) <- colours.(idx);
+      Array.blit entry 0 arena (base + 1) (max_n * entry_words);
+      hashes.(s) <- hash_segment arena base sigw
+    done
+  in
+  let requested_domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Domain.recommended_domain_count ()
+  in
+  let compute_all m =
+    (* only fan out when the round is big enough to amortise spawns *)
+    let nd =
+      if requested_domains <= 1 || m * max_n * k < 1 lsl 15 then 1
+      else min requested_domains (max 1 (m / 256))
+    in
+    if nd <= 1 then compute_range 0 m
+    else begin
+      let chunk = (m + nd - 1) / nd in
+      let workers =
+        List.init (nd - 1) (fun d ->
+            let lo = (d + 1) * chunk in
+            let hi = min m (lo + chunk) in
+            Domain.spawn (fun () -> if lo < hi then compute_range lo hi))
+      in
+      compute_range 0 (min chunk m);
+      List.iter Domain.join workers
+    end
+  in
+  let rounds = ref 0 in
+  (* round 1 recolours everything *)
+  let num_jobs = ref 0 in
+  Array.iteri
+    (fun j st ->
+       for idx = 0 to st.count - 1 do
+         jobs_g.(!num_jobs) <- j;
+         jobs_t.(!num_jobs) <- idx;
+         incr num_jobs
+       done)
+    states;
+  let continue = ref (total > 0) in
+  while !continue do
+    let m = !num_jobs in
+    compute_all m;
+    (* which classes are fully dirty (may keep their id for one part) *)
+    for s = 0 to m - 1 do
+      let old = arena.(s * sigw) in
+      dirty_in_class.(old) <- dirty_in_class.(old) + 1
+    done;
+    (* sequential, deterministic renumbering *)
+    Hashtbl.reset buckets;
+    let num_changed = ref 0 in
+    for s = 0 to m - 1 do
+      let st = states.(jobs_g.(s)) in
+      let idx = jobs_t.(s) in
+      let base = s * sigw in
+      let old = arena.(base) in
+      let h = hashes.(s) in
+      let bucket =
+        match Hashtbl.find_opt buckets h with
+        | Some b -> b
+        | None ->
+          let b = ref [] in
+          Hashtbl.add buckets h b;
+          b
+      in
+      let colour =
+        let rec find = function
+          | [] ->
+            (* a new signature group: it keeps the old id iff the whole
+               class was recoloured this round and no earlier group
+               claimed the id (clean classmates own it otherwise) *)
+            let c =
+              if
+                dirty_in_class.(old) = class_size.(old)
+                && Bytes.get claimed old = '\000'
+              then begin
+                Bytes.set claimed old '\001';
+                old
+              end
+              else begin
+                let c = !next_colour in
+                incr next_colour;
+                c
+              end
+            in
+            bucket := (base, c) :: !bucket;
+            c
+          | (base', c) :: rest ->
+            if seg_equal arena base base' sigw then c else find rest
+        in
+        find !bucket
+      in
+      if colour <> old then begin
+        st.colours.(idx) <- colour;
+        changed_g.(!num_changed) <- jobs_g.(s);
+        changed_t.(!num_changed) <- idx;
+        incr num_changed
+      end
+    done;
+    (* reset per-round class bookkeeping (only the touched entries) *)
+    for s = 0 to m - 1 do
+      let old = arena.(s * sigw) in
+      dirty_in_class.(old) <- 0;
+      Bytes.set claimed old '\000'
+    done;
+    if !num_changed = 0 then continue := false
+    else begin
+      incr rounds;
+      (* update class sizes: the old colour of a moved tuple is still
+         in the arena, its new colour is in the colour buffer *)
+      for s = 0 to m - 1 do
+        let st = states.(jobs_g.(s)) in
+        let idx = jobs_t.(s) in
+        let old = arena.(s * sigw) in
+        let nc = st.colours.(idx) in
+        if nc <> old then begin
+          class_size.(old) <- class_size.(old) - 1;
+          class_size.(nc) <- class_size.(nc) + 1
+        end
+      done;
+      on_round !next_colour;
+      (* mark the substitution neighbourhoods of changed tuples dirty *)
+      for c = 0 to !num_changed - 1 do
+        let st = states.(changed_g.(c)) in
+        let idx = changed_t.(c) in
+        let tb = idx * k in
+        for i = 0 to k - 1 do
+          let base = idx - (st.tuples.(tb + i) * st.place.(i)) in
+          for w = 0 to st.n - 1 do
+            Bytes.set st.dirty (base + (w * st.place.(i))) '\001'
+          done
+        done
+      done;
+      (* collect the next round's jobs in deterministic order *)
+      num_jobs := 0;
+      Array.iteri
+        (fun j st ->
+           for idx = 0 to st.count - 1 do
+             if Bytes.get st.dirty idx = '\001' then begin
+               Bytes.set st.dirty idx '\000';
+               jobs_g.(!num_jobs) <- j;
+               jobs_t.(!num_jobs) <- idx;
+               incr num_jobs
+             end
+           done)
+        states
+    end
+  done;
+  (!next_colour, !rounds)
+
+let run_many ?domains k graphs =
+  if k < 2 then invalid_arg "Kwl: requires k >= 2 (use Refinement for k = 1)";
+  let states = Array.of_list (List.map (make_state k) graphs) in
+  let num, rounds = run_engine ?domains ~on_round:(fun _ -> ()) k states in
+  Array.to_list
+    (Array.map
+       (fun st ->
+          let colours =
+            if st.count = Array.length st.colours then st.colours
+            else Array.sub st.colours 0 st.count
+          in
+          { colours; num_colours = num; rounds })
+       states)
+
+let run ?domains k g =
+  match run_many ?domains k [ g ] with [ r ] -> r | _ -> assert false
+
+let run_pair ?domains k g1 g2 =
+  match run_many ?domains k [ g1; g2 ] with
+  | [ r1; r2 ] -> (r1, r2)
+  | _ -> assert false
+
+let histogram (r : result) =
   let counts = Hashtbl.create 64 in
   Array.iter
     (fun c ->
@@ -106,6 +571,37 @@ let histogram r =
     r.colours;
   List.sort compare (Hashtbl.fold (fun c n acc -> (c, n) :: acc) counts [])
 
-let equivalent k g1 g2 =
-  let r1, r2 = run_pair k g1 g2 in
+(* Early-exit equivalence: refinement only splits classes, so once the
+   two graphs' joint colour histograms diverge they stay diverged; the
+   oracle stops at the first diverging round. *)
+let equivalent ?domains k g1 g2 =
+  if k < 2 then invalid_arg "Kwl: requires k >= 2 (use Refinement for k = 1)";
+  if Graph.num_vertices g1 <> Graph.num_vertices g2 then false
+  else begin
+    let states = [| make_state k g1; make_state k g2 |] in
+    let histograms_equal num =
+      let cnt = Array.make (max 1 num) 0 in
+      for idx = 0 to states.(0).count - 1 do
+        let c = states.(0).colours.(idx) in
+        cnt.(c) <- cnt.(c) + 1
+      done;
+      for idx = 0 to states.(1).count - 1 do
+        let c = states.(1).colours.(idx) in
+        cnt.(c) <- cnt.(c) - 1
+      done;
+      Array.for_all (fun d -> d = 0) cnt
+    in
+    try
+      let _ =
+        run_engine ?domains
+          ~on_round:(fun num ->
+            if not (histograms_equal num) then raise Histograms_diverged)
+          k states
+      in
+      true
+    with Histograms_diverged -> false
+  end
+
+let equivalent_reference k g1 g2 =
+  let r1, r2 = run_pair_reference k g1 g2 in
   histogram r1 = histogram r2

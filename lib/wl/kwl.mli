@@ -11,8 +11,24 @@
     colour refinement and is handled by {!Refinement}; this module
     requires [k >= 2].
 
-    Complexity is Θ(n^{k+1}) per round — fine for the experiment
-    scale (CFI graphs of a few dozen vertices, k ≤ 3). *)
+    Two engines are provided.  The default one works on flat [int
+    array] colour buffers with a precomputed base-[n] decode table,
+    packs each round signature into machine words, renumbers through a
+    hash table keyed on a 64-bit rolling hash (every lookup is
+    verified against the stored packed signature, so correctness never
+    depends on hash luck), recolours only the tuples whose
+    substitution neighbourhood touched a colour class that split last
+    round, and parallelises signature computation across tuple chunks
+    with [Domain.spawn] on large rounds.  The [*_reference] functions
+    run the original list-based implementation; both produce the same
+    stable partition, round count and colour count (the concrete
+    colour ids may differ — ids are canonical within one run, not
+    across engines).
+
+    Complexity is Θ(n^{k+1}) per full round, with sub-full rounds once
+    refinement localises.  The tuple space [n^k] (and the [k·n^k]
+    decode table) must fit [Sys.max_array_length]; the entry points
+    raise [Invalid_argument] instead of silently overflowing. *)
 
 open Wlcq_graph
 
@@ -24,15 +40,37 @@ type result = {
   rounds : int;  (** rounds until stabilisation *)
 }
 
-(** [run k g] refines the k-tuples of [g].
-    @raise Invalid_argument when [k < 2]. *)
-val run : int -> Graph.t -> result
+(** [run k g] refines the k-tuples of [g].  [domains] caps the number
+    of domains used for signature computation (default:
+    [Domain.recommended_domain_count ()]; small rounds always run
+    sequentially; [~domains:1] forces a single-threaded run).
+    @raise Invalid_argument when [k < 2] or [n^k] exceeds
+    [Sys.max_array_length]. *)
+val run : ?domains:int -> int -> Graph.t -> result
 
 (** [run_pair k g1 g2] refines both graphs in a shared namespace. *)
-val run_pair : int -> Graph.t -> Graph.t -> result * result
+val run_pair : ?domains:int -> int -> Graph.t -> Graph.t -> result * result
+
+(** [run_many k graphs] refines every graph in one shared colour
+    namespace (the generalisation behind {!run_pair}). *)
+val run_many : ?domains:int -> int -> Graph.t list -> result list
 
 (** [histogram r] is the sorted [(colour, multiplicity)] list. *)
 val histogram : result -> (int * int) list
 
-(** [equivalent k g1 g2] tests folklore-k-WL-equivalence ([k >= 2]). *)
-val equivalent : int -> Graph.t -> Graph.t -> bool
+(** [equivalent k g1 g2] tests folklore-k-WL-equivalence ([k >= 2]).
+    Exits early as soon as the joint colour histograms of the two
+    graphs diverge (refinement only splits classes, so divergence is
+    permanent). *)
+val equivalent : ?domains:int -> int -> Graph.t -> Graph.t -> bool
+
+(** {2 Reference engine}
+
+    The original list-based implementation, kept as the differential
+    oracle for the optimised engine.  Same partitions, same [rounds],
+    same [num_colours]; colour ids may differ. *)
+
+val run_reference : int -> Graph.t -> result
+val run_pair_reference : int -> Graph.t -> Graph.t -> result * result
+val run_many_reference : int -> Graph.t list -> result list
+val equivalent_reference : int -> Graph.t -> Graph.t -> bool

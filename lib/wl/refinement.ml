@@ -4,38 +4,155 @@ type result = { colours : int array; num_colours : int; rounds : int }
 
 (* Joint refinement over a list of graphs sharing one colour
    namespace.  Each round maps every vertex to the pair (old colour,
-   sorted multiset of neighbour colours) and canonically renumbers by
-   the sorted order of these signatures. *)
-let run_many graphs =
-  let colourings = List.map (fun g -> Array.make (Graph.num_vertices g) 0) graphs in
-  let round colourings =
-    let signatures =
-      List.map2
-        (fun g colours ->
-           Array.init (Graph.num_vertices g) (fun v ->
-               let neigh =
-                 Graph.fold_neighbours g v (fun w acc -> colours.(w) :: acc) []
-               in
-               (colours.(v), List.sort compare neigh)))
-        graphs colourings
+   sorted multiset of neighbour colours) and canonically renumbers.
+
+   The signatures live in a CSR-style int arena (one segment
+   [colour; sorted neighbour colours] per vertex, offsets fixed by the
+   degrees), are renumbered through a hashtable keyed on a rolling
+   hash of the segment, and every probe is verified against the stored
+   segment so correctness never depends on hash luck.  Rounds are
+   full recomputes — 1-WL signatures cost O(n + m) per round, so a
+   worklist would buy little here (contrast {!Kwl}). *)
+
+let hash_mix h x =
+  let h = (h lxor x) * 0x9E3779B97F4A7C1 in
+  let h = h lxor (h lsr 29) in
+  (h * 0xBF58476D1CE4E5B) land max_int
+
+let sort_int_range arr lo len =
+  if len <= 48 then
+    for i = lo + 1 to lo + len - 1 do
+      let x = arr.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && arr.(!j) > x do
+        arr.(!j + 1) <- arr.(!j);
+        decr j
+      done;
+      arr.(!j + 1) <- x
+    done
+  else begin
+    let tmp = Array.sub arr lo len in
+    Array.sort
+      (fun (a : int) b -> if a < b then -1 else if a > b then 1 else 0)
+      tmp;
+    Array.blit tmp 0 arr lo len
+  end
+
+(* [on_round num colourings] is called after every renumbering; it may
+   raise to stop refinement early (the equivalence oracle's histogram
+   check). *)
+exception Histograms_diverged
+
+let run_many_with ~on_round graphs =
+  let graphs = Array.of_list graphs in
+  let num_graphs = Array.length graphs in
+  let ns = Array.map Graph.num_vertices graphs in
+  let total = Array.fold_left ( + ) 0 ns in
+  if total = 0 then
+    (* mirror the reference semantics on vertex-free inputs: one
+       (vacuous) round, zero colours in use *)
+    Array.to_list
+      (Array.map
+         (fun _ -> { colours = [||]; num_colours = 0; rounds = 1 })
+         graphs)
+  else begin
+    let colourings = Array.map (fun n -> Array.make n 0) ns in
+    (* global vertex id = graph offset + vertex; CSR segment offsets *)
+    let goff = Array.make (num_graphs + 1) 0 in
+    for j = 0 to num_graphs - 1 do
+      goff.(j + 1) <- goff.(j) + ns.(j)
+    done;
+    let off = Array.make (total + 1) 0 in
+    for j = 0 to num_graphs - 1 do
+      for v = 0 to ns.(j) - 1 do
+        let gv = goff.(j) + v in
+        off.(gv + 1) <- off.(gv) + 1 + Graph.degree graphs.(j) v
+      done
+    done;
+    let arena = Array.make off.(total) 0 in
+    let hashes = Array.make total 0 in
+    let buckets : (int, (int * int * int) list ref) Hashtbl.t =
+      Hashtbl.create 256
     in
-    let distinct =
-      List.sort_uniq compare (List.concat_map Array.to_list signatures)
+    let seg_equal b1 b2 len =
+      let rec go i =
+        i = len
+        || Array.unsafe_get arena (b1 + i) = Array.unsafe_get arena (b2 + i)
+           && go (i + 1)
+      in
+      go 0
     in
-    let ids = Hashtbl.create 64 in
-    List.iteri (fun i s -> Hashtbl.replace ids s i) distinct;
-    ( List.map (Array.map (fun s -> Hashtbl.find ids s)) signatures,
-      List.length distinct )
-  in
-  let rec go colourings num rounds =
-    let colourings', num' = round colourings in
-    if num' = num then (colourings, num, rounds)
-    else go colourings' num' (rounds + 1)
-  in
-  let colourings, num, rounds = go colourings 1 0 in
-  List.map
-    (fun colours -> { colours; num_colours = num; rounds })
-    colourings
+    let round () =
+      for j = 0 to num_graphs - 1 do
+        let colours = colourings.(j) in
+        for v = 0 to ns.(j) - 1 do
+          let gv = goff.(j) + v in
+          let base = off.(gv) in
+          let len = off.(gv + 1) - base in
+          arena.(base) <- colours.(v);
+          let i = ref (base + 1) in
+          Graph.iter_neighbours graphs.(j) v (fun w ->
+              arena.(!i) <- colours.(w);
+              incr i);
+          sort_int_range arena (base + 1) (len - 1);
+          let h = ref (hash_mix 0x27220A95 len) in
+          for i = base to base + len - 1 do
+            h := hash_mix !h (Array.unsafe_get arena i)
+          done;
+          hashes.(gv) <- !h
+        done
+      done;
+      Hashtbl.reset buckets;
+      let next = ref 0 in
+      for j = 0 to num_graphs - 1 do
+        let colours = colourings.(j) in
+        for v = 0 to ns.(j) - 1 do
+          let gv = goff.(j) + v in
+          let base = off.(gv) in
+          let len = off.(gv + 1) - base in
+          let h = hashes.(gv) in
+          let bucket =
+            match Hashtbl.find_opt buckets h with
+            | Some b -> b
+            | None ->
+              let b = ref [] in
+              Hashtbl.add buckets h b;
+              b
+          in
+          let colour =
+            let rec find = function
+              | [] ->
+                let c = !next in
+                incr next;
+                bucket := (base, len, c) :: !bucket;
+                c
+              | (base', len', c) :: rest ->
+                if len = len' && seg_equal base base' len then c
+                else find rest
+            in
+            find !bucket
+          in
+          colours.(v) <- colour
+        done
+      done;
+      !next
+    in
+    let rec go num rounds =
+      let num' = round () in
+      if num' = num then (num, rounds)
+      else begin
+        on_round num' colourings;
+        go num' (rounds + 1)
+      end
+    in
+    let num, rounds = go 1 0 in
+    Array.to_list
+      (Array.map
+         (fun colours -> { colours; num_colours = num; rounds })
+         colourings)
+  end
+
+let run_many graphs = run_many_with ~on_round:(fun _ _ -> ()) graphs
 
 let run g =
   match run_many [ g ] with [ r ] -> r | _ -> assert false
@@ -45,7 +162,7 @@ let run_pair g1 g2 =
   | [ r1; r2 ] -> (r1, r2)
   | _ -> assert false
 
-let histogram r =
+let histogram (r : result) =
   let counts = Hashtbl.create 16 in
   Array.iter
     (fun c ->
@@ -54,6 +171,20 @@ let histogram r =
     r.colours;
   List.sort compare (Hashtbl.fold (fun c n acc -> (c, n) :: acc) counts [])
 
+(* Early exit: refinement only splits classes, so once the joint
+   histograms of the two graphs diverge they stay diverged. *)
 let equivalent g1 g2 =
-  let r1, r2 = run_pair g1 g2 in
-  histogram r1 = histogram r2
+  if Graph.num_vertices g1 <> Graph.num_vertices g2 then false
+  else
+    try
+      let check num (colourings : int array array) =
+        let cnt = Array.make (max 1 num) 0 in
+        Array.iter (fun c -> cnt.(c) <- cnt.(c) + 1) colourings.(0);
+        Array.iter (fun c -> cnt.(c) <- cnt.(c) - 1) colourings.(1);
+        if not (Array.for_all (fun d -> d = 0) cnt) then
+          raise Histograms_diverged
+      in
+      match run_many_with ~on_round:check [ g1; g2 ] with
+      | [ r1; r2 ] -> histogram r1 = histogram r2
+      | _ -> assert false
+    with Histograms_diverged -> false

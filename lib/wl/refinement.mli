@@ -3,7 +3,12 @@
     Two graphs are 1-WL-equivalent in the sense of Definition 19
     (equal homomorphism counts from all trees) exactly when colour
     refinement run on both graphs jointly produces equal stable colour
-    histograms (Dvořák). *)
+    histograms (Dvořák).
+
+    The implementation works on flat [int array] colour buffers with a
+    CSR signature arena and hashed (collision-checked) renumbering;
+    {!equivalent} exits early as soon as the joint histograms of the
+    two graphs diverge, which is permanent under refinement. *)
 
 open Wlcq_graph
 

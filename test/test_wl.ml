@@ -68,6 +68,91 @@ let test_kwl_rejects_k1 () =
     (Invalid_argument "Kwl: requires k >= 2 (use Refinement for k = 1)")
     (fun () -> ignore (Kwl.run 1 (Builders.path 2)))
 
+let test_kwl_overflow_guard () =
+  (* 3000^5 > Sys.max_array_length: the guard must fire instead of the
+     tuple count silently wrapping *)
+  let g = Graph.empty 3000 in
+  check_bool "overflow guard fires" true
+    (try
+       ignore (Kwl.run 5 g);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Differential check: optimised engine vs the reference engine        *)
+(* ------------------------------------------------------------------ *)
+
+(* The engines agree on partitions, not on concrete colour ids:
+   canonicalise both colourings by first occurrence over the
+   concatenation and compare. *)
+let same_partition (css1 : int array list) (css2 : int array list) =
+  let canon css =
+    let ids = Hashtbl.create 64 in
+    List.map
+      (Array.map (fun c ->
+           match Hashtbl.find_opt ids c with
+           | Some i -> i
+           | None ->
+             let i = Hashtbl.length ids in
+             Hashtbl.add ids c i;
+             i))
+      css
+  in
+  canon css1 = canon css2
+
+let engines_agree k graphs =
+  let rs = Kwl.run_many k graphs in
+  let refs = Kwl.run_many_reference k graphs in
+  same_partition
+    (List.map (fun r -> r.Kwl.colours) rs)
+    (List.map (fun r -> r.Kwl.colours) refs)
+  && List.for_all2
+       (fun r r' ->
+          r.Kwl.num_colours = r'.Kwl.num_colours
+          && r.Kwl.rounds = r'.Kwl.rounds)
+       rs refs
+
+let test_kwl_engine_vs_reference_cfi () =
+  List.iter
+    (fun (name, base, k) ->
+       let even, odd = Wlcq_cfi.Pairs.twisted_pair base in
+       let ge = even.Wlcq_cfi.Cfi.graph and go = odd.Wlcq_cfi.Cfi.graph in
+       check_bool (name ^ " joint partition matches") true
+         (engines_agree k [ ge; go ]);
+       check_bool (name ^ " verdict matches") true
+         (Kwl.equivalent k ge go = Kwl.equivalent_reference k ge go))
+    [ ("chi(C4) k=2", Builders.cycle 4, 2);
+      ("chi(C4) k=3", Builders.cycle 4, 3);
+      ("chi(path3) k=2", Builders.path 3, 2) ]
+
+let kwl_engine_qcheck =
+  [
+    QCheck.Test.make
+      ~name:"optimised 2-WL engine matches the reference on random graphs"
+      ~count:40
+      QCheck.(triple (int_range 1 7) (int_bound 100000) (int_bound 100000))
+      (fun (n, s1, s2) ->
+         let g1 = Gen.gnp (Prng.create s1) n 0.5 in
+         let g2 = Gen.gnp (Prng.create s2) n 0.5 in
+         engines_agree 2 [ g1; g2 ]
+         && Kwl.equivalent 2 g1 g2 = Kwl.equivalent_reference 2 g1 g2);
+    QCheck.Test.make
+      ~name:"optimised 3-WL engine matches the reference on tiny graphs"
+      ~count:12
+      QCheck.(triple (int_range 1 4) (int_bound 100000) (int_bound 100000))
+      (fun (n, s1, s2) ->
+         let g1 = Gen.gnp (Prng.create s1) n 0.5 in
+         let g2 = Gen.gnp (Prng.create s2) n 0.5 in
+         engines_agree 3 [ g1; g2 ]
+         && Kwl.equivalent 3 g1 g2 = Kwl.equivalent_reference 3 g1 g2);
+    QCheck.Test.make
+      ~name:"single-graph runs agree between engines (k = 2)" ~count:30
+      QCheck.(pair (int_range 1 8) (int_bound 100000))
+      (fun (n, seed) ->
+         let g = Gen.gnp (Prng.create seed) n 0.4 in
+         engines_agree 2 [ g ]);
+  ]
+
 let test_kwl_monotone () =
   (* pairs distinguished at k=1 stay distinguished at k=2 *)
   let g1 = Builders.path 4 and g2 = Builders.star 3 in
@@ -340,6 +425,9 @@ let () =
           Alcotest.test_case "isomorphic invariance" `Quick
             test_kwl_on_isomorphic;
           Alcotest.test_case "k=1 rejected" `Quick test_kwl_rejects_k1;
+          Alcotest.test_case "overflow guard" `Quick test_kwl_overflow_guard;
+          Alcotest.test_case "engine vs reference on CFI pairs" `Quick
+            test_kwl_engine_vs_reference_cfi;
           Alcotest.test_case "monotonicity" `Quick test_kwl_monotone;
           Alcotest.test_case "SRG pair 2-WL-equivalent" `Quick
             test_srg_pair_2wl_equivalent;
@@ -354,6 +442,7 @@ let () =
             test_wl_dimension_of_pair;
         ] );
       qsuite "equivalence-properties" equivalence_qcheck;
+      qsuite "kwl-engine-properties" kwl_engine_qcheck;
       ( "pebble",
         [
           Alcotest.test_case "classics" `Quick test_pebble_classics;
