@@ -66,7 +66,7 @@ let vertex t w s =
   let found = ref None in
   Array.iteri
     (fun i w' ->
-       if !found = None && w' = w && Bitset.equal t.subset.(i) s then
+       if Option.is_none !found && w' = w && Bitset.equal t.subset.(i) s then
          found := Some i)
     t.projection;
   !found

@@ -95,7 +95,7 @@ let is_valid c =
     && l.ell mod 2 = 1
     && l.ans_id_even > l.ans_id_odd
     && l.extendable_matches
-    && l.pair_equivalent <> Some false
+    && (match l.pair_equivalent with Some false -> false | None | Some true -> true)
     && (match l.separating with
         | None -> true
         | Some (g1, g2, c1, c2) ->

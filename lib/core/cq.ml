@@ -71,7 +71,7 @@ let answers q g =
 let count_answers_injective q g =
   let n = ref 0 in
   iter_answers q g (fun a ->
-      let distinct = List.sort_uniq compare (Array.to_list a) in
+      let distinct = List.sort_uniq Int.compare (Array.to_list a) in
       if List.length distinct = Array.length a then incr n);
   !n
 
@@ -135,9 +135,9 @@ let colours_of q =
 let isomorphic q1 q2 =
   Graph.num_vertices q1.graph = Graph.num_vertices q2.graph
   && num_free q1 = num_free q2
-  && Iso.find_isomorphism_respecting q1.graph (colours_of q1) q2.graph
-       (colours_of q2)
-     <> None
+  && Option.is_some
+       (Iso.find_isomorphism_respecting q1.graph (colours_of q1) q2.graph
+          (colours_of q2))
 
 let partial_automorphisms q =
   let xs = free_vars q in
@@ -154,7 +154,7 @@ let partial_automorphisms q =
          else None)
       (Iso.automorphisms q.graph)
   in
-  List.sort_uniq compare restrictions
+  List.sort_uniq Wlcq_util.Ordering.int_array restrictions
 
 let relabel q p =
   let graph = Ops.relabel q.graph p in

@@ -27,7 +27,7 @@ let via_injective_count inj_count k g =
   let inj = inj_count k complement in
   let per_subset, rem = Bigint.divmod inj (Bigint.factorial k) in
   if not (Bigint.is_zero rem) then
-    failwith "Domset: injective answer count not divisible by k!";
+    failwith "Domset.via_injective_count: injective answer count not divisible by k!";
   Bigint.sub (Bigint.binomial n k) per_subset
 
 let count_via_stars k g =
@@ -41,5 +41,5 @@ let count_via_quantum k g =
        let v = Quantum.evaluate (Quantum.injective_star k) g in
        match Rat.to_bigint_opt v with
        | Some b -> b
-       | None -> failwith "Domset: non-integer quantum evaluation")
+       | None -> failwith "Domset.count_via_quantum: non-integer quantum evaluation")
     k g

@@ -29,7 +29,7 @@ let make core f chi =
   let h = core.Cq.graph in
   let ys = Array.to_list (Cq.quantified_vars core) in
   let comps =
-    if ys = [] then []
+    if List.is_empty ys then []
     else begin
       let sub, back = Ops.induced h ys in
       List.map
@@ -58,8 +58,9 @@ let subsets_of t phi =
   Array.mapi
     (fun p v ->
        if t.chi.Cfi.projection.(v) <> p then
-         invalid_arg "Extendable: assignment does not project to the free \
-                      variables";
+         invalid_arg
+           "Extendable.subsets_of: assignment does not project to the free \
+            variables";
        t.chi.Cfi.subset.(v))
     phi
 

@@ -6,7 +6,7 @@ module Bitset = Wlcq_util.Bitset
 let quantified_components q =
   let h = q.Cq.graph in
   let ys = Array.to_list (Cq.quantified_vars q) in
-  if ys = [] then []
+  if List.is_empty ys then []
   else begin
     let sub, back = Ops.induced h ys in
     let comps = Traversal.component_members sub in
@@ -14,7 +14,7 @@ let quantified_components q =
       (fun comp ->
          let members = List.map (fun v -> back.(v)) comp in
          let attached =
-           List.sort_uniq compare
+           List.sort_uniq Int.compare
              (List.concat_map
                 (fun y ->
                    List.filter

@@ -2,6 +2,7 @@ open Wlcq_graph
 module Bitset = Wlcq_util.Bitset
 module Bigint = Wlcq_util.Bigint
 module Combinat = Wlcq_util.Combinat
+module Tbl = Wlcq_util.Ordering.Int_list_tbl
 
 (* A constraint over free-variable positions: a sorted scope and a
    satisfaction check on the images of the scope (parallel arrays). *)
@@ -20,7 +21,7 @@ let count_answers q g =
   let boolean_ok =
     List.for_all
       (fun (members, attached) ->
-         attached <> []
+         not (List.is_empty attached)
          || begin
            let sub, _ = Ops.induced h members in
            Wlcq_hom.Brute.exists sub g
@@ -36,26 +37,26 @@ let count_answers q g =
     let component_constraints =
       List.filter_map
         (fun (members, attached) ->
-           if attached = [] then None
+           if List.is_empty attached then None
            else begin
-             let vertices = List.sort_uniq compare (members @ attached) in
+             let vertices = List.sort_uniq Int.compare (members @ attached) in
              let sub, back = Ops.induced h vertices in
              let sub_pos = Hashtbl.create 8 in
              Array.iteri (fun i v -> Hashtbl.replace sub_pos v i) back;
              let attach_sub =
                List.map (Hashtbl.find sub_pos) attached
              in
-             let memo : (int list, bool) Hashtbl.t = Hashtbl.create 64 in
+             let memo : bool Tbl.t = Tbl.create 64 in
              let holds images =
                let key = Array.to_list images in
-               match Hashtbl.find_opt memo key with
+               match Tbl.find_opt memo key with
                | Some b -> b
                | None ->
                  let pins =
                    List.map2 (fun sv img -> (sv, img)) attach_sub key
                  in
                  let b = Wlcq_hom.Brute.exists ~pins sub g in
-                 Hashtbl.replace memo key b;
+                 Tbl.replace memo key b;
                  b
              in
              Some { scope = List.map (Hashtbl.find pos_of) attached; holds }
@@ -101,8 +102,9 @@ let count_answers q g =
       (fun c ->
          let rec find t =
            if t >= nodes then
-             failwith "Fast_count: constraint scope not covered by any bag \
-                       (decomposition bug)"
+             failwith
+               "Fast_count.count_answers: constraint scope not covered by \
+                any bag (decomposition bug)"
            else if List.for_all (fun p -> Bitset.mem bags.(t) p) c.scope then
              assigned.(t) <-
                (c, positions_in (Array.of_list (bag_list t)) c.scope)
@@ -132,8 +134,8 @@ let count_answers q g =
     Array.iteri
       (fun s p -> if p >= 0 then children.(p) <- s :: children.(p))
       parent;
-    let tables : (int list, Bigint.t) Hashtbl.t array =
-      Array.init nodes (fun _ -> Hashtbl.create 64)
+    let tables : Bigint.t Tbl.t array =
+      Array.init nodes (fun _ -> Tbl.create 64)
     in
     List.iter
       (fun t ->
@@ -147,18 +149,18 @@ let count_answers q g =
                 in
                 let sbag_arr = Array.of_list (bag_list s) in
                 let spos_child = positions_in sbag_arr shared in
-                let proj : (int list, Bigint.t) Hashtbl.t =
-                  Hashtbl.create 64
+                let proj : Bigint.t Tbl.t =
+                  Tbl.create 64
                 in
-                Hashtbl.iter
+                Tbl.iter
                   (fun key v ->
                      let karr = Array.of_list key in
                      let r = restrict_images karr spos_child in
                      let prev =
                        Option.value ~default:Bigint.zero
-                         (Hashtbl.find_opt proj r)
+                         (Tbl.find_opt proj r)
                      in
-                     Hashtbl.replace proj r (Bigint.add prev v))
+                     Tbl.replace proj r (Bigint.add prev v))
                   tables.(s);
                 (positions_in bag_arr shared, proj))
              children.(t)
@@ -177,15 +179,15 @@ let count_answers q g =
                       if Bigint.is_zero acc then acc
                       else
                         match
-                          Hashtbl.find_opt proj (restrict_images images spos)
+                          Tbl.find_opt proj (restrict_images images spos)
                         with
                         | None -> Bigint.zero
                         | Some v -> Bigint.mul acc v)
                    Bigint.one grouped
                in
                if not (Bigint.is_zero value) then
-                 Hashtbl.replace tables.(t) (Array.to_list images) value
+                 Tbl.replace tables.(t) (Array.to_list images) value
              end))
       !order;
-    Hashtbl.fold (fun _ v acc -> Bigint.add acc v) tables.(0) Bigint.zero
+    Tbl.fold (fun _ v acc -> Bigint.add acc v) tables.(0) Bigint.zero
   end

@@ -2,9 +2,9 @@ module Prng = Wlcq_util.Prng
 module Graph = Wlcq_graph.Graph
 
 let random_connected rng ~num_vars ~num_free ~edge_prob =
-  if num_vars < 1 then invalid_arg "Gen_query: need at least one variable";
+  if num_vars < 1 then invalid_arg "Gen_query.random_connected: need at least one variable";
   if num_free > num_vars || num_free < 0 then
-    invalid_arg "Gen_query: bad free-variable count";
+    invalid_arg "Gen_query.random_connected: bad free-variable count";
   let h = Wlcq_graph.Gen.random_connected rng num_vars edge_prob in
   let vs = Array.init num_vars (fun i -> i) in
   Prng.shuffle rng vs;
@@ -12,7 +12,7 @@ let random_connected rng ~num_vars ~num_free ~edge_prob =
 
 let random_star_like rng ~num_free ~centres =
   if num_free < 1 || centres < 1 then
-    invalid_arg "Gen_query: need free variables and centres";
+    invalid_arg "Gen_query.random_star_like: need free variables and centres";
   (* vertices: free 0..num_free-1, centres after *)
   let centre j = num_free + j in
   let edges = ref [] in

@@ -45,7 +45,7 @@ let fix_free_pointwise q endo =
 let shrinking_endomorphism q =
   Option.map (fix_free_pointwise q) (shrinking_raw q)
 
-let is_counting_minimal q = shrinking_raw q = None
+let is_counting_minimal q = Option.is_none (shrinking_raw q)
 
 let rec counting_core q =
   match shrinking_endomorphism q with

@@ -63,11 +63,11 @@ let parse_exists tokens =
   | Ident "exists" :: rest ->
     let rec idents acc = function
       | Dot :: rest -> Ok (List.rev acc, rest)
-      | Ident x :: rest when x <> "E" -> idents (x :: acc) rest
+      | Ident x :: rest when not (String.equal x "E") -> idents (x :: acc) rest
       | _ -> Error "malformed quantifier: expected 'exists y1 y2 ... .'"
     in
     (match rest with
-     | Ident x :: _ when x <> "E" -> idents [] rest
+     | Ident x :: _ when not (String.equal x "E") -> idents [] rest
      | _ -> Error "'exists' must be followed by at least one variable")
   | _ -> Ok ([], tokens)
 
@@ -198,7 +198,7 @@ let to_formula ?names q =
     Buffer.add_string buf " . "
   end;
   let edges = Wlcq_graph.Graph.edges q.Cq.graph in
-  if edges = [] then Buffer.add_string buf "(* no atoms *)"
+  if List.is_empty edges then Buffer.add_string buf "(* no atoms *)"
   else
     List.iteri
       (fun i (u, v) ->

@@ -74,8 +74,11 @@ let conjoin q1 q2 =
   Cq.make graph (List.init k (fun i -> i))
 
 let of_union qs =
-  if qs = [] then invalid_arg "Quantum.of_union: empty union";
-  let k = Cq.num_free (List.hd qs) in
+  let k =
+    match qs with
+    | [] -> invalid_arg "Quantum.of_union: empty union"
+    | q0 :: _ -> Cq.num_free q0
+  in
   List.iter
     (fun q ->
        if Cq.num_free q <> k then

@@ -118,17 +118,29 @@ let cp_ans_counts w =
    pipeline — memoise verdicts per (k, pair).  Graphs are immutable
    and structurally comparable; the pair is ordered so both argument
    orders share one entry. *)
-let equivalent_memo : (int * Graph.t * Graph.t, bool) Hashtbl.t =
-  Hashtbl.create 64
+module Pair_tbl = Hashtbl.Make (struct
+    type t = int * Graph.t * Graph.t
+
+    let equal (k1, a1, b1) (k2, a2, b2) =
+      Int.equal k1 k2 && Graph.equal a1 a2 && Graph.equal b1 b2
+
+    let hash (k, a, b) =
+      let open Wlcq_util.Ordering in
+      hash_mix (hash_mix (hash_int k) (Graph.hash a)) (Graph.hash b)
+  end)
+
+(* lint: domain-local only the caller's domain touches the memo; Kwl's
+   worker domains never call back into this module *)
+let equivalent_memo : bool Pair_tbl.t = Pair_tbl.create 64
 
 let equivalent_cached k g1 g2 =
-  let g1, g2 = if compare g1 g2 <= 0 then (g1, g2) else (g2, g1) in
+  let g1, g2 = if Graph.compare g1 g2 <= 0 then (g1, g2) else (g2, g1) in
   let key = (k, g1, g2) in
-  match Hashtbl.find_opt equivalent_memo key with
+  match Pair_tbl.find_opt equivalent_memo key with
   | Some v -> v
   | None ->
     let v = Wlcq_wl.Equivalence.equivalent k g1 g2 in
-    Hashtbl.add equivalent_memo key v;
+    Pair_tbl.add equivalent_memo key v;
     v
 
 let witness_pair_equivalent w k =

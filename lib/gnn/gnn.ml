@@ -39,7 +39,8 @@ let feature_histogram n =
        Hashtbl.replace counts c
          (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
     n.features;
-  List.sort compare (Hashtbl.fold (fun c k acc -> (c, k) :: acc) counts [])
+  List.sort Wlcq_util.Ordering.int_pair
+    (Hashtbl.fold (fun c k acc -> (c, k) :: acc) counts [])
 
 let indistinguishable ~order g1 g2 =
   Wlcq_wl.Equivalence.equivalent order g1 g2

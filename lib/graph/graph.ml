@@ -1,4 +1,5 @@
 module Bitset = Wlcq_util.Bitset
+module Ordering = Wlcq_util.Ordering
 
 type t = { n : int; adj : Bitset.t array; m : int }
 
@@ -45,8 +46,17 @@ let vertices g = List.init g.n (fun i -> i)
 let equal g1 g2 =
   g1.n = g2.n && Array.for_all2 Bitset.equal g1.adj g2.adj
 
+let compare g1 g2 =
+  let c = Int.compare g1.n g2.n in
+  if c <> 0 then c else Ordering.array Bitset.compare g1.adj g2.adj
+
+let hash g =
+  Array.fold_left
+    (fun h s -> Ordering.hash_mix h (Bitset.hash s))
+    (Ordering.hash_int g.n) g.adj
+
 let degree_sequence g =
-  List.sort (fun a b -> compare b a) (List.init g.n (degree g))
+  List.sort (fun a b -> Int.compare b a) (List.init g.n (degree g))
 
 let max_degree g = List.fold_left max 0 (List.init g.n (degree g))
 

@@ -56,6 +56,16 @@ val vertices : t -> int list
     set) — not isomorphism; see {!Iso.isomorphic} for that. *)
 val equal : t -> t -> bool
 
+(** [compare] is a total order compatible with {!equal} (vertex count,
+    then adjacency rows lexicographically).  Use this — never the
+    polymorphic [Stdlib.compare] — when graphs key ordered
+    collections. *)
+val compare : t -> t -> int
+
+(** [hash] is compatible with {!equal}; use it (with {!equal}) to build
+    [Hashtbl.Make]-style keyed tables on graphs. *)
+val hash : t -> int
+
 (** [degree_sequence g] is the sorted (descending) degree sequence. *)
 val degree_sequence : t -> int list
 

@@ -1,6 +1,8 @@
 (* Colour refinement over a shared colour namespace, plus
    refinement-pruned backtracking search for isomorphisms. *)
 
+module Ordering = Wlcq_util.Ordering
+
 (* One refinement round over several graphs at once.  Signatures pair
    the old colour with the sorted multiset of neighbour colours; new
    ids are assigned in the sorted order of signatures, which makes the
@@ -13,11 +15,13 @@ let refine_round graphs colourings =
              let neigh =
                Graph.fold_neighbours g v (fun w acc -> colours.(w) :: acc) []
              in
-             (colours.(v), List.sort compare neigh)))
+             (colours.(v), List.sort Int.compare neigh)))
       graphs colourings
   in
   let all = List.concat_map Array.to_list signatures in
-  let distinct = List.sort_uniq compare all in
+  let distinct =
+    List.sort_uniq (Ordering.pair Int.compare Ordering.int_list) all
+  in
   let ids = Hashtbl.create 64 in
   List.iteri (fun i s -> Hashtbl.replace ids s i) distinct;
   let colourings' =
@@ -29,7 +33,7 @@ let refine_round graphs colourings =
    order), shared across the list of colourings. *)
 let normalise colourings =
   let all = List.concat_map Array.to_list colourings in
-  let distinct = List.sort_uniq compare all in
+  let distinct = List.sort_uniq Int.compare all in
   let ids = Hashtbl.create 64 in
   List.iteri (fun i c -> Hashtbl.replace ids c i) distinct;
   (List.map (Array.map (Hashtbl.find ids)) colourings, List.length distinct)
@@ -88,7 +92,9 @@ let search ?init1 ?init2 g1 g2 pins =
       let order =
         List.sort
           (fun u v ->
-             compare (class_size.(c1.(u)), u) (class_size.(c1.(v)), v))
+             Ordering.int_pair
+               (class_size.(c1.(u)), u)
+               (class_size.(c1.(v)), v))
           (Graph.vertices g1)
       in
       let order = Array.of_list order in
@@ -144,7 +150,7 @@ let find_isomorphism_respecting g1 init1 g2 init2 =
     invalid_arg "Iso.find_isomorphism_respecting: colouring size mismatch";
   search ~init1 ~init2 g1 g2 []
 
-let isomorphic g1 g2 = find_isomorphism g1 g2 <> None
+let isomorphic g1 g2 = Option.is_some (find_isomorphism g1 g2)
 
 (* Enumerate all automorphisms by exhaustive colour-pruned
    backtracking.  Meant for query graphs (small), not data graphs. *)

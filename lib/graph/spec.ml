@@ -1,3 +1,21 @@
+module Ordering = Wlcq_util.Ordering
+
+type t =
+  | Path of int
+  | Cycle of int
+  | Clique of int
+  | Star of int
+  | Bipartite of int * int
+  | Grid of int * int
+  | Hypercube of int
+  | Wheel of int
+  | Matching of int
+  | Petersen
+  | Two_triangles
+  | Gnp of { n : int; p : float; seed : int }
+  | Graph6 of string
+  | Edges of { n : int; edges : (int * int) list }
+
 let describe =
   "graph specs: path:N | cycle:N | clique:N | star:N | bipartite:A,B | \
    grid:A,B | hypercube:D | wheel:N | matching:K | petersen | twotriangles \
@@ -9,22 +27,21 @@ let int_of s = int_of_string_opt (String.trim s)
 let parse_named name args =
   let ints () = List.filter_map int_of (String.split_on_char ',' args) in
   match (name, ints ()) with
-  | "path", [ n ] -> Ok (Builders.path n)
-  | "cycle", [ n ] when n >= 3 -> Ok (Builders.cycle n)
-  | "clique", [ n ] -> Ok (Builders.clique n)
-  | "star", [ n ] -> Ok (Builders.star n)
-  | "bipartite", [ a; b ] -> Ok (Builders.complete_bipartite a b)
-  | "grid", [ a; b ] -> Ok (Builders.grid a b)
-  | "hypercube", [ d ] -> Ok (Builders.hypercube d)
-  | "wheel", [ n ] when n >= 3 -> Ok (Builders.wheel n)
-  | "matching", [ k ] -> Ok (Builders.matching k)
+  | "path", [ n ] -> Ok (Path n)
+  | "cycle", [ n ] when n >= 3 -> Ok (Cycle n)
+  | "clique", [ n ] -> Ok (Clique n)
+  | "star", [ n ] -> Ok (Star n)
+  | "bipartite", [ a; b ] -> Ok (Bipartite (a, b))
+  | "grid", [ a; b ] -> Ok (Grid (a, b))
+  | "hypercube", [ d ] -> Ok (Hypercube d)
+  | "wheel", [ n ] when n >= 3 -> Ok (Wheel n)
+  | "matching", [ k ] -> Ok (Matching k)
   | "gnp", _ ->
     (match String.split_on_char ',' args with
      | [ n; p; seed ] ->
        (match (int_of n, float_of_string_opt (String.trim p), int_of seed)
         with
-        | Some n, Some p, Some seed ->
-          Ok (Gen.gnp (Wlcq_util.Prng.create seed) n p)
+        | Some n, Some p, Some seed -> Ok (Gnp { n; p; seed })
         | _ -> Error "gnp expects gnp:N,P,SEED")
      | _ -> Error "gnp expects gnp:N,P,SEED")
   | _ -> Error (Printf.sprintf "unknown graph family %S or bad arguments" name)
@@ -39,7 +56,8 @@ let parse_edge_list s =
      | None -> Error "edge list must start with the vertex count"
      | Some n ->
        let tokens =
-         List.filter (fun t -> t <> "")
+         List.filter
+           (fun t -> not (String.equal t ""))
            (String.split_on_char ' ' (String.trim rest))
        in
        let parse_edge t =
@@ -59,30 +77,129 @@ let parse_edge_list s =
        in
        (match collect [] tokens with
         | Error e -> Error e
-        | Ok edges ->
-          (try Ok (Graph.create n edges)
-           with Invalid_argument msg -> Error msg)))
+        | Ok edges -> Ok (Edges { n; edges })))
 
-let parse s =
+let parse_spec s =
   let s = String.trim s in
-  if s = "" then Error "empty graph spec"
+  if String.equal s "" then Error "empty graph spec"
   else if String.contains s ';' then parse_edge_list s
   else
     match String.index_opt s ':' with
     | None ->
       (match s with
-       | "petersen" -> Ok (Builders.petersen ())
-       | "twotriangles" -> Ok (Builders.two_triangles ())
+       | "petersen" -> Ok Petersen
+       | "twotriangles" -> Ok Two_triangles
        | _ -> Error (Printf.sprintf "unknown graph %S (%s)" s describe))
     | Some i ->
       let name = String.sub s 0 i in
       let args = String.sub s (i + 1) (String.length s - i - 1) in
-      if name = "g6" then
-        try Ok (Graph6.decode args)
-        with Invalid_argument msg -> Error msg
+      if String.equal name "g6" then Ok (Graph6 args)
       else parse_named name args
+
+let build = function
+  | Path n -> Builders.path n
+  | Cycle n -> Builders.cycle n
+  | Clique n -> Builders.clique n
+  | Star n -> Builders.star n
+  | Bipartite (a, b) -> Builders.complete_bipartite a b
+  | Grid (a, b) -> Builders.grid a b
+  | Hypercube d -> Builders.hypercube d
+  | Wheel n -> Builders.wheel n
+  | Matching k -> Builders.matching k
+  | Petersen -> Builders.petersen ()
+  | Two_triangles -> Builders.two_triangles ()
+  | Gnp { n; p; seed } -> Gen.gnp (Wlcq_util.Prng.create seed) n p
+  | Graph6 s -> Graph6.decode s
+  | Edges { n; edges } -> Graph.create n edges
+
+let parse s =
+  match parse_spec s with
+  | Error e -> Error e
+  | Ok spec ->
+    (try Ok (build spec) with Invalid_argument msg -> Error msg)
 
 let parse_exn s =
   match parse s with
   | Ok g -> g
-  | Error e -> invalid_arg ("Spec.parse: " ^ e)
+  | Error e -> invalid_arg ("Spec.parse_exn: " ^ e)
+
+(* Constructor tag for the total order; keep in sync with [t]. *)
+let tag = function
+  | Path _ -> 0
+  | Cycle _ -> 1
+  | Clique _ -> 2
+  | Star _ -> 3
+  | Bipartite _ -> 4
+  | Grid _ -> 5
+  | Hypercube _ -> 6
+  | Wheel _ -> 7
+  | Matching _ -> 8
+  | Petersen -> 9
+  | Two_triangles -> 10
+  | Gnp _ -> 11
+  | Graph6 _ -> 12
+  | Edges _ -> 13
+
+let compare s1 s2 =
+  match (s1, s2) with
+  | Path a, Path b
+  | Cycle a, Cycle b
+  | Clique a, Clique b
+  | Star a, Star b
+  | Hypercube a, Hypercube b
+  | Wheel a, Wheel b
+  | Matching a, Matching b -> Int.compare a b
+  | Bipartite (a1, b1), Bipartite (a2, b2) | Grid (a1, b1), Grid (a2, b2) ->
+    Ordering.int_pair (a1, b1) (a2, b2)
+  | Petersen, Petersen | Two_triangles, Two_triangles -> 0
+  | Gnp g1, Gnp g2 ->
+    let c = Int.compare g1.n g2.n in
+    if c <> 0 then c
+    else
+      let c = Float.compare g1.p g2.p in
+      if c <> 0 then c else Int.compare g1.seed g2.seed
+  | Graph6 a, Graph6 b -> String.compare a b
+  | Edges e1, Edges e2 ->
+    let c = Int.compare e1.n e2.n in
+    if c <> 0 then c else List.compare Ordering.int_pair e1.edges e2.edges
+  | _ -> Int.compare (tag s1) (tag s2)
+
+let equal s1 s2 = compare s1 s2 = 0
+
+let hash s =
+  let open Ordering in
+  let h = hash_int (tag s) in
+  match s with
+  | Path a | Cycle a | Clique a | Star a | Hypercube a | Wheel a | Matching a
+    -> hash_mix h a
+  | Bipartite (a, b) | Grid (a, b) -> hash_mix (hash_mix h a) b
+  | Petersen | Two_triangles -> h
+  | Gnp { n; p; seed } ->
+    hash_mix (hash_mix (hash_mix h n) (Float.hash p)) seed
+  | Graph6 s -> hash_mix h (String.hash s)
+  | Edges { n; edges } ->
+    List.fold_left
+      (fun h (u, v) -> hash_mix (hash_mix h u) v)
+      (hash_mix h n) edges
+
+let pp ppf s =
+  let f fmt = Format.fprintf ppf fmt in
+  match s with
+  | Path n -> f "path:%d" n
+  | Cycle n -> f "cycle:%d" n
+  | Clique n -> f "clique:%d" n
+  | Star n -> f "star:%d" n
+  | Bipartite (a, b) -> f "bipartite:%d,%d" a b
+  | Grid (a, b) -> f "grid:%d,%d" a b
+  | Hypercube d -> f "hypercube:%d" d
+  | Wheel n -> f "wheel:%d" n
+  | Matching k -> f "matching:%d" k
+  | Petersen -> f "petersen"
+  | Two_triangles -> f "twotriangles"
+  | Gnp { n; p; seed } -> f "gnp:%d,%g,%d" n p seed
+  | Graph6 s -> f "g6:%s" s
+  | Edges { n; edges } ->
+    f "%d;" n;
+    List.iter (fun (u, v) -> f " %d-%d" u v) edges
+
+let to_string s = Format.asprintf "%a" pp s

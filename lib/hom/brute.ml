@@ -42,7 +42,7 @@ let iter ?(pins = []) ?candidates h g f =
     List.iter
       (fun (u, v) ->
          if u < 0 || u >= n || v < 0 || v >= ng then
-           invalid_arg "Brute: pin out of range";
+           invalid_arg "Brute.iter: pin out of range";
          pinned.(u) <- v)
       pins;
     let order = assignment_order h pins in

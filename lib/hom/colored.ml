@@ -35,9 +35,9 @@ let class_candidates g ~c ~tau =
 
 let iter_hom_tau ~h ~g ~f ~c ~tau fn =
   if not (is_colouring g f c) then
-    invalid_arg "Colored: c is not an F-colouring of G";
+    invalid_arg "Colored.iter_hom_tau: c is not an F-colouring of G";
   if not (Brute.is_homomorphism h f tau) then
-    invalid_arg "Colored: tau is not a homomorphism from H to F";
+    invalid_arg "Colored.iter_hom_tau: tau is not a homomorphism from H to F";
   Brute.iter ~candidates:(class_candidates g ~c ~tau) h g fn
 
 let count_hom_tau ~h ~g ~f ~c ~tau =

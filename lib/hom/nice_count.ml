@@ -2,6 +2,7 @@ open Wlcq_graph
 open Wlcq_treewidth
 module Bitset = Wlcq_util.Bitset
 module Bigint = Wlcq_util.Bigint
+module Tbl = Wlcq_util.Ordering.Int_list_tbl
 
 (* Tables map the images of the bag vertices (in increasing H-vertex
    order) to the number of homomorphisms of the subtree's part of H
@@ -9,20 +10,20 @@ module Bigint = Wlcq_util.Bigint
 
 let count_with_nice nd h g =
   if not (Nice.is_valid_for nd h) then
-    invalid_arg "Nice_count: decomposition does not match the pattern";
+    invalid_arg "Nice_count.count_with_nice: decomposition does not match the pattern";
   let ng = Graph.num_vertices g in
   let tables =
-    Array.make (Nice.num_nodes nd) (Hashtbl.create 1 : (int list, Bigint.t) Hashtbl.t)
+    Array.make (Nice.num_nodes nd) (Tbl.create 1 : Bigint.t Tbl.t)
   in
   let bump table key v =
-    let prev = Option.value ~default:Bigint.zero (Hashtbl.find_opt table key) in
-    Hashtbl.replace table key (Bigint.add prev v)
+    let prev = Option.value ~default:Bigint.zero (Tbl.find_opt table key) in
+    Tbl.replace table key (Bigint.add prev v)
   in
   Array.iteri
     (fun i node ->
-       let table : (int list, Bigint.t) Hashtbl.t = Hashtbl.create 64 in
+       let table : Bigint.t Tbl.t = Tbl.create 64 in
        (match node with
-        | Nice.Leaf -> Hashtbl.replace table [] Bigint.one
+        | Nice.Leaf -> Tbl.replace table [] Bigint.one
         | Nice.Introduce (v, c) ->
           let bag = Bitset.to_list nd.Nice.bags.(i) in
           (* neighbours of v inside the bag, with their key positions *)
@@ -48,7 +49,7 @@ let count_with_nice nd h g =
             in
             index 0 bag
           in
-          Hashtbl.iter
+          Tbl.iter
             (fun ckey cnt ->
                for w = 0 to ng - 1 do
                  (* splice w into position vpos *)
@@ -58,9 +59,10 @@ let count_with_nice nd h g =
                    | x :: rest -> x :: splice (j + 1) rest
                  in
                  let key = splice 0 ckey in
+                 let karr = Array.of_list key in
                  let ok =
                    List.for_all
-                     (fun p -> Graph.adjacent g (List.nth key p) w)
+                     (fun p -> Graph.adjacent g karr.(p) w)
                      positions
                  in
                  if ok then bump table key cnt
@@ -76,22 +78,22 @@ let count_with_nice nd h g =
             in
             index 0 cbag
           in
-          Hashtbl.iter
+          Tbl.iter
             (fun ckey cnt ->
                let key = List.filteri (fun j _ -> j <> vpos) ckey in
                bump table key cnt)
             tables.(c)
         | Nice.Join (c1, c2) ->
-          Hashtbl.iter
+          Tbl.iter
             (fun key cnt1 ->
-               match Hashtbl.find_opt tables.(c2) key with
-               | Some cnt2 -> Hashtbl.replace table key (Bigint.mul cnt1 cnt2)
+               match Tbl.find_opt tables.(c2) key with
+               | Some cnt2 -> Tbl.replace table key (Bigint.mul cnt1 cnt2)
                | None -> ())
             tables.(c1));
        tables.(i) <- table)
     nd.Nice.nodes;
   Option.value ~default:Bigint.zero
-    (Hashtbl.find_opt tables.(nd.Nice.root) [])
+    (Tbl.find_opt tables.(nd.Nice.root) [])
 
 let count h g =
   let d = Exact.optimal_decomposition h in

@@ -2,6 +2,7 @@ open Wlcq_graph
 open Wlcq_treewidth
 module Bitset = Wlcq_util.Bitset
 module Bigint = Wlcq_util.Bigint
+module Tbl = Wlcq_util.Ordering.Int_list_tbl
 
 (* The table at a decomposition node t maps each partial homomorphism
    φ : B_t → V(G) (a hom of H[B_t]) to the number of homomorphisms of
@@ -13,7 +14,7 @@ module Bigint = Wlcq_util.Bigint
 
 let count_with_decomposition d h g =
   if not (Decomposition.is_valid_for d h) then
-    invalid_arg "Td_count: decomposition does not match the pattern";
+    invalid_arg "Td_count.count_with_decomposition: decomposition does not match the pattern";
   let nodes = Graph.num_vertices d.Decomposition.tree in
   if Graph.num_vertices h = 0 then Bigint.one
   else if Graph.num_vertices g = 0 then Bigint.zero
@@ -50,8 +51,8 @@ let count_with_decomposition d h g =
     let restrict_images images pos =
       Array.fold_right (fun p acc -> images.(p) :: acc) pos []
     in
-    let tables : (int list, Bigint.t) Hashtbl.t array =
-      Array.init nodes (fun _ -> Hashtbl.create 64)
+    let tables : Bigint.t Tbl.t array =
+      Array.init nodes (fun _ -> Tbl.create 64)
     in
     (* keys of a node's table: images of the bag vertices in increasing
        H-vertex order *)
@@ -75,18 +76,18 @@ let count_with_decomposition d h g =
                 in
                 let sbag_arr = Array.of_list (bag_vertices s) in
                 let spos_child = positions_in sbag_arr shared in
-                let proj : (int list, Bigint.t) Hashtbl.t =
-                  Hashtbl.create 64
+                let proj : Bigint.t Tbl.t =
+                  Tbl.create 64
                 in
-                Hashtbl.iter
+                Tbl.iter
                   (fun key v ->
                      let karr = Array.of_list key in
                      let r = restrict_images karr spos_child in
                      let prev =
                        Option.value ~default:Bigint.zero
-                         (Hashtbl.find_opt proj r)
+                         (Tbl.find_opt proj r)
                      in
-                     Hashtbl.replace proj r (Bigint.add prev v))
+                     Tbl.replace proj r (Bigint.add prev v))
                   tables.(s);
                 (positions_in bag_arr shared, proj))
              children.(t)
@@ -103,7 +104,7 @@ let count_with_decomposition d h g =
                     if Bigint.is_zero acc then acc
                     else
                       match
-                        Hashtbl.find_opt proj (restrict_images m spos)
+                        Tbl.find_opt proj (restrict_images m spos)
                       with
                       | None -> Bigint.zero
                       | Some v -> Bigint.mul acc v)
@@ -113,12 +114,12 @@ let count_with_decomposition d h g =
                let key = Array.to_list m in
                let prev =
                  Option.value ~default:Bigint.zero
-                   (Hashtbl.find_opt tables.(t) key)
+                   (Tbl.find_opt tables.(t) key)
                in
-               Hashtbl.replace tables.(t) key (Bigint.add prev value)
+               Tbl.replace tables.(t) key (Bigint.add prev value)
              end))
       postorder;
-    Hashtbl.fold (fun _ v acc -> Bigint.add acc v) tables.(0) Bigint.zero
+    Tbl.fold (fun _ v acc -> Bigint.add acc v) tables.(0) Bigint.zero
   end
 
 let count h g =

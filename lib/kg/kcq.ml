@@ -45,14 +45,14 @@ let count_answers q g =
 let quantified_components q =
   let under = Kgraph.underlying q.graph in
   let ys = Array.to_list (quantified_vars q) in
-  if ys = [] then []
+  if List.is_empty ys then []
   else begin
     let sub, back = Ops.induced under ys in
     List.map
       (fun comp ->
          let members = List.map (fun v -> back.(v)) comp in
          let attached =
-           List.sort_uniq compare
+           List.sort_uniq Int.compare
              (List.concat_map
                 (fun y ->
                    List.filter
@@ -112,7 +112,7 @@ let fix_free_pointwise q endo =
   let rec go h = if identity_on_free h then h else go (compose endo h) in
   go endo
 
-let is_counting_minimal q = shrinking_raw q = None
+let is_counting_minimal q = Option.is_none (shrinking_raw q)
 
 let induced_kgraph h members =
   let members = Array.of_list members in

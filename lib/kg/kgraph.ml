@@ -1,3 +1,5 @@
+module Ordering = Wlcq_util.Ordering
+
 type t = {
   n : int;
   vertex_labels : int array;
@@ -20,22 +22,23 @@ let create ~n ~vertex_labels ~edges =
        if u = v then invalid_arg "Kgraph.create: self-loop";
        if l < 0 then invalid_arg "Kgraph.create: negative edge label")
     edges;
-  let edges = List.sort_uniq compare edges in
+  let edges = List.sort_uniq Ordering.int_triple edges in
   let out = Array.make n [] and inc = Array.make n [] in
   List.iter
     (fun (u, v, l) ->
        out.(u) <- (v, l) :: out.(u);
        inc.(v) <- (u, l) :: inc.(v))
     edges;
-  Array.iteri (fun i l -> out.(i) <- List.sort compare l) out;
-  Array.iteri (fun i l -> inc.(i) <- List.sort compare l) inc;
+  Array.iteri (fun i l -> out.(i) <- List.sort Ordering.int_pair l) out;
+  Array.iteri (fun i l -> inc.(i) <- List.sort Ordering.int_pair l) inc;
   { n; vertex_labels = Array.copy vertex_labels; out; inc;
     m = List.length edges }
 
 let num_vertices g = g.n
 let num_edges g = g.m
 let vertex_label g v = g.vertex_labels.(v)
-let has_edge g u v label = List.mem (v, label) g.out.(u)
+let has_edge g u v label =
+  List.exists (fun (v', l') -> v' = v && l' = label) g.out.(u)
 let out_edges g u = g.out.(u)
 let in_edges g v = g.inc.(v)
 
@@ -47,7 +50,7 @@ let edges g =
   !acc
 
 let edge_labels g =
-  List.sort_uniq compare (List.map (fun (_, _, l) -> l) (edges g))
+  List.sort_uniq Int.compare (List.map (fun (_, _, l) -> l) (edges g))
 
 let underlying g =
   Wlcq_graph.Graph.create g.n
@@ -63,7 +66,26 @@ let of_graph g ~vertex_label ~edge_label =
   create ~n ~vertex_labels:(Array.make n vertex_label) ~edges
 
 let equal g1 g2 =
-  g1.n = g2.n && g1.vertex_labels = g2.vertex_labels && g1.out = g2.out
+  g1.n = g2.n
+  && Ordering.equal_array Int.equal g1.vertex_labels g2.vertex_labels
+  && Ordering.equal_array
+       (List.equal (Ordering.equal_pair Int.equal Int.equal))
+       g1.out g2.out
+
+let compare g1 g2 =
+  let c = Int.compare g1.n g2.n in
+  if c <> 0 then c
+  else
+    let c = Ordering.int_array g1.vertex_labels g2.vertex_labels in
+    if c <> 0 then c
+    else Ordering.array (List.compare Ordering.int_pair) g1.out g2.out
+
+let hash g =
+  let h = Ordering.hash_mix (Ordering.hash_int g.n) (Ordering.hash_int_array g.vertex_labels) in
+  Array.fold_left
+    (fun h es ->
+       List.fold_left (fun h (v, l) -> Ordering.hash_mix (Ordering.hash_mix h v) l) h es)
+    h g.out
 
 let pp ppf g =
   Format.fprintf ppf "kgraph(n=%d, labels=[%a], edges=[%a])" g.n

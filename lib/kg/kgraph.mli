@@ -63,4 +63,14 @@ val of_graph : Wlcq_graph.Graph.t -> vertex_label:int -> edge_label:int -> t
     edges). *)
 val equal : t -> t -> bool
 
+(** [compare] is a total order compatible with {!equal} (vertex count,
+    vertex labels, then adjacency).  Use this — never polymorphic
+    [Stdlib.compare] — when knowledge graphs key ordered
+    collections. *)
+val compare : t -> t -> int
+
+(** [hash] is compatible with {!equal}, for [Hashtbl.Make]-style keyed
+    tables. *)
+val hash : t -> int
+
 val pp : Format.formatter -> t -> unit

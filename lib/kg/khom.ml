@@ -39,7 +39,7 @@ let iter ?(pins = []) h g f =
     List.iter
       (fun (u, v) ->
          if u < 0 || u >= n || v < 0 || v >= ng then
-           invalid_arg "Khom: pin out of range";
+           invalid_arg "Khom.iter: pin out of range";
          pinned.(u) <- v)
       pins;
     let order = assignment_order h pins in

@@ -5,7 +5,9 @@ let describe =
 let ( let* ) = Result.bind
 
 let words s =
-  List.filter (fun t -> t <> "") (String.split_on_char ' ' (String.trim s))
+  List.filter
+    (fun t -> not (String.equal t ""))
+    (String.split_on_char ' ' (String.trim s))
 
 let parse_edge t =
   (* u-l>v *)

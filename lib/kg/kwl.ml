@@ -1,8 +1,10 @@
+module Ordering = Wlcq_util.Ordering
+
 type result = { colours : int array; num_colours : int; rounds : int }
 
-let canonicalise labelled =
+let canonicalise cmp labelled =
   let distinct =
-    List.sort_uniq compare (List.concat_map Array.to_list labelled)
+    List.sort_uniq cmp (List.concat_map Array.to_list labelled)
   in
   let ids = Hashtbl.create 256 in
   List.iteri (fun i s -> Hashtbl.replace ids s i) distinct;
@@ -20,7 +22,7 @@ let refine_many graphs =
              [ Kgraph.vertex_label g v ]))
       graphs
   in
-  let colourings, num = canonicalise init in
+  let colourings, num = canonicalise Ordering.int_list init in
   let round colourings =
     let signatures =
       List.map2
@@ -34,10 +36,12 @@ let refine_many graphs =
                  List.map (fun (w, l) -> (1, l, colours.(w)))
                    (Kgraph.in_edges g v)
                in
-               (colours.(v), List.sort compare (outs @ ins))))
+               (colours.(v), List.sort Ordering.int_triple (outs @ ins))))
         graphs colourings
     in
-    canonicalise signatures
+    canonicalise
+      (Ordering.pair Int.compare (List.compare Ordering.int_triple))
+      signatures
   in
   let rec go colourings num rounds =
     let colourings', num' = round colourings in
@@ -83,11 +87,24 @@ let atomic g k idx =
             (fun (w, l) -> if w = t.(j) then Some l else None)
             (Kgraph.out_edges g t.(i))
         in
-        rels := (i, j, t.(i) = t.(j), List.sort compare ls) :: !rels
+        rels := (i, j, t.(i) = t.(j), List.sort Int.compare ls) :: !rels
       end
     done
   done;
   (labels, !rels)
+
+let atomic_order =
+  let rel (i1, j1, eq1, ls1) (i2, j2, eq2, ls2) =
+    let c = Int.compare i1 i2 in
+    if c <> 0 then c
+    else
+      let c = Int.compare j1 j2 in
+      if c <> 0 then c
+      else
+        let c = Bool.compare eq1 eq2 in
+        if c <> 0 then c else Ordering.int_list ls1 ls2
+  in
+  Ordering.pair Ordering.int_list (List.compare rel)
 
 let run_many k graphs =
   if k < 2 then invalid_arg "Kwl.run: requires k >= 2 (use refine for k = 1)";
@@ -104,7 +121,7 @@ let run_many k graphs =
       (fun g count -> Array.init count (fun idx -> atomic g k idx))
       graphs tuple_counts
   in
-  let colourings, num = canonicalise init in
+  let colourings, num = canonicalise atomic_order init in
   let round colourings =
     let signatures =
       List.map2
@@ -122,11 +139,13 @@ let run_many k graphs =
                  in
                  entries := Array.to_list entry :: !entries
                done;
-               (colours.(idx), List.sort compare !entries)))
+               (colours.(idx), List.sort Ordering.int_list !entries)))
         (List.combine graphs tuple_counts)
         colourings
     in
-    canonicalise signatures
+    canonicalise
+      (Ordering.pair Int.compare (List.compare Ordering.int_list))
+      signatures
   in
   let rec go colourings num rounds =
     let colourings', num' = round colourings in
@@ -150,15 +169,16 @@ let histogram r =
        Hashtbl.replace counts c
          (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
     r.colours;
-  List.sort compare (Hashtbl.fold (fun c n acc -> (c, n) :: acc) counts [])
+  List.sort Ordering.int_pair
+    (Hashtbl.fold (fun c n acc -> (c, n) :: acc) counts [])
 
 let equivalent k g1 g2 =
   if k < 1 then invalid_arg "Kwl.equivalent: k must be positive"
   else if k = 1 then begin
     let r1, r2 = refine_pair g1 g2 in
-    histogram r1 = histogram r2
+    List.equal (Ordering.equal_pair Int.equal Int.equal) (histogram r1) (histogram r2)
   end
   else begin
     let r1, r2 = run_pair k g1 g2 in
-    histogram r1 = histogram r2
+    List.equal (Ordering.equal_pair Int.equal Int.equal) (histogram r1) (histogram r2)
   end

@@ -22,7 +22,7 @@ let rec variables = function
   | And phis | Or phis -> List.concat_map variables phis
   | Count_geq (_, i, phi) -> i :: variables phi
 
-let variable_width phi = List.length (List.sort_uniq compare (variables phi))
+let variable_width phi = List.length (List.sort_uniq Int.compare (variables phi))
 
 let rec free = function
   | True -> []
@@ -31,7 +31,7 @@ let rec free = function
   | And phis | Or phis -> List.concat_map free phis
   | Count_geq (_, i, phi) -> List.filter (fun j -> j <> i) (free phi)
 
-let free_variables phi = List.sort_uniq compare (free phi)
+let free_variables phi = List.sort_uniq Int.compare (free phi)
 
 let rec eval phi g env =
   match phi with

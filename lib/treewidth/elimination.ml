@@ -9,7 +9,7 @@ let higher_neighbour_sets g order =
   let order = Array.of_list order in
   if Array.length order <> n
      || not (Wlcq_util.Perm.is_permutation order) then
-    invalid_arg "Elimination: order must be a permutation of the vertices";
+    invalid_arg "Elimination.higher_neighbour_sets: order must be a permutation of the vertices";
   let adj = Array.init n (Graph.neighbours g) in
   let eliminated = Array.make n false in
   let sets = Array.make n (Bitset.create n) in

@@ -1,6 +1,13 @@
 open Wlcq_graph
 module Bitset = Wlcq_util.Bitset
 
+module Bitset_tbl = Hashtbl.Make (struct
+    type t = Bitset.t
+
+    let equal = Bitset.equal
+    let hash = Bitset.hash
+  end)
+
 (* ------------------------------------------------------------------ *)
 (* Branch and bound over elimination orders.                           *)
 (* ------------------------------------------------------------------ *)
@@ -24,7 +31,7 @@ let branch_and_bound g initial_ub initial_order =
   let n = Graph.num_vertices g in
   let best = ref initial_ub in
   let best_order = ref initial_order in
-  let memo : (Bitset.t, int) Hashtbl.t = Hashtbl.create 1024 in
+  let memo : int Bitset_tbl.t = Bitset_tbl.create 1024 in
   let rec go adj alive eliminated prefix current_max remaining =
     if current_max >= !best then ()
     else if remaining = 0 then begin
@@ -38,10 +45,10 @@ let branch_and_bound g initial_ub initial_order =
       best_order := List.rev_append prefix rest
     end
     else begin
-      match Hashtbl.find_opt memo eliminated with
+      match Bitset_tbl.find_opt memo eliminated with
       | Some m when m <= current_max -> ()
       | _ ->
-        Hashtbl.replace memo eliminated current_max;
+        Bitset_tbl.replace memo eliminated current_max;
         (* Simplicial vertices of low degree are always safe to
            eliminate first. *)
         let simplicial =
@@ -61,7 +68,7 @@ let branch_and_bound g initial_ub initial_order =
             let live = List.filter (fun v -> alive.(v)) (Graph.vertices g) in
             List.sort
               (fun a b ->
-                 compare
+                 Int.compare
                    (List.length (live_neighbours adj alive a))
                    (List.length (live_neighbours adj alive b)))
               live

@@ -277,7 +277,7 @@ let to_int_opt x =
   end
 
 let pp ppf x = Format.pp_print_string ppf (to_string x)
-let hash x = Hashtbl.hash (x.sign, x.mag)
+let hash x = Array.fold_left Ordering.hash_mix (Ordering.hash_int x.sign) x.mag
 
 module Infix = struct
   let ( + ) = add

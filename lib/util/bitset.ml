@@ -16,7 +16,7 @@ let capacity s = s.n
 let copy s = { n = s.n; words = Array.copy s.words }
 
 let check s i =
-  if i < 0 || i >= s.n then invalid_arg "Bitset: index out of range"
+  if i < 0 || i >= s.n then invalid_arg "Bitset.check: index out of range"
 
 let mem s i =
   check s i;
@@ -56,7 +56,7 @@ let full n =
 let of_list n xs = let s = create n in List.iter (set s) xs; s
 
 let same_capacity a b =
-  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch"
+  if a.n <> b.n then invalid_arg "Bitset.same_capacity: capacity mismatch"
 
 let map2 f a b =
   same_capacity a b;
@@ -143,4 +143,4 @@ let pp ppf s =
        Format.pp_print_int)
     (to_list s)
 
-let hash s = Hashtbl.hash (s.n, s.words)
+let hash s = Array.fold_left Ordering.hash_mix (Ordering.hash_int s.n) s.words

@@ -5,7 +5,7 @@ let dims a =
   let n = if m = 0 then 0 else Array.length a.(0) in
   Array.iter
     (fun row ->
-       if Array.length row <> n then failwith "Linalg: ragged matrix")
+       if Array.length row <> n then failwith "Linalg.dims: ragged matrix")
     a;
   (m, n)
 

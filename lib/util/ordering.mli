@@ -1,0 +1,48 @@
+(** Monomorphic comparison and hashing combinators.
+
+    The static-analysis pass ([tools/lint], rule R1) bans polymorphic
+    [=], [compare] and [Hashtbl.hash] on structured values; this module
+    supplies the sanctioned replacements: explicit comparators built
+    from [Int.compare]/[String.compare] and friends, mixers for writing
+    [equal]-compatible hash functions, and keyed hashtables for the two
+    structured key shapes the codebase uses most. *)
+
+(** [pair ca cb] compares pairs lexicographically. *)
+val pair : ('a -> 'a -> int) -> ('b -> 'b -> int) -> 'a * 'b -> 'a * 'b -> int
+
+(** [triple ca cb cc] compares triples lexicographically. *)
+val triple :
+  ('a -> 'a -> int) ->
+  ('b -> 'b -> int) ->
+  ('c -> 'c -> int) ->
+  'a * 'b * 'c ->
+  'a * 'b * 'c ->
+  int
+
+(** [array cmp] orders arrays by length, then lexicographically. *)
+val array : ('a -> 'a -> int) -> 'a array -> 'a array -> int
+
+val int_pair : int * int -> int * int -> int
+val int_triple : int * int * int -> int * int * int -> int
+val int_list : int list -> int list -> int
+val int_array : int array -> int array -> int
+val equal_pair : ('a -> 'a -> bool) -> ('b -> 'b -> bool) -> 'a * 'b -> 'a * 'b -> bool
+val equal_array : ('a -> 'a -> bool) -> 'a array -> 'a array -> bool
+
+(** [hash_mix h x] folds [x] into the running hash [h] (SplitMix-style
+    finaliser; the result is non-negative). *)
+val hash_mix : int -> int -> int
+
+(** [hash_fold] is {!hash_mix}, named for folding idioms. *)
+val hash_fold : int -> int -> int
+
+val hash_int : int -> int
+val hash_int_pair : int * int -> int
+val hash_int_list : int list -> int
+val hash_int_array : int array -> int
+
+(** Hashtables keyed on [int * int] with monomorphic equality/hashing. *)
+module Int_pair_tbl : Hashtbl.S with type key = int * int
+
+(** Hashtables keyed on [int list] with monomorphic equality/hashing. *)
+module Int_list_tbl : Hashtbl.S with type key = int list

@@ -19,7 +19,9 @@ let refine_counts graphs =
         graphs colourings
     in
     let distinct =
-      List.sort_uniq compare (List.concat_map Array.to_list signatures)
+      List.sort_uniq
+        (Wlcq_util.Ordering.pair Int.compare Wlcq_util.Ordering.int_list)
+        (List.concat_map Array.to_list signatures)
     in
     let ids = Hashtbl.create 64 in
     List.iteri (fun i s -> Hashtbl.replace ids s i) distinct;

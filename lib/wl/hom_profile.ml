@@ -4,7 +4,10 @@ module Bigint = Wlcq_util.Bigint
 (* Pattern enumeration is pure in (max_size, tw_bound) and is
    re-requested by every [first_difference] call (T15 runs one per
    witness pair), so memoise it; the graphs are immutable. *)
-let patterns_memo : (int * int, Graph.t list) Hashtbl.t = Hashtbl.create 8
+(* lint: domain-local memo is read and written by the calling domain only;
+   nothing in this module crosses a Domain.spawn boundary *)
+let patterns_memo : Graph.t list Wlcq_util.Ordering.Int_pair_tbl.t =
+  Wlcq_util.Ordering.Int_pair_tbl.create 8
 
 let patterns_uncached ~max_size ~tw_bound =
   let acc = ref [] in
@@ -32,11 +35,14 @@ let patterns_uncached ~max_size ~tw_bound =
   !acc
 
 let patterns ~max_size ~tw_bound =
-  match Hashtbl.find_opt patterns_memo (max_size, tw_bound) with
+  match
+    Wlcq_util.Ordering.Int_pair_tbl.find_opt patterns_memo
+      (max_size, tw_bound)
+  with
   | Some ps -> ps
   | None ->
     let ps = patterns_uncached ~max_size ~tw_bound in
-    Hashtbl.add patterns_memo (max_size, tw_bound) ps;
+    Wlcq_util.Ordering.Int_pair_tbl.add patterns_memo (max_size, tw_bound) ps;
     ps
 
 let profile ~patterns g =

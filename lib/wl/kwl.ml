@@ -1,4 +1,5 @@
 open Wlcq_graph
+module Ordering = Wlcq_util.Ordering
 
 type result = { colours : int array; num_colours : int; rounds : int }
 
@@ -17,14 +18,15 @@ let tuple_count k n =
     else if n > 0 && acc > limit / n then
       invalid_arg
         (Printf.sprintf
-           "Kwl: tuple space n^k = %d^%d exceeds Sys.max_array_length" n k)
+           "Kwl.tuple_count: tuple space n^k = %d^%d exceeds Sys.max_array_length" n k)
     else go (acc * n) (i - 1)
   in
   let c = go 1 k in
   if k > 0 && c > limit / (max k 1) then
     invalid_arg
       (Printf.sprintf
-         "Kwl: decode table k * n^k = %d * %d^%d exceeds Sys.max_array_length"
+         "Kwl.tuple_count: decode table k * n^k = %d * %d^%d exceeds \
+         Sys.max_array_length"
          k n k);
   c
 
@@ -56,17 +58,18 @@ let atomic_ref g k idx =
   done;
   !sig_
 
-(* Jointly canonicalise arbitrary comparable labels to 0..c-1. *)
-let canonicalise labelled =
+(* Jointly canonicalise labels to 0..c-1 under an explicit order. *)
+let canonicalise cmp labelled =
   let distinct =
-    List.sort_uniq compare (List.concat_map Array.to_list labelled)
+    List.sort_uniq cmp (List.concat_map Array.to_list labelled)
   in
   let ids = Hashtbl.create 256 in
   List.iteri (fun i s -> Hashtbl.replace ids s i) distinct;
   (List.map (Array.map (Hashtbl.find ids)) labelled, List.length distinct)
 
 let run_many_reference k graphs =
-  if k < 2 then invalid_arg "Kwl: requires k >= 2 (use Refinement for k = 1)";
+  if k < 2 then
+    invalid_arg "Kwl.run_many_reference: requires k >= 2 (use Refinement for k = 1)";
   let sizes = List.map (fun g -> Graph.num_vertices g) graphs in
   let tuple_counts = List.map (fun n -> tuple_count k n) sizes in
   (* initial colouring by atomic type *)
@@ -75,7 +78,7 @@ let run_many_reference k graphs =
       (fun g count -> Array.init count (fun idx -> atomic_ref g k idx))
       graphs tuple_counts
   in
-  let colourings, num = canonicalise init in
+  let colourings, num = canonicalise Ordering.int_list init in
   let round colourings =
     let signatures =
       List.map2
@@ -95,11 +98,13 @@ let run_many_reference k graphs =
                  in
                  entries := Array.to_list entry :: !entries
                done;
-               (colours.(idx), List.sort compare !entries)))
+               (colours.(idx), List.sort Ordering.int_list !entries)))
         (List.combine graphs tuple_counts)
         colourings
     in
-    canonicalise signatures
+    canonicalise
+      (Ordering.pair Int.compare (List.compare Ordering.int_list))
+      signatures
   in
   let rec go colourings num rounds =
     let colourings', num' = round colourings in
@@ -166,6 +171,7 @@ let hash_mix h x =
 let hash_segment arena base len =
   let h = ref 0x27220A95 in
   for i = base to base + len - 1 do
+    (* lint: allow R2 i ranges over [base, base+len) inside the arena *)
     h := hash_mix !h (Array.unsafe_get arena i)
   done;
   !h
@@ -173,6 +179,7 @@ let hash_segment arena base len =
 let seg_equal arena b1 b2 len =
   let rec go i =
     i = len
+    (* lint: allow R2 both segments lie inside the arena by construction *)
     || Array.unsafe_get arena (b1 + i) = Array.unsafe_get arena (b2 + i)
        && go (i + 1)
   in
@@ -264,6 +271,16 @@ exception Histograms_diverged
    colouring and after every completed round with the number of
    colours in use; it may raise to stop refinement early (used by the
    equivalence oracle's histogram check). *)
+(* Test-only: the minimum round weight (m * max_n * k) at which
+   [compute_all] fans out to worker domains.  [0] forces the
+   [Domain.spawn] path even on tiny instances (the per-domain chunk cap
+   is bypassed too); [max_int] forces the sequential fallback.  The
+   differential tests flip it to drive both code paths over identical
+   inputs. *)
+(* lint: domain-local written by the test harness before a run and read
+   once per round by the driver domain; worker domains never touch it *)
+let parallel_threshold = ref (1 lsl 15)
+
 let run_engine ?domains ~on_round k states =
   let total = Array.fold_left (fun acc st -> acc + st.count) 0 states in
   let max_n = Array.fold_left (fun acc st -> max acc st.n) 0 states in
@@ -364,13 +381,16 @@ let run_engine ?domains ~on_round k states =
         for w = 0 to n - 1 do
           let p = ref 0 in
           for i = 0 to k - 1 do
-            let c =
-              Array.unsafe_get colours
-                (idx + ((w - Array.unsafe_get tuples (tb + i))
-                        * Array.unsafe_get place i))
-            in
+            (* lint: allow R2 the decode table has k entries per tuple *)
+            let ti = Array.unsafe_get tuples (tb + i) in
+            (* lint: allow R2 i < k = |place| *)
+            let pl = Array.unsafe_get place i in
+            (* lint: allow R2 substituting coordinate i by w stays inside
+               this graph's segment of the colour buffer *)
+            let c = Array.unsafe_get colours (idx + ((w - ti) * pl)) in
             p := (!p lsl bits) lor c
           done;
+          (* lint: allow R2 w < n <= |entry| by construction *)
           Array.unsafe_set entry w !p
         done;
         (* pad so joint runs over graphs of different sizes compare
@@ -401,8 +421,10 @@ let run_engine ?domains ~on_round k states =
   in
   let compute_all m =
     (* only fan out when the round is big enough to amortise spawns *)
+    let threshold = !parallel_threshold in
     let nd =
-      if requested_domains <= 1 || m * max_n * k < 1 lsl 15 then 1
+      if requested_domains <= 1 || m * max_n * k < threshold then 1
+      else if threshold = 0 then min requested_domains (max 1 m)
       else min requested_domains (max 1 (m / 256))
     in
     if nd <= 1 then compute_range 0 m
@@ -541,7 +563,8 @@ let run_engine ?domains ~on_round k states =
   (!next_colour, !rounds)
 
 let run_many ?domains k graphs =
-  if k < 2 then invalid_arg "Kwl: requires k >= 2 (use Refinement for k = 1)";
+  if k < 2 then
+    invalid_arg "Kwl.run_many: requires k >= 2 (use Refinement for k = 1)";
   let states = Array.of_list (List.map (make_state k) graphs) in
   let num, rounds = run_engine ?domains ~on_round:(fun _ -> ()) k states in
   Array.to_list
@@ -569,13 +592,15 @@ let histogram (r : result) =
        Hashtbl.replace counts c
          (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
     r.colours;
-  List.sort compare (Hashtbl.fold (fun c n acc -> (c, n) :: acc) counts [])
+  List.sort Ordering.int_pair
+    (Hashtbl.fold (fun c n acc -> (c, n) :: acc) counts [])
 
 (* Early-exit equivalence: refinement only splits classes, so once the
    two graphs' joint colour histograms diverge they stay diverged; the
    oracle stops at the first diverging round. *)
 let equivalent ?domains k g1 g2 =
-  if k < 2 then invalid_arg "Kwl: requires k >= 2 (use Refinement for k = 1)";
+  if k < 2 then
+    invalid_arg "Kwl.equivalent: requires k >= 2 (use Refinement for k = 1)";
   if Graph.num_vertices g1 <> Graph.num_vertices g2 then false
   else begin
     let states = [| make_state k g1; make_state k g2 |] in
@@ -604,4 +629,4 @@ let equivalent ?domains k g1 g2 =
 
 let equivalent_reference k g1 g2 =
   let r1, r2 = run_pair_reference k g1 g2 in
-  histogram r1 = histogram r2
+  List.equal (Ordering.equal_pair Int.equal Int.equal) (histogram r1) (histogram r2)

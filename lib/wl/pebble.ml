@@ -105,7 +105,7 @@ let safe_positions k g1 g2 =
   safe
 
 let duplicator_wins k g1 g2 t1 t2 =
-  if k < 2 then invalid_arg "Pebble: requires k >= 2";
+  if k < 2 then invalid_arg "Pebble.duplicator_wins: requires k >= 2";
   if Array.length t1 <> k || Array.length t2 <> k then
     invalid_arg "Pebble.duplicator_wins: tuple arity mismatch";
   let n = Graph.num_vertices g1 in
@@ -116,7 +116,7 @@ let duplicator_wins k g1 g2 t1 t2 =
   end
 
 let equivalent k g1 g2 =
-  if k < 2 then invalid_arg "Pebble: requires k >= 2";
+  if k < 2 then invalid_arg "Pebble.equivalent: requires k >= 2";
   let n = Graph.num_vertices g1 in
   if Graph.num_vertices g2 <> n then false
   else if n = 0 then true

@@ -1,4 +1,5 @@
 open Wlcq_graph
+module Ordering = Wlcq_util.Ordering
 
 type result = { colours : int array; num_colours : int; rounds : int }
 
@@ -77,6 +78,7 @@ let run_many_with ~on_round graphs =
     let seg_equal b1 b2 len =
       let rec go i =
         i = len
+        (* lint: allow R2 both segments lie inside the arena *)
         || Array.unsafe_get arena (b1 + i) = Array.unsafe_get arena (b2 + i)
            && go (i + 1)
       in
@@ -97,6 +99,7 @@ let run_many_with ~on_round graphs =
           sort_int_range arena (base + 1) (len - 1);
           let h = ref (hash_mix 0x27220A95 len) in
           for i = base to base + len - 1 do
+            (* lint: allow R2 i ranges over [base, base+len) inside the arena *)
             h := hash_mix !h (Array.unsafe_get arena i)
           done;
           hashes.(gv) <- !h
@@ -169,7 +172,8 @@ let histogram (r : result) =
        Hashtbl.replace counts c
          (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
     r.colours;
-  List.sort compare (Hashtbl.fold (fun c n acc -> (c, n) :: acc) counts [])
+  List.sort Ordering.int_pair
+    (Hashtbl.fold (fun c n acc -> (c, n) :: acc) counts [])
 
 (* Early exit: refinement only splits classes, so once the joint
    histograms of the two graphs diverge they stay diverged. *)
@@ -185,6 +189,6 @@ let equivalent g1 g2 =
           raise Histograms_diverged
       in
       match run_many_with ~on_round:check [ g1; g2 ] with
-      | [ r1; r2 ] -> histogram r1 = histogram r2
+      | [ r1; r2 ] -> List.equal (Ordering.equal_pair Int.equal Int.equal) (histogram r1) (histogram r2)
       | _ -> assert false
     with Histograms_diverged -> false

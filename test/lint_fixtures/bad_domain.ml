@@ -1,0 +1,10 @@
+(* Fixture: top-level mutable state in a Domain.spawn file — rule R3. *)
+
+let shared_counter = ref 0
+
+let shared_memo : (int, int) Hashtbl.t = Hashtbl.create 8
+
+let compute () =
+  let d = Domain.spawn (fun () -> incr shared_counter) in
+  Domain.join d;
+  Hashtbl.length shared_memo

@@ -1,0 +1,13 @@
+(* Fixture: every construct below must trip rule R2. *)
+
+let head xs = List.hd xs
+
+let forced x = Option.get x
+
+let sneaky a = Array.unsafe_get a 0
+
+let boom () = failwith "something went wrong"
+
+let guard x = if x < 0 then invalid_arg "negative" else x
+
+let _ = (head, forced, sneaky, boom, guard)

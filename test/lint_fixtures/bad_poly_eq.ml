@@ -1,0 +1,16 @@
+(* Fixture: every construct below must trip rule R1. *)
+
+let option_eq x = x = Some 3
+
+let option_neq x = x <> None
+
+let list_eq xs = xs = [ 1; 2; 3 ]
+
+let bare_compare xs = List.sort compare xs
+
+let poly_hash x = Hashtbl.hash x
+
+let annotated_table : (int list, int) Hashtbl.t = Hashtbl.create 16
+
+let _ = (option_eq, option_neq, list_eq, bare_compare, poly_hash,
+         annotated_table)

@@ -1,0 +1,3 @@
+(* Fixture: a library module with no .mli that prints — rule R4 twice. *)
+
+let shout x = print_endline x

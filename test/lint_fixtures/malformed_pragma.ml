@@ -1,0 +1,12 @@
+(* Fixture: pragmas that do not parse must be reported (rule R0). *)
+
+(* lint: allow *)
+let a = 1
+
+(* lint: allow R9 unknown rule id *)
+let b = 2
+
+(* lint: domain-local *)
+let c = 3
+
+let _ = (a, b, c)

@@ -1,0 +1,15 @@
+(* Fixture: the same violation classes as the bad_* files, every one
+   carrying a reasoned pragma — the file must lint clean. *)
+
+(* lint: allow R1 fixture demonstrates an audited polymorphic equality *)
+let option_eq x = x = Some 3
+
+(* lint: allow R2 fixture demonstrates an audited partial call *)
+let head xs = List.hd xs
+
+let use_domain () = Domain.join (Domain.spawn (fun () -> 1))
+
+(* lint: domain-local fixture state never escapes the test domain *)
+let shared = ref 0
+
+let _ = (option_eq, head, use_domain, shared)

@@ -1,0 +1,5 @@
+(* Fixture: a pragma with nothing to suppress must itself be reported
+   (rule R0). *)
+
+(* lint: allow R1 nothing here actually violates R1 *)
+let fine = Int.equal 1 1

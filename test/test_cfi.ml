@@ -48,11 +48,12 @@ let test_vertex_lookup () =
   let base = Builders.cycle 4 in
   let t = Cfi.even base in
   (* (0, {}) exists; (0, {1}) has odd parity so it does not *)
-  check_bool "empty subset found" true (Cfi.vertex t 0 (Bitset.create 4) <> None);
+  check_bool "empty subset found" true
+    (Option.is_some (Cfi.vertex t 0 (Bitset.create 4)));
   check_bool "odd subset absent" true
-    (Cfi.vertex t 0 (Bitset.of_list 4 [ 1 ]) = None);
+    (Option.is_none (Cfi.vertex t 0 (Bitset.of_list 4 [ 1 ])));
   check_bool "both neighbours found" true
-    (Cfi.vertex t 0 (Bitset.of_list 4 [ 1; 3 ]) <> None)
+    (Option.is_some (Cfi.vertex t 0 (Bitset.of_list 4 [ 1; 3 ])))
 
 (* ------------------------------------------------------------------ *)
 (* Lemma 26: parity decides isomorphism                                *)
@@ -106,13 +107,13 @@ let test_lemma27_hom_counts () =
      χ(C4) pair, and some treewidth-2 pattern can *)
   let even, odd = Pairs.twisted_pair (Builders.cycle 4) in
   check_bool "no small tree separates" true
-    (Wlcq_wl.Equivalence.hom_indistinguishable ~tw_bound:1
-       ~max_pattern_size:5 even.Cfi.graph odd.Cfi.graph
-     = None);
+    (Option.is_none
+       (Wlcq_wl.Equivalence.hom_indistinguishable ~tw_bound:1
+          ~max_pattern_size:5 even.Cfi.graph odd.Cfi.graph));
   check_bool "a tw<=2 pattern separates" true
-    (Wlcq_wl.Equivalence.hom_indistinguishable ~tw_bound:2
-       ~max_pattern_size:5 even.Cfi.graph odd.Cfi.graph
-     <> None)
+    (Option.is_some
+       (Wlcq_wl.Equivalence.hom_indistinguishable ~tw_bound:2
+          ~max_pattern_size:5 even.Cfi.graph odd.Cfi.graph))
 
 (* ------------------------------------------------------------------ *)
 (* Cloning (Definition 33, Lemmas 34/35)                               *)

@@ -52,7 +52,7 @@ let test_readout_correct_when_order_sufficient () =
 let test_readout_refuses_low_order () =
   let n = Gnn.make ~order:1 (Builders.cycle 5) in
   check_bool "order 1 refuses star2" true
-    (Gnn.answer_count_readout star2 n = None)
+    (Option.is_none (Gnn.answer_count_readout star2 n))
 
 let test_inexpressibility_witness () =
   (* the Theorem 1 lower bound as a GNN statement: a pair with equal
@@ -71,7 +71,7 @@ let test_inexpressibility_witness () =
 let test_no_witness_for_full_query () =
   let q = Core.Cq.make (Builders.cycle 4) [ 0; 1; 2; 3 ] in
   check_bool "full-query witness unsupported" true
-    (Gnn.inexpressibility_witness q = None)
+    (Option.is_none (Gnn.inexpressibility_witness q))
 
 let gnn_qcheck =
   [

@@ -56,7 +56,7 @@ let test_enumerate_valid () =
   check_int "Hom(C3,K4) count" 24 (List.length homs);
   check_bool "all are homomorphisms" true
     (List.for_all (Brute.is_homomorphism h g) homs);
-  let distinct = List.sort_uniq compare homs in
+  let distinct = List.sort_uniq Wlcq_util.Ordering.int_array homs in
   check_int "no duplicates" 24 (List.length distinct)
 
 (* ------------------------------------------------------------------ *)

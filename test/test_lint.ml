@@ -1,0 +1,105 @@
+(* The linter linted: every rule must fire on its known-bad fixture,
+   pragmas must suppress (and be counted), and pragma misuse must be
+   reported.  The fixture tree lives in test/lint_fixtures/ and is
+   skipped by ordinary lint runs (the driver prunes [lint_fixtures]
+   directories unless asked). *)
+
+open Lint_engine
+
+let result =
+  lazy (Engine.run ~include_fixtures:true ~roots:[ "lint_fixtures" ] ())
+
+let findings_in file rule =
+  let r = Lazy.force result in
+  List.filter
+    (fun (d : Diagnostic.t) ->
+       String.equal d.file ("lint_fixtures/" ^ file)
+       && String.equal (Diagnostic.rule_id d.rule) rule)
+    r.Engine.findings
+
+let count_in file rule = List.length (findings_in file rule)
+
+let check_count name file rule expected =
+  Alcotest.(check int) name expected (count_in file rule)
+
+let test_r1_fires () =
+  (* = Some, <> None, = [1;2;3], bare compare, Hashtbl.hash, and the
+     list-keyed Hashtbl.create *)
+  check_count "R1 count on bad_poly_eq" "bad_poly_eq.ml" "R1" 6
+
+let test_r2_fires () =
+  (* List.hd, Option.get, Array.unsafe_get, bare failwith message,
+     bare invalid_arg message *)
+  check_count "R2 count on bad_partial" "bad_partial.ml" "R2" 5
+
+let test_r3_fires () =
+  (* shared_counter and shared_memo, both visible to Domain.spawn *)
+  check_count "R3 count on bad_domain" "bad_domain.ml" "R3" 2
+
+let test_r4_fires () =
+  (* missing .mli and print_endline, both lib-only checks *)
+  check_count "R4 count on lib/bad_print" "lib/bad_print.ml" "R4" 2
+
+let test_pragmas_suppress () =
+  let r = Lazy.force result in
+  List.iter
+    (fun rule -> check_count ("suppressed is clean of " ^ rule)
+        "suppressed.ml" rule 0)
+    [ "R0"; "R1"; "R2"; "R3"; "R4" ];
+  (* each suppression must be counted towards --stats *)
+  List.iter
+    (fun (rc : Engine.rule_count) ->
+       match Diagnostic.rule_id rc.rule with
+       | "R1" | "R2" | "R3" ->
+         Alcotest.(check bool)
+           (Diagnostic.rule_id rc.rule ^ " suppression counted") true
+           (rc.suppressions >= 1)
+       | _ -> ())
+    r.Engine.by_rule
+
+let test_unused_pragma_reported () =
+  check_count "unused pragma is R0" "unused_pragma.ml" "R0" 1
+
+let test_malformed_pragmas_reported () =
+  (* missing rule+reason, unknown rule id, missing reason *)
+  check_count "malformed pragmas are R0" "malformed_pragma.ml" "R0" 3
+
+let test_run_reports_failure () =
+  let r = Lazy.force result in
+  Alcotest.(check bool) "fixture tree has live findings" true
+    (not (List.is_empty r.Engine.findings));
+  Alcotest.(check bool) "suppressions totalled" true
+    (r.Engine.total_suppressions >= 3)
+
+let test_default_run_skips_fixtures () =
+  (* without [include_fixtures], the lint_fixtures tree is pruned *)
+  let r = Engine.run ~roots:[ "lint_fixtures" ] () in
+  Alcotest.(check int) "no files scanned" 0 r.Engine.files_scanned
+
+let () =
+  Alcotest.run "wlcq_lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "R1 polymorphic comparison" `Quick test_r1_fires;
+          Alcotest.test_case "R2 partial functions" `Quick test_r2_fires;
+          Alcotest.test_case "R3 domain safety" `Quick test_r3_fires;
+          Alcotest.test_case "R4 hygiene" `Quick test_r4_fires;
+        ] );
+      ( "pragmas",
+        [
+          Alcotest.test_case "reasoned pragmas suppress" `Quick
+            test_pragmas_suppress;
+          Alcotest.test_case "unused pragma reported" `Quick
+            test_unused_pragma_reported;
+          Alcotest.test_case "malformed pragma reported" `Quick
+            test_malformed_pragmas_reported;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "findings aggregate" `Quick
+            test_run_reports_failure;
+          Alcotest.test_case "fixtures pruned by default" `Quick
+            test_default_run_skips_fixtures;
+        ] );
+    ]

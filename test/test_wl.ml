@@ -65,7 +65,7 @@ let test_kwl_on_isomorphic () =
 
 let test_kwl_rejects_k1 () =
   Alcotest.check_raises "k=1 rejected"
-    (Invalid_argument "Kwl: requires k >= 2 (use Refinement for k = 1)")
+    (Invalid_argument "Kwl.run_many: requires k >= 2 (use Refinement for k = 1)")
     (fun () -> ignore (Kwl.run 1 (Builders.path 2)))
 
 let test_kwl_overflow_guard () =
@@ -151,6 +151,26 @@ let kwl_engine_qcheck =
       (fun (n, seed) ->
          let g = Gen.gnp (Prng.create seed) n 0.4 in
          engines_agree 2 [ g ]);
+    QCheck.Test.make
+      ~name:"forced-parallel run is byte-identical to forced-sequential"
+      ~count:25
+      QCheck.(triple (int_range 1 6) (int_bound 100000) (int_bound 100000))
+      (fun (n, s1, s2) ->
+         let g1 = Gen.gnp (Prng.create s1) n 0.5 in
+         let g2 = Gen.gnp (Prng.create s2) n 0.5 in
+         let saved = !Kwl.parallel_threshold in
+         Fun.protect
+           ~finally:(fun () -> Kwl.parallel_threshold := saved)
+           (fun () ->
+              Kwl.parallel_threshold := max_int;
+              let q1, q2 = Kwl.run_pair ~domains:4 2 g1 g2 in
+              Kwl.parallel_threshold := 0;
+              let p1, p2 = Kwl.run_pair ~domains:4 2 g1 g2 in
+              let arr_eq = Wlcq_util.Ordering.equal_array Int.equal in
+              q1.Kwl.num_colours = p1.Kwl.num_colours
+              && q1.Kwl.rounds = p1.Kwl.rounds
+              && arr_eq q1.Kwl.colours p1.Kwl.colours
+              && arr_eq q2.Kwl.colours p2.Kwl.colours));
   ]
 
 let test_kwl_monotone () =
@@ -168,8 +188,9 @@ let test_hom_oracle_crosscheck_classics () =
      separated by a treewidth-2 pattern (the triangle) *)
   let g1 = Builders.two_triangles () and g2 = Builders.cycle 6 in
   check_bool "no tw-1 pattern distinguishes" true
-    (Equivalence.hom_indistinguishable ~tw_bound:1 ~max_pattern_size:5 g1 g2
-     = None);
+    (Option.is_none
+       (Equivalence.hom_indistinguishable ~tw_bound:1 ~max_pattern_size:5 g1
+          g2));
   (match
      Equivalence.hom_indistinguishable ~tw_bound:2 ~max_pattern_size:4 g1 g2
    with
@@ -190,9 +211,9 @@ let equivalence_qcheck =
          let g2 = Gen.gnp rng n 0.5 in
          let wl = Equivalence.equivalent 1 g1 g2 in
          let hom =
-           Equivalence.hom_indistinguishable ~tw_bound:1 ~max_pattern_size:4
-             g1 g2
-           = None
+           Option.is_none
+             (Equivalence.hom_indistinguishable ~tw_bound:1
+                ~max_pattern_size:4 g1 g2)
          in
          (* hom-oracle is truncated at pattern size 4, so it may fail to
             separate graphs that 1-WL separates with a larger tree; the
@@ -208,9 +229,9 @@ let equivalence_qcheck =
          let g2 = Gen.gnp rng n 0.5 in
          let wl = Equivalence.equivalent 2 g1 g2 in
          (not wl)
-         || Equivalence.hom_indistinguishable ~tw_bound:2 ~max_pattern_size:4
-              g1 g2
-            = None);
+         || Option.is_none
+              (Equivalence.hom_indistinguishable ~tw_bound:2
+                 ~max_pattern_size:4 g1 g2));
     QCheck.Test.make
       ~name:"hom-distinguished (tw<=1, size<=4) implies 1-WL-distinguished"
       ~count:25
@@ -220,9 +241,9 @@ let equivalence_qcheck =
          let g1 = Gen.gnp rng n 0.4 in
          let g2 = Gen.gnp rng n 0.6 in
          let hom_dist =
-           Equivalence.hom_indistinguishable ~tw_bound:1 ~max_pattern_size:4
-             g1 g2
-           <> None
+           Option.is_some
+             (Equivalence.hom_indistinguishable ~tw_bound:1
+                ~max_pattern_size:4 g1 g2)
          in
          (not hom_dist) || not (Equivalence.equivalent 1 g1 g2));
   ]
@@ -258,9 +279,13 @@ let test_equitable_partition () =
   check_int "star classes" 2 c;
   let m = Fractional.degree_matrix (Builders.star 4) classes c in
   (* one class sees 4 of the other and 0 of itself; the other sees 1 *)
-  let rows = List.sort compare [ Array.to_list m.(0); Array.to_list m.(1) ] in
+  let rows =
+    List.sort Wlcq_util.Ordering.int_list
+      [ Array.to_list m.(0); Array.to_list m.(1) ]
+  in
+  let rows_eq = List.equal (List.equal Int.equal) in
   check_bool "degree matrix" true
-    (rows = [ [ 0; 1 ]; [ 4; 0 ] ] || rows = [ [ 0; 4 ]; [ 1; 0 ] ]);
+    (rows_eq rows [ [ 0; 1 ]; [ 4; 0 ] ] || rows_eq rows [ [ 0; 4 ]; [ 1; 0 ] ]);
   (* vertex-transitive graphs have one class *)
   let _, c = Fractional.coarsest_equitable (Builders.petersen ()) in
   check_int "petersen equitable classes" 1 c
@@ -381,7 +406,8 @@ let test_hom_profile_difference () =
   let g1 = Builders.two_triangles () and g2 = Builders.cycle 6 in
   (* no tree up to size 6 separates them *)
   check_bool "tw-1 profile identical" true
-    (Hom_profile.first_difference ~max_size:5 ~tw_bound:1 g1 g2 = None);
+    (Option.is_none
+       (Hom_profile.first_difference ~max_size:5 ~tw_bound:1 g1 g2));
   (* the triangle is the smallest treewidth-2 separator *)
   (match Hom_profile.first_difference ~max_size:4 ~tw_bound:2 g1 g2 with
    | None -> Alcotest.fail "expected a difference"
@@ -399,10 +425,12 @@ let test_hom_profile_difference () =
 let test_wl_dimension_of_pair () =
   let g1 = Builders.two_triangles () and g2 = Builders.cycle 6 in
   check_bool "dimension of (2K3, C6) pair is 2" true
-    (Equivalence.wl_dimension_of_pair g1 g2 ~max_k:3 = Some 2);
+    (Option.equal Int.equal
+       (Equivalence.wl_dimension_of_pair g1 g2 ~max_k:3)
+       (Some 2));
   let g = Builders.petersen () in
   check_bool "isomorphic pair never distinguished" true
-    (Equivalence.wl_dimension_of_pair g g ~max_k:3 = None)
+    (Option.is_none (Equivalence.wl_dimension_of_pair g g ~max_k:3))
 
 let () =
   let qsuite name tests =

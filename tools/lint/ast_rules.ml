@@ -1,0 +1,433 @@
+open Parsetree
+
+(* Facts about one file that the whole-project domain-safety pass (R3)
+   consumes after every file has been walked. *)
+type facts = {
+  mutable spawns : Location.t list;
+      (* Domain.spawn occurrences *)
+  mutable module_refs : string list;
+      (* dotted module paths referenced anywhere in the file *)
+  mutable top_mutable : (Location.t * string) list;
+      (* top-level mutable bindings: location + description *)
+}
+
+let empty_facts () = { spawns = []; module_refs = []; top_mutable = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Longident helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let flatten li = try Longident.flatten li with _ -> []
+
+(* Strip a leading Stdlib so [Stdlib.compare] and [compare] agree. *)
+let strip_stdlib = function "Stdlib" :: rest -> rest | parts -> parts
+
+(* Module-path prefixes of a longident: for the value ident [A.B.c]
+   this is ["A"; "A.B"]; for a module ident [A.B] it is ["A"; "A.B"]. *)
+let module_prefixes ~value parts =
+  let parts = if value then List.filteri (fun i _ -> i < List.length parts - 1) parts else parts in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | p :: rest ->
+      let path = match acc with [] -> p | prev :: _ -> prev ^ "." ^ p in
+      go (path :: acc) rest
+  in
+  go [] parts
+
+(* ------------------------------------------------------------------ *)
+(* Expression classification                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec strip_constraint e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> strip_constraint e
+  | _ -> e
+
+(* Syntactically structured operands: values that polymorphic [=] or
+   [compare] would traverse structurally.  Scalars (int/char/bool
+   literals and anything of unknown type) are not flagged — unknown
+   operands are the documented false-negative class of R1. *)
+let is_structured e =
+  match (strip_constraint e).pexp_desc with
+  | Pexp_tuple _ | Pexp_record _ | Pexp_array _ -> true
+  | Pexp_construct ({ txt = Longident.Lident ("true" | "false" | "()"); _ }, None)
+    -> false
+  | Pexp_construct _ -> true
+  | Pexp_variant _ -> true
+  | Pexp_constant (Pconst_string _ | Pconst_float _) -> true
+  | Pexp_fun _ | Pexp_function _ | Pexp_lazy _ -> true
+  | _ -> false
+
+let describe_structured e =
+  match (strip_constraint e).pexp_desc with
+  | Pexp_tuple _ -> "a tuple"
+  | Pexp_record _ -> "a record"
+  | Pexp_array _ -> "an array literal"
+  | Pexp_construct ({ txt = Longident.Lident "[]"; _ }, None) -> "a list"
+  | Pexp_construct ({ txt = Longident.Lident "::"; _ }, _) -> "a list"
+  | Pexp_construct ({ txt = Longident.Lident "None"; _ }, None) -> "an option"
+  | Pexp_construct ({ txt = Longident.Lident "Some"; _ }, _) -> "an option"
+  | Pexp_construct _ -> "a constructor"
+  | Pexp_variant _ -> "a polymorphic variant"
+  | Pexp_constant (Pconst_string _) -> "a string"
+  | Pexp_constant (Pconst_float _) -> "a float"
+  | Pexp_fun _ | Pexp_function _ -> "a function"
+  | Pexp_lazy _ -> "a lazy value"
+  | _ -> "a structured value"
+
+(* Scalar key types for the polymorphic-Hashtbl check: hashing these
+   with the default hash function is exact and cheap. *)
+let scalar_type (t : core_type) =
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, []) ->
+    (match strip_stdlib (flatten txt) with
+     | [ ("int" | "char" | "bool" | "string" | "unit") ]
+     | [ ("Int" | "Char" | "Bool" | "String"); "t" ] -> true
+     | _ -> false)
+  | _ -> false
+
+let type_to_string (t : core_type) =
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, []) -> String.concat "." (flatten txt)
+  | Ptyp_constr ({ txt; _ }, _ :: _) ->
+    "... " ^ String.concat "." (flatten txt)
+  | Ptyp_tuple _ -> "a tuple type"
+  | Ptyp_var v -> "'" ^ v
+  | _ -> "this type"
+
+(* ------------------------------------------------------------------ *)
+(* R2: the partial/unsafe-function ban list                            *)
+(* ------------------------------------------------------------------ *)
+
+let banned_partial parts =
+  match strip_stdlib parts with
+  | [ "List"; "hd" ] -> Some "List.hd (match on the list instead)"
+  | [ "List"; "tl" ] -> Some "List.tl (match on the list instead)"
+  | [ "List"; "nth" ] -> Some "List.nth (use arrays or List.nth_opt)"
+  | [ "List"; "assoc" ] -> Some "List.assoc (use List.assoc_opt)"
+  | [ "List"; "find" ] -> Some "List.find (use List.find_opt)"
+  | [ "Option"; "get" ] -> Some "Option.get (match on the option instead)"
+  | [ "Array"; "unsafe_get" ] -> Some "Array.unsafe_get (bounds-unchecked)"
+  | [ "Array"; "unsafe_set" ] -> Some "Array.unsafe_set (bounds-unchecked)"
+  | [ "Bytes"; "unsafe_get" ] -> Some "Bytes.unsafe_get (bounds-unchecked)"
+  | [ "Bytes"; "unsafe_set" ] -> Some "Bytes.unsafe_set (bounds-unchecked)"
+  | "Obj" :: _ -> Some "Obj.* (unsound by construction)"
+  | _ -> None
+
+(* Printing entry points that must not appear in lib/ (rule R4): library
+   code reports through return values or formatters supplied by the
+   caller; stdout belongs to bin/ and bench/. *)
+let banned_printing parts =
+  match strip_stdlib parts with
+  | [ ( "print_endline" | "print_string" | "print_newline" | "print_int"
+      | "print_char" | "print_float" | "prerr_endline" | "prerr_string"
+      | "prerr_newline" ) as f ] -> Some f
+  | [ ("Printf" | "Format"); ("printf" | "eprintf") ] ->
+    Some (String.concat "." (strip_stdlib parts))
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* R2: the Module.fn: message convention                               *)
+(* ------------------------------------------------------------------ *)
+
+let valid_message_prefix s =
+  match String.index_opt s ':' with
+  | None -> false
+  | Some i ->
+    let ident_from ~upper p =
+      String.length p > 0
+      &&
+      (match p.[0] with
+       | 'A' .. 'Z' -> upper
+       | 'a' .. 'z' | '_' -> not upper
+       | _ -> false)
+    in
+    let parts = String.split_on_char '.' (String.sub s 0 i) in
+    let rec check = function
+      | [] | [ _ ] -> false
+      | [ m; f ] -> ident_from ~upper:true m && ident_from ~upper:false f
+      | m :: rest -> ident_from ~upper:true m && check rest
+    in
+    List.length parts >= 2 && check parts
+    && i + 1 < String.length s
+    && s.[i + 1] = ' '
+
+(* The leftmost string literal of a message expression: through
+   constraints, [^] concatenations and sprintf-style formatting. *)
+let rec message_literal e =
+  match (strip_constraint e).pexp_desc with
+  | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt = Longident.Lident "^"; _ }; _ },
+       (_, l) :: _) -> message_literal l
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, (_, fmt) :: _) ->
+    (match strip_stdlib (flatten txt) with
+     | [ "Printf"; "sprintf" ] | [ "Format"; "sprintf" ]
+     | [ "Format"; "asprintf" ] -> message_literal fmt
+     | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Top-level mutable state (facts for R3)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The repo names modules produced by [Hashtbl.Make] with a [_tbl] /
+   [Tbl] suffix (Ordering.Int_pair_tbl, a local [module Tbl = ...]);
+   their [create] builds mutable state just like [Hashtbl.create]. *)
+let table_module m =
+  let n = String.length m in
+  String.equal m "Tbl"
+  || (n >= 4 && String.equal (String.sub m (n - 4) 4) "_tbl")
+  || (n >= 3 && String.equal (String.sub m (n - 3) 3) "Tbl")
+
+let mutable_constructor parts =
+  match strip_stdlib parts with
+  | [ "ref" ] -> Some "a ref cell"
+  | [ "Hashtbl"; "create" ] -> Some "a Hashtbl.t"
+  | [ "Buffer"; "create" ] -> Some "a Buffer.t"
+  | [ "Bytes"; ("create" | "make") ] -> Some "a Bytes.t"
+  | [ "Array"; ("make" | "init" | "create_float" | "copy") ] ->
+    Some "an array"
+  | [ "Queue"; "create" ] -> Some "a Queue.t"
+  | [ "Stack"; "create" ] -> Some "a Stack.t"
+  | parts ->
+    (match List.rev parts with
+     | "create" :: m :: _ when table_module m -> Some "a hash table"
+     | _ -> None)
+
+let binding_name pat =
+  match pat.ppat_desc with
+  | Ppat_var { txt; _ } -> txt
+  | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) -> txt
+  | _ -> "_"
+
+let rec collect_top_mutable (facts : facts) (str : structure) =
+  List.iter
+    (fun item ->
+       match item.pstr_desc with
+       | Pstr_value (_, bindings) ->
+         List.iter
+           (fun vb ->
+              match (strip_constraint vb.pvb_expr).pexp_desc with
+              | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+                (match mutable_constructor (flatten txt) with
+                 | Some what ->
+                   facts.top_mutable <-
+                     (vb.pvb_loc,
+                      Printf.sprintf "top-level binding '%s' holds %s"
+                        (binding_name vb.pvb_pat) what)
+                     :: facts.top_mutable
+                 | None -> ())
+              | _ -> ())
+           bindings
+       | Pstr_type (_, decls) ->
+         List.iter
+           (fun decl ->
+              match decl.ptype_kind with
+              | Ptype_record labels ->
+                List.iter
+                  (fun ld ->
+                     match ld.pld_mutable with
+                     | Asttypes.Mutable ->
+                       facts.top_mutable <-
+                         (ld.pld_loc,
+                          Printf.sprintf
+                            "mutable record field '%s' in type '%s'"
+                            ld.pld_name.txt decl.ptype_name.txt)
+                         :: facts.top_mutable
+                     | Asttypes.Immutable -> ())
+                  labels
+              | _ -> ())
+           decls
+       | Pstr_module { pmb_expr; _ } -> collect_top_mutable_mod facts pmb_expr
+       | Pstr_recmodule bindings ->
+         List.iter (fun mb -> collect_top_mutable_mod facts mb.pmb_expr) bindings
+       | Pstr_include { pincl_mod; _ } -> collect_top_mutable_mod facts pincl_mod
+       | _ -> ())
+    str
+
+and collect_top_mutable_mod facts me =
+  match me.pmod_desc with
+  | Pmod_structure str -> collect_top_mutable facts str
+  | Pmod_constraint (me, _) -> collect_top_mutable_mod facts me
+  | Pmod_functor (_, _) ->
+    (* state inside a functor body is per-application, not global *)
+    ()
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* The per-file walk                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Does the file define its own [compare] (e.g. Bigint, Rat)?  Bare
+   [compare] then refers to the local monomorphic function and R1 must
+   not fire.  A per-file approximation of scoping: good enough because
+   the codebase never locally rebinds [compare] below top level. *)
+let defines_local_compare str =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      value_binding =
+        (fun self vb ->
+          (match vb.pvb_pat.ppat_desc with
+           | Ppat_var { txt = "compare"; _ } -> found := true
+           | _ -> ());
+          Ast_iterator.default_iterator.value_binding self vb);
+    }
+  in
+  it.structure it str;
+  !found
+
+let check ~file ~in_lib ~report (str : structure) =
+  let facts = empty_facts () in
+  collect_top_mutable facts str;
+  let local_compare = defines_local_compare str in
+  let report rule loc msg = report (Diagnostic.of_location ~file ~rule loc msg) in
+  let seen_ref parts =
+    facts.module_refs <-
+      List.rev_append (module_prefixes ~value:true parts) facts.module_refs
+  in
+  let handle_ident loc txt =
+    let parts = flatten txt in
+    seen_ref parts;
+    (match strip_stdlib parts with
+     | [ "compare" ] when not local_compare ->
+       report R1 loc
+         "polymorphic 'compare': use Int.compare / String.compare / the \
+          type's dedicated compare (see Wlcq_util.Ordering)"
+     | [ "Hashtbl"; ("hash" | "seeded_hash") ] ->
+       report R1 loc
+         "polymorphic Hashtbl.hash: use the type's dedicated hash (see \
+          Wlcq_util.Ordering's hash combinators)"
+     | [ "Domain"; "spawn" ] -> facts.spawns <- loc :: facts.spawns
+     | _ -> ());
+    (match banned_partial parts with
+     | Some what -> report R2 loc ("partial/unsafe function " ^ what)
+     | None -> ());
+    if in_lib then
+      match banned_printing parts with
+      | Some what ->
+        report R4 loc
+          (Printf.sprintf
+             "'%s' in lib/: printing belongs to bin/ or bench/; return data \
+              or take a formatter"
+             what)
+      | None -> ()
+  in
+  let check_message kind loc arg =
+    match message_literal arg with
+    | Some s ->
+      if not (valid_message_prefix s) then
+        report R2 loc
+          (Printf.sprintf
+             "%s message %S must be prefixed 'Module.fn: detail'" kind s)
+    | None ->
+      report R2 loc
+        (Printf.sprintf
+           "%s message is not statically checkable: start it with a literal \
+            'Module.fn: ' prefix (string literal, ^ or sprintf)"
+           kind)
+  in
+  let expr_hook (self : Ast_iterator.iterator) e =
+    (match e.pexp_desc with
+     | Pexp_ident { txt; loc } -> handle_ident loc txt
+     | Pexp_construct ({ txt; _ }, _) ->
+       seen_ref (flatten txt)
+     | Pexp_apply
+         ({ pexp_desc = Pexp_ident { txt; loc }; _ }, (_, a) :: rest) ->
+       (match (strip_stdlib (flatten txt), rest) with
+        | [ (("=" | "<>") as eq_op) ], [ (_, b) ] ->
+          let operand =
+            if is_structured a then Some a
+            else if is_structured b then Some b
+            else None
+          in
+          (match operand with
+           | Some op ->
+             report R1 loc
+               (Printf.sprintf
+                  "polymorphic %s on %s: use the element type's dedicated \
+                   equality (String.equal, Option.is_none, List.equal, a \
+                   pattern match, ...)"
+                  eq_op (describe_structured op))
+           | None -> ())
+        | [ ("failwith" | "invalid_arg") ], _ ->
+          check_message (String.concat "." (strip_stdlib (flatten txt))) loc a
+        | [ "raise" ], _ ->
+          (match (strip_constraint a).pexp_desc with
+           | Pexp_construct
+               ({ txt = payload_txt; _ }, Some payload) ->
+             (match strip_stdlib (flatten payload_txt) with
+              | [ ("Failure" | "Invalid_argument") as exn ] ->
+                check_message ("raise " ^ exn) loc payload
+              | _ -> ())
+           | _ -> ())
+        | _ -> ())
+     | _ -> ());
+    Ast_iterator.default_iterator.expr self e
+  in
+  let value_binding_hook (self : Ast_iterator.iterator) vb =
+    (* 5.x keeps [let x : t = e] annotations in [pvb_constraint]; the
+       pattern/expression forms still appear under nested lets. *)
+    let annot =
+      match vb.pvb_constraint with
+      | Some (Pvc_constraint { typ; _ }) -> Some typ
+      | Some (Pvc_coercion { coercion; _ }) -> Some coercion
+      | None ->
+        (match (vb.pvb_pat.ppat_desc, vb.pvb_expr.pexp_desc) with
+         | Ppat_constraint (_, t), _ -> Some t
+         | _, Pexp_constraint (_, t) -> Some t
+         | _ -> None)
+    in
+    (match (annot, (strip_constraint vb.pvb_expr).pexp_desc) with
+     | Some t, Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+       when (match strip_stdlib (flatten txt) with
+             | [ "Hashtbl"; "create" ] -> true
+             | _ -> false) ->
+       (match t.ptyp_desc with
+        | Ptyp_constr ({ txt = tc; _ }, [ key; _ ])
+          when (match strip_stdlib (flatten tc) with
+                | [ "Hashtbl"; "t" ] -> true
+                | _ -> false) ->
+          if not (scalar_type key) then
+            report R1 vb.pvb_loc
+              (Printf.sprintf
+                 "polymorphic Hashtbl keyed on %s: use Hashtbl.Make with the \
+                  key type's equal/hash (Graph.hash, Bitset.hash, \
+                  Wlcq_util.Ordering.Int_pair_tbl, ...)"
+                 (type_to_string key))
+        | _ -> ())
+     | _ -> ());
+    Ast_iterator.default_iterator.value_binding self vb
+  in
+  let typ_hook (self : Ast_iterator.iterator) t =
+    (match t.ptyp_desc with
+     | Ptyp_constr ({ txt; _ }, _) ->
+       facts.module_refs <-
+         List.rev_append
+           (module_prefixes ~value:true (flatten txt))
+           facts.module_refs
+     | _ -> ());
+    Ast_iterator.default_iterator.typ self t
+  in
+  let module_expr_hook (self : Ast_iterator.iterator) me =
+    (match me.pmod_desc with
+     | Pmod_ident { txt; _ } ->
+       facts.module_refs <-
+         List.rev_append (module_prefixes ~value:false (flatten txt))
+           facts.module_refs
+     | _ -> ());
+    Ast_iterator.default_iterator.module_expr self me
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr = expr_hook;
+      value_binding = value_binding_hook;
+      typ = typ_hook;
+      module_expr = module_expr_hook;
+    }
+  in
+  it.structure it str;
+  facts

@@ -1,0 +1,27 @@
+(** Per-file AST rules: R1 (polymorphic compare/hash), R2
+    (partial/unsafe functions, error-message convention) and the
+    printing half of R4, plus fact collection for the whole-project
+    domain-safety pass (R3).
+
+    The walk is purely syntactic — no type information.  Known
+    false-negative classes (operands of unknown type, unannotated
+    polymorphic hashtables) are documented in DESIGN.md. *)
+
+(** Facts handed to {!Domain_safety} once every file has been walked. *)
+type facts = {
+  mutable spawns : Location.t list;
+  mutable module_refs : string list;
+      (** dotted module paths referenced anywhere in the file *)
+  mutable top_mutable : (Location.t * string) list;
+      (** top-level mutable bindings and mutable record fields *)
+}
+
+(** [check ~file ~in_lib ~report str] walks one parsed implementation,
+    calling [report] for every R1/R2/R4 finding, and returns the file's
+    R3 facts.  [in_lib] enables the lib-only printing ban. *)
+val check :
+  file:string ->
+  in_lib:bool ->
+  report:(Diagnostic.t -> unit) ->
+  Parsetree.structure ->
+  facts

@@ -1,0 +1,48 @@
+type rule = R0 | R1 | R2 | R3 | R4
+
+let rule_id = function
+  | R0 -> "R0"
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+
+let rule_of_id = function
+  | "R0" -> Some R0
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | _ -> None
+
+let rule_summary = function
+  | R0 -> "lint integrity (parse errors, malformed or unused pragmas)"
+  | R1 -> "polymorphic compare/hash on structured values"
+  | R2 -> "partial/unsafe functions and error-message convention"
+  | R3 -> "top-level mutable state visible to Domain.spawn code"
+  | R4 -> "hygiene (missing .mli, printing from lib/)"
+
+let all_rules = [ R0; R1; R2; R3; R4 ]
+
+type t = { file : string; line : int; col : int; rule : rule; message : string }
+
+let make ~file ~line ~col ~rule message = { file; line; col; rule; message }
+
+let of_location ~file ~rule (loc : Location.t) message =
+  {
+    file;
+    line = loc.loc_start.pos_lnum;
+    col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+    rule;
+    message;
+  }
+
+let compare d1 d2 =
+  let c = String.compare d1.file d2.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare d1.line d2.line in
+    if c <> 0 then c else Int.compare d1.col d2.col
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d %s %s" d.file d.line d.col (rule_id d.rule) d.message

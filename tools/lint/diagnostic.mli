@@ -1,0 +1,29 @@
+(** Lint findings: a rule id plus a [file:line:col] position and a
+    human-readable message. *)
+
+type rule =
+  | R0  (** lint integrity: parse errors, malformed/unused pragmas *)
+  | R1  (** polymorphic compare/hash on structured values *)
+  | R2  (** partial/unsafe functions; error-message convention *)
+  | R3  (** top-level mutable state visible to [Domain.spawn] code *)
+  | R4  (** hygiene: missing [.mli], printing from [lib/] *)
+
+val rule_id : rule -> string
+val rule_of_id : string -> rule option
+val rule_summary : rule -> string
+val all_rules : rule list
+
+type t = { file : string; line : int; col : int; rule : rule; message : string }
+
+val make : file:string -> line:int -> col:int -> rule:rule -> string -> t
+
+(** [of_location ~file ~rule loc msg] positions the finding at the start
+    of [loc]. *)
+val of_location : file:string -> rule:rule -> Location.t -> string -> t
+
+(** Order by file, then line, then column. *)
+val compare : t -> t -> int
+
+(** [to_string d] is ["file:line:col RULE message"] — the diagnostic
+    format the dune [@lint] alias surfaces. *)
+val to_string : t -> string

@@ -1,0 +1,175 @@
+(* Whole-project domain-safety pass (R3).
+
+   Roots are the files that call [Domain.spawn].  A file is in scope —
+   meaning its top-level mutable state may be touched by more than one
+   domain — when it
+
+   - contains a spawn itself,
+   - is referenced (transitively, at file granularity) from a spawn
+     file: an over-approximation of "reachable from the spawned
+     closure",
+   - lives in the same directory (dune library) as a spawn file: engine
+     siblings share calling conventions and are routinely called from
+     the engine's callbacks, or
+   - transitively references a spawn file: its own global state is one
+     [Domain.spawn] away from being shared when callers parallelise.
+
+   Module references are resolved syntactically: [Wlcq_x.M] maps to
+   [lib/x/m.ml]; a bare [M] maps to [m.ml] in the referencing file's
+   own directory, else to the unique [m.ml] in the project.  Ambiguous
+   bare references and references through module aliases other than
+   the [Wlcq_*] wrappers are skipped — a known false-negative class,
+   documented in DESIGN.md. *)
+
+type file_info = {
+  path : string;
+  dir : string;
+  modname : string;
+  facts : Ast_rules.facts;
+}
+
+module SM = Map.Make (String)
+module SS = Set.Make (String)
+
+let dirname path =
+  match String.rindex_opt path '/' with
+  | None -> "."
+  | Some i -> String.sub path 0 i
+
+let module_of_path path =
+  let base = Filename.remove_extension (Filename.basename path) in
+  String.capitalize_ascii base
+
+let make_info path facts =
+  { path; dir = dirname path; modname = module_of_path path; facts }
+
+(* "lib/wl" -> "Wlcq_wl"; the repo convention maps each lib dir to a
+   dune library named wlcq_<dir>. *)
+let wrapper_of_dir dir =
+  match String.split_on_char '/' dir with
+  | [ "lib"; d ] -> Some (String.capitalize_ascii ("wlcq_" ^ d))
+  | _ -> None
+
+let resolve infos =
+  let by_dir_mod =
+    List.fold_left
+      (fun m fi -> SM.add (fi.dir ^ "#" ^ fi.modname) fi.path m)
+      SM.empty infos
+  in
+  let by_mod =
+    List.fold_left
+      (fun m fi ->
+         SM.update fi.modname
+           (fun ps -> Some (fi.path :: Option.value ~default:[] ps))
+           m)
+      SM.empty infos
+  in
+  let dir_of_wrapper =
+    List.fold_left
+      (fun m fi ->
+         match wrapper_of_dir fi.dir with
+         | Some w -> SM.add w fi.dir m
+         | None -> m)
+      SM.empty infos
+  in
+  fun (fi : file_info) (ref_path : string) ->
+    match String.split_on_char '.' ref_path with
+    | head :: rest when SM.mem head dir_of_wrapper ->
+      (match rest with
+       | sub :: _ ->
+         SM.find_opt (SM.find head dir_of_wrapper ^ "#" ^ sub) by_dir_mod
+       | [] -> None)
+    | head :: _ ->
+      (match SM.find_opt (fi.dir ^ "#" ^ head) by_dir_mod with
+       | Some p -> Some p
+       | None ->
+         (match SM.find_opt head by_mod with
+          | Some [ p ] -> Some p
+          | _ -> None))
+    | [] -> None
+
+let closure adj seeds =
+  let rec go visited = function
+    | [] -> visited
+    | p :: todo ->
+      if SS.mem p visited then go visited todo
+      else
+        let next = try SM.find p adj with Not_found -> [] in
+        go (SS.add p visited) (List.rev_append next todo)
+  in
+  go SS.empty (SS.elements seeds)
+
+type scope_reason =
+  | Spawner
+  | Closure_reachable
+  | Same_library
+  | Depends_on_spawner
+
+let reason_text = function
+  | Spawner -> "this file calls Domain.spawn"
+  | Closure_reachable ->
+    "this module is referenced from a file that calls Domain.spawn"
+  | Same_library -> "this module shares a library with a Domain.spawn caller"
+  | Depends_on_spawner ->
+    "this module (transitively) calls into the Domain.spawn engine"
+
+let check infos ~report =
+  let resolve = resolve infos in
+  let forward, reverse =
+    List.fold_left
+      (fun (fwd, rev) fi ->
+         let targets =
+           SS.elements
+             (List.fold_left
+                (fun acc r ->
+                   match resolve fi r with
+                   | Some p when not (String.equal p fi.path) -> SS.add p acc
+                   | _ -> acc)
+                SS.empty fi.facts.Ast_rules.module_refs)
+         in
+         ( SM.add fi.path targets fwd,
+           List.fold_left
+             (fun rev t ->
+                SM.update t
+                  (fun ps -> Some (fi.path :: Option.value ~default:[] ps))
+                  rev)
+             rev targets ))
+      (SM.empty, SM.empty) infos
+  in
+  let spawners =
+    List.fold_left
+      (fun acc fi ->
+         if fi.facts.Ast_rules.spawns <> [] then SS.add fi.path acc else acc)
+      SS.empty infos
+  in
+  if SS.is_empty spawners then ()
+  else begin
+    let fwd_scope = closure forward spawners in
+    let rev_scope = closure reverse spawners in
+    let spawn_dirs =
+      SS.fold (fun p acc -> SS.add (dirname p) acc) spawners SS.empty
+    in
+    let reason_for fi =
+      if SS.mem fi.path spawners then Some Spawner
+      else if SS.mem fi.path fwd_scope then Some Closure_reachable
+      else if SS.mem fi.dir spawn_dirs then Some Same_library
+      else if SS.mem fi.path rev_scope then Some Depends_on_spawner
+      else None
+    in
+    List.iter
+      (fun fi ->
+         match reason_for fi with
+         | None -> ()
+         | Some reason ->
+           List.iter
+             (fun (loc, desc) ->
+                report
+                  (Diagnostic.of_location ~file:fi.path ~rule:Diagnostic.R3 loc
+                     (Printf.sprintf
+                        "%s, and %s: audit for cross-domain use and mark \
+                         '(* lint: domain-local reason *)', or create the \
+                         state per call"
+                        desc (reason_text reason))))
+             (List.rev fi.facts.Ast_rules.top_mutable))
+      infos
+  end

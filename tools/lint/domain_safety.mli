@@ -1,0 +1,23 @@
+(** Whole-project domain-safety pass (rule R3).
+
+    Flags top-level mutable state in every module whose code may be
+    visible to more than one domain: files calling [Domain.spawn],
+    files (transitively) referenced from them, their library siblings,
+    and files that transitively call into them.  The reachability
+    approximation and its false-negative classes are documented in
+    DESIGN.md. *)
+
+type file_info = {
+  path : string;
+  dir : string;
+  modname : string;
+  facts : Ast_rules.facts;
+}
+
+(** [make_info path facts] derives [dir] and [modname] from [path]. *)
+val make_info : string -> Ast_rules.facts -> file_info
+
+(** [check infos ~report] resolves the file-level module-reference
+    graph and reports one R3 finding per top-level mutable binding (or
+    mutable record field) in scope.  No-op when nothing spawns. *)
+val check : file_info list -> report:(Diagnostic.t -> unit) -> unit

@@ -1,0 +1,172 @@
+type rule_count = { rule : Diagnostic.rule; findings : int; suppressions : int }
+
+type result = {
+  files_scanned : int;
+  findings : Diagnostic.t list;
+  by_rule : rule_count list;
+  total_suppressions : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* File collection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let skip_dir name =
+  String.equal name "_build"
+  || String.equal name "lint_fixtures"
+  || (String.length name > 0 && name.[0] = '.')
+
+let rec collect_ml ~include_fixtures acc path =
+  if Sys.is_directory path then
+    if skip_dir (Filename.basename path) && not include_fixtures then acc
+    else
+      Array.fold_left
+        (fun acc entry ->
+           collect_ml ~include_fixtures acc (Filename.concat path entry))
+        acc
+        (let entries = Sys.readdir path in
+         Array.sort String.compare entries;
+         entries)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let normalize path =
+  if String.length path > 2 && String.equal (String.sub path 0 2) "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+(* ------------------------------------------------------------------ *)
+(* Per-file pipeline                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_structure ~file source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  Parse.implementation lexbuf
+
+type scanned = {
+  file : string;
+  pragmas : Pragmas.t;
+  raw : Diagnostic.t list;  (* pre-suppression findings, reverse order *)
+  info : Domain_safety.file_info option;  (* None when the parse failed *)
+}
+
+(* "lib" as a path component, so the fixture tree under
+   test/lint_fixtures/lib/ exercises the lib-only rules too *)
+let in_lib file =
+  List.exists (String.equal "lib")
+    (String.split_on_char '/' (Filename.dirname file))
+
+let scan_file file =
+  let in_lib = in_lib file in
+  match read_file file with
+  | exception Sys_error msg ->
+    {
+      file;
+      pragmas = { Pragmas.pragmas = []; malformed = [] };
+      raw = [ Diagnostic.make ~file ~line:1 ~col:0 ~rule:Diagnostic.R0
+                ("cannot read file: " ^ msg) ];
+      info = None;
+    }
+  | source ->
+    let pragmas = Pragmas.scan ~file source in
+    let raw = ref (List.map (fun d -> { d with Diagnostic.file }) pragmas.malformed) in
+    let report d = raw := d :: !raw in
+    let info =
+      match parse_structure ~file source with
+      | exception exn ->
+        report
+          (Diagnostic.make ~file ~line:1 ~col:0 ~rule:Diagnostic.R0
+             ("parse error: " ^ Printexc.to_string exn));
+        None
+      | str ->
+        let facts = Ast_rules.check ~file ~in_lib ~report str in
+        Some (Domain_safety.make_info file facts)
+    in
+    if in_lib then begin
+      let mli = Filename.remove_extension file ^ ".mli" in
+      if not (Sys.file_exists mli) then
+        report
+          (Diagnostic.make ~file ~line:1 ~col:0 ~rule:Diagnostic.R4
+             (Printf.sprintf
+                "missing interface %s: every module under lib/ declares its \
+                 API in a .mli"
+                mli))
+    end;
+    { file; pragmas; raw = !raw; info }
+
+(* ------------------------------------------------------------------ *)
+(* The run                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let count_rule rule list =
+  List.length
+    (List.filter
+       (fun r -> String.equal (Diagnostic.rule_id r) (Diagnostic.rule_id rule))
+       list)
+
+let run ?(include_fixtures = false) ~roots () =
+  let files =
+    List.sort_uniq String.compare
+      (List.concat_map
+         (fun root ->
+            if Sys.file_exists root then
+              List.map normalize (collect_ml ~include_fixtures [] root)
+            else [])
+         roots)
+  in
+  let scanned = List.map scan_file files in
+  (* whole-project R3 pass over the files that parsed *)
+  let domain_findings = ref [] in
+  Domain_safety.check
+    (List.filter_map (fun s -> s.info) scanned)
+    ~report:(fun d -> domain_findings := d :: !domain_findings);
+  let by_file =
+    List.map
+      (fun s ->
+         let extra =
+           List.filter
+             (fun (d : Diagnostic.t) -> String.equal d.file s.file)
+             !domain_findings
+         in
+         (s, List.rev_append s.raw extra))
+      scanned
+  in
+  let active, suppressed_rules =
+    List.fold_left
+      (fun (active, rules) (s, findings) ->
+         let kept =
+           List.filter (fun d -> not (Pragmas.suppresses s.pragmas d)) findings
+         in
+         let unused =
+           List.map
+             (fun (d : Diagnostic.t) -> { d with Diagnostic.file = s.file })
+             (Pragmas.unused s.pragmas)
+         in
+         ( List.rev_append unused (List.rev_append kept active),
+           List.rev_append (Pragmas.used_by_rule s.pragmas) rules ))
+      ([], []) by_file
+  in
+  let findings = List.sort Diagnostic.compare active in
+  let by_rule =
+    List.map
+      (fun rule ->
+         {
+           rule;
+           findings = count_rule rule (List.map (fun d -> d.Diagnostic.rule) findings);
+           suppressions = count_rule rule suppressed_rules;
+         })
+      Diagnostic.all_rules
+  in
+  {
+    files_scanned = List.length files;
+    findings;
+    by_rule;
+    total_suppressions = List.length suppressed_rules;
+  }

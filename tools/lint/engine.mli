@@ -1,0 +1,18 @@
+(** The lint driver: walks source roots, runs the per-file AST rules
+    and the whole-project domain-safety pass, applies allow pragmas,
+    and aggregates per-rule counts. *)
+
+type rule_count = { rule : Diagnostic.rule; findings : int; suppressions : int }
+
+type result = {
+  files_scanned : int;
+  findings : Diagnostic.t list;  (** active findings, sorted by position *)
+  by_rule : rule_count list;
+  total_suppressions : int;  (** pragmas that suppressed a finding *)
+}
+
+(** [run ~roots ()] lints every [.ml] file under [roots] (files or
+    directories; missing roots are skipped; [_build], dot-directories
+    and [lint_fixtures] are pruned unless [include_fixtures] is
+    set). *)
+val run : ?include_fixtures:bool -> roots:string list -> unit -> result

@@ -1,0 +1,139 @@
+(* Allow pragmas are ordinary comments captured from the token stream:
+
+     (* lint: allow R2 reason for this exact site *)
+     (* lint: domain-local reason *)
+
+   A pragma suppresses findings of its rule on every line the comment
+   spans and on the line immediately below it, so it can sit at the end
+   of the offending line or just above it (wrapping onto several lines
+   when the reason needs them).  [domain-local] is shorthand for
+   allowing R3 (the domain-safety rule). *)
+
+type pragma = {
+  rule : Diagnostic.rule;
+  line : int;  (* first line of the comment *)
+  last_line : int;  (* last line of the comment *)
+  reason : string;
+  mutable used : bool;
+}
+
+type t = { pragmas : pragma list; malformed : Diagnostic.t list }
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.filter (fun w -> not (String.equal w ""))
+
+(* Comments on the token stream of [source].  The lexer state is
+   global, so this must not be re-entered concurrently. *)
+let comments_of_source ~file source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  Lexer.init ();
+  let rec drain () =
+    match Lexer.token lexbuf with
+    | Parser.EOF -> ()
+    | _ -> drain ()
+    | exception _ ->
+      (* lexical error: the parser will report it; stop collecting *)
+      ()
+  in
+  drain ();
+  Lexer.comments ()
+
+let parse_comment ~file (text, (loc : Location.t)) =
+  let line = loc.Location.loc_start.pos_lnum in
+  let last_line = loc.Location.loc_end.pos_lnum in
+  let text = String.trim text in
+  let prefix = "lint:" in
+  if
+    String.length text < String.length prefix
+    || not (String.equal (String.sub text 0 (String.length prefix)) prefix)
+  then None
+  else
+    let body =
+      String.trim
+        (String.sub text (String.length prefix)
+           (String.length text - String.length prefix))
+    in
+    let malformed msg =
+      Some (Error (Diagnostic.make ~file ~line ~col:0 ~rule:Diagnostic.R0 msg))
+    in
+    match split_words body with
+    | "allow" :: rule_word :: (_ :: _ as reason_words) ->
+      (match Diagnostic.rule_of_id rule_word with
+       | Some rule ->
+         Some
+           (Ok { rule; line; last_line;
+                 reason = String.concat " " reason_words; used = false })
+       | None ->
+         malformed
+           (Printf.sprintf
+              "malformed pragma: unknown rule %S (expected R1..R4)" rule_word))
+    | [ "allow" ] | [ "allow"; _ ] ->
+      malformed
+        "malformed pragma: 'lint: allow RULE reason' needs a rule id and a \
+         non-empty reason"
+    | "domain-local" :: (_ :: _ as reason_words) ->
+      Some
+        (Ok { rule = Diagnostic.R3; line; last_line;
+              reason = String.concat " " reason_words; used = false })
+    | [ "domain-local" ] ->
+      malformed
+        "malformed pragma: 'lint: domain-local reason' needs a non-empty \
+         reason"
+    | _ ->
+      malformed
+        "malformed pragma: expected 'lint: allow RULE reason' or 'lint: \
+         domain-local reason'"
+
+let scan ~file source =
+  let comments = comments_of_source ~file source in
+  let pragmas, malformed =
+    List.fold_left
+      (fun (ps, ms) c ->
+         match parse_comment ~file c with
+         | None -> (ps, ms)
+         | Some (Ok p) -> (p :: ps, ms)
+         | Some (Error m) -> (ps, m :: ms))
+      ([], []) comments
+  in
+  { pragmas = List.rev pragmas; malformed = List.rev malformed }
+
+let suppresses t (d : Diagnostic.t) =
+  match
+    List.find_opt
+      (fun p ->
+         (match (p.rule, d.rule) with
+          | Diagnostic.R1, Diagnostic.R1
+          | Diagnostic.R2, Diagnostic.R2
+          | Diagnostic.R3, Diagnostic.R3
+          | Diagnostic.R4, Diagnostic.R4 -> true
+          | _ -> false)
+         && d.line >= p.line
+         && d.line <= p.last_line + 1)
+      t.pragmas
+  with
+  | Some p ->
+    p.used <- true;
+    true
+  | None -> false
+
+let unused t =
+  List.filter_map
+    (fun p ->
+       if p.used then None
+       else
+         Some
+           (Diagnostic.make ~file:"" ~line:p.line ~col:0 ~rule:Diagnostic.R0
+              (Printf.sprintf
+                 "unused suppression for %s (%s): remove the pragma or \
+                  restore the violation it covered"
+                 (Diagnostic.rule_id p.rule) p.reason)))
+    t.pragmas
+
+let used_by_rule t =
+  List.fold_left
+    (fun acc p -> if p.used then p.rule :: acc else acc)
+    [] t.pragmas

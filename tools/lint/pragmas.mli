@@ -1,0 +1,38 @@
+(** In-source allow pragmas, captured from the comment stream of a file.
+
+    Grammar (inside an ordinary comment):
+    - [lint: allow RULE reason...] — suppress findings of [RULE] on
+      every line the comment spans and the line immediately below;
+    - [lint: domain-local reason...] — shorthand for allowing R3.
+
+    Reasons are mandatory: a suppression without a recorded
+    justification is itself reported (rule R0), as is any comment
+    starting with [lint:] that does not parse. *)
+
+type pragma = {
+  rule : Diagnostic.rule;
+  line : int;  (* first line of the comment *)
+  last_line : int;  (* last line of the comment *)
+  reason : string;
+  mutable used : bool;
+}
+
+type t = { pragmas : pragma list; malformed : Diagnostic.t list }
+
+(** [scan ~file source] lexes [source] and extracts pragmas from its
+    comments.  Uses the global compiler-libs lexer state; not
+    re-entrant. *)
+val scan : file:string -> string -> t
+
+(** [suppresses t d] tests whether a pragma covers finding [d] (same
+    rule, [d] within the comment's line span or on the line just below
+    it) and marks the first matching pragma used. *)
+val suppresses : t -> Diagnostic.t -> bool
+
+(** Unused pragmas as R0 findings (the [file] field is left empty for
+    the caller to fill). *)
+val unused : t -> Diagnostic.t list
+
+(** Rules of pragmas that suppressed at least one finding, one entry
+    per pragma — the per-file suppression census behind [--stats]. *)
+val used_by_rule : t -> Diagnostic.rule list

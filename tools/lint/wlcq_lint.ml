@@ -1,0 +1,59 @@
+(* wlcq-lint: static correctness invariants for the wlcq tree.
+
+   Usage: wlcq_lint.exe [--stats] [--include-fixtures] [ROOT...]
+
+   Rules (see DESIGN.md, "Static analysis"):
+   - R1  no polymorphic =/<>/compare/Hashtbl.hash on structured values
+   - R2  no partial/unsafe functions; failwith/invalid_arg messages are
+         'Module.fn: detail'
+   - R3  no unaudited top-level mutable state visible to Domain.spawn
+   - R4  every lib/ module has a .mli; no printing from lib/
+
+   Exit status: 0 when clean, 1 when any finding survives the in-source
+   allow pragmas, 2 on usage errors. *)
+
+open Lint_engine
+
+let default_roots = [ "lib"; "bin"; "bench"; "test" ]
+
+let usage () =
+  prerr_endline
+    "usage: wlcq_lint [--stats] [--include-fixtures] [ROOT...]\n\
+     default roots: lib bin bench test";
+  exit 2
+
+let () =
+  let stats = ref false in
+  let include_fixtures = ref false in
+  let roots = ref [] in
+  Array.iteri
+    (fun i arg ->
+       if i > 0 then
+         match arg with
+         | "--stats" -> stats := true
+         | "--include-fixtures" -> include_fixtures := true
+         | "--help" | "-help" -> usage ()
+         | _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
+         | root -> roots := root :: !roots)
+    Sys.argv;
+  let roots = if !roots = [] then default_roots else List.rev !roots in
+  let result = Engine.run ~include_fixtures:!include_fixtures ~roots () in
+  if !stats then begin
+    Printf.printf "wlcq-lint --stats (files scanned: %d)\n"
+      result.Engine.files_scanned;
+    Printf.printf "%-4s %9s %12s  %s\n" "rule" "findings" "suppressions"
+      "description";
+    List.iter
+      (fun { Engine.rule; findings; suppressions } ->
+         Printf.printf "%-4s %9d %12d  %s\n" (Diagnostic.rule_id rule) findings
+           suppressions
+           (Diagnostic.rule_summary rule))
+      result.Engine.by_rule;
+    Printf.printf "total-suppressions: %d\n" result.Engine.total_suppressions;
+    Printf.printf "total-findings: %d\n" (List.length result.Engine.findings)
+  end
+  else
+    List.iter
+      (fun d -> print_endline (Diagnostic.to_string d))
+      result.Engine.findings;
+  if result.Engine.findings <> [] then exit 1
