@@ -33,11 +33,50 @@ let parse_query s =
     exit 2
 
 (* ------------------------------------------------------------------ *)
+(* Observability flags, shared by every subcommand                     *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Wlcq_obs.Obs
+
+(* Reporting runs from [at_exit] so the subcommands' own [exit] calls
+   (success/failure encodings) still flush metrics and traces. *)
+let obs_setup metrics trace =
+  if metrics || Option.is_some trace then begin
+    Obs.set_enabled true;
+    if Option.is_some trace then Obs.set_tracing true;
+    at_exit (fun () ->
+        if metrics then prerr_string (Obs.metrics_table ());
+        match trace with
+        | None -> ()
+        | Some file ->
+          let oc = open_out file in
+          output_string oc (Obs.trace_json ());
+          close_out oc)
+  end
+
+let obs_term =
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Record engine metrics (rounds, DP table sizes, cache hit \
+                   rates, span timings) and print the table to stderr on \
+                   exit.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace_event JSON file of the engine spans \
+                   to $(docv) on exit (load in chrome://tracing or \
+                   Perfetto).")
+  in
+  Term.(const obs_setup $ metrics $ trace)
+
+(* ------------------------------------------------------------------ *)
 (* wlcq widths                                                         *)
 (* ------------------------------------------------------------------ *)
 
 let widths_cmd =
-  let run query_str =
+  let run () query_str =
     let p = parse_query query_str in
     let q = p.Core.Parser.query in
     let core = Core.Minimize.counting_core q in
@@ -61,14 +100,14 @@ let widths_cmd =
       (Core.Wl_dimension.dimension q)
   in
   let doc = "Compute the width measures and WL-dimension of a query." in
-  Cmd.v (Cmd.info "widths" ~doc) Term.(const run $ query_arg)
+  Cmd.v (Cmd.info "widths" ~doc) Term.(const run $ obs_term $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* wlcq ans                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let ans_cmd =
-  let run query_str graph interpolate injective =
+  let run () query_str graph interpolate injective =
     let p = parse_query query_str in
     let q = p.Core.Parser.query in
     if injective then
@@ -90,7 +129,7 @@ let ans_cmd =
   in
   let doc = "Count the answers of a query in a graph." in
   Cmd.v (Cmd.info "ans" ~doc)
-    Term.(const run $ query_arg
+    Term.(const run $ obs_term $ query_arg
           $ graph_opt "graph" ("Data graph. " ^ G.Spec.describe)
           $ interpolate $ injective)
 
@@ -99,19 +138,19 @@ let ans_cmd =
 (* ------------------------------------------------------------------ *)
 
 let tw_cmd =
-  let run graph =
+  let run () graph =
     Printf.printf "%d\n" (Wlcq_treewidth.Exact.treewidth graph)
   in
   let doc = "Compute the exact treewidth of a graph." in
   Cmd.v (Cmd.info "tw" ~doc)
-    Term.(const run $ graph_opt "graph" ("Graph. " ^ G.Spec.describe))
+    Term.(const run $ obs_term $ graph_opt "graph" ("Graph. " ^ G.Spec.describe))
 
 (* ------------------------------------------------------------------ *)
 (* wlcq wl                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let wl_cmd =
-  let run k g1 g2 =
+  let run () k g1 g2 =
     let eq = Wlcq_wl.Equivalence.equivalent k g1 g2 in
     Printf.printf "%d-WL-equivalent: %b\n" k eq;
     if eq then exit 0 else exit 1
@@ -121,7 +160,7 @@ let wl_cmd =
   in
   let doc = "Test k-WL-equivalence of two graphs (Definition 19)." in
   Cmd.v (Cmd.info "wl" ~doc)
-    Term.(const run $ k
+    Term.(const run $ obs_term $ k
           $ graph_opt "g1" ("First graph. " ^ G.Spec.describe)
           $ graph_opt "g2" "Second graph.")
 
@@ -130,7 +169,7 @@ let wl_cmd =
 (* ------------------------------------------------------------------ *)
 
 let cfi_cmd =
-  let run base check_k =
+  let run () base check_k =
     let even, odd = Wlcq_cfi.Pairs.twisted_pair base in
     Printf.printf "base:  %d vertices, %d edges, treewidth %d\n"
       (G.Graph.num_vertices base) (G.Graph.num_edges base)
@@ -157,7 +196,7 @@ let cfi_cmd =
   in
   let doc = "Build the twisted CFI pair over a base graph (Definition 25)." in
   Cmd.v (Cmd.info "cfi" ~doc)
-    Term.(const run
+    Term.(const run $ obs_term
           $ graph_opt "base" ("Base graph. " ^ G.Spec.describe)
           $ check_k)
 
@@ -166,7 +205,7 @@ let cfi_cmd =
 (* ------------------------------------------------------------------ *)
 
 let witness_cmd =
-  let run query_str check_wl emit =
+  let run () query_str check_wl emit =
     let p = parse_query query_str in
     let q = p.Core.Parser.query in
     let w = Core.Wl_dimension.lower_bound_witness q in
@@ -210,14 +249,14 @@ let witness_cmd =
     "Build and check the Section-4 lower-bound witness for a query."
   in
   Cmd.v (Cmd.info "witness" ~doc)
-    Term.(const run $ query_arg $ check_wl $ emit)
+    Term.(const run $ obs_term $ query_arg $ check_wl $ emit)
 
 (* ------------------------------------------------------------------ *)
 (* wlcq domsets                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let domsets_cmd =
-  let run k graph via =
+  let run () k graph via =
     let count =
       match via with
       | "direct" -> Core.Domset.count_direct k graph
@@ -239,7 +278,7 @@ let domsets_cmd =
   in
   let doc = "Count size-k dominating sets (Corollary 6)." in
   Cmd.v (Cmd.info "domsets" ~doc)
-    Term.(const run $ k
+    Term.(const run $ obs_term $ k
           $ graph_opt "graph" ("Graph. " ^ G.Spec.describe)
           $ via)
 
@@ -248,7 +287,7 @@ let domsets_cmd =
 (* ------------------------------------------------------------------ *)
 
 let union_cmd =
-  let run union_str graph =
+  let run () union_str graph =
     match Core.Ucq.of_string union_str with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
@@ -278,7 +317,7 @@ let union_cmd =
     "Analyse a union of conjunctive queries, e.g. \"(x1, x2) := E(x1, x2) | \
      exists y . E(x1, y) & E(y, x2)\"."
   in
-  Cmd.v (Cmd.info "union" ~doc) Term.(const run $ query_arg $ graph)
+  Cmd.v (Cmd.info "union" ~doc) Term.(const run $ obs_term $ query_arg $ graph)
 
 (* ------------------------------------------------------------------ *)
 (* wlcq kg-widths / kg-ans                                             *)
@@ -292,7 +331,7 @@ let parse_kg_query s =
     exit 2
 
 let kg_widths_cmd =
-  let run query_str =
+  let run () query_str =
     let p = parse_kg_query query_str in
     let q = p.Wlcq_kg.Kparser.query in
     Printf.printf "query:               %s\n" (Wlcq_kg.Kparser.to_formula p);
@@ -308,10 +347,10 @@ let kg_widths_cmd =
     "Width measures of a knowledge-graph query, e.g. \"(x, y) := exists z . \
      knows(x, z) & worksAt(z, y) & Person(x)\"."
   in
-  Cmd.v (Cmd.info "kg-widths" ~doc) Term.(const run $ query_arg)
+  Cmd.v (Cmd.info "kg-widths" ~doc) Term.(const run $ obs_term $ query_arg)
 
 let kg_ans_cmd =
-  let run query_str graph_str =
+  let run () query_str graph_str =
     let p = parse_kg_query query_str in
     match Wlcq_kg.Kspec.parse graph_str with
     | Error e ->
@@ -330,14 +369,14 @@ let kg_ans_cmd =
      the query are assigned in order of first use; make the data spec use \
      the same ids."
   in
-  Cmd.v (Cmd.info "kg-ans" ~doc) Term.(const run $ query_arg $ graph)
+  Cmd.v (Cmd.info "kg-ans" ~doc) Term.(const run $ obs_term $ query_arg $ graph)
 
 (* ------------------------------------------------------------------ *)
 (* wlcq certify                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let certify_cmd =
-  let run query_str sample =
+  let run () query_str sample =
     let p = parse_query query_str in
     let c =
       Core.Certificate.certify ?sample p.Core.Parser.query
@@ -362,14 +401,14 @@ let certify_cmd =
     "Produce and re-check a full Theorem 1 certificate for a query: upper \
      bound by interpolation, lower bound by the Section-4 CFI witness."
   in
-  Cmd.v (Cmd.info "certify" ~doc) Term.(const run $ query_arg $ sample)
+  Cmd.v (Cmd.info "certify" ~doc) Term.(const run $ obs_term $ query_arg $ sample)
 
 (* ------------------------------------------------------------------ *)
 (* wlcq invariants                                                     *)
 (* ------------------------------------------------------------------ *)
 
 let invariants_cmd =
-  let run () =
+  let run () () =
     Printf.printf "%-16s %-22s %s\n" "parameter" "dimension lower bound"
       "witness pair";
     List.iter
@@ -387,14 +426,14 @@ let invariants_cmd =
     "Survey WL-dimension lower bounds of standard graph parameters against \
      the built-in witness-pair library."
   in
-  Cmd.v (Cmd.info "invariants" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "invariants" ~doc) Term.(const run $ obs_term $ const ())
 
 (* ------------------------------------------------------------------ *)
 (* wlcq profile                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let profile_cmd =
-  let run g1 g2 max_size tw_bound =
+  let run () g1 g2 max_size tw_bound =
     match
       Wlcq_wl.Hom_profile.first_difference ~max_size ~tw_bound g1 g2
     with
@@ -423,7 +462,7 @@ let profile_cmd =
      distinguish two graphs (Definition 19 made concrete)."
   in
   Cmd.v (Cmd.info "profile" ~doc)
-    Term.(const run
+    Term.(const run $ obs_term
           $ graph_opt "g1" ("First graph. " ^ G.Spec.describe)
           $ graph_opt "g2" "Second graph."
           $ max_size $ tw_bound)

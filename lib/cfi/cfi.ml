@@ -1,5 +1,9 @@
 open Wlcq_graph
 module Bitset = Wlcq_util.Bitset
+module Obs = Wlcq_obs.Obs
+
+let m_builds = Obs.counter "cfi.builds"
+let d_vertices = Obs.distribution "cfi.gadget_vertices"
 
 type t = {
   graph : Graph.t;
@@ -13,6 +17,7 @@ let build base twist =
   let n = Graph.num_vertices base in
   if Bitset.capacity twist <> n then
     invalid_arg "Cfi.build: twist set universe must be V(base)";
+  Obs.span "cfi.build" @@ fun () ->
   (* enumerate vertices (w, S): S over the neighbour list of w with the
      parity prescribed by the twist *)
   let vertices = ref [] in
@@ -53,6 +58,10 @@ let build base twist =
                   edges := (i, j) :: !edges)
              by_base.(w'))
         by_base.(w));
+  if Obs.enabled () then begin
+    Obs.incr m_builds;
+    Obs.observe d_vertices count
+  end;
   { graph = Graph.create count !edges; base; twist; projection; subset }
 
 let even base = build base (Bitset.create (Graph.num_vertices base))

@@ -3,6 +3,12 @@ module Bitset = Wlcq_util.Bitset
 module Bigint = Wlcq_util.Bigint
 module Combinat = Wlcq_util.Combinat
 module Tbl = Wlcq_util.Ordering.Int_list_tbl
+module Obs = Wlcq_obs.Obs
+
+let m_runs = Obs.counter "fast_count.runs"
+let m_entries = Obs.counter "fast_count.dp_entries"
+let m_memo_hits = Obs.counter "fast_count.memo_hits"
+let m_memo_misses = Obs.counter "fast_count.memo_misses"
 
 (* A constraint over free-variable positions: a sorted scope and a
    satisfaction check on the images of the scope (parallel arrays). *)
@@ -31,7 +37,9 @@ let count_answers q g =
   if not boolean_ok then Bigint.zero
   else if k = 0 then
     if Wlcq_hom.Brute.exists h g then Bigint.one else Bigint.zero
-  else begin
+  else Obs.span "fast_count.run" @@ fun () ->
+    let on = Obs.enabled () in
+    if on then Obs.incr m_runs;
     (* Predicate P_i for each attached component, memoised over the
        assignments of its attachment set. *)
     let component_constraints =
@@ -50,8 +58,11 @@ let count_answers q g =
              let holds images =
                let key = Array.to_list images in
                match Tbl.find_opt memo key with
-               | Some b -> b
+               | Some b ->
+                 if on then Obs.incr m_memo_hits;
+                 b
                | None ->
+                 if on then Obs.incr m_memo_misses;
                  let pins =
                    List.map2 (fun sv img -> (sv, img)) attach_sub key
                  in
@@ -187,7 +198,7 @@ let count_answers q g =
                in
                if not (Bigint.is_zero value) then
                  Tbl.replace tables.(t) (Array.to_list images) value
-             end))
+             end);
+         if on then Obs.add m_entries (Tbl.length tables.(t)))
       !order;
     Tbl.fold (fun _ v acc -> Bigint.add acc v) tables.(0) Bigint.zero
-  end

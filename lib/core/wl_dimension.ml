@@ -4,6 +4,10 @@ module Bigint = Wlcq_util.Bigint
 module Rat = Wlcq_util.Rat
 module Cfi = Wlcq_cfi.Cfi
 module Cloning = Wlcq_cfi.Cloning
+module Obs = Wlcq_obs.Obs
+
+let m_cache_hits = Obs.counter "wl_dimension.cache_hits"
+let m_cache_misses = Obs.counter "wl_dimension.cache_misses"
 
 (* ------------------------------------------------------------------ *)
 (* Theorem 1 (with the Section 1.3 extensions for empty X and          *)
@@ -137,8 +141,11 @@ let equivalent_cached k g1 g2 =
   let g1, g2 = if Graph.compare g1 g2 <= 0 then (g1, g2) else (g2, g1) in
   let key = (k, g1, g2) in
   match Pair_tbl.find_opt equivalent_memo key with
-  | Some v -> v
+  | Some v ->
+    Obs.incr m_cache_hits;
+    v
   | None ->
+    Obs.incr m_cache_misses;
     let v = Wlcq_wl.Equivalence.equivalent k g1 g2 in
     Pair_tbl.add equivalent_memo key v;
     v

@@ -3,6 +3,11 @@ open Wlcq_treewidth
 module Bitset = Wlcq_util.Bitset
 module Bigint = Wlcq_util.Bigint
 module Tbl = Wlcq_util.Ordering.Int_list_tbl
+module Obs = Wlcq_obs.Obs
+
+let m_runs = Obs.counter "nice_count.runs"
+let m_entries = Obs.counter "nice_count.dp_entries"
+let d_bag = Obs.distribution "nice_count.bag_size"
 
 (* Tables map the images of the bag vertices (in increasing H-vertex
    order) to the number of homomorphisms of the subtree's part of H
@@ -11,6 +16,9 @@ module Tbl = Wlcq_util.Ordering.Int_list_tbl
 let count_with_nice nd h g =
   if not (Nice.is_valid_for nd h) then
     invalid_arg "Nice_count.count_with_nice: decomposition does not match the pattern";
+  Obs.span "nice_count.run" @@ fun () ->
+  let on = Obs.enabled () in
+  if on then Obs.incr m_runs;
   let ng = Graph.num_vertices g in
   let tables =
     Array.make (Nice.num_nodes nd) (Tbl.create 1 : Bigint.t Tbl.t)
@@ -90,7 +98,11 @@ let count_with_nice nd h g =
                | Some cnt2 -> Tbl.replace table key (Bigint.mul cnt1 cnt2)
                | None -> ())
             tables.(c1));
-       tables.(i) <- table)
+       tables.(i) <- table;
+       if on then begin
+         Obs.add m_entries (Tbl.length table);
+         Obs.observe d_bag (Bitset.cardinal nd.Nice.bags.(i))
+       end)
     nd.Nice.nodes;
   Option.value ~default:Bigint.zero
     (Tbl.find_opt tables.(nd.Nice.root) [])

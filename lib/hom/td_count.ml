@@ -3,6 +3,11 @@ open Wlcq_treewidth
 module Bitset = Wlcq_util.Bitset
 module Bigint = Wlcq_util.Bigint
 module Tbl = Wlcq_util.Ordering.Int_list_tbl
+module Obs = Wlcq_obs.Obs
+
+let m_runs = Obs.counter "td_count.runs"
+let m_entries = Obs.counter "td_count.dp_entries"
+let d_bag = Obs.distribution "td_count.bag_size"
 
 (* The table at a decomposition node t maps each partial homomorphism
    φ : B_t → V(G) (a hom of H[B_t]) to the number of homomorphisms of
@@ -18,7 +23,9 @@ let count_with_decomposition d h g =
   let nodes = Graph.num_vertices d.Decomposition.tree in
   if Graph.num_vertices h = 0 then Bigint.one
   else if Graph.num_vertices g = 0 then Bigint.zero
-  else begin
+  else Obs.span "td_count.run" @@ fun () ->
+    let on = Obs.enabled () in
+    if on then Obs.incr m_runs;
     (* Root the decomposition tree at node 0 and compute a post-order. *)
     let parent = Array.make nodes (-1) in
     let order = ref [] in
@@ -117,10 +124,13 @@ let count_with_decomposition d h g =
                    (Tbl.find_opt tables.(t) key)
                in
                Tbl.replace tables.(t) key (Bigint.add prev value)
-             end))
+             end);
+         if on then begin
+           Obs.add m_entries (Tbl.length tables.(t));
+           Obs.observe d_bag (List.length bag)
+         end)
       postorder;
     Tbl.fold (fun _ v acc -> Bigint.add acc v) tables.(0) Bigint.zero
-  end
 
 let count h g =
   count_with_decomposition (Exact.optimal_decomposition h) h g

@@ -1,6 +1,12 @@
 module Ordering = Wlcq_util.Ordering
+module Obs = Wlcq_obs.Obs
 
 type result = { colours : int array; num_colours : int; rounds : int }
+
+let m_refine_runs = Obs.counter "kg.refine.runs"
+let m_refine_rounds = Obs.counter "kg.refine.rounds"
+let m_kwl_runs = Obs.counter "kg.kwl.runs"
+let m_kwl_rounds = Obs.counter "kg.kwl.rounds"
 
 let canonicalise cmp labelled =
   let distinct =
@@ -44,11 +50,17 @@ let refine_many graphs =
       signatures
   in
   let rec go colourings num rounds =
-    let colourings', num' = round colourings in
+    let colourings', num' = Obs.span "kg.refine.round" (fun () -> round colourings) in
     if num' = num then (colourings, num, rounds)
     else go colourings' num' (rounds + 1)
   in
-  let colourings, num, rounds = go colourings num 0 in
+  let colourings, num, rounds =
+    Obs.span "kg.refine.run" (fun () -> go colourings num 0)
+  in
+  if Obs.enabled () then begin
+    Obs.incr m_refine_runs;
+    Obs.add m_refine_rounds rounds
+  end;
   List.map (fun colours -> { colours; num_colours = num; rounds }) colourings
 
 let refine g = match refine_many [ g ] with [ r ] -> r | _ -> assert false
@@ -148,11 +160,19 @@ let run_many k graphs =
       signatures
   in
   let rec go colourings num rounds =
-    let colourings', num' = round colourings in
+    let colourings', num' = Obs.span "kg.kwl.round" (fun () -> round colourings) in
     if num' = num then (colourings, num, rounds)
     else go colourings' num' (rounds + 1)
   in
-  let colourings, num, rounds = go colourings num 0 in
+  let colourings, num, rounds =
+    Obs.span "kg.kwl.run"
+      ~attrs:[ ("k", string_of_int k) ]
+      (fun () -> go colourings num 0)
+  in
+  if Obs.enabled () then begin
+    Obs.incr m_kwl_runs;
+    Obs.add m_kwl_rounds rounds
+  end;
   List.map (fun colours -> { colours; num_colours = num; rounds }) colourings
 
 let run k g = match run_many k [ g ] with [ r ] -> r | _ -> assert false

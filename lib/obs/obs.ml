@@ -1,0 +1,575 @@
+(* Domain-safe metrics, spans and tracing.  Design constraint: every
+   piece of global state in this module is either an [Atomic.t] (the
+   flags, the registries, every metric cell) or per-domain
+   ([Domain.DLS] span stacks), so the whole library — and every module
+   that merely *uses* it — passes wlcq-lint's R3 rule without
+   suppressions.  Registries are immutable lists swapped in with a
+   CAS loop; metric cells are striped by domain id so worker domains
+   do not contend on one cache line. *)
+
+(* ------------------------------------------------------------------ *)
+(* Enable flags                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Flip to [false] to compile the instrumentation out: [enabled]
+   becomes the constant [false] and every guarded branch folds away. *)
+let compiled_in = true
+
+let enabled_flag = Atomic.make false
+let tracing_flag = Atomic.make false
+
+let enabled () = compiled_in && Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag (compiled_in && b)
+let tracing () = compiled_in && Atomic.get tracing_flag
+let set_tracing b = Atomic.set tracing_flag (compiled_in && b)
+
+(* ------------------------------------------------------------------ *)
+(* Striped atomic cells                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Power of two so the stripe index is a mask of the domain id. *)
+let num_stripes = 16
+
+let stripe () = (Domain.self () :> int) land (num_stripes - 1)
+
+let sum_cells cells =
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 cells
+
+let zero_cells cells = Array.iter (fun c -> Atomic.set c 0) cells
+
+let rec atomic_min cell v =
+  let cur = Atomic.get cell in
+  if v < cur && not (Atomic.compare_and_set cell cur v) then atomic_min cell v
+
+let rec atomic_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then atomic_max cell v
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { c_name : string; c_cells : int Atomic.t array }
+
+let counter_registry : counter list Atomic.t = Atomic.make []
+
+let find_counter name =
+  List.find_opt
+    (fun c -> String.equal c.c_name name)
+    (Atomic.get counter_registry)
+
+let rec counter name =
+  match find_counter name with
+  | Some c -> c
+  | None ->
+    let c =
+      { c_name = name;
+        c_cells = Array.init num_stripes (fun _ -> Atomic.make 0) }
+    in
+    let old = Atomic.get counter_registry in
+    if
+      List.exists (fun c' -> String.equal c'.c_name name) old
+      || not (Atomic.compare_and_set counter_registry old (c :: old))
+    then counter name (* lost the race: re-find the winner *)
+    else c
+
+let add c n =
+  if enabled () then ignore (Atomic.fetch_and_add c.c_cells.(stripe ()) n)
+
+let incr c = add c 1
+
+let counter_value c = sum_cells c.c_cells
+
+(* ------------------------------------------------------------------ *)
+(* Distributions                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type dist_cell = {
+  dc_count : int Atomic.t;
+  dc_sum : int Atomic.t;
+  dc_min : int Atomic.t;
+  dc_max : int Atomic.t;
+}
+
+type distribution = { d_name : string; d_cells : dist_cell array }
+
+type dist_summary = {
+  d_count : int;
+  d_sum : int;
+  d_min : int;
+  d_max : int;
+}
+
+let dist_registry : distribution list Atomic.t = Atomic.make []
+
+let find_distribution name =
+  List.find_opt
+    (fun d -> String.equal d.d_name name)
+    (Atomic.get dist_registry)
+
+let fresh_dist_cell () =
+  {
+    dc_count = Atomic.make 0;
+    dc_sum = Atomic.make 0;
+    dc_min = Atomic.make max_int;
+    dc_max = Atomic.make min_int;
+  }
+
+let rec distribution name =
+  match find_distribution name with
+  | Some d -> d
+  | None ->
+    let d =
+      { d_name = name;
+        d_cells = Array.init num_stripes (fun _ -> fresh_dist_cell ()) }
+    in
+    let old = Atomic.get dist_registry in
+    if
+      List.exists (fun d' -> String.equal d'.d_name name) old
+      || not (Atomic.compare_and_set dist_registry old (d :: old))
+    then distribution name
+    else d
+
+let observe d v =
+  if enabled () then begin
+    let cell = d.d_cells.(stripe ()) in
+    ignore (Atomic.fetch_and_add cell.dc_count 1);
+    ignore (Atomic.fetch_and_add cell.dc_sum v);
+    atomic_min cell.dc_min v;
+    atomic_max cell.dc_max v
+  end
+
+let distribution_value d =
+  Array.fold_left
+    (fun acc cell ->
+       {
+         d_count = acc.d_count + Atomic.get cell.dc_count;
+         d_sum = acc.d_sum + Atomic.get cell.dc_sum;
+         d_min = min acc.d_min (Atomic.get cell.dc_min);
+         d_max = max acc.d_max (Atomic.get cell.dc_max);
+       })
+    { d_count = 0; d_sum = 0; d_min = max_int; d_max = min_int }
+    d.d_cells
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let epoch_ns = Monotonic_clock.now ()
+
+let time_ns f =
+  let t0 = now_ns () in
+  let r = f () in
+  (r, Int64.sub (now_ns ()) t0)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type span_stat = {
+  ss_path : string;
+  ss_count : int Atomic.t;
+  ss_total : int Atomic.t;
+  ss_max : int Atomic.t;
+}
+
+type span_summary = {
+  s_path : string;
+  s_count : int;
+  s_total_ns : int;
+  s_max_ns : int;
+}
+
+let span_stats : span_stat list Atomic.t = Atomic.make []
+
+let find_span_stat path =
+  List.find_opt
+    (fun s -> String.equal s.ss_path path)
+    (Atomic.get span_stats)
+
+let rec span_stat path =
+  match find_span_stat path with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        ss_path = path;
+        ss_count = Atomic.make 0;
+        ss_total = Atomic.make 0;
+        ss_max = Atomic.make 0;
+      }
+    in
+    let old = Atomic.get span_stats in
+    if
+      List.exists (fun s' -> String.equal s'.ss_path path) old
+      || not (Atomic.compare_and_set span_stats old (s :: old))
+    then span_stat path
+    else s
+
+(* Per-domain stack of open span paths: nesting without shared state. *)
+let span_stack : string list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
+
+type event = {
+  ev_name : string;
+  ev_ts : int64;  (* absolute monotonic ns *)
+  ev_dur : int64;
+  ev_tid : int;
+  ev_attrs : (string * string) list;
+}
+
+let events : event list Atomic.t = Atomic.make []
+
+let rec push_event e =
+  let old = Atomic.get events in
+  if not (Atomic.compare_and_set events old (e :: old)) then push_event e
+
+let record_span path dur_ns =
+  let s = span_stat path in
+  let dur = Int64.to_int dur_ns in
+  ignore (Atomic.fetch_and_add s.ss_count 1);
+  ignore (Atomic.fetch_and_add s.ss_total dur);
+  atomic_max s.ss_max dur
+
+let span ?(attrs = []) name f =
+  if not (enabled ()) then f ()
+  else begin
+    let stack = Domain.DLS.get span_stack in
+    let path =
+      match stack with [] -> name | parent :: _ -> parent ^ "/" ^ name
+    in
+    Domain.DLS.set span_stack (path :: stack);
+    let t0 = now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = Int64.sub (now_ns ()) t0 in
+        Domain.DLS.set span_stack stack;
+        record_span path dur;
+        if tracing () then
+          push_event
+            {
+              ev_name = name;
+              ev_ts = t0;
+              ev_dur = dur;
+              ev_tid = (Domain.self () :> int);
+              ev_attrs = attrs;
+            })
+      f
+  end
+
+let span_summaries () =
+  List.sort
+    (fun a b -> String.compare a.s_path b.s_path)
+    (List.filter_map
+       (fun s ->
+          let count = Atomic.get s.ss_count in
+          if count = 0 then None
+          else
+            Some
+              {
+                s_path = s.ss_path;
+                s_count = count;
+                s_total_ns = Atomic.get s.ss_total;
+                s_max_ns = Atomic.get s.ss_max;
+              })
+       (Atomic.get span_stats))
+
+(* ------------------------------------------------------------------ *)
+(* Reading and resetting                                               *)
+(* ------------------------------------------------------------------ *)
+
+let counters () =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (List.map
+       (fun c -> (c.c_name, counter_value c))
+       (Atomic.get counter_registry))
+
+let distributions () =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (List.map
+       (fun d -> (d.d_name, distribution_value d))
+       (Atomic.get dist_registry))
+
+let reset ?(keep_trace = false) () =
+  List.iter (fun c -> zero_cells c.c_cells) (Atomic.get counter_registry);
+  List.iter
+    (fun d ->
+       Array.iter
+         (fun cell ->
+            Atomic.set cell.dc_count 0;
+            Atomic.set cell.dc_sum 0;
+            Atomic.set cell.dc_min max_int;
+            Atomic.set cell.dc_max min_int)
+         d.d_cells)
+    (Atomic.get dist_registry);
+  Atomic.set span_stats [];
+  if not keep_trace then Atomic.set events []
+
+(* ------------------------------------------------------------------ *)
+(* Trace export (Chrome trace_event JSON)                              *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape buf s =
+  String.iter
+    (fun ch ->
+       match ch with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  json_escape buf s;
+  Buffer.add_char buf '"'
+
+(* Microseconds relative to process start, with sub-us precision kept
+   as a decimal fraction (trace_event timestamps are us floats). *)
+let add_us buf ns =
+  let rel = Int64.sub ns epoch_ns in
+  Buffer.add_string buf
+    (Printf.sprintf "%Ld.%03Ld" (Int64.div rel 1000L)
+       (Int64.rem (Int64.abs rel) 1000L))
+
+let add_event buf e =
+  Buffer.add_string buf "{\"name\":";
+  add_json_string buf e.ev_name;
+  Buffer.add_string buf ",\"cat\":\"wlcq\",\"ph\":\"X\",\"ts\":";
+  add_us buf e.ev_ts;
+  Buffer.add_string buf ",\"dur\":";
+  Buffer.add_string buf
+    (Printf.sprintf "%Ld.%03Ld" (Int64.div e.ev_dur 1000L)
+       (Int64.rem e.ev_dur 1000L));
+  Buffer.add_string buf ",\"pid\":1,\"tid\":";
+  Buffer.add_string buf (string_of_int e.ev_tid);
+  Buffer.add_string buf ",\"args\":{";
+  List.iteri
+    (fun i (k, v) ->
+       if i > 0 then Buffer.add_char buf ',';
+       add_json_string buf k;
+       Buffer.add_char buf ':';
+       add_json_string buf v)
+    e.ev_attrs;
+  Buffer.add_string buf "}}"
+
+let trace_json () =
+  let evs =
+    List.sort
+      (fun a b -> Int64.compare a.ev_ts b.ev_ts)
+      (Atomic.get events)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i e ->
+       if i > 0 then Buffer.add_string buf ",\n";
+       add_event buf e)
+    evs;
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON validity checker                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A strict recursive-descent acceptor for one JSON value.  Only used
+   to sanity-check our own exporter (and by the bench smoke test), so
+   it favours simplicity: exact RFC 8259 grammar, no extensions. *)
+let json_parseable s =
+  let n = String.length s in
+  let exception Bad in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = Stdlib.incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when Char.equal c c' -> advance ()
+    | _ -> raise Bad
+  in
+  let literal word =
+    String.iter (fun c -> expect c) word
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+     | Some '{' -> obj ()
+     | Some '[' -> arr ()
+     | Some '"' -> string_lit ()
+     | Some 't' -> literal "true"
+     | Some 'f' -> literal "false"
+     | Some 'n' -> literal "null"
+     | Some ('-' | '0' .. '9') -> number ()
+     | _ -> raise Bad);
+    skip_ws ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    (match peek () with
+     | Some '}' -> advance ()
+     | _ ->
+       let rec members () =
+         skip_ws ();
+         string_lit ();
+         skip_ws ();
+         expect ':';
+         value ();
+         match peek () with
+         | Some ',' -> advance (); members ()
+         | _ -> expect '}'
+       in
+       members ())
+  and arr () =
+    expect '[';
+    skip_ws ();
+    (match peek () with
+     | Some ']' -> advance ()
+     | _ ->
+       let rec elements () =
+         value ();
+         match peek () with
+         | Some ',' -> advance (); elements ()
+         | _ -> expect ']'
+       in
+       elements ())
+  and string_lit () =
+    expect '"';
+    let rec go () =
+      if !pos >= n then raise Bad
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (match peek () with
+           | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+             advance ()
+           | Some 'u' ->
+             advance ();
+             for _ = 1 to 4 do
+               (match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> raise Bad)
+             done
+           | _ -> raise Bad);
+          go ()
+        | c when Char.code c < 0x20 -> raise Bad
+        | _ -> advance (); go ()
+    in
+    go ()
+  and number () =
+    (match peek () with Some '-' -> advance () | _ -> ());
+    let digits () =
+      let seen = ref false in
+      while
+        match peek () with
+        | Some '0' .. '9' -> true
+        | _ -> false
+      do
+        seen := true;
+        advance ()
+      done;
+      if not !seen then raise Bad
+    in
+    digits ();
+    (match peek () with
+     | Some '.' -> advance (); digits ()
+     | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  match value () with
+  | () -> !pos = n || (skip_ws (); !pos = n)
+  | exception Bad -> false
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let span_report () =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun s ->
+       let depth =
+         String.fold_left
+           (fun acc c -> if Char.equal c '/' then acc + 1 else acc)
+           0 s.s_path
+       in
+       let label =
+         match String.rindex_opt s.s_path '/' with
+         | None -> s.s_path
+         | Some i ->
+           String.sub s.s_path (i + 1) (String.length s.s_path - i - 1)
+       in
+       Buffer.add_string buf
+         (Printf.sprintf "%-44s %8d %12.3f ms %10.3f ms\n"
+            (String.make (2 * depth) ' ' ^ label)
+            s.s_count
+            (float_of_int s.s_total_ns /. 1e6)
+            (float_of_int s.s_max_ns /. 1e6)))
+    (span_summaries ());
+  Buffer.contents buf
+
+let metrics_table () =
+  let buf = Buffer.create 1024 in
+  let live_counters =
+    List.filter (fun (_, v) -> v <> 0) (counters ())
+  in
+  if not (List.is_empty live_counters) then begin
+    Buffer.add_string buf
+      (Printf.sprintf "%-44s %12s\n" "counter" "value");
+    List.iter
+      (fun (name, v) ->
+         Buffer.add_string buf (Printf.sprintf "%-44s %12d\n" name v))
+      live_counters
+  end;
+  let live_dists =
+    List.filter (fun (_, s) -> s.d_count > 0) (distributions ())
+  in
+  if not (List.is_empty live_dists) then begin
+    Buffer.add_string buf
+      (Printf.sprintf "%-44s %8s %12s %8s %8s\n" "distribution" "count"
+         "sum" "min" "max");
+    List.iter
+      (fun (name, s) ->
+         Buffer.add_string buf
+           (Printf.sprintf "%-44s %8d %12d %8d %8d\n" name s.d_count s.d_sum
+              s.d_min s.d_max))
+      live_dists
+  end;
+  let spans = span_report () in
+  if not (String.equal spans "") then begin
+    Buffer.add_string buf
+      (Printf.sprintf "%-44s %8s %15s %13s\n" "span" "count" "total" "max");
+    Buffer.add_string buf spans
+  end;
+  if Buffer.length buf = 0 then Buffer.add_string buf "(no metrics recorded)\n";
+  Buffer.contents buf
+
+let report_hit_rate ~hits ~misses =
+  match (find_counter hits, find_counter misses) with
+  | Some h, Some m ->
+    let th = counter_value h and tm = counter_value m in
+    if th + tm = 0 then None
+    else Some (float_of_int th /. float_of_int (th + tm))
+  | _ -> None

@@ -1,0 +1,169 @@
+(** Domain-safe observability for the WL / hom-counting engines.
+
+    Three facilities, all designed so that instrumented code stays
+    clean under wlcq-lint's R3 domain-safety rule without pragmas:
+
+    - a {e metrics registry} of named monotonic counters and value
+      distributions.  Every cell is an [Atomic.t]; counters stripe
+      their cells by domain id so concurrent increments from
+      [Domain.spawn] workers never contend on one cache line, and
+      reads aggregate the stripes.  No top-level [ref]/[Hashtbl] is
+      involved anywhere, which is exactly what R3 bans;
+    - a {e span API} ({!span}) with monotonic-clock timing and
+      nesting (per-domain stacks via [Domain.DLS]).  Closed spans
+      feed an aggregated per-path summary and, when {!tracing} is on,
+      a Chrome [trace_event] JSON log ({!trace_json});
+    - an {e enable flag}: the disabled path of every operation is a
+      single [Atomic.get] + branch, and flipping {!compiled_in} to
+      [false] lets the compiler fold the instrumentation out
+      entirely.
+
+    Registration ({!counter}, {!distribution}) is idempotent by name
+    and safe from any domain.  Recording ({!incr}, {!add},
+    {!observe}, {!span}) is safe from any domain.  {!reset} and the
+    read APIs are meant for the driver domain between experiments,
+    not for concurrent use with live workers. *)
+
+(** {1 Enabling} *)
+
+(** Static kill switch.  When [false], {!enabled} is constantly
+    [false] and the instrumentation branches compile away.  Kept as a
+    plain boolean constant so flipping it needs a one-character
+    edit. *)
+val compiled_in : bool
+
+(** [set_enabled b] turns metric and span recording on or off
+    (subject to {!compiled_in}).  Off by default. *)
+val set_enabled : bool -> unit
+
+(** [enabled ()] is the current recording state: one atomic load. *)
+val enabled : unit -> bool
+
+(** [set_tracing b] additionally records every closed span as a
+    Chrome [trace_event] (requires {!enabled}).  Off by default. *)
+val set_tracing : bool -> unit
+
+(** [tracing ()] is the current trace-recording state. *)
+val tracing : unit -> bool
+
+(** {1 Counters} *)
+
+(** A named monotonic counter, striped over per-domain atomic
+    cells. *)
+type counter
+
+(** [counter name] registers (or retrieves) the counter [name].
+    Idempotent: one counter object per name, shared by all
+    callers. *)
+val counter : string -> counter
+
+(** [incr c] adds 1 when {!enabled}; a no-op otherwise. *)
+val incr : counter -> unit
+
+(** [add c n] adds [n] when {!enabled}; a no-op otherwise. *)
+val add : counter -> int -> unit
+
+(** [counter_value c] sums the stripes. *)
+val counter_value : counter -> int
+
+(** [find_counter name] looks a counter up without registering it. *)
+val find_counter : string -> counter option
+
+(** {1 Distributions} *)
+
+(** A named value distribution: count / sum / min / max, striped like
+    counters. *)
+type distribution
+
+type dist_summary = {
+  d_count : int;
+  d_sum : int;
+  d_min : int;  (** [max_int] when empty *)
+  d_max : int;  (** [min_int] when empty *)
+}
+
+(** [distribution name] registers (or retrieves) the distribution
+    [name]. *)
+val distribution : string -> distribution
+
+(** [observe d v] records [v] when {!enabled}; a no-op otherwise. *)
+val observe : distribution -> int -> unit
+
+val distribution_value : distribution -> dist_summary
+
+(** {1 Reading and resetting} *)
+
+(** All registered counters with their aggregated values, sorted by
+    name. *)
+val counters : unit -> (string * int) list
+
+(** All registered distributions with their summaries, sorted by
+    name. *)
+val distributions : unit -> (string * dist_summary) list
+
+(** [reset ()] zeroes every counter and distribution, drops the span
+    summaries and clears the trace log; registered metric handles
+    stay valid.  [~keep_trace:true] preserves the trace log (used by
+    the bench harness, which resets metrics per experiment but emits
+    one trace for the whole run). *)
+val reset : ?keep_trace:bool -> unit -> unit
+
+(** {1 Clock} *)
+
+(** [now_ns ()] is the monotonic clock, in nanoseconds.  Always live,
+    independent of {!enabled}. *)
+val now_ns : unit -> int64
+
+(** [time_ns f] runs [f] and returns its result with the elapsed
+    monotonic nanoseconds. *)
+val time_ns : (unit -> 'a) -> 'a * int64
+
+(** {1 Spans} *)
+
+(** [span name f] times [f ()] on the monotonic clock and records it
+    under the path [parent-path/name] (nesting is tracked per
+    domain).  When disabled this is a single branch around [f ()].
+    [attrs] are attached to the trace event ({!trace_json}) when
+    tracing. *)
+val span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+type span_summary = {
+  s_path : string;  (** ["kwl.run/kwl.round"]-style nesting path *)
+  s_count : int;
+  s_total_ns : int;
+  s_max_ns : int;
+}
+
+(** Aggregated closed spans, sorted by path (so parents precede their
+    children). *)
+val span_summaries : unit -> span_summary list
+
+(** Plain-text hierarchical summary of {!span_summaries}: one line
+    per path, indented by nesting depth. *)
+val span_report : unit -> string
+
+(** {1 Trace export} *)
+
+(** [trace_json ()] renders every recorded span as a Chrome
+    [trace_event] complete event ([ph = "X"]) in a JSON array, ready
+    for [chrome://tracing] / Perfetto.  Timestamps are microseconds
+    relative to process start; [tid] is the recording domain id. *)
+val trace_json : unit -> string
+
+(** [json_parseable s] checks that [s] is one syntactically valid
+    JSON value (the whole string).  Used by the bench smoke test to
+    guard the {!trace_json} output. *)
+val json_parseable : string -> bool
+
+(** {1 Reports} *)
+
+(** [metrics_table ()] formats the non-zero counters, the
+    distributions and the span summary as an aligned plain-text
+    table (empty sections are omitted). *)
+val metrics_table : unit -> string
+
+(** [report_hit_rate ~hits ~misses] is [hits / (hits + misses)] read
+    from the two named counters; [None] when either counter is
+    unregistered or no events were recorded.  The bench smoke mode
+    asserts cache hit rates through this. *)
+val report_hit_rate : hits:string -> misses:string -> float option

@@ -1,5 +1,10 @@
 open Wlcq_graph
 module Bitset = Wlcq_util.Bitset
+module Obs = Wlcq_obs.Obs
+
+let m_solves = Obs.counter "tw.solves"
+let m_nodes = Obs.counter "tw.search_nodes"
+let m_pruned = Obs.counter "tw.pruned"
 
 module Bitset_tbl = Hashtbl.Make (struct
     type t = Bitset.t
@@ -32,8 +37,12 @@ let branch_and_bound g initial_ub initial_order =
   let best = ref initial_ub in
   let best_order = ref initial_order in
   let memo : int Bitset_tbl.t = Bitset_tbl.create 1024 in
+  (* search statistics, accumulated locally and flushed once *)
+  let nodes_visited = ref 0 in
+  let pruned = ref 0 in
   let rec go adj alive eliminated prefix current_max remaining =
-    if current_max >= !best then ()
+    incr nodes_visited;
+    if current_max >= !best then incr pruned
     else if remaining = 0 then begin
       best := current_max;
       best_order := List.rev prefix
@@ -46,7 +55,7 @@ let branch_and_bound g initial_ub initial_order =
     end
     else begin
       match Bitset_tbl.find_opt memo eliminated with
-      | Some m when m <= current_max -> ()
+      | Some m when m <= current_max -> incr pruned
       | _ ->
         Bitset_tbl.replace memo eliminated current_max;
         (* Simplicial vertices of low degree are always safe to
@@ -100,12 +109,17 @@ let branch_and_bound g initial_ub initial_order =
   let adj = Array.init n (Graph.neighbours g) in
   let alive = Array.make n true in
   go adj alive (Bitset.create n) [] 0 n;
+  if Obs.enabled () then begin
+    Obs.add m_nodes !nodes_visited;
+    Obs.add m_pruned !pruned
+  end;
   (!best, !best_order)
 
 let solve g =
   let n = Graph.num_vertices g in
   if n = 0 then (-1, [])
-  else begin
+  else Obs.span "tw.solve" @@ fun () ->
+    if Obs.enabled () then Obs.incr m_solves;
     let order_md = Heuristics.min_degree_order g in
     let order_mf = Heuristics.min_fill_order g in
     let w_md = Elimination.width_of_order g order_md in
@@ -120,7 +134,6 @@ let solve g =
       let w, order = branch_and_bound g (ub + 1) ub_order in
       if w <= ub then (w, order) else (ub, ub_order)
     end
-  end
 
 let treewidth g = fst (solve g)
 let optimal_order g = snd (solve g)

@@ -1,5 +1,9 @@
 open Wlcq_graph
 module Bigint = Wlcq_util.Bigint
+module Obs = Wlcq_obs.Obs
+
+let m_hits = Obs.counter "hom_profile.cache_hits"
+let m_misses = Obs.counter "hom_profile.cache_misses"
 
 (* Pattern enumeration is pure in (max_size, tw_bound) and is
    re-requested by every [first_difference] call (T15 runs one per
@@ -39,8 +43,11 @@ let patterns ~max_size ~tw_bound =
     Wlcq_util.Ordering.Int_pair_tbl.find_opt patterns_memo
       (max_size, tw_bound)
   with
-  | Some ps -> ps
+  | Some ps ->
+    Obs.incr m_hits;
+    ps
   | None ->
+    Obs.incr m_misses;
     let ps = patterns_uncached ~max_size ~tw_bound in
     Wlcq_util.Ordering.Int_pair_tbl.add patterns_memo (max_size, tw_bound) ps;
     ps

@@ -1,7 +1,18 @@
 open Wlcq_graph
 module Ordering = Wlcq_util.Ordering
+module Obs = Wlcq_obs.Obs
 
 type result = { colours : int array; num_colours : int; rounds : int }
+
+(* Engine metrics (see DESIGN.md, "Observability").  Registration is a
+   pure function call into an Atomic-backed registry, so these
+   top-level bindings carry no lint-visible mutable state. *)
+let m_runs = Obs.counter "kwl.runs"
+let m_rounds = Obs.counter "kwl.rounds"
+let m_dirty = Obs.counter "kwl.dirty_tuples"
+let m_collisions = Obs.counter "kwl.hash_collisions"
+let m_par_rounds = Obs.counter "kwl.parallel_rounds"
+let m_seq_rounds = Obs.counter "kwl.sequential_rounds"
 
 (* Tuples are encoded in base n: the tuple (v_0, ..., v_{k-1}) has
    index sum_i v_i * n^(k-1-i).  [place] are the per-position place
@@ -281,7 +292,14 @@ exception Histograms_diverged
    once per round by the driver domain; worker domains never touch it *)
 let parallel_threshold = ref (1 lsl 15)
 
-let run_engine ?domains ~on_round k states =
+let run_engine_inner ?domains ~on_round k states =
+  (* hoisted once per run: the hot loops below branch on a local bool,
+     not on the atomic flag *)
+  let on = Obs.enabled () in
+  if on then Obs.incr m_runs;
+  (* signature-bucket probes that hashed alike but compared unequal;
+     accumulated in a run-local cell and flushed once at the end *)
+  let collisions = ref 0 in
   let total = Array.fold_left (fun acc st -> acc + st.count) 0 states in
   let max_n = Array.fold_left (fun acc st -> max acc st.n) 0 states in
   (* bits per colour id; ids are < total, the number of tuples *)
@@ -337,7 +355,11 @@ let run_engine ?domains ~on_round k states =
                bucket := (base, c) :: !bucket;
                c
              | (base', c) :: rest ->
-               if seg_equal init_arena base base' aw then c else find rest
+               if seg_equal init_arena base base' aw then c
+               else begin
+                 incr collisions;
+                 find rest
+               end
            in
            find !bucket
          in
@@ -427,6 +449,7 @@ let run_engine ?domains ~on_round k states =
       else if threshold = 0 then min requested_domains (max 1 m)
       else min requested_domains (max 1 (m / 256))
     in
+    if on then Obs.incr (if nd <= 1 then m_seq_rounds else m_par_rounds);
     if nd <= 1 then compute_range 0 m
     else begin
       let chunk = (m + nd - 1) / nd in
@@ -452,8 +475,9 @@ let run_engine ?domains ~on_round k states =
        done)
     states;
   let continue = ref (total > 0) in
-  while !continue do
+  let do_round () =
     let m = !num_jobs in
+    if on then Obs.add m_dirty m;
     compute_all m;
     (* which classes are fully dirty (may keep their id for one part) *)
     for s = 0 to m - 1 do
@@ -500,7 +524,11 @@ let run_engine ?domains ~on_round k states =
             bucket := (base, c) :: !bucket;
             c
           | (base', c) :: rest ->
-            if seg_equal arena base base' sigw then c else find rest
+            if seg_equal arena base base' sigw then c
+            else begin
+              incr collisions;
+              find rest
+            end
         in
         find !bucket
       in
@@ -559,8 +587,28 @@ let run_engine ?domains ~on_round k states =
            done)
         states
     end
-  done;
+  in
+  (* flush even when the equivalence oracle aborts the run by raising
+     [Histograms_diverged] out of [on_round] *)
+  Fun.protect
+    ~finally:(fun () ->
+      if on then begin
+        Obs.add m_rounds !rounds;
+        Obs.add m_collisions !collisions
+      end)
+    (fun () ->
+       while !continue do
+         Obs.span "kwl.round" do_round
+       done);
   (!next_colour, !rounds)
+
+(* All entry points funnel through here, so the span covers [run],
+   [run_many] and [equivalent] alike; [Histograms_diverged] unwinds
+   through the span cleanly ([Fun.protect] closes it). *)
+let run_engine ?domains ~on_round k states =
+  Obs.span "kwl.run"
+    ~attrs:[ ("k", string_of_int k) ]
+    (fun () -> run_engine_inner ?domains ~on_round k states)
 
 let run_many ?domains k graphs =
   if k < 2 then

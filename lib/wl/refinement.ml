@@ -1,7 +1,12 @@
 open Wlcq_graph
 module Ordering = Wlcq_util.Ordering
+module Obs = Wlcq_obs.Obs
 
 type result = { colours : int array; num_colours : int; rounds : int }
+
+let m_runs = Obs.counter "refinement.runs"
+let m_rounds = Obs.counter "refinement.rounds"
+let m_collisions = Obs.counter "refinement.hash_collisions"
 
 (* Joint refinement over a list of graphs sharing one colour
    namespace.  Each round maps every vertex to the pair (old colour,
@@ -57,6 +62,9 @@ let run_many_with ~on_round graphs =
          (fun _ -> { colours = [||]; num_colours = 0; rounds = 1 })
          graphs)
   else begin
+    let on = Obs.enabled () in
+    if on then Obs.incr m_runs;
+    let collisions = ref 0 in
     let colourings = Array.map (fun n -> Array.make n 0) ns in
     (* global vertex id = graph offset + vertex; CSR segment offsets *)
     let goff = Array.make (num_graphs + 1) 0 in
@@ -131,7 +139,10 @@ let run_many_with ~on_round graphs =
                 c
               | (base', len', c) :: rest ->
                 if len = len' && seg_equal base base' len then c
-                else find rest
+                else begin
+                  incr collisions;
+                  find rest
+                end
             in
             find !bucket
           in
@@ -140,15 +151,29 @@ let run_many_with ~on_round graphs =
       done;
       !next
     in
-    let rec go num rounds =
-      let num' = round () in
-      if num' = num then (num, rounds)
-      else begin
-        on_round num' colourings;
-        go num' (rounds + 1)
-      end
+    let last_round = ref 0 in
+    (* flush through the early exit the equivalence oracle takes by
+       raising [Histograms_diverged] out of [on_round] *)
+    let num, rounds =
+      Fun.protect
+        ~finally:(fun () ->
+          if on then begin
+            Obs.add m_rounds !last_round;
+            Obs.add m_collisions !collisions
+          end)
+        (fun () ->
+           Obs.span "refinement.run" (fun () ->
+               let rec loop num rounds =
+                 last_round := rounds;
+                 let num' = Obs.span "refinement.round" round in
+                 if num' = num then (num, rounds)
+                 else begin
+                   on_round num' colourings;
+                   loop num' (rounds + 1)
+                 end
+               in
+               loop 1 0))
     in
-    let num, rounds = go 1 0 in
     Array.to_list
       (Array.map
          (fun colours -> { colours; num_colours = num; rounds })

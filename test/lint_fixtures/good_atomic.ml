@@ -1,0 +1,18 @@
+(* Fixture: the blessed pattern for shared state under Domain.spawn —
+   top-level [Atomic.t] cells and [Domain.DLS] keys, which R3 must NOT
+   flag.  This is the pattern the observability registry (Wlcq_obs)
+   relies on; a regression here would force suppressions in lib/obs. *)
+
+let shared_counter = Atomic.make 0
+
+let per_domain_scratch : int list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
+
+let compute () =
+  let d =
+    Domain.spawn (fun () ->
+        Domain.DLS.set per_domain_scratch [ 1 ];
+        Atomic.incr shared_counter)
+  in
+  Domain.join d;
+  Atomic.get shared_counter + List.length (Domain.DLS.get per_domain_scratch)

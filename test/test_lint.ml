@@ -36,6 +36,16 @@ let test_r3_fires () =
   (* shared_counter and shared_memo, both visible to Domain.spawn *)
   check_count "R3 count on bad_domain" "bad_domain.ml" "R3" 2
 
+let test_r3_allows_atomic () =
+  (* the Atomic / Domain.DLS pattern used by lib/obs must stay clean:
+     shared_counter and per_domain_scratch are visible to Domain.spawn
+     but are domain-safe by construction *)
+  List.iter
+    (fun rule ->
+       check_count ("good_atomic is clean of " ^ rule) "good_atomic.ml"
+         rule 0)
+    [ "R1"; "R2"; "R3" ]
+
 let test_r4_fires () =
   (* missing .mli and print_endline, both lib-only checks *)
   check_count "R4 count on lib/bad_print" "lib/bad_print.ml" "R4" 2
@@ -84,6 +94,8 @@ let () =
           Alcotest.test_case "R1 polymorphic comparison" `Quick test_r1_fires;
           Alcotest.test_case "R2 partial functions" `Quick test_r2_fires;
           Alcotest.test_case "R3 domain safety" `Quick test_r3_fires;
+          Alcotest.test_case "R3 allows Atomic/DLS registry pattern" `Quick
+            test_r3_allows_atomic;
           Alcotest.test_case "R4 hygiene" `Quick test_r4_fires;
         ] );
       ( "pragmas",

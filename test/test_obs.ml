@@ -1,0 +1,282 @@
+open Wlcq_graph
+module Obs = Wlcq_obs.Obs
+module Kwl = Wlcq_wl.Kwl
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* All tests share the global registry; each starts from a clean,
+   enabled slate and leaves recording off. *)
+let with_obs ?(tracing = false) f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Obs.set_tracing tracing;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_tracing false;
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Counters and distributions                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_basics () =
+  with_obs (fun () ->
+      let c = Obs.counter "test.basics" in
+      check_int "fresh counter is zero" 0 (Obs.counter_value c);
+      Obs.incr c;
+      Obs.add c 41;
+      check_int "incr + add" 42 (Obs.counter_value c);
+      (* registration is idempotent: same handle, same cells *)
+      let c' = Obs.counter "test.basics" in
+      Obs.incr c';
+      check_int "second handle shares the cells" 43 (Obs.counter_value c);
+      check_bool "find_counter finds it" true
+        (match Obs.find_counter "test.basics" with
+         | Some c'' -> Obs.counter_value c'' = 43
+         | None -> false);
+      check_bool "find_counter does not register" true
+        (Option.is_none (Obs.find_counter "test.never_registered")))
+
+let test_disabled_is_noop () =
+  with_obs (fun () ->
+      let c = Obs.counter "test.noop" in
+      let d = Obs.distribution "test.noop_dist" in
+      Obs.set_enabled false;
+      Obs.incr c;
+      Obs.add c 10;
+      Obs.observe d 7;
+      ignore (Obs.span "test.noop_span" (fun () -> 0));
+      Obs.set_enabled true;
+      check_int "disabled incr/add recorded nothing" 0 (Obs.counter_value c);
+      check_int "disabled observe recorded nothing" 0
+        (Obs.distribution_value d).Obs.d_count;
+      check_bool "disabled span recorded nothing" true
+        (List.for_all
+           (fun (s : Obs.span_summary) ->
+              not (String.equal s.Obs.s_path "test.noop_span"))
+           (Obs.span_summaries ())))
+
+let test_distribution_summary () =
+  with_obs (fun () ->
+      let d = Obs.distribution "test.dist" in
+      List.iter (Obs.observe d) [ 5; -3; 12; 0 ];
+      let s = Obs.distribution_value d in
+      check_int "count" 4 s.Obs.d_count;
+      check_int "sum" 14 s.Obs.d_sum;
+      check_int "min" (-3) s.Obs.d_min;
+      check_int "max" 12 s.Obs.d_max)
+
+let test_reset_semantics () =
+  with_obs ~tracing:true (fun () ->
+      let c = Obs.counter "test.reset" in
+      Obs.incr c;
+      ignore (Obs.span "test.reset_span" (fun () -> 0));
+      check_bool "trace has events before reset" true
+        (String.length (Obs.trace_json ()) > 2);
+      Obs.reset ~keep_trace:true ();
+      check_int "reset zeroes the counter" 0 (Obs.counter_value c);
+      check_bool "keep_trace preserves the trace log" true
+        (String.length (Obs.trace_json ()) > 2);
+      check_bool "reset drops span summaries" true
+        (List.is_empty (Obs.span_summaries ()));
+      Obs.reset ();
+      check_bool "plain reset clears the trace" true
+        (String.equal (Obs.trace_json ()) "[]"
+         || String.length (Obs.trace_json ()) <= 3))
+
+let test_hit_rate () =
+  with_obs (fun () ->
+      let h = Obs.counter "test.hits" in
+      let m = Obs.counter "test.misses" in
+      check_bool "no events -> None" true
+        (Option.is_none
+           (Obs.report_hit_rate ~hits:"test.hits" ~misses:"test.misses"));
+      check_bool "unregistered -> None" true
+        (Option.is_none
+           (Obs.report_hit_rate ~hits:"test.nope" ~misses:"test.misses"));
+      Obs.add h 3;
+      Obs.add m 1;
+      match Obs.report_hit_rate ~hits:"test.hits" ~misses:"test.misses" with
+      | Some r -> check_bool "3/(3+1)" true (Float.abs (r -. 0.75) < 1e-9)
+      | None -> Alcotest.fail "expected Some rate")
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency: striped counters under Domain.spawn                    *)
+(* ------------------------------------------------------------------ *)
+
+let concurrent_sum_exact num_domains per_domain =
+  Obs.reset ();
+  Obs.set_enabled true;
+  let c = Obs.counter "test.concurrent" in
+  let workers =
+    List.init num_domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Obs.incr c
+            done))
+  in
+  List.iter Domain.join workers;
+  let v = Obs.counter_value c in
+  Obs.set_enabled false;
+  Obs.reset ();
+  v = num_domains * per_domain
+
+let obs_qcheck =
+  [
+    QCheck.Test.make
+      ~name:"concurrent increments from N domains sum exactly" ~count:25
+      QCheck.(pair (int_range 1 6) (int_range 0 400))
+      (fun (num_domains, per_domain) ->
+         concurrent_sum_exact num_domains per_domain);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Spans, nesting and the trace exporter                               *)
+(* ------------------------------------------------------------------ *)
+
+let span_count path =
+  match
+    List.find_opt
+      (fun (s : Obs.span_summary) -> String.equal s.Obs.s_path path)
+      (Obs.span_summaries ())
+  with
+  | Some s -> s.Obs.s_count
+  | None -> 0
+
+let test_span_nesting () =
+  with_obs (fun () ->
+      let r =
+        Obs.span "outer" (fun () ->
+            let a = Obs.span "inner" (fun () -> 20) in
+            let b = Obs.span "inner" (fun () -> 22) in
+            a + b)
+      in
+      check_int "span passes the result through" 42 r;
+      check_int "outer recorded once" 1 (span_count "outer");
+      check_int "nested path aggregates both calls" 2
+        (span_count "outer/inner");
+      check_int "no bare 'inner' path" 0 (span_count "inner"))
+
+let test_span_exception_safety () =
+  with_obs (fun () ->
+      (try
+         Obs.span "outer" (fun () ->
+             ignore
+               (Obs.span "boom" (fun () ->
+                    failwith "Test_obs.span_exception_safety: boom")))
+       with Failure _ -> ());
+      check_int "raising span still recorded" 1 (span_count "outer/boom");
+      check_int "parent recorded despite child raising" 1 (span_count "outer");
+      (* the nesting stack must have been unwound *)
+      ignore (Obs.span "after" (fun () -> ()));
+      check_int "stack unwound: no outer/after" 1 (span_count "after"))
+
+let test_trace_json_well_formed () =
+  with_obs ~tracing:true (fun () ->
+      ignore
+        (Obs.span "outer" ~attrs:[ ("k", "2"); ("graph", "C6") ] (fun () ->
+             Obs.span "inner" (fun () -> 7)));
+      let j = Obs.trace_json () in
+      check_bool "trace parses as JSON" true (Obs.json_parseable j);
+      check_bool "trace is an array" true
+        (String.length j >= 2 && j.[0] = '[');
+      let contains needle =
+        let n = String.length needle and h = String.length j in
+        let rec go i =
+          i + n <= h && (String.equal (String.sub j i n) needle || go (i + 1))
+        in
+        go 0
+      in
+      check_bool "complete-event phase present" true
+        (contains "\"ph\": \"X\"" || contains "\"ph\":\"X\"");
+      check_bool "attrs exported" true (contains "\"graph\""))
+
+let test_json_acceptor_rejects_garbage () =
+  check_bool "accepts object" true
+    (Obs.json_parseable "{\"a\": [1, 2.5e1, true, null, \"s\"]}");
+  check_bool "accepts empty array" true (Obs.json_parseable "[]");
+  List.iter
+    (fun s ->
+       check_bool (Printf.sprintf "rejects %S" s) false (Obs.json_parseable s))
+    [ ""; "{"; "[1,]"; "[] trailing"; "{\"a\": }"; "nul"; "\"unterminated" ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential: instrumentation must not perturb the engines          *)
+(* ------------------------------------------------------------------ *)
+
+let test_kwl_unperturbed_by_instrumentation () =
+  let pairs =
+    [ (Builders.cycle 6, Builders.two_triangles ());
+      (Builders.path 5, Builders.star 4) ]
+  in
+  List.iter
+    (fun (g1, g2) ->
+       Obs.reset ();
+       Obs.set_enabled false;
+       let p1, p2 = Kwl.run_pair 2 g1 g2 in
+       Obs.set_enabled true;
+       Obs.set_tracing true;
+       let q1, q2 = Kwl.run_pair 2 g1 g2 in
+       Obs.set_tracing false;
+       Obs.set_enabled false;
+       Obs.reset ();
+       let arr_eq = Wlcq_util.Ordering.equal_array Int.equal in
+       check_bool "colour buffers byte-identical (g1)" true
+         (arr_eq p1.Kwl.colours q1.Kwl.colours);
+       check_bool "colour buffers byte-identical (g2)" true
+         (arr_eq p2.Kwl.colours q2.Kwl.colours);
+       check_int "same colour count" p1.Kwl.num_colours q1.Kwl.num_colours;
+       check_int "same round count" p1.Kwl.rounds q1.Kwl.rounds)
+    pairs
+
+let test_engine_metrics_flow () =
+  (* end-to-end: a real Kwl run populates the registry and the table *)
+  with_obs ~tracing:true (fun () ->
+      ignore (Kwl.run 2 (Builders.path 4));
+      check_bool "kwl.rounds recorded" true
+        (match Obs.find_counter "kwl.rounds" with
+         | Some c -> Obs.counter_value c > 0
+         | None -> false);
+      check_bool "kwl.run span recorded" true (span_count "kwl.run" >= 1);
+      let table = Obs.metrics_table () in
+      check_bool "metrics table non-empty" true (String.length table > 0);
+      check_bool "trace from the run parses" true
+        (Obs.json_parseable (Obs.trace_json ())))
+
+let () =
+  Alcotest.run "wlcq_obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "disabled path records nothing" `Quick
+            test_disabled_is_noop;
+          Alcotest.test_case "distribution summary" `Quick
+            test_distribution_summary;
+          Alcotest.test_case "reset and keep_trace" `Quick
+            test_reset_semantics;
+          Alcotest.test_case "report_hit_rate" `Quick test_hit_rate;
+        ] );
+      ( "concurrency",
+        List.map (QCheck_alcotest.to_alcotest ~long:false) obs_qcheck );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting paths" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_safety;
+          Alcotest.test_case "trace JSON well-formed" `Quick
+            test_trace_json_well_formed;
+          Alcotest.test_case "JSON acceptor rejects garbage" `Quick
+            test_json_acceptor_rejects_garbage;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "Kwl unperturbed by instrumentation" `Quick
+            test_kwl_unperturbed_by_instrumentation;
+          Alcotest.test_case "engine metrics flow end-to-end" `Quick
+            test_engine_metrics_flow;
+        ] );
+    ]
