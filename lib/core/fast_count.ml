@@ -2,19 +2,36 @@ open Wlcq_graph
 module Bitset = Wlcq_util.Bitset
 module Bigint = Wlcq_util.Bigint
 module Combinat = Wlcq_util.Combinat
+module Count = Wlcq_util.Count
 module Tbl = Wlcq_util.Ordering.Int_list_tbl
+module Int_tbl = Wlcq_util.Ordering.Int_tbl
+module Arr_tbl = Wlcq_util.Ordering.Int_array_tbl
+module Dp_key = Wlcq_hom.Dp_key
 module Obs = Wlcq_obs.Obs
 
 let m_runs = Obs.counter "fast_count.runs"
 let m_entries = Obs.counter "fast_count.dp_entries"
 let m_memo_hits = Obs.counter "fast_count.memo_hits"
 let m_memo_misses = Obs.counter "fast_count.memo_misses"
+let m_packed_keys = Obs.counter "fast_count.packed_keys"
+let m_hashed_keys = Obs.counter "fast_count.hashed_keys"
+let m_small_values = Obs.counter "fast_count.int63_values"
+let m_big_values = Obs.counter "fast_count.bigint_promotions"
+let m_cand_total = Obs.counter "fast_count.candidates_total"
+let m_cand_pruned = Obs.counter "fast_count.candidates_pruned"
 
-(* A constraint over free-variable positions: a sorted scope and a
+(* A constraint over free-variable positions: a scope and a
    satisfaction check on the images of the scope (parallel arrays). *)
 type constraint_ = { scope : int list; holds : int array -> bool }
 
-let count_answers q g =
+(* ------------------------------------------------------------------ *)
+(* Reference engine: int-list keys, Bigint arithmetic, full            *)
+(* Combinat.iter_tuples bag enumeration, first-covering-bag constraint *)
+(* assignment.  Kept verbatim as the differential-testing oracle for   *)
+(* the packed engine below — do not optimise.                          *)
+(* ------------------------------------------------------------------ *)
+
+let count_answers_reference q g =
   let h = q.Cq.graph in
   let n = Graph.num_vertices g in
   let xs = Cq.free_vars q in
@@ -37,7 +54,7 @@ let count_answers q g =
   if not boolean_ok then Bigint.zero
   else if k = 0 then
     if Wlcq_hom.Brute.exists h g then Bigint.one else Bigint.zero
-  else Obs.span "fast_count.run" @@ fun () ->
+  else Obs.span "fast_count.run_reference" @@ fun () ->
     let on = Obs.enabled () in
     if on then Obs.incr m_runs;
     (* Predicate P_i for each attached component, memoised over the
@@ -202,3 +219,263 @@ let count_answers q g =
          if on then Obs.add m_entries (Tbl.length tables.(t)))
       !order;
     Tbl.fold (fun _ v acc -> Bigint.add acc v) tables.(0) Bigint.zero
+
+(* ------------------------------------------------------------------ *)
+(* Packed engine: Dp_key tables, Count arithmetic, per-position        *)
+(* candidate sets with constraint-scheduled backtracking instead of    *)
+(* full tuple enumeration, smallest-covering-bag constraint            *)
+(* assignment.  Sequential by design: the component predicate memos    *)
+(* are shared closures and not safe to call from worker domains.       *)
+(* ------------------------------------------------------------------ *)
+
+(* Target vertices of positive degree — a free variable with any
+   incident pattern edge can only map there. *)
+let target_support g =
+  let s = Bitset.create (Graph.num_vertices g) in
+  Graph.iter_edges g (fun u v ->
+      Bitset.set s u;
+      Bitset.set s v);
+  s
+
+let count_answers q g =
+  let h = q.Cq.graph in
+  let n = Graph.num_vertices g in
+  let xs = Cq.free_vars q in
+  let k = Array.length xs in
+  let pos_of = Int_tbl.create 8 in
+  Array.iteri (fun p x -> Int_tbl.replace pos_of x p) xs;
+  let components = Extension.quantified_components q in
+  let boolean_ok =
+    List.for_all
+      (fun (members, attached) ->
+         not (List.is_empty attached)
+         || begin
+           let sub, _ = Ops.induced h members in
+           Wlcq_hom.Brute.exists sub g
+         end)
+      components
+  in
+  if not boolean_ok then Bigint.zero
+  else if k = 0 then
+    if Wlcq_hom.Brute.exists h g then Bigint.one else Bigint.zero
+  else Obs.span "fast_count.run" @@ fun () ->
+    let on = Obs.enabled () in
+    if on then Obs.incr m_runs;
+    (* Predicate P_i per attached component, memoised on the images of
+       its attachment set (array-keyed, structural equality). *)
+    let component_constraints =
+      List.filter_map
+        (fun (members, attached) ->
+           if List.is_empty attached then None
+           else begin
+             let vertices = List.sort_uniq Int.compare (members @ attached) in
+             let sub, back = Ops.induced h vertices in
+             let sub_pos = Int_tbl.create 8 in
+             Array.iteri (fun i v -> Int_tbl.replace sub_pos v i) back;
+             let attach_sub = List.map (Int_tbl.find sub_pos) attached in
+             let memo : bool Arr_tbl.t = Arr_tbl.create 64 in
+             let holds images =
+               match Arr_tbl.find_opt memo images with
+               | Some b ->
+                 if on then Obs.incr m_memo_hits;
+                 b
+               | None ->
+                 if on then Obs.incr m_memo_misses;
+                 let pins =
+                   List.map2
+                     (fun sv img -> (sv, img))
+                     attach_sub (Array.to_list images)
+                 in
+                 let b = Wlcq_hom.Brute.exists ~pins sub g in
+                 Arr_tbl.replace memo (Array.copy images) b;
+                 b
+             in
+             Some { scope = List.map (Int_tbl.find pos_of) attached; holds }
+           end)
+        components
+    in
+    (* Edge constraints from H[X]; also collect the position pairs for
+       the arc-consistency sweep below. *)
+    let edge_constraints = ref [] in
+    let free_edges = ref [] in
+    Graph.iter_edges h (fun u v ->
+        match (Int_tbl.find_opt pos_of u, Int_tbl.find_opt pos_of v) with
+        | Some a, Some b ->
+          free_edges := (a, b) :: !free_edges;
+          edge_constraints :=
+            { scope = [ min a b; max a b ];
+              holds = (fun images -> Graph.adjacent g images.(0) images.(1)) }
+            :: !edge_constraints
+        | _ -> ());
+    let constraints = component_constraints @ !edge_constraints in
+    (* Per-position candidate sets: target support for positions with
+       incident pattern edges, filtered by unary component predicates,
+       then arc consistency over the H[X] edges.  Each step only
+       removes target vertices that cannot appear in any answer, so
+       restricting the bag enumeration below is sound. *)
+    let gsupport = target_support g in
+    let cand =
+      Array.init k (fun p ->
+          if Graph.degree h xs.(p) > 0 then Bitset.copy gsupport
+          else Bitset.full n)
+    in
+    List.iter
+      (fun c ->
+         match c.scope with
+         | [ p ] ->
+           let keep = Bitset.create n in
+           Bitset.iter (fun v -> if c.holds [| v |] then Bitset.set keep v)
+             cand.(p);
+           cand.(p) <- keep
+         | _ -> ())
+      component_constraints;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (a, b) ->
+           let refine a b =
+             let nb = ref (Bitset.create n) in
+             Bitset.iter
+               (fun w -> nb := Bitset.union !nb (Graph.neighbours g w))
+               cand.(b);
+             let next = Bitset.inter cand.(a) !nb in
+             if not (Bitset.equal next cand.(a)) then begin
+               cand.(a) <- next;
+               changed := true
+             end
+           in
+           refine a b;
+           refine b a)
+        !free_edges
+    done;
+    if on then begin
+      let kept = Array.fold_left (fun acc b -> acc + Bitset.cardinal b) 0 cand in
+      Obs.add m_cand_total (k * n);
+      Obs.add m_cand_pruned ((k * n) - kept)
+    end;
+    (* DP over a tree decomposition of the contract Γ(H,X)[X] (over
+       position space).  Each δ_i is a clique there and hence contained
+       in some bag; edges of H[X] likewise. *)
+    let contract = Extension.contract q in
+    let d = Wlcq_treewidth.Exact.optimal_decomposition contract in
+    let nodes = Graph.num_vertices d.Wlcq_treewidth.Decomposition.tree in
+    let bags = d.Wlcq_treewidth.Decomposition.bags in
+    let bag_list t = Bitset.to_list bags.(t) in
+    let inv = Array.make k (-1) in
+    let positions_in bag_arr sub =
+      Array.iteri (fun i p -> inv.(p) <- i) bag_arr;
+      let pos = Array.of_list (List.map (fun p -> inv.(p)) sub) in
+      Array.iter (fun p -> inv.(p) <- -1) bag_arr;
+      pos
+    in
+    (* Assign each constraint to the smallest bag covering its scope
+       (lowest node index on ties), so predicates are checked against
+       as few enumerated positions as possible. *)
+    let assigned = Array.make nodes [] in
+    List.iter
+      (fun c ->
+         let best = ref (-1) in
+         let best_card = ref max_int in
+         for t = 0 to nodes - 1 do
+           if
+             Bitset.cardinal bags.(t) < !best_card
+             && List.for_all (fun p -> Bitset.mem bags.(t) p) c.scope
+           then begin
+             best := t;
+             best_card := Bitset.cardinal bags.(t)
+           end
+         done;
+         if !best < 0 then
+           failwith
+             "Fast_count.count_answers: constraint scope not covered by any \
+              bag (decomposition bug)";
+         assigned.(!best) <-
+           (c, positions_in (Array.of_list (bag_list !best)) c.scope)
+           :: assigned.(!best))
+      constraints;
+    let rooted = Wlcq_treewidth.Decomposition.rooted d in
+    let codec = Dp_key.codec ~n in
+    let tables =
+      Array.init nodes (fun t ->
+          Dp_key.table codec ~arity:(Bitset.cardinal bags.(t)))
+    in
+    Array.iter
+      (fun t ->
+         let bag_arr = Array.of_list (bag_list t) in
+         let arity = Array.length bag_arr in
+         let grouped =
+           Array.to_list
+             (Array.map
+                (fun s ->
+                   let shared = Bitset.to_list (Bitset.inter bags.(t) bags.(s)) in
+                   let sbag_arr = Array.of_list (bag_list s) in
+                   let proj =
+                     Dp_key.project codec tables.(s)
+                       (positions_in sbag_arr shared)
+                   in
+                   (positions_in bag_arr shared, proj))
+                rooted.Wlcq_treewidth.Decomposition.children.(t))
+         in
+         (* Constraints fire as soon as the last position of their
+            scope is assigned, pruning the enumeration early. *)
+         let scheduled = Array.make (max 1 arity) [] in
+         List.iter
+           (fun (c, spos) ->
+              let last = Array.fold_left max 0 spos in
+              scheduled.(last) <- (c, spos) :: scheduled.(last))
+           assigned.(t);
+         let images = Array.make (max 1 arity) 0 in
+         let rec go i =
+           if i = arity then begin
+             let value = ref Count.one in
+             let ok = ref true in
+             List.iter
+               (fun (spos, proj) ->
+                  if !ok then begin
+                    let v = Dp_key.find codec proj images spos in
+                    if Count.is_zero v then ok := false
+                    else value := Count.mul !value v
+                  end)
+               grouped;
+             if !ok then
+               Dp_key.bump codec tables.(t)
+                 (if arity = 0 then [||] else images)
+                 !value
+           end
+           else
+             Bitset.iter
+               (fun v ->
+                  images.(i) <- v;
+                  if
+                    List.for_all
+                      (fun (c, spos) ->
+                         c.holds (Array.map (Array.get images) spos))
+                      scheduled.(i)
+                  then go (i + 1))
+               cand.(bag_arr.(i))
+         in
+         go 0;
+         (* projections are consumed only by this node's enumeration *)
+         List.iter (fun (_, proj) -> Dp_key.release proj) grouped)
+      rooted.Wlcq_treewidth.Decomposition.postorder;
+    if on then begin
+      Array.iter
+        (fun tbl ->
+           let len = Dp_key.length tbl in
+           Obs.add m_entries len;
+           if Dp_key.is_packed tbl then Obs.add m_packed_keys len
+           else Obs.add m_hashed_keys len;
+           Dp_key.iter_values
+             (fun v ->
+                if Count.is_small v then Obs.incr m_small_values
+                else Obs.incr m_big_values)
+             tbl)
+        tables
+    end;
+    let result =
+      Count.to_bigint
+        (Dp_key.total tables.(rooted.Wlcq_treewidth.Decomposition.root))
+    in
+    Array.iter Dp_key.release tables;
+    result

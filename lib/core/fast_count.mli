@@ -25,5 +25,17 @@
 open Wlcq_graph
 
 (** [count_answers q g] is [|Ans(q, g)|] as a {!Wlcq_util.Bigint}
-    (unlike enumeration, the DP can exceed native range). *)
+    (unlike enumeration, the DP can exceed native range).
+
+    Runs on packed-key tables ([Wlcq_hom.Dp_key]) with the
+    {!Wlcq_util.Count} int63 fast path; the bag enumeration is
+    restricted to per-position candidate sets (target support, unary
+    component predicates, arc consistency over the [H[X]] edges) with
+    constraints checked as soon as their scope is assigned, and each
+    constraint lives in the smallest bag covering its scope. *)
 val count_answers : Cq.t -> Graph.t -> Wlcq_util.Bigint.t
+
+(** The original engine (full tuple enumeration, first-covering-bag
+    constraint assignment), kept verbatim as a differential-testing
+    oracle. *)
+val count_answers_reference : Cq.t -> Graph.t -> Wlcq_util.Bigint.t

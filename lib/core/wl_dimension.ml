@@ -204,13 +204,14 @@ let answers_via_interpolation ?(max_system = 64) q g =
              n_hat max_system);
       (* |Hom(F_ℓ, G)| = Σ_{i=1}^{n̂} a_i · i^ℓ where a_i sums the
          answer classes whose extension set has size i, and
-         |Ans| = Σ_i a_i (proof of Lemma 22). *)
-      let rhs =
-        Array.init n_hat (fun i ->
-            let ell = i + 1 in
-            Wlcq_hom.Td_count.count (Extension.f_ell core ell).Extension.graph
-              g)
+         |Ans| = Σ_i a_i (proof of Lemma 22).  The extension family
+         F_1 ⊆ … ⊆ F_n̂ shares one decomposition and one candidate
+         structure through the batch entry point. *)
+      let patterns =
+        List.init n_hat (fun i ->
+            (Extension.f_ell core (i + 1)).Extension.graph)
       in
+      let rhs = Array.of_list (Wlcq_hom.Td_count.count_many patterns g) in
       let nodes = Array.init n_hat (fun i -> Bigint.of_int (i + 1)) in
       let coeffs = Wlcq_util.Linalg.vandermonde_solve nodes rhs in
       let total = Array.fold_left Rat.add Rat.zero coeffs in

@@ -1,0 +1,322 @@
+(* Flat sparse DP tables keyed by bag assignments.
+
+   A bag assignment is a map from the (sorted) vertices of a bag to
+   vertices of the target graph, represented positionally as an
+   [int array] of target vertices.  When every coordinate fits in
+   [bits = ceil(log2 n)] bits and [arity * bits <= 62], the whole
+   assignment packs little-endian into one immediate int — the same
+   base-n encoding the k-WL engine uses for tuples — and restriction
+   onto a subset of positions becomes shift-and-mask.  Larger bags fall
+   back to [int array] keys in a hashtable whose equality is structural
+   per element, so correctness never depends on the hash being
+   collision-free.
+
+   Packing is injective by construction (each coordinate gets its own
+   [bits]-wide field and target vertices are < 2^bits), so the packed
+   mode needs no collision check at all. *)
+
+module Count = Wlcq_util.Count
+module Bigint = Wlcq_util.Bigint
+module Int_tbl = Wlcq_util.Ordering.Int_tbl
+module Arr_tbl = Wlcq_util.Ordering.Int_array_tbl
+
+type codec = { bits : int; mask : int }
+
+let codec ~n =
+  let rec go b = if 1 lsl b >= max 2 n then b else go (b + 1) in
+  let bits = go 1 in
+  { bits; mask = (1 lsl bits) - 1 }
+
+let packs c ~arity = arity * c.bits <= 62
+
+let pack c img =
+  let key = ref 0 in
+  for i = Array.length img - 1 downto 0 do
+    key := (!key lsl c.bits) lor img.(i)
+  done;
+  !key
+
+let unpack c key ~arity dst =
+  let k = ref key in
+  for i = 0 to arity - 1 do
+    dst.(i) <- !k land c.mask;
+    k := !k lsr c.bits
+  done
+
+let restrict_packed c key pos =
+  let r = ref 0 in
+  for j = Array.length pos - 1 downto 0 do
+    r := (!r lsl c.bits) lor ((key lsr (c.bits * pos.(j))) land c.mask)
+  done;
+  !r
+
+(* Dense payload.  [data] is a flat *unboxed* int array indexed by the
+   packed key itself: 0 means absent, a positive value is the count on
+   the int63 fast path, and [promoted] (-1) marks a slot whose count
+   overflowed into the [big] side table.  Keeping the hot array free of
+   pointers means the GC never scans it, so the per-run allocation of a
+   full keyspace costs only a memset.  [keys] lists the occupied slots
+   (reverse insertion order) so iteration and projection cost
+   O(entries) rather than O(keyspace). *)
+type dense = {
+  data : int array;
+  (* lint: domain-local a table is built and consumed by one domain;
+     parallel DP workers own whole disjoint subtrees *)
+  mutable keys : int list;
+  (* lint: domain-local same ownership as [keys] *)
+  mutable big : Count.t Int_tbl.t option;
+}
+
+type table =
+  | Dense of dense
+  | Packed of Count.t Int_tbl.t
+  | Hashed of Count.t Arr_tbl.t
+
+(* Keyspaces up to 2^dense_bits entries are stored densely: bump and
+   find become single array accesses with no hashing at all. *)
+let dense_bits = 16
+
+let promoted = -1
+
+(* Dense keyspaces are recycled through a domain-local pool: a fresh
+   array is a major-heap allocation whose proportional GC slice work
+   dwarfs the DP itself on small instances, while a recycled one costs
+   only the O(entries) clearing done at {!release}.  Invariant: every
+   pooled array is all-zero.  Each domain owns its pool, so workers of
+   a parallel DP never contend; arrays released inside a short-lived
+   worker simply die with it. *)
+type pool = { free : int array list array; count : int array }
+
+let dense_pool : pool Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { free = Array.make (dense_bits + 1) []; count = Array.make (dense_bits + 1) 0 })
+
+let pool_cap = 32
+
+let alloc_data nbits =
+  let p = Domain.DLS.get dense_pool in
+  match p.free.(nbits) with
+  | x :: rest ->
+    p.free.(nbits) <- rest;
+    p.count.(nbits) <- p.count.(nbits) - 1;
+    x
+  | [] -> Array.make (1 lsl nbits) 0
+
+let create_packed c ~arity =
+  if arity * c.bits <= dense_bits then
+    Dense { data = alloc_data (arity * c.bits); keys = []; big = None }
+  else Packed (Int_tbl.create 64)
+
+let table c ~arity =
+  if packs c ~arity then create_packed c ~arity
+  else Hashed (Arr_tbl.create 64)
+
+let is_packed = function Dense _ | Packed _ -> true | Hashed _ -> false
+
+let length = function
+  | Dense d -> List.length d.keys
+  | Packed h -> Int_tbl.length h
+  | Hashed h -> Arr_tbl.length h
+
+let dense_big d =
+  match d.big with
+  | Some h -> h
+  | None ->
+    let h = Int_tbl.create 8 in
+    d.big <- Some h;
+    h
+
+let dense_get d key =
+  let cur = d.data.(key) in
+  if cur >= 0 then Count.Small cur
+  else
+    match Int_tbl.find_opt (dense_big d) key with
+    | Some v -> v
+    | None -> assert false (* promoted slots always have a big entry *)
+
+(* Adding zero is dropped up front so that [data.(key) = 0] means
+   exactly "never stored" — otherwise a stored zero would be
+   indistinguishable from an empty slot and [keys] could collect
+   duplicates.  Engines never bump zero anyway (zero factors prune the
+   emit path and projections skip absent entries).  The int fast path
+   mirrors [Count.add]'s overflow check: non-negative operands whose
+   sum wraps negative promote to the big side table. *)
+let bump_dense d key v =
+  if not (Count.is_zero v) then begin
+    let cur = d.data.(key) in
+    if cur = 0 then begin
+      d.keys <- key :: d.keys;
+      match v with
+      | Count.Small s -> d.data.(key) <- s
+      | Count.Big _ ->
+        d.data.(key) <- promoted;
+        Int_tbl.replace (dense_big d) key v
+    end
+    else if cur > 0 then begin
+      match v with
+      | Count.Small s ->
+        let sum = cur + s in
+        if sum >= 0 then d.data.(key) <- sum
+        else begin
+          d.data.(key) <- promoted;
+          Int_tbl.replace (dense_big d) key
+            (Count.Big (Bigint.add (Bigint.of_int cur) (Bigint.of_int s)))
+        end
+      | Count.Big _ ->
+        d.data.(key) <- promoted;
+        Int_tbl.replace (dense_big d) key (Count.add (Count.Small cur) v)
+    end
+    else begin
+      let h = dense_big d in
+      let old =
+        match Int_tbl.find_opt h key with Some v -> v | None -> assert false
+      in
+      Int_tbl.replace h key (Count.add old v)
+    end
+  end
+
+let bump_packed h key v =
+  match Int_tbl.find_opt h key with
+  | Some old -> Int_tbl.replace h key (Count.add old v)
+  | None -> Int_tbl.add h key v
+
+let bump_arr h key v =
+  match Arr_tbl.find_opt h key with
+  | Some old -> Arr_tbl.replace h key (Count.add old v)
+  | None -> Arr_tbl.add h (Array.copy key) v
+
+(* Add [v] under an already-packed [key]; only the packed-family
+   constructors can reach here. *)
+let bump_key tbl key v =
+  match tbl with
+  | Dense d -> bump_dense d key v
+  | Packed h -> bump_packed h key v
+  | Hashed _ -> invalid_arg "Dp_key.bump_key: hashed table has no packed keys"
+
+(* [images] may be a scratch array reused by the caller: the hashed
+   branch copies it before a fresh insert. *)
+let bump c tbl images v =
+  match tbl with
+  | Dense d -> bump_dense d (pack c images) v
+  | Packed h -> bump_packed h (pack c images) v
+  | Hashed h -> bump_arr h images v
+
+let find c tbl images pos =
+  match tbl with
+  | Dense d ->
+    let key = ref 0 in
+    for j = Array.length pos - 1 downto 0 do
+      key := (!key lsl c.bits) lor images.(pos.(j))
+    done;
+    let cur = d.data.(!key) in
+    if cur >= 0 then Count.Small cur else dense_get d !key
+  | Packed h ->
+    let key = ref 0 in
+    for j = Array.length pos - 1 downto 0 do
+      key := (!key lsl c.bits) lor images.(pos.(j))
+    done;
+    (match Int_tbl.find_opt h !key with Some v -> v | None -> Count.zero)
+  | Hashed h ->
+    let key = Array.map (fun p -> images.(p)) pos in
+    (match Arr_tbl.find_opt h key with Some v -> v | None -> Count.zero)
+
+(* Group a child table by restriction onto [pos] (positions within the
+   child's bag).  The headline optimisation: for a packed child this is
+   one shift-and-mask pass with no per-entry allocation.  A hashed
+   child's projection has smaller arity and may itself pack. *)
+let project c tbl pos =
+  let parity = Array.length pos in
+  match tbl with
+  | Dense src ->
+    let dst = create_packed c ~arity:parity in
+    List.iter
+      (fun key ->
+         bump_key dst (restrict_packed c key pos) (dense_get src key))
+      src.keys;
+    dst
+  | Packed src ->
+    let dst = create_packed c ~arity:parity in
+    Int_tbl.iter (fun key v -> bump_key dst (restrict_packed c key pos) v) src;
+    dst
+  | Hashed src ->
+    if packs c ~arity:parity then begin
+      let dst = create_packed c ~arity:parity in
+      Arr_tbl.iter
+        (fun key v ->
+           let r = ref 0 in
+           for j = parity - 1 downto 0 do
+             r := (!r lsl c.bits) lor key.(pos.(j))
+           done;
+           bump_key dst !r v)
+        src;
+      dst
+    end
+    else begin
+      let dst = Arr_tbl.create (max 16 (Arr_tbl.length src)) in
+      let scratch = Array.make parity 0 in
+      Arr_tbl.iter
+        (fun key v ->
+           for j = 0 to parity - 1 do
+             scratch.(j) <- key.(pos.(j))
+           done;
+           bump_arr dst scratch v)
+        src;
+      Hashed dst
+    end
+
+let iter_values f = function
+  | Dense d -> List.iter (fun key -> f (dense_get d key)) d.keys
+  | Packed h -> Int_tbl.iter (fun _ v -> f v) h
+  | Hashed h -> Arr_tbl.iter (fun _ v -> f v) h
+
+(* Decode each key into [scratch] (length >= arity) before calling [f];
+   [f] must not retain [scratch]. *)
+let iter_decoded c tbl ~arity scratch f =
+  match tbl with
+  | Dense d ->
+    List.iter
+      (fun key ->
+         unpack c key ~arity scratch;
+         f scratch (dense_get d key))
+      d.keys
+  | Packed h ->
+    Int_tbl.iter
+      (fun key v ->
+         unpack c key ~arity scratch;
+         f scratch v)
+      h
+  | Hashed h ->
+    Arr_tbl.iter
+      (fun key v ->
+         Array.blit key 0 scratch 0 arity;
+         f scratch v)
+      h
+
+let total tbl =
+  let acc = ref Count.zero in
+  iter_values (fun v -> acc := Count.add !acc v) tbl;
+  !acc
+
+(* Zero the occupied slots (restoring the pool invariant) and hand the
+   backing array to the current domain's pool.  The table must not be
+   used afterwards; releasing the same table twice would alias two
+   future tables onto one array. *)
+let release = function
+  | Dense d ->
+    List.iter (fun k -> d.data.(k) <- 0) d.keys;
+    d.keys <- [];
+    d.big <- None;
+    let len = Array.length d.data in
+    let nbits =
+      let b = ref 0 in
+      while 1 lsl !b < len do
+        incr b
+      done;
+      !b
+    in
+    let p = Domain.DLS.get dense_pool in
+    if p.count.(nbits) < pool_cap then begin
+      p.free.(nbits) <- d.data :: p.free.(nbits);
+      p.count.(nbits) <- p.count.(nbits) + 1
+    end
+  | Packed _ | Hashed _ -> ()

@@ -2,21 +2,30 @@ open Wlcq_graph
 open Wlcq_treewidth
 module Bitset = Wlcq_util.Bitset
 module Bigint = Wlcq_util.Bigint
+module Count = Wlcq_util.Count
 module Tbl = Wlcq_util.Ordering.Int_list_tbl
 module Obs = Wlcq_obs.Obs
 
 let m_runs = Obs.counter "nice_count.runs"
 let m_entries = Obs.counter "nice_count.dp_entries"
 let d_bag = Obs.distribution "nice_count.bag_size"
+let m_packed_keys = Obs.counter "nice_count.packed_keys"
+let m_hashed_keys = Obs.counter "nice_count.hashed_keys"
 
 (* Tables map the images of the bag vertices (in increasing H-vertex
    order) to the number of homomorphisms of the subtree's part of H
    extending them. *)
 
-let count_with_nice nd h g =
+(* ------------------------------------------------------------------ *)
+(* Reference engine: int-list keys, full Bigint arithmetic.            *)
+(* Kept verbatim as the differential-testing oracle for the packed     *)
+(* engine below — do not optimise.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let count_with_nice_reference nd h g =
   if not (Nice.is_valid_for nd h) then
-    invalid_arg "Nice_count.count_with_nice: decomposition does not match the pattern";
-  Obs.span "nice_count.run" @@ fun () ->
+    invalid_arg "Nice_count.count_with_nice_reference: decomposition does not match the pattern";
+  Obs.span "nice_count.run_reference" @@ fun () ->
   let on = Obs.enabled () in
   if on then Obs.incr m_runs;
   let ng = Graph.num_vertices g in
@@ -106,6 +115,101 @@ let count_with_nice nd h g =
     nd.Nice.nodes;
   Option.value ~default:Bigint.zero
     (Tbl.find_opt tables.(nd.Nice.root) [])
+
+let count_reference h g =
+  let d = Exact.optimal_decomposition h in
+  let nd = Nice.of_decomposition d ~universe:(Graph.num_vertices h) in
+  count_with_nice_reference nd h g
+
+(* ------------------------------------------------------------------ *)
+(* Packed engine.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let index_of v lst =
+  let rec go j = function
+    | [] -> invalid_arg "Nice_count.index_of: vertex not in bag"
+    | x :: rest -> if x = v then j else go (j + 1) rest
+  in
+  go 0 lst
+
+let count_with_nice nd h g =
+  if not (Nice.is_valid_for nd h) then
+    invalid_arg "Nice_count.count_with_nice: decomposition does not match the pattern";
+  Obs.span "nice_count.run" @@ fun () ->
+  let on = Obs.enabled () in
+  if on then Obs.incr m_runs;
+  let ng = Graph.num_vertices g in
+  let c = Dp_key.codec ~n:ng in
+  let nnodes = Nice.num_nodes nd in
+  let tables =
+    Array.init nnodes (fun i ->
+        Dp_key.table c ~arity:(Bitset.cardinal nd.Nice.bags.(i)))
+  in
+  Array.iteri
+    (fun i node ->
+       let arity = Bitset.cardinal nd.Nice.bags.(i) in
+       let table = tables.(i) in
+       (match node with
+        | Nice.Leaf -> Dp_key.bump c table [||] Count.one
+        | Nice.Introduce (v, ci) ->
+          let bag = Bitset.to_list nd.Nice.bags.(i) in
+          let vpos = index_of v bag in
+          (* key positions (in this bag) of the in-bag neighbours of v *)
+          let constrained =
+            let rec go j = function
+              | [] -> []
+              | u :: rest ->
+                if u <> v && Graph.adjacent h u v then j :: go (j + 1) rest
+                else go (j + 1) rest
+            in
+            go 0 bag
+          in
+          let carity = arity - 1 in
+          let cscratch = Array.make (max 1 carity) 0 in
+          let key = Array.make arity 0 in
+          Dp_key.iter_decoded c tables.(ci) ~arity:carity cscratch
+            (fun ckey cnt ->
+               Array.blit ckey 0 key 0 vpos;
+               Array.blit ckey vpos key (vpos + 1) (carity - vpos);
+               for w = 0 to ng - 1 do
+                 key.(vpos) <- w;
+                 if
+                   List.for_all
+                     (fun p -> Graph.adjacent g key.(p) w)
+                     constrained
+                 then Dp_key.bump c table key cnt
+               done)
+        | Nice.Forget (v, ci) ->
+          let cbag = Bitset.to_list nd.Nice.bags.(ci) in
+          let vpos = index_of v cbag in
+          let carity = arity + 1 in
+          let cscratch = Array.make carity 0 in
+          let key = Array.make (max 1 arity) 0 in
+          Dp_key.iter_decoded c tables.(ci) ~arity:carity cscratch
+            (fun ckey cnt ->
+               Array.blit ckey 0 key 0 vpos;
+               Array.blit ckey (vpos + 1) key vpos (arity - vpos);
+               Dp_key.bump c table
+                 (if arity = 0 then [||] else key)
+                 cnt)
+        | Nice.Join (c1, c2) ->
+          let idpos = Array.init arity (fun j -> j) in
+          let scratch = Array.make (max 1 arity) 0 in
+          Dp_key.iter_decoded c tables.(c1) ~arity scratch (fun key cnt1 ->
+              let cnt2 = Dp_key.find c tables.(c2) key idpos in
+              if not (Count.is_zero cnt2) then
+                Dp_key.bump c table key (Count.mul cnt1 cnt2)));
+       if on then begin
+         let len = Dp_key.length table in
+         Obs.add m_entries len;
+         Obs.observe d_bag arity;
+         if Dp_key.is_packed table then Obs.add m_packed_keys len
+         else Obs.add m_hashed_keys len
+       end)
+    nd.Nice.nodes;
+  let result = Count.to_bigint (Dp_key.total tables.(nd.Nice.root)) in
+  Array.iter Dp_key.release tables;
+  result
 
 let count h g =
   let d = Exact.optimal_decomposition h in

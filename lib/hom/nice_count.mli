@@ -9,11 +9,21 @@
 
 open Wlcq_graph
 
-(** [count h g] is [|Hom(h, g)|]. *)
+(** [count h g] is [|Hom(h, g)|].  Runs on packed-key tables
+    ({!Dp_key}) with the {!Wlcq_util.Count} int63 fast path. *)
 val count : Graph.t -> Graph.t -> Wlcq_util.Bigint.t
 
 (** [count_with_nice nd h g] uses the supplied nice decomposition
     (must be valid for [h]).
     @raise Invalid_argument otherwise. *)
 val count_with_nice :
+  Wlcq_treewidth.Nice.t -> Graph.t -> Graph.t -> Wlcq_util.Bigint.t
+
+(** The original int-list/Bigint engine, kept verbatim as a
+    differential-testing oracle. *)
+val count_reference : Graph.t -> Graph.t -> Wlcq_util.Bigint.t
+
+(** Oracle variant of {!count_with_nice}.
+    @raise Invalid_argument when [nd] is not valid for [h]. *)
+val count_with_nice_reference :
   Wlcq_treewidth.Nice.t -> Graph.t -> Graph.t -> Wlcq_util.Bigint.t

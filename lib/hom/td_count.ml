@@ -2,12 +2,23 @@ open Wlcq_graph
 open Wlcq_treewidth
 module Bitset = Wlcq_util.Bitset
 module Bigint = Wlcq_util.Bigint
+module Count = Wlcq_util.Count
 module Tbl = Wlcq_util.Ordering.Int_list_tbl
 module Obs = Wlcq_obs.Obs
 
 let m_runs = Obs.counter "td_count.runs"
 let m_entries = Obs.counter "td_count.dp_entries"
 let d_bag = Obs.distribution "td_count.bag_size"
+let m_packed_keys = Obs.counter "td_count.packed_keys"
+let m_hashed_keys = Obs.counter "td_count.hashed_keys"
+let m_small_values = Obs.counter "td_count.int63_values"
+let m_big_values = Obs.counter "td_count.bigint_promotions"
+let m_cand_total = Obs.counter "td_count.candidates_total"
+let m_cand_pruned = Obs.counter "td_count.candidates_pruned"
+let m_seq_runs = Obs.counter "td_count.seq_runs"
+let m_par_runs = Obs.counter "td_count.par_runs"
+let m_batch_runs = Obs.counter "td_count.batch_runs"
+let m_decomp_shared = Obs.counter "td_count.decomp_shared"
 
 (* The table at a decomposition node t maps each partial homomorphism
    φ : B_t → V(G) (a hom of H[B_t]) to the number of homomorphisms of
@@ -17,13 +28,19 @@ let d_bag = Obs.distribution "td_count.bag_size"
    to two children's subtrees lies in B_t by (T2), so the product over
    children counts every subtree vertex exactly once. *)
 
-let count_with_decomposition d h g =
+(* ------------------------------------------------------------------ *)
+(* Reference engine: int-list keys, full Bigint arithmetic.            *)
+(* Kept verbatim as the differential-testing oracle for the packed     *)
+(* engine below (mirroring Kwl.run_reference) — do not optimise.       *)
+(* ------------------------------------------------------------------ *)
+
+let count_with_decomposition_reference ?candidates d h g =
   if not (Decomposition.is_valid_for d h) then
-    invalid_arg "Td_count.count_with_decomposition: decomposition does not match the pattern";
+    invalid_arg "Td_count.count_with_decomposition_reference: decomposition does not match the pattern";
   let nodes = Graph.num_vertices d.Decomposition.tree in
   if Graph.num_vertices h = 0 then Bigint.one
   else if Graph.num_vertices g = 0 then Bigint.zero
-  else Obs.span "td_count.run" @@ fun () ->
+  else Obs.span "td_count.run_reference" @@ fun () ->
     let on = Obs.enabled () in
     if on then Obs.incr m_runs;
     (* Root the decomposition tree at node 0 and compute a post-order. *)
@@ -103,8 +120,11 @@ let count_with_decomposition d h g =
             pruned backtracking of Brute on the induced subgraph; the
             hom array is parallel to [bag_arr] because [Ops.induced]
             keeps the ascending vertex order. *)
-         let sub, _back = Ops.induced h bag in
-         Brute.iter sub g (fun m ->
+         let sub, back = Ops.induced h bag in
+         let sub_candidates =
+           Option.map (fun c i -> c back.(i)) candidates
+         in
+         Brute.iter ?candidates:sub_candidates sub g (fun m ->
              let value =
                List.fold_left
                  (fun acc (spos, proj) ->
@@ -132,5 +152,382 @@ let count_with_decomposition d h g =
       postorder;
     Tbl.fold (fun _ v acc -> Bigint.add acc v) tables.(0) Bigint.zero
 
-let count h g =
-  count_with_decomposition (Exact.optimal_decomposition h) h g
+let count_reference ?candidates h g =
+  count_with_decomposition_reference ?candidates
+    (Exact.optimal_decomposition h) h g
+
+(* ------------------------------------------------------------------ *)
+(* Candidate pruning.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Target vertices of positive degree: a pattern vertex with an
+   incident edge can only map there.  Shared across a count_many batch
+   as the common candidate structure. *)
+let support g =
+  let s = Bitset.create (Graph.num_vertices g) in
+  Graph.iter_edges g (fun u v ->
+      Bitset.set s u;
+      Bitset.set s v);
+  s
+
+(* Per-pattern-vertex candidate sets: the caller-supplied restriction
+   (full sets by default), intersected with [seed] for vertices of
+   positive degree, then refined by arc consistency over the pattern
+   edges to a fixpoint: C_u ← C_u ∩ N_g(C_u') for every pattern edge
+   (u, u').  Sound for homomorphism counting — only target vertices
+   that cannot appear in any (restricted) homomorphism are removed.
+   Degree- or cardinality-based filters stronger than this are NOT
+   sound for homs (a hom need not be injective), so none are used. *)
+let arc_consistent ?candidates ?seed h g =
+  let n = Graph.num_vertices h in
+  let ng = Graph.num_vertices g in
+  let init u =
+    let base =
+      match candidates with None -> Bitset.full ng | Some c -> c u
+    in
+    match seed with
+    | Some s when Graph.degree h u > 0 -> Bitset.inter base s
+    | _ -> base
+  in
+  let cand = Array.init n init in
+  let edges = Graph.edges h in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (u, v) ->
+         let refine a b =
+           let nb = ref (Bitset.create ng) in
+           Bitset.iter
+             (fun w -> nb := Bitset.union !nb (Graph.neighbours g w))
+             cand.(b);
+           let next = Bitset.inter cand.(a) !nb in
+           if not (Bitset.equal next cand.(a)) then begin
+             cand.(a) <- next;
+             changed := true
+           end
+         in
+         refine u v;
+         refine v u)
+      edges
+  done;
+  if Obs.enabled () then begin
+    let kept = Array.fold_left (fun a b -> a + Bitset.cardinal b) 0 cand in
+    Obs.add m_cand_total (n * ng);
+    Obs.add m_cand_pruned ((n * ng) - kept)
+  end;
+  cand
+
+(* ------------------------------------------------------------------ *)
+(* Packed engine.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Work-size threshold below which the DP stays sequential, mirroring
+   Kwl.parallel_threshold: 0 forces parallel fan-out, max_int forces
+   sequential (the differential tests compare both paths byte for
+   byte). *)
+(* lint: domain-local written by the test harness / benchmarks before a
+   run and read once per run by the driver domain before any worker is
+   spawned; worker domains never touch it. *)
+let parallel_threshold = ref (1 lsl 15)
+
+(* Saturating Σ_t n^|bag_t|, capped at 2^30 — only compared against the
+   threshold, so saturation is harmless. *)
+let work_estimate bags ng =
+  let cap = 1 lsl 30 in
+  let base = max 2 ng in
+  let acc = ref 0 in
+  Array.iter
+    (fun b ->
+       let w = ref 1 in
+       for _ = 1 to Bitset.cardinal b do
+         if !w > cap / base then w := cap else w := !w * base
+       done;
+       acc := min cap (!acc + !w))
+    bags;
+  !acc
+
+(* The DP proper, over precomputed candidate sets.  Each node's table
+   depends only on its subtree, so disjoint subtrees of the root are
+   independent: workers process whole subtrees (strided over the root's
+   children), touching only tables of their own subtree, and the driver
+   processes the root after joining.  Determinism: a node's table is
+   produced by the same sequence of operations whichever domain runs
+   it, so results (and even hashtable iteration orders) are identical
+   to the sequential run. *)
+let run_packed d h g cand =
+  let nodes = Graph.num_vertices d.Decomposition.tree in
+  let nh = Graph.num_vertices h in
+  let ng = Graph.num_vertices g in
+  let bags = d.Decomposition.bags in
+  let rooted = Decomposition.rooted d in
+  let root = rooted.Decomposition.root in
+  let parent = rooted.Decomposition.parent in
+  let postorder = rooted.Decomposition.postorder in
+  let c = Dp_key.codec ~n:ng in
+  let tables =
+    Array.init nodes (fun t -> Dp_key.table c ~arity:(Bitset.cardinal bags.(t)))
+  in
+  (* flattened adjacency of the target graph, shared read-only by all
+     nodes (and domains): edge-constrained positions enumerate the
+     neighbour array of an already-placed endpoint with membership
+     tests — no per-extension set allocation *)
+  let adj =
+    Array.init ng (fun v -> Array.of_list (Bitset.to_list (Graph.neighbours g v)))
+  in
+  let process_node t =
+    let bag = Bitset.to_list bags.(t) in
+    let bag_arr = Array.of_list bag in
+    let arity = Array.length bag_arr in
+    let inv = Array.make nh (-1) in
+    let positions_in arr sub =
+      Array.iteri (fun i v -> inv.(v) <- i) arr;
+      let pos = Array.of_list (List.map (fun v -> inv.(v)) sub) in
+      Array.iter (fun v -> inv.(v) <- -1) arr;
+      pos
+    in
+    let grouped =
+      Array.map
+        (fun s ->
+           let shared = Bitset.to_list (Bitset.inter bags.(t) bags.(s)) in
+           let sbag_arr = Array.of_list (Bitset.to_list bags.(s)) in
+           let spos_child = positions_in sbag_arr shared in
+           let proj = Dp_key.project c tables.(s) spos_child in
+           (positions_in bag_arr shared, proj))
+        rooted.Decomposition.children.(t)
+    in
+    let ngroups = Array.length grouped in
+    (* intra-bag pattern edges as position pairs: edges_at.(i) lists the
+       earlier positions j < i with {bag_arr.(j), bag_arr.(i)} ∈ E(h),
+       checked the moment position i is assigned *)
+    let edges_at =
+      Array.init arity (fun i ->
+          let u = bag_arr.(i) in
+          let js = ref [] in
+          for j = i - 1 downto 0 do
+            if Graph.adjacent h bag_arr.(j) u then js := j :: !js
+          done;
+          Array.of_list !js)
+    in
+    (* flatten each position's candidate set once; unconstrained
+       positions then iterate a plain int array, while edge-constrained
+       positions iterate candidates ∩ neighbours of the already-placed
+       endpoints — O(deg) instead of O(n) per extension *)
+    let cand_arrs =
+      Array.map (fun u -> Array.of_list (Bitset.to_list cand.(u))) bag_arr
+    in
+    let images = Array.make (max 1 arity) 0 in
+    let value = ref Count.one in
+    let ok = ref true in
+    let emit () =
+      value := Count.one;
+      ok := true;
+      for gi = 0 to ngroups - 1 do
+        if !ok then begin
+          let spos, proj = grouped.(gi) in
+          let v = Dp_key.find c proj images spos in
+          if Count.is_zero v then ok := false
+          else value := Count.mul !value v
+        end
+      done;
+      if !ok then Dp_key.bump c tables.(t) images !value
+    in
+    let rec go i =
+      if i = arity then emit ()
+      else begin
+        let es = edges_at.(i) in
+        if Array.length es = 0 then begin
+          let ca = cand_arrs.(i) in
+          for k = 0 to Array.length ca - 1 do
+            images.(i) <- ca.(k);
+            go (i + 1)
+          done
+        end
+        else begin
+          let cs = cand.(bag_arr.(i)) in
+          let pivot = adj.(images.(es.(0))) in
+          let ne = Array.length es in
+          for k = 0 to Array.length pivot - 1 do
+            let w = pivot.(k) in
+            if Bitset.mem cs w then begin
+              let okw = ref true in
+              let j = ref 1 in
+              while !okw && !j < ne do
+                if not (Graph.adjacent g images.(es.(!j)) w) then okw := false;
+                incr j
+              done;
+              if !okw then begin
+                images.(i) <- w;
+                go (i + 1)
+              end
+            end
+          done
+        end
+      end
+    in
+    go 0;
+    (* projections are consumed only by this node's emits *)
+    Array.iter (fun (_, proj) -> Dp_key.release proj) grouped
+  in
+  let kids = rooted.Decomposition.children.(root) in
+  let requested = Domain.recommended_domain_count () in
+  let threshold = !parallel_threshold in
+  let nd =
+    if requested <= 1 || Array.length kids <= 1 then 1
+    else if threshold = 0 then min requested (Array.length kids)
+    else if work_estimate bags ng < threshold then 1
+    else min requested (Array.length kids)
+  in
+  let on = Obs.enabled () in
+  if nd <= 1 then begin
+    if on then Obs.incr m_seq_runs;
+    Array.iter process_node postorder
+  end
+  else begin
+    if on then Obs.incr m_par_runs;
+    (* kid_slot.(t): index (within kids) of the root child whose
+       subtree contains t; worker w owns slots congruent to w mod nd. *)
+    let kid_slot = Array.make nodes (-1) in
+    Array.iteri (fun i k -> kid_slot.(k) <- i) kids;
+    for i = nodes - 1 downto 0 do
+      (* reverse postorder = BFS order: parents before children *)
+      let t = postorder.(i) in
+      let p = parent.(t) in
+      if p >= 0 && p <> root then kid_slot.(t) <- kid_slot.(p)
+    done;
+    let process_stride w =
+      Array.iter
+        (fun t -> if t <> root && kid_slot.(t) mod nd = w then process_node t)
+        postorder
+    in
+    let workers =
+      List.init (nd - 1) (fun j -> Domain.spawn (fun () -> process_stride (j + 1)))
+    in
+    process_stride 0;
+    List.iter Domain.join workers;
+    process_node root
+  end;
+  if on then begin
+    Array.iteri
+      (fun t tbl ->
+         let len = Dp_key.length tbl in
+         Obs.add m_entries len;
+         Obs.observe d_bag (Bitset.cardinal bags.(t));
+         if Dp_key.is_packed tbl then Obs.add m_packed_keys len
+         else Obs.add m_hashed_keys len;
+         Dp_key.iter_values
+           (fun v ->
+              if Count.is_small v then Obs.incr m_small_values
+              else Obs.incr m_big_values)
+           tbl)
+      tables
+  end;
+  let result = Count.to_bigint (Dp_key.total tables.(root)) in
+  Array.iter Dp_key.release tables;
+  result
+
+let count_with_decomposition ?candidates d h g =
+  if not (Decomposition.is_valid_for d h) then
+    invalid_arg "Td_count.count_with_decomposition: decomposition does not match the pattern";
+  if Graph.num_vertices h = 0 then Bigint.one
+  else if Graph.num_vertices g = 0 then Bigint.zero
+  else Obs.span "td_count.run" @@ fun () ->
+    if Obs.enabled () then Obs.incr m_runs;
+    let cand = arc_consistent ?candidates ~seed:(support g) h g in
+    run_packed d h g cand
+
+let count ?candidates h g =
+  count_with_decomposition ?candidates (Exact.optimal_decomposition h) h g
+
+(* ------------------------------------------------------------------ *)
+(* Batch API.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Is [h] the subgraph of [hmax] induced on its first [num_vertices h]
+   vertices?  The extension family F_1 ⊆ F_2 ⊆ … of Lemma 22 is laid
+   out exactly like this (free variables first, then one block of
+   quantified copies per ℓ), which is what makes sharing the largest
+   pattern's decomposition sound. *)
+let is_prefix_induced h hmax =
+  let n = Graph.num_vertices h in
+  n <= Graph.num_vertices hmax
+  && begin
+    let ok = ref true in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if not (Bool.equal (Graph.adjacent h u v) (Graph.adjacent hmax u v))
+        then ok := false
+      done
+    done;
+    !ok
+  end
+
+(* Restrict a decomposition of [hmax] to the prefix [0, n_i): same
+   tree, bags intersected with the prefix.  For a prefix-induced
+   pattern this preserves (T1) (every prefix vertex was covered), (T3)
+   (every prefix edge is an hmax edge, so some bag contained it) and
+   (T2) (subtree connectivity survives dropping vertices).  The raw
+   restriction drags hmax's whole tree along — mostly emptied bags for
+   a small prefix — so it is compacted before the DP runs over it. *)
+let restrict_decomposition d n_i =
+  let bags =
+    Array.map
+      (fun b ->
+         let nb = Bitset.create n_i in
+         Bitset.iter (fun v -> if v < n_i then Bitset.set nb v) b;
+         nb)
+      d.Decomposition.bags
+  in
+  Decomposition.compact { Decomposition.tree = d.Decomposition.tree; bags }
+
+let count_many ?candidates hs g =
+  match hs with
+  | [] -> []
+  | h0 :: rest ->
+    Obs.span "td_count.count_many" @@ fun () ->
+      let on = Obs.enabled () in
+      if on then Obs.incr m_batch_runs;
+      let hmax =
+        List.fold_left
+          (fun a h ->
+             if Graph.num_vertices h > Graph.num_vertices a then h else a)
+          h0 rest
+      in
+      let n_max = Graph.num_vertices hmax in
+      let d_max =
+        if n_max = 0 then Decomposition.singleton hmax
+        else Exact.optimal_decomposition hmax
+      in
+      (* one candidate structure for the whole batch: the target's
+         support seeds every pattern's arc consistency *)
+      let seed = support g in
+      let ng = Graph.num_vertices g in
+      List.map
+        (fun h ->
+           let n_i = Graph.num_vertices h in
+           if n_i = 0 then Bigint.one
+           else if ng = 0 then Bigint.zero
+           else begin
+             let d =
+               (* a size-n_max "prefix" is full adjacency equality with
+                  hmax — same vertex count alone is not enough *)
+               if not (is_prefix_induced h hmax) then
+                 Exact.optimal_decomposition h
+               else if n_i = n_max then begin
+                 if on then Obs.incr m_decomp_shared;
+                 d_max
+               end
+               else begin
+                 let d' = restrict_decomposition d_max n_i in
+                 if Decomposition.is_valid_for d' h then begin
+                   if on then Obs.incr m_decomp_shared;
+                   d'
+                 end
+                 else Exact.optimal_decomposition h
+               end
+             in
+             if on then Obs.incr m_runs;
+             let cand = arc_consistent ?candidates ~seed h g in
+             run_packed d h g cand
+           end)
+        hs

@@ -9,6 +9,19 @@
     [F_ℓ] have treewidth at most [ew(H,X)] (Lemma 16), so each count is
     produced by this module in polynomial time for fixed width.
 
+    Two engines are provided.  The default one runs on flat sparse
+    tables keyed by packed bag assignments ({!Dp_key}), with an
+    int63-with-overflow-promotion arithmetic fast path
+    ({!Wlcq_util.Count}), arc-consistency candidate pruning, and
+    parallel processing of independent decomposition subtrees
+    ({!parallel_threshold}).  The original int-list/Bigint engine
+    survives as [count_reference]/[count_with_decomposition_reference]
+    — the differential-testing oracle, mirroring [Kwl.run_reference].
+
+    All entry points accept [?candidates] restricting the image of each
+    pattern vertex (colour-prescribed homomorphisms, Definition 48);
+    pins are the singleton special case.
+
     Counts are returned as {!Wlcq_util.Bigint} values: unlike
     enumeration, the DP multiplies sub-counts and can exceed the native
     integer range. *)
@@ -16,12 +29,44 @@
 open Wlcq_graph
 
 (** [count h g] is [|Hom(h, g)|], computed over an optimal tree
-    decomposition of [h]. *)
-val count : Graph.t -> Graph.t -> Wlcq_util.Bigint.t
+    decomposition of [h] (memoised in {!Wlcq_treewidth.Exact}). *)
+val count :
+  ?candidates:(int -> Wlcq_util.Bitset.t) ->
+  Graph.t -> Graph.t -> Wlcq_util.Bigint.t
 
 (** [count_with_decomposition d h g] uses the supplied decomposition
     (which must be valid for [h]).
     @raise Invalid_argument when [d] is not valid for [h]. *)
 val count_with_decomposition :
+  ?candidates:(int -> Wlcq_util.Bitset.t) ->
+  Wlcq_treewidth.Decomposition.t -> Graph.t -> Graph.t ->
+  Wlcq_util.Bigint.t
+
+(** [count_many hs g] is [List.map (fun h -> count h g) hs], but
+    sharing one decomposition across patterns whenever a pattern is the
+    induced prefix of the largest one (the Lemma 22 extension family
+    F_1 ⊆ … ⊆ F_L is laid out like that) and one candidate seed
+    structure for the whole batch — the batch entry point of the
+    interpolation pipeline ([Wl_dimension], [Certificate]). *)
+val count_many :
+  ?candidates:(int -> Wlcq_util.Bitset.t) ->
+  Graph.t list -> Graph.t -> Wlcq_util.Bigint.t list
+
+(** Work-size threshold below which the DP stays sequential (same
+    contract as [Kwl.parallel_threshold]: [0] forces parallel fan-out,
+    [max_int] forces sequential).  Test/benchmark hook; set it before a
+    run from the driver domain only. *)
+val parallel_threshold : int ref
+
+(** The original engine, kept verbatim as a differential-testing
+    oracle. *)
+val count_reference :
+  ?candidates:(int -> Wlcq_util.Bitset.t) ->
+  Graph.t -> Graph.t -> Wlcq_util.Bigint.t
+
+(** Oracle variant of {!count_with_decomposition}.
+    @raise Invalid_argument when [d] is not valid for [h]. *)
+val count_with_decomposition_reference :
+  ?candidates:(int -> Wlcq_util.Bitset.t) ->
   Wlcq_treewidth.Decomposition.t -> Graph.t -> Graph.t ->
   Wlcq_util.Bigint.t

@@ -29,5 +29,32 @@ val is_valid_for : t -> Graph.t -> bool
     all of [V(h)]. *)
 val singleton : Graph.t -> t
 
+(** [compact d] contracts every tree edge [(u, v)] whose bag [B_u] is
+    contained in [B_v] until none remains, reindexing the surviving
+    nodes.  Contraction of such an edge preserves (T1)–(T3), so the
+    result decomposes the same graphs [d] does, with the same or
+    smaller width and at most as many nodes.  Used to shrink restricted
+    shared decompositions back to the small pattern's scale. *)
+val compact : t -> t
+
+(** A decomposition tree rooted for bottom-up dynamic programming. *)
+type rooted = {
+  root : int;
+  parent : int array;  (** [parent.(root) = -1] *)
+  postorder : int array;
+      (** every node appears after all of its children; the root is
+          last *)
+  children : int array array;  (** ascending node order *)
+}
+
+(** [rooted ?root d] roots the decomposition tree at [root] (default
+    node [0]) and returns parent links, a postorder, and per-node child
+    lists.  Deterministic: the same decomposition always yields the
+    same arrays.
+    @raise Invalid_argument
+      on an empty or disconnected decomposition, or an out-of-range
+      root. *)
+val rooted : ?root:int -> t -> rooted
+
 (** [pp] prints bags and tree edges. *)
 val pp : Format.formatter -> t -> unit

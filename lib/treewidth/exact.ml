@@ -138,9 +138,43 @@ let solve g =
 let treewidth g = fst (solve g)
 let optimal_order g = snd (solve g)
 
+module Graph_tbl = Hashtbl.Make (struct
+    type t = Graph.t
+
+    let equal = Graph.equal
+    let hash = Graph.hash
+  end)
+
+let m_memo_hits = Obs.counter "tw.decomp_memo_hits"
+let m_memo_misses = Obs.counter "tw.decomp_memo_misses"
+
+(* Pattern graphs are tiny and recur heavily (every interpolation step
+   re-counts against the same extension family), so decompositions are
+   worth caching.  Keys are compared with Graph.equal, so a hash
+   collision can never return a wrong decomposition. *)
+(* lint: domain-local the decomposition memo is touched only by the
+   driver domain: Td_count spawns workers strictly after the
+   decomposition has been obtained, and no worker calls back into
+   Exact. *)
+let decomposition_memo : Decomposition.t Graph_tbl.t = Graph_tbl.create 64
+
+let memo_capacity = 512
+
+let clear_decomposition_memo () = Graph_tbl.reset decomposition_memo
+
 let optimal_decomposition g =
-  let _, order = solve g in
-  Elimination.decomposition_of_order g order
+  match Graph_tbl.find_opt decomposition_memo g with
+  | Some d ->
+    if Obs.enabled () then Obs.incr m_memo_hits;
+    d
+  | None ->
+    if Obs.enabled () then Obs.incr m_memo_misses;
+    let _, order = solve g in
+    let d = Elimination.decomposition_of_order g order in
+    if Graph_tbl.length decomposition_memo >= memo_capacity then
+      Graph_tbl.reset decomposition_memo;
+    Graph_tbl.replace decomposition_memo g d;
+    d
 
 let is_at_most g k = treewidth g <= k
 

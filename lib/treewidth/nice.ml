@@ -54,16 +54,10 @@ let of_decomposition d ~universe =
       root }
   end
   else begin
-    let visited = Array.make count false in
+    let rooted = Decomposition.rooted d in
     let rec build t =
-      visited.(t) <- true;
-      let children =
-        Graph.fold_neighbours tree t
-          (fun s acc -> if visited.(s) then acc else s :: acc)
-          []
-      in
       let target = obags.(t) in
-      match children with
+      match Array.to_list rooted.Decomposition.children.(t) with
       | [] -> leaf_ramp target
       | first :: rest ->
         let first_id = ramp (build first) obags.(first) target in
@@ -73,9 +67,9 @@ let of_decomposition d ~universe =
              add (Join (acc, sid)) target)
           first_id rest
     in
-    let top = build 0 in
+    let top = build rooted.Decomposition.root in
     (* forget everything to reach an empty root bag *)
-    let root = ramp top obags.(0) (Bitset.create universe) in
+    let root = ramp top obags.(rooted.Decomposition.root) (Bitset.create universe) in
     { nodes = Array.of_list (List.rev !nodes);
       bags = Array.of_list (List.rev !bags);
       root }

@@ -1,0 +1,42 @@
+(** Overflow-checked counter arithmetic — the int63 fast path of the
+    counting DPs.
+
+    A value is either an immediate native int ([Small]) or an
+    arbitrary-precision {!Bigint} ([Big]).  [add] and [mul] stay on the
+    native representation as long as an explicit overflow check passes
+    and promote to [Big] otherwise, so DP tables pay the Bigint
+    allocation cost only on the (rare) entries that actually need it.
+
+    The representation is exposed so the engines can count promotions
+    for their metrics; construct values with {!of_int}/{!of_bigint}
+    rather than the constructors. *)
+
+type t = Small of int | Big of Bigint.t
+
+val zero : t
+val one : t
+val of_int : int -> t
+
+(** [of_bigint b] normalises: values that fit a native int come back
+    as [Small]. *)
+val of_bigint : Bigint.t -> t
+
+val to_bigint : t -> Bigint.t
+val is_zero : t -> bool
+
+(** [is_small c] is true on the unpromoted representation — the
+    engines' int63-vs-Bigint promotion metrics are derived from it. *)
+val is_small : t -> bool
+
+(** [add a b] / [mul a b]: exact; native-int fast path with an
+    overflow check, Bigint otherwise. *)
+val add : t -> t -> t
+
+val mul : t -> t -> t
+val equal : t -> t -> bool
+
+(** Total order compatible with {!equal} (numeric order). *)
+val compare : t -> t -> int
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -70,3 +70,17 @@ module Int_list_tbl = Hashtbl.Make (struct
   let equal l1 l2 = List.equal Int.equal l1 l2
   let hash = hash_int_list
 end)
+
+module Int_tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = hash_int
+end)
+
+module Int_array_tbl = Hashtbl.Make (struct
+  type t = int array
+
+  let equal a b = equal_array Int.equal a b
+  let hash = hash_int_array
+end)

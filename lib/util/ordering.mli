@@ -46,3 +46,12 @@ module Int_pair_tbl : Hashtbl.S with type key = int * int
 
 (** Hashtables keyed on [int list] with monomorphic equality/hashing. *)
 module Int_list_tbl : Hashtbl.S with type key = int list
+
+(** Hashtables keyed on [int] with the mixed (avalanching) {!hash_int},
+    for keys that are themselves hash-like (e.g. packed DP keys). *)
+module Int_tbl : Hashtbl.S with type key = int
+
+(** Hashtables keyed on [int array] with monomorphic equality/hashing.
+    Equality is structural per element, so lookups never depend on the
+    hash being collision-free. *)
+module Int_array_tbl : Hashtbl.S with type key = int array

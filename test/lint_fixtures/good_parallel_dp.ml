@@ -1,0 +1,22 @@
+(* Fixture: the parallel-DP pattern used by the packed counting engine
+   (Wlcq_hom.Td_count) — tables and slot assignments allocated locally
+   in the driver, worker domains writing only their own stride of the
+   local array, results combined after [Domain.join].  No top-level
+   mutable state is visible to [Domain.spawn], so R3 must NOT flag it;
+   a regression here would force suppressions in lib/hom. *)
+
+let run_parallel tasks =
+  let n = Array.length tasks in
+  let results = Array.make n 0 in
+  let nd = 2 in
+  let process_stride w =
+    for t = 0 to n - 1 do
+      if t mod nd = w then results.(t) <- tasks.(t) * tasks.(t)
+    done
+  in
+  let workers =
+    List.init (nd - 1) (fun j -> Domain.spawn (fun () -> process_stride (j + 1)))
+  in
+  process_stride 0;
+  List.iter Domain.join workers;
+  Array.fold_left ( + ) 0 results

@@ -1075,6 +1075,88 @@ let fast_count_qcheck =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Packed engines vs reference oracles (core-level workloads)          *)
+(* ------------------------------------------------------------------ *)
+
+let test_td_packed_on_cfi_pairs () =
+  (* CFI witness pairs are the adversarial instances of the paper; the
+     packed engine must agree with the reference on both sides of each
+     pair, for patterns that do and do not distinguish them. *)
+  let patterns =
+    [ Builders.path 3; Builders.cycle 4; Builders.star 3; Builders.cycle 3 ]
+  in
+  List.iter
+    (fun base ->
+       let even, odd = Wlcq_cfi.Pairs.twisted_pair base in
+       List.iter
+         (fun h ->
+            List.iter
+              (fun (tag, g) ->
+                 check_bool
+                   (Printf.sprintf "packed=reference on CFI %s side" tag)
+                   true
+                   (Bigint.equal
+                      (Wlcq_hom.Td_count.count h g)
+                      (Wlcq_hom.Td_count.count_reference h g)))
+              [ ("even", even.Wlcq_cfi.Cfi.graph); ("odd", odd.Wlcq_cfi.Cfi.graph) ])
+         patterns)
+    [ Builders.cycle 4; Builders.path 4 ]
+
+let test_count_many_on_extension_family () =
+  (* The real Lemma 22 workload: F_1 ⊆ … ⊆ F_L for a quantified query,
+     batch counts vs independent reference counts. *)
+  let q = parse "(x1, x2) := exists y . E(x1, y) & E(y, x2)" in
+  let core = Minimize.counting_core q in
+  let g = Builders.petersen () in
+  let patterns =
+    List.init 4 (fun i -> (Extension.f_ell core (i + 1)).Extension.graph)
+  in
+  let batch = Wlcq_hom.Td_count.count_many patterns g in
+  List.iter2
+    (fun h b ->
+       check_bool "count_many = reference on F_ell" true
+         (Bigint.equal b (Wlcq_hom.Td_count.count_reference h g)))
+    patterns batch
+
+let packed_core_qcheck =
+  [
+    QCheck.Test.make
+      ~name:"packed fast count equals reference oracle on random queries"
+      ~count:50
+      QCheck.(quad (int_range 1 4) (int_range 1 3) (int_range 1 6)
+                (int_bound 100000))
+      (fun (num_free, extra, ng, seed) ->
+         let rng = Prng.create seed in
+         let q =
+           Gen_query.random_connected rng ~num_vars:(num_free + extra)
+             ~num_free ~edge_prob:0.5
+         in
+         let g = Gen.gnp rng ng 0.5 in
+         Bigint.equal (Fast_count.count_answers q g)
+           (Fast_count.count_answers_reference q g));
+    QCheck.Test.make
+      ~name:"count_many equals reference on random f_ell families" ~count:25
+      QCheck.(triple (int_range 2 4) (int_range 2 5) (int_bound 100000))
+      (fun (num_vars, ng, seed) ->
+         let rng = Prng.create seed in
+         let q =
+           Gen_query.random_connected rng ~num_vars ~num_free:1 ~edge_prob:0.5
+         in
+         let core = Minimize.counting_core q in
+         let g = Gen.gnp rng ng 0.5 in
+         let patterns =
+           List.init 3 (fun i -> (Extension.f_ell core (i + 1)).Extension.graph)
+         in
+         let batch = Wlcq_hom.Td_count.count_many patterns g in
+         let indiv =
+           List.map
+             (fun h -> Wlcq_hom.Td_count.count_reference h g)
+             patterns
+         in
+         List.for_all2 Bigint.equal batch indiv);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Observation 62: acyclic queries cannot separate 2K3 from C6         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1255,6 +1337,14 @@ let () =
           Alcotest.test_case "edge cases" `Quick test_fast_count_edge_cases;
         ] );
       qsuite "fast-count-properties" fast_count_qcheck;
+      ( "packed-engine",
+        [
+          Alcotest.test_case "td packed vs reference on CFI pairs" `Quick
+            test_td_packed_on_cfi_pairs;
+          Alcotest.test_case "count_many on extension family" `Quick
+            test_count_many_on_extension_family;
+        ] );
+      qsuite "packed-core-properties" packed_core_qcheck;
       ( "observation62",
         [
           Alcotest.test_case "acyclic family" `Quick test_observation62;

@@ -156,6 +156,191 @@ let td_qcheck =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Packed engines vs reference oracles                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Bitset = Wlcq_util.Bitset
+
+let test_dp_key_roundtrip () =
+  let c = Dp_key.codec ~n:10 in
+  let img = [| 3; 9; 0; 7 |] in
+  let key = Dp_key.pack c img in
+  let dst = Array.make 4 (-1) in
+  Dp_key.unpack c key ~arity:4 dst;
+  check_bool "pack/unpack roundtrip" true
+    (Wlcq_util.Ordering.equal_array Int.equal img dst);
+  let r = Dp_key.restrict_packed c key [| 2; 1 |] in
+  Dp_key.unpack c r ~arity:2 dst;
+  check_int "restricted coord 0" 0 dst.(0);
+  check_int "restricted coord 1" 9 dst.(1)
+
+let test_dp_key_hashed_matches_packed () =
+  (* The same logical table under a packed codec and under a codec too
+     wide to pack (forcing the hashed fallback): identical totals and
+     projections. *)
+  let cp = Dp_key.codec ~n:8 in
+  let ch = Dp_key.codec ~n:(1 lsl 21) in
+  check_bool "narrow codec packs" true (Dp_key.packs cp ~arity:4);
+  check_bool "wide codec does not pack" false (Dp_key.packs ch ~arity:4);
+  let tp = Dp_key.table cp ~arity:4 in
+  let th = Dp_key.table ch ~arity:4 in
+  check_bool "packed mode" true (Dp_key.is_packed tp);
+  check_bool "hashed mode" false (Dp_key.is_packed th);
+  let entries =
+    [ ([| 1; 2; 3; 4 |], 5); ([| 4; 3; 2; 1 |], 7); ([| 1; 2; 3; 4 |], 2) ]
+  in
+  List.iter
+    (fun (k, v) ->
+       Dp_key.bump cp tp (Array.copy k) (Dp_key.Count.of_int v);
+       Dp_key.bump ch th (Array.copy k) (Dp_key.Count.of_int v))
+    entries;
+  check_int "packed entries" 2 (Dp_key.length tp);
+  check_int "hashed entries" 2 (Dp_key.length th);
+  check_bool "totals agree" true
+    (Bigint.equal
+       (Dp_key.Count.to_bigint (Dp_key.total tp))
+       (Dp_key.Count.to_bigint (Dp_key.total th)));
+  let pos = [| 3; 0 |] in
+  let pp = Dp_key.project cp tp pos in
+  let ph = Dp_key.project ch th pos in
+  check_bool "projection totals agree" true
+    (Bigint.equal
+       (Dp_key.Count.to_bigint (Dp_key.total pp))
+       (Dp_key.Count.to_bigint (Dp_key.total ph)));
+  (* look up the restriction of [1;2;3;4] (-> [4;1]) in both *)
+  let images = [| 1; 2; 3; 4 |] in
+  check_bool "projected lookup agrees" true
+    (Bigint.equal
+       (Dp_key.Count.to_bigint (Dp_key.find cp pp images pos))
+       (Dp_key.Count.to_bigint (Dp_key.find ch ph images pos)))
+
+let test_count_overflow_promotion () =
+  let open Wlcq_util.Count in
+  let near = of_int (max_int - 1) in
+  check_bool "small stays small" true (is_small (add (of_int 1) (of_int 1)));
+  let sum = add near near in
+  check_bool "add promotes on overflow" false (is_small sum);
+  check_bool "promoted add exact" true
+    (Bigint.equal (to_bigint sum)
+       (Bigint.add (Bigint.of_int (max_int - 1)) (Bigint.of_int (max_int - 1))));
+  let prod = mul near near in
+  check_bool "mul promotes on overflow" false (is_small prod);
+  check_bool "promoted mul exact" true
+    (Bigint.equal (to_bigint prod)
+       (Bigint.mul (Bigint.of_int (max_int - 1)) (Bigint.of_int (max_int - 1))));
+  check_bool "of_bigint normalises" true
+    (is_small (of_bigint (Bigint.of_int 42)));
+  check_bool "mul by zero" true (is_zero (mul (of_int 0) near))
+
+let random_candidates rng nh ng =
+  let sets =
+    Array.init nh (fun _ ->
+        let b = Bitset.create ng in
+        for v = 0 to ng - 1 do
+          if Prng.bool rng then Bitset.set b v
+        done;
+        b)
+  in
+  fun u -> sets.(u)
+
+let packed_vs_reference_qcheck =
+  [
+    QCheck.Test.make ~name:"packed td count equals reference oracle" ~count:80
+      QCheck.(triple (int_range 1 7) (int_range 1 12) (int_bound 100000))
+      (fun (nh, ng, seed) ->
+         let rng = Prng.create seed in
+         let h = Gen.gnp rng nh 0.5 in
+         let g = Gen.gnp rng ng 0.4 in
+         Bigint.equal (Td_count.count h g) (Td_count.count_reference h g));
+    QCheck.Test.make
+      ~name:"packed td count equals reference under random candidates"
+      ~count:60
+      QCheck.(triple (int_range 1 6) (int_range 1 9) (int_bound 100000))
+      (fun (nh, ng, seed) ->
+         let rng = Prng.create seed in
+         let h = Gen.gnp rng nh 0.5 in
+         let g = Gen.gnp rng ng 0.4 in
+         let candidates = random_candidates rng nh ng in
+         Bigint.equal
+           (Td_count.count ~candidates h g)
+           (Td_count.count_reference ~candidates h g));
+    QCheck.Test.make
+      ~name:"pins as singleton candidates match Brute ~pins" ~count:60
+      QCheck.(triple (int_range 2 6) (int_range 2 8) (int_bound 100000))
+      (fun (nh, ng, seed) ->
+         let rng = Prng.create seed in
+         let h = Gen.gnp rng nh 0.5 in
+         let g = Gen.gnp rng ng 0.5 in
+         let u = Prng.int rng nh and v = Prng.int rng ng in
+         let candidates w =
+           if w = u then Bitset.singleton ng v else Bitset.full ng
+         in
+         Bigint.equal
+           (Td_count.count ~candidates h g)
+           (Bigint.of_int (Brute.count ~pins:[ (u, v) ] h g)));
+    QCheck.Test.make
+      ~name:"forced-parallel and forced-sequential runs byte-identical"
+      ~count:40
+      QCheck.(triple (int_range 2 5) (int_range 2 9) (int_bound 100000))
+      (fun (nh, ng, seed) ->
+         let rng = Prng.create seed in
+         (* disjoint-union patterns give the decomposition root several
+            independent subtrees, so the fan-out path really runs *)
+         let h1 = Gen.gnp rng nh 0.6 in
+         let h2 = Gen.gnp rng nh 0.5 in
+         let h = Ops.disjoint_union h1 h2 in
+         let g = Gen.gnp rng ng 0.4 in
+         Td_count.parallel_threshold := 0;
+         let par = Td_count.count h g in
+         Td_count.parallel_threshold := max_int;
+         let seq = Td_count.count h g in
+         Td_count.parallel_threshold := 1 lsl 15;
+         String.equal (Bigint.to_string par) (Bigint.to_string seq));
+    QCheck.Test.make ~name:"packed nice count equals reference oracle"
+      ~count:60
+      QCheck.(triple (int_range 1 6) (int_range 1 9) (int_bound 100000))
+      (fun (nh, ng, seed) ->
+         let rng = Prng.create seed in
+         let h = Gen.gnp rng nh 0.5 in
+         let g = Gen.gnp rng ng 0.4 in
+         Bigint.equal (Nice_count.count h g) (Nice_count.count_reference h g));
+    QCheck.Test.make
+      ~name:"count_many equals independent reference counts on prefix chain"
+      ~count:40
+      QCheck.(triple (int_range 2 6) (int_range 1 8) (int_bound 100000))
+      (fun (n, ng, seed) ->
+         let rng = Prng.create seed in
+         let hmax = Gen.gnp rng n 0.5 in
+         let g = Gen.gnp rng ng 0.4 in
+         let prefixes =
+           List.init n (fun i ->
+               let sub, _ = Ops.induced hmax (List.init (i + 1) (fun j -> j)) in
+               sub)
+         in
+         let batch = Td_count.count_many prefixes g in
+         let indiv = List.map (fun h -> Td_count.count_reference h g) prefixes in
+         List.for_all2 Bigint.equal batch indiv);
+    QCheck.Test.make
+      ~name:"count_many under candidates equals per-pattern counts" ~count:30
+      QCheck.(triple (int_range 2 5) (int_range 1 7) (int_bound 100000))
+      (fun (n, ng, seed) ->
+         let rng = Prng.create seed in
+         let hs =
+           List.init n (fun _ -> Gen.gnp rng (1 + Prng.int rng n) 0.5)
+         in
+         let g = Gen.gnp rng ng 0.4 in
+         let max_nh =
+           List.fold_left (fun a h -> max a (Graph.num_vertices h)) 1 hs
+         in
+         let candidates = random_candidates rng max_nh ng in
+         let batch = Td_count.count_many ~candidates hs g in
+         let indiv =
+           List.map (fun h -> Td_count.count_reference ~candidates h g) hs
+         in
+         List.for_all2 Bigint.equal batch indiv);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Colored                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -278,6 +463,16 @@ let () =
           Alcotest.test_case "nice DP matches" `Quick test_nice_count_matches;
         ] );
       qsuite "td-properties" td_qcheck;
+      ( "packed-engine",
+        [
+          Alcotest.test_case "dp_key pack/unpack/restrict" `Quick
+            test_dp_key_roundtrip;
+          Alcotest.test_case "hashed fallback matches packed" `Quick
+            test_dp_key_hashed_matches_packed;
+          Alcotest.test_case "count overflow promotion" `Quick
+            test_count_overflow_promotion;
+        ] );
+      qsuite "packed-vs-reference" packed_vs_reference_qcheck;
       ( "colored",
         [
           Alcotest.test_case "is_colouring" `Quick test_is_colouring;

@@ -46,6 +46,16 @@ let test_r3_allows_atomic () =
          rule 0)
     [ "R1"; "R2"; "R3" ]
 
+let test_r3_allows_parallel_dp () =
+  (* the driver-local parallel-DP pattern used by lib/hom's packed
+     engine: locally allocated result tables, strided worker writes,
+     join before reading — no top-level mutables, so R3 stays silent *)
+  List.iter
+    (fun rule ->
+       check_count ("good_parallel_dp is clean of " ^ rule)
+         "good_parallel_dp.ml" rule 0)
+    [ "R0"; "R1"; "R2"; "R3" ]
+
 let test_r4_fires () =
   (* missing .mli and print_endline, both lib-only checks *)
   check_count "R4 count on lib/bad_print" "lib/bad_print.ml" "R4" 2
@@ -96,6 +106,8 @@ let () =
           Alcotest.test_case "R3 domain safety" `Quick test_r3_fires;
           Alcotest.test_case "R3 allows Atomic/DLS registry pattern" `Quick
             test_r3_allows_atomic;
+          Alcotest.test_case "R3 allows driver-local parallel DP" `Quick
+            test_r3_allows_parallel_dp;
           Alcotest.test_case "R4 hygiene" `Quick test_r4_fires;
         ] );
       ( "pragmas",
