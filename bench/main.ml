@@ -25,6 +25,7 @@ module Bigint = Wlcq_util.Bigint
 module Rat = Wlcq_util.Rat
 module Prng = Wlcq_util.Prng
 module Obs = Wlcq_obs.Obs
+module Budget = Wlcq_robust.Budget
 
 let parse s = (Parser.parse_exn s).Parser.query
 
@@ -908,6 +909,72 @@ let f1b () =
     list_agree;
   write_bench_json "BENCH_PR4.json"
 
+
+(* ------------------------------------------------------------------ *)
+(* F4: budget-check overhead.  A live budget with an unreachable       *)
+(* deadline threads every engine's tick/check sites without ever      *)
+(* tripping; the acceptance bound is <= 3% over the unbudgeted run on  *)
+(* the F1b DP workload and the F2 k-WL workload.                       *)
+(* ------------------------------------------------------------------ *)
+
+let f4 () =
+  header "F4" "budget-check overhead: huge deadline vs no budget (<= 3%)";
+  let max_ratio = 1.03 in
+  Printf.printf "%-26s %12s %12s %8s %-7s\n" "instance" "no-budget"
+    "budgeted" "ratio" "verdict";
+  (* best-of-9: the enforced bound is tight, so lean harder than the
+     best-of-3 speedup rows on the minimum-as-estimator *)
+  let best_of f =
+    let r, t0 = wall_time f in
+    let t = ref t0 in
+    for _ = 2 to 9 do
+      let _, ti = wall_time f in
+      if ti < !t then t := ti
+    done;
+    (r, !t)
+  in
+  let overhead_row name run_plain run_budgeted agree =
+    let plain_r, tplain = best_of run_plain in
+    let budget_r, tbudget = best_of run_budgeted in
+    let ratio = tbudget /. Float.max tplain 1e-9 in
+    let ok = agree plain_r budget_r && ratio <= max_ratio in
+    record ok;
+    Printf.printf "%-26s %9.2f ms %9.2f ms %7.3fx %-7s\n" name
+      (tplain *. 1e3) (tbudget *. 1e3) ratio (verdict ok)
+  in
+  let huge () = Budget.create ~deadline_ms:3.6e6 () in
+  (* F1b workload: the packed DP on the largest F1 instance *)
+  let h = G.Builders.path 4 in
+  (* same rng discipline as F1b: the 40-vertex instance is the third
+     draw after the 10- and 20-vertex ones *)
+  let rng = Prng.create 41 in
+  ignore (G.Gen.gnp rng 10 0.3);
+  ignore (G.Gen.gnp rng 20 0.3);
+  let g = G.Gen.gnp rng 40 0.3 in
+  let d = TW.Exact.optimal_decomposition h in
+  let reps = 25 in
+  let repeat f () =
+    let r = ref (f ()) in
+    for _ = 2 to reps do
+      r := f ()
+    done;
+    !r
+  in
+  overhead_row "td-dp/gnp40"
+    (repeat (fun () -> Wlcq_hom.Td_count.count_with_decomposition d h g))
+    (repeat (fun () ->
+         Wlcq_hom.Td_count.count_with_decomposition ~budget:(huge ()) d h g))
+    Bigint.equal;
+  (* F2 workload: 2-WL to the stable colouring on a mid-size graph *)
+  let gw = G.Gen.gnp (Prng.create 43) 48 0.2 in
+  overhead_row "kwl2/gnp48"
+    (repeat (fun () -> (Wlcq_wl.Kwl.run 2 gw).Wlcq_wl.Kwl.num_colours))
+    (repeat (fun () ->
+         match Wlcq_wl.Kwl.run_budgeted ~budget:(huge ()) 2 gw with
+         | `Exact r -> r.Wlcq_wl.Kwl.num_colours
+         | `Degraded _ | `Exhausted _ -> -1))
+    ( = )
+
 let f2 () =
   header "F2" "k-WL runtime and rounds";
   (* rounds report *)
@@ -1201,6 +1268,26 @@ let timing_smoke () =
        "wl_dimension.cache_misses");
       ("hom_profile.patterns", "hom_profile.cache_hits",
        "hom_profile.cache_misses") ];
+  (* robustness tripwires: a hand-tripped budget must degrade the
+     treewidth search (loose-bracket instance) and move the robust
+     counters *)
+  let b = Budget.create () in
+  Budget.trip b Budget.Deadline;
+  let g_loose = G.Gen.gnp (Prng.create 26) 9 0.5 in
+  let ok =
+    match TW.Exact.treewidth_budgeted ~budget:b g_loose with
+    | `Degraded (w, _) -> w >= TW.Exact.treewidth g_loose
+    | `Exact _ | `Exhausted _ -> false
+  in
+  record ok;
+  Printf.printf "F4  tripped budget degrades the treewidth search %s\n"
+    (verdict ok);
+  List.iter
+    (fun name ->
+       let ok = counter_nonzero name in
+       record ok;
+       Printf.printf "Obs counter %-28s non-zero %s\n" name (verdict ok))
+    [ "robust.budget.created"; "robust.fallback.tw_heuristic" ];
   (* the trace exporter must produce one valid JSON array with events *)
   let tj = Obs.trace_json () in
   let trace_ok = Obs.json_parseable tj && String.length tj > 4 in
@@ -1213,7 +1300,8 @@ let all_experiments =
   [ ("T1", t1); ("T2", t2); ("T3", t3); ("T4", t4); ("T5", t5); ("T6", t6);
     ("T7", t7); ("T8", t8); ("T9", t9); ("T10", t10); ("T11", t11);
     ("T12", t12); ("T13", t13); ("T14", t14); ("T15", t15);
-    ("F1", f1); ("F1b", f1b); ("F2", f2); ("F3", f3); ("A1", ablation);
+    ("F1", f1); ("F1b", f1b); ("F2", f2); ("F3", f3); ("F4", f4);
+    ("A1", ablation);
     ("timing-smoke", timing_smoke) ]
 
 let () =
@@ -1239,7 +1327,7 @@ let () =
     | [ "tables" ] ->
       [ "T1"; "T2"; "T3"; "T4"; "T5"; "T6"; "T7"; "T8"; "T9"; "T10"; "T11";
         "T12"; "T13"; "T14"; "T15" ]
-    | [ "timing" ] -> [ "F1"; "F1b"; "F2"; "F3"; "A1" ]
+    | [ "timing" ] -> [ "F1"; "F1b"; "F2"; "F3"; "F4"; "A1" ]
     | ids -> ids
   in
   List.iter

@@ -2,12 +2,29 @@
 
    Subcommands mirror the paper's objects: widths of a query, answer
    counting, WL-equivalence of graphs, CFI constructions, lower-bound
-   witnesses, and dominating sets. *)
+   witnesses, and dominating sets.
+
+   Exit codes:
+     0  success (for verdict commands: positive verdict)
+     1  negative verdict / no distinguishing pattern / invalid certificate
+     2  malformed input (query, graph or flag); the diagnostic is a
+        single "error: <Module.fn: message>" line on stderr
+     3  the --deadline-ms / --max-live-mb budget tripped; whatever was
+        printed is a sound partial or degraded result *)
 
 open Cmdliner
 module G = Wlcq_graph
 module Core = Wlcq_core
 module Bigint = Wlcq_util.Bigint
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
+
+let exit_malformed = 2
+let exit_degraded = 3
+
+let fail_malformed msg : 'a =
+  Printf.eprintf "error: %s\n" msg;
+  exit exit_malformed
 
 let query_arg =
   let doc =
@@ -15,22 +32,29 @@ let query_arg =
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
 
-let graph_conv =
-  let parse s =
-    match G.Spec.parse s with Ok g -> Ok g | Error e -> Error (`Msg e)
-  in
-  let print ppf g = G.Graph.pp ppf g in
-  Arg.conv (parse, print)
-
+(* Graphs are taken as plain strings and parsed inside the command
+   body so a malformed spec exits 2 with a structured "error:" line
+   (cmdliner's own conversion errors exit 124). *)
 let graph_opt name doc =
-  Arg.(required & opt (some graph_conv) None & info [ name ] ~docv:"GRAPH" ~doc)
+  Arg.(required & opt (some string) None & info [ name ] ~docv:"GRAPH" ~doc)
 
 let parse_query s =
-  match Core.Parser.parse s with
-  | Ok p -> p
-  | Error e ->
-    Printf.eprintf "error: %s\n" e;
-    exit 2
+  match Core.Parser.parse s with Ok p -> p | Error e -> fail_malformed e
+
+let parse_graph s =
+  match G.Spec.parse s with Ok g -> g | Error e -> fail_malformed e
+
+(* Engines report malformed input as [Invalid_argument]/[Failure] with
+   "Module.fn: message" payloads (see DESIGN.md); a tripped budget
+   escaping one of the raising [?budget] entry points is a degraded
+   run.  Every subcommand body runs under this wrapper so neither
+   surfaces as an uncaught exception. *)
+let guarded f =
+  try f () with
+  | Invalid_argument msg | Failure msg -> fail_malformed msg
+  | Budget.Exhausted r ->
+    Printf.eprintf "exhausted: %s\n" (Budget.reason_to_string r);
+    exit exit_degraded
 
 (* ------------------------------------------------------------------ *)
 (* Observability flags, shared by every subcommand                     *)
@@ -72,50 +96,123 @@ let obs_term =
   Term.(const obs_setup $ metrics $ trace)
 
 (* ------------------------------------------------------------------ *)
+(* Budget flags, shared by every subcommand                            *)
+(* ------------------------------------------------------------------ *)
+
+let budget_setup deadline_ms max_live_mb =
+  match (deadline_ms, max_live_mb) with
+  | None, None -> Budget.unlimited
+  | _ -> (
+    try Budget.create ?deadline_ms ?max_live_mb ()
+    with Invalid_argument msg -> fail_malformed msg)
+
+let budget_term =
+  let deadline_ms =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Wall-clock budget in milliseconds (monotonic clock).  \
+                   When it trips, the command prints the best sound \
+                   degraded or partial result it has and exits with \
+                   code 3.")
+  in
+  let max_live_mb =
+    Arg.(value & opt (some int) None
+         & info [ "max-live-mb" ] ~docv:"MB"
+             ~doc:"Live major-heap ceiling in MiB; exceeding it behaves \
+                   like a missed deadline (exit code 3).")
+  in
+  Term.(const budget_setup $ deadline_ms $ max_live_mb)
+
+(* ------------------------------------------------------------------ *)
 (* wlcq widths                                                         *)
 (* ------------------------------------------------------------------ *)
 
 let widths_cmd =
-  let run () query_str =
+  let run () budget query_str =
+    guarded @@ fun () ->
     let p = parse_query query_str in
     let q = p.Core.Parser.query in
-    let core = Core.Minimize.counting_core q in
+    let degraded = ref false in
+    let show to_string f =
+      match f () with
+      | v -> to_string v
+      | exception Budget.Exhausted r ->
+        degraded := true;
+        Printf.sprintf "exhausted (%s)" (Budget.reason_to_string r)
+    in
     Printf.printf "query:               %s\n"
       (Core.Parser.to_formula ~names:p.Core.Parser.names q);
     Printf.printf "variables:           %d free, %d quantified\n"
       (Core.Cq.num_free q)
       (Array.length (Core.Cq.quantified_vars q));
     Printf.printf "connected:           %b\n" (Core.Cq.is_connected q);
-    Printf.printf "counting minimal:    %b\n" (Core.Minimize.is_counting_minimal q);
-    if not (Core.Minimize.is_counting_minimal q) then
-      Printf.printf "counting core:       %s\n" (Core.Parser.to_formula core);
-    Printf.printf "treewidth:           %d\n"
-      (Wlcq_treewidth.Exact.treewidth q.Core.Cq.graph);
+    (match Core.Minimize.counting_core ~budget q with
+     | core ->
+       let minimal =
+         G.Graph.num_vertices core.Core.Cq.graph
+         = G.Graph.num_vertices q.Core.Cq.graph
+       in
+       Printf.printf "counting minimal:    %b\n" minimal;
+       if not minimal then
+         Printf.printf "counting core:       %s\n" (Core.Parser.to_formula core)
+     | exception Budget.Exhausted r ->
+       degraded := true;
+       Printf.printf "counting minimal:    exhausted (%s)\n"
+         (Budget.reason_to_string r));
+    (match Wlcq_treewidth.Exact.treewidth_budgeted ~budget q.Core.Cq.graph with
+     | `Exact w -> Printf.printf "treewidth:           %d\n" w
+     | `Degraded (w, r) ->
+       degraded := true;
+       Printf.printf "treewidth:           <= %d   (degraded: %s)\n" w
+         (Outcome.reason_to_string r)
+     | `Exhausted _ -> assert false (* treewidth_budgeted never exhausts *));
     Printf.printf "quantified star size:%d\n"
       (Core.Extension.quantified_star_size q);
-    Printf.printf "extension width:     %d\n" (Core.Extension.extension_width q);
-    Printf.printf "semantic ext. width: %d\n"
-      (Core.Extension.semantic_extension_width q);
-    Printf.printf "WL-dimension:        %d   (Theorem 1)\n"
-      (Core.Wl_dimension.dimension q)
+    Printf.printf "extension width:     %s\n"
+      (show string_of_int (fun () -> Core.Extension.extension_width ~budget q));
+    Printf.printf "semantic ext. width: %s\n"
+      (show string_of_int (fun () ->
+           Core.Extension.semantic_extension_width ~budget q));
+    (match Core.Wl_dimension.dimension_budgeted ~budget q with
+     | `Exact d -> Printf.printf "WL-dimension:        %d   (Theorem 1)\n" d
+     | `Degraded _ -> assert false (* dimension_budgeted never degrades *)
+     | `Exhausted ((lo, hi), r) ->
+       degraded := true;
+       Printf.printf "WL-dimension:        in [%d, %d]   (exhausted: %s)\n" lo
+         hi
+         (Budget.reason_to_string r));
+    if !degraded then exit exit_degraded
   in
   let doc = "Compute the width measures and WL-dimension of a query." in
-  Cmd.v (Cmd.info "widths" ~doc) Term.(const run $ obs_term $ query_arg)
+  Cmd.v (Cmd.info "widths" ~doc)
+    Term.(const run $ obs_term $ budget_term $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* wlcq ans                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let ans_cmd =
-  let run () query_str graph interpolate injective =
+  let run () budget query_str graph_str interpolate injective =
+    guarded @@ fun () ->
     let p = parse_query query_str in
     let q = p.Core.Parser.query in
+    let graph = parse_graph graph_str in
     if injective then
-      Printf.printf "%d\n" (Core.Cq.count_answers_injective q graph)
+      Printf.printf "%d\n" (Core.Cq.count_answers_injective ~budget q graph)
     else if interpolate then
       Printf.printf "%s\n"
-        (Bigint.to_string (Core.Wl_dimension.answers_via_interpolation q graph))
-    else Printf.printf "%d\n" (Core.Cq.count_answers q graph)
+        (Bigint.to_string
+           (Core.Wl_dimension.answers_via_interpolation ~budget q graph))
+    else
+      match Core.Cq.count_answers_budgeted ~budget q graph with
+      | `Exact n -> Printf.printf "%d\n" n
+      | `Degraded (n, r) ->
+        Printf.printf "%d   (degraded: %s)\n" n (Outcome.reason_to_string r);
+        exit exit_degraded
+      | `Exhausted (partial, r) ->
+        Printf.printf ">= %d   (exhausted: %s)\n" partial
+          (Budget.reason_to_string r);
+        exit exit_degraded
   in
   let interpolate =
     Arg.(value & flag
@@ -129,7 +226,7 @@ let ans_cmd =
   in
   let doc = "Count the answers of a query in a graph." in
   Cmd.v (Cmd.info "ans" ~doc)
-    Term.(const run $ obs_term $ query_arg
+    Term.(const run $ obs_term $ budget_term $ query_arg
           $ graph_opt "graph" ("Data graph. " ^ G.Spec.describe)
           $ interpolate $ injective)
 
@@ -138,29 +235,46 @@ let ans_cmd =
 (* ------------------------------------------------------------------ *)
 
 let tw_cmd =
-  let run () graph =
-    Printf.printf "%d\n" (Wlcq_treewidth.Exact.treewidth graph)
+  let run () budget graph_str =
+    guarded @@ fun () ->
+    let graph = parse_graph graph_str in
+    match Wlcq_treewidth.Exact.treewidth_budgeted ~budget graph with
+    | `Exact w -> Printf.printf "%d\n" w
+    | `Degraded (w, r) ->
+      Printf.printf "<= %d   (degraded: %s)\n" w (Outcome.reason_to_string r);
+      exit exit_degraded
+    | `Exhausted _ -> assert false (* treewidth_budgeted never exhausts *)
   in
   let doc = "Compute the exact treewidth of a graph." in
   Cmd.v (Cmd.info "tw" ~doc)
-    Term.(const run $ obs_term $ graph_opt "graph" ("Graph. " ^ G.Spec.describe))
+    Term.(const run $ obs_term $ budget_term
+          $ graph_opt "graph" ("Graph. " ^ G.Spec.describe))
 
 (* ------------------------------------------------------------------ *)
 (* wlcq wl                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let wl_cmd =
-  let run () k g1 g2 =
-    let eq = Wlcq_wl.Equivalence.equivalent k g1 g2 in
-    Printf.printf "%d-WL-equivalent: %b\n" k eq;
-    if eq then exit 0 else exit 1
+  let run () budget k g1 g2 =
+    guarded @@ fun () ->
+    let g1 = parse_graph g1 and g2 = parse_graph g2 in
+    match Wlcq_wl.Equivalence.equivalent_budgeted ~budget k g1 g2 with
+    | `Exact eq ->
+      Printf.printf "%d-WL-equivalent: %b\n" k eq;
+      if eq then exit 0 else exit 1
+    | `Degraded (eq, r) ->
+      Printf.printf "%d-WL-equivalent: %b   (degraded: %s)\n" k eq
+        (Outcome.reason_to_string r);
+      exit exit_degraded
+    | `Exhausted r ->
+      Printf.printf "%d-WL-equivalent: undecided   (exhausted: %s)\n" k
+        (Budget.reason_to_string r);
+      exit exit_degraded
   in
-  let k =
-    Arg.(value & opt int 1 & info [ "k" ] ~doc:"WL dimension (>= 1).")
-  in
+  let k = Arg.(value & opt int 1 & info [ "k" ] ~doc:"WL dimension (>= 1).") in
   let doc = "Test k-WL-equivalence of two graphs (Definition 19)." in
   Cmd.v (Cmd.info "wl" ~doc)
-    Term.(const run $ obs_term $ k
+    Term.(const run $ obs_term $ budget_term $ k
           $ graph_opt "g1" ("First graph. " ^ G.Spec.describe)
           $ graph_opt "g2" "Second graph.")
 
@@ -169,11 +283,21 @@ let wl_cmd =
 (* ------------------------------------------------------------------ *)
 
 let cfi_cmd =
-  let run () base check_k =
-    let even, odd = Wlcq_cfi.Pairs.twisted_pair base in
-    Printf.printf "base:  %d vertices, %d edges, treewidth %d\n"
-      (G.Graph.num_vertices base) (G.Graph.num_edges base)
-      (Wlcq_treewidth.Exact.treewidth base);
+  let run () budget base_str check_k =
+    guarded @@ fun () ->
+    let base = parse_graph base_str in
+    let degraded = ref false in
+    let even, odd = Wlcq_cfi.Pairs.twisted_pair ~budget base in
+    (match Wlcq_treewidth.Exact.treewidth_budgeted ~budget base with
+     | `Exact w ->
+       Printf.printf "base:  %d vertices, %d edges, treewidth %d\n"
+         (G.Graph.num_vertices base) (G.Graph.num_edges base) w
+     | `Degraded (w, r) ->
+       degraded := true;
+       Printf.printf "base:  %d vertices, %d edges, treewidth <= %d   (%s)\n"
+         (G.Graph.num_vertices base) (G.Graph.num_edges base) w
+         (Outcome.reason_to_string r)
+     | `Exhausted _ -> assert false (* treewidth_budgeted never exhausts *));
     Printf.printf "chi(F, {}):  %d vertices, %d edges\n"
       (Wlcq_cfi.Cfi.num_vertices even)
       (G.Graph.num_edges even.Wlcq_cfi.Cfi.graph);
@@ -184,10 +308,21 @@ let cfi_cmd =
       (G.Iso.isomorphic even.Wlcq_cfi.Cfi.graph odd.Wlcq_cfi.Cfi.graph);
     (match check_k with
      | None -> ()
-     | Some k ->
-       Printf.printf "%d-WL-equivalent: %b\n" k
-         (Wlcq_wl.Equivalence.equivalent k even.Wlcq_cfi.Cfi.graph
-            odd.Wlcq_cfi.Cfi.graph))
+     | Some k -> (
+       match
+         Wlcq_wl.Equivalence.equivalent_budgeted ~budget k
+           even.Wlcq_cfi.Cfi.graph odd.Wlcq_cfi.Cfi.graph
+       with
+       | `Exact eq -> Printf.printf "%d-WL-equivalent: %b\n" k eq
+       | `Degraded (eq, r) ->
+         degraded := true;
+         Printf.printf "%d-WL-equivalent: %b   (degraded: %s)\n" k eq
+           (Outcome.reason_to_string r)
+       | `Exhausted r ->
+         degraded := true;
+         Printf.printf "%d-WL-equivalent: undecided   (exhausted: %s)\n" k
+           (Budget.reason_to_string r)));
+    if !degraded then exit exit_degraded
   in
   let check_k =
     Arg.(value & opt (some int) None
@@ -196,7 +331,7 @@ let cfi_cmd =
   in
   let doc = "Build the twisted CFI pair over a base graph (Definition 25)." in
   Cmd.v (Cmd.info "cfi" ~doc)
-    Term.(const run $ obs_term
+    Term.(const run $ obs_term $ budget_term
           $ graph_opt "base" ("Base graph. " ^ G.Spec.describe)
           $ check_k)
 
@@ -205,10 +340,11 @@ let cfi_cmd =
 (* ------------------------------------------------------------------ *)
 
 let witness_cmd =
-  let run () query_str check_wl emit =
+  let run () budget query_str check_wl emit =
+    guarded @@ fun () ->
     let p = parse_query query_str in
     let q = p.Core.Parser.query in
-    let w = Core.Wl_dimension.lower_bound_witness q in
+    let w = Core.Wl_dimension.lower_bound_witness ~budget q in
     let k =
       Wlcq_treewidth.Exact.treewidth w.Core.Wl_dimension.f.Core.Extension.graph
     in
@@ -249,23 +385,24 @@ let witness_cmd =
     "Build and check the Section-4 lower-bound witness for a query."
   in
   Cmd.v (Cmd.info "witness" ~doc)
-    Term.(const run $ obs_term $ query_arg $ check_wl $ emit)
+    Term.(const run $ obs_term $ budget_term $ query_arg $ check_wl $ emit)
 
 (* ------------------------------------------------------------------ *)
 (* wlcq domsets                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let domsets_cmd =
-  let run () k graph via =
+  let run () budget k graph_str via =
+    guarded @@ fun () ->
+    let graph = parse_graph graph_str in
     let count =
       match via with
-      | "direct" -> Core.Domset.count_direct k graph
-      | "stars" -> Core.Domset.count_via_stars k graph
+      | "direct" -> Core.Domset.count_direct ~budget k graph
+      | "stars" -> Core.Domset.count_via_stars ~budget k graph
       | "quantum" -> Core.Domset.count_via_quantum k graph
       | other ->
-        Printf.eprintf "error: unknown method %S (direct|stars|quantum)\n"
-          other;
-        exit 2
+        fail_malformed
+          (Printf.sprintf "unknown method %S (direct|stars|quantum)" other)
     in
     Printf.printf "%s\n" (Bigint.to_string count)
   in
@@ -278,7 +415,7 @@ let domsets_cmd =
   in
   let doc = "Count size-k dominating sets (Corollary 6)." in
   Cmd.v (Cmd.info "domsets" ~doc)
-    Term.(const run $ obs_term $ k
+    Term.(const run $ obs_term $ budget_term $ k
           $ graph_opt "graph" ("Graph. " ^ G.Spec.describe)
           $ via)
 
@@ -287,11 +424,10 @@ let domsets_cmd =
 (* ------------------------------------------------------------------ *)
 
 let union_cmd =
-  let run () union_str graph =
+  let run () _budget union_str graph_str =
+    guarded @@ fun () ->
     match Core.Ucq.of_string union_str with
-    | Error e ->
-      Printf.eprintf "error: %s\n" e;
-      exit 2
+    | Error e -> fail_malformed e
     | Ok u ->
       Printf.printf "disjuncts:     %d\n" (List.length (Core.Ucq.disjuncts u));
       List.iter
@@ -302,13 +438,14 @@ let union_cmd =
         (List.length (Core.Quantum.terms quantum));
       Printf.printf "WL-dimension:  %d   (hsew, Corollary 5)\n"
         (Core.Ucq.wl_dimension u);
-      (match graph with
+      (match graph_str with
        | None -> ()
-       | Some g ->
+       | Some s ->
+         let g = parse_graph s in
          Printf.printf "answers:       %d\n" (Core.Ucq.count_answers u g))
   in
   let graph =
-    Arg.(value & opt (some graph_conv) None
+    Arg.(value & opt (some string) None
          & info [ "graph" ] ~docv:"GRAPH"
              ~doc:("Optionally count the union's answers in this graph. "
                    ^ G.Spec.describe))
@@ -317,21 +454,19 @@ let union_cmd =
     "Analyse a union of conjunctive queries, e.g. \"(x1, x2) := E(x1, x2) | \
      exists y . E(x1, y) & E(y, x2)\"."
   in
-  Cmd.v (Cmd.info "union" ~doc) Term.(const run $ obs_term $ query_arg $ graph)
+  Cmd.v (Cmd.info "union" ~doc)
+    Term.(const run $ obs_term $ budget_term $ query_arg $ graph)
 
 (* ------------------------------------------------------------------ *)
 (* wlcq kg-widths / kg-ans                                             *)
 (* ------------------------------------------------------------------ *)
 
 let parse_kg_query s =
-  match Wlcq_kg.Kparser.parse s with
-  | Ok p -> p
-  | Error e ->
-    Printf.eprintf "error: %s\n" e;
-    exit 2
+  match Wlcq_kg.Kparser.parse s with Ok p -> p | Error e -> fail_malformed e
 
 let kg_widths_cmd =
-  let run () query_str =
+  let run () _budget query_str =
+    guarded @@ fun () ->
     let p = parse_kg_query query_str in
     let q = p.Wlcq_kg.Kparser.query in
     Printf.printf "query:               %s\n" (Wlcq_kg.Kparser.to_formula p);
@@ -347,17 +482,18 @@ let kg_widths_cmd =
     "Width measures of a knowledge-graph query, e.g. \"(x, y) := exists z . \
      knows(x, z) & worksAt(z, y) & Person(x)\"."
   in
-  Cmd.v (Cmd.info "kg-widths" ~doc) Term.(const run $ obs_term $ query_arg)
+  Cmd.v (Cmd.info "kg-widths" ~doc)
+    Term.(const run $ obs_term $ budget_term $ query_arg)
 
 let kg_ans_cmd =
-  let run () query_str graph_str =
+  let run () budget query_str graph_str =
+    guarded @@ fun () ->
     let p = parse_kg_query query_str in
     match Wlcq_kg.Kspec.parse graph_str with
-    | Error e ->
-      Printf.eprintf "error: %s\n" e;
-      exit 2
+    | Error e -> fail_malformed e
     | Ok g ->
-      Printf.printf "%d\n" (Wlcq_kg.Kcq.count_answers p.Wlcq_kg.Kparser.query g)
+      Printf.printf "%d\n"
+        (Wlcq_kg.Kcq.count_answers ~budget p.Wlcq_kg.Kparser.query g)
   in
   let graph =
     Arg.(required & opt (some string) None
@@ -369,18 +505,19 @@ let kg_ans_cmd =
      the query are assigned in order of first use; make the data spec use \
      the same ids."
   in
-  Cmd.v (Cmd.info "kg-ans" ~doc) Term.(const run $ obs_term $ query_arg $ graph)
+  Cmd.v (Cmd.info "kg-ans" ~doc)
+    Term.(const run $ obs_term $ budget_term $ query_arg $ graph)
 
 (* ------------------------------------------------------------------ *)
 (* wlcq certify                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let certify_cmd =
-  let run () query_str sample =
+  let run () _budget query_str sample_str =
+    guarded @@ fun () ->
     let p = parse_query query_str in
-    let c =
-      Core.Certificate.certify ?sample p.Core.Parser.query
-    in
+    let sample = Option.map parse_graph sample_str in
+    let c = Core.Certificate.certify ?sample p.Core.Parser.query in
     Format.printf "%a@." Core.Certificate.pp c;
     if Core.Certificate.is_valid c then begin
       Format.printf "@.certificate re-checked: VALID@.";
@@ -392,7 +529,7 @@ let certify_cmd =
     end
   in
   let sample =
-    Arg.(value & opt (some graph_conv) None
+    Arg.(value & opt (some string) None
          & info [ "sample" ] ~docv:"GRAPH"
              ~doc:("Sample graph for the upper-bound demonstration \
                     (default: C5). " ^ G.Spec.describe))
@@ -401,14 +538,16 @@ let certify_cmd =
     "Produce and re-check a full Theorem 1 certificate for a query: upper \
      bound by interpolation, lower bound by the Section-4 CFI witness."
   in
-  Cmd.v (Cmd.info "certify" ~doc) Term.(const run $ obs_term $ query_arg $ sample)
+  Cmd.v (Cmd.info "certify" ~doc)
+    Term.(const run $ obs_term $ budget_term $ query_arg $ sample)
 
 (* ------------------------------------------------------------------ *)
 (* wlcq invariants                                                     *)
 (* ------------------------------------------------------------------ *)
 
 let invariants_cmd =
-  let run () () =
+  let run () _budget () =
+    guarded @@ fun () ->
     Printf.printf "%-16s %-22s %s\n" "parameter" "dimension lower bound"
       "witness pair";
     List.iter
@@ -426,16 +565,19 @@ let invariants_cmd =
     "Survey WL-dimension lower bounds of standard graph parameters against \
      the built-in witness-pair library."
   in
-  Cmd.v (Cmd.info "invariants" ~doc) Term.(const run $ obs_term $ const ())
+  Cmd.v (Cmd.info "invariants" ~doc)
+    Term.(const run $ obs_term $ budget_term $ const ())
 
 (* ------------------------------------------------------------------ *)
 (* wlcq profile                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let profile_cmd =
-  let run () g1 g2 max_size tw_bound =
+  let run () budget g1 g2 max_size tw_bound =
+    guarded @@ fun () ->
+    let g1 = parse_graph g1 and g2 = parse_graph g2 in
     match
-      Wlcq_wl.Hom_profile.first_difference ~max_size ~tw_bound g1 g2
+      Wlcq_wl.Hom_profile.first_difference ~budget ~max_size ~tw_bound g1 g2
     with
     | None ->
       Printf.printf
@@ -462,7 +604,7 @@ let profile_cmd =
      distinguish two graphs (Definition 19 made concrete)."
   in
   Cmd.v (Cmd.info "profile" ~doc)
-    Term.(const run $ obs_term
+    Term.(const run $ obs_term $ budget_term
           $ graph_opt "g1" ("First graph. " ^ G.Spec.describe)
           $ graph_opt "g2" "Second graph."
           $ max_size $ tw_bound)

@@ -1,9 +1,12 @@
 open Wlcq_graph
 module Bitset = Wlcq_util.Bitset
 module Obs = Wlcq_obs.Obs
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
 
 let m_builds = Obs.counter "cfi.builds"
 let d_vertices = Obs.distribution "cfi.gadget_vertices"
+let m_abandoned = Obs.counter "robust.fallback.cfi_abandoned"
 
 type t = {
   graph : Graph.t;
@@ -13,7 +16,7 @@ type t = {
   subset : Bitset.t array;
 }
 
-let build base twist =
+let build ?(budget = Budget.unlimited) base twist =
   let n = Graph.num_vertices base in
   if Bitset.capacity twist <> n then
     invalid_arg "Cfi.build: twist set universe must be V(base)";
@@ -26,6 +29,7 @@ let build base twist =
     let d = Array.length neigh in
     let want_odd = Bitset.mem twist w in
     for mask = (1 lsl d) - 1 downto 0 do
+      Budget.tick_check budget;
       let parity_odd =
         let rec pop m acc = if m = 0 then acc else pop (m land (m - 1)) (acc + 1) in
         pop mask 0 mod 2 = 1
@@ -52,6 +56,7 @@ let build base twist =
   Graph.iter_edges base (fun w w' ->
       List.iter
         (fun i ->
+           Budget.tick_check budget;
            List.iter
              (fun j ->
                 if Bitset.mem subset.(i) w' = Bitset.mem subset.(j) w then
@@ -63,6 +68,15 @@ let build base twist =
     Obs.observe d_vertices count
   end;
   { graph = Graph.create count !edges; base; twist; projection; subset }
+
+(* a half-built CFI graph has no sound partial interpretation, so the
+   budgeted wrapper is all-or-nothing: no [`Degraded] outcome *)
+let build_budgeted ~budget base twist =
+  match build ~budget base twist with
+  | t -> `Exact t
+  | exception Budget.Exhausted r ->
+    Obs.incr m_abandoned;
+    `Exhausted r
 
 let even base = build base (Bitset.create (Graph.num_vertices base))
 

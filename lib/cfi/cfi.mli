@@ -15,6 +15,8 @@
 
 open Wlcq_graph
 module Bitset = Wlcq_util.Bitset
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
 
 type t = {
   graph : Graph.t;  (** the CFI graph *)
@@ -26,9 +28,18 @@ type t = {
 
 (** [build base twist] constructs [χ(base, twist)].  The number of CFI
     vertices is [Σ_w 2^(deg w - 1)] (for vertices of positive degree),
-    so keep base degrees moderate.
-    @raise Invalid_argument when the twist set is not over [V(base)]. *)
-val build : Graph.t -> Bitset.t -> t
+    so keep base degrees moderate.  [budget] is ticked in the gadget
+    and edge enumeration loops.
+    @raise Invalid_argument when the twist set is not over [V(base)].
+    @raise Budget.Exhausted when [budget] trips. *)
+val build : ?budget:Budget.t -> Graph.t -> Bitset.t -> t
+
+(** Non-raising variant.  A half-built CFI graph has no sound partial
+    interpretation, so this is all-or-nothing — never [`Degraded]
+    ([robust.fallback.cfi_abandoned] on [`Exhausted]). *)
+val build_budgeted :
+  budget:Budget.t -> Graph.t -> Bitset.t ->
+  (t, Budget.reason) Outcome.t
 
 (** [even base] is [χ(base, ∅)]. *)
 val even : Graph.t -> t

@@ -1,8 +1,13 @@
 open Wlcq_graph
+module Obs = Wlcq_obs.Obs
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
+
+let m_abandoned = Obs.counter "robust.fallback.clone_abandoned"
 
 type t = { graph : Graph.t; colouring : int array; back : int array }
 
-let clone ~g ~f ~c spec =
+let clone ?(budget = Budget.unlimited) ~g ~f ~c spec =
   let n = Graph.num_vertices g in
   if Array.length c <> n then
     invalid_arg "Cloning.clone: colouring array size mismatch";
@@ -36,9 +41,20 @@ let clone ~g ~f ~c spec =
   let edges = ref [] in
   Graph.iter_edges g (fun u v ->
       List.iter
-        (fun i -> List.iter (fun j -> edges := (i, j) :: !edges) copies.(v))
+        (fun i ->
+           Budget.tick_check budget;
+           List.iter (fun j -> edges := (i, j) :: !edges) copies.(v))
         copies.(u));
   { graph = Graph.create count !edges; colouring; back }
+
+(* like [Cfi.build_budgeted]: a half-cloned graph is meaningless, so
+   all-or-nothing *)
+let clone_budgeted ~budget ~g ~f ~c spec =
+  match clone ~budget ~g ~f ~c spec with
+  | t -> `Exact t
+  | exception Budget.Exhausted r ->
+    Obs.incr m_abandoned;
+    `Exhausted r
 
 let rho_is_homomorphism t g =
   let ok = ref true in

@@ -13,6 +13,8 @@
     [Π z_i^{d_i}] — this is the interpolation engine of Lemma 40. *)
 
 open Wlcq_graph
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
 
 type t = {
   graph : Graph.t;  (** the cloned graph [𝒢] *)
@@ -23,9 +25,20 @@ type t = {
 (** [clone ~g ~f ~c spec] builds [𝒢(g, f, c, v̄, z̄)] where [spec]
     lists the pairs [(v_i, z_i)] (colours of [f] not listed keep
     multiplicity 1).
+    [budget] is ticked in the edge-expansion loop.
     @raise Invalid_argument when [c] is not a colouring array over
-    [V(g)], a listed vertex is repeated, or a multiplicity is < 1. *)
-val clone : g:Graph.t -> f:Graph.t -> c:int array -> (int * int) list -> t
+    [V(g)], a listed vertex is repeated, or a multiplicity is < 1.
+    @raise Budget.Exhausted when [budget] trips. *)
+val clone :
+  ?budget:Budget.t ->
+  g:Graph.t -> f:Graph.t -> c:int array -> (int * int) list -> t
+
+(** Non-raising variant; all-or-nothing like {!Cfi.build_budgeted}
+    ([robust.fallback.clone_abandoned] on [`Exhausted]). *)
+val clone_budgeted :
+  budget:Budget.t ->
+  g:Graph.t -> f:Graph.t -> c:int array -> (int * int) list ->
+  (t, Budget.reason) Outcome.t
 
 (** [rho_is_homomorphism t g] checks that the clone-collapsing map ρ is
     a homomorphism back to [g]. *)

@@ -1,7 +1,11 @@
 open Wlcq_graph
 module Bitset = Wlcq_util.Bitset
 
-let twisted_pair base = (Cfi.even base, Cfi.odd base)
+let twisted_pair ?budget base =
+  let n = Graph.num_vertices base in
+  if n = 0 then invalid_arg "Pairs.twisted_pair: base graph is empty";
+  ( Cfi.build ?budget base (Bitset.create n),
+    Cfi.build ?budget base (Bitset.singleton n 0) )
 
 let same_parity_isomorphic base w w' =
   let n = Graph.num_vertices base in

@@ -8,8 +8,10 @@
 
 open Wlcq_graph
 
-(** [twisted_pair base] is [(χ(base, ∅), χ(base, {0}))]. *)
-val twisted_pair : Graph.t -> Cfi.t * Cfi.t
+(** [twisted_pair base] is [(χ(base, ∅), χ(base, {0}))].
+    @raise Invalid_argument when [base] is empty.
+    @raise Cfi.Budget.Exhausted when [budget] trips. *)
+val twisted_pair : ?budget:Cfi.Budget.t -> Graph.t -> Cfi.t * Cfi.t
 
 (** [same_parity_isomorphic base w w'] checks Lemma 26 on a concrete
     instance: builds [χ(base, {w})] and [χ(base, {w'})] and tests

@@ -1,6 +1,11 @@
 open Wlcq_graph
 module Bitset = Wlcq_util.Bitset
 module Combinat = Wlcq_util.Combinat
+module Obs = Wlcq_obs.Obs
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
+
+let m_ans_partial = Obs.counter "robust.fallback.ans_partial"
 
 type t = { graph : Graph.t; free : Bitset.t }
 
@@ -51,26 +56,41 @@ let iter_assignments ?restrict q g f =
     in
     go 0
 
-let iter_answers q g f =
+let iter_answers ?(budget = Budget.unlimited) q g f =
   if is_boolean q then begin
+    Budget.check budget;
     if Wlcq_hom.Brute.exists q.graph g then f [||]
   end
   else
-    iter_assignments q g (fun a -> if is_answer q g a then f a)
+    iter_assignments q g (fun a ->
+        (* one tick per candidate assignment: each is a pattern-sized
+           existence search, so the granularity is bounded *)
+        Budget.tick_check budget;
+        if is_answer q g a then f a)
 
-let count_answers q g =
+let count_answers ?budget q g =
   let n = ref 0 in
-  iter_answers q g (fun _ -> incr n);
+  iter_answers ?budget q g (fun _ -> incr n);
   !n
+
+(* answers are enumerated in a fixed order, so the partial count at
+   the trip is a sound lower bound on |Ans(q, g)| *)
+let count_answers_budgeted ~budget q g =
+  let n = ref 0 in
+  match iter_answers ~budget q g (fun _ -> incr n) with
+  | () -> `Exact !n
+  | exception Budget.Exhausted r ->
+    Obs.incr m_ans_partial;
+    `Exhausted (!n, r)
 
 let answers q g =
   let acc = ref [] in
   iter_answers q g (fun a -> acc := Array.copy a :: !acc);
   List.rev !acc
 
-let count_answers_injective q g =
+let count_answers_injective ?budget q g =
   let n = ref 0 in
-  iter_answers q g (fun a ->
+  iter_answers ?budget q g (fun a ->
       let distinct = List.sort_uniq Int.compare (Array.to_list a) in
       if List.length distinct = Array.length a then incr n);
   !n

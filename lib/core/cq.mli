@@ -11,6 +11,8 @@
     {!free_vars} (which lists [X] in increasing vertex order). *)
 
 open Wlcq_graph
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
 
 type t = private {
   graph : Graph.t;  (** the query graph [H] *)
@@ -44,20 +46,32 @@ val is_connected : t -> bool
     [free_vars q]) extends to a homomorphism. *)
 val is_answer : t -> Graph.t -> int array -> bool
 
-(** [count_answers q g] is [|Ans(q, g)|]. *)
-val count_answers : t -> Graph.t -> int
+(** [count_answers q g] is [|Ans(q, g)|].  [budget] is ticked once per
+    candidate assignment.
+    @raise Budget.Exhausted when [budget] trips. *)
+val count_answers : ?budget:Budget.t -> t -> Graph.t -> int
+
+(** Non-raising variant: [`Exhausted (partial, r)] carries the answers
+    counted before the trip — enumeration order is fixed, so a sound
+    lower bound on [|Ans(q, g)|].  Bumps
+    [robust.fallback.ans_partial]. *)
+val count_answers_budgeted :
+  budget:Budget.t -> t -> Graph.t -> (int, int * Budget.reason) Outcome.t
 
 (** [iter_answers q g f] applies [f] to every answer; the array is
-    reused between calls. *)
-val iter_answers : t -> Graph.t -> (int array -> unit) -> unit
+    reused between calls.
+    @raise Budget.Exhausted when [budget] trips. *)
+val iter_answers :
+  ?budget:Budget.t -> t -> Graph.t -> (int array -> unit) -> unit
 
 (** [answers q g] lists all answers. *)
 val answers : t -> Graph.t -> int array list
 
 (** [count_answers_injective q g] counts the injective answers
     [Inj(q, g)] of Corollary 68 (the assignment must be injective; the
-    extension to [Y] is unconstrained). *)
-val count_answers_injective : t -> Graph.t -> int
+    extension to [Y] is unconstrained).
+    @raise Budget.Exhausted when [budget] trips. *)
+val count_answers_injective : ?budget:Budget.t -> t -> Graph.t -> int
 
 (** [count_answers_tau q g ~c ~tau] is [|Ans^τ(q, (g, c))|] of
     Definition 36: answers [a] with [c(a(x)) = tau(x)] for each free

@@ -1,5 +1,6 @@
 open Wlcq_graph
 module Bitset = Wlcq_util.Bitset
+module Budget = Wlcq_robust.Budget
 module Bigint = Wlcq_util.Bigint
 module Rat = Wlcq_util.Rat
 
@@ -13,10 +14,12 @@ let is_dominating g d =
     d;
   Bitset.cardinal covered = n
 
-let count_direct k g =
+let count_direct ?(budget = Budget.unlimited) k g =
   let n = Graph.num_vertices g in
   let count = ref 0 in
   Wlcq_util.Combinat.iter_subsets_of_size k n (fun subset ->
+      (* one tick per candidate subset: each domination test is O(n·k) *)
+      Budget.tick_check budget;
       if is_dominating g (Array.to_list subset) then incr count);
   Bigint.of_int !count
 
@@ -30,9 +33,10 @@ let via_injective_count inj_count k g =
     failwith "Domset.via_injective_count: injective answer count not divisible by k!";
   Bigint.sub (Bigint.binomial n k) per_subset
 
-let count_via_stars k g =
+let count_via_stars ?budget k g =
   via_injective_count
-    (fun k g -> Bigint.of_int (Cq.count_answers_injective (Star.query k) g))
+    (fun k g ->
+       Bigint.of_int (Cq.count_answers_injective ?budget (Star.query k) g))
     k g
 
 let count_via_quantum k g =

@@ -14,13 +14,18 @@
     injective answers expanded into the quantum query of Corollary 68. *)
 
 open Wlcq_graph
+module Budget = Wlcq_robust.Budget
 
-(** [count_direct k g] enumerates k-subsets and tests domination. *)
-val count_direct : int -> Graph.t -> Wlcq_util.Bigint.t
+(** [count_direct k g] enumerates k-subsets and tests domination.
+    [budget] is ticked once per candidate subset.
+    @raise Budget.Exhausted when [budget] trips. *)
+val count_direct : ?budget:Budget.t -> int -> Graph.t -> Wlcq_util.Bigint.t
 
 (** [count_via_stars k g] uses the complement/star reduction with
-    direct injective-answer counting. *)
-val count_via_stars : int -> Graph.t -> Wlcq_util.Bigint.t
+    direct injective-answer counting.
+    @raise Budget.Exhausted when [budget] trips. *)
+val count_via_stars :
+  ?budget:Budget.t -> int -> Graph.t -> Wlcq_util.Bigint.t
 
 (** [count_via_quantum k g] uses the complement/star reduction with
     the quantum-query expansion {!Quantum.injective_star}. *)

@@ -1,5 +1,16 @@
 open Wlcq_graph
 module Bitset = Wlcq_util.Bitset
+module Budget = Wlcq_robust.Budget
+
+(* Exact treewidth under a budget: a [`Degraded] heuristic bound is
+   useless to the *exact* width measures below, so it re-raises — the
+   callers ([Wl_dimension.dimension_budgeted]) catch and fall back to
+   their own certified intervals. *)
+let exact_tw ~budget g =
+  match Wlcq_treewidth.Exact.treewidth_budgeted ~budget g with
+  | `Exact w -> w
+  | `Degraded (_, r) -> raise (Budget.Exhausted r.Wlcq_robust.Outcome.cause)
+  | `Exhausted _ -> assert false (* treewidth_budgeted never exhausts *)
 
 (* Connected components of H[Y], each paired with the set of free
    variables adjacent to it in H. *)
@@ -45,9 +56,17 @@ let contract q =
   let xs = Array.to_list (Cq.free_vars q) in
   fst (Ops.induced gamma xs)
 
-let extension_width q = Wlcq_treewidth.Exact.treewidth (gamma_graph q)
+let extension_width ?(budget = Budget.unlimited) q =
+  exact_tw ~budget (gamma_graph q)
 
-let semantic_extension_width q = extension_width (Minimize.counting_core q)
+let semantic_extension_width ?(budget = Budget.unlimited) q =
+  extension_width ~budget (Minimize.counting_core ~budget q)
+
+(* Heuristic upper bound on [ew(H, X)]: tw is bracketed above by the
+   min-degree/min-fill orders, and [sew <= ew] (the core retracts H).
+   Polynomial, so it needs no budget of its own. *)
+let extension_width_upper_bound q =
+  Wlcq_treewidth.Heuristics.upper_bound (gamma_graph q)
 
 let quantified_star_size q =
   List.fold_left
@@ -120,10 +139,10 @@ let ew_via_f_ell q ~max_ell =
   done;
   !best
 
-let minimal_saturating_ell q =
-  let target = extension_width q in
+let minimal_saturating_ell ?(budget = Budget.unlimited) q =
+  let target = extension_width ~budget q in
   let rec go ell =
-    if Wlcq_treewidth.Exact.treewidth (f_ell q ell).graph = target then ell
+    if exact_tw ~budget (f_ell q ell).graph = target then ell
     else go (ell + 1)
   in
   go 1

@@ -9,6 +9,7 @@
       and [ew(H,X) = max_ℓ tw(F_ℓ(H,X))] (Corollary 18). *)
 
 open Wlcq_graph
+module Budget = Wlcq_robust.Budget
 
 (** [quantified_components q] lists the connected components of
     [H[Y]]: each entry is [(members, attached)] where [members] are the
@@ -24,12 +25,25 @@ val gamma_graph : Cq.t -> Graph.t
     [0 .. |X|-1] in free-variable order. *)
 val contract : Cq.t -> Graph.t
 
-(** [extension_width q] is [ew(H, X) = tw(Γ(H, X))]. *)
-val extension_width : Cq.t -> int
+(** [extension_width q] is [ew(H, X) = tw(Γ(H, X))].  The exact width
+    measures reject degraded treewidth bounds: when [budget] trips the
+    treewidth search, this {e raises} rather than returning a wrong
+    width.
+    @raise Budget.Exhausted when [budget] trips. *)
+val extension_width : ?budget:Budget.t -> Cq.t -> int
 
 (** [semantic_extension_width q] is [sew(H, X)]: the extension width of
-    the counting core (Definition 12). *)
-val semantic_extension_width : Cq.t -> int
+    the counting core (Definition 12).
+    @raise Budget.Exhausted when [budget] trips (in the endomorphism
+    search or either treewidth computation). *)
+val semantic_extension_width : ?budget:Budget.t -> Cq.t -> int
+
+(** [extension_width_upper_bound q] is a certified upper bound on
+    [ew(H, X)] — hence on [sew(H, X)], since the core is a retract —
+    from the polynomial {!Wlcq_treewidth.Heuristics} bracket.  The
+    [`Exhausted] rung of [Wl_dimension.dimension_budgeted] is built on
+    this. *)
+val extension_width_upper_bound : Cq.t -> int
 
 (** [quantified_star_size q] is the Durand–Mengel star-size invariant:
     the maximum, over connected components [C] of [H[Y]], of the number
@@ -60,5 +74,6 @@ val ew_via_f_ell : Cq.t -> max_ell:int -> int
 
 (** [minimal_saturating_ell q] is the least [ℓ] with
     [tw(F_ℓ(H,X)) = ew(H,X)] (the witness constructions want the
-    smallest, and odd, such [ℓ]). *)
-val minimal_saturating_ell : Cq.t -> int
+    smallest, and odd, such [ℓ]).
+    @raise Budget.Exhausted when [budget] trips. *)
+val minimal_saturating_ell : ?budget:Budget.t -> Cq.t -> int

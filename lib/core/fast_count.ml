@@ -8,8 +8,11 @@ module Int_tbl = Wlcq_util.Ordering.Int_tbl
 module Arr_tbl = Wlcq_util.Ordering.Int_array_tbl
 module Dp_key = Wlcq_hom.Dp_key
 module Obs = Wlcq_obs.Obs
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
 
 let m_runs = Obs.counter "fast_count.runs"
+let m_exhausted = Obs.counter "robust.fallback.fast_exhausted"
 let m_entries = Obs.counter "fast_count.dp_entries"
 let m_memo_hits = Obs.counter "fast_count.memo_hits"
 let m_memo_misses = Obs.counter "fast_count.memo_misses"
@@ -237,7 +240,7 @@ let target_support g =
       Bitset.set s v);
   s
 
-let count_answers q g =
+let count_answers ?(budget = Budget.unlimited) q g =
   let h = q.Cq.graph in
   let n = Graph.num_vertices g in
   let xs = Cq.free_vars q in
@@ -400,8 +403,14 @@ let count_answers q g =
       Array.init nodes (fun t ->
           Dp_key.table codec ~arity:(Bitset.cardinal bags.(t)))
     in
+    (* the DP is sequential by design (shared predicate memos), so the
+       budget may unwind by exception; tables go back to the pool
+       either way *)
+    Fun.protect ~finally:(fun () -> Array.iter Dp_key.release tables)
+    @@ fun () ->
     Array.iter
       (fun t ->
+         Budget.check budget;
          let bag_arr = Array.of_list (bag_list t) in
          let arity = Array.length bag_arr in
          let grouped =
@@ -427,6 +436,7 @@ let count_answers q g =
            assigned.(t);
          let images = Array.make (max 1 arity) 0 in
          let rec go i =
+           Budget.tick_check budget;
            if i = arity then begin
              let value = ref Count.one in
              let ok = ref true in
@@ -473,9 +483,15 @@ let count_answers q g =
              tbl)
         tables
     end;
-    let result =
-      Count.to_bigint
-        (Dp_key.total tables.(rooted.Wlcq_treewidth.Decomposition.root))
-    in
-    Array.iter Dp_key.release tables;
-    result
+    Count.to_bigint
+      (Dp_key.total tables.(rooted.Wlcq_treewidth.Decomposition.root))
+
+(* like [Brute.count_budgeted] in shape, but the DP's intermediate
+   tables admit no sound partial reading, so exhaustion carries no
+   partial count *)
+let count_answers_budgeted ~budget q g =
+  match count_answers ~budget q g with
+  | v -> `Exact v
+  | exception Budget.Exhausted r ->
+    Obs.incr m_exhausted;
+    `Exhausted r

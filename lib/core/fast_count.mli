@@ -23,6 +23,8 @@
     and compared in bench series F3. *)
 
 open Wlcq_graph
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
 
 (** [count_answers q g] is [|Ans(q, g)|] as a {!Wlcq_util.Bigint}
     (unlike enumeration, the DP can exceed native range).
@@ -32,8 +34,17 @@ open Wlcq_graph
     restricted to per-position candidate sets (target support, unary
     component predicates, arc consistency over the [H[X]] edges) with
     constraints checked as soon as their scope is assigned, and each
-    constraint lives in the smallest bag covering its scope. *)
-val count_answers : Cq.t -> Graph.t -> Wlcq_util.Bigint.t
+    constraint lives in the smallest bag covering its scope.
+    [budget] is ticked per bag-enumeration node.
+    @raise Budget.Exhausted when [budget] trips. *)
+val count_answers : ?budget:Budget.t -> Cq.t -> Graph.t -> Wlcq_util.Bigint.t
+
+(** Non-raising variant: the DP's intermediate tables admit no sound
+    partial reading, so exhaustion carries no partial count.  Bumps
+    [robust.fallback.fast_exhausted]. *)
+val count_answers_budgeted :
+  budget:Budget.t -> Cq.t -> Graph.t ->
+  (Wlcq_util.Bigint.t, Budget.reason) Outcome.t
 
 (** The original engine (full tuple enumeration, first-covering-bag
     constraint assignment), kept verbatim as a differential-testing

@@ -1,5 +1,6 @@
 open Wlcq_graph
 module Bitset = Wlcq_util.Bitset
+module Budget = Wlcq_robust.Budget
 
 exception Found of int array
 
@@ -7,7 +8,7 @@ exception Found of int array
    whose image misses at least one vertex.  Free variables are
    restricted to land in X; bijectivity and image size are checked on
    each enumerated endomorphism. *)
-let shrinking_raw q =
+let shrinking_raw ?budget q =
   let h = q.Cq.graph in
   let n = Graph.num_vertices h in
   let free = q.Cq.free in
@@ -15,7 +16,7 @@ let shrinking_raw q =
     if Bitset.mem free v then Bitset.copy free else Bitset.full n
   in
   try
-    Wlcq_hom.Brute.iter ~candidates h h (fun endo ->
+    Wlcq_hom.Brute.iter ?budget ~candidates h h (fun endo ->
         let image = Bitset.create n in
         Array.iter (fun v -> Bitset.set image v) endo;
         if Bitset.cardinal image < n then begin
@@ -42,13 +43,13 @@ let fix_free_pointwise q endo =
   let rec go h = if identity_on_free h then h else go (compose endo h) in
   go endo
 
-let shrinking_endomorphism q =
-  Option.map (fix_free_pointwise q) (shrinking_raw q)
+let shrinking_endomorphism ?budget q =
+  Option.map (fix_free_pointwise q) (shrinking_raw ?budget q)
 
 let is_counting_minimal q = Option.is_none (shrinking_raw q)
 
-let rec counting_core q =
-  match shrinking_endomorphism q with
+let rec counting_core ?budget q =
+  match shrinking_endomorphism ?budget q with
   | None -> q
   | Some endo ->
     let h = q.Cq.graph in
@@ -63,4 +64,4 @@ let rec counting_core q =
     let new_free =
       List.map (Hashtbl.find new_of_old) (Bitset.to_list q.Cq.free)
     in
-    counting_core (Cq.make sub new_free)
+    counting_core ?budget (Cq.make sub new_free)

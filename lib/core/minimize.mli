@@ -14,10 +14,14 @@
     Lemma 44.  For full queries ([X = V(H)]) every such endomorphism is
     an automorphism, so full queries are always minimal (Section 5). *)
 
+module Budget = Wlcq_robust.Budget
+
 (** [counting_core q] is the counting-minimal representative of [q]'s
     counting-equivalence class (free variables keep their relative
-    order; vertex labels are compacted). *)
-val counting_core : Cq.t -> Cq.t
+    order; vertex labels are compacted).  The endomorphism search is
+    budgeted through {!Wlcq_hom.Brute.iter}.
+    @raise Budget.Exhausted when [budget] trips mid-search. *)
+val counting_core : ?budget:Budget.t -> Cq.t -> Cq.t
 
 (** [is_counting_minimal q] holds when no proper shrinking
     endomorphism exists. *)
@@ -25,5 +29,6 @@ val is_counting_minimal : Cq.t -> bool
 
 (** [shrinking_endomorphism q] is a witness endomorphism (as an array
     over [V(H)]) that fixes [X] pointwise and has a proper image, if
-    one exists. *)
-val shrinking_endomorphism : Cq.t -> int array option
+    one exists.
+    @raise Budget.Exhausted when [budget] trips mid-search. *)
+val shrinking_endomorphism : ?budget:Budget.t -> Cq.t -> int array option

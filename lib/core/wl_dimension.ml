@@ -5,36 +5,74 @@ module Rat = Wlcq_util.Rat
 module Cfi = Wlcq_cfi.Cfi
 module Cloning = Wlcq_cfi.Cloning
 module Obs = Wlcq_obs.Obs
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
 
 let m_cache_hits = Obs.counter "wl_dimension.cache_hits"
 let m_cache_misses = Obs.counter "wl_dimension.cache_misses"
+let m_interval = Obs.counter "robust.fallback.dim_interval"
 
 (* ------------------------------------------------------------------ *)
 (* Theorem 1 (with the Section 1.3 extensions for empty X and          *)
 (* disconnected queries)                                               *)
 (* ------------------------------------------------------------------ *)
 
-let rec dimension q =
+let components_as_queries q =
+  let h = q.Cq.graph in
+  List.map
+    (fun members ->
+       let sub, back = Ops.induced h members in
+       let free =
+         List.filteri
+           (fun i _ -> Bitset.mem q.Cq.free back.(i))
+           (List.init (List.length members) (fun i -> i))
+       in
+       Cq.make sub free)
+    (Traversal.component_members h)
+
+let rec dimension_exact ~budget q =
   let h = q.Cq.graph in
   if Graph.num_vertices h = 0 then 0
   else if not (Cq.is_connected q) then
     (* (A): maximum over connected components *)
     List.fold_left
-      (fun acc members ->
-         let sub, back = Ops.induced h members in
-         let free =
-           List.filteri
-             (fun i _ -> Bitset.mem q.Cq.free back.(i))
-             (List.init (List.length members) (fun i -> i))
-         in
-         max acc (dimension (Cq.make sub free)))
-      0
-      (Traversal.component_members h)
+      (fun acc sq -> max acc (dimension_exact ~budget sq))
+      0 (components_as_queries q)
   else if Cq.is_boolean q then
     (* (B): counting answers = deciding hom existence; the dimension is
-       the treewidth of the homomorphic core *)
-    Wlcq_treewidth.Exact.treewidth (Minimize.counting_core q).Cq.graph
-  else Extension.semantic_extension_width q
+       the treewidth of the homomorphic core.  A degraded treewidth
+       bound is not the dimension, so it re-raises. *)
+    match
+      Wlcq_treewidth.Exact.treewidth_budgeted ~budget
+        (Minimize.counting_core ~budget q).Cq.graph
+    with
+    | `Exact w -> w
+    | `Degraded (_, r) -> raise (Budget.Exhausted r.Outcome.cause)
+    | `Exhausted _ -> assert false
+  else Extension.semantic_extension_width ~budget q
+
+let dimension q = dimension_exact ~budget:Budget.unlimited q
+
+(* Certified upper bound, mirroring the recursion of [dimension] with
+   the polynomial {!Wlcq_treewidth.Heuristics} bracket in place of
+   exact treewidth and no core minimisation (both only lower the
+   value).  Always cheap, never budgeted. *)
+let rec dimension_upper_bound q =
+  let h = q.Cq.graph in
+  if Graph.num_vertices h = 0 then 0
+  else if not (Cq.is_connected q) then
+    List.fold_left
+      (fun acc sq -> max acc (dimension_upper_bound sq))
+      0 (components_as_queries q)
+  else if Cq.is_boolean q then Wlcq_treewidth.Heuristics.upper_bound h
+  else Extension.extension_width_upper_bound q
+
+let dimension_budgeted ~budget q =
+  match dimension_exact ~budget q with
+  | d -> `Exact d
+  | exception Budget.Exhausted r ->
+    Obs.incr m_interval;
+    `Exhausted ((0, dimension_upper_bound q), r)
 
 (* ------------------------------------------------------------------ *)
 (* Lower-bound witness (Section 4)                                     *)
@@ -50,8 +88,8 @@ type witness = {
   colouring_odd : int array;
 }
 
-let lower_bound_witness q =
-  let core = Minimize.counting_core q in
+let lower_bound_witness ?budget q =
+  let core = Minimize.counting_core ?budget q in
   if not (Cq.is_connected core) then
     invalid_arg "Wl_dimension.lower_bound_witness: query must be connected";
   if Cq.is_boolean core then
@@ -63,7 +101,7 @@ let lower_bound_witness q =
   (* smallest odd ℓ with tw(F_ℓ) = ew(core); treewidth is monotone in ℓ
      and capped at ew (Lemma 16), so bumping to the next odd value is
      safe *)
-  let ell0 = Extension.minimal_saturating_ell core in
+  let ell0 = Extension.minimal_saturating_ell ?budget core in
   let ell = if ell0 mod 2 = 1 then ell0 else ell0 + 1 in
   let f = Extension.f_ell core ell in
   (* x₁: a free variable adjacent to a quantified one; its F-vertex is
@@ -87,9 +125,12 @@ let lower_bound_witness q =
     in
     find 0
   in
-  let even = Cfi.even f.Extension.graph in
+  let even =
+    Cfi.build ?budget f.Extension.graph
+      (Bitset.create (Graph.num_vertices f.Extension.graph))
+  in
   let odd =
-    Cfi.build f.Extension.graph
+    Cfi.build ?budget f.Extension.graph
       (Bitset.singleton (Graph.num_vertices f.Extension.graph) x1)
   in
   let colouring (chi : Cfi.t) =
@@ -181,11 +222,11 @@ let separating_pair ?(max_z = 3) q =
 (* Upper bound: interpolation (Lemma 22 / Observation 23)              *)
 (* ------------------------------------------------------------------ *)
 
-let answers_via_interpolation ?(max_system = 64) q g =
-  let core = Minimize.counting_core q in
+let answers_via_interpolation ?budget ?(max_system = 64) q g =
+  let core = Minimize.counting_core ?budget q in
   if Cq.is_full core then
     (* no quantified variables: answers are homomorphisms *)
-    Wlcq_hom.Td_count.count core.Cq.graph g
+    Wlcq_hom.Td_count.count ?budget core.Cq.graph g
   else begin
     let y_count = Array.length (Cq.quantified_vars core) in
     let n = Graph.num_vertices g in
@@ -211,7 +252,7 @@ let answers_via_interpolation ?(max_system = 64) q g =
         List.init n_hat (fun i ->
             (Extension.f_ell core (i + 1)).Extension.graph)
       in
-      let rhs = Array.of_list (Wlcq_hom.Td_count.count_many patterns g) in
+      let rhs = Array.of_list (Wlcq_hom.Td_count.count_many ?budget patterns g) in
       let nodes = Array.init n_hat (fun i -> Bigint.of_int (i + 1)) in
       let coeffs = Wlcq_util.Linalg.vandermonde_solve nodes rhs in
       let total = Array.fold_left Rat.add Rat.zero coeffs in

@@ -21,6 +21,8 @@
       cloning of Lemma 40). *)
 
 open Wlcq_graph
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
 
 (** [dimension q] is the WL-dimension of [q].  For connected queries
     with [X ≠ ∅] this is [sew q] (Theorem 1).  The extensions
@@ -29,6 +31,24 @@ open Wlcq_graph
     disconnected queries the maximum over connected components
     (item A). *)
 val dimension : Cq.t -> int
+
+(** [dimension_budgeted ~budget q]: [`Exact d] when every treewidth
+    search and endomorphism enumeration finished in budget; otherwise
+    [`Exhausted ((lo, hi), r)] with a {e certified} interval
+    containing the dimension — [lo = 0] and [hi] from
+    {!dimension_upper_bound}.  Never [`Degraded]: an uncertain
+    dimension is an interval, not a flagged point value.  Bumps
+    [robust.fallback.dim_interval]. *)
+val dimension_budgeted :
+  budget:Budget.t -> Cq.t ->
+  (int, (int * int) * Budget.reason) Outcome.t
+
+(** [dimension_upper_bound q] is a certified upper bound on
+    [dimension q]: the recursion of {!dimension} with the polynomial
+    {!Wlcq_treewidth.Heuristics} treewidth bracket in place of exact
+    treewidth and no core minimisation (both can only lower the
+    value). *)
+val dimension_upper_bound : Cq.t -> int
 
 type witness = {
   core : Cq.t;  (** the counting-minimal representative *)
@@ -42,10 +62,13 @@ type witness = {
 
 (** [lower_bound_witness q] builds the Section-4 witness for a
     connected query whose counting core has at least one quantified
-    variable and [X ≠ ∅].
+    variable and [X ≠ ∅].  [budget] is threaded through the core
+    minimisation, the saturating-ℓ treewidth searches and both CFI
+    builds.
     @raise Invalid_argument otherwise (full queries are covered by
-    Neuen's theorem and need no [F_ℓ] construction). *)
-val lower_bound_witness : Cq.t -> witness
+    Neuen's theorem and need no [F_ℓ] construction).
+    @raise Budget.Exhausted when [budget] trips. *)
+val lower_bound_witness : ?budget:Budget.t -> Cq.t -> witness
 
 (** [ans_id_counts w] is [(|Ans^id| on χ(F,∅), |Ans^id| on χ(F,{x₁}))]
     — Lemma 57 asserts the first is strictly larger. *)
@@ -77,8 +100,11 @@ val separating_pair : ?max_z:int -> Cq.t -> (Graph.t * Graph.t) option
 (** [answers_via_interpolation q g] computes [|Ans(q, g)|] from the
     homomorphism counts [|Hom(F_ℓ(core), g)|], [ℓ = 1 .. n̂], by exact
     Vandermonde interpolation (Lemma 22 / Observation 23), where
-    [n̂ = |V(g)|^{|Y(core)|}].
+    [n̂ = |V(g)|^{|Y(core)|}].  [budget] is threaded into the core
+    minimisation and the batch homomorphism counts.
     @raise Invalid_argument when [n̂] exceeds [max_system] (default
-    64). *)
+    64).
+    @raise Budget.Exhausted when [budget] trips. *)
 val answers_via_interpolation :
-  ?max_system:int -> Cq.t -> Graph.t -> Wlcq_util.Bigint.t
+  ?budget:Budget.t -> ?max_system:int -> Cq.t -> Graph.t ->
+  Wlcq_util.Bigint.t

@@ -1,5 +1,10 @@
 open Wlcq_graph
 module Bitset = Wlcq_util.Bitset
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
+module Obs = Wlcq_obs.Obs
+
+let m_partial = Obs.counter "robust.fallback.brute_partial"
 
 (* Assignment order: BFS through each component, seeded by pinned
    vertices first, so that each newly assigned vertex is adjacent to an
@@ -32,7 +37,7 @@ let assignment_order h pins =
 
 exception Found
 
-let iter ?(pins = []) ?candidates h g f =
+let iter ?(budget = Budget.unlimited) ?(pins = []) ?candidates h g f =
   let n = Graph.num_vertices h in
   let ng = Graph.num_vertices g in
   if n = 0 then f [||]
@@ -60,6 +65,7 @@ let iter ?(pins = []) ?candidates h g f =
     in
     let all = Bitset.full ng in
     let rec go i =
+      Budget.tick_check budget;
       if i = n then f image
       else begin
         let u = order.(i) in
@@ -87,10 +93,20 @@ let iter ?(pins = []) ?candidates h g f =
     go 0
   end
 
-let count ?pins ?candidates h g =
+let count ?budget ?pins ?candidates h g =
   let c = ref 0 in
-  iter ?pins ?candidates h g (fun _ -> incr c);
+  iter ?budget ?pins ?candidates h g (fun _ -> incr c);
   !c
+
+let count_budgeted ~budget ?pins ?candidates h g =
+  let c = ref 0 in
+  match iter ~budget ?pins ?candidates h g (fun _ -> incr c) with
+  | () -> `Exact !c
+  | exception Budget.Exhausted r ->
+    (* every enumerated homomorphism is real, so the partial count is
+       a sound lower bound *)
+    Obs.incr m_partial;
+    `Exhausted (!c, r)
 
 let exists ?pins ?candidates h g =
   try

@@ -16,22 +16,39 @@
       (used for colour-prescribed homomorphisms, Definition 48). *)
 
 open Wlcq_graph
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
 
-(** [iter ?pins ?candidates h g f] applies [f] to every homomorphism
-    from [h] to [g] (as an array indexed by [V(h)]).  The array is
-    reused between calls. *)
+(** [iter ?budget ?pins ?candidates h g f] applies [f] to every
+    homomorphism from [h] to [g] (as an array indexed by [V(h)]).  The
+    array is reused between calls.  [budget] is ticked once per search
+    node.
+    @raise Budget.Exhausted when [budget] trips mid-search. *)
 val iter :
+  ?budget:Budget.t ->
   ?pins:(int * int) list ->
   ?candidates:(int -> Wlcq_util.Bitset.t) ->
   Graph.t -> Graph.t -> (int array -> unit) -> unit
 
-(** [count ?pins ?candidates h g] is [|Hom(h, g)|] subject to the
-    restrictions.  (Counting by enumeration cannot overflow a native
-    int in feasible time.) *)
+(** [count ?budget ?pins ?candidates h g] is [|Hom(h, g)|] subject to
+    the restrictions.  (Counting by enumeration cannot overflow a
+    native int in feasible time.)
+    @raise Budget.Exhausted when [budget] trips mid-search. *)
 val count :
+  ?budget:Budget.t ->
   ?pins:(int * int) list ->
   ?candidates:(int -> Wlcq_util.Bitset.t) ->
   Graph.t -> Graph.t -> int
+
+(** [count_budgeted ~budget h g] never raises: on exhaustion it
+    returns [`Exhausted (partial, reason)], where [partial] counts the
+    homomorphisms enumerated before the trip — a sound lower bound on
+    [|Hom(h, g)|].  Bumps [robust.fallback.brute_partial]. *)
+val count_budgeted :
+  budget:Budget.t ->
+  ?pins:(int * int) list ->
+  ?candidates:(int -> Wlcq_util.Bitset.t) ->
+  Graph.t -> Graph.t -> (int, int * Budget.reason) Outcome.t
 
 (** [exists ?pins ?candidates h g] tests whether a homomorphism exists
     (early exit). *)

@@ -19,6 +19,8 @@ module Count = Wlcq_util.Count
 module Bigint = Wlcq_util.Bigint
 module Int_tbl = Wlcq_util.Ordering.Int_tbl
 module Arr_tbl = Wlcq_util.Ordering.Int_array_tbl
+module Budget = Wlcq_robust.Budget
+module Fault = Wlcq_robust.Fault
 
 type codec = { bits : int; mask : int }
 
@@ -107,7 +109,12 @@ let create_packed c ~arity =
     Dense { data = alloc_data (arity * c.bits); keys = []; big = None }
   else Packed (Int_tbl.create 64)
 
+(* Fault-injection hook: the robustness suite forces allocation
+   failures here to prove the DP engines unwind cleanly (tables built
+   so far are released, the driver reports `Exhausted). *)
 let table c ~arity =
+  if Fault.should_fail Fault.Dp_alloc then
+    raise (Budget.Exhausted (Budget.Injected "dp_alloc"));
   if packs c ~arity then create_packed c ~arity
   else Hashed (Arr_tbl.create 64)
 

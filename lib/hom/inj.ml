@@ -1,17 +1,24 @@
 open Wlcq_graph
 module Bitset = Wlcq_util.Bitset
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
+module Obs = Wlcq_obs.Obs
 
-(* Injective backtracking: Brute's search with a used-image filter. *)
-let count h g =
+let m_partial = Obs.counter "robust.fallback.inj_partial"
+
+(* Injective backtracking: Brute's search with a used-image filter.
+   The running count lives in [counter] so budgeted callers can
+   salvage it when the search unwinds with Budget.Exhausted. *)
+let count_into ~budget h g counter =
   let n = Graph.num_vertices h in
   let ng = Graph.num_vertices g in
-  if n = 0 then 1
-  else if n > ng then 0
+  if n = 0 then incr counter
+  else if n > ng then ()
   else begin
     let used = Array.make ng false in
-    let counter = ref 0 in
     let image = Array.make n (-1) in
     let rec go u =
+      Budget.tick_check budget;
       if u = n then incr counter
       else begin
         (* candidates adjacent to all previously assigned neighbours *)
@@ -34,9 +41,21 @@ let count h g =
           cand
       end
     in
-    go 0;
-    !counter
+    go 0
   end
+
+let count ?(budget = Budget.unlimited) h g =
+  let counter = ref 0 in
+  count_into ~budget h g counter;
+  !counter
+
+let count_budgeted ~budget h g =
+  let partial = ref 0 in
+  match count_into ~budget h g partial with
+  | () -> `Exact !partial
+  | exception Budget.Exhausted r ->
+    Obs.incr m_partial;
+    `Exhausted (!partial, r)
 
 (* Möbius function of the partition lattice between the discrete
    partition and ρ: the product over blocks B of (-1)^(|B|-1)(|B|-1)!. *)

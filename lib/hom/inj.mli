@@ -8,10 +8,19 @@
     quotient-lattice inclusion–exclusion. *)
 
 open Wlcq_graph
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
 
-(** [count h g] is the number of injective homomorphisms from [h] to
-    [g]. *)
-val count : Graph.t -> Graph.t -> int
+(** [count ?budget h g] is the number of injective homomorphisms from
+    [h] to [g].
+    @raise Budget.Exhausted when [budget] trips mid-search. *)
+val count : ?budget:Budget.t -> Graph.t -> Graph.t -> int
+
+(** [count_budgeted ~budget h g] never raises: [`Exhausted (partial, r)]
+    carries the number of embeddings enumerated before the trip — a
+    sound lower bound.  Bumps [robust.fallback.inj_partial]. *)
+val count_budgeted :
+  budget:Budget.t -> Graph.t -> Graph.t -> (int, int * Budget.reason) Outcome.t
 
 (** [count_by_quotients h g] computes the same value as [count] via
     inclusion–exclusion over the partition lattice of [V(h)]:

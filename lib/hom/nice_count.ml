@@ -5,12 +5,16 @@ module Bigint = Wlcq_util.Bigint
 module Count = Wlcq_util.Count
 module Tbl = Wlcq_util.Ordering.Int_list_tbl
 module Obs = Wlcq_obs.Obs
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
 
 let m_runs = Obs.counter "nice_count.runs"
 let m_entries = Obs.counter "nice_count.dp_entries"
 let d_bag = Obs.distribution "nice_count.bag_size"
 let m_packed_keys = Obs.counter "nice_count.packed_keys"
 let m_hashed_keys = Obs.counter "nice_count.hashed_keys"
+let m_exhausted = Obs.counter "robust.fallback.nice_exhausted"
+let m_heuristic_decomp = Obs.counter "robust.fallback.nice_heuristic_decomp"
 
 (* Tables map the images of the bag vertices (in increasing H-vertex
    order) to the number of homomorphisms of the subtree's part of H
@@ -132,7 +136,7 @@ let index_of v lst =
   in
   go 0 lst
 
-let count_with_nice nd h g =
+let count_with_nice ?(budget = Budget.unlimited) nd h g =
   if not (Nice.is_valid_for nd h) then
     invalid_arg "Nice_count.count_with_nice: decomposition does not match the pattern";
   Obs.span "nice_count.run" @@ fun () ->
@@ -145,8 +149,13 @@ let count_with_nice nd h g =
     Array.init nnodes (fun i ->
         Dp_key.table c ~arity:(Bitset.cardinal nd.Nice.bags.(i)))
   in
+  (* the DP is sequential (driver domain), so the budget may unwind by
+     exception; the pooled tables are released either way *)
+  Fun.protect ~finally:(fun () -> Array.iter Dp_key.release tables)
+  @@ fun () ->
   Array.iteri
     (fun i node ->
+       Budget.check budget;
        let arity = Bitset.cardinal nd.Nice.bags.(i) in
        let table = tables.(i) in
        (match node with
@@ -169,6 +178,7 @@ let count_with_nice nd h g =
           let key = Array.make arity 0 in
           Dp_key.iter_decoded c tables.(ci) ~arity:carity cscratch
             (fun ckey cnt ->
+               Budget.tick_check budget;
                Array.blit ckey 0 key 0 vpos;
                Array.blit ckey vpos key (vpos + 1) (carity - vpos);
                for w = 0 to ng - 1 do
@@ -207,11 +217,38 @@ let count_with_nice nd h g =
          else Obs.add m_hashed_keys len
        end)
     nd.Nice.nodes;
-  let result = Count.to_bigint (Dp_key.total tables.(nd.Nice.root)) in
-  Array.iter Dp_key.release tables;
-  result
+  Count.to_bigint (Dp_key.total tables.(nd.Nice.root))
 
-let count h g =
+let count ?budget h g =
   let d = Exact.optimal_decomposition h in
   let nd = Nice.of_decomposition d ~universe:(Graph.num_vertices h) in
-  count_with_nice nd h g
+  count_with_nice ?budget nd h g
+
+let count_budgeted ~budget h g =
+  match Exact.optimal_decomposition_budgeted ~budget h with
+  | exception Budget.Exhausted r ->
+    Obs.incr m_exhausted;
+    `Exhausted r
+  | od ->
+    let d, decomp_degraded =
+      match od with
+      | `Exact d -> (d, None)
+      | `Degraded (d, r) -> (d, Some r)
+      | `Exhausted _ -> assert false
+    in
+    let nd = Nice.of_decomposition d ~universe:(Graph.num_vertices h) in
+    (* DP rung under a fork, as in Td_count.count_budgeted *)
+    let dp_budget =
+      match decomp_degraded with None -> budget | Some _ -> Budget.fork budget
+    in
+    match count_with_nice ~budget:dp_budget nd h g with
+    | exception Budget.Exhausted r ->
+      Obs.incr m_exhausted;
+      `Exhausted r
+    | v ->
+      (match decomp_degraded with
+       | None -> `Exact v
+       | Some r ->
+         Obs.incr m_heuristic_decomp;
+         Outcome.degraded ~cause:r.Outcome.cause
+           ~fallback:"heuristic decomposition (count still exact)" v)

@@ -8,15 +8,27 @@
     decomposition width [w]. *)
 
 open Wlcq_graph
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
 
 (** [count h g] is [|Hom(h, g)|].  Runs on packed-key tables
-    ({!Dp_key}) with the {!Wlcq_util.Count} int63 fast path. *)
-val count : Graph.t -> Graph.t -> Wlcq_util.Bigint.t
+    ({!Dp_key}) with the {!Wlcq_util.Count} int63 fast path.
+    @raise Budget.Exhausted when [budget] trips. *)
+val count : ?budget:Budget.t -> Graph.t -> Graph.t -> Wlcq_util.Bigint.t
+
+(** Non-raising ladder, mirroring [Td_count.count_budgeted]:
+    [`Degraded] values are exact counts over a heuristic (wider)
+    decomposition. *)
+val count_budgeted :
+  budget:Budget.t -> Graph.t -> Graph.t ->
+  (Wlcq_util.Bigint.t, Budget.reason) Outcome.t
 
 (** [count_with_nice nd h g] uses the supplied nice decomposition
     (must be valid for [h]).
-    @raise Invalid_argument otherwise. *)
+    @raise Invalid_argument otherwise.
+    @raise Budget.Exhausted when [budget] trips. *)
 val count_with_nice :
+  ?budget:Budget.t ->
   Wlcq_treewidth.Nice.t -> Graph.t -> Graph.t -> Wlcq_util.Bigint.t
 
 (** The original int-list/Bigint engine, kept verbatim as a

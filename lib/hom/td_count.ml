@@ -5,6 +5,9 @@ module Bigint = Wlcq_util.Bigint
 module Count = Wlcq_util.Count
 module Tbl = Wlcq_util.Ordering.Int_list_tbl
 module Obs = Wlcq_obs.Obs
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
+module Fault = Wlcq_robust.Fault
 
 let m_runs = Obs.counter "td_count.runs"
 let m_entries = Obs.counter "td_count.dp_entries"
@@ -19,6 +22,9 @@ let m_seq_runs = Obs.counter "td_count.seq_runs"
 let m_par_runs = Obs.counter "td_count.par_runs"
 let m_batch_runs = Obs.counter "td_count.batch_runs"
 let m_decomp_shared = Obs.counter "td_count.decomp_shared"
+let m_seq_resume = Obs.counter "robust.fallback.td_seq_resume"
+let m_heuristic_decomp = Obs.counter "robust.fallback.td_heuristic_decomp"
+let m_exhausted = Obs.counter "robust.fallback.td_exhausted"
 
 (* The table at a decomposition node t maps each partial homomorphism
    φ : B_t → V(G) (a hom of H[B_t]) to the number of homomorphisms of
@@ -254,8 +260,16 @@ let work_estimate bags ng =
    processes the root after joining.  Determinism: a node's table is
    produced by the same sequence of operations whichever domain runs
    it, so results (and even hashtable iteration orders) are identical
-   to the sequential run. *)
-let run_packed d h g cand =
+   to the sequential run.
+
+   Budget protocol: workers never raise across the spawn boundary —
+   they tick the shared budget (atomic trip flag) and wind down when it
+   is no longer live; the driver reads the verdict once after joining.
+   A spawn-site fault (Fault.Domain_spawn) demotes that worker's stride
+   to the driver, which processes it sequentially on the very same
+   flat tables — results stay byte-identical, only the schedule
+   changes. *)
+let run_packed ~budget d h g cand =
   let nodes = Graph.num_vertices d.Decomposition.tree in
   let nh = Graph.num_vertices h in
   let ng = Graph.num_vertices g in
@@ -332,8 +346,22 @@ let run_packed d h g cand =
       done;
       if !ok then Dp_key.bump c tables.(t) images !value
     in
+    (* budget enforcement is amortised through a local fuel counter:
+       [Budget.tick]/[Budget.live] are out-of-line calls, and paying
+       them at every recursion step costs ~4% on the F4 workload —
+       checking every 64 steps keeps the overhead under the 3% bound
+       while still winding down within a bounded suffix of the
+       enumeration *)
+    let fuel = ref 0 in
+    let aborted = ref false in
     let rec go i =
-      if i = arity then emit ()
+      incr fuel;
+      if !fuel land 63 = 0 then begin
+        Budget.tick budget;
+        if not (Budget.live budget) then aborted := true
+      end;
+      if !aborted then ()
+      else if i = arity then emit ()
       else begin
         let es = edges_at.(i) in
         if Array.length es = 0 then begin
@@ -381,7 +409,9 @@ let run_packed d h g cand =
   let on = Obs.enabled () in
   if nd <= 1 then begin
     if on then Obs.incr m_seq_runs;
-    Array.iter process_node postorder
+    Array.iter
+      (fun t -> if Budget.live budget then process_node t)
+      postorder
   end
   else begin
     if on then Obs.incr m_par_runs;
@@ -397,15 +427,34 @@ let run_packed d h g cand =
     done;
     let process_stride w =
       Array.iter
-        (fun t -> if t <> root && kid_slot.(t) mod nd = w then process_node t)
+        (fun t ->
+           if t <> root && kid_slot.(t) mod nd = w && Budget.live budget then
+             process_node t)
         postorder
     in
-    let workers =
-      List.init (nd - 1) (fun j -> Domain.spawn (fun () -> process_stride (j + 1)))
+    (* spawn-site fault hook: a stride whose spawn "fails" is demoted
+       to the driver and resumed sequentially after its own stride *)
+    let rec spawn_from j workers demoted =
+      if j >= nd then (List.rev workers, List.rev demoted)
+      else if Fault.should_fail Fault.Domain_spawn then
+        spawn_from (j + 1) workers (j :: demoted)
+      else
+        let w =
+          Domain.spawn (fun () ->
+              try process_stride j
+              with Budget.Exhausted r -> Budget.trip budget r)
+        in
+        spawn_from (j + 1) (w :: workers) demoted
     in
+    let workers, demoted = spawn_from 1 [] [] in
     process_stride 0;
+    (match demoted with
+     | [] -> ()
+     | _ :: _ ->
+       Obs.incr m_seq_resume;
+       List.iter process_stride demoted);
     List.iter Domain.join workers;
-    process_node root
+    if Budget.live budget then process_node root
   end;
   if on then begin
     Array.iteri
@@ -422,11 +471,15 @@ let run_packed d h g cand =
            tbl)
       tables
   end;
-  let result = Count.to_bigint (Dp_key.total tables.(root)) in
+  let result =
+    match Budget.tripped budget with
+    | None -> Ok (Count.to_bigint (Dp_key.total tables.(root)))
+    | Some r -> Error r
+  in
   Array.iter Dp_key.release tables;
   result
 
-let count_with_decomposition ?candidates d h g =
+let count_with_decomposition ?(budget = Budget.unlimited) ?candidates d h g =
   if not (Decomposition.is_valid_for d h) then
     invalid_arg "Td_count.count_with_decomposition: decomposition does not match the pattern";
   if Graph.num_vertices h = 0 then Bigint.one
@@ -434,10 +487,58 @@ let count_with_decomposition ?candidates d h g =
   else Obs.span "td_count.run" @@ fun () ->
     if Obs.enabled () then Obs.incr m_runs;
     let cand = arc_consistent ?candidates ~seed:(support g) h g in
-    run_packed d h g cand
+    match run_packed ~budget d h g cand with
+    | Ok v -> v
+    | Error r -> raise (Budget.Exhausted r)
 
-let count ?candidates h g =
-  count_with_decomposition ?candidates (Exact.optimal_decomposition h) h g
+let count ?budget ?candidates h g =
+  count_with_decomposition ?budget ?candidates
+    (Exact.optimal_decomposition h) h g
+
+let count_with_decomposition_budgeted ~budget ?candidates d h g =
+  match count_with_decomposition ~budget ?candidates d h g with
+  | v -> `Exact v
+  | exception Budget.Exhausted r ->
+    Obs.incr m_exhausted;
+    `Exhausted r
+
+(* The full ladder: the decomposition step degrades to the heuristic
+   order before the DP runs (a wider decomposition slows the DP but the
+   count it produces is still exact), and only a trip inside the DP
+   itself exhausts the run. *)
+let count_budgeted ~budget ?candidates h g =
+  if Graph.num_vertices h = 0 then `Exact Bigint.one
+  else if Graph.num_vertices g = 0 then `Exact Bigint.zero
+  else
+    match Exact.optimal_decomposition_budgeted ~budget h with
+    | exception Budget.Exhausted r ->
+      Obs.incr m_exhausted;
+      `Exhausted r
+    | od ->
+      let d, decomp_degraded =
+        match od with
+        | `Exact d -> (d, None)
+        | `Degraded (d, r) -> (d, Some r)
+        | `Exhausted _ -> assert false
+      in
+      (* the DP rung runs under a fork: the decomposition phase's trip
+         latch must not poison an otherwise-completable DP (the fork
+         re-trips immediately if the deadline/ceiling/token condition
+         still holds) *)
+      let dp_budget =
+        match decomp_degraded with None -> budget | Some _ -> Budget.fork budget
+      in
+      match count_with_decomposition ~budget:dp_budget ?candidates d h g with
+      | exception Budget.Exhausted r ->
+        Obs.incr m_exhausted;
+        `Exhausted r
+      | v ->
+        (match decomp_degraded with
+         | None -> `Exact v
+         | Some r ->
+           Obs.incr m_heuristic_decomp;
+           Outcome.degraded ~cause:r.Outcome.cause
+             ~fallback:"heuristic decomposition (count still exact)" v)
 
 (* ------------------------------------------------------------------ *)
 (* Batch API.                                                          *)
@@ -480,7 +581,7 @@ let restrict_decomposition d n_i =
   in
   Decomposition.compact { Decomposition.tree = d.Decomposition.tree; bags }
 
-let count_many ?candidates hs g =
+let count_many ?(budget = Budget.unlimited) ?candidates hs g =
   match hs with
   | [] -> []
   | h0 :: rest ->
@@ -528,6 +629,8 @@ let count_many ?candidates hs g =
              in
              if on then Obs.incr m_runs;
              let cand = arc_consistent ?candidates ~seed h g in
-             run_packed d h g cand
+             match run_packed ~budget d h g cand with
+             | Ok v -> v
+             | Error r -> raise (Budget.Exhausted r)
            end)
         hs

@@ -27,28 +27,63 @@
     integer range. *)
 
 open Wlcq_graph
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
 
 (** [count h g] is [|Hom(h, g)|], computed over an optimal tree
-    decomposition of [h] (memoised in {!Wlcq_treewidth.Exact}). *)
+    decomposition of [h] (memoised in {!Wlcq_treewidth.Exact}).
+    [budget] is ticked throughout the DP (workers tick a shared atomic
+    trip flag and wind down cooperatively; the decomposition step is
+    {e not} budgeted on this raising entry point — use
+    {!count_budgeted} for the full ladder).
+    @raise Budget.Exhausted when [budget] trips. *)
 val count :
+  ?budget:Budget.t ->
   ?candidates:(int -> Wlcq_util.Bitset.t) ->
   Graph.t -> Graph.t -> Wlcq_util.Bigint.t
 
 (** [count_with_decomposition d h g] uses the supplied decomposition
     (which must be valid for [h]).
-    @raise Invalid_argument when [d] is not valid for [h]. *)
+    @raise Invalid_argument when [d] is not valid for [h].
+    @raise Budget.Exhausted when [budget] trips. *)
 val count_with_decomposition :
+  ?budget:Budget.t ->
   ?candidates:(int -> Wlcq_util.Bitset.t) ->
   Wlcq_treewidth.Decomposition.t -> Graph.t -> Graph.t ->
   Wlcq_util.Bigint.t
+
+(** [count_budgeted ~budget h g] is the non-raising ladder: [`Exact]
+    when nothing tripped; [`Degraded (v, _)] when the treewidth search
+    fell back to a heuristic decomposition — [v] is still the {e exact}
+    homomorphism count, only the DP ran over a wider decomposition;
+    [`Exhausted r] when the budget tripped inside the DP itself.
+    Counters: [robust.fallback.td_heuristic_decomp],
+    [robust.fallback.td_exhausted]; a [Fault.Domain_spawn] injection
+    demotes parallel strides to the driver
+    ([robust.fallback.td_seq_resume]) with byte-identical results. *)
+val count_budgeted :
+  budget:Budget.t ->
+  ?candidates:(int -> Wlcq_util.Bitset.t) ->
+  Graph.t -> Graph.t ->
+  (Wlcq_util.Bigint.t, Budget.reason) Outcome.t
+
+(** Non-raising variant of {!count_with_decomposition}. *)
+val count_with_decomposition_budgeted :
+  budget:Budget.t ->
+  ?candidates:(int -> Wlcq_util.Bitset.t) ->
+  Wlcq_treewidth.Decomposition.t -> Graph.t -> Graph.t ->
+  (Wlcq_util.Bigint.t, Budget.reason) Outcome.t
 
 (** [count_many hs g] is [List.map (fun h -> count h g) hs], but
     sharing one decomposition across patterns whenever a pattern is the
     induced prefix of the largest one (the Lemma 22 extension family
     F_1 ⊆ … ⊆ F_L is laid out like that) and one candidate seed
     structure for the whole batch — the batch entry point of the
-    interpolation pipeline ([Wl_dimension], [Certificate]). *)
+    interpolation pipeline ([Wl_dimension], [Certificate]).
+    @raise Budget.Exhausted when [budget] trips during any pattern's
+    DP. *)
 val count_many :
+  ?budget:Budget.t ->
   ?candidates:(int -> Wlcq_util.Bitset.t) ->
   Graph.t list -> Graph.t -> Wlcq_util.Bigint.t list
 

@@ -1,4 +1,5 @@
 module Bitset = Wlcq_util.Bitset
+module Budget = Wlcq_robust.Budget
 module Graph = Wlcq_graph.Graph
 module Ops = Wlcq_graph.Ops
 module Traversal = Wlcq_graph.Traversal
@@ -30,13 +31,18 @@ let pins_of q a =
 
 let is_answer q g a = Khom.exists ~pins:(pins_of q a) q.graph g
 
-let count_answers q g =
+let count_answers ?(budget = Budget.unlimited) q g =
   let k = num_free q in
   let n = Kgraph.num_vertices g in
-  if k = 0 then if Khom.exists q.graph g then 1 else 0
+  if k = 0 then begin
+    Budget.check budget;
+    if Khom.exists q.graph g then 1 else 0
+  end
   else begin
     let count = ref 0 in
     Wlcq_util.Combinat.iter_tuples n k (fun a ->
+        (* one tick per candidate assignment, as in Cq.iter_answers *)
+        Budget.tick_check budget;
         if is_answer q g a then incr count);
     !count
   end

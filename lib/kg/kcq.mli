@@ -10,6 +10,7 @@
     the plain-graph machinery under the {!Kgraph.of_graph} encoding. *)
 
 module Bitset = Wlcq_util.Bitset
+module Budget = Wlcq_robust.Budget
 
 type t = private { graph : Kgraph.t; free : Bitset.t }
 
@@ -27,8 +28,10 @@ val is_connected : t -> bool
     (parallel to [free_vars q]) to a knowledge-graph homomorphism. *)
 val is_answer : t -> Kgraph.t -> int array -> bool
 
-(** [count_answers q g] is [|Ans(q, g)|]. *)
-val count_answers : t -> Kgraph.t -> int
+(** [count_answers q g] is [|Ans(q, g)|].  [budget] is ticked once per
+    candidate assignment.
+    @raise Budget.Exhausted when [budget] trips. *)
+val count_answers : ?budget:Budget.t -> t -> Kgraph.t -> int
 
 (** [gamma_graph q] is [Γ(H, X)] over the underlying graph: [H]'s
     Gaifman graph plus an edge between free variables sharing an

@@ -33,6 +33,7 @@ let parse s =
   | count :: rest ->
     (match int_of_string_opt (String.trim count) with
      | None -> Error "spec must start with the vertex count"
+     | Some n when n < 0 -> Error "vertex count must be non-negative"
      | Some n ->
        let labels = ref (Array.make n 0) in
        let edges = ref [] in

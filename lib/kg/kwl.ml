@@ -1,5 +1,7 @@
 module Ordering = Wlcq_util.Ordering
 module Obs = Wlcq_obs.Obs
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
 
 type result = { colours : int array; num_colours : int; rounds : int }
 
@@ -7,6 +9,8 @@ let m_refine_runs = Obs.counter "kg.refine.runs"
 let m_refine_rounds = Obs.counter "kg.refine.rounds"
 let m_kwl_runs = Obs.counter "kg.kwl.runs"
 let m_kwl_rounds = Obs.counter "kg.kwl.rounds"
+let m_prefix = Obs.counter "robust.fallback.kg_prefix"
+let m_exhausted = Obs.counter "robust.fallback.kg_exhausted"
 
 let canonicalise cmp labelled =
   let distinct =
@@ -118,7 +122,12 @@ let atomic_order =
   in
   Ordering.pair Ordering.int_list (List.compare rel)
 
-let run_many k graphs =
+(* The rounds are functional (each builds a fresh colouring list), so
+   budget enforcement is between-round: a trip observed by [Budget.poll]
+   abandons the round about to start and keeps the previous round's
+   colourings — a sound stable-colour prefix.  Only a trip during the
+   initial atomic typing (ticked per tuple) aborts with no prefix. *)
+let run_many_core ~budget k graphs =
   if k < 2 then invalid_arg "Kwl.run: requires k >= 2 (use refine for k = 1)";
   let tuple_counts =
     List.map
@@ -130,7 +139,10 @@ let run_many k graphs =
   in
   let init =
     List.map2
-      (fun g count -> Array.init count (fun idx -> atomic g k idx))
+      (fun g count ->
+         Array.init count (fun idx ->
+             Budget.tick_check budget;
+             atomic g k idx))
       graphs tuple_counts
   in
   let colourings, num = canonicalise atomic_order init in
@@ -160,11 +172,15 @@ let run_many k graphs =
       signatures
   in
   let rec go colourings num rounds =
-    let colourings', num' = Obs.span "kg.kwl.round" (fun () -> round colourings) in
-    if num' = num then (colourings, num, rounds)
-    else go colourings' num' (rounds + 1)
+    if Budget.poll budget then (colourings, num, rounds, Budget.tripped budget)
+    else
+      let colourings', num' =
+        Obs.span "kg.kwl.round" (fun () -> round colourings)
+      in
+      if num' = num then (colourings, num, rounds, None)
+      else go colourings' num' (rounds + 1)
   in
-  let colourings, num, rounds =
+  let colourings, num, rounds, aborted =
     Obs.span "kg.kwl.run"
       ~attrs:[ ("k", string_of_int k) ]
       (fun () -> go colourings num 0)
@@ -173,7 +189,11 @@ let run_many k graphs =
     Obs.incr m_kwl_runs;
     Obs.add m_kwl_rounds rounds
   end;
-  List.map (fun colours -> { colours; num_colours = num; rounds }) colourings
+  ( List.map (fun colours -> { colours; num_colours = num; rounds }) colourings,
+    aborted )
+
+let run_many k graphs =
+  fst (run_many_core ~budget:Budget.unlimited k graphs)
 
 let run k g = match run_many k [ g ] with [ r ] -> r | _ -> assert false
 
@@ -181,6 +201,28 @@ let run_pair k g1 g2 =
   match run_many k [ g1; g2 ] with
   | [ r1; r2 ] -> (r1, r2)
   | _ -> assert false
+
+let run_many_budgeted ~budget k graphs =
+  match run_many_core ~budget k graphs with
+  | exception Budget.Exhausted r ->
+    (* tripped during the initial atomic typing: no prefix exists *)
+    Obs.incr m_exhausted;
+    `Exhausted r
+  | results, None -> `Exact results
+  | results, Some cause ->
+    Obs.incr m_prefix;
+    Outcome.degraded ~cause
+      ~fallback:
+        (Printf.sprintf "stable colour prefix after %d completed rounds"
+           (match results with r :: _ -> r.rounds | [] -> 0))
+      results
+
+let run_budgeted ~budget k g =
+  match run_many_budgeted ~budget k [ g ] with
+  | `Exact [ r ] -> `Exact r
+  | `Degraded ([ r ], reason) -> `Degraded (r, reason)
+  | `Exhausted r -> `Exhausted r
+  | `Exact _ | `Degraded _ -> assert false
 
 let histogram r =
   let counts = Hashtbl.create 64 in
@@ -202,3 +244,26 @@ let equivalent k g1 g2 =
     let r1, r2 = run_pair k g1 g2 in
     List.equal (Ordering.equal_pair Int.equal Int.equal) (histogram r1) (histogram r2)
   end
+
+let equivalent_budgeted ~budget k g1 g2 =
+  if k < 1 then invalid_arg "Kwl.equivalent_budgeted: k must be positive"
+  else if k = 1 then
+    (* colour refinement is cheap; budget checked at the boundary only *)
+    let r = equivalent 1 g1 g2 in
+    match Budget.tripped budget with
+    | Some _ when not r -> `Exact false (* divergence is permanent *)
+    | Some reason -> `Exhausted reason
+    | None -> `Exact r
+  else
+    let verdict r1 r2 =
+      List.equal (Ordering.equal_pair Int.equal Int.equal) (histogram r1)
+        (histogram r2)
+    in
+    match run_many_budgeted ~budget k [ g1; g2 ] with
+    | `Exact [ r1; r2 ] -> `Exact (verdict r1 r2)
+    | `Degraded ([ r1; r2 ], reason) ->
+      (* the prefix colourings refine only further: a histogram
+         divergence at any completed round is permanent *)
+      if verdict r1 r2 then `Exhausted reason.Outcome.cause else `Exact false
+    | `Exhausted r -> `Exhausted r
+    | `Exact _ | `Degraded _ -> assert false

@@ -9,6 +9,9 @@
     both coincide with the plain-graph algorithms — the test suite
     checks this compatibility. *)
 
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
+
 type result = { colours : int array; num_colours : int; rounds : int }
 
 (** [refine g] is colour refinement (1-WL) on the knowledge graph. *)
@@ -27,6 +30,32 @@ val run_pair : int -> Kgraph.t -> Kgraph.t -> result * result
     ([k = 1] is colour refinement).
     @raise Invalid_argument when [k < 1]. *)
 val equivalent : int -> Kgraph.t -> Kgraph.t -> bool
+
+(** {2 Budgeted entry points}
+
+    The rounds are functional, so budget enforcement is between-round
+    ([Budget.poll]): a trip keeps the previous round's colourings — a
+    sound stable-colour prefix ([`Degraded],
+    [robust.fallback.kg_prefix]).  Only a trip during the initial
+    atomic typing aborts with no prefix ([`Exhausted],
+    [robust.fallback.kg_exhausted]). *)
+
+val run_many_budgeted :
+  budget:Budget.t -> int -> Kgraph.t list ->
+  (result list, Budget.reason) Outcome.t
+
+val run_budgeted :
+  budget:Budget.t -> int -> Kgraph.t ->
+  (result, Budget.reason) Outcome.t
+
+(** A histogram divergence at a completed round is permanent, so it
+    yields [`Exact false] even under a tripped budget; an inconclusive
+    prefix yields [`Exhausted].  For [k = 1], refinement runs
+    unbudgeted (it is cheap) with a boundary check.
+    @raise Invalid_argument when [k < 1]. *)
+val equivalent_budgeted :
+  budget:Budget.t -> int -> Kgraph.t -> Kgraph.t ->
+  (bool, Budget.reason) Outcome.t
 
 (** [histogram r] is the sorted [(colour, multiplicity)] list. *)
 val histogram : result -> (int * int) list

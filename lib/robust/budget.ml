@@ -1,0 +1,174 @@
+module Obs = Wlcq_obs.Obs
+
+type reason = Deadline | Memory | Cancelled | Injected of string
+
+let reason_to_string = function
+  | Deadline -> "deadline"
+  | Memory -> "memory"
+  | Cancelled -> "cancelled"
+  | Injected site -> "injected:" ^ site
+
+exception Exhausted of reason
+
+type token = { flag : bool Atomic.t }
+
+let token () = { flag = Atomic.make false }
+let cancel tk = Atomic.set tk.flag true
+let cancelled tk = Atomic.get tk.flag
+
+type t = {
+  limited : bool;
+  deadline_ns : int64;  (* Int64.max_int when no deadline *)
+  max_heap_words : int;  (* max_int when no ceiling *)
+  cancel : token option;
+  tripped_cell : reason option Atomic.t;
+  (* Coarse tick counter.  Deliberately a plain mutable field, not an
+     Atomic: worker domains racing on it can only skew when the next
+     full poll happens by a few iterations, never whether the budget
+     trips — correctness lives in [tripped_cell]. *)
+  (* lint: allow R3 benign racy tick counter, trip state is the Atomic next to it *)
+  mutable ticks : int;
+}
+
+let tick_interval = 1024
+let tick_mask = tick_interval - 1
+
+let unlimited =
+  {
+    limited = false;
+    deadline_ns = Int64.max_int;
+    max_heap_words = max_int;
+    cancel = None;
+    tripped_cell = Atomic.make None;
+    ticks = 0;
+  }
+
+let is_unlimited b = not b.limited
+
+let m_polls = Obs.counter "robust.budget.polls"
+let m_deadline = Obs.counter "robust.budget.deadline_hits"
+let m_memory = Obs.counter "robust.budget.memory_hits"
+let m_cancelled = Obs.counter "robust.budget.cancellations"
+let m_injected = Obs.counter "robust.budget.injected_trips"
+let m_created = Obs.counter "robust.budget.created"
+
+let words_per_mb = 1024 * 1024 / (Sys.word_size / 8)
+
+let create ?deadline_ms ?max_live_mb ?cancel () =
+  let deadline_ns =
+    match deadline_ms with
+    | None -> Int64.max_int
+    | Some ms ->
+        if not (ms > 0.0) then
+          invalid_arg "Budget.create: deadline_ms must be positive";
+        Int64.add (Obs.now_ns ()) (Int64.of_float (ms *. 1e6))
+  in
+  let max_heap_words =
+    match max_live_mb with
+    | None -> max_int
+    | Some mb ->
+        if mb <= 0 then invalid_arg "Budget.create: max_live_mb must be positive";
+        mb * words_per_mb
+  in
+  Obs.incr m_created;
+  {
+    limited = true;
+    deadline_ns;
+    max_heap_words;
+    cancel;
+    tripped_cell = Atomic.make None;
+    ticks = 0;
+  }
+
+let tripped b = if b.limited then Atomic.get b.tripped_cell else None
+
+let live b =
+  (not b.limited)
+  || (match Atomic.get b.tripped_cell with None -> true | Some _ -> false)
+
+let trip b r =
+  if b.limited then
+    if Atomic.compare_and_set b.tripped_cell None (Some r) then
+      Obs.incr
+        (match r with
+        | Deadline -> m_deadline
+        | Memory -> m_memory
+        | Cancelled -> m_cancelled
+        | Injected _ -> m_injected)
+
+let poll b =
+  if not b.limited then false
+  else
+    match Atomic.get b.tripped_cell with
+    | Some _ -> true
+    | None ->
+        Obs.incr m_polls;
+        if Fault.should_fail Fault.Deadline_check then begin
+          trip b (Injected "deadline_check");
+          true
+        end
+        else if
+          b.deadline_ns <> Int64.max_int
+          && Int64.compare (Obs.now_ns ()) b.deadline_ns >= 0
+        then begin
+          trip b Deadline;
+          true
+        end
+        else if
+          b.max_heap_words <> max_int
+          && (Gc.quick_stat ()).Gc.heap_words > b.max_heap_words
+        then begin
+          trip b Memory;
+          true
+        end
+        else
+          match b.cancel with
+          | Some tk when cancelled tk ->
+              trip b Cancelled;
+              true
+          | _ -> false
+
+let tick b =
+  if b.limited then begin
+    let n = b.ticks + 1 in
+    b.ticks <- n;
+    if n land tick_mask = 0 then ignore (poll b)
+  end
+
+let check b =
+  if b.limited then begin
+    ignore (poll b);
+    match Atomic.get b.tripped_cell with
+    | Some r -> raise (Exhausted r)
+    | None -> ()
+  end
+
+let tick_check b =
+  if b.limited then begin
+    tick b;
+    match Atomic.get b.tripped_cell with
+    | Some r -> raise (Exhausted r)
+    | None -> ()
+  end
+
+(* A continuation budget for the next rung of a degradation ladder:
+   same limits and token, fresh trip latch and tick counter.  The trip
+   *conditions* are re-evaluated from scratch — a passed deadline, a
+   still-exceeded heap ceiling or a cancelled token re-trips at the
+   fork's first poll — so forking only forgets the latch, never the
+   budget.  Forking [unlimited] is [unlimited]. *)
+let fork b =
+  if not b.limited then b
+  else
+    {
+      limited = true;
+      deadline_ns = b.deadline_ns;
+      max_heap_words = b.max_heap_words;
+      cancel = b.cancel;
+      tripped_cell = Atomic.make None;
+      ticks = 0;
+    }
+
+let remaining_ns b =
+  if b.deadline_ns = Int64.max_int then None
+  else Some (Int64.sub b.deadline_ns (Obs.now_ns ()))

@@ -1,0 +1,79 @@
+module Obs = Wlcq_obs.Obs
+
+type site = Deadline_check | Domain_spawn | Dp_alloc
+
+let site_to_string = function
+  | Deadline_check -> "deadline_check"
+  | Domain_spawn -> "domain_spawn"
+  | Dp_alloc -> "dp_alloc"
+
+let site_index = function Deadline_check -> 0 | Domain_spawn -> 1 | Dp_alloc -> 2
+let num_sites = 3
+
+(* All layer state is atomic so hooks may be consulted from worker
+   domains while the test driver arms/disarms. *)
+let armed_flag = Atomic.make false
+let seed_cell = Atomic.make 0
+
+(* Failure probability as parts per 2^30, avoiding float state. *)
+let rate_bits = Atomic.make (1 lsl 30)
+let site_mask = Atomic.make 0
+(* lint: domain-local fixed array of Atomic.t cells, never resized;
+   all mutation goes through Atomic operations *)
+let draw_counters = Array.init num_sites (fun _ -> Atomic.make 0)
+
+(* lint: domain-local fixed array of Atomic.t cells, never resized;
+   all mutation goes through Atomic operations *)
+let injected_counters = Array.init num_sites (fun _ -> Atomic.make 0)
+
+let m_injected =
+  [|
+    Obs.counter "robust.fault.deadline_check";
+    Obs.counter "robust.fault.domain_spawn";
+    Obs.counter "robust.fault.dp_alloc";
+  |]
+
+let arm ~seed ?(rate = 1.0) ?sites () =
+  if not (rate >= 0.0 && rate <= 1.0) then
+    invalid_arg "Fault.arm: rate must lie in [0, 1]";
+  let mask =
+    match sites with
+    | None -> (1 lsl num_sites) - 1
+    | Some l -> List.fold_left (fun m s -> m lor (1 lsl site_index s)) 0 l
+  in
+  Atomic.set seed_cell seed;
+  Atomic.set rate_bits (int_of_float (rate *. float_of_int (1 lsl 30)));
+  Atomic.set site_mask mask;
+  Array.iter (fun c -> Atomic.set c 0) draw_counters;
+  Array.iter (fun c -> Atomic.set c 0) injected_counters;
+  Atomic.set armed_flag true
+
+let disarm () = Atomic.set armed_flag false
+let armed () = Atomic.get armed_flag
+
+(* xorshift*-style finalizer on the native int (multiplier chosen to
+   fit OCaml's 63-bit immediates); good avalanche is all we need for
+   per-draw coin flips. *)
+let mix x =
+  let x = x lxor (x lsr 12) in
+  let x = x lxor (x lsl 25) in
+  let x = x lxor (x lsr 27) in
+  let x = x * 0x2545f4914f6cdd1d in
+  x lxor (x lsr 29)
+
+let should_fail site =
+  if not (Atomic.get armed_flag) then false
+  else
+    let i = site_index site in
+    if Atomic.get site_mask land (1 lsl i) = 0 then false
+    else
+      let draw = Atomic.fetch_and_add draw_counters.(i) 1 in
+      let h = mix (Atomic.get seed_cell lxor mix ((i * 0x1000003) + draw)) in
+      let fail = h land ((1 lsl 30) - 1) < Atomic.get rate_bits in
+      if fail then begin
+        Atomic.incr injected_counters.(i);
+        Obs.incr m_injected.(i)
+      end;
+      fail
+
+let injected site = Atomic.get injected_counters.(site_index site)

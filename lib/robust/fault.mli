@@ -1,0 +1,53 @@
+(** Deterministic, seeded fault injection for the robustness layer.
+
+    The engines contain compiled-in hooks at three kinds of sites:
+    budget deadline checks ({!Deadline_check}), [Domain.spawn] call
+    sites ({!Domain_spawn}) and flat DP table allocation
+    ({!Dp_alloc}).  When the layer is {e disarmed} — the default, and
+    the only state production code ever runs in — every hook is a
+    single [Atomic.get] and a branch.
+
+    When armed with a seed, each site draws from its own deterministic
+    counter-based stream (a splitmix-style hash of seed, site and draw
+    index), so a fixed seed forces the exact same failures in the
+    exact same places on every run.  This is how the test suite walks
+    every edge of the degradation ladder without waiting for real
+    deadlines or OOM.
+
+    All state lives in [Atomic.t] cells; arming from the test driver
+    while worker domains consult hooks is safe (streams stay
+    deterministic as long as each site is drawn from one domain, which
+    holds for the engines instrumented here: spawn and alloc sites are
+    driver-only, and the deadline-check stream is drawn on the driver
+    via {!Budget.poll}). *)
+
+type site =
+  | Deadline_check  (** a full budget poll (inside {!Budget.poll}) *)
+  | Domain_spawn  (** just before a [Domain.spawn] in an engine *)
+  | Dp_alloc  (** a [Dp_key] flat-table allocation *)
+
+val site_to_string : site -> string
+
+(** [arm ~seed ?rate ?sites ()] arms the layer.  [rate] is the
+    per-draw failure probability in [\[0, 1\]] (default [1.0]: every
+    draw at an armed site fails, which forces the fallback path on
+    first contact).  [sites] restricts injection to the listed sites
+    (default: all three).  Resets all draw counters so runs are
+    reproducible.
+    @raise Invalid_argument when [rate] is outside [\[0, 1\]]. *)
+val arm : seed:int -> ?rate:float -> ?sites:site list -> unit -> unit
+
+(** [disarm ()] returns every hook to the single-load fast path. *)
+val disarm : unit -> unit
+
+val armed : unit -> bool
+
+(** [should_fail site] is the compiled-in hook: [false] when disarmed
+    or [site] is not armed; otherwise advances [site]'s draw counter
+    and reports whether this draw fails.  Each injected failure bumps
+    the [robust.fault.<site>] Wlcq_obs counter. *)
+val should_fail : site -> bool
+
+(** [injected site] is the number of failures injected at [site] since
+    the last {!arm} (independent of Wlcq_obs enablement). *)
+val injected : site -> int

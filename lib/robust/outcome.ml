@@ -1,0 +1,30 @@
+type reason = { cause : Budget.reason; fallback : string }
+
+type ('a, 'p) t =
+  [ `Exact of 'a | `Degraded of 'a * reason | `Exhausted of 'p ]
+
+let exact v = `Exact v
+let degraded ~cause ~fallback v = `Degraded (v, { cause; fallback })
+let is_exact = function `Exact _ -> true | `Degraded _ | `Exhausted _ -> false
+
+let value = function
+  | `Exact v | `Degraded (v, _) -> Some v
+  | `Exhausted _ -> None
+
+let value_exn = function
+  | `Exact v | `Degraded (v, _) -> v
+  | `Exhausted _ -> invalid_arg "Outcome.value_exn: outcome is `Exhausted"
+
+let map f = function
+  | `Exact v -> `Exact (f v)
+  | `Degraded (v, r) -> `Degraded (f v, r)
+  | `Exhausted p -> `Exhausted p
+
+let reason_to_string r =
+  Printf.sprintf "%s, via %s" (Budget.reason_to_string r.cause) r.fallback
+
+let describe show_value show_partial = function
+  | `Exact v -> "exact " ^ show_value v
+  | `Degraded (v, r) ->
+      Printf.sprintf "degraded(%s) %s" (reason_to_string r) (show_value v)
+  | `Exhausted p -> "exhausted(" ^ show_partial p ^ ")"

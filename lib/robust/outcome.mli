@@ -1,0 +1,54 @@
+(** Structured results for budgeted engine runs.
+
+    Every [*_budgeted] entry point returns an [('a, 'p) t]:
+
+    - [`Exact v] — the budget never tripped (or tripped after the
+      answer was already complete); [v] is bit-for-bit what the
+      unbudgeted engine returns;
+    - [`Degraded (v, reason)] — the budget tripped but the engine fell
+      back one rung down its degradation ladder and still produced a
+      {e sound} value [v] (a flagged upper bound for treewidth, an
+      exact count computed over a heuristic decomposition, a stable
+      colour prefix for k-WL); [reason] records why and which fallback
+      produced [v];
+    - [`Exhausted p] — no sound complete value could be produced in
+      budget; [p] is whatever certified partial information the engine
+      salvaged (a count lower bound, a dimension interval, a trip
+      reason).
+
+    The constructors are polymorphic variants so engines can share
+    them without depending on each other's payload types. *)
+
+(** Why and how a value was degraded. *)
+type reason = {
+  cause : Budget.reason;
+  fallback : string;
+      (** which rung of the ladder produced the value, e.g.
+          ["Heuristics.upper_bound"] *)
+}
+
+type ('a, 'p) t =
+  [ `Exact of 'a | `Degraded of 'a * reason | `Exhausted of 'p ]
+
+val exact : 'a -> ('a, 'p) t
+val degraded : cause:Budget.reason -> fallback:string -> 'a -> ('a, 'p) t
+val is_exact : ('a, 'p) t -> bool
+
+(** [value o] is the sound value when one exists ([`Exact] or
+    [`Degraded]). *)
+val value : ('a, 'p) t -> 'a option
+
+(** [value_exn o] is the sound value.
+    @raise Invalid_argument on [`Exhausted]. *)
+val value_exn : ('a, 'p) t -> 'a
+
+(** [map f o] maps the sound value, leaving [`Exhausted] payloads
+    untouched. *)
+val map : ('a -> 'b) -> ('a, 'p) t -> ('b, 'p) t
+
+val reason_to_string : reason -> string
+
+(** [describe show_value show_partial o] renders an outcome for CLI
+    output: ["exact <v>"], ["degraded(<cause>, via <fallback>) <v>"]
+    or ["exhausted(<partial>)"]. *)
+val describe : ('a -> string) -> ('p -> string) -> ('a, 'p) t -> string

@@ -1,10 +1,13 @@
 open Wlcq_graph
 module Bitset = Wlcq_util.Bitset
 module Obs = Wlcq_obs.Obs
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
 
 let m_solves = Obs.counter "tw.solves"
 let m_nodes = Obs.counter "tw.search_nodes"
 let m_pruned = Obs.counter "tw.pruned"
+let m_heuristic_fallbacks = Obs.counter "robust.fallback.tw_heuristic"
 
 module Bitset_tbl = Hashtbl.Make (struct
     type t = Bitset.t
@@ -32,7 +35,7 @@ let is_simplicial adj alive v =
 (* Search for an order of width < best.  State is copied per branch;
    the memo table maps the eliminated set to the smallest running
    maximum with which it has been reached. *)
-let branch_and_bound g initial_ub initial_order =
+let branch_and_bound ~budget g initial_ub initial_order =
   let n = Graph.num_vertices g in
   let best = ref initial_ub in
   let best_order = ref initial_order in
@@ -41,6 +44,7 @@ let branch_and_bound g initial_ub initial_order =
   let nodes_visited = ref 0 in
   let pruned = ref 0 in
   let rec go adj alive eliminated prefix current_max remaining =
+    Budget.tick_check budget;
     incr nodes_visited;
     if current_max >= !best then incr pruned
     else if remaining = 0 then begin
@@ -108,16 +112,25 @@ let branch_and_bound g initial_ub initial_order =
   in
   let adj = Array.init n (Graph.neighbours g) in
   let alive = Array.make n true in
-  go adj alive (Bitset.create n) [] 0 n;
-  if Obs.enabled () then begin
-    Obs.add m_nodes !nodes_visited;
-    Obs.add m_pruned !pruned
-  end;
+  let flush () =
+    if Obs.enabled () then begin
+      Obs.add m_nodes !nodes_visited;
+      Obs.add m_pruned !pruned
+    end
+  in
+  (* flush the search statistics even when the budget unwinds the
+     search with Budget.Exhausted *)
+  Fun.protect ~finally:flush (fun () -> go adj alive (Bitset.create n) [] 0 n);
   (!best, !best_order)
 
-let solve g =
+(* Shared solver core: returns the best width/order found plus, when
+   the budget tripped mid-search, the trip reason.  On a trip the
+   returned pair is the heuristic bracket (a sound upper bound), which
+   was computed before the branch and bound started — the degradation
+   ladder's first rung is free. *)
+let solve_with ~budget g =
   let n = Graph.num_vertices g in
-  if n = 0 then (-1, [])
+  if n = 0 then (-1, [], None)
   else Obs.span "tw.solve" @@ fun () ->
     if Obs.enabled () then Obs.incr m_solves;
     let order_md = Heuristics.min_degree_order g in
@@ -128,15 +141,29 @@ let solve g =
       if w_mf <= w_md then (w_mf, order_mf) else (w_md, order_md)
     in
     let lb = Heuristics.lower_bound g in
-    if lb >= ub then (ub, ub_order)
+    if lb >= ub then (ub, ub_order, None)
     else begin
       (* the BB improves on ub+1 (i.e., finds width <= ub) or keeps it *)
-      let w, order = branch_and_bound g (ub + 1) ub_order in
-      if w <= ub then (w, order) else (ub, ub_order)
+      match branch_and_bound ~budget g (ub + 1) ub_order with
+      | w, order when w <= ub -> (w, order, None)
+      | _ -> (ub, ub_order, None)
+      | exception Budget.Exhausted r ->
+        Obs.incr m_heuristic_fallbacks;
+        (ub, ub_order, Some r)
     end
+
+let solve g =
+  let w, order, _ = solve_with ~budget:Budget.unlimited g in
+  (w, order)
 
 let treewidth g = fst (solve g)
 let optimal_order g = snd (solve g)
+
+let treewidth_budgeted ~budget g =
+  match solve_with ~budget g with
+  | w, _, None -> `Exact w
+  | w, _, Some cause ->
+    Outcome.degraded ~cause ~fallback:"Heuristics.upper_bound" w
 
 module Graph_tbl = Hashtbl.Make (struct
     type t = Graph.t
@@ -162,19 +189,29 @@ let memo_capacity = 512
 
 let clear_decomposition_memo () = Graph_tbl.reset decomposition_memo
 
-let optimal_decomposition g =
+let optimal_decomposition_budgeted ~budget g =
   match Graph_tbl.find_opt decomposition_memo g with
   | Some d ->
     if Obs.enabled () then Obs.incr m_memo_hits;
-    d
+    `Exact d
   | None ->
     if Obs.enabled () then Obs.incr m_memo_misses;
-    let _, order = solve g in
+    let _, order, tripped = solve_with ~budget g in
     let d = Elimination.decomposition_of_order g order in
-    if Graph_tbl.length decomposition_memo >= memo_capacity then
-      Graph_tbl.reset decomposition_memo;
-    Graph_tbl.replace decomposition_memo g d;
-    d
+    (match tripped with
+     | None ->
+       (* only proven-optimal decompositions may enter the memo *)
+       if Graph_tbl.length decomposition_memo >= memo_capacity then
+         Graph_tbl.reset decomposition_memo;
+       Graph_tbl.replace decomposition_memo g d;
+       `Exact d
+     | Some cause ->
+       Outcome.degraded ~cause ~fallback:"Heuristics order" d)
+
+let optimal_decomposition g =
+  match optimal_decomposition_budgeted ~budget:Budget.unlimited g with
+  | `Exact d | `Degraded (d, _) -> d
+  | `Exhausted _ -> assert false
 
 let is_at_most g k = treewidth g <= k
 

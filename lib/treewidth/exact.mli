@@ -12,10 +12,28 @@
     (see the ablation notes in DESIGN.md). *)
 
 open Wlcq_graph
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
 
 (** [treewidth g] is the exact treewidth of [g] ([-1] for the empty
     graph, [0] for edgeless graphs). *)
 val treewidth : Graph.t -> int
+
+(** [treewidth_budgeted ~budget g] is the budgeted variant: [`Exact w]
+    when the branch and bound finished, [`Degraded (ub, _)] with the
+    {!Heuristics} upper bound (min-degree / min-fill bracket, computed
+    before the search starts) when [budget] tripped mid-search.  Never
+    [`Exhausted]: the heuristic rung is polynomial and always
+    available.  Bumps the [robust.fallback.tw_heuristic] counter on
+    degradation. *)
+val treewidth_budgeted : budget:Budget.t -> Graph.t -> (int, 'p) Outcome.t
+
+(** [optimal_decomposition_budgeted ~budget g] is {!optimal_decomposition}
+    under a budget: [`Degraded] carries a valid (but possibly
+    wider-than-optimal) decomposition from the heuristic order.
+    Degraded decompositions never enter the memo. *)
+val optimal_decomposition_budgeted :
+  budget:Budget.t -> Graph.t -> (Decomposition.t, 'p) Outcome.t
 
 (** [optimal_order g] is an elimination order witnessing
     [treewidth g]. *)

@@ -1,5 +1,7 @@
 open Wlcq_graph
 module Bigint = Wlcq_util.Bigint
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
 
 let equivalent k g1 g2 =
   if k < 1 then invalid_arg "Equivalence.equivalent: k must be positive"
@@ -11,6 +13,22 @@ let equivalent k g1 g2 =
   then false
   else if k = 1 then Refinement.equivalent g1 g2
   else Kwl.equivalent k g1 g2
+
+let equivalent_budgeted ~budget k g1 g2 =
+  if k < 1 then invalid_arg "Equivalence.equivalent_budgeted: k must be positive"
+  else if
+    Graph.num_vertices g1 <> Graph.num_vertices g2
+    || Graph.num_edges g1 <> Graph.num_edges g2
+  then `Exact false
+  else if k = 1 then
+    (* colour refinement is near-linear; it runs unbudgeted and the
+       budget is only consulted at the boundary *)
+    let r = Refinement.equivalent g1 g2 in
+    (match Budget.tripped budget with
+     | Some _ when not r -> `Exact false (* divergence is permanent *)
+     | Some reason -> `Exhausted reason
+     | None -> `Exact r)
+  else Kwl.equivalent_budgeted ~budget k g1 g2
 
 let iter_patterns max_size f =
   for n = 1 to max_size do

@@ -9,10 +9,23 @@
     used to cross-validate the algebraic one in the test suite. *)
 
 open Wlcq_graph
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
 
 (** [equivalent k g1 g2] decides [g1 ≅_k g2].
     @raise Invalid_argument when [k < 1]. *)
 val equivalent : int -> Graph.t -> Graph.t -> bool
+
+(** Budgeted oracle.  Inequivalence witnessed before the trip is
+    permanent and still reported as [`Exact false]; only an
+    inconclusive run degrades to [`Exhausted].  For [k = 1] colour
+    refinement runs unbudgeted (it is near-linear) and the budget is
+    checked only at the boundary; for [k >= 2] this is
+    {!Kwl.equivalent_budgeted}.
+    @raise Invalid_argument when [k < 1]. *)
+val equivalent_budgeted :
+  budget:Budget.t -> int -> Graph.t -> Graph.t ->
+  (bool, Budget.reason) Outcome.t
 
 (** [iter_patterns max_size f] applies [f] to every graph with between
     1 and [max_size] vertices (one representative per labelled graph;

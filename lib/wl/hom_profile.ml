@@ -52,15 +52,15 @@ let patterns ~max_size ~tw_bound =
     Wlcq_util.Ordering.Int_pair_tbl.add patterns_memo (max_size, tw_bound) ps;
     ps
 
-let profile ~patterns g =
-  List.map (fun pattern -> Wlcq_hom.Td_count.count pattern g) patterns
+let profile ?budget ~patterns g =
+  List.map (fun pattern -> Wlcq_hom.Td_count.count ?budget pattern g) patterns
 
-let first_difference ~max_size ~tw_bound g1 g2 =
+let first_difference ?budget ~max_size ~tw_bound g1 g2 =
   let rec go = function
     | [] -> None
     | pattern :: rest ->
-      let c1 = Wlcq_hom.Td_count.count pattern g1 in
-      let c2 = Wlcq_hom.Td_count.count pattern g2 in
+      let c1 = Wlcq_hom.Td_count.count ?budget pattern g1 in
+      let c2 = Wlcq_hom.Td_count.count ?budget pattern g2 in
       if Bigint.equal c1 c2 then go rest else Some (pattern, c1, c2)
   in
   go (patterns ~max_size ~tw_bound)

@@ -20,13 +20,18 @@ open Wlcq_graph
 val patterns : max_size:int -> tw_bound:int -> Graph.t list
 
 (** [profile ~patterns g] is the vector of [|Hom(F, g)|] over the
-    pattern list. *)
-val profile : patterns:Graph.t list -> Graph.t -> Wlcq_util.Bigint.t list
+    pattern list.
+    @raise Wlcq_robust.Budget.Exhausted when [budget] trips. *)
+val profile :
+  ?budget:Wlcq_robust.Budget.t -> patterns:Graph.t list -> Graph.t ->
+  Wlcq_util.Bigint.t list
 
 (** [first_difference ~max_size ~tw_bound g1 g2] is the smallest
     pattern (in the {!patterns} order) with different hom counts into
     [g1] and [g2], together with the two counts; [None] when the
-    bounded profiles agree. *)
+    bounded profiles agree.
+    @raise Wlcq_robust.Budget.Exhausted when [budget] trips. *)
 val first_difference :
-  max_size:int -> tw_bound:int -> Graph.t -> Graph.t ->
+  ?budget:Wlcq_robust.Budget.t -> max_size:int -> tw_bound:int ->
+  Graph.t -> Graph.t ->
   (Graph.t * Wlcq_util.Bigint.t * Wlcq_util.Bigint.t) option

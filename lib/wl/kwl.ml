@@ -1,6 +1,9 @@
 open Wlcq_graph
 module Ordering = Wlcq_util.Ordering
 module Obs = Wlcq_obs.Obs
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
+module Fault = Wlcq_robust.Fault
 
 type result = { colours : int array; num_colours : int; rounds : int }
 
@@ -13,6 +16,9 @@ let m_dirty = Obs.counter "kwl.dirty_tuples"
 let m_collisions = Obs.counter "kwl.hash_collisions"
 let m_par_rounds = Obs.counter "kwl.parallel_rounds"
 let m_seq_rounds = Obs.counter "kwl.sequential_rounds"
+let m_prefix_fallbacks = Obs.counter "robust.fallback.kwl_prefix"
+let m_exhausted = Obs.counter "robust.fallback.kwl_exhausted"
+let m_spawn_demotions = Obs.counter "robust.fallback.kwl_seq_compute"
 
 (* Tuples are encoded in base n: the tuple (v_0, ..., v_{k-1}) has
    index sum_i v_i * n^(k-1-i).  [place] are the per-position place
@@ -292,7 +298,16 @@ exception Histograms_diverged
    once per round by the driver domain; worker domains never touch it *)
 let parallel_threshold = ref (1 lsl 15)
 
-let run_engine_inner ?domains ~on_round k states =
+(* Budget protocol (mirrors Td_count.run_packed): the driver raises
+   [Budget.Exhausted] only during the sequential initial colouring —
+   before any round state exists.  Inside rounds, workers tick the
+   shared atomic trip flag and wind down; the driver inspects the
+   verdict after the parallel phase and aborts {e before} renumbering,
+   so [st.colours] still holds the last {e completed} round's
+   colouring — a sound stable-colour prefix (refinement only splits
+   classes, so tuples the prefix separates stay separated by the full
+   run). *)
+let run_engine_inner ?domains ~budget ~on_round k states =
   (* hoisted once per run: the hot loops below branch on a local bool,
      not on the atomic flag *)
   let on = Obs.enabled () in
@@ -323,6 +338,7 @@ let run_engine_inner ?domains ~on_round k states =
   Array.iter
     (fun st ->
        for idx = 0 to st.count - 1 do
+         Budget.tick_check budget;
          let base = !slot0 * aw in
          if atomic_fits then init_arena.(base) <- atomic_packed st k idx
          else begin
@@ -390,11 +406,16 @@ let run_engine_inner ?domains ~on_round k states =
     Hashtbl.create 4096
   in
   (* signature computation for jobs in [lo, hi) — the parallel part;
-     writes only to disjoint arena / hashes slots *)
+     writes only to disjoint arena / hashes slots.  A tripped budget
+     abandons the rest of the chunk (the driver discards the whole
+     round, so partially filled slots are never read). *)
   let compute_range lo hi =
     let entry = Array.make (max 1 (max_n * entry_words)) 0 in
-    for s = lo to hi - 1 do
-      let st = states.(jobs_g.(s)) in
+    try
+      for s = lo to hi - 1 do
+        Budget.tick budget;
+        if not (Budget.live budget) then raise_notrace Stdlib.Exit;
+        let st = states.(jobs_g.(s)) in
       let idx = jobs_t.(s) in
       let n = st.n in
       let colours = st.colours and tuples = st.tuples and place = st.place in
@@ -434,7 +455,8 @@ let run_engine_inner ?domains ~on_round k states =
       arena.(base) <- colours.(idx);
       Array.blit entry 0 arena (base + 1) (max_n * entry_words);
       hashes.(s) <- hash_segment arena base sigw
-    done
+      done
+    with Stdlib.Exit -> ()
   in
   let requested_domains =
     match domains with
@@ -453,13 +475,29 @@ let run_engine_inner ?domains ~on_round k states =
     if nd <= 1 then compute_range 0 m
     else begin
       let chunk = (m + nd - 1) / nd in
-      let workers =
-        List.init (nd - 1) (fun d ->
-            let lo = (d + 1) * chunk in
-            let hi = min m (lo + chunk) in
-            Domain.spawn (fun () -> if lo < hi then compute_range lo hi))
+      (* spawn-site fault hook: a chunk whose spawn "fails" is demoted
+         to the driver, which computes it itself after its own chunk —
+         the arena slots written are the same either way, so results
+         stay byte-identical *)
+      let rec spawn_from d workers demoted =
+        if d >= nd - 1 then (List.rev workers, List.rev demoted)
+        else begin
+          let lo = (d + 1) * chunk in
+          let hi = min m (lo + chunk) in
+          if Fault.should_fail Fault.Domain_spawn then
+            spawn_from (d + 1) workers ((lo, hi) :: demoted)
+          else
+            let w = Domain.spawn (fun () -> if lo < hi then compute_range lo hi) in
+            spawn_from (d + 1) (w :: workers) demoted
+        end
       in
+      let workers, demoted = spawn_from 0 [] [] in
       compute_range 0 (min chunk m);
+      (match demoted with
+       | [] -> ()
+       | _ :: _ ->
+         Obs.incr m_spawn_demotions;
+         List.iter (fun (lo, hi) -> if lo < hi then compute_range lo hi) demoted);
       List.iter Domain.join workers
     end
   in
@@ -475,10 +513,18 @@ let run_engine_inner ?domains ~on_round k states =
        done)
     states;
   let continue = ref (total > 0) in
+  let aborted = ref None in
   let do_round () =
     let m = !num_jobs in
     if on then Obs.add m_dirty m;
     compute_all m;
+    match Budget.tripped budget with
+    | Some r ->
+      (* abort before renumbering: the colour buffers still hold the
+         last completed round's colouring — a sound prefix *)
+      aborted := Some r;
+      continue := false
+    | None ->
     (* which classes are fully dirty (may keep their id for one part) *)
     for s = 0 to m - 1 do
       let old = arena.(s * sigw) in
@@ -600,21 +646,17 @@ let run_engine_inner ?domains ~on_round k states =
        while !continue do
          Obs.span "kwl.round" do_round
        done);
-  (!next_colour, !rounds)
+  (!next_colour, !rounds, !aborted)
 
 (* All entry points funnel through here, so the span covers [run],
    [run_many] and [equivalent] alike; [Histograms_diverged] unwinds
    through the span cleanly ([Fun.protect] closes it). *)
-let run_engine ?domains ~on_round k states =
+let run_engine ?domains ?(budget = Budget.unlimited) ~on_round k states =
   Obs.span "kwl.run"
     ~attrs:[ ("k", string_of_int k) ]
-    (fun () -> run_engine_inner ?domains ~on_round k states)
+    (fun () -> run_engine_inner ?domains ~budget ~on_round k states)
 
-let run_many ?domains k graphs =
-  if k < 2 then
-    invalid_arg "Kwl.run_many: requires k >= 2 (use Refinement for k = 1)";
-  let states = Array.of_list (List.map (make_state k) graphs) in
-  let num, rounds = run_engine ?domains ~on_round:(fun _ -> ()) k states in
+let results_of_states states num rounds =
   Array.to_list
     (Array.map
        (fun st ->
@@ -625,6 +667,13 @@ let run_many ?domains k graphs =
           { colours; num_colours = num; rounds })
        states)
 
+let run_many ?domains k graphs =
+  if k < 2 then
+    invalid_arg "Kwl.run_many: requires k >= 2 (use Refinement for k = 1)";
+  let states = Array.of_list (List.map (make_state k) graphs) in
+  let num, rounds, _ = run_engine ?domains ~on_round:(fun _ -> ()) k states in
+  results_of_states states num rounds
+
 let run ?domains k g =
   match run_many ?domains k [ g ] with [ r ] -> r | _ -> assert false
 
@@ -632,6 +681,30 @@ let run_pair ?domains k g1 g2 =
   match run_many ?domains k [ g1; g2 ] with
   | [ r1; r2 ] -> (r1, r2)
   | _ -> assert false
+
+let run_many_budgeted ?domains ~budget k graphs =
+  if k < 2 then
+    invalid_arg "Kwl.run_many_budgeted: requires k >= 2 (use Refinement for k = 1)";
+  let states = Array.of_list (List.map (make_state k) graphs) in
+  match run_engine ?domains ~budget ~on_round:(fun _ -> ()) k states with
+  | exception Budget.Exhausted r ->
+    (* tripped during the initial colouring: no complete prefix exists *)
+    Obs.incr m_exhausted;
+    `Exhausted r
+  | num, rounds, None -> `Exact (results_of_states states num rounds)
+  | num, rounds, Some cause ->
+    Obs.incr m_prefix_fallbacks;
+    Outcome.degraded ~cause
+      ~fallback:
+        (Printf.sprintf "stable colour prefix after %d completed rounds" rounds)
+      (results_of_states states num rounds)
+
+let run_budgeted ?domains ~budget k g =
+  match run_many_budgeted ?domains ~budget k [ g ] with
+  | `Exact [ r ] -> `Exact r
+  | `Degraded ([ r ], reason) -> `Degraded (r, reason)
+  | `Exhausted r -> `Exhausted r
+  | `Exact _ | `Degraded _ -> assert false
 
 let histogram (r : result) =
   let counts = Hashtbl.create 64 in
@@ -645,11 +718,11 @@ let histogram (r : result) =
 
 (* Early-exit equivalence: refinement only splits classes, so once the
    two graphs' joint colour histograms diverge they stay diverged; the
-   oracle stops at the first diverging round. *)
-let equivalent ?domains k g1 g2 =
-  if k < 2 then
-    invalid_arg "Kwl.equivalent: requires k >= 2 (use Refinement for k = 1)";
-  if Graph.num_vertices g1 <> Graph.num_vertices g2 then false
+   oracle stops at the first diverging round.  A divergence observed
+   under a budget is therefore still a definitive [`Exact false] — only
+   the "no divergence seen yet" verdict degrades to [`Exhausted]. *)
+let equivalent_core ?domains ~budget k g1 g2 =
+  if Graph.num_vertices g1 <> Graph.num_vertices g2 then `Exact false
   else begin
     let states = [| make_state k g1; make_state k g2 |] in
     let histograms_equal num =
@@ -664,16 +737,36 @@ let equivalent ?domains k g1 g2 =
       done;
       Array.for_all (fun d -> d = 0) cnt
     in
-    try
-      let _ =
-        run_engine ?domains
-          ~on_round:(fun num ->
-            if not (histograms_equal num) then raise Histograms_diverged)
-          k states
-      in
-      true
-    with Histograms_diverged -> false
+    match
+      run_engine ?domains ~budget
+        ~on_round:(fun num ->
+          if not (histograms_equal num) then raise Histograms_diverged)
+        k states
+    with
+    | exception Histograms_diverged -> `Exact false
+    | exception Budget.Exhausted r ->
+      Obs.incr m_exhausted;
+      `Exhausted r
+    | _, _, Some r ->
+      (* no divergence seen, but the run did not reach the stable
+         colouring: equivalence is undecided *)
+      Obs.incr m_exhausted;
+      `Exhausted r
+    | _, _, None -> `Exact true
   end
+
+let equivalent ?domains k g1 g2 =
+  if k < 2 then
+    invalid_arg "Kwl.equivalent: requires k >= 2 (use Refinement for k = 1)";
+  match equivalent_core ?domains ~budget:Budget.unlimited k g1 g2 with
+  | `Exact b -> b
+  | `Exhausted _ -> assert false
+
+let equivalent_budgeted ?domains ~budget k g1 g2 =
+  if k < 2 then
+    invalid_arg
+      "Kwl.equivalent_budgeted: requires k >= 2 (use Refinement for k = 1)";
+  equivalent_core ?domains ~budget k g1 g2
 
 let equivalent_reference k g1 g2 =
   let r1, r2 = run_pair_reference k g1 g2 in

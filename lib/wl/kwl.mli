@@ -31,6 +31,8 @@
     raise [Invalid_argument] instead of silently overflowing. *)
 
 open Wlcq_graph
+module Budget = Wlcq_robust.Budget
+module Outcome = Wlcq_robust.Outcome
 
 type result = {
   colours : int array;  (** stable colour of each of the [n^k] tuples,
@@ -63,6 +65,44 @@ val histogram : result -> (int * int) list
     graphs diverge (refinement only splits classes, so divergence is
     permanent). *)
 val equivalent : ?domains:int -> int -> Graph.t -> Graph.t -> bool
+
+(** {2 Budgeted entry points}
+
+    The budget is ticked per tuple inside signature computation;
+    workers never unwind across [Domain.spawn] — they set a shared
+    atomic trip flag and wind down, and the driver aborts {e before}
+    the sequential renumbering phase, so on [`Degraded] the colour
+    buffers hold the last {e completed} round's colouring: a sound
+    prefix of the stable colouring (refinement only splits classes).
+    A [Fault.Domain_spawn] injection demotes that worker's chunk to
+    the driver ([robust.fallback.kwl_seq_compute]) with byte-identical
+    results. *)
+
+(** [run_many_budgeted ~budget k graphs]: [`Exact results] when the
+    refinement stabilised; [`Degraded (results, _)] with the sound
+    stable-colour prefix after the recorded number of completed rounds
+    ([robust.fallback.kwl_prefix]); [`Exhausted] only when the budget
+    tripped during the initial atomic-type colouring, before any round
+    completed ([robust.fallback.kwl_exhausted]).
+    @raise Invalid_argument as {!run_many}. *)
+val run_many_budgeted :
+  ?domains:int -> budget:Budget.t -> int -> Graph.t list ->
+  (result list, Budget.reason) Outcome.t
+
+(** Single-graph variant of {!run_many_budgeted}. *)
+val run_budgeted :
+  ?domains:int -> budget:Budget.t -> int -> Graph.t ->
+  (result, Budget.reason) Outcome.t
+
+(** [equivalent_budgeted ~budget k g1 g2]: a histogram divergence seen
+    before the trip is permanent, so it yields a definitive
+    [`Exact false] even under a tripped budget; only "no divergence
+    observed before the stable colouring" degrades to [`Exhausted]
+    (this outcome never carries [`Degraded]).
+    @raise Invalid_argument as {!equivalent}. *)
+val equivalent_budgeted :
+  ?domains:int -> budget:Budget.t -> int -> Graph.t -> Graph.t ->
+  (bool, Budget.reason) Outcome.t
 
 (** {2 Test hooks} *)
 

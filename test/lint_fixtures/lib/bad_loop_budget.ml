@@ -1,0 +1,33 @@
+(* R5 fixture: budgeted engines called from loops in lib/ without
+   threading a budget.  Parsed by the linter only, never compiled. *)
+
+let bad_for q graphs =
+  let total = ref 0 in
+  for i = 0 to Array.length graphs - 1 do
+    total := !total + Cq.count_answers q graphs.(i)
+  done;
+  !total
+
+let bad_while q g =
+  let k = ref 1 in
+  while Wlcq_hom.Td_count.count q g < !k do
+    incr k
+  done;
+  !k
+
+let good_threaded ~budget q graphs =
+  let total = ref 0 in
+  for i = 0 to Array.length graphs - 1 do
+    total := !total + Cq.count_answers ~budget q graphs.(i)
+  done;
+  !total
+
+let good_outside_loop q g = Cq.count_answers q g
+
+let suppressed_bench_loop q graphs =
+  let total = ref 0 in
+  for i = 0 to Array.length graphs - 1 do
+    (* lint: allow R5 bench loop measures the unbudgeted engine on purpose *)
+    total := !total + Cq.count_answers q graphs.(i)
+  done;
+  !total

@@ -1,0 +1,78 @@
+(* Binary regression tests for bin/wlcq: the exit-code contract
+   (0 success / positive verdict, 1 negative verdict, 2 malformed
+   input, 3 budget exhausted) and the [error:] convention on stderr.
+
+   The dune stanza declares the binary as a dependency; tests run from
+   the build directory, so the executable sits at [../bin/wlcq.exe]. *)
+
+let wlcq = "../bin/wlcq.exe"
+
+let run_capture args =
+  let err = Filename.temp_file "wlcq_test" ".err" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s %s >/dev/null 2>%s" wlcq args (Filename.quote err))
+  in
+  let ic = open_in err in
+  let n = in_channel_length ic in
+  let stderr_text = really_input_string ic n in
+  close_in ic;
+  Sys.remove err;
+  (code, stderr_text)
+
+let check_code name expected args =
+  let code, _ = run_capture args in
+  Alcotest.(check int) (name ^ ": exit code") expected code
+
+let check_malformed name args =
+  let code, stderr_text = run_capture args in
+  Alcotest.(check int) (name ^ ": exit code") 2 code;
+  Alcotest.(check bool)
+    (name ^ ": stderr starts with 'error: '")
+    true
+    (String.length stderr_text >= 7 && String.equal (String.sub stderr_text 0 7) "error: ")
+
+let q_star = "\"(x1, x2) := exists y . E(x1, y) & E(x2, y)\""
+
+let test_success_codes () =
+  check_code "tw on K4" 0 "tw --graph clique:4";
+  check_code "ans star query on K4" 0 (Printf.sprintf "ans %s --graph clique:4" q_star);
+  check_code "widths" 0 (Printf.sprintf "widths %s" q_star);
+  check_code "wl equivalent" 0 "wl -k 2 --g1 cycle:5 --g2 cycle:5"
+
+let test_negative_verdict () =
+  (* C6 vs 2K3 are distinguished by 2-WL: negative verdict, exit 1 *)
+  check_code "wl inequivalent" 1 "wl -k 2 --g1 cycle:6 --g2 twotriangles"
+
+let test_malformed_inputs () =
+  check_malformed "bad graph spec" "tw --graph zzz";
+  check_malformed "bad graph spec for ans"
+    (Printf.sprintf "ans %s --graph zzz" q_star);
+  check_malformed "bad query" "ans \"garbage query\" --graph clique:3";
+  check_malformed "bad union query" "union \"garbage\"";
+  check_malformed "negative deadline" "tw --graph clique:4 --deadline-ms=-3";
+  check_malformed "zero memory ceiling" "tw --graph clique:4 --max-live-mb=0";
+  check_malformed "bad kgraph" "kg-ans \"(x) := E0(x, y)\" --graph zzz"
+
+let test_budget_exhaustion () =
+  (* a 1 ms deadline cannot finish branch and bound on a dense
+     28-vertex graph: the CLI must report the degraded bound and
+     exit 3 *)
+  check_code "tw degrades under 1 ms" 3 "tw --graph gnp:28,0.5,7 --deadline-ms 1";
+  check_code "ans exhausts under tiny deadline" 3
+    (Printf.sprintf "ans %s --graph clique:32 --deadline-ms 0.05" q_star);
+  (* generous deadlines change nothing *)
+  check_code "tw with slack deadline" 0
+    "tw --graph cycle:8 --deadline-ms 10000"
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "exit codes",
+        [
+          Alcotest.test_case "success" `Quick test_success_codes;
+          Alcotest.test_case "negative verdict" `Quick test_negative_verdict;
+          Alcotest.test_case "malformed input" `Quick test_malformed_inputs;
+          Alcotest.test_case "budget exhaustion" `Quick test_budget_exhaustion;
+        ] );
+    ]

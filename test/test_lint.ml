@@ -60,6 +60,12 @@ let test_r4_fires () =
   (* missing .mli and print_endline, both lib-only checks *)
   check_count "R4 count on lib/bad_print" "lib/bad_print.ml" "R4" 2
 
+let test_r5_fires () =
+  (* the for-loop and while-loop calls without ~budget; the threaded,
+     outside-loop and pragma-suppressed calls stay clean *)
+  check_count "R5 count on lib/bad_loop_budget" "lib/bad_loop_budget.ml" "R5"
+    2
+
 let test_pragmas_suppress () =
   let r = Lazy.force result in
   List.iter
@@ -70,7 +76,7 @@ let test_pragmas_suppress () =
   List.iter
     (fun (rc : Engine.rule_count) ->
        match Diagnostic.rule_id rc.rule with
-       | "R1" | "R2" | "R3" ->
+       | "R1" | "R2" | "R3" | "R5" ->
          Alcotest.(check bool)
            (Diagnostic.rule_id rc.rule ^ " suppression counted") true
            (rc.suppressions >= 1)
@@ -109,6 +115,8 @@ let () =
           Alcotest.test_case "R3 allows driver-local parallel DP" `Quick
             test_r3_allows_parallel_dp;
           Alcotest.test_case "R4 hygiene" `Quick test_r4_fires;
+          Alcotest.test_case "R5 budget threading in loops" `Quick
+            test_r5_fires;
         ] );
       ( "pragmas",
         [

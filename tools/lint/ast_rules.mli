@@ -1,6 +1,7 @@
 (** Per-file AST rules: R1 (polymorphic compare/hash), R2
-    (partial/unsafe functions, error-message convention) and the
-    printing half of R4, plus fact collection for the whole-project
+    (partial/unsafe functions, error-message convention), the printing
+    half of R4 and R5 (budgeted engines called from lib/ loops without
+    a [~budget] argument), plus fact collection for the whole-project
     domain-safety pass (R3).
 
     The walk is purely syntactic — no type information.  Known
@@ -17,8 +18,9 @@ type facts = {
 }
 
 (** [check ~file ~in_lib ~report str] walks one parsed implementation,
-    calling [report] for every R1/R2/R4 finding, and returns the file's
-    R3 facts.  [in_lib] enables the lib-only printing ban. *)
+    calling [report] for every R1/R2/R4/R5 finding, and returns the
+    file's R3 facts.  [in_lib] enables the lib-only printing ban and
+    the R5 budget-threading rule. *)
 val check :
   file:string ->
   in_lib:bool ->

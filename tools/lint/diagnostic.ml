@@ -1,4 +1,4 @@
-type rule = R0 | R1 | R2 | R3 | R4
+type rule = R0 | R1 | R2 | R3 | R4 | R5
 
 let rule_id = function
   | R0 -> "R0"
@@ -6,6 +6,7 @@ let rule_id = function
   | R2 -> "R2"
   | R3 -> "R3"
   | R4 -> "R4"
+  | R5 -> "R5"
 
 let rule_of_id = function
   | "R0" -> Some R0
@@ -13,6 +14,7 @@ let rule_of_id = function
   | "R2" -> Some R2
   | "R3" -> Some R3
   | "R4" -> Some R4
+  | "R5" -> Some R5
   | _ -> None
 
 let rule_summary = function
@@ -21,8 +23,9 @@ let rule_summary = function
   | R2 -> "partial/unsafe functions and error-message convention"
   | R3 -> "top-level mutable state visible to Domain.spawn code"
   | R4 -> "hygiene (missing .mli, printing from lib/)"
+  | R5 -> "budgeted engine called in a lib/ loop without threading a budget"
 
-let all_rules = [ R0; R1; R2; R3; R4 ]
+let all_rules = [ R0; R1; R2; R3; R4; R5 ]
 
 type t = { file : string; line : int; col : int; rule : rule; message : string }
 

@@ -7,6 +7,9 @@ type rule =
   | R2  (** partial/unsafe functions; error-message convention *)
   | R3  (** top-level mutable state visible to [Domain.spawn] code *)
   | R4  (** hygiene: missing [.mli], printing from [lib/] *)
+  | R5
+      (** budgeted engine called inside a [for]/[while] loop in [lib/]
+          without a [~budget]/[?budget] argument *)
 
 val rule_id : rule -> string
 val rule_of_id : string -> rule option
