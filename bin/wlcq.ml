@@ -61,10 +61,14 @@ let guarded f =
 (* ------------------------------------------------------------------ *)
 
 module Obs = Wlcq_obs.Obs
+module Dispatch = Wlcq_dispatch.Dispatch
 
 (* Reporting runs from [at_exit] so the subcommands' own [exit] calls
    (success/failure encodings) still flush metrics and traces. *)
-let obs_setup metrics trace =
+let obs_setup engine metrics trace =
+  (match Dispatch.engine_of_string engine with
+  | Ok e -> Dispatch.set_engine e
+  | Error msg -> fail_malformed msg);
   if metrics || Option.is_some trace then begin
     Obs.set_enabled true;
     if Option.is_some trace then Obs.set_tracing true;
@@ -79,6 +83,17 @@ let obs_setup metrics trace =
   end
 
 let obs_term =
+  let engine =
+    let names = String.concat "|" Dispatch.engine_names in
+    Arg.(value & opt string "auto"
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:
+               (Printf.sprintf
+                  "Counting/WL engine selection: one of %s. $(b,auto) (the \
+                   default) picks per call from the calibrated cost model; \
+                   the others force that engine everywhere, bypassing the \
+                   model." names))
+  in
   let metrics =
     Arg.(value & flag
          & info [ "metrics" ]
@@ -93,7 +108,7 @@ let obs_term =
                    to $(docv) on exit (load in chrome://tracing or \
                    Perfetto).")
   in
-  Term.(const obs_setup $ metrics $ trace)
+  Term.(const obs_setup $ engine $ metrics $ trace)
 
 (* ------------------------------------------------------------------ *)
 (* Budget flags, shared by every subcommand                            *)

@@ -10,6 +10,7 @@ module Dp_key = Wlcq_hom.Dp_key
 module Obs = Wlcq_obs.Obs
 module Budget = Wlcq_robust.Budget
 module Outcome = Wlcq_robust.Outcome
+module Dispatch = Wlcq_dispatch.Dispatch
 
 let m_runs = Obs.counter "fast_count.runs"
 let m_exhausted = Obs.counter "robust.fallback.fast_exhausted"
@@ -240,28 +241,136 @@ let target_support g =
       Bitset.set s v);
   s
 
-let count_answers ?(budget = Budget.unlimited) q g =
+(* ------------------------------------------------------------------ *)
+(* Enumeration kernel for small instances.                             *)
+(*                                                                     *)
+(* When ng^|X| and every component tabulation ng^(|C|+|δ|) are tiny,   *)
+(* the contract/decomposition/Dp_key machinery of the packed engine    *)
+(* below costs more than the whole count.  This kernel tabulates each  *)
+(* attached component's satisfiable δ-assignments into a flat byte     *)
+(* table with ONE homomorphism enumeration per component, then counts  *)
+(* free assignments by direct backtracking with early edge pruning —   *)
+(* no decomposition, no packed tables, no arc consistency.             *)
+(* ------------------------------------------------------------------ *)
+
+let count_answers_enum ~budget q g components =
   let h = q.Cq.graph in
   let n = Graph.num_vertices g in
   let xs = Cq.free_vars q in
   let k = Array.length xs in
   let pos_of = Int_tbl.create 8 in
   Array.iteri (fun p x -> Int_tbl.replace pos_of x p) xs;
-  let components = Extension.quantified_components q in
-  let boolean_ok =
-    List.for_all
-      (fun (members, attached) ->
-         not (List.is_empty attached)
-         || begin
-           let sub, _ = Ops.induced h members in
-           Wlcq_hom.Brute.exists sub g
-         end)
-      components
-  in
-  if not boolean_ok then Bigint.zero
-  else if k = 0 then
-    if Wlcq_hom.Brute.exists h g then Bigint.one else Bigint.zero
-  else Obs.span "fast_count.run" @@ fun () ->
+  Obs.span "fast_count.run_enum" @@ fun () ->
+    if Obs.enabled () then Obs.incr m_runs;
+    (* per attached component: scope positions in X plus a membership
+       check on their images.  Small components are tabulated by one
+       Brute.iter sweep; components past the tabulation limit (only
+       reachable under a forced engine) fall back to a memoised pinned
+       existence query, so forcing stays correct on any instance. *)
+    let comp_checks =
+      List.filter_map
+        (fun (members, attached) ->
+           if List.is_empty attached then None
+           else begin
+             let vertices = List.sort_uniq Int.compare (members @ attached) in
+             let sub, back = Ops.induced h vertices in
+             let sub_pos = Int_tbl.create 8 in
+             Array.iteri (fun i v -> Int_tbl.replace sub_pos v i) back;
+             let attach_sub =
+               Array.of_list (List.map (Int_tbl.find sub_pos) attached)
+             in
+             let da = Array.length attach_sub in
+             let scope =
+               Array.of_list (List.map (Int_tbl.find pos_of) attached)
+             in
+             let lim = (Dispatch.calibration ()).Dispatch.enum_answers_max in
+             let full = Dispatch.sat_pow n (Array.length back) in
+             let holds =
+               if full <= lim then begin
+                 let size = Dispatch.sat_pow n da in
+                 let tbl = Bytes.make size '\000' in
+                 Wlcq_hom.Brute.iter ~budget sub g (fun m ->
+                     let code = ref 0 in
+                     for i = 0 to da - 1 do
+                       code := (!code * n) + m.(attach_sub.(i))
+                     done;
+                     (* lint: allow R2 code < n^da = |tbl| by construction *)
+                     Bytes.unsafe_set tbl !code '\001');
+                 fun images ->
+                   let code = ref 0 in
+                   for i = 0 to da - 1 do
+                     code := (!code * n) + images.(scope.(i))
+                   done;
+                   (* lint: allow R2 code < n^da = |tbl| by construction *)
+                   Bytes.unsafe_get tbl !code = '\001'
+               end
+               else begin
+                 let memo : bool Arr_tbl.t = Arr_tbl.create 64 in
+                 let key = Array.make da 0 in
+                 fun images ->
+                   for i = 0 to da - 1 do
+                     key.(i) <- images.(scope.(i))
+                   done;
+                   match Arr_tbl.find_opt memo key with
+                   | Some b -> b
+                   | None ->
+                     let pins =
+                       List.mapi (fun i sv -> (sv, key.(i)))
+                         (Array.to_list attach_sub)
+                     in
+                     let b = Wlcq_hom.Brute.exists ~pins sub g in
+                     Arr_tbl.replace memo (Array.copy key) b;
+                     b
+               end
+             in
+             let last = Array.fold_left max 0 scope in
+             Some (last, holds)
+           end)
+        components
+    in
+    (* H[X] edge checks fire as soon as their later endpoint is
+       assigned; component checks as soon as their whole scope is. *)
+    let edges_at = Array.make k [] in
+    Graph.iter_edges h (fun u v ->
+        match (Int_tbl.find_opt pos_of u, Int_tbl.find_opt pos_of v) with
+        | Some a, Some b ->
+          let lo = min a b and hi = max a b in
+          edges_at.(hi) <- lo :: edges_at.(hi)
+        | _ -> ());
+    let checks_at = Array.make k [] in
+    List.iter
+      (fun (last, holds) -> checks_at.(last) <- holds :: checks_at.(last))
+      comp_checks;
+    let images = Array.make k 0 in
+    let total = ref 0 in
+    let rec go i =
+      if i = k then incr total
+      else begin
+        Budget.tick_check budget;
+        for v = 0 to n - 1 do
+          images.(i) <- v;
+          if
+            List.for_all (fun j -> Graph.adjacent g images.(j) v) edges_at.(i)
+            && List.for_all (fun holds -> holds images) checks_at.(i)
+          then go (i + 1)
+        done
+      end
+    in
+    go 0;
+    Bigint.of_int !total
+
+(* ------------------------------------------------------------------ *)
+(* Packed engine proper (see header above).                            *)
+(* ------------------------------------------------------------------ *)
+
+let count_answers_packed ~budget q g components =
+  let h = q.Cq.graph in
+  let n = Graph.num_vertices g in
+  let xs = Cq.free_vars q in
+  let k = Array.length xs in
+  let pos_of = Int_tbl.create 8 in
+  Array.iteri (fun p x -> Int_tbl.replace pos_of x p) xs;
+  Obs.span "fast_count.run" @@ fun () ->
     let on = Obs.enabled () in
     if on then Obs.incr m_runs;
     (* Predicate P_i per attached component, memoised on the images of
@@ -485,6 +594,44 @@ let count_answers ?(budget = Budget.unlimited) q g =
     end;
     Count.to_bigint
       (Dp_key.total tables.(rooted.Wlcq_treewidth.Decomposition.root))
+
+(* ------------------------------------------------------------------ *)
+(* Entry point: shared trivial cases, then engine dispatch.            *)
+(* ------------------------------------------------------------------ *)
+
+let count_answers ?(budget = Budget.unlimited) q g =
+  let h = q.Cq.graph in
+  let n = Graph.num_vertices g in
+  let k = Array.length (Cq.free_vars q) in
+  let components = Extension.quantified_components q in
+  (* Components with no attachment contribute a global boolean factor:
+     some homomorphism must exist for them at all. *)
+  let boolean_ok =
+    List.for_all
+      (fun (members, attached) ->
+         not (List.is_empty attached)
+         || begin
+           let sub, _ = Ops.induced h members in
+           Wlcq_hom.Brute.exists sub g
+         end)
+      components
+  in
+  if not boolean_ok then Bigint.zero
+  else if k = 0 then
+    if Wlcq_hom.Brute.exists h g then Bigint.one else Bigint.zero
+  else begin
+    let max_comp =
+      List.fold_left
+        (fun acc (members, attached) ->
+           if List.is_empty attached then acc
+           else max acc (List.length members + List.length attached))
+        0 components
+    in
+    match Dispatch.choose_answers ~nx:k ~max_comp ~ng:n with
+    | Dispatch.Ans_enum -> count_answers_enum ~budget q g components
+    | Dispatch.Ans_reference -> count_answers_reference q g
+    | Dispatch.Ans_packed -> count_answers_packed ~budget q g components
+  end
 
 (* like [Brute.count_budgeted] in shape, but the DP's intermediate
    tables admit no sound partial reading, so exhaustion carries no

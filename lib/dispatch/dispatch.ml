@@ -1,0 +1,216 @@
+(* Adaptive engine dispatch.  See dispatch.mli for the model; this file
+   is the one place in the tree where engine-selection cutoffs are
+   allowed to live (lint rule R6 bans magic-number size thresholds in
+   the engine hot paths outside this module). *)
+
+type engine = Auto | Brute | Reference | Packed
+
+(* Written by the driver (CLI flag / test setup) before a run, read by
+   every engine entry point; Atomic so forced runs inside spawned
+   benchmark closures stay well-defined. *)
+let mode : engine Atomic.t = Atomic.make Auto
+
+let set_engine e = Atomic.set mode e
+let engine () = Atomic.get mode
+
+let engine_to_string = function
+  | Auto -> "auto"
+  | Brute -> "brute"
+  | Reference -> "reference"
+  | Packed -> "packed"
+
+let engine_names = [ "auto"; "brute"; "reference"; "packed" ]
+
+let engine_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "auto" -> Ok Auto
+  | "brute" -> Ok Brute
+  | "reference" | "ref" -> Ok Reference
+  | "packed" -> Ok Packed
+  | other ->
+    Error
+      (Printf.sprintf "unknown engine %S (expected %s)" other
+         (String.concat "|" engine_names))
+
+(* ------------------------------------------------------------------ *)
+(* Calibration table                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type calibration = {
+  brute_hom_max : int;
+  prune_min_work : int;
+  enum_answers_max : int;
+  dp_parallel_min : int;
+  wl_parallel_min : int;
+  wl_chunk : int;
+  dense_key_bits : int;
+}
+
+let default_calibration =
+  {
+    (* crossover points measured by [bench/main.exe calibrate] on the
+       reference container (see DESIGN.md); dp/wl parallel minima and
+       the dense width carry over the engines' historical values so
+       forced-mode decisions stay byte-identical to PR 4/5 *)
+    brute_hom_max = 256;
+    prune_min_work = 512;
+    enum_answers_max = 1 lsl 15;
+    dp_parallel_min = 1 lsl 15;
+    wl_parallel_min = 1 lsl 15;
+    wl_chunk = 256;
+    dense_key_bits = 16;
+  }
+
+(* lint: domain-local written by the driver before a run, read-only in workers *)
+let table = ref default_calibration
+
+let calibration () = !table
+let set_calibration c = table := c
+let reset_calibration () = table := default_calibration
+
+(* ------------------------------------------------------------------ *)
+(* Features                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sat_cap = 1 lsl 30
+
+let sat_pow base e =
+  if base <= 0 then if e = 0 then 1 else 0
+  else begin
+    let acc = ref 1 in
+    (try
+       for _ = 1 to e do
+         if !acc > sat_cap / base then begin
+           acc := sat_cap;
+           raise Exit
+         end
+         else acc := !acc * base
+       done
+     with Exit -> ());
+    !acc
+  end
+
+let sat_mul a b =
+  if a = 0 || b = 0 then 0
+  else if a > sat_cap / b then sat_cap
+  else a * b
+
+let brute_cost ~nh ~ng ~mg =
+  if nh <= 0 then 1
+  else if ng <= 0 then 0
+  else
+    (* ceiling average out-degree over both edge directions; at least 1
+       so isolated-vertex graphs still cost ng per pattern vertex *)
+    let d = max 1 ((2 * mg + ng - 1) / ng) in
+    sat_mul ng (sat_pow d (nh - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Decision counters                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let c_forced = Wlcq_obs.Obs.counter "dispatch.forced"
+let c_hom_brute = Wlcq_obs.Obs.counter "dispatch.chose_brute"
+let c_hom_reference = Wlcq_obs.Obs.counter "dispatch.chose_reference"
+let c_hom_packed = Wlcq_obs.Obs.counter "dispatch.chose_packed"
+let c_ans_enum = Wlcq_obs.Obs.counter "dispatch.chose_enum"
+let c_prune = Wlcq_obs.Obs.counter "dispatch.chose_prune"
+let c_lean = Wlcq_obs.Obs.counter "dispatch.chose_lean"
+let c_par = Wlcq_obs.Obs.counter "dispatch.chose_par"
+let c_seq = Wlcq_obs.Obs.counter "dispatch.chose_seq"
+let c_dense = Wlcq_obs.Obs.counter "dispatch.chose_dense"
+let c_sparse = Wlcq_obs.Obs.counter "dispatch.chose_sparse"
+
+(* ------------------------------------------------------------------ *)
+(* Decisions                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type hom_choice = Hom_brute | Hom_reference | Hom_packed
+
+let choose_hom ~nh ~ng ~mg =
+  match Atomic.get mode with
+  | Brute ->
+    Wlcq_obs.Obs.incr c_forced;
+    Wlcq_obs.Obs.incr c_hom_brute;
+    Hom_brute
+  | Reference ->
+    Wlcq_obs.Obs.incr c_forced;
+    Wlcq_obs.Obs.incr c_hom_reference;
+    Hom_reference
+  | Packed ->
+    Wlcq_obs.Obs.incr c_forced;
+    Wlcq_obs.Obs.incr c_hom_packed;
+    Hom_packed
+  | Auto ->
+    if brute_cost ~nh ~ng ~mg <= !table.brute_hom_max then begin
+      Wlcq_obs.Obs.incr c_hom_brute;
+      Hom_brute
+    end
+    else begin
+      Wlcq_obs.Obs.incr c_hom_packed;
+      Hom_packed
+    end
+
+let prune_candidates ~work =
+  match Atomic.get mode with
+  | Auto when work < !table.prune_min_work ->
+    Wlcq_obs.Obs.incr c_lean;
+    false
+  | Auto | Brute | Reference | Packed ->
+    Wlcq_obs.Obs.incr c_prune;
+    true
+
+type ans_choice = Ans_enum | Ans_reference | Ans_packed
+
+let choose_answers ~nx ~max_comp ~ng =
+  match Atomic.get mode with
+  | Brute ->
+    Wlcq_obs.Obs.incr c_forced;
+    Wlcq_obs.Obs.incr c_ans_enum;
+    Ans_enum
+  | Reference ->
+    Wlcq_obs.Obs.incr c_forced;
+    Wlcq_obs.Obs.incr c_hom_reference;
+    Ans_reference
+  | Packed ->
+    Wlcq_obs.Obs.incr c_forced;
+    Wlcq_obs.Obs.incr c_hom_packed;
+    Ans_packed
+  | Auto ->
+    let lim = !table.enum_answers_max in
+    if sat_pow ng nx <= lim && sat_pow ng max_comp <= lim then begin
+      Wlcq_obs.Obs.incr c_ans_enum;
+      Ans_enum
+    end
+    else begin
+      Wlcq_obs.Obs.incr c_hom_packed;
+      Ans_packed
+    end
+
+(* The parallelism decisions keep the engines' historical test-hook
+   contract: threshold 0 forces parallel, max_int forces sequential,
+   otherwise it is the minimum work/weight for fan-out.  The formulas
+   are byte-identical to the ones they replaced in Td_count/Kwl. *)
+
+let dp_domains ~requested ~subtrees ~work ~threshold =
+  let nd =
+    if requested <= 1 || subtrees <= 1 then 1
+    else if threshold = 0 then min requested subtrees
+    else if work < threshold then 1
+    else min requested subtrees
+  in
+  Wlcq_obs.Obs.incr (if nd > 1 then c_par else c_seq);
+  nd
+
+let wl_domains ~requested ~jobs ~weight ~threshold =
+  let nd =
+    if requested <= 1 || weight < threshold then 1
+    else if threshold = 0 then min requested (max 1 jobs)
+    else min requested (max 1 (jobs / !table.wl_chunk))
+  in
+  Wlcq_obs.Obs.incr (if nd > 1 then c_par else c_seq);
+  nd
+
+let dense_fits ~bits ~cap =
+  let fits = bits <= min cap !table.dense_key_bits in
+  Wlcq_obs.Obs.incr (if fits then c_dense else c_sparse);
+  fits

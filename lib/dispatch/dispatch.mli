@@ -1,0 +1,154 @@
+(** Adaptive engine dispatch: one calibrated cost model for every
+    engine-selection decision in the tree.
+
+    The counting engines each face the same choice — pay the setup cost
+    of the packed machinery (decomposition, candidate pruning, packed
+    key tables, worker domains) or run a direct algorithm whose setup is
+    free.  Before this module the cutoffs lived as ad-hoc magic numbers
+    inside each engine ([Td_count.parallel_threshold],
+    [Kwl.parallel_threshold], [Dp_key.dense_bits], …).  They now live in
+    one auditable {!calibration} table, every decision goes through a
+    function here, and every decision increments a [dispatch.*] Obs
+    counter so mispredictions are observable in production
+    (bench's timing-smoke asserts on them).
+
+    Decisions are made from {e cheap} instance features only — vertex
+    and edge counts, bag arity sums, packed-keyspace width, free
+    variable counts — never from anything that itself costs a traversal
+    of the instance.
+
+    Constants are re-derivable: [bench/main.exe calibrate] times the
+    candidate engines across an instance ladder and prints the observed
+    crossover points in the table's own format (see DESIGN.md,
+    "Adaptive engine dispatch"). *)
+
+(** {2 Engine forcing}
+
+    The CLI surfaces this as [--engine auto|brute|reference|packed];
+    tests force engines to drive differential comparisons.  [Auto]
+    consults the cost model; the forced modes bypass it (and a forced
+    [Packed] always runs the {e full} packed machinery, arc consistency
+    included, so observability tripwires on the packed counters keep
+    firing on tiny instances). *)
+
+type engine = Auto | Brute | Reference | Packed
+
+val set_engine : engine -> unit
+val engine : unit -> engine
+
+(** [engine_of_string s] parses ["auto" | "brute" | "reference" |
+    "packed"]. *)
+val engine_of_string : string -> (engine, string) result
+
+val engine_to_string : engine -> string
+
+(** The accepted [engine_of_string] spellings, for CLI docs. *)
+val engine_names : string list
+
+(** {2 The calibration table}
+
+    All constants in one place.  Work units are {e estimated elementary
+    DP/search steps} (saturating, see {!sat_pow}); weights follow each
+    engine's historical convention so the decisions stay byte-identical
+    to the thresholds they replaced. *)
+
+type calibration = {
+  brute_hom_max : int;
+      (** choose backtracking enumeration over the treewidth DP when the
+          estimated brute work {!brute_cost} is at most this *)
+  prune_min_work : int;
+      (** run the arc-consistency candidate fixpoint only when the
+          estimated DP work (Σ_bags ng^arity) is at least this; below
+          it the fixpoint costs more than the pruning saves *)
+  enum_answers_max : int;
+      (** answer counting: use the direct enumeration kernel when both
+          ng^|X| and the largest component tabulation ng^(|C|+|δ|) are
+          at most this *)
+  dp_parallel_min : int;
+      (** Σ_bags ng^arity at which the treewidth DP fans independent
+          root subtrees out to worker domains *)
+  wl_parallel_min : int;
+      (** round weight (m · max_n · k) at which k-WL signature
+          computation fans out to worker domains *)
+  wl_chunk : int;  (** k-WL tuples per parallel chunk *)
+  dense_key_bits : int;
+      (** packed DP tables switch from the dense flat array to the
+          sparse int table above this keyspace width (bits) *)
+}
+
+(** The live table.  Mutable as a whole (a single ref holding an
+    immutable record): write it from the driver domain before a run,
+    never from workers. *)
+val calibration : unit -> calibration
+
+val set_calibration : calibration -> unit
+
+(** The compiled-in defaults (what [calibration] holds at start-up). *)
+val default_calibration : calibration
+
+val reset_calibration : unit -> unit
+
+(** {2 Features}
+
+    Saturating arithmetic: estimates cap at {!sat_cap} so they can be
+    compared against thresholds without overflow anywhere. *)
+
+val sat_cap : int
+
+(** [sat_pow b e] is [b^e] saturating at {!sat_cap}. *)
+val sat_pow : int -> int -> int
+
+(** [brute_cost ~nh ~ng ~mg] estimates the backtracking enumeration
+    work for [Hom(h, g)]: [ng · d^(nh-1)] with [d] the ceiling average
+    degree of [g] — the first pattern vertex ranges over [V(G)], each
+    later one over a neighbour list. *)
+val brute_cost : nh:int -> ng:int -> mg:int -> int
+
+(** {2 Decisions}
+
+    Each returns what the caller should run and bumps the matching
+    [dispatch.chose_*] counter. *)
+
+type hom_choice = Hom_brute | Hom_reference | Hom_packed
+
+(** [choose_hom ~nh ~ng ~mg]: engine for one [Hom(h, g)] count.
+    [Auto] picks [Hom_brute] when {!brute_cost} is within
+    [brute_hom_max], else [Hom_packed]; [Hom_reference] is only ever
+    forced (it is the differential oracle, not a performance
+    choice). *)
+val choose_hom : nh:int -> ng:int -> mg:int -> hom_choice
+
+(** [prune_candidates ~work]: run the arc-consistency fixpoint before
+    the packed DP?  [work] is the Σ_bags ng^arity estimate.  Always
+    true under a forced [Packed] engine. *)
+val prune_candidates : work:int -> bool
+
+type ans_choice = Ans_enum | Ans_reference | Ans_packed
+
+(** [choose_answers ~nx ~max_comp ~ng]: engine for one [|Ans(q, g)|]
+    count.  [nx] is the free-variable count, [max_comp] the largest
+    [|C_i| + |δ_i|] over quantified components.  [Auto] picks
+    [Ans_enum] when both [ng^nx] and [ng^max_comp] are within
+    [enum_answers_max]. *)
+val choose_answers : nx:int -> max_comp:int -> ng:int -> ans_choice
+
+(** [dp_domains ~requested ~subtrees ~work ~threshold]: worker-domain
+    count for the treewidth DP's root-subtree fan-out.  [threshold]
+    is the engine's test hook ([Td_count.parallel_threshold]): [0]
+    forces the parallel path, [max_int] forces sequential, anything
+    else is the minimum [work] for fan-out.  Returns [1] for a
+    sequential run. *)
+val dp_domains : requested:int -> subtrees:int -> work:int -> threshold:int -> int
+
+(** [wl_domains ~requested ~jobs ~weight ~threshold]: worker-domain
+    count for a k-WL round of [jobs] dirty tuples and round weight
+    [weight = jobs · max_n · k].  Same [threshold] contract as
+    {!dp_domains} ([Kwl.parallel_threshold]); [0] also bypasses the
+    per-domain chunk cap. *)
+val wl_domains : requested:int -> jobs:int -> weight:int -> threshold:int -> int
+
+(** [dense_fits ~bits ~cap]: store a packed DP table with a [bits]-wide
+    keyspace in the dense flat array?  [cap] is the structural limit of
+    the caller's arena pool; the effective width is
+    [min cap (calibration ()).dense_key_bits]. *)
+val dense_fits : bits:int -> cap:int -> bool

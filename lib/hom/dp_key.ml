@@ -104,9 +104,12 @@ let alloc_data nbits =
     x
   | [] -> Array.make (1 lsl nbits) 0
 
+(* The dense/sparse cutoff is a dispatch decision ([dense_key_bits] in
+   the calibration table); [dense_bits] above stays the structural cap
+   of the arena pool, so a recalibrated cutoff can only shrink it. *)
 let create_packed c ~arity =
-  if arity * c.bits <= dense_bits then
-    Dense { data = alloc_data (arity * c.bits); keys = []; big = None }
+  if Wlcq_dispatch.Dispatch.dense_fits ~bits:(arity * c.bits) ~cap:dense_bits
+  then Dense { data = alloc_data (arity * c.bits); keys = []; big = None }
   else Packed (Int_tbl.create 64)
 
 (* Fault-injection hook: the robustness suite forces allocation

@@ -7,6 +7,7 @@ module Tbl = Wlcq_util.Ordering.Int_list_tbl
 module Obs = Wlcq_obs.Obs
 module Budget = Wlcq_robust.Budget
 module Outcome = Wlcq_robust.Outcome
+module Dispatch = Wlcq_dispatch.Dispatch
 
 let m_runs = Obs.counter "nice_count.runs"
 let m_entries = Obs.counter "nice_count.dp_entries"
@@ -219,12 +220,35 @@ let count_with_nice ?(budget = Budget.unlimited) nd h g =
     nd.Nice.nodes;
   Count.to_bigint (Dp_key.total tables.(nd.Nice.root))
 
+let choose h g =
+  Dispatch.choose_hom ~nh:(Graph.num_vertices h) ~ng:(Graph.num_vertices g)
+    ~mg:(Graph.num_edges g)
+
 let count ?budget h g =
-  let d = Exact.optimal_decomposition h in
-  let nd = Nice.of_decomposition d ~universe:(Graph.num_vertices h) in
-  count_with_nice ?budget nd h g
+  if Graph.num_vertices h = 0 then Bigint.one
+  else if Graph.num_vertices g = 0 then Bigint.zero
+  else
+    match choose h g with
+    | Dispatch.Hom_brute -> Bigint.of_int (Brute.count ?budget h g)
+    | Dispatch.Hom_reference -> count_reference h g
+    | Dispatch.Hom_packed ->
+      let d = Exact.optimal_decomposition h in
+      let nd = Nice.of_decomposition d ~universe:(Graph.num_vertices h) in
+      count_with_nice ?budget nd h g
 
 let count_budgeted ~budget h g =
+  if
+    Graph.num_vertices h > 0
+    && Graph.num_vertices g > 0
+    && (match choose h g with Dispatch.Hom_brute -> true | _ -> false)
+  then
+    match Brute.count_budgeted ~budget h g with
+    | `Exact n -> `Exact (Bigint.of_int n)
+    | `Degraded (n, r) -> `Degraded (Bigint.of_int n, r)
+    | `Exhausted (_, r) ->
+      Obs.incr m_exhausted;
+      `Exhausted r
+  else
   match Exact.optimal_decomposition_budgeted ~budget h with
   | exception Budget.Exhausted r ->
     Obs.incr m_exhausted;

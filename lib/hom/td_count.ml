@@ -8,6 +8,7 @@ module Obs = Wlcq_obs.Obs
 module Budget = Wlcq_robust.Budget
 module Outcome = Wlcq_robust.Outcome
 module Fault = Wlcq_robust.Fault
+module Dispatch = Wlcq_dispatch.Dispatch
 
 let m_runs = Obs.counter "td_count.runs"
 let m_entries = Obs.counter "td_count.dp_entries"
@@ -224,6 +225,23 @@ let arc_consistent ?candidates ?seed h g =
   end;
   cand
 
+(* The lean variant: seed intersection only, no fixpoint.  On tiny
+   instances the arc-consistency loop costs more than the pruning it
+   buys; Dispatch.prune_candidates picks between the two. *)
+let seeded_candidates ?candidates ~seed h g =
+  let ng = Graph.num_vertices g in
+  Array.init (Graph.num_vertices h) (fun u ->
+      let base =
+        match candidates with None -> Bitset.full ng | Some c -> c u
+      in
+      if Graph.degree h u > 0 then Bitset.inter base seed else base)
+
+let make_candidates ?candidates ~work h g =
+  let seed = support g in
+  if Dispatch.prune_candidates ~work then
+    arc_consistent ?candidates ~seed h g
+  else seeded_candidates ?candidates ~seed h g
+
 (* ------------------------------------------------------------------ *)
 (* Packed engine.                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -398,13 +416,12 @@ let run_packed ~budget d h g cand =
     Array.iter (fun (_, proj) -> Dp_key.release proj) grouped
   in
   let kids = rooted.Decomposition.children.(root) in
-  let requested = Domain.recommended_domain_count () in
-  let threshold = !parallel_threshold in
   let nd =
-    if requested <= 1 || Array.length kids <= 1 then 1
-    else if threshold = 0 then min requested (Array.length kids)
-    else if work_estimate bags ng < threshold then 1
-    else min requested (Array.length kids)
+    Dispatch.dp_domains
+      ~requested:(Domain.recommended_domain_count ())
+      ~subtrees:(Array.length kids)
+      ~work:(work_estimate bags ng)
+      ~threshold:!parallel_threshold
   in
   let on = Obs.enabled () in
   if nd <= 1 then begin
@@ -479,21 +496,45 @@ let run_packed ~budget d h g cand =
   Array.iter Dp_key.release tables;
   result
 
+(* Packed path shared by the entry points: candidate construction
+   (full or lean, per the dispatch decision on the DP work estimate)
+   followed by the flat-table DP. *)
+let run_packed_path ~budget ?candidates d h g =
+  Obs.span "td_count.run" @@ fun () ->
+    if Obs.enabled () then Obs.incr m_runs;
+    let work = work_estimate d.Decomposition.bags (Graph.num_vertices g) in
+    let cand = make_candidates ?candidates ~work h g in
+    match run_packed ~budget d h g cand with
+    | Ok v -> v
+    | Error r -> raise (Budget.Exhausted r)
+
+let choose h g =
+  Dispatch.choose_hom ~nh:(Graph.num_vertices h) ~ng:(Graph.num_vertices g)
+    ~mg:(Graph.num_edges g)
+
 let count_with_decomposition ?(budget = Budget.unlimited) ?candidates d h g =
   if not (Decomposition.is_valid_for d h) then
     invalid_arg "Td_count.count_with_decomposition: decomposition does not match the pattern";
   if Graph.num_vertices h = 0 then Bigint.one
   else if Graph.num_vertices g = 0 then Bigint.zero
-  else Obs.span "td_count.run" @@ fun () ->
-    if Obs.enabled () then Obs.incr m_runs;
-    let cand = arc_consistent ?candidates ~seed:(support g) h g in
-    match run_packed ~budget d h g cand with
-    | Ok v -> v
-    | Error r -> raise (Budget.Exhausted r)
+  else
+    match choose h g with
+    | Dispatch.Hom_brute -> Bigint.of_int (Brute.count ~budget ?candidates h g)
+    | Dispatch.Hom_reference ->
+      count_with_decomposition_reference ?candidates d h g
+    | Dispatch.Hom_packed -> run_packed_path ~budget ?candidates d h g
 
-let count ?budget ?candidates h g =
-  count_with_decomposition ?budget ?candidates
-    (Exact.optimal_decomposition h) h g
+let count ?(budget = Budget.unlimited) ?candidates h g =
+  if Graph.num_vertices h = 0 then Bigint.one
+  else if Graph.num_vertices g = 0 then Bigint.zero
+  else
+    (* dispatch before the decomposition: the point of the brute path is
+       that tiny instances skip the treewidth machinery entirely *)
+    match choose h g with
+    | Dispatch.Hom_brute -> Bigint.of_int (Brute.count ~budget ?candidates h g)
+    | Dispatch.Hom_reference -> count_reference ?candidates h g
+    | Dispatch.Hom_packed ->
+      run_packed_path ~budget ?candidates (Exact.optimal_decomposition h) h g
 
 let count_with_decomposition_budgeted ~budget ?candidates d h g =
   match count_with_decomposition ~budget ?candidates d h g with
@@ -509,6 +550,18 @@ let count_with_decomposition_budgeted ~budget ?candidates d h g =
 let count_budgeted ~budget ?candidates h g =
   if Graph.num_vertices h = 0 then `Exact Bigint.one
   else if Graph.num_vertices g = 0 then `Exact Bigint.zero
+  else if
+    (* tiny instances skip the whole decomposition ladder; a partial
+       brute enumeration is still a sound lower bound, but the ladder's
+       contract only carries the trip reason, so the partial is dropped *)
+    match choose h g with Dispatch.Hom_brute -> true | _ -> false
+  then
+    match Brute.count_budgeted ~budget ?candidates h g with
+    | `Exact n -> `Exact (Bigint.of_int n)
+    | `Degraded (n, r) -> `Degraded (Bigint.of_int n, r)
+    | `Exhausted (_, r) ->
+      Obs.incr m_exhausted;
+      `Exhausted r
   else
     match Exact.optimal_decomposition_budgeted ~budget h with
     | exception Budget.Exhausted r ->
@@ -608,7 +661,11 @@ let count_many ?(budget = Budget.unlimited) ?candidates hs g =
            let n_i = Graph.num_vertices h in
            if n_i = 0 then Bigint.one
            else if ng = 0 then Bigint.zero
-           else begin
+           else match choose h g with
+           | Dispatch.Hom_brute ->
+             Bigint.of_int (Brute.count ~budget ?candidates h g)
+           | Dispatch.Hom_reference -> count_reference ?candidates h g
+           | Dispatch.Hom_packed -> begin
              let d =
                (* a size-n_max "prefix" is full adjacency equality with
                   hmax — same vertex count alone is not enough *)
@@ -628,7 +685,12 @@ let count_many ?(budget = Budget.unlimited) ?candidates hs g =
                end
              in
              if on then Obs.incr m_runs;
-             let cand = arc_consistent ?candidates ~seed h g in
+             let work = work_estimate d.Decomposition.bags ng in
+             let cand =
+               if Dispatch.prune_candidates ~work then
+                 arc_consistent ?candidates ~seed h g
+               else seeded_candidates ?candidates ~seed h g
+             in
              match run_packed ~budget d h g cand with
              | Ok v -> v
              | Error r -> raise (Budget.Exhausted r)

@@ -16,8 +16,20 @@ let normalize sign mag =
   else if !len = Array.length mag then { sign; mag }
   else { sign; mag = Array.sub mag 0 !len }
 
+(* Single-limb values below this bound are shared from a preallocated
+   table: the counting DPs promote small ints to Bigint at every table
+   boundary, and the per-call list+array allocation of the general path
+   dominates tiny-instance runs. *)
+let small_cache_limit = 1024
+
+(* lint: domain-local immutable Bigint values built at module load and
+   only ever read afterwards *)
+let small_cache =
+  Array.init small_cache_limit (fun n ->
+      if n = 0 then zero else { sign = 1; mag = [| n |] })
+
 let of_int n =
-  if n = 0 then zero
+  if n >= 0 && n < small_cache_limit then small_cache.(n)
   else begin
     let sign = if n > 0 then 1 else -1 in
     (* min_int negation is safe limb-by-limb via mod on the running

@@ -31,6 +31,7 @@ let is_small = function Small _ -> true | Big _ -> false
 
 let add a b =
   match (a, b) with
+  | Small 0, c | c, Small 0 -> c
   | Small x, Small y when x >= 0 && y >= 0 ->
     let s = x + y in
     if s >= 0 then Small s

@@ -4,6 +4,7 @@ module Obs = Wlcq_obs.Obs
 module Budget = Wlcq_robust.Budget
 module Outcome = Wlcq_robust.Outcome
 module Fault = Wlcq_robust.Fault
+module Dispatch = Wlcq_dispatch.Dispatch
 
 type result = { colours : int array; num_colours : int; rounds : int }
 
@@ -326,11 +327,52 @@ let run_engine_inner ?domains ~budget ~on_round k states =
   let entry_words = if packed then 1 else k in
   let sigw = 1 + (max_n * entry_words) in
   let next_colour = ref 0 in
+  (* open-addressing probe table shared by the initial colouring and
+     the per-round renumbering.  The previous representation — a
+     Hashtbl of boxed (base, colour) bucket lists — allocated a list
+     cell per insertion in the hottest loop of the engine; the probe
+     arrays allocate nothing per tuple.  A slot holds the arena base of
+     a signature group's first member, its hash and its colour; linear
+     probing at load factor <= 1/2.  Groups get fresh colours in the
+     same (slot-index) order as before, so colour numberings stay
+     byte-identical to the bucketed implementation. *)
+  let probe_cap =
+    let rec go c = if c >= 2 * max 1 total then c else go (c * 2) in
+    go 64
+  in
+  let probe_mask = probe_cap - 1 in
+  let probe_base = Array.make probe_cap (-1) in
+  let probe_hash = Array.make probe_cap 0 in
+  let probe_colour = Array.make probe_cap 0 in
+  (* find-or-insert for the width-[width] segment at [base] of [arena'];
+     on a miss [fresh ()] names the new group's colour.  [collisions]
+     keeps its historical meaning: probes that hashed alike but
+     compared unequal. *)
+  let probe_find arena' width h base fresh =
+    let slot = ref (h land probe_mask) in
+    let res = ref (-1) in
+    while !res < 0 do
+      let b = probe_base.(!slot) in
+      if b < 0 then begin
+        probe_base.(!slot) <- base;
+        probe_hash.(!slot) <- h;
+        let c = fresh () in
+        probe_colour.(!slot) <- c;
+        res := c
+      end
+      else if probe_hash.(!slot) = h then begin
+        if seg_equal arena' b base width then res := probe_colour.(!slot)
+        else begin
+          incr collisions;
+          slot := (!slot + 1) land probe_mask
+        end
+      end
+      else slot := (!slot + 1) land probe_mask
+    done;
+    !res
+  in
   (* ---------------- initial colouring by atomic type ---------------- *)
   let atomic_fits = k * (k - 1) <= 62 in
-  let init_buckets : (int, (int * int) list ref) Hashtbl.t =
-    Hashtbl.create 1024
-  in
   (* arena of atomic signatures, one slot of width aw per tuple *)
   let aw = if atomic_fits then 1 else k * (k - 1) / 2 in
   let init_arena = Array.make (max 1 (total * aw)) 0 in
@@ -355,29 +397,11 @@ let run_engine_inner ?domains ~budget ~on_round k states =
            done
          end;
          let h = hash_segment init_arena base aw in
-         let bucket =
-           match Hashtbl.find_opt init_buckets h with
-           | Some b -> b
-           | None ->
-             let b = ref [] in
-             Hashtbl.add init_buckets h b;
-             b
-         in
          let colour =
-           let rec find = function
-             | [] ->
+           probe_find init_arena aw h base (fun () ->
                let c = !next_colour in
                incr next_colour;
-               bucket := (base, c) :: !bucket;
-               c
-             | (base', c) :: rest ->
-               if seg_equal init_arena base base' aw then c
-               else begin
-                 incr collisions;
-                 find rest
-               end
-           in
-           find !bucket
+               c)
          in
          st.colours.(idx) <- colour;
          incr slot0
@@ -402,9 +426,6 @@ let run_engine_inner ?domains ~budget ~on_round k states =
     states;
   let dirty_in_class = Array.make (max 1 total) 0 in
   let claimed = Bytes.make (max 1 total) '\000' in
-  let buckets : (int, (int * int) list ref) Hashtbl.t =
-    Hashtbl.create 4096
-  in
   (* signature computation for jobs in [lo, hi) — the parallel part;
      writes only to disjoint arena / hashes slots.  A tripped budget
      abandons the rest of the chunk (the driver discards the whole
@@ -465,11 +486,9 @@ let run_engine_inner ?domains ~budget ~on_round k states =
   in
   let compute_all m =
     (* only fan out when the round is big enough to amortise spawns *)
-    let threshold = !parallel_threshold in
     let nd =
-      if requested_domains <= 1 || m * max_n * k < threshold then 1
-      else if threshold = 0 then min requested_domains (max 1 m)
-      else min requested_domains (max 1 (m / 256))
+      Dispatch.wl_domains ~requested:requested_domains ~jobs:m
+        ~weight:(m * max_n * k) ~threshold:!parallel_threshold
     in
     if on then Obs.incr (if nd <= 1 then m_seq_rounds else m_par_rounds);
     if nd <= 1 then compute_range 0 m
@@ -531,7 +550,7 @@ let run_engine_inner ?domains ~budget ~on_round k states =
       dirty_in_class.(old) <- dirty_in_class.(old) + 1
     done;
     (* sequential, deterministic renumbering *)
-    Hashtbl.reset buckets;
+    Array.fill probe_base 0 probe_cap (-1);
     let num_changed = ref 0 in
     for s = 0 to m - 1 do
       let st = states.(jobs_g.(s)) in
@@ -539,44 +558,23 @@ let run_engine_inner ?domains ~budget ~on_round k states =
       let base = s * sigw in
       let old = arena.(base) in
       let h = hashes.(s) in
-      let bucket =
-        match Hashtbl.find_opt buckets h with
-        | Some b -> b
-        | None ->
-          let b = ref [] in
-          Hashtbl.add buckets h b;
-          b
-      in
       let colour =
-        let rec find = function
-          | [] ->
-            (* a new signature group: it keeps the old id iff the whole
-               class was recoloured this round and no earlier group
-               claimed the id (clean classmates own it otherwise) *)
-            let c =
-              if
-                dirty_in_class.(old) = class_size.(old)
-                && Bytes.get claimed old = '\000'
-              then begin
-                Bytes.set claimed old '\001';
-                old
-              end
-              else begin
-                let c = !next_colour in
-                incr next_colour;
-                c
-              end
-            in
-            bucket := (base, c) :: !bucket;
-            c
-          | (base', c) :: rest ->
-            if seg_equal arena base base' sigw then c
-            else begin
-              incr collisions;
-              find rest
+        (* a new signature group keeps the old id iff the whole class
+           was recoloured this round and no earlier group claimed the
+           id (clean classmates own it otherwise) *)
+        probe_find arena sigw h base (fun () ->
+            if
+              dirty_in_class.(old) = class_size.(old)
+              && Bytes.get claimed old = '\000'
+            then begin
+              Bytes.set claimed old '\001';
+              old
             end
-        in
-        find !bucket
+            else begin
+              let c = !next_colour in
+              incr next_colour;
+              c
+            end)
       in
       if colour <> old then begin
         st.colours.(idx) <- colour;

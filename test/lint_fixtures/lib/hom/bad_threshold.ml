@@ -1,0 +1,23 @@
+(* R6 fixture: hard-coded size thresholds in engine hot paths (the
+   path has a lib/ and a hom/ component, so the rule is in scope).
+   Parsed by the linter only, never compiled. *)
+
+(* fires: literal engine-choice cutoff *)
+let pick_engine n = if n <= 4096 then `Brute else `Packed
+
+(* fires: shifted-literal parallelism cutoff *)
+let go_parallel n = (n * n) >= 1 lsl 15
+
+(* clean: small constants are arity/bit-width facts, not cutoffs *)
+let fits_word bits k = bits * k <= 62
+
+(* clean: comparison against a non-constant bound *)
+let within limit n = n <= limit
+
+(* clean: equality against a constant is not a threshold *)
+let aligned fuel = fuel land 4095 = 0
+
+let suppressed_cap n =
+  (* lint: allow R6 representation cap of the packed key codec, not an
+     engine choice *)
+  n <= 65536

@@ -1,0 +1,319 @@
+(* Differential tests for the adaptive dispatch layer (Wlcq_dispatch):
+   every selectable engine — forced brute, forced reference, forced
+   packed, forced-sequential, forced-parallel and the calibrated auto
+   mode — must return identical counts on random instances and CFI
+   pairs, and the cost-model decision functions are pinned on
+   tiny/huge inputs so calibration edits cannot silently change
+   routing. *)
+
+open Wlcq_graph
+module Dispatch = Wlcq_dispatch.Dispatch
+module Prng = Wlcq_util.Prng
+module Bigint = Wlcq_util.Bigint
+module Td_count = Wlcq_hom.Td_count
+module Nice_count = Wlcq_hom.Nice_count
+module Fast_count = Wlcq_core.Fast_count
+module Cq = Wlcq_core.Cq
+module Gen_query = Wlcq_core.Gen_query
+module Kwl = Wlcq_wl.Kwl
+module Pairs = Wlcq_cfi.Pairs
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let all_engines =
+  [ Dispatch.Auto; Dispatch.Brute; Dispatch.Reference; Dispatch.Packed ]
+
+(* Run [f] under engine [e], always restoring Auto. *)
+let with_engine e f =
+  Dispatch.set_engine e;
+  Fun.protect ~finally:(fun () -> Dispatch.set_engine Dispatch.Auto) f
+
+(* Run [f] under a forced parallelism threshold, restoring the
+   default. *)
+let with_threshold r v f =
+  let saved = !r in
+  r := v;
+  Fun.protect ~finally:(fun () -> r := saved) f
+
+let agree_on to_string results =
+  match results with
+  | [] -> true
+  | (_, first) :: rest ->
+    List.for_all (fun (_, v) -> String.equal (to_string v) (to_string first))
+      rest
+
+let engine_results count =
+  List.map (fun e -> (Dispatch.engine_to_string e, with_engine e count))
+    all_engines
+
+(* ------------------------------------------------------------------ *)
+(* Differential: homomorphism counting engines                         *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_td_engines_agree =
+  QCheck.Test.make ~name:"Td_count: all engines agree on random gnp"
+    ~count:40
+    QCheck.(pair (int_range 3 9) (int_bound 100000))
+    (fun (n, seed) ->
+       let rng = Prng.create seed in
+       let h = Gen.gnp rng 4 0.6 in
+       let g = Gen.gnp rng n 0.4 in
+       agree_on Bigint.to_string
+         (engine_results (fun () -> Td_count.count h g)))
+
+let qcheck_nice_engines_agree =
+  QCheck.Test.make ~name:"Nice_count: all engines agree on random gnp"
+    ~count:40
+    QCheck.(pair (int_range 3 9) (int_bound 100000))
+    (fun (n, seed) ->
+       let rng = Prng.create seed in
+       let h = Gen.gnp rng 4 0.6 in
+       let g = Gen.gnp rng n 0.4 in
+       agree_on Bigint.to_string
+         (engine_results (fun () -> Nice_count.count h g)))
+
+let qcheck_td_seq_par_agree =
+  QCheck.Test.make
+    ~name:"Td_count: forced-seq = forced-par on random gnp" ~count:25
+    QCheck.(pair (int_range 4 10) (int_bound 100000))
+    (fun (n, seed) ->
+       let rng = Prng.create seed in
+       let h = Builders.path 4 in
+       let g = Gen.gnp rng n 0.4 in
+       let seq =
+         with_threshold Td_count.parallel_threshold max_int (fun () ->
+             Td_count.count h g)
+       in
+       let par =
+         with_threshold Td_count.parallel_threshold 0 (fun () ->
+             Td_count.count h g)
+       in
+       Bigint.equal seq par)
+
+(* ------------------------------------------------------------------ *)
+(* Differential: answer counting                                       *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_answers_engines_agree =
+  QCheck.Test.make
+    ~name:"Fast_count: all engines agree with Cq on random queries"
+    ~count:40
+    QCheck.(pair (int_range 3 8) (int_bound 100000))
+    (fun (n, seed) ->
+       let rng = Prng.create seed in
+       let q = Gen_query.random_connected rng ~num_vars:5 ~num_free:2
+           ~edge_prob:0.4 in
+       let g = Gen.gnp rng n 0.5 in
+       let reference = Bigint.of_int (Cq.count_answers q g) in
+       let results = engine_results (fun () -> Fast_count.count_answers q g) in
+       agree_on Bigint.to_string (("cq", reference) :: results))
+
+(* ------------------------------------------------------------------ *)
+(* Differential: k-WL on random graphs and CFI pairs                   *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_kwl_seq_par_agree =
+  QCheck.Test.make
+    ~name:"Kwl: forced-seq = forced-par = reference on random pairs"
+    ~count:20
+    QCheck.(pair (int_range 4 8) (int_bound 100000))
+    (fun (n, seed) ->
+       let rng = Prng.create seed in
+       let g1 = Gen.gnp rng n 0.5 in
+       let g2 = Gen.gnp rng n 0.5 in
+       let seq =
+         with_threshold Kwl.parallel_threshold max_int (fun () ->
+             Kwl.equivalent 2 g1 g2)
+       in
+       let par =
+         with_threshold Kwl.parallel_threshold 0 (fun () ->
+             Kwl.equivalent 2 g1 g2)
+       in
+       Bool.equal seq par && Bool.equal seq (Kwl.equivalent_reference 2 g1 g2))
+
+let test_kwl_cfi_pair_engines () =
+  (* the classic CFI separation on a twisted pair over C6 — identical
+     verdicts under every parallelism forcing (Kwl handles k >= 2;
+     k = 1 belongs to Refinement) *)
+  let a, b = Pairs.twisted_pair (Builders.cycle 6) in
+  let g1 = a.Wlcq_cfi.Cfi.graph and g2 = b.Wlcq_cfi.Cfi.graph in
+  List.iter
+    (fun k ->
+       let expected = Kwl.equivalent_reference k g1 g2 in
+       List.iter
+         (fun threshold ->
+            let got =
+              with_threshold Kwl.parallel_threshold threshold (fun () ->
+                  Kwl.equivalent k g1 g2)
+            in
+            check_bool
+              (Printf.sprintf "CFI pair k=%d threshold=%d" k threshold)
+              expected got)
+         [ 0; max_int ])
+    [ 2; 3 ]
+
+let test_cfi_hom_counts_engines () =
+  (* hom counts into the twisted CFI graphs agree across engines and
+     differ between the pair for an odd-cycle pattern (Theorem: the
+     pair is hom-distinguished by graphs of treewidth < k) *)
+  let a, b = Pairs.twisted_pair (Builders.cycle 5) in
+  let g1 = a.Wlcq_cfi.Cfi.graph and g2 = b.Wlcq_cfi.Cfi.graph in
+  let h = Builders.cycle 5 in
+  check_bool "engines agree on cfi g1" true
+    (agree_on Bigint.to_string
+       (engine_results (fun () -> Td_count.count h g1)));
+  check_bool "engines agree on cfi g2" true
+    (agree_on Bigint.to_string
+       (engine_results (fun () -> Td_count.count h g2)))
+
+(* ------------------------------------------------------------------ *)
+(* The cost model, pinned                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_choose_hom_pinned () =
+  (* tiny: P2 -> P3 has brute cost 3 * 2 = 6 <= brute_hom_max *)
+  check_bool "tiny instance routes to brute" true
+    (match Dispatch.choose_hom ~nh:2 ~ng:3 ~mg:2 with
+     | Dispatch.Hom_brute -> true
+     | _ -> false);
+  (* huge: brute cost saturates far beyond the cutoff *)
+  check_bool "huge instance routes to packed" true
+    (match Dispatch.choose_hom ~nh:6 ~ng:100 ~mg:500 with
+     | Dispatch.Hom_packed -> true
+     | _ -> false);
+  (* forcing bypasses the model in both directions *)
+  with_engine Dispatch.Brute (fun () ->
+      check_bool "forced brute on huge" true
+        (match Dispatch.choose_hom ~nh:6 ~ng:100 ~mg:500 with
+         | Dispatch.Hom_brute -> true
+         | _ -> false));
+  with_engine Dispatch.Reference (fun () ->
+      check_bool "forced reference" true
+        (match Dispatch.choose_hom ~nh:2 ~ng:3 ~mg:2 with
+         | Dispatch.Hom_reference -> true
+         | _ -> false));
+  with_engine Dispatch.Packed (fun () ->
+      check_bool "forced packed on tiny" true
+        (match Dispatch.choose_hom ~nh:2 ~ng:3 ~mg:2 with
+         | Dispatch.Hom_packed -> true
+         | _ -> false))
+
+let test_choose_answers_pinned () =
+  check_bool "small keyspace routes to enum" true
+    (match Dispatch.choose_answers ~nx:2 ~max_comp:3 ~ng:9 with
+     | Dispatch.Ans_enum -> true
+     | _ -> false);
+  check_bool "huge keyspace routes to packed" true
+    (match Dispatch.choose_answers ~nx:8 ~max_comp:10 ~ng:50 with
+     | Dispatch.Ans_packed -> true
+     | _ -> false);
+  with_engine Dispatch.Reference (fun () ->
+      check_bool "forced reference answers" true
+        (match Dispatch.choose_answers ~nx:2 ~max_comp:3 ~ng:9 with
+         | Dispatch.Ans_reference -> true
+         | _ -> false))
+
+let test_parallel_decisions_pinned () =
+  (* the threshold ref contract: max_int forces sequential, 0 forces
+     parallel, otherwise work decides *)
+  check_int "dp: forced sequential" 1
+    (Dispatch.dp_domains ~requested:8 ~subtrees:4 ~work:1_000_000
+       ~threshold:max_int);
+  check_int "dp: forced parallel" 4
+    (Dispatch.dp_domains ~requested:8 ~subtrees:4 ~work:1 ~threshold:0);
+  check_int "dp: below threshold" 1
+    (Dispatch.dp_domains ~requested:8 ~subtrees:4 ~work:10 ~threshold:100);
+  check_int "dp: above threshold" 4
+    (Dispatch.dp_domains ~requested:8 ~subtrees:4 ~work:200 ~threshold:100);
+  check_int "dp: one domain requested" 1
+    (Dispatch.dp_domains ~requested:1 ~subtrees:4 ~work:200 ~threshold:0);
+  check_int "wl: forced sequential" 1
+    (Dispatch.wl_domains ~requested:8 ~jobs:4096 ~weight:1_000_000
+       ~threshold:max_int);
+  check_int "wl: forced parallel ignores chunking" 8
+    (Dispatch.wl_domains ~requested:8 ~jobs:4096 ~weight:1 ~threshold:0);
+  check_int "wl: below weight threshold" 1
+    (Dispatch.wl_domains ~requested:8 ~jobs:4096 ~weight:10 ~threshold:100);
+  check_int "wl: chunked above threshold" 8
+    (Dispatch.wl_domains ~requested:8 ~jobs:4096 ~weight:200 ~threshold:100)
+
+let test_dense_fits_pinned () =
+  check_bool "small key is dense" true (Dispatch.dense_fits ~bits:8 ~cap:30);
+  check_bool "wide key is sparse" false
+    (Dispatch.dense_fits ~bits:40 ~cap:30);
+  (* the structural cap binds even when the calibration allows more *)
+  check_bool "structural cap binds" false
+    (Dispatch.dense_fits ~bits:12 ~cap:10)
+
+let test_calibration_roundtrip () =
+  let d = Dispatch.default_calibration in
+  Dispatch.set_calibration { d with Dispatch.brute_hom_max = 0 };
+  Fun.protect ~finally:Dispatch.reset_calibration (fun () ->
+      check_bool "zeroed cutoff reroutes tiny instance" true
+        (match Dispatch.choose_hom ~nh:2 ~ng:3 ~mg:2 with
+         | Dispatch.Hom_packed -> true
+         | _ -> false));
+  check_bool "reset restores routing" true
+    (match Dispatch.choose_hom ~nh:2 ~ng:3 ~mg:2 with
+     | Dispatch.Hom_brute -> true
+     | _ -> false)
+
+let test_engine_of_string () =
+  List.iter
+    (fun (s, e) ->
+       match Dispatch.engine_of_string s with
+       | Ok e' ->
+         check_bool ("parse " ^ s) true
+           (String.equal (Dispatch.engine_to_string e)
+              (Dispatch.engine_to_string e'))
+       | Error _ -> Alcotest.failf "engine_of_string %S errored" s)
+    [ ("auto", Dispatch.Auto); ("brute", Dispatch.Brute);
+      ("ref", Dispatch.Reference); ("reference", Dispatch.Reference);
+      ("packed", Dispatch.Packed) ];
+  check_bool "unknown engine rejected" true
+    (match Dispatch.engine_of_string "bogus" with
+     | Error _ -> true
+     | Ok _ -> false)
+
+let test_brute_cost_saturates () =
+  check_bool "saturated cost stays within cap" true
+    (Dispatch.brute_cost ~nh:64 ~ng:1_000_000 ~mg:500_000_000
+     <= Dispatch.sat_cap)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+    [ qcheck_td_engines_agree; qcheck_nice_engines_agree;
+      qcheck_td_seq_par_agree; qcheck_answers_engines_agree;
+      qcheck_kwl_seq_par_agree ]
+
+let () =
+  Alcotest.run "wlcq_dispatch"
+    [
+      ( "differential",
+        qsuite
+        @ [
+            Alcotest.test_case "CFI pair under all parallel forcings"
+              `Quick test_kwl_cfi_pair_engines;
+            Alcotest.test_case "CFI hom counts across engines" `Quick
+              test_cfi_hom_counts_engines;
+          ] );
+      ( "cost model",
+        [
+          Alcotest.test_case "choose_hom pinned" `Quick
+            test_choose_hom_pinned;
+          Alcotest.test_case "choose_answers pinned" `Quick
+            test_choose_answers_pinned;
+          Alcotest.test_case "parallel decisions pinned" `Quick
+            test_parallel_decisions_pinned;
+          Alcotest.test_case "dense_fits pinned" `Quick
+            test_dense_fits_pinned;
+          Alcotest.test_case "calibration roundtrip" `Quick
+            test_calibration_roundtrip;
+          Alcotest.test_case "engine_of_string" `Quick
+            test_engine_of_string;
+          Alcotest.test_case "brute_cost saturates" `Quick
+            test_brute_cost_saturates;
+        ] );
+    ]

@@ -66,6 +66,13 @@ let test_r5_fires () =
   check_count "R5 count on lib/bad_loop_budget" "lib/bad_loop_budget.ml" "R5"
     2
 
+let test_r6_fires () =
+  (* the literal and shifted-literal cutoffs; the small-constant,
+     non-constant-bound, equality and pragma-suppressed comparisons
+     stay clean *)
+  check_count "R6 count on lib/hom/bad_threshold" "lib/hom/bad_threshold.ml"
+    "R6" 2
+
 let test_pragmas_suppress () =
   let r = Lazy.force result in
   List.iter
@@ -76,7 +83,7 @@ let test_pragmas_suppress () =
   List.iter
     (fun (rc : Engine.rule_count) ->
        match Diagnostic.rule_id rc.rule with
-       | "R1" | "R2" | "R3" | "R5" ->
+       | "R1" | "R2" | "R3" | "R5" | "R6" ->
          Alcotest.(check bool)
            (Diagnostic.rule_id rc.rule ^ " suppression counted") true
            (rc.suppressions >= 1)
@@ -117,6 +124,8 @@ let () =
           Alcotest.test_case "R4 hygiene" `Quick test_r4_fires;
           Alcotest.test_case "R5 budget threading in loops" `Quick
             test_r5_fires;
+          Alcotest.test_case "R6 hard-coded engine thresholds" `Quick
+            test_r6_fires;
         ] );
       ( "pragmas",
         [

@@ -180,6 +180,40 @@ let has_budget_label args =
     args
 
 (* ------------------------------------------------------------------ *)
+(* R6: hard-coded size thresholds in engine hot paths                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The engine directories whose hot paths must route size cutoffs
+   through Wlcq_dispatch.  lib/util, lib/graph etc. stay exempt: their
+   constants (limb bases, buffer sizes) are representation facts, not
+   engine-choice thresholds. *)
+let engine_dirs = [ "hom"; "wl"; "core"; "kg" ]
+
+let hot_engine_file ~in_lib file =
+  in_lib
+  && List.exists
+       (fun c -> List.exists (String.equal c) engine_dirs)
+       (String.split_on_char '/' (Filename.dirname file))
+  && not (String.equal (Filename.basename file) "dispatch.ml")
+
+(* Constant-int shapes that read as a size threshold: a plain literal
+   or [lit lsl lit].  Only constants >= 64 are flagged — small bounds
+   (arities, bit widths, word sizes) are not dispatch decisions. *)
+let threshold_min = 64
+
+let rec const_int e =
+  match (strip_constraint e).pexp_desc with
+  | Pexp_constant (Pconst_integer (s, (None | Some 'l' | Some 'L' | Some 'n')))
+    -> int_of_string_opt s
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt = Longident.Lident "lsl"; _ }; _ },
+       [ (_, a); (_, b) ]) ->
+    (match (const_int a, const_int b) with
+     | Some x, Some y when y >= 0 && y < 62 -> Some (x lsl y)
+     | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
 (* R2: the Module.fn: message convention                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -417,6 +451,21 @@ let check ~file ~in_lib ~report (str : structure) =
                    pattern match, ...)"
                   eq_op (describe_structured op))
            | None -> ())
+        | [ (("<" | "<=" | ">" | ">=") as rel_op) ], [ (_, b) ]
+          when hot_engine_file ~in_lib file ->
+          let flag operand =
+            match const_int operand with
+            | Some n when n >= threshold_min ->
+              report R6 loc
+                (Printf.sprintf
+                   "hard-coded size threshold ('%s' against %d) in an engine \
+                    hot path: route the cutoff through Wlcq_dispatch's \
+                    calibration table"
+                   rel_op n)
+            | _ -> ()
+          in
+          flag a;
+          flag b
         | [ ("failwith" | "invalid_arg") ], _ ->
           check_message (String.concat "." (strip_stdlib (flatten txt))) loc a
         | [ "raise" ], _ ->

@@ -1,4 +1,4 @@
-type rule = R0 | R1 | R2 | R3 | R4 | R5
+type rule = R0 | R1 | R2 | R3 | R4 | R5 | R6
 
 let rule_id = function
   | R0 -> "R0"
@@ -7,6 +7,7 @@ let rule_id = function
   | R3 -> "R3"
   | R4 -> "R4"
   | R5 -> "R5"
+  | R6 -> "R6"
 
 let rule_of_id = function
   | "R0" -> Some R0
@@ -15,6 +16,7 @@ let rule_of_id = function
   | "R3" -> Some R3
   | "R4" -> Some R4
   | "R5" -> Some R5
+  | "R6" -> Some R6
   | _ -> None
 
 let rule_summary = function
@@ -24,8 +26,9 @@ let rule_summary = function
   | R3 -> "top-level mutable state visible to Domain.spawn code"
   | R4 -> "hygiene (missing .mli, printing from lib/)"
   | R5 -> "budgeted engine called in a lib/ loop without threading a budget"
+  | R6 -> "hard-coded size threshold in an engine hot path (use Wlcq_dispatch)"
 
-let all_rules = [ R0; R1; R2; R3; R4; R5 ]
+let all_rules = [ R0; R1; R2; R3; R4; R5; R6 ]
 
 type t = { file : string; line : int; col : int; rule : rule; message : string }
 

@@ -10,6 +10,12 @@ type rule =
   | R5
       (** budgeted engine called inside a [for]/[while] loop in [lib/]
           without a [~budget]/[?budget] argument *)
+  | R6
+      (** hard-coded size threshold (relational comparison against a
+          large integer constant) in an engine hot path under
+          [lib/hom], [lib/wl], [lib/core] or [lib/kg]: engine-choice
+          and parallelism cutoffs belong in [Wlcq_dispatch]'s
+          calibration table *)
 
 val rule_id : rule -> string
 val rule_of_id : string -> rule option

@@ -70,7 +70,7 @@ let parse_comment ~file (text, (loc : Location.t)) =
        | None ->
          malformed
            (Printf.sprintf
-              "malformed pragma: unknown rule %S (expected R1..R5)" rule_word))
+              "malformed pragma: unknown rule %S (expected R1..R6)" rule_word))
     | [ "allow" ] | [ "allow"; _ ] ->
       malformed
         "malformed pragma: 'lint: allow RULE reason' needs a rule id and a \
@@ -110,7 +110,8 @@ let suppresses t (d : Diagnostic.t) =
           | Diagnostic.R2, Diagnostic.R2
           | Diagnostic.R3, Diagnostic.R3
           | Diagnostic.R4, Diagnostic.R4
-          | Diagnostic.R5, Diagnostic.R5 -> true
+          | Diagnostic.R5, Diagnostic.R5
+          | Diagnostic.R6, Diagnostic.R6 -> true
           | _ -> false)
          && d.line >= p.line
          && d.line <= p.last_line + 1)

@@ -9,6 +9,8 @@
    - R3  no unaudited top-level mutable state visible to Domain.spawn
    - R4  every lib/ module has a .mli; no printing from lib/
    - R5  budgeted engines called from lib/ loops must thread a budget
+   - R6  no hard-coded size thresholds in engine hot paths: cutoffs
+         live in Wlcq_dispatch's calibration table
 
    Exit status: 0 when clean, 1 when any finding survives the in-source
    allow pragmas, 2 on usage errors. *)
