@@ -1531,6 +1531,31 @@ let timing_smoke () =
   record trace_ok;
   Printf.printf "Obs trace JSON parseable (%d bytes) %s\n" (String.length tj)
     (verdict trace_ok);
+  (* lint wall-time tripwire: the whole-tree interprocedural lint runs
+     on every `dune runtest`, so a pathological slowdown (say the call
+     graph going quadratic) would tax every build.  The 2 s ceiling is
+     ~8x the calibration-machine wall time — loose enough for CI noise,
+     tight enough to catch a complexity regression. *)
+  (* the runtest rule runs from bench/, `dune exec` from wherever the
+     user stands — probe for the tree relative to both *)
+  let dir_exists p = Sys.file_exists p && Sys.is_directory p in
+  let lint_roots =
+    List.filter dir_exists
+      (if dir_exists "../lib" then [ "../lib"; "../bin"; "../tools" ]
+       else [ "lib"; "bin"; "tools" ])
+  in
+  let lint_result, lint_t =
+    wall_time_best (fun () -> Lint_engine.Engine.run ~roots:lint_roots ())
+  in
+  let files = lint_result.Lint_engine.Engine.files_scanned in
+  let lint_ok =
+    files > 0
+    && List.is_empty lint_result.Lint_engine.Engine.findings
+    && lint_t < 2.0
+  in
+  record lint_ok;
+  Printf.printf "F6  whole-tree lint: %d files in %.1f ms (ceiling 2000) %s\n"
+    files (lint_t *. 1e3) (verdict lint_ok);
   Printf.printf "\nmetrics after smoke run:\n%s" (Obs.metrics_table ())
 
 let all_experiments =

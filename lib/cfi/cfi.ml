@@ -71,6 +71,8 @@ let build ?(budget = Budget.unlimited) base twist =
 
 (* a half-built CFI graph has no sound partial interpretation, so the
    budgeted wrapper is all-or-nothing: no [`Degraded] outcome *)
+(* lint: allow R8 Invalid_argument is precondition validation reporting
+   a caller bug, deliberately outside the Outcome envelope *)
 let build_budgeted ~budget base twist =
   match build ~budget base twist with
   | t -> `Exact t

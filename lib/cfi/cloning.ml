@@ -49,6 +49,8 @@ let clone ?(budget = Budget.unlimited) ~g ~f ~c spec =
 
 (* like [Cfi.build_budgeted]: a half-cloned graph is meaningless, so
    all-or-nothing *)
+(* lint: allow R8 Invalid_argument is precondition validation reporting
+   a caller bug, deliberately outside the Outcome envelope *)
 let clone_budgeted ~budget ~g ~f ~c spec =
   match clone ~budget ~g ~f ~c spec with
   | t -> `Exact t

@@ -75,6 +75,8 @@ let count_answers ?budget q g =
 
 (* answers are enumerated in a fixed order, so the partial count at
    the trip is a sound lower bound on |Ans(q, g)| *)
+(* lint: allow R8 Invalid_argument is Brute's pin-range validation
+   reporting a caller bug, deliberately outside the Outcome envelope *)
 let count_answers_budgeted ~budget q g =
   let n = ref 0 in
   match iter_answers ~budget q g (fun _ -> incr n) with

@@ -42,6 +42,8 @@ let gamma_graph q =
   let extra =
     List.concat_map
       (fun (_, attached) ->
+         (* lint: allow R7 quadratic pair enumeration over the attached
+            vertices of one quantified component — pattern-sized *)
          let rec pairs = function
            | [] -> []
            | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
@@ -94,7 +96,7 @@ let f_ell q ell =
   Array.iteri (fun i x -> gamma.(i) <- x) xs;
   for i = 1 to ell do
     Array.iteri
-      (fun j y ->
+      (fun j y -> (* lint: hot-alloc F_ell constructor: labels every vertex of the output graph once *)
          let v = k + ((i - 1) * l) + j in
          gamma.(v) <- y;
          copy.(v) <- i)
@@ -112,15 +114,15 @@ let f_ell q ell =
       | true, true ->
         edges := (Hashtbl.find xpos u, Hashtbl.find xpos v) :: !edges
       | true, false ->
-        for i = 1 to ell do
+        for i = 1 to ell do (* lint: hot-alloc F_ell constructor: these cells are the output edge list *)
           edges := (Hashtbl.find xpos u, yvertex v i) :: !edges
         done
       | false, true ->
-        for i = 1 to ell do
+        for i = 1 to ell do (* lint: hot-alloc F_ell constructor: these cells are the output edge list *)
           edges := (yvertex u i, Hashtbl.find xpos v) :: !edges
         done
       | false, false ->
-        for i = 1 to ell do
+        for i = 1 to ell do (* lint: hot-alloc F_ell constructor: these cells are the output edge list *)
           edges := (yvertex u i, yvertex v i) :: !edges
         done);
   { graph = Graph.create count !edges; gamma; copy; ell }

@@ -35,7 +35,7 @@ type constraint_ = { scope : int list; holds : int array -> bool }
 (* the packed engine below — do not optimise.                          *)
 (* ------------------------------------------------------------------ *)
 
-let count_answers_reference q g =
+let count_answers_reference ?(budget = Budget.unlimited) q g =
   let h = q.Cq.graph in
   let n = Graph.num_vertices g in
   let xs = Cq.free_vars q in
@@ -51,13 +51,13 @@ let count_answers_reference q g =
          not (List.is_empty attached)
          || begin
            let sub, _ = Ops.induced h members in
-           Wlcq_hom.Brute.exists sub g
+           Wlcq_hom.Brute.exists ~budget sub g
          end)
       components
   in
   if not boolean_ok then Bigint.zero
   else if k = 0 then
-    if Wlcq_hom.Brute.exists h g then Bigint.one else Bigint.zero
+    if Wlcq_hom.Brute.exists ~budget h g then Bigint.one else Bigint.zero
   else Obs.span "fast_count.run_reference" @@ fun () ->
     let on = Obs.enabled () in
     if on then Obs.incr m_runs;
@@ -72,9 +72,14 @@ let count_answers_reference q g =
              let sub, back = Ops.induced h vertices in
              let sub_pos = Hashtbl.create 8 in
              Array.iteri (fun i v -> Hashtbl.replace sub_pos v i) back;
-             let attach_sub =
-               List.map (Hashtbl.find sub_pos) attached
+             let sub_pos_of v =
+               (* total: [sub_pos] indexes every vertex of [vertices],
+                  and [attached] is a subset by construction *)
+               match Hashtbl.find_opt sub_pos v with
+               | Some i -> i
+               | None -> assert false
              in
+             let attach_sub = List.map sub_pos_of attached in
              let memo : bool Tbl.t = Tbl.create 64 in
              let holds images =
                let key = Array.to_list images in
@@ -87,11 +92,18 @@ let count_answers_reference q g =
                  let pins =
                    List.map2 (fun sv img -> (sv, img)) attach_sub key
                  in
-                 let b = Wlcq_hom.Brute.exists ~pins sub g in
+                 let b = Wlcq_hom.Brute.exists ~budget ~pins sub g in
                  Tbl.replace memo key b;
                  b
              in
-             Some { scope = List.map (Hashtbl.find pos_of) attached; holds }
+             let x_pos_of v =
+               (* total: attachment sets are subsets of X, and [pos_of]
+                  indexes every free variable *)
+               match Hashtbl.find_opt pos_of v with
+               | Some p -> p
+               | None -> assert false
+             in
+             Some { scope = List.map x_pos_of attached; holds }
            end)
         components
     in
@@ -155,7 +167,7 @@ let count_answers_reference q g =
     while not (Queue.is_empty queue) do
       let t = Queue.take queue in
       order := t :: !order;
-      Graph.iter_neighbours d.Wlcq_treewidth.Decomposition.tree t (fun s ->
+      Graph.iter_neighbours d.Wlcq_treewidth.Decomposition.tree t (fun s -> (* lint: hot-alloc tree rooting: one closure per decomposition node, before the DP *)
           if not seen.(s) then begin
             seen.(s) <- true;
             parent.(s) <- t;
@@ -198,6 +210,10 @@ let count_answers_reference q g =
              children.(t)
          in
          Combinat.iter_tuples n (Array.length bag_arr) (fun images ->
+             (* the n^|bag| enumeration is the unbounded dimension of
+                the oracle: poll it so a tripped deadline can stop the
+                differential run *)
+             Budget.tick_check budget;
              let satisfied =
                List.for_all
                  (fun (c, scope_pos) ->
@@ -318,7 +334,7 @@ let count_answers_enum ~budget q g components =
                        List.mapi (fun i sv -> (sv, key.(i)))
                          (Array.to_list attach_sub)
                      in
-                     let b = Wlcq_hom.Brute.exists ~pins sub g in
+                     let b = Wlcq_hom.Brute.exists ~budget ~pins sub g in
                      Arr_tbl.replace memo (Array.copy key) b;
                      b
                end
@@ -350,7 +366,10 @@ let count_answers_enum ~budget q g components =
         for v = 0 to n - 1 do
           images.(i) <- v;
           if
-            List.for_all (fun j -> Graph.adjacent g images.(j) v) edges_at.(i)
+            (* enumeration engine: dispatch caps total work at
+               enum_answers_max, so the per-step closures below are inside
+               the cost the model already charged *)
+            List.for_all (fun j -> Graph.adjacent g images.(j) v) edges_at.(i) (* lint: hot-alloc dispatch-capped enumeration, see above *)
             && List.for_all (fun holds -> holds images) checks_at.(i)
           then go (i + 1)
         done
@@ -398,7 +417,7 @@ let count_answers_packed ~budget q g components =
                      (fun sv img -> (sv, img))
                      attach_sub (Array.to_list images)
                  in
-                 let b = Wlcq_hom.Brute.exists ~pins sub g in
+                 let b = Wlcq_hom.Brute.exists ~budget ~pins sub g in
                  Arr_tbl.replace memo (Array.copy images) b;
                  b
              in
@@ -442,24 +461,26 @@ let count_answers_packed ~budget q g components =
          | _ -> ())
       component_constraints;
     let changed = ref true in
+    (* hoisted out of the fixpoint: [refine] captures only the stable
+       [cand]/[changed], so allocating it per pass was pure churn (R9) *)
+    let refine a b =
+      let nb = ref (Bitset.create n) in
+      Bitset.iter
+        (fun w -> nb := Bitset.union !nb (Graph.neighbours g w))
+        cand.(b);
+      let next = Bitset.inter cand.(a) !nb in
+      if not (Bitset.equal next cand.(a)) then begin
+        cand.(a) <- next;
+        changed := true
+      end
+    in
+    let refine_edge (a, b) =
+      refine a b;
+      refine b a
+    in
     while !changed do
       changed := false;
-      List.iter
-        (fun (a, b) ->
-           let refine a b =
-             let nb = ref (Bitset.create n) in
-             Bitset.iter
-               (fun w -> nb := Bitset.union !nb (Graph.neighbours g w))
-               cand.(b);
-             let next = Bitset.inter cand.(a) !nb in
-             if not (Bitset.equal next cand.(a)) then begin
-               cand.(a) <- next;
-               changed := true
-             end
-           in
-           refine a b;
-           refine b a)
-        !free_edges
+      List.iter refine_edge !free_edges
     done;
     if on then begin
       let kept = Array.fold_left (fun acc b -> acc + Bitset.cardinal b) 0 cand in
@@ -492,6 +513,7 @@ let count_answers_packed ~budget q g components =
          for t = 0 to nodes - 1 do
            if
              Bitset.cardinal bags.(t) < !best_card
+             (* lint: hot-alloc setup: one probe per (check, bag) pair, runs once before the DP *)
              && List.for_all (fun p -> Bitset.mem bags.(t) p) c.scope
            then begin
              best := t;
@@ -612,13 +634,13 @@ let count_answers ?(budget = Budget.unlimited) q g =
          not (List.is_empty attached)
          || begin
            let sub, _ = Ops.induced h members in
-           Wlcq_hom.Brute.exists sub g
+           Wlcq_hom.Brute.exists ~budget sub g
          end)
       components
   in
   if not boolean_ok then Bigint.zero
   else if k = 0 then
-    if Wlcq_hom.Brute.exists h g then Bigint.one else Bigint.zero
+    if Wlcq_hom.Brute.exists ~budget h g then Bigint.one else Bigint.zero
   else begin
     let max_comp =
       List.fold_left
@@ -629,13 +651,16 @@ let count_answers ?(budget = Budget.unlimited) q g =
     in
     match Dispatch.choose_answers ~nx:k ~max_comp ~ng:n with
     | Dispatch.Ans_enum -> count_answers_enum ~budget q g components
-    | Dispatch.Ans_reference -> count_answers_reference q g
+    | Dispatch.Ans_reference -> count_answers_reference ~budget q g
     | Dispatch.Ans_packed -> count_answers_packed ~budget q g components
   end
 
 (* like [Brute.count_budgeted] in shape, but the DP's intermediate
    tables admit no sound partial reading, so exhaustion carries no
    partial count *)
+(* lint: allow R8 the reachable Failure and Invalid_argument raises are
+   internal-invariant checks (decomposition coverage, DP key arity):
+   programming errors, not budget outcomes *)
 let count_answers_budgeted ~budget q g =
   match count_answers ~budget q g with
   | v -> `Exact v

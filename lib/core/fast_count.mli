@@ -48,5 +48,8 @@ val count_answers_budgeted :
 
 (** The original engine (full tuple enumeration, first-covering-bag
     constraint assignment), kept verbatim as a differential-testing
-    oracle. *)
-val count_answers_reference : Cq.t -> Graph.t -> Wlcq_util.Bigint.t
+    oracle.  [budget] is polled per enumerated tuple;
+    {!Budget.Exhausted} escapes when it trips (the budgeted entry
+    catches it). *)
+val count_answers_reference :
+  ?budget:Budget.t -> Cq.t -> Graph.t -> Wlcq_util.Bigint.t

@@ -17,7 +17,7 @@ let random_star_like rng ~num_free ~centres =
   let centre j = num_free + j in
   let edges = ref [] in
   (* path over the centres keeps the query connected *)
-  for j = 0 to centres - 2 do
+  for j = 0 to centres - 2 do (* lint: hot-alloc generator: these cells are the output edge list *)
     edges := (centre j, centre (j + 1)) :: !edges
   done;
   for x = 0 to num_free - 1 do
@@ -29,6 +29,7 @@ let random_star_like rng ~num_free ~centres =
     let attached =
       match !attached with [] -> [ Prng.int rng centres ] | l -> l
     in
+    (* lint: hot-alloc generator: these cells are the output edge list *)
     List.iter (fun j -> edges := (x, centre j) :: !edges) attached
   done;
   let h = Graph.create (num_free + centres) !edges in

@@ -37,14 +37,19 @@ let shrinking_raw ?budget q =
 (* Raise the endomorphism to the power that fixes X pointwise (the
    order of the permutation it induces on X); the image can only
    shrink, so the result still has a proper image. *)
-let fix_free_pointwise q endo =
+let fix_free_pointwise ?(budget = Budget.unlimited) q endo =
   let compose f g = Array.init (Array.length g) (fun v -> f.(g.(v))) in
   let identity_on_free h = Bitset.for_all (fun x -> h.(x) = x) q.Cq.free in
-  let rec go h = if identity_on_free h then h else go (compose endo h) in
+  (* the iteration count is the order of the permutation [endo]
+     induces on X — up to exponential in |X| — so poll each step *)
+  let rec go h =
+    Budget.tick_check budget;
+    if identity_on_free h then h else go (compose endo h)
+  in
   go endo
 
 let shrinking_endomorphism ?budget q =
-  Option.map (fix_free_pointwise q) (shrinking_raw ?budget q)
+  Option.map (fix_free_pointwise ?budget q) (shrinking_raw ?budget q)
 
 let is_counting_minimal q = Option.is_none (shrinking_raw q)
 
@@ -61,7 +66,12 @@ let rec counting_core ?budget q =
     (* back maps new labels to old; invert to relocate X *)
     let new_of_old = Hashtbl.create n in
     Array.iteri (fun i v -> Hashtbl.replace new_of_old v i) back;
-    let new_free =
-      List.map (Hashtbl.find new_of_old) (Bitset.to_list q.Cq.free)
+    let relocate v =
+      (* total: [endo] fixes X pointwise, so every free variable is in
+         the image and hence in [back] *)
+      match Hashtbl.find_opt new_of_old v with
+      | Some i -> i
+      | None -> assert false
     in
+    let new_free = List.map relocate (Bitset.to_list q.Cq.free) in
     counting_core ?budget (Cq.make sub new_free)

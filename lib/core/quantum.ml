@@ -4,6 +4,10 @@ module Rat = Wlcq_util.Rat
 type term = { coeff : Rat.t; query : Cq.t }
 type t = term list
 
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+  go m 0
+
 let validate q =
   if not (Cq.is_connected q) then
     Error "quantum constituents must be connected"
@@ -99,11 +103,8 @@ let of_union qs =
       | [] -> assert false
       | first :: rest -> List.fold_left conjoin first rest
     in
-    let popcount =
-      let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
-      go mask 0
-    in
-    let sign = if popcount mod 2 = 1 then Rat.one else Rat.neg Rat.one in
+    let sign = if popcount mask mod 2 = 1 then Rat.one else Rat.neg Rat.one in
+    (* lint: hot-alloc inclusion–exclusion constructor: the (sign, conj) terms are the output *)
     entries := (sign, conj) :: !entries
   done;
   make_exn (List.rev !entries)
@@ -206,16 +207,12 @@ let with_free_negations q pairs =
   for mask = 0 to (1 lsl m) - 1 do
     let extra = ref [] in
     Array.iteri
-      (fun i (a, b) ->
+      (fun i (a, b) -> (* lint: hot-alloc constructor: one edge list per subset of negated pairs, consumed by the query it defines *)
          if (mask lsr i) land 1 = 1 then extra := (xs.(a), xs.(b)) :: !extra)
       pairs;
-    let popcount =
-      let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
-      go mask 0
-    in
-    let sign = if popcount mod 2 = 0 then Rat.one else Rat.neg Rat.one in
+    let sign = if popcount mask mod 2 = 0 then Rat.one else Rat.neg Rat.one in
     let graph = Ops.add_edges q.Cq.graph !extra in
-    let query = Cq.make graph (Array.to_list xs) in
+    let query = Cq.make graph (Array.to_list xs) in (* lint: hot-alloc constructor: each subset's (sign, query) term is the output *)
     entries := (sign, query) :: !entries
   done;
   make_exn (List.rev !entries)
@@ -249,13 +246,17 @@ let lower_bound_witness ?(max_tensor_size = 3) q =
             for n = 1 to max_tensor_size do
               let pairs = ref [] in
               for u = 0 to n - 1 do
+                (* lint: hot-alloc vertex pairs of one tensor factor, n ≤ max_tensor_size *)
                 for v = u + 1 to n - 1 do pairs := (u, v) :: !pairs done
               done;
+              (* lint: hot-alloc flattened once per tensor size, not per mask *)
               let pairs = Array.of_list !pairs in
               let m = Array.length pairs in
               for mask = 0 to (1 lsl m) - 1 do
                 let edges = ref [] in
                 Array.iteri
+                  (* lint: hot-alloc witness search over tensor masks: the
+                     graphs built from each edge list dominate these cells *)
                   (fun i e ->
                      if (mask lsr i) land 1 = 1 then edges := e :: !edges)
                   pairs;
@@ -263,6 +264,7 @@ let lower_bound_witness ?(max_tensor_size = 3) q =
                 let a = Ops.tensor_product g h in
                 let b = Ops.tensor_product g' h in
                 if separated a b then begin
+                  (* lint: hot-alloc witness found: allocated once on exit *)
                   result := Some (a, b);
                   raise Exit
                 end

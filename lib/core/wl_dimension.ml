@@ -57,6 +57,8 @@ let dimension q = dimension_exact ~budget:Budget.unlimited q
    the polynomial {!Wlcq_treewidth.Heuristics} bracket in place of
    exact treewidth and no core minimisation (both only lower the
    value).  Always cheap, never budgeted. *)
+(* lint: allow R7 degraded fallback that runs after the budget has
+   tripped — polling here would raise Exhausted immediately *)
 let rec dimension_upper_bound q =
   let h = q.Cq.graph in
   if Graph.num_vertices h = 0 then 0
@@ -67,6 +69,8 @@ let rec dimension_upper_bound q =
   else if Cq.is_boolean q then Wlcq_treewidth.Heuristics.upper_bound h
   else Extension.extension_width_upper_bound q
 
+(* lint: allow R8 Invalid_argument is Cq.make validation on the
+   component split — an internal invariant, not a budget outcome *)
 let dimension_budgeted ~budget q =
   match dimension_exact ~budget q with
   | d -> `Exact d

@@ -102,7 +102,14 @@ let brute_cost ~nh ~ng ~mg =
     (* ceiling average out-degree over both edge directions; at least 1
        so isolated-vertex graphs still cost ng per pattern vertex *)
     let d = max 1 ((2 * mg + ng - 1) / ng) in
-    sat_mul ng (sat_pow d (nh - 1))
+    (* the [nh] factor charges every pattern vertex at least one step
+       per partial map.  Without it a sparse target floors [d] to 1 and
+       the estimate collapses to [ng] however large the pattern is —
+       which routed ~200-vertex extension patterns (Lemma 22's F_ℓ
+       family over a near-degree-1 target) into brute backtracking
+       whose true branching is the target's *max* degree, i.e. an
+       effectively unbounded run *)
+    sat_mul (sat_mul ng nh) (sat_pow d (nh - 1))
 
 (* ------------------------------------------------------------------ *)
 (* Decision counters                                                   *)

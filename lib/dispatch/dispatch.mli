@@ -99,9 +99,13 @@ val sat_cap : int
 val sat_pow : int -> int -> int
 
 (** [brute_cost ~nh ~ng ~mg] estimates the backtracking enumeration
-    work for [Hom(h, g)]: [ng · d^(nh-1)] with [d] the ceiling average
-    degree of [g] — the first pattern vertex ranges over [V(G)], each
-    later one over a neighbour list. *)
+    work for [Hom(h, g)]: [ng · nh · d^(nh-1)] with [d] the ceiling
+    average degree of [g] — the first pattern vertex ranges over
+    [V(G)], each later one over a neighbour list, and every pattern
+    vertex costs at least one step per partial map.  The [nh] factor
+    keeps sparse targets (where [d] floors to 1) from admitting
+    arbitrarily large patterns whose true branching is the target's
+    max degree. *)
 val brute_cost : nh:int -> ng:int -> mg:int -> int
 
 (** {2 Decisions}

@@ -32,6 +32,8 @@ let iter_neighbours g v f = Bitset.iter f g.adj.(v)
 let fold_neighbours g v f init = Bitset.fold f g.adj.(v) init
 
 let iter_edges g f =
+  (* lint: allow R7 single O(n + m) pass; budgeted callers poll around
+     whole-graph sweeps, not inside them *)
   for u = 0 to g.n - 1 do
     Bitset.iter (fun v -> if u < v then f u v) g.adj.(u)
   done

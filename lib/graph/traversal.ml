@@ -3,12 +3,15 @@ let connected_components g =
   let labels = Array.make n (-1) in
   let count = ref 0 in
   let queue = Queue.create () in
+  (* lint: allow R7 one-shot BFS sweep: every vertex is enqueued at
+     most once, so the whole walk is O(n + m) on the pattern graph *)
   for v = 0 to n - 1 do
     if labels.(v) < 0 then begin
       let id = !count in
       incr count;
       labels.(v) <- id;
       Queue.add v queue;
+      (* lint: allow R7 BFS drain, bounded by the label-marking above *)
       while not (Queue.is_empty queue) do
         let u = Queue.take queue in
         Graph.iter_neighbours g u (fun w ->

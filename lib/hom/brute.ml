@@ -21,6 +21,8 @@ let assignment_order h pins =
     end
   in
   let drain () =
+    (* lint: allow R7 BFS over the pattern graph H: each vertex is
+       enqueued once, O(|V(H)| + |E(H)|) before the search starts *)
     while not (Queue.is_empty queue) do
       let u = Queue.take queue in
       order := u :: !order;
@@ -29,6 +31,8 @@ let assignment_order h pins =
   in
   List.iter (fun (u, _) -> push u) pins;
   drain ();
+  (* lint: allow R7 pattern-sized ordering pass; the backtracking
+     search that follows polls the budget per node *)
   for v = 0 to n - 1 do
     push v;
     drain ()
@@ -98,6 +102,8 @@ let count ?budget ?pins ?candidates h g =
   iter ?budget ?pins ?candidates h g (fun _ -> incr c);
   !c
 
+(* lint: allow R8 Invalid_argument is the pin-range validation above,
+   reporting a caller bug, deliberately outside the Outcome envelope *)
 let count_budgeted ~budget ?pins ?candidates h g =
   let c = ref 0 in
   match iter ~budget ?pins ?candidates h g (fun _ -> incr c) with
@@ -108,9 +114,9 @@ let count_budgeted ~budget ?pins ?candidates h g =
     Obs.incr m_partial;
     `Exhausted (!c, r)
 
-let exists ?pins ?candidates h g =
+let exists ?budget ?pins ?candidates h g =
   try
-    iter ?pins ?candidates h g (fun _ -> raise Found);
+    iter ?budget ?pins ?candidates h g (fun _ -> raise Found);
     false
   with Found -> true
 

@@ -50,9 +50,12 @@ val count_budgeted :
   ?candidates:(int -> Wlcq_util.Bitset.t) ->
   Graph.t -> Graph.t -> (int, int * Budget.reason) Outcome.t
 
-(** [exists ?pins ?candidates h g] tests whether a homomorphism exists
-    (early exit). *)
+(** [exists ?budget ?pins ?candidates h g] tests whether a
+    homomorphism exists (early exit).  The backtracking search is
+    worst-case exponential: [budget] is polled per assignment and
+    {!Budget.Exhausted} escapes when it trips. *)
 val exists :
+  ?budget:Budget.t ->
   ?pins:(int * int) list ->
   ?candidates:(int -> Wlcq_util.Bitset.t) ->
   Graph.t -> Graph.t -> bool

@@ -49,6 +49,8 @@ let count ?(budget = Budget.unlimited) h g =
   count_into ~budget h g counter;
   !counter
 
+(* lint: allow R8 Invalid_argument is Bitset size validation reporting
+   a caller bug, deliberately outside the Outcome envelope *)
 let count_budgeted ~budget h g =
   let partial = ref 0 in
   match count_into ~budget h g partial with

@@ -75,15 +75,19 @@ let count_with_nice_reference nd h g =
             (fun ckey cnt ->
                for w = 0 to ng - 1 do
                  (* splice w into position vpos *)
+                 (* lint: hot-alloc reference oracle: int-list keys are its
+                    definition, kept verbatim for differential testing *)
                  let rec splice j = function
                    | rest when j = vpos -> w :: rest
                    | [] -> [ w ]
                    | x :: rest -> x :: splice (j + 1) rest
                  in
                  let key = splice 0 ckey in
+                 (* lint: hot-alloc reference oracle, as above *)
                  let karr = Array.of_list key in
                  let ok =
                    List.for_all
+                     (* lint: hot-alloc reference oracle, as above *)
                      (fun p -> Graph.adjacent g karr.(p) w)
                      positions
                  in
@@ -186,6 +190,7 @@ let count_with_nice ?(budget = Budget.unlimited) nd h g =
                  key.(vpos) <- w;
                  if
                    List.for_all
+                     (* lint: hot-alloc intra-bag edge probe: |positions| is bag-bounded and the closure captures loop-invariant state only on tiny bags — packed engine keeps list probes here *)
                      (fun p -> Graph.adjacent g key.(p) w)
                      constrained
                  then Dp_key.bump c table key cnt
@@ -236,6 +241,8 @@ let count ?budget h g =
       let nd = Nice.of_decomposition d ~universe:(Graph.num_vertices h) in
       count_with_nice ?budget nd h g
 
+(* lint: allow R8 Invalid_argument is precondition validation reporting
+   a caller bug, deliberately outside the Outcome envelope *)
 let count_budgeted ~budget h g =
   if
     Graph.num_vertices h > 0

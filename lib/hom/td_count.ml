@@ -41,7 +41,8 @@ let m_exhausted = Obs.counter "robust.fallback.td_exhausted"
 (* engine below (mirroring Kwl.run_reference) — do not optimise.       *)
 (* ------------------------------------------------------------------ *)
 
-let count_with_decomposition_reference ?candidates d h g =
+let count_with_decomposition_reference ?(budget = Budget.unlimited) ?candidates
+    d h g =
   if not (Decomposition.is_valid_for d h) then
     invalid_arg "Td_count.count_with_decomposition_reference: decomposition does not match the pattern";
   let nodes = Graph.num_vertices d.Decomposition.tree in
@@ -60,7 +61,7 @@ let count_with_decomposition_reference ?candidates d h g =
     while not (Queue.is_empty queue) do
       let t = Queue.take queue in
       order := t :: !order;
-      Graph.iter_neighbours d.Decomposition.tree t (fun s ->
+      Graph.iter_neighbours d.Decomposition.tree t (fun s -> (* lint: hot-alloc tree rooting: one closure per decomposition node, before the DP *)
           if not seen.(s) then begin
             seen.(s) <- true;
             parent.(s) <- t;
@@ -131,7 +132,13 @@ let count_with_decomposition_reference ?candidates d h g =
          let sub_candidates =
            Option.map (fun c i -> c back.(i)) candidates
          in
-         Brute.iter ?candidates:sub_candidates sub g (fun m ->
+         Brute.iter ~budget ?candidates:sub_candidates sub g (fun m ->
+             (* the per-bag homomorphism enumeration is the unbounded
+                dimension of the oracle: poll it (both here and inside
+                the backtracking search, which can run long between
+                enumerated homomorphisms) so a tripped deadline can
+                stop the differential run *)
+             Budget.tick_check budget;
              let value =
                List.fold_left
                  (fun acc (spos, proj) ->
@@ -199,24 +206,29 @@ let arc_consistent ?candidates ?seed h g =
   let cand = Array.init n init in
   let edges = Graph.edges h in
   let changed = ref true in
+  (* hoisted out of the fixpoint: [refine] captures only the stable
+     [cand]/[changed], so allocating it per pass was pure churn (R9) *)
+  let refine a b =
+    let nb = ref (Bitset.create ng) in
+    Bitset.iter
+      (fun w -> nb := Bitset.union !nb (Graph.neighbours g w))
+      cand.(b);
+    let next = Bitset.inter cand.(a) !nb in
+    if not (Bitset.equal next cand.(a)) then begin
+      cand.(a) <- next;
+      changed := true
+    end
+  in
+  let refine_edge (u, v) =
+    refine u v;
+    refine v u
+  in
+  (* lint: allow R7 monotone fixpoint: each pass either removes a
+     candidate from some domain or terminates, so it runs at most
+     n * |V(G)| passes *)
   while !changed do
     changed := false;
-    List.iter
-      (fun (u, v) ->
-         let refine a b =
-           let nb = ref (Bitset.create ng) in
-           Bitset.iter
-             (fun w -> nb := Bitset.union !nb (Graph.neighbours g w))
-             cand.(b);
-           let next = Bitset.inter cand.(a) !nb in
-           if not (Bitset.equal next cand.(a)) then begin
-             cand.(a) <- next;
-             changed := true
-           end
-         in
-         refine u v;
-         refine v u)
-      edges
+    List.iter refine_edge edges
   done;
   if Obs.enabled () then begin
     let kept = Array.fold_left (fun a b -> a + Bitset.cardinal b) 0 cand in
@@ -521,7 +533,7 @@ let count_with_decomposition ?(budget = Budget.unlimited) ?candidates d h g =
     match choose h g with
     | Dispatch.Hom_brute -> Bigint.of_int (Brute.count ~budget ?candidates h g)
     | Dispatch.Hom_reference ->
-      count_with_decomposition_reference ?candidates d h g
+      count_with_decomposition_reference ~budget ?candidates d h g
     | Dispatch.Hom_packed -> run_packed_path ~budget ?candidates d h g
 
 let count ?(budget = Budget.unlimited) ?candidates h g =
@@ -536,6 +548,8 @@ let count ?(budget = Budget.unlimited) ?candidates h g =
     | Dispatch.Hom_packed ->
       run_packed_path ~budget ?candidates (Exact.optimal_decomposition h) h g
 
+(* lint: allow R8 Invalid_argument is engine-selection validation
+   reporting a caller bug, deliberately outside the Outcome envelope *)
 let count_with_decomposition_budgeted ~budget ?candidates d h g =
   match count_with_decomposition ~budget ?candidates d h g with
   | v -> `Exact v
@@ -547,6 +561,8 @@ let count_with_decomposition_budgeted ~budget ?candidates d h g =
    order before the DP runs (a wider decomposition slows the DP but the
    count it produces is still exact), and only a trip inside the DP
    itself exhausts the run. *)
+(* lint: allow R8 Invalid_argument is engine-selection validation
+   reporting a caller bug, deliberately outside the Outcome envelope *)
 let count_budgeted ~budget ?candidates h g =
   if Graph.num_vertices h = 0 then `Exact Bigint.one
   else if Graph.num_vertices g = 0 then `Exact Bigint.zero

@@ -99,9 +99,12 @@ val count_reference :
   ?candidates:(int -> Wlcq_util.Bitset.t) ->
   Graph.t -> Graph.t -> Wlcq_util.Bigint.t
 
-(** Oracle variant of {!count_with_decomposition}.
+(** Oracle variant of {!count_with_decomposition}.  [budget] is polled
+    per enumerated bag homomorphism; [Budget.Exhausted] escapes when
+    it trips (the budgeted entry catches it).
     @raise Invalid_argument when [d] is not valid for [h]. *)
 val count_with_decomposition_reference :
+  ?budget:Budget.t ->
   ?candidates:(int -> Wlcq_util.Bitset.t) ->
   Wlcq_treewidth.Decomposition.t -> Graph.t -> Graph.t ->
   Wlcq_util.Bigint.t

@@ -45,6 +45,7 @@ let in_edges g v = g.inc.(v)
 let edges g =
   let acc = ref [] in
   for u = g.n - 1 downto 0 do
+    (* lint: hot-alloc accessor: materialises the edge list it returns *)
     List.iter (fun (v, l) -> acc := (u, v, l) :: !acc) (List.rev g.out.(u))
   done;
   !acc

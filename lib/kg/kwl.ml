@@ -18,13 +18,17 @@ let canonicalise cmp labelled =
   in
   let ids = Hashtbl.create 256 in
   List.iteri (fun i s -> Hashtbl.replace ids s i) distinct;
-  (List.map (Array.map (Hashtbl.find ids)) labelled, List.length distinct)
+  let id_of s =
+    (* total: [distinct] enumerates every signature in [labelled] *)
+    match Hashtbl.find_opt ids s with Some i -> i | None -> assert false
+  in
+  (List.map (Array.map id_of) labelled, List.length distinct)
 
 (* ------------------------------------------------------------------ *)
 (* Colour refinement                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let refine_many graphs =
+let refine_many ?(budget = Budget.unlimited) graphs =
   let init =
     List.map
       (fun g ->
@@ -54,6 +58,9 @@ let refine_many graphs =
       signatures
   in
   let rec go colourings num rounds =
+    (* one poll per round: rounds are the unbounded dimension of
+       refinement on labelled directed graphs *)
+    Budget.tick_check budget;
     let colourings', num' = Obs.span "kg.refine.round" (fun () -> round colourings) in
     if num' = num then (colourings, num, rounds)
     else go colourings' num' (rounds + 1)
@@ -99,10 +106,11 @@ let atomic g k idx =
     for j = k - 1 downto 0 do
       if i <> j then begin
         let ls =
-          List.filter_map
+          List.filter_map (* lint: hot-alloc atomic-type constructor: the signature lists are the output, built once per tuple at initialisation *)
             (fun (w, l) -> if w = t.(j) then Some l else None)
             (Kgraph.out_edges g t.(i))
         in
+        (* lint: hot-alloc atomic-type constructor, as above *)
         rels := (i, j, t.(i) = t.(j), List.sort Int.compare ls) :: !rels
       end
     done
@@ -158,9 +166,11 @@ let run_many_core ~budget k graphs =
                let entries = ref [] in
                for w = 0 to n - 1 do
                  let entry =
+                   (* lint: hot-alloc naive k-WL round: the per-tuple signature lists are the round's output *)
                    Array.init k (fun i ->
                        colours.(idx + ((w - t.(i)) * place.(i))))
                  in
+                 (* lint: hot-alloc naive k-WL round, as above *)
                  entries := Array.to_list entry :: !entries
                done;
                (colours.(idx), List.sort Ordering.int_list !entries)))
@@ -202,6 +212,8 @@ let run_pair k g1 g2 =
   | [ r1; r2 ] -> (r1, r2)
   | _ -> assert false
 
+(* lint: allow R8 Invalid_argument is the k >= 2 arity validation
+   reporting a caller bug, deliberately outside the Outcome envelope *)
 let run_many_budgeted ~budget k graphs =
   match run_many_core ~budget k graphs with
   | exception Budget.Exhausted r ->
@@ -217,6 +229,8 @@ let run_many_budgeted ~budget k graphs =
            (match results with r :: _ -> r.rounds | [] -> 0))
       results
 
+(* lint: allow R8 Invalid_argument is the k >= 2 arity validation
+   reporting a caller bug, deliberately outside the Outcome envelope *)
 let run_budgeted ~budget k g =
   match run_many_budgeted ~budget k [ g ] with
   | `Exact [ r ] -> `Exact r
@@ -245,15 +259,21 @@ let equivalent k g1 g2 =
     List.equal (Ordering.equal_pair Int.equal Int.equal) (histogram r1) (histogram r2)
   end
 
+(* lint: allow R8 Invalid_argument is the k >= 1 arity validation
+   reporting a caller bug, deliberately outside the Outcome envelope *)
 let equivalent_budgeted ~budget k g1 g2 =
   if k < 1 then invalid_arg "Kwl.equivalent_budgeted: k must be positive"
-  else if k = 1 then
-    (* colour refinement is cheap; budget checked at the boundary only *)
-    let r = equivalent 1 g1 g2 in
-    match Budget.tripped budget with
-    | Some _ when not r -> `Exact false (* divergence is permanent *)
-    | Some reason -> `Exhausted reason
-    | None -> `Exact r
+  else if k = 1 then (
+    (* refinement polls the budget once per round, so a tripped
+       deadline stops it mid-run *)
+    match refine_many ~budget [ g1; g2 ] with
+    | [ r1; r2 ] ->
+      `Exact
+        (List.equal
+           (Ordering.equal_pair Int.equal Int.equal)
+           (histogram r1) (histogram r2))
+    | _ -> assert false
+    | exception Budget.Exhausted reason -> `Exhausted reason)
   else
     let verdict r1 r2 =
       List.equal (Ordering.equal_pair Int.equal Int.equal) (histogram r1)

@@ -41,6 +41,7 @@ let rec atomic_min cell v =
   let cur = Atomic.get cell in
   if v < cur && not (Atomic.compare_and_set cell cur v) then atomic_min cell v
 
+(* lint: allow R7 lock-free CAS retry, bounded by contending domains *)
 let rec atomic_max cell v =
   let cur = Atomic.get cell in
   if v > cur && not (Atomic.compare_and_set cell cur v) then atomic_max cell v
@@ -189,6 +190,7 @@ let find_span_stat path =
     (fun s -> String.equal s.ss_path path)
     (Atomic.get span_stats)
 
+(* lint: allow R7 lock-free CAS retry, bounded by contending domains *)
 let rec span_stat path =
   match find_span_stat path with
   | Some s -> s
@@ -222,6 +224,7 @@ type event = {
 
 let events : event list Atomic.t = Atomic.make []
 
+(* lint: allow R7 lock-free CAS retry, bounded by contending domains *)
 let rec push_event e =
   let old = Atomic.get events in
   if not (Atomic.compare_and_set events old (e :: old)) then push_event e

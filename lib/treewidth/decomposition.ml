@@ -43,6 +43,8 @@ let is_valid_for d h =
     (* (T2): for each vertex, the nodes whose bag contains it induce a
        connected subtree *)
     let ok = ref true in
+    (* lint: allow R7 one-shot validation pass over the
+       decomposition-sized structure, O(n * nodes) *)
     for v = 0 to n - 1 do
       let holders =
         List.filter (fun t -> Bitset.mem d.bags.(t) v)
@@ -58,6 +60,8 @@ let is_valid_for d h =
         let queue = Queue.create () in
         seen.(first) <- true;
         Queue.add first queue;
+        (* lint: allow R7 BFS within the holder set, each node enqueued
+           at most once *)
         while not (Queue.is_empty queue) do
           let t = Queue.take queue in
           Graph.iter_neighbours d.tree t (fun s ->
@@ -162,6 +166,8 @@ let rooted ?(root = 0) d =
   seen.(root) <- true;
   let tail = ref 1 in
   let head = ref 0 in
+  (* lint: allow R7 re-rooting BFS: each decomposition node is visited
+     exactly once *)
   while !head < !tail do
     let t = bfs.(!head) in
     incr head;

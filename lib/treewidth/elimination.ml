@@ -13,6 +13,8 @@ let higher_neighbour_sets g order =
   let adj = Array.init n (Graph.neighbours g) in
   let eliminated = Array.make n false in
   let sets = Array.make n (Bitset.create n) in
+  (* lint: allow R7 one elimination step per vertex of the pattern
+     graph, polynomial one-shot *)
   for i = 0 to n - 1 do
     let v = order.(i) in
     let remaining = Bitset.fold
@@ -65,6 +67,7 @@ let decomposition_of_order g order =
        other components, so (T2) is unaffected). *)
     let tree_edges = ref [] in
     let roots = ref [] in
+    (* lint: allow R7 single pass over the n decomposition nodes *)
     for i = 0 to n - 1 do
       if Bitset.is_empty sets.(i) then roots := i :: !roots
       else begin

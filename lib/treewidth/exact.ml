@@ -159,6 +159,8 @@ let solve g =
 let treewidth g = fst (solve g)
 let optimal_order g = snd (solve g)
 
+(* lint: allow R8 Invalid_argument is permutation validation on an
+   internally built order — an invariant check, not a budget outcome *)
 let treewidth_budgeted ~budget g =
   match solve_with ~budget g with
   | w, _, None -> `Exact w
@@ -189,6 +191,8 @@ let memo_capacity = 512
 
 let clear_decomposition_memo () = Graph_tbl.reset decomposition_memo
 
+(* lint: allow R8 Invalid_argument is Graph.create size validation on
+   an internally built tree — an invariant check, not a budget outcome *)
 let optimal_decomposition_budgeted ~budget g =
   match Graph_tbl.find_opt decomposition_memo g with
   | Some d ->

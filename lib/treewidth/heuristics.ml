@@ -8,6 +8,8 @@ let greedy_order score g =
   let adj = Array.init n (Graph.neighbours g) in
   let alive = Array.make n true in
   let order = ref [] in
+  (* lint: allow R7 polynomial O(n^2) greedy heuristic on the pattern
+     graph: one vertex eliminated per iteration *)
   for _ = 1 to n do
     let best = ref (-1) in
     let best_score = ref max_int in
@@ -49,6 +51,7 @@ let fill_count adj alive v =
     Bitset.fold (fun w acc -> if alive.(w) then w :: acc else acc) adj.(v) []
   in
   let missing = ref 0 in
+  (* lint: allow R7 quadratic pair walk over one live neighbourhood *)
   let rec pairs = function
     | [] -> ()
     | a :: rest ->
@@ -79,10 +82,13 @@ let lower_bound g =
     let alive = Array.make n true in
     let alive_count = ref n in
     let bound = ref 0 in
+    (* lint: allow R7 each iteration removes one live vertex, so at
+       most n iterations of polynomial work *)
     while !alive_count > 1 do
       (* minimum-degree live vertex *)
       let v = ref (-1) in
       let vd = ref max_int in
+      (* lint: allow R7 linear minimum-degree scan *)
       for u = 0 to n - 1 do
         if alive.(u) then begin
           let d = live_degree adj alive u in

@@ -55,6 +55,8 @@ let of_decomposition d ~universe =
   end
   else begin
     let rooted = Decomposition.rooted d in
+    (* lint: allow R7 structural recursion over the rooted
+       decomposition tree: each node is built exactly once *)
     let rec build t =
       let target = obags.(t) in
       match Array.to_list rooted.Decomposition.children.(t) with

@@ -34,6 +34,7 @@ let of_int n =
     let sign = if n > 0 then 1 else -1 in
     (* min_int negation is safe limb-by-limb via mod on the running
        value, using the absolute value of each remainder. *)
+    (* lint: allow R7 bounded by the limb count of a native int *)
     let rec limbs n acc =
       if n = 0 then List.rev acc
       else limbs (n / base) (Stdlib.abs (n mod base) :: acc)

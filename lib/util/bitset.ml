@@ -95,6 +95,7 @@ let compare a b =
   if c <> 0 then c else Stdlib.compare a.words b.words
 
 let popcount w =
+  (* lint: allow R7 at most one iteration per set bit of one word *)
   let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
   go 0 w
 
@@ -103,11 +104,15 @@ let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
 let is_empty s = Array.for_all (fun w -> w = 0) s.words
 
 let iter f s =
+  (* lint: allow R7 one iteration per word of the set *)
   for w = 0 to Array.length s.words - 1 do
     let word = ref s.words.(w) in
+    (* lint: allow R7 clears one set bit per iteration, so at most
+       word-size iterations *)
     while !word <> 0 do
       (* lowest set bit *)
       let b = !word land (- !word) in
+      (* lint: allow R7 halves the word each step, at most word-size *)
       let rec log2 b i = if b = 1 then i else log2 (b lsr 1) (i + 1) in
       f ((w * bits_per_word) + log2 b 0);
       word := !word land lnot b

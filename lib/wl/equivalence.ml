@@ -14,33 +14,37 @@ let equivalent k g1 g2 =
   else if k = 1 then Refinement.equivalent g1 g2
   else Kwl.equivalent k g1 g2
 
+(* lint: allow R8 Invalid_argument is the k >= 1 arity validation
+   reporting a caller bug, deliberately outside the Outcome envelope *)
 let equivalent_budgeted ~budget k g1 g2 =
   if k < 1 then invalid_arg "Equivalence.equivalent_budgeted: k must be positive"
   else if
     Graph.num_vertices g1 <> Graph.num_vertices g2
     || Graph.num_edges g1 <> Graph.num_edges g2
   then `Exact false
-  else if k = 1 then
-    (* colour refinement is near-linear; it runs unbudgeted and the
-       budget is only consulted at the boundary *)
-    let r = Refinement.equivalent g1 g2 in
-    (match Budget.tripped budget with
-     | Some _ when not r -> `Exact false (* divergence is permanent *)
-     | Some reason -> `Exhausted reason
-     | None -> `Exact r)
+  else if k = 1 then (
+    (* colour refinement polls the budget once per round, so a tripped
+       deadline stops it mid-run; divergence found before the trip is
+       permanent and still an exact answer *)
+    match Refinement.equivalent ~budget g1 g2 with
+    | r -> `Exact r
+    | exception Budget.Exhausted reason -> `Exhausted reason)
   else Kwl.equivalent_budgeted ~budget k g1 g2
 
 let iter_patterns max_size f =
   for n = 1 to max_size do
     let pairs = ref [] in
     for u = 0 to n - 1 do
+      (* lint: hot-alloc pattern enumerator: builds each candidate graph it yields *)
       for v = u + 1 to n - 1 do pairs := (u, v) :: !pairs done
     done;
+    (* lint: hot-alloc flattened once per size, not per mask *)
     let pairs = Array.of_list !pairs in
     let m = Array.length pairs in
     for mask = 0 to (1 lsl m) - 1 do
       let edges = ref [] in
       Array.iteri
+        (* lint: hot-alloc pattern enumerator: builds each candidate graph it yields *)
         (fun i e -> if (mask lsr i) land 1 = 1 then edges := e :: !edges)
         pairs;
       f (Graph.create n !edges)

@@ -50,7 +50,7 @@ let degree_matrix g classes c =
   let matrix = Array.make_matrix c c (-1) in
   for v = 0 to n - 1 do
     let counts = Array.make c 0 in
-    Graph.iter_neighbours g v (fun w ->
+    Graph.iter_neighbours g v (fun w -> (* lint: hot-alloc one counting closure per vertex of a single validation pass *)
         counts.(classes.(w)) <- counts.(classes.(w)) + 1);
     for j = 0 to c - 1 do
       let i = classes.(v) in

@@ -19,13 +19,16 @@ let patterns_uncached ~max_size ~tw_bound =
     let reps = ref [] in
     let pairs = ref [] in
     for u = 0 to n - 1 do
+      (* lint: hot-alloc pattern enumerator: builds each candidate graph it yields *)
       for v = u + 1 to n - 1 do pairs := (u, v) :: !pairs done
     done;
+    (* lint: hot-alloc flattened once per size, not per mask *)
     let pairs = Array.of_list !pairs in
     let m = Array.length pairs in
     for mask = 0 to (1 lsl m) - 1 do
       let edges = ref [] in
       Array.iteri
+        (* lint: hot-alloc pattern enumerator: builds each candidate graph it yields *)
         (fun i e -> if (mask lsr i) land 1 = 1 then edges := e :: !edges)
         pairs;
       let g = Graph.create n !edges in
@@ -34,6 +37,7 @@ let patterns_uncached ~max_size ~tw_bound =
          && not (List.exists (Iso.isomorphic g) !reps)
       then reps := g :: !reps
     done;
+    (* lint: hot-alloc once per size class: appends the representatives found *)
     acc := !acc @ List.rev !reps
   done;
   !acc

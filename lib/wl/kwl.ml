@@ -110,10 +110,12 @@ let run_many_reference k graphs =
                let entries = ref [] in
                for w = 0 to n - 1 do
                  let entry =
+                   (* lint: hot-alloc naive k-WL round: the per-tuple signature lists are the round's output (reference oracle) *)
                    Array.init k (fun i ->
                        (* index of t with coordinate i replaced by w *)
                        colours.(idx + ((w - t.(i)) * place.(i))))
                  in
+                 (* lint: hot-alloc naive k-WL round, as above *)
                  entries := Array.to_list entry :: !entries
                done;
                (colours.(idx), List.sort Ordering.int_list !entries)))
@@ -243,11 +245,14 @@ let sort_blocks arr lo n k =
     (fun pos p -> Array.blit tmp (p * k) arr (lo + (pos * k)) k)
     perm
 
-let make_state k g =
+let make_state ?(budget = Budget.unlimited) k g =
   let n = Graph.num_vertices g in
   let count = tuple_count k n in
   let tuples = Array.make (max 1 (count * k)) 0 in
   for idx = 0 to count - 1 do
+    (* materialising the n^k tuple table is already engine-scale work:
+       poll so a tripped deadline stops the run before the first round *)
+    Budget.tick_check budget;
     let r = ref idx in
     for i = k - 1 downto 0 do
       tuples.((idx * k) + i) <- !r mod n;
@@ -327,6 +332,13 @@ let run_engine_inner ?domains ~budget ~on_round k states =
   let entry_words = if packed then 1 else k in
   let sigw = 1 + (max_n * entry_words) in
   let next_colour = ref 0 in
+  (* hoisted miss continuation for the initial-colouring probe: an
+     anonymous one allocates a closure per tuple (R9) *)
+  let fresh_colour () =
+    let c = !next_colour in
+    incr next_colour;
+    c
+  in
   (* open-addressing probe table shared by the initial colouring and
      the per-round renumbering.  The previous representation — a
      Hashtbl of boxed (base, colour) bucket lists — allocated a list
@@ -397,12 +409,7 @@ let run_engine_inner ?domains ~budget ~on_round k states =
            done
          end;
          let h = hash_segment init_arena base aw in
-         let colour =
-           probe_find init_arena aw h base (fun () ->
-               let c = !next_colour in
-               incr next_colour;
-               c)
-         in
+         let colour = probe_find init_arena aw h base fresh_colour in
          st.colours.(idx) <- colour;
          incr slot0
        done)
@@ -562,7 +569,7 @@ let run_engine_inner ?domains ~budget ~on_round k states =
         (* a new signature group keeps the old id iff the whole class
            was recoloured this round and no earlier group claimed the
            id (clean classmates own it otherwise) *)
-        probe_find arena sigw h base (fun () ->
+        probe_find arena sigw h base (fun () -> (* lint: hot-alloc renumbering miss continuation: runs once per fresh colour, captures the per-group old/claimed state so it cannot be hoisted *)
             if
               dirty_in_class.(old) = class_size.(old)
               && Bytes.get claimed old = '\000'
@@ -680,23 +687,30 @@ let run_pair ?domains k g1 g2 =
   | [ r1; r2 ] -> (r1, r2)
   | _ -> assert false
 
+(* lint: allow R8 Invalid_argument is the k >= 2 arity validation
+   reporting a caller bug, deliberately outside the Outcome envelope *)
 let run_many_budgeted ?domains ~budget k graphs =
   if k < 2 then
     invalid_arg "Kwl.run_many_budgeted: requires k >= 2 (use Refinement for k = 1)";
-  let states = Array.of_list (List.map (make_state k) graphs) in
-  match run_engine ?domains ~budget ~on_round:(fun _ -> ()) k states with
+  match
+    let states = Array.of_list (List.map (make_state ~budget k) graphs) in
+    (states, run_engine ?domains ~budget ~on_round:(fun _ -> ()) k states)
+  with
   | exception Budget.Exhausted r ->
-    (* tripped during the initial colouring: no complete prefix exists *)
+    (* tripped during state construction or the initial colouring: no
+       complete prefix exists *)
     Obs.incr m_exhausted;
     `Exhausted r
-  | num, rounds, None -> `Exact (results_of_states states num rounds)
-  | num, rounds, Some cause ->
+  | states, (num, rounds, None) -> `Exact (results_of_states states num rounds)
+  | states, (num, rounds, Some cause) ->
     Obs.incr m_prefix_fallbacks;
     Outcome.degraded ~cause
       ~fallback:
         (Printf.sprintf "stable colour prefix after %d completed rounds" rounds)
       (results_of_states states num rounds)
 
+(* lint: allow R8 Invalid_argument is the k >= 2 arity validation
+   reporting a caller bug, deliberately outside the Outcome envelope *)
 let run_budgeted ?domains ~budget k g =
   match run_many_budgeted ?domains ~budget k [ g ] with
   | `Exact [ r ] -> `Exact r
@@ -722,8 +736,7 @@ let histogram (r : result) =
 let equivalent_core ?domains ~budget k g1 g2 =
   if Graph.num_vertices g1 <> Graph.num_vertices g2 then `Exact false
   else begin
-    let states = [| make_state k g1; make_state k g2 |] in
-    let histograms_equal num =
+    let histograms_equal states num =
       let cnt = Array.make (max 1 num) 0 in
       for idx = 0 to states.(0).count - 1 do
         let c = states.(0).colours.(idx) in
@@ -736,9 +749,10 @@ let equivalent_core ?domains ~budget k g1 g2 =
       Array.for_all (fun d -> d = 0) cnt
     in
     match
+      let states = [| make_state ~budget k g1; make_state ~budget k g2 |] in
       run_engine ?domains ~budget
         ~on_round:(fun num ->
-          if not (histograms_equal num) then raise Histograms_diverged)
+          if not (histograms_equal states num) then raise Histograms_diverged)
         k states
     with
     | exception Histograms_diverged -> `Exact false
@@ -760,6 +774,8 @@ let equivalent ?domains k g1 g2 =
   | `Exact b -> b
   | `Exhausted _ -> assert false
 
+(* lint: allow R8 Invalid_argument is the k >= 1 arity validation
+   reporting a caller bug, deliberately outside the Outcome envelope *)
 let equivalent_budgeted ?domains ~budget k g1 g2 =
   if k < 2 then
     invalid_arg

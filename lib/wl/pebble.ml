@@ -85,7 +85,9 @@ let safe_positions k g1 g2 =
         if safe.(p).(q) then begin
           let t2 = decode_tuple k n q in
           let survives =
+            (* lint: hot-alloc bisimulation game: the matching predicate captures the per-pair tuples (t1, t2), one closure per surviving pair test *)
             perfect_matching n (fun v w ->
+                (* lint: hot-alloc bisimulation game, as above *)
                 let rec all_pebbles i =
                   i >= k
                   || (safe.(p + ((v - t1.(i)) * place.(i)))

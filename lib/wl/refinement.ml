@@ -1,6 +1,7 @@
 open Wlcq_graph
 module Ordering = Wlcq_util.Ordering
 module Obs = Wlcq_obs.Obs
+module Budget = Wlcq_robust.Budget
 
 type result = { colours : int array; num_colours : int; rounds : int }
 
@@ -49,7 +50,7 @@ let sort_int_range arr lo len =
    check). *)
 exception Histograms_diverged
 
-let run_many_with ~on_round graphs =
+let run_many_with ?(budget = Budget.unlimited) ~on_round graphs =
   let graphs = Array.of_list graphs in
   let num_graphs = Array.length graphs in
   let ns = Array.map Graph.num_vertices graphs in
@@ -72,7 +73,8 @@ let run_many_with ~on_round graphs =
       goff.(j + 1) <- goff.(j) + ns.(j)
     done;
     let off = Array.make (total + 1) 0 in
-    for j = 0 to num_graphs - 1 do
+    for j = 0 to num_graphs - 1 do (* lint: allow R7 one-shot CSR
+       offset setup, linear in total vertices; the round loop polls *)
       for v = 0 to ns.(j) - 1 do
         let gv = goff.(j) + v in
         off.(gv + 1) <- off.(gv) + 1 + Graph.degree graphs.(j) v
@@ -92,18 +94,40 @@ let run_many_with ~on_round graphs =
       in
       go 0
     in
+    (* hoisted out of the per-vertex loops: the neighbour writer and
+       the bucket probe would otherwise allocate a closure per vertex
+       per round (R9) *)
+    let cursor = ref 0 in
+    let cur_colours = ref [||] in
+    let write_neighbour w =
+      arena.(!cursor) <- !cur_colours.(w);
+      incr cursor
+    in
+    let next = ref 0 in
+    let rec find_colour base len bucket = function
+      | [] ->
+        let c = !next in
+        incr next;
+        bucket := (base, len, c) :: !bucket;
+        c
+      | (base', len', c) :: rest ->
+        if len = len' && seg_equal base base' len then c
+        else begin
+          incr collisions;
+          find_colour base len bucket rest
+        end
+    in
     let round () =
       for j = 0 to num_graphs - 1 do
         let colours = colourings.(j) in
+        cur_colours := colours;
         for v = 0 to ns.(j) - 1 do
           let gv = goff.(j) + v in
           let base = off.(gv) in
           let len = off.(gv + 1) - base in
           arena.(base) <- colours.(v);
-          let i = ref (base + 1) in
-          Graph.iter_neighbours graphs.(j) v (fun w ->
-              arena.(!i) <- colours.(w);
-              incr i);
+          cursor := base + 1;
+          Graph.iter_neighbours graphs.(j) v write_neighbour;
           sort_int_range arena (base + 1) (len - 1);
           let h = ref (hash_mix 0x27220A95 len) in
           for i = base to base + len - 1 do
@@ -114,7 +138,7 @@ let run_many_with ~on_round graphs =
         done
       done;
       Hashtbl.reset buckets;
-      let next = ref 0 in
+      next := 0;
       for j = 0 to num_graphs - 1 do
         let colours = colourings.(j) in
         for v = 0 to ns.(j) - 1 do
@@ -130,23 +154,7 @@ let run_many_with ~on_round graphs =
               Hashtbl.add buckets h b;
               b
           in
-          let colour =
-            let rec find = function
-              | [] ->
-                let c = !next in
-                incr next;
-                bucket := (base, len, c) :: !bucket;
-                c
-              | (base', len', c) :: rest ->
-                if len = len' && seg_equal base base' len then c
-                else begin
-                  incr collisions;
-                  find rest
-                end
-            in
-            find !bucket
-          in
-          colours.(v) <- colour
+          colours.(v) <- find_colour base len bucket !bucket
         done
       done;
       !next
@@ -164,6 +172,10 @@ let run_many_with ~on_round graphs =
         (fun () ->
            Obs.span "refinement.run" (fun () ->
                let rec loop num rounds =
+                 (* one poll per round keeps a tripped deadline able to
+                    stop refinement on large graphs; rounds are the
+                    unbounded dimension (each is O(n + m)) *)
+                 Budget.tick_check budget;
                  last_round := rounds;
                  let num' = Obs.span "refinement.round" round in
                  if num' = num then (num, rounds)
@@ -202,7 +214,7 @@ let histogram (r : result) =
 
 (* Early exit: refinement only splits classes, so once the joint
    histograms of the two graphs diverge they stay diverged. *)
-let equivalent g1 g2 =
+let equivalent ?budget g1 g2 =
   if Graph.num_vertices g1 <> Graph.num_vertices g2 then false
   else
     try
@@ -213,7 +225,7 @@ let equivalent g1 g2 =
         if not (Array.for_all (fun d -> d = 0) cnt) then
           raise Histograms_diverged
       in
-      match run_many_with ~on_round:check [ g1; g2 ] with
+      match run_many_with ?budget ~on_round:check [ g1; g2 ] with
       | [ r1; r2 ] -> List.equal (Ordering.equal_pair Int.equal Int.equal) (histogram r1) (histogram r2)
       | _ -> assert false
     with Histograms_diverged -> false

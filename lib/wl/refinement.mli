@@ -29,6 +29,8 @@ val run_pair : Graph.t -> Graph.t -> result * result
     [(colour, multiplicity)] list. *)
 val histogram : result -> (int * int) list
 
-(** [equivalent g1 g2] tests 1-WL-equivalence (equal stable
-    histograms under joint refinement). *)
-val equivalent : Graph.t -> Graph.t -> bool
+(** [equivalent ?budget g1 g2] tests 1-WL-equivalence (equal stable
+    histograms under joint refinement).  [budget] is polled once per
+    refinement round; when it trips, [Wlcq_robust.Budget.Exhausted]
+    escapes (the [*_budgeted] wrappers in {!Equivalence} catch it). *)
+val equivalent : ?budget:Wlcq_robust.Budget.t -> Graph.t -> Graph.t -> bool

@@ -1,0 +1,51 @@
+(* R7 fixture: loops and cycles reachable from a *_budgeted entry that
+   never reach a Budget poll.  Parsed by the linter only, never
+   compiled. *)
+
+(* unpolled nested loop, one (same-file) call below the entry *)
+let helper_spin xs =
+  let total = ref 0 in
+  for i = 0 to Array.length xs - 1 do
+    for j = 0 to i do
+      total := !total + (xs.(i) * j)
+    done
+  done;
+  !total
+
+(* unpolled recursive cycle, also below the entry *)
+let rec spin_a x = if x = 0 then 0 else spin_b (x - 1)
+and spin_b x = spin_a x + 1
+
+let sum_budgeted ~budget xs =
+  Budget.tick budget;
+  helper_spin xs + spin_a (Array.length xs)
+
+(* negative: the loop polls, so it stays clean *)
+let polled_budgeted ~budget xs =
+  let total = ref 0 in
+  for i = 0 to Array.length xs - 1 do
+    Budget.tick budget;
+    total := !total + xs.(i)
+  done;
+  !total
+
+(* negative: suppressed with a reasoned pragma *)
+let drained_budgeted ~budget xs =
+  Budget.tick budget;
+  let total = ref 0 in
+  (* lint: allow R7 drain loop is bounded by the queue the caller filled *)
+  for i = 0 to Array.length xs - 1 do
+    for j = 0 to i do
+      total := !total + (xs.(i) * xs.(j))
+    done
+  done;
+  !total
+
+(* negative: flat initialisation loop does no unbounded work *)
+let flat_budgeted ~budget n =
+  Budget.tick budget;
+  let a = Array.make n 0 in
+  for i = 0 to n - 1 do
+    a.(i) <- i
+  done;
+  a

@@ -1,0 +1,34 @@
+(* R8 fixture: exceptions escaping a *_budgeted entry instead of being
+   mapped to an Outcome.  Parsed by the linter only, never compiled. *)
+
+(* raises Not_found two calls below the entry *)
+let deep_find tbl k = Hashtbl.find tbl k
+
+let middle tbl k = deep_find tbl k
+
+(* raises Failure one call below the entry *)
+let validate n =
+  if n < 0 then failwith "Bad_outcome_escape.validate: negative size"
+
+(* positive: Not_found and Failure both escape *)
+let lookup_budgeted ~budget tbl k =
+  Budget.tick budget;
+  validate k;
+  middle tbl k
+
+(* negative: both classes are caught at the entry and mapped *)
+let safe_budgeted ~budget tbl k =
+  Budget.tick budget;
+  match middle tbl k with
+  | v -> `Exact v
+  | exception Not_found -> `Exhausted "missing key"
+
+(* negative: Budget.Exhausted mapped to the Outcome it stands for *)
+let mapped_budgeted ~budget tbl k =
+  match
+    Budget.tick budget;
+    middle tbl k
+  with
+  | v -> `Exact v
+  | exception Budget.Exhausted r -> `Exhausted r
+  | exception Not_found -> `Exhausted "missing key"

@@ -1,0 +1,38 @@
+(* R9 fixture: per-iteration allocation in an engine hot loop (this
+   file sits under lib/hom, so it is in the hot set).  Parsed by the
+   linter only, never compiled. *)
+
+(* positive: a boxed tuple per iteration *)
+let sum_pairs xs =
+  let total = ref 0 in
+  for i = 0 to Array.length xs - 1 do
+    let pair = (xs.(i), i) in
+    total := !total + fst pair
+  done;
+  !total
+
+(* positive: a closure per iteration *)
+let scan_rows rows =
+  let total = ref 0 in
+  for i = 0 to Array.length rows - 1 do
+    List.iter (fun v -> total := !total + v) rows.(i)
+  done;
+  !total
+
+(* negative: hoisted closure, int-only loop body *)
+let scan_rows_hoisted rows =
+  let total = ref 0 in
+  let add v = total := !total + v in
+  for i = 0 to Array.length rows - 1 do
+    List.iter add rows.(i)
+  done;
+  !total
+
+(* negative: pragma-suppressed allocation (the list is the output) *)
+let collect xs =
+  let acc = ref [] in
+  for i = 0 to Array.length xs - 1 do
+    (* lint: hot-alloc builds the result list *)
+    acc := (xs.(i), i) :: !acc
+  done;
+  !acc

@@ -1,0 +1,32 @@
+(* R7 cross-module fixture, entry side.  Two shapes:
+
+   - [run_budgeted] reaches Xmod_spin.spin's unpolled loop one call
+     deep: the finding lands on the loop in xmod_spin.ml, attributed
+     to this entry;
+   - [drain_budgeted]'s own loop calls a polling function WITHOUT
+     passing ~budget, so the callee is pinned to its defaulted budget
+     and its polls cannot keep this loop killable — the exact shape of
+     the unbudgeted Brute.iter call once latent in Td_count's
+     reference engine.
+
+   [threaded_budgeted] passes ~budget and stays clean.  Parsed by the
+   linter only, never compiled. *)
+
+let run_budgeted ~budget g =
+  Budget.tick budget;
+  Xmod_spin.spin g
+
+let drain_budgeted ~budget gs =
+  Budget.tick budget;
+  let total = ref 0 in
+  for i = 0 to Array.length gs - 1 do
+    total := !total + Xmod_spin.polled_count gs.(i)
+  done;
+  !total
+
+let threaded_budgeted ~budget gs =
+  let total = ref 0 in
+  for i = 0 to Array.length gs - 1 do
+    total := !total + Xmod_spin.polled_count ~budget gs.(i)
+  done;
+  !total

@@ -1,0 +1,22 @@
+(* R7 cross-module fixture, callee side: the unpolled loop lives here,
+   one call away from the budgeted entry in xmod_entry.ml.  Parsed by
+   the linter only, never compiled. *)
+
+let spin g =
+  let total = ref 0 in
+  for i = 0 to Array.length g - 1 do
+    for j = 0 to i do
+      total := !total + (g.(i) * g.(j))
+    done
+  done;
+  !total
+
+(* polls its own (defaulted) budget: only a ~budget-labelled call from
+   the caller's loop lets these polls count for the caller *)
+let polled_count ?budget:_ g =
+  let total = ref 0 in
+  for i = 0 to Array.length g - 1 do
+    Budget.tick_check ();
+    total := !total + g.(i)
+  done;
+  !total

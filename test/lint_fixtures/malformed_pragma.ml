@@ -3,7 +3,7 @@
 (* lint: allow *)
 let a = 1
 
-(* lint: allow R9 unknown rule id *)
+(* lint: allow RX unknown rule id *)
 let b = 2
 
 (* lint: domain-local *)

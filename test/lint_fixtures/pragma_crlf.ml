@@ -1,0 +1,8 @@
+(* Pragma edge case: CRLF line endings must not corrupt pragma
+   parsing; this valid pragma suppresses nothing, so it must be
+   reported as an unused suppression (R0). *)
+
+(* lint: allow R1 crlf reason survives the carriage return *)
+let a = 1
+
+let _ = a

@@ -1,0 +1,5 @@
+(* Pragma edge case: a pragma on the final line of a file with no
+   trailing newline must still be scanned; unused, it is R0. *)
+let a = 1
+let _ = a
+(* lint: allow R1 eof pragma with no trailing newline *)

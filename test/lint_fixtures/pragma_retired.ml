@@ -1,0 +1,7 @@
+(* Pragma edge case: a pragma naming the retired rule R5 must be
+   reported (R0) with a pointer to its successor R7. *)
+
+(* lint: allow R5 stale suppression from before the retirement *)
+let a = 1
+
+let _ = a

@@ -172,7 +172,7 @@ let test_cfi_hom_counts_engines () =
 (* ------------------------------------------------------------------ *)
 
 let test_choose_hom_pinned () =
-  (* tiny: P2 -> P3 has brute cost 3 * 2 = 6 <= brute_hom_max *)
+  (* tiny: P2 -> P3 has brute cost 3 * 2 * 2 = 12 <= brute_hom_max *)
   check_bool "tiny instance routes to brute" true
     (match Dispatch.choose_hom ~nh:2 ~ng:3 ~mg:2 with
      | Dispatch.Hom_brute -> true
@@ -180,6 +180,14 @@ let test_choose_hom_pinned () =
   (* huge: brute cost saturates far beyond the cutoff *)
   check_bool "huge instance routes to packed" true
     (match Dispatch.choose_hom ~nh:6 ~ng:100 ~mg:500 with
+     | Dispatch.Hom_packed -> true
+     | _ -> false);
+  (* a large pattern over a sparse target must never go to brute: the
+     average degree floors to 1 but real backtracking branches on the
+     target's max degree (the Lemma 22 F_ℓ family over a near-matching
+     target used to hang here) *)
+  check_bool "large pattern over sparse target routes to packed" true
+    (match Dispatch.choose_hom ~nh:193 ~ng:4 ~mg:2 with
      | Dispatch.Hom_packed -> true
      | _ -> false);
   (* forcing bypasses the model in both directions *)

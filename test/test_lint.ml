@@ -60,11 +60,85 @@ let test_r4_fires () =
   (* missing .mli and print_endline, both lib-only checks *)
   check_count "R4 count on lib/bad_print" "lib/bad_print.ml" "R4" 2
 
-let test_r5_fires () =
-  (* the for-loop and while-loop calls without ~budget; the threaded,
-     outside-loop and pragma-suppressed calls stay clean *)
-  check_count "R5 count on lib/bad_loop_budget" "lib/bad_loop_budget.ml" "R5"
-    2
+let message_of file rule part =
+  match findings_in file rule with
+  | [] -> Alcotest.failf "no %s finding in %s" rule file
+  | ds ->
+    Alcotest.(check bool)
+      (Printf.sprintf "a %s message in %s mentions %S" rule file part)
+      true
+      (List.exists
+         (fun (d : Diagnostic.t) ->
+            (* substring scan; Diagnostic messages are single-line *)
+            let n = String.length part in
+            let m = String.length d.message in
+            let rec at i = i + n <= m
+                           && (String.equal (String.sub d.message i n) part
+                               || at (i + 1)) in
+            at 0)
+         ds)
+
+let test_r7_same_file () =
+  (* helper_spin's nested loop and the spin_a/spin_b cycle, both below
+     sum_budgeted; the polled, pragma-suppressed and flat-init
+     functions stay clean *)
+  check_count "R7 count on lib/bad_budget_reach" "lib/bad_budget_reach.ml"
+    "R7" 2;
+  message_of "lib/bad_budget_reach.ml" "R7" "helper_spin";
+  message_of "lib/bad_budget_reach.ml" "R7" "spin_a";
+  message_of "lib/bad_budget_reach.ml" "R7" "sum_budgeted"
+
+let test_r7_cross_module () =
+  (* the unpolled loop lives in xmod_spin.ml, one call away from the
+     entry in xmod_entry.ml: the finding lands on the loop and names
+     the entry across the module boundary *)
+  check_count "R7 count on lib/xmod_spin" "lib/xmod_spin.ml" "R7" 1;
+  message_of "lib/xmod_spin.ml" "R7" "run_budgeted"
+
+let test_r7_unbudgeted_call () =
+  (* drain_budgeted's loop calls a polling callee WITHOUT ~budget, so
+     the callee's polls are pinned to its defaulted budget and cannot
+     make the caller's loop killable; threaded_budgeted passes ~budget
+     and stays clean.  This pins the Td_count/Brute.iter shape the
+     rule originally surfaced in lib/. *)
+  check_count "R7 count on lib/xmod_entry" "lib/xmod_entry.ml" "R7" 1;
+  message_of "lib/xmod_entry.ml" "R7" "drain_budgeted"
+
+let test_r5_retired () =
+  (* R5's syntactic check is subsumed by R7's reachability analysis;
+     the id no longer parses, but pragmas naming it are pointed at the
+     successor *)
+  Alcotest.(check bool) "R5 is not a live rule id" true
+    (Option.is_none (Diagnostic.rule_of_id "R5"));
+  Alcotest.(check (option string)) "R5 retired in favour of R7"
+    (Some "R7")
+    (Diagnostic.retired_successor "R5");
+  check_count "stale R5 pragma is R0" "pragma_retired.ml" "R0" 1;
+  message_of "pragma_retired.ml" "R0" "R7"
+
+let test_r8_fires () =
+  (* Failure (one call deep) and Not_found (two calls deep) both leak
+     from lookup_budgeted, with the witness chain in the message; the
+     match-exception and Budget.Exhausted-mapping entries stay clean *)
+  check_count "R8 count on lib/bad_outcome_escape" "lib/bad_outcome_escape.ml"
+    "R8" 2;
+  message_of "lib/bad_outcome_escape.ml" "R8" "Failure";
+  message_of "lib/bad_outcome_escape.ml" "R8" "Not_found";
+  message_of "lib/bad_outcome_escape.ml" "R8" "deep_find"
+
+let test_r8_cross_module () =
+  (* Budget.Exhausted raised by the callee's tick_check in
+     xmod_spin.ml escapes both entries in xmod_entry.ml; the witness
+     chain crosses the module boundary *)
+  check_count "R8 count on lib/xmod_entry" "lib/xmod_entry.ml" "R8" 2;
+  message_of "lib/xmod_entry.ml" "R8" "Budget.Exhausted";
+  message_of "lib/xmod_entry.ml" "R8" "xmod_spin.ml"
+
+let test_r9_fires () =
+  (* the per-iteration tuple and closure; the hoisted-closure and
+     pragma-suppressed variants stay clean *)
+  check_count "R9 count on lib/hom/bad_hot_alloc" "lib/hom/bad_hot_alloc.ml"
+    "R9" 2
 
 let test_r6_fires () =
   (* the literal and shifted-literal cutoffs; the small-constant,
@@ -83,7 +157,7 @@ let test_pragmas_suppress () =
   List.iter
     (fun (rc : Engine.rule_count) ->
        match Diagnostic.rule_id rc.rule with
-       | "R1" | "R2" | "R3" | "R5" | "R6" ->
+       | "R1" | "R2" | "R3" | "R6" | "R7" | "R9" ->
          Alcotest.(check bool)
            (Diagnostic.rule_id rc.rule ^ " suppression counted") true
            (rc.suppressions >= 1)
@@ -97,6 +171,16 @@ let test_malformed_pragmas_reported () =
   (* missing rule+reason, unknown rule id, missing reason *)
   check_count "malformed pragmas are R0" "malformed_pragma.ml" "R0" 3
 
+let test_pragma_at_eof () =
+  (* a pragma on the final line of a file with no trailing newline
+     still parses (and, covering nothing, is reported unused) *)
+  check_count "EOF pragma is parsed and unused" "pragma_eof.ml" "R0" 1
+
+let test_pragma_crlf () =
+  (* CRLF line endings: the \r must not be folded into the reason or
+     break pragma parsing *)
+  check_count "CRLF pragma is parsed and unused" "pragma_crlf.ml" "R0" 1
+
 let test_run_reports_failure () =
   let r = Lazy.force result in
   Alcotest.(check bool) "fixture tree has live findings" true
@@ -108,6 +192,43 @@ let test_default_run_skips_fixtures () =
   (* without [include_fixtures], the lint_fixtures tree is pruned *)
   let r = Engine.run ~roots:[ "lint_fixtures" ] () in
   Alcotest.(check int) "no files scanned" 0 r.Engine.files_scanned
+
+let test_json_output_strictly_parseable () =
+  (* the --json report must satisfy the same strict JSON acceptor the
+     Obs trace exporter is held to — findings carry arbitrary message
+     text, so escaping bugs would surface here *)
+  let json = Engine.to_json (Lazy.force result) in
+  Alcotest.(check bool) "lint --json passes the strict acceptor" true
+    (Wlcq_obs.Obs.json_parseable json)
+
+let test_census_parse_and_drift () =
+  let census =
+    Engine.parse_census
+      "| rule | suppressions | what |\n\
+       |------|--------------|------|\n\
+       | R2   | 10           | excused |\n\
+       | R9   | 39           | excused |\n\
+       prose mentioning R7 outside a table is ignored\n"
+  in
+  Alcotest.(check int) "two census rows parsed" 2 (List.length census);
+  let r = Lazy.force result in
+  (* the fixture tree's suppression counts differ from the recorded
+     10/39, so both rows must be reported as drifted... *)
+  let drift = Engine.census_drift ~census r in
+  Alcotest.(check bool) "wrong counts are reported as drift" true
+    (List.exists (fun (rule, recorded, _) ->
+         String.equal (Diagnostic.rule_id rule) "R2" && recorded = 10)
+        drift);
+  (* ...and a census recording the actual counts has none *)
+  let exact =
+    List.filter_map
+      (fun (rc : Engine.rule_count) ->
+         if rc.suppressions > 0 then Some (rc.rule, rc.suppressions)
+         else None)
+      r.Engine.by_rule
+  in
+  Alcotest.(check int) "exact census has no drift" 0
+    (List.length (Engine.census_drift ~census:exact r))
 
 let () =
   Alcotest.run "wlcq_lint"
@@ -122,10 +243,19 @@ let () =
           Alcotest.test_case "R3 allows driver-local parallel DP" `Quick
             test_r3_allows_parallel_dp;
           Alcotest.test_case "R4 hygiene" `Quick test_r4_fires;
-          Alcotest.test_case "R5 budget threading in loops" `Quick
-            test_r5_fires;
           Alcotest.test_case "R6 hard-coded engine thresholds" `Quick
             test_r6_fires;
+          Alcotest.test_case "R7 budget-poll reachability, same file" `Quick
+            test_r7_same_file;
+          Alcotest.test_case "R7 finds the loop across modules" `Quick
+            test_r7_cross_module;
+          Alcotest.test_case "R7 flags the unbudgeted polling call" `Quick
+            test_r7_unbudgeted_call;
+          Alcotest.test_case "R5 retired into R7" `Quick test_r5_retired;
+          Alcotest.test_case "R8 exception containment" `Quick test_r8_fires;
+          Alcotest.test_case "R8 witness chain crosses modules" `Quick
+            test_r8_cross_module;
+          Alcotest.test_case "R9 hot-loop allocation" `Quick test_r9_fires;
         ] );
       ( "pragmas",
         [
@@ -135,6 +265,10 @@ let () =
             test_unused_pragma_reported;
           Alcotest.test_case "malformed pragma reported" `Quick
             test_malformed_pragmas_reported;
+          Alcotest.test_case "pragma at EOF without newline" `Quick
+            test_pragma_at_eof;
+          Alcotest.test_case "pragma under CRLF endings" `Quick
+            test_pragma_crlf;
         ] );
       ( "driver",
         [
@@ -142,5 +276,9 @@ let () =
             test_run_reports_failure;
           Alcotest.test_case "fixtures pruned by default" `Quick
             test_default_run_skips_fixtures;
+          Alcotest.test_case "--json output is strictly parseable" `Quick
+            test_json_output_strictly_parseable;
+          Alcotest.test_case "suppression census parses and drifts" `Quick
+            test_census_parse_and_drift;
         ] );
     ]

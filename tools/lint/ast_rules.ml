@@ -3,10 +3,16 @@ open Parsetree
 (* Facts about one file that the whole-project domain-safety pass (R3)
    consumes after every file has been walked. *)
 type facts = {
+  (* lint: domain-local facts are built per file inside one scan call and
+     only read after the scan returns *)
   mutable spawns : Location.t list;
       (* Domain.spawn occurrences *)
+  (* lint: domain-local facts are built per file inside one scan call and
+     only read after the scan returns *)
   mutable module_refs : string list;
       (* dotted module paths referenced anywhere in the file *)
+  (* lint: domain-local facts are built per file inside one scan call and
+     only read after the scan returns *)
   mutable top_mutable : (Location.t * string) list;
       (* top-level mutable bindings: location + description *)
 }
@@ -125,59 +131,6 @@ let banned_printing parts =
   | [ ("Printf" | "Format"); ("printf" | "eprintf") ] ->
     Some (String.concat "." (strip_stdlib parts))
   | _ -> None
-
-(* ------------------------------------------------------------------ *)
-(* R5: budgeted engines that hot loops must thread a budget into       *)
-(* ------------------------------------------------------------------ *)
-
-(* The curated table of library entry points taking [?budget].  A call
-   to one of these from inside a [for]/[while] loop in lib/ without a
-   [~budget]/[?budget] argument silently pins the callee to
-   [Budget.unlimited], so the caller's deadline never reaches the hot
-   path.  Matching is syntactic on the last one or two path
-   components; bare names are only matched when they are distinctive
-   enough not to collide with unrelated local functions. *)
-let budgeted_pair m f =
-  match (m, f) with
-  | "Brute", ("iter" | "count")
-  | "Inj", "count"
-  | "Td_count", ("count" | "count_many")
-  | "Nice_count", "count_with_nice"
-  | "Cq", ("iter_answers" | "count_answers" | "count_answers_injective")
-  | "Cfi", "build"
-  | "Cloning", "clone"
-  | "Pairs", "twisted_pair"
-  | "Minimize", ("counting_core" | "shrinking_endomorphism" | "shrinking_raw")
-  | ( "Extension",
-      ("extension_width" | "semantic_extension_width"
-      | "minimal_saturating_ell") )
-  | "Wl_dimension", ("lower_bound_witness" | "answers_via_interpolation")
-  | "Hom_profile", ("profile" | "first_difference")
-  | "Kcq", "count_answers"
-  | "Domset", ("count_direct" | "count_via_stars") -> true
-  | _ -> false
-
-let budgeted_bare = function
-  | "iter_answers" | "count_answers" | "count_answers_injective"
-  | "counting_core" | "shrinking_endomorphism" | "extension_width"
-  | "semantic_extension_width" | "minimal_saturating_ell"
-  | "lower_bound_witness" | "answers_via_interpolation" | "twisted_pair"
-  | "count_with_nice" | "first_difference" -> true
-  | _ -> false
-
-let budgeted_engine parts =
-  match List.rev (strip_stdlib parts) with
-  | f :: m :: _ when budgeted_pair m f -> Some (m ^ "." ^ f)
-  | [ f ] when budgeted_bare f -> Some f
-  | _ -> None
-
-let has_budget_label args =
-  List.exists
-    (fun (lbl, _) ->
-       match lbl with
-       | Asttypes.Labelled "budget" | Asttypes.Optional "budget" -> true
-       | _ -> false)
-    args
 
 (* ------------------------------------------------------------------ *)
 (* R6: hard-coded size thresholds in engine hot paths                  *)
@@ -416,25 +369,14 @@ let check ~file ~in_lib ~report (str : structure) =
             'Module.fn: ' prefix (string literal, ^ or sprintf)"
            kind)
   in
-  let in_loop = ref false in
   let expr_hook (self : Ast_iterator.iterator) e =
     (match e.pexp_desc with
      | Pexp_ident { txt; loc } -> handle_ident loc txt
      | Pexp_construct ({ txt; _ }, _) ->
        seen_ref (flatten txt)
      | Pexp_apply
-         ({ pexp_desc = Pexp_ident { txt; loc }; _ }, ((_, a) :: rest as args))
+         ({ pexp_desc = Pexp_ident { txt; loc }; _ }, (_, a) :: rest)
        ->
-       (if in_lib && !in_loop && not (has_budget_label args) then
-          match budgeted_engine (flatten txt) with
-          | Some name ->
-            report R5 loc
-              (Printf.sprintf
-                 "budgeted engine '%s' called in a loop without threading a \
-                  budget: pass ~budget so the caller's deadline reaches this \
-                  hot path"
-                 name)
-          | None -> ());
        (match (strip_stdlib (flatten txt), rest) with
         | [ (("=" | "<>") as eq_op) ], [ (_, b) ] ->
           let operand =
@@ -479,16 +421,7 @@ let check ~file ~in_lib ~report (str : structure) =
            | _ -> ())
         | _ -> ())
      | _ -> ());
-    match e.pexp_desc with
-    | Pexp_for _ | Pexp_while _ ->
-      (* the loop bounds are walked as in-loop too: a budgeted call in
-         a bound expression is close enough to a hot-path call to
-         deserve the same finding *)
-      let saved = !in_loop in
-      in_loop := true;
-      Ast_iterator.default_iterator.expr self e;
-      in_loop := saved
-    | _ -> Ast_iterator.default_iterator.expr self e
+    Ast_iterator.default_iterator.expr self e
   in
   let value_binding_hook (self : Ast_iterator.iterator) vb =
     (* 5.x keeps [let x : t = e] annotations in [pvb_constraint]; the

@@ -1,8 +1,7 @@
 (** Per-file AST rules: R1 (polymorphic compare/hash), R2
     (partial/unsafe functions, error-message convention), the printing
-    half of R4 and R5 (budgeted engines called from lib/ loops without
-    a [~budget] argument), plus fact collection for the whole-project
-    domain-safety pass (R3).
+    half of R4 and R6 (hard-coded engine thresholds), plus fact
+    collection for the whole-project domain-safety pass (R3).
 
     The walk is purely syntactic — no type information.  Known
     false-negative classes (operands of unknown type, unannotated
@@ -10,17 +9,27 @@
 
 (** Facts handed to {!Domain_safety} once every file has been walked. *)
 type facts = {
+  (* lint: domain-local facts are built per file inside one scan call and
+     only read after the scan returns *)
   mutable spawns : Location.t list;
+  (* lint: domain-local facts are built per file inside one scan call and
+     only read after the scan returns *)
   mutable module_refs : string list;
       (** dotted module paths referenced anywhere in the file *)
+  (* lint: domain-local facts are built per file inside one scan call and
+     only read after the scan returns *)
   mutable top_mutable : (Location.t * string) list;
       (** top-level mutable bindings and mutable record fields *)
 }
 
+(** [hot_engine_file ~in_lib file] — is [file] an engine hot path
+    (under [lib/hom], [lib/wl], [lib/core] or [lib/kg], excluding
+    [dispatch.ml])?  Shared by R6 and R9. *)
+val hot_engine_file : in_lib:bool -> string -> bool
+
 (** [check ~file ~in_lib ~report str] walks one parsed implementation,
-    calling [report] for every R1/R2/R4/R5 finding, and returns the
-    file's R3 facts.  [in_lib] enables the lib-only printing ban and
-    the R5 budget-threading rule. *)
+    calling [report] for every R1/R2/R4/R6 finding, and returns the
+    file's R3 facts.  [in_lib] enables the lib-only printing ban. *)
 val check :
   file:string ->
   in_lib:bool ->

@@ -1,0 +1,135 @@
+(* Rule R7: budget-poll reachability.
+
+   Every way the engine can spin for an unbounded number of steps
+   while a deadline is armed — a [for]/[while] loop doing real work,
+   or a recursive call cycle — must reach a [Budget] poll on its
+   iteration path, provided the region is reachable from a
+   [*_budgeted] entry point in [lib/].  A region that never polls is
+   the unkillable part of the engine: [wlcq serve]'s watchdog can trip
+   the budget, but nothing in the region will ever notice.
+
+   Two finding shapes:
+
+   - a syntactic loop with no poll inside and no budget-carrying call
+     to a polling function, when the loop does real work (it nests
+     another loop, or calls something that can itself run unbounded —
+     flat initialisation loops over an array are not findings);
+   - a recursive component (self-recursion or a mutual cycle) none of
+     whose members can reach a poll.
+
+   Poll propagation is budget-aware ([Callgraph.budget_edge]): a
+   cross-file call that does not pass [~budget] pins the callee to its
+   own defaulted budget, so its internal polls do not keep this loop
+   killable — the concern the retired R5 rule expressed as a curated
+   entry-point list. *)
+
+module SS = Set.Make (String)
+
+let fn_display (n : Callgraph.node) =
+  Printf.sprintf "%s (%s)" n.Callgraph.nfn.Summaries.fn_path n.Callgraph.nfile
+
+let entry_display g origin key =
+  match Hashtbl.find_opt origin key with
+  | Some entry_key -> (
+    match Callgraph.find_node g entry_key with
+    | Some e -> fn_display e
+    | None -> "?")
+  | None -> "?"
+
+let check (g : Callgraph.t) ~report =
+  let entries = Callgraph.budgeted_entries g in
+  match entries with
+  | [] -> ()
+  | _ ->
+    let entry_keys = List.map (fun n -> n.Callgraph.key) entries in
+    let origin = Callgraph.reachable g ~entries:entry_keys in
+    let polls = Callgraph.polls_transitive g in
+    let loopy = Callgraph.loopy_transitive g in
+    (* syntactic loops *)
+    List.iter
+      (fun (n : Callgraph.node) ->
+         if n.Callgraph.nin_lib && Hashtbl.mem origin n.Callgraph.key then begin
+           let fn = n.Callgraph.nfn in
+           let edges = Callgraph.out_edges g n.Callgraph.key in
+           List.iteri
+             (fun li (l : Summaries.loop) ->
+                let edges_in_loop =
+                  List.filter
+                    (fun (e : Callgraph.edge) ->
+                       let cl = e.Callgraph.ecall.Summaries.call_loop in
+                       cl >= 0 && Callgraph.loop_within fn ~inner:cl ~outer:li)
+                    edges
+                in
+                let polled =
+                  l.Summaries.loop_poll
+                  || List.exists
+                       (fun e ->
+                          Callgraph.budget_edge g n e
+                          && SS.mem e.Callgraph.etarget polls)
+                       edges_in_loop
+                in
+                let serious =
+                  l.Summaries.nests
+                  || List.exists
+                       (fun e -> SS.mem e.Callgraph.etarget loopy)
+                       edges_in_loop
+                in
+                if serious && not polled then
+                  report
+                    (Diagnostic.of_location ~file:n.Callgraph.nfile
+                       ~rule:Diagnostic.R7 l.Summaries.loop_loc
+                       (Printf.sprintf
+                          "loop in '%s', reachable from budgeted entry %s, \
+                           does unbounded work but never reaches a Budget \
+                           poll: put Budget.tick/tick_check on the iteration \
+                           path (threading ~budget into the calls it makes) \
+                           so a tripped deadline can stop it"
+                          fn.Summaries.fn_path
+                          (entry_display g origin n.Callgraph.key))))
+             fn.Summaries.fn_loops
+         end)
+      g.Callgraph.node_list;
+    (* recursive components *)
+    List.iter
+      (fun comp ->
+         let members =
+           List.filter_map (Callgraph.find_node g) comp
+           |> List.sort (fun (a : Callgraph.node) b ->
+                  match String.compare a.Callgraph.nfile b.Callgraph.nfile with
+                  | 0 ->
+                    String.compare a.Callgraph.nfn.Summaries.fn_path
+                      b.Callgraph.nfn.Summaries.fn_path
+                  | c -> c)
+         in
+         let in_lib =
+           List.exists (fun (n : Callgraph.node) -> n.Callgraph.nin_lib) members
+         in
+         let reached =
+           List.exists
+             (fun (n : Callgraph.node) -> Hashtbl.mem origin n.Callgraph.key)
+             members
+         in
+         let polled =
+           List.exists
+             (fun (n : Callgraph.node) -> SS.mem n.Callgraph.key polls)
+             members
+         in
+         match members with
+         | first :: _ when in_lib && reached && not polled ->
+           let cycle =
+             String.concat ", "
+               (List.map
+                  (fun (n : Callgraph.node) -> n.Callgraph.nfn.Summaries.fn_path)
+                  members)
+           in
+           report
+             (Diagnostic.of_location ~file:first.Callgraph.nfile
+                ~rule:Diagnostic.R7 first.Callgraph.nfn.Summaries.fn_loc
+                (Printf.sprintf
+                   "recursive cycle {%s}, reachable from budgeted entry %s, \
+                    never reaches a Budget poll: add Budget.tick/tick_check \
+                    inside the cycle so a tripped deadline can stop it"
+                   cycle
+                   (entry_display g origin first.Callgraph.key)))
+         | _ -> ())
+      (Callgraph.recursive_components g)

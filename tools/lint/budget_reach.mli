@@ -1,0 +1,5 @@
+(** Rule R7: every loop or recursion cycle reachable from a
+    [*_budgeted] entry point in [lib/] must reach a [Budget] poll on
+    its iteration path.  See DESIGN.md, "Static analysis". *)
+
+val check : Callgraph.t -> report:(Diagnostic.t -> unit) -> unit

@@ -1,0 +1,491 @@
+(* Whole-project call graph over the function summaries.
+
+   Nodes are (file, function-path) pairs from [Summaries]; edges are
+   the call sites whose callee resolves syntactically.  Resolution
+   follows the same conventions as the R3 pass in [Domain_safety]:
+
+   - within the calling function, bare and dotted names resolve
+     through the scope chain ([count.go] sees [count.go.*], [count.*]
+     and the file's top level);
+   - [Wlcq_x.M.f] maps to function [f] of [lib/x/m.ml];
+   - a leading [M] maps to [m.ml] in the caller's own directory, else
+     to the unique [m.ml] in the project;
+   - file-local [module B = ...] aliases are expanded first.
+
+   Anything else is an unknown callee.  Unknown callees are assumed
+   neither to poll nor to raise — the same documented false-negative
+   class as R3's alias blind spot; the curated raising stdlib entry
+   points are already folded into the summaries as direct raise
+   sites, so [Hashtbl.find] & co. are not lost to this assumption.
+
+   On top of the graph: Tarjan SCCs (recursion cycles), a
+   transitive-poll fixpoint (R7), a transitive "can loop forever"
+   fixpoint (R7's noise filter) and a bottom-up may-raise analysis
+   with per-call-site handler filtering and witness chains (R8). *)
+
+module SS = Set.Make (String)
+
+type node = {
+  key : string;  (* file ^ "#" ^ fn_path *)
+  nfile : string;
+  nfn : Summaries.fn;
+  nin_lib : bool;
+}
+
+type edge = { ecall : Summaries.call; etarget : string }
+
+type witness =
+  | W_direct of Summaries.raise_site
+  | W_via of Summaries.call * string  (* call site, callee key *)
+
+type t = {
+  nodes : (string, node) Hashtbl.t;
+  node_list : node list;  (* stable order: files, then definition order *)
+  edges : (string, edge list) Hashtbl.t;
+}
+
+let node_key file fn_path = file ^ "#" ^ fn_path
+
+(* --- file-level naming, as in Domain_safety ----------------------- *)
+
+let dirname path =
+  match String.rindex_opt path '/' with
+  | None -> "."
+  | Some i -> String.sub path 0 i
+
+let module_of_path path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let wrapper_of_dir dir =
+  (* component-based so relative roots (e.g. the bench smoke run
+     linting "../lib") resolve the same wrappers as "lib" itself *)
+  match List.rev (String.split_on_char '/' dir) with
+  | d :: "lib" :: _ -> Some (String.capitalize_ascii ("wlcq_" ^ d))
+  | _ -> None
+
+(* --- construction ------------------------------------------------- *)
+
+let build (sums : Summaries.file_summary list) =
+  let nodes : (string, node) Hashtbl.t = Hashtbl.create 512 in
+  let node_list =
+    List.concat_map
+      (fun (s : Summaries.file_summary) ->
+         List.map
+           (fun (f : Summaries.fn) ->
+              let n =
+                { key = node_key s.sum_file f.Summaries.fn_path;
+                  nfile = s.sum_file; nfn = f; nin_lib = s.sum_in_lib }
+              in
+              (* duplicate paths (shadowed bindings) keep the last
+                 definition, matching OCaml's own shadowing *)
+              Hashtbl.replace nodes n.key n;
+              n)
+           s.sum_fns)
+      sums
+  in
+  let node_list =
+    List.filter
+      (fun n ->
+         match Hashtbl.find_opt nodes n.key with
+         | Some n' -> n' == n
+         | None -> false)
+      node_list
+  in
+  (* file-name indexes *)
+  let by_dir_mod = Hashtbl.create 64 in
+  let by_mod = Hashtbl.create 64 in
+  let dir_of_wrapper = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Summaries.file_summary) ->
+       let dir = dirname s.sum_file in
+       let m = module_of_path s.sum_file in
+       Hashtbl.replace by_dir_mod (dir ^ "#" ^ m) s.sum_file;
+       Hashtbl.add by_mod m s.sum_file;
+       match wrapper_of_dir dir with
+       | Some w -> Hashtbl.replace dir_of_wrapper w dir
+       | None -> ())
+    sums;
+  let unique_mod m =
+    match Hashtbl.find_all by_mod m with [ p ] -> Some p | _ -> None
+  in
+  let fn_in_file file fn_path =
+    let key = node_key file fn_path in
+    if Hashtbl.mem nodes key then Some key else None
+  in
+  let alias_expand (s : Summaries.file_summary) parts =
+    match parts with
+    | head :: rest -> (
+      match
+        List.find_opt (fun (a, _) -> String.equal a head) s.sum_aliases
+      with
+      | Some (_, target) -> target @ rest
+      | None -> parts)
+    | [] -> parts
+  in
+  (* enclosing scopes of a function path, innermost first, ending with
+     the file's top level ("") *)
+  let scopes_of fn_path =
+    let rec up acc p =
+      match String.rindex_opt p '.' with
+      | Some i -> up (String.sub p 0 i :: acc) (String.sub p 0 i)
+      | None -> "" :: acc
+    in
+    List.rev (up [ fn_path ] fn_path)
+  in
+  let resolve (s : Summaries.file_summary) (caller : Summaries.fn) callee =
+    let parts = alias_expand s callee in
+    match parts with
+    | [] -> None
+    | head :: rest -> (
+      let dotted = String.concat "." parts in
+      let in_scope scope =
+        fn_in_file s.sum_file
+          (if String.equal scope "" then dotted else scope ^ "." ^ dotted)
+      in
+      match
+        List.find_map in_scope (scopes_of caller.Summaries.fn_path)
+      with
+      | Some key -> Some key
+      | None -> (
+        let fn_of_rest file =
+          match rest with
+          | [] -> None
+          | _ -> fn_in_file file (String.concat "." rest)
+        in
+        match Hashtbl.find_opt dir_of_wrapper head with
+        | Some dir -> (
+          match rest with
+          | sub :: fnparts -> (
+            match Hashtbl.find_opt by_dir_mod (dir ^ "#" ^ sub) with
+            | Some file when not (List.is_empty fnparts) ->
+              fn_in_file file (String.concat "." fnparts)
+            | _ -> None)
+          | [] -> None)
+        | None -> (
+          match
+            Hashtbl.find_opt by_dir_mod (dirname s.sum_file ^ "#" ^ head)
+          with
+          | Some file -> fn_of_rest file
+          | None -> (
+            match unique_mod head with
+            | Some file -> fn_of_rest file
+            | None -> None))))
+  in
+  let edges = Hashtbl.create 512 in
+  List.iter
+    (fun (s : Summaries.file_summary) ->
+       List.iter
+         (fun (f : Summaries.fn) ->
+            let key = node_key s.sum_file f.Summaries.fn_path in
+            if Hashtbl.mem nodes key then begin
+              let es =
+                List.filter_map
+                  (fun (c : Summaries.call) ->
+                     match resolve s f c.Summaries.callee with
+                     | Some target -> Some { ecall = c; etarget = target }
+                     | None -> None)
+                  f.Summaries.fn_calls
+              in
+              Hashtbl.replace edges key es
+            end)
+         s.sum_fns)
+    sums;
+  { nodes; node_list; edges }
+
+let out_edges g key = Option.value ~default:[] (Hashtbl.find_opt g.edges key)
+let find_node g key = Hashtbl.find_opt g.nodes key
+
+(* --- loop containment helper -------------------------------------- *)
+
+(* Is loop index [inner] equal to or nested (transitively) inside
+   [outer] within [fn]? *)
+let loop_within (fn : Summaries.fn) ~inner ~outer =
+  let rec up i =
+    i >= 0
+    && (i = outer
+        ||
+        match List.nth_opt fn.Summaries.fn_loops i with
+        | Some l -> up l.Summaries.enclosing
+        | None -> false)
+  in
+  up inner
+
+(* --- Tarjan strongly connected components -------------------------- *)
+
+let sccs g =
+  let index = Hashtbl.create 256 in
+  let lowlink = Hashtbl.create 256 in
+  let on_stack = Hashtbl.create 256 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun e ->
+         let w = e.etarget in
+         if not (Hashtbl.mem index w) then begin
+           strongconnect w;
+           Hashtbl.replace lowlink v
+             (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+         end
+         else if Hashtbl.mem on_stack w then
+           Hashtbl.replace lowlink v
+             (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (out_edges g v);
+    if Int.equal (Hashtbl.find lowlink v) (Hashtbl.find index v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          if String.equal w v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      out := pop [] :: !out
+    end
+  in
+  List.iter
+    (fun n -> if not (Hashtbl.mem index n.key) then strongconnect n.key)
+    g.node_list;
+  !out
+
+(* A cycle in the graph: an SCC of size > 1, or a single node with a
+   self edge (direct recursion). *)
+let recursive_components g =
+  List.filter
+    (fun comp ->
+       match comp with
+       | [ v ] -> List.exists (fun e -> String.equal e.etarget v) (out_edges g v)
+       | _ :: _ :: _ -> true
+       | [] -> false)
+    (sccs g)
+
+(* --- transitive fixpoints ------------------------------------------ *)
+
+(* Generic: the least set containing [base] and closed under "has an
+   edge into the set". *)
+let backward_fixpoint g base =
+  let set = ref base in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun n ->
+         if
+           (not (SS.mem n.key !set))
+           && List.exists (fun e -> SS.mem e.etarget !set) (out_edges g n.key)
+         then begin
+           set := SS.add n.key !set;
+           changed := true
+         end)
+      g.node_list
+  done;
+  !set
+
+(* Budgets are passed explicitly in this codebase, not ambient: a
+   callee that polls its own (defaulted, unlimited) budget does not
+   make the caller's loop killable.  A call therefore propagates
+   polling only when the budget plausibly flows into it: the callee
+   lives in the same file (local helpers capture the budget or the
+   fuel counter lexically) or the call passes a [~budget]/[?budget]
+   argument.  This is exactly the retired R5 rule's concern, decided
+   by reachability instead of a curated entry-point list. *)
+let budget_edge g n e =
+  (match find_node g e.etarget with
+   | Some t -> String.equal t.nfile n.nfile
+   | None -> false)
+  || List.exists (String.equal "budget") e.ecall.Summaries.labels
+
+(* Nodes from which a Budget poll is reachable through budget-carrying
+   calls. *)
+let polls_transitive g =
+  let set =
+    ref
+      (List.fold_left
+         (fun acc n ->
+            if n.nfn.Summaries.fn_polls then SS.add n.key acc else acc)
+         SS.empty g.node_list)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun n ->
+         if
+           (not (SS.mem n.key !set))
+           && List.exists
+                (fun e -> budget_edge g n e && SS.mem e.etarget !set)
+                (out_edges g n.key)
+         then begin
+           set := SS.add n.key !set;
+           changed := true
+         end)
+      g.node_list
+  done;
+  !set
+
+(* Nodes whose call can run for an unbounded number of steps: they
+   contain a for/while loop, sit on a recursion cycle, or call such a
+   node.  R7 uses this to separate loops that do real work from flat
+   initialisation loops. *)
+let loopy_transitive g =
+  let in_cycle =
+    List.fold_left
+      (fun acc comp -> List.fold_left (fun a v -> SS.add v a) acc comp)
+      SS.empty (recursive_components g)
+  in
+  let base =
+    List.fold_left
+      (fun acc n ->
+         if
+           (not (List.is_empty n.nfn.Summaries.fn_loops))
+           || SS.mem n.key in_cycle
+         then SS.add n.key acc
+         else acc)
+      SS.empty g.node_list
+  in
+  backward_fixpoint g base
+
+(* --- reachability --------------------------------------------------- *)
+
+(* Multi-source forward closure; [origin] remembers which entry first
+   reached each node, for diagnostics.
+
+   The closure stops at the polling frontier: a budget-carrying call
+   ([budget_edge]) into a function that polls directly is not
+   traversed — the callee polls the budget that flows into it, so the
+   work beneath that call runs between polls of the right budget and
+   its internal poll placement is that function's own concern (checked
+   when it is reachable without crossing a poll).  A cross-file call
+   with no [~budget] still traverses: whatever the callee polls is not
+   the entry's budget.  Residual blind spot, documented in DESIGN.md:
+   a non-terminating callee *between* two polls of a trusted polling
+   function is not flagged. *)
+let reachable g ~entries =
+  let origin = Hashtbl.create 256 in
+  let polled_budget_edge n e =
+    budget_edge g n e
+    &&
+    match find_node g e.etarget with
+    | Some t -> t.nfn.Summaries.fn_polls
+    | None -> false
+  in
+  let rec bfs = function
+    | [] -> ()
+    | (key, from) :: todo ->
+      if Hashtbl.mem origin key then bfs todo
+      else begin
+        Hashtbl.replace origin key from;
+        let next =
+          match find_node g key with
+          | None -> []
+          | Some n ->
+            List.filter (fun e -> not (polled_budget_edge n e))
+              (out_edges g key)
+        in
+        bfs
+          (List.fold_left (fun acc e -> (e.etarget, from) :: acc) todo next)
+      end
+  in
+  bfs (List.map (fun e -> (e, e)) entries);
+  origin
+
+(* --- may-raise ------------------------------------------------------ *)
+
+(* Bottom-up per-function escape sets: exception classes that can
+   escape each function, with one witness per class for messages.
+   Handler context filters at both the raise site and every call site
+   the exception unwinds through. *)
+let may_raise g =
+  let escapes : (string, (Summaries.exn_class * witness) list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let get key = Option.value ~default:[] (Hashtbl.find_opt escapes key) in
+  let known key c =
+    List.exists (fun (c', _) -> Summaries.exn_class_equal c c') (get key)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun n ->
+         let add c w =
+           if not (known n.key c) then begin
+             Hashtbl.replace escapes n.key ((c, w) :: get n.key);
+             changed := true
+           end
+         in
+         List.iter
+           (fun (r : Summaries.raise_site) ->
+              if not (Summaries.caught r.Summaries.raise_handlers r.Summaries.exn)
+              then add r.Summaries.exn (W_direct r))
+           n.nfn.Summaries.fn_raises;
+         List.iter
+           (fun e ->
+              List.iter
+                (fun (c, _) ->
+                   if
+                     not
+                       (Summaries.caught e.ecall.Summaries.call_handlers c)
+                   then add c (W_via (e.ecall, e.etarget)))
+                (get e.etarget))
+           (out_edges g n.key))
+      g.node_list
+  done;
+  fun key -> get key
+
+(* Render the raise chain behind [cls] escaping [key], outermost call
+   first, e.g.
+   "via count_flat (lib/hom/hom_count.ml:42) raised by failwith
+    (lib/hom/brute.ml:17)". *)
+let witness_chain g escapes key cls =
+  let b = Buffer.create 128 in
+  let rec go key guard =
+    if SS.mem key guard then Buffer.add_string b " ... (recursive)"
+    else
+      match
+        List.find_opt
+          (fun (c, _) -> Summaries.exn_class_equal c cls)
+          (escapes key)
+      with
+      | None -> ()
+      | Some (_, W_direct r) ->
+        Buffer.add_string b
+          (Printf.sprintf "raised by %s (%s:%d)" r.Summaries.via
+             (match find_node g key with Some n -> n.nfile | None -> "?")
+             r.Summaries.raise_loc.Location.loc_start.Lexing.pos_lnum)
+      | Some (_, W_via (call, target)) ->
+        (match find_node g target with
+         | Some t ->
+           Buffer.add_string b
+             (Printf.sprintf "via %s (%s:%d) " t.nfn.Summaries.fn_path
+                (match find_node g key with Some n -> n.nfile | None -> "?")
+                call.Summaries.call_loc.Location.loc_start.Lexing.pos_lnum)
+         | None -> ());
+        go target (SS.add key guard)
+  in
+  go key SS.empty;
+  Buffer.contents b
+
+(* --- entry points --------------------------------------------------- *)
+
+let last_component path =
+  match String.rindex_opt path '.' with
+  | None -> path
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+
+let is_budgeted_name name =
+  let suffix = "_budgeted" in
+  let nl = String.length name and sl = String.length suffix in
+  nl >= sl && String.equal (String.sub name (nl - sl) sl) suffix
+
+(* The contract entry points: [*_budgeted] functions in [lib/]. *)
+let budgeted_entries g =
+  List.filter
+    (fun n -> n.nin_lib && is_budgeted_name (last_component n.nfn.Summaries.fn_path))
+    g.node_list

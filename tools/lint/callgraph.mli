@@ -1,0 +1,86 @@
+(** Whole-project call graph over {!Summaries}, with the fixpoints the
+    interprocedural rules consume.
+
+    Resolution is syntactic and follows the R3 conventions: scope
+    chain within the file, [Wlcq_x.M.f] to [lib/x/m.ml], bare [M.f] to
+    the caller's directory else the unique [m.ml] project-wide, with
+    file-local module aliases expanded.  Unknown callees are assumed
+    neither to poll nor to raise — a documented false-negative class;
+    the curated raising stdlib entry points are already folded into
+    the summaries as direct raise sites. *)
+
+type node = {
+  key : string;  (** [file ^ "#" ^ fn_path] *)
+  nfile : string;
+  nfn : Summaries.fn;
+  nin_lib : bool;
+}
+
+type edge = { ecall : Summaries.call; etarget : string }
+
+type witness =
+  | W_direct of Summaries.raise_site
+  | W_via of Summaries.call * string  (** call site, callee key *)
+
+type t = {
+  nodes : (string, node) Hashtbl.t;
+  node_list : node list;  (** stable order: files, then definition order *)
+  edges : (string, edge list) Hashtbl.t;
+}
+
+val node_key : string -> string -> string
+val build : Summaries.file_summary list -> t
+val out_edges : t -> string -> edge list
+val find_node : t -> string -> node option
+
+(** [loop_within fn ~inner ~outer] — is loop index [inner] equal to or
+    (transitively) nested inside [outer]? *)
+val loop_within : Summaries.fn -> inner:int -> outer:int -> bool
+
+(** Strongly connected components (Tarjan), as lists of node keys. *)
+val sccs : t -> string list list
+
+(** The components that are actual cycles: size > 1, or a single node
+    with a self edge (direct recursion). *)
+val recursive_components : t -> string list list
+
+(** [budget_edge g n e] — does the budget plausibly flow through call
+    [e] out of [n] (same-file callee, or a [~budget]/[?budget]
+    argument at the call site)? *)
+val budget_edge : t -> node -> edge -> bool
+
+(** Node keys from which a [Budget] poll is reachable through
+    budget-carrying calls ({!budget_edge}). *)
+val polls_transitive : t -> Set.Make(String).t
+
+(** Node keys whose call can run an unbounded number of steps: they
+    contain a [for]/[while] loop, sit on a recursion cycle, or call
+    such a node. *)
+val loopy_transitive : t -> Set.Make(String).t
+
+(** [reachable g ~entries] — forward closure from [entries]; maps each
+    reached key to the entry that first reached it.  Traversal stops at
+    the polling frontier: a budget-carrying call into a function that
+    polls directly is not followed (the callee demonstrably polls the
+    budget that flows into it). *)
+val reachable : t -> entries:string list -> (string, string) Hashtbl.t
+
+(** [may_raise g] — per-function escape sets: the classes that can
+    escape each function, computed bottom-up with per-call-site
+    handler filtering.  The returned function is a total lookup. *)
+val may_raise : t -> string -> (Summaries.exn_class * witness) list
+
+(** [witness_chain g escapes key cls] renders the call/raise chain
+    behind [cls] escaping [key], for diagnostics. *)
+val witness_chain :
+  t ->
+  (string -> (Summaries.exn_class * witness) list) ->
+  string ->
+  Summaries.exn_class ->
+  string
+
+val last_component : string -> string
+val is_budgeted_name : string -> bool
+
+(** The contract entry points: [*_budgeted] functions in [lib/]. *)
+val budgeted_entries : t -> node list

@@ -1,4 +1,4 @@
-type rule = R0 | R1 | R2 | R3 | R4 | R5 | R6
+type rule = R0 | R1 | R2 | R3 | R4 | R6 | R7 | R8 | R9
 
 let rule_id = function
   | R0 -> "R0"
@@ -6,8 +6,10 @@ let rule_id = function
   | R2 -> "R2"
   | R3 -> "R3"
   | R4 -> "R4"
-  | R5 -> "R5"
   | R6 -> "R6"
+  | R7 -> "R7"
+  | R8 -> "R8"
+  | R9 -> "R9"
 
 let rule_of_id = function
   | "R0" -> Some R0
@@ -15,9 +17,19 @@ let rule_of_id = function
   | "R2" -> Some R2
   | "R3" -> Some R3
   | "R4" -> Some R4
-  | "R5" -> Some R5
   | "R6" -> Some R6
+  | "R7" -> Some R7
+  | "R8" -> Some R8
+  | "R9" -> Some R9
   | _ -> None
+
+(* Rules that once existed and were replaced: naming one in a pragma is
+   an R0 finding pointing at the successor, not a silent no-op. *)
+let retired_rules = [ ("R5", "R7") ]
+
+let retired_successor id =
+  List.find_opt (fun (r, _) -> String.equal r id) retired_rules
+  |> Option.map snd
 
 let rule_summary = function
   | R0 -> "lint integrity (parse errors, malformed or unused pragmas)"
@@ -25,10 +37,12 @@ let rule_summary = function
   | R2 -> "partial/unsafe functions and error-message convention"
   | R3 -> "top-level mutable state visible to Domain.spawn code"
   | R4 -> "hygiene (missing .mli, printing from lib/)"
-  | R5 -> "budgeted engine called in a lib/ loop without threading a budget"
   | R6 -> "hard-coded size threshold in an engine hot path (use Wlcq_dispatch)"
+  | R7 -> "loop or recursion reachable from a *_budgeted entry without a budget poll"
+  | R8 -> "exception escaping a *_budgeted entry instead of an Outcome"
+  | R9 -> "per-iteration allocation in an engine hot loop"
 
-let all_rules = [ R0; R1; R2; R3; R4; R5; R6 ]
+let all_rules = [ R0; R1; R2; R3; R4; R6; R7; R8; R9 ]
 
 type t = { file : string; line : int; col : int; rule : rule; message : string }
 
@@ -52,3 +66,31 @@ let compare d1 d2 =
 
 let to_string d =
   Printf.sprintf "%s:%d:%d %s %s" d.file d.line d.col (rule_id d.rule) d.message
+
+(* JSON rendering for `wlcq_lint --json`, mirroring the escaping rules
+   of the Obs trace exporter (whose strict acceptor gates the output in
+   the tests). *)
+let json_escape buf s =
+  String.iter
+    (fun ch ->
+       match ch with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s
+
+let add_json buf ~suppressed d =
+  Buffer.add_string buf "{\"file\":\"";
+  json_escape buf d.file;
+  Buffer.add_string buf (Printf.sprintf "\",\"line\":%d,\"col\":%d" d.line d.col);
+  Buffer.add_string buf ",\"rule\":\"";
+  Buffer.add_string buf (rule_id d.rule);
+  Buffer.add_string buf "\",\"message\":\"";
+  json_escape buf d.message;
+  Buffer.add_string buf
+    (if suppressed then "\",\"suppressed\":true}" else "\",\"suppressed\":false}")

@@ -46,8 +46,10 @@ let make_info path facts =
 (* "lib/wl" -> "Wlcq_wl"; the repo convention maps each lib dir to a
    dune library named wlcq_<dir>. *)
 let wrapper_of_dir dir =
-  match String.split_on_char '/' dir with
-  | [ "lib"; d ] -> Some (String.capitalize_ascii ("wlcq_" ^ d))
+  (* component-based so relative roots (e.g. the bench smoke run
+     linting "../lib") resolve the same wrappers as "lib" itself *)
+  match List.rev (String.split_on_char '/' dir) with
+  | d :: "lib" :: _ -> Some (String.capitalize_ascii ("wlcq_" ^ d))
   | _ -> None
 
 let resolve infos =
@@ -139,7 +141,9 @@ let check infos ~report =
   let spawners =
     List.fold_left
       (fun acc fi ->
-         if fi.facts.Ast_rules.spawns <> [] then SS.add fi.path acc else acc)
+         match fi.facts.Ast_rules.spawns with
+         | [] -> acc
+         | _ :: _ -> SS.add fi.path acc)
       SS.empty infos
   in
   if SS.is_empty spawners then ()

@@ -1,12 +1,19 @@
-(** The lint driver: walks source roots, runs the per-file AST rules
-    and the whole-project domain-safety pass, applies allow pragmas,
-    and aggregates per-rule counts. *)
+(** The lint driver: walks source roots, runs the per-file rules on a
+    domain pool (the parse itself is serialised — compiler-libs keeps
+    lexer state in globals), then the whole-project passes (R3 domain
+    safety, the R7/R8 call-graph rules), applies allow pragmas, and
+    aggregates per-rule counts. *)
 
 type rule_count = { rule : Diagnostic.rule; findings : int; suppressions : int }
 
 type result = {
   files_scanned : int;
   findings : Diagnostic.t list;  (** active findings, sorted by position *)
+  suppressed : Diagnostic.t list;
+      (** findings covered by an allow pragma, sorted by position *)
+  reasonless : Diagnostic.t list;
+      (** R0 diagnostics for pragmas with no recorded reason — reported
+          only under [--strict] / the [@lint-strict] alias *)
   by_rule : rule_count list;
   total_suppressions : int;  (** pragmas that suppressed a finding *)
 }
@@ -16,3 +23,22 @@ type result = {
     and [lint_fixtures] are pruned unless [include_fixtures] is
     set). *)
 val run : ?include_fixtures:bool -> roots:string list -> unit -> result
+
+(** One JSON object for the whole run:
+    [{"files_scanned":…,"diagnostics":[{…,"suppressed":bool},…],
+      "total_findings":…,"total_suppressions":…}] — same string
+    escaping as the Obs trace exporter. *)
+val to_json : result -> string
+
+(** [parse_census text] extracts the per-rule suppression census from
+    DESIGN.md: every markdown table row whose first cell is a rule id
+    and second cell an integer, as [(rule, recorded_count)] pairs. *)
+val parse_census : string -> (Diagnostic.rule * int) list
+
+(** [census_drift ~census result] compares the recorded census against
+    the live per-rule suppression counts: [(rule, recorded, actual)]
+    for every rule that drifted.  Empty means the census is current. *)
+val census_drift :
+  census:(Diagnostic.rule * int) list ->
+  result ->
+  (Diagnostic.rule * int * int) list

@@ -1,0 +1,46 @@
+(* Rule R8: Outcome exception containment.
+
+   A [*_budgeted] entry point is the engine's contracted boundary: it
+   returns an [Outcome.t] ([`Exact] / [`Degraded] / [`Exhausted]) and
+   must not let exceptions escape to the caller — not
+   [Budget.Exhausted] (to be caught and mapped to [`Exhausted]), and
+   not [Failure]/[Invalid_argument]/[Not_found] from partial functions
+   or validation raises buried several calls deep.
+
+   The may-raise analysis ([Callgraph.may_raise]) propagates exception
+   classes bottom-up through resolved calls, filtered at every
+   [try]/[match ... with exception] the value unwinds through, and
+   keeps one witness chain per class.  Each class that survives to a
+   budgeted entry is one finding, reported at the entry's definition
+   with the chain in the message.
+
+   Known false negatives (documented in DESIGN.md): unknown callees
+   are assumed not to raise (the curated raising stdlib entry points
+   are folded in as direct raise sites), and a [Fun.protect]-style
+   re-raise of a bound exception value is treated as pass-through. *)
+
+let check (g : Callgraph.t) ~report =
+  let escapes = Callgraph.may_raise g in
+  List.iter
+    (fun (entry : Callgraph.node) ->
+       let classes =
+         escapes entry.Callgraph.key
+         |> List.map fst
+         |> List.sort_uniq (fun a b ->
+                String.compare (Summaries.exn_class_name a)
+                  (Summaries.exn_class_name b))
+       in
+       List.iter
+         (fun cls ->
+            report
+              (Diagnostic.of_location ~file:entry.Callgraph.nfile
+                 ~rule:Diagnostic.R8 entry.Callgraph.nfn.Summaries.fn_loc
+                 (Printf.sprintf
+                    "exception %s can escape budgeted entry '%s' (%s): catch \
+                     it at the entry and return an Outcome (`Degraded or \
+                     `Exhausted) instead"
+                    (Summaries.exn_class_name cls)
+                    entry.Callgraph.nfn.Summaries.fn_path
+                    (Callgraph.witness_chain g escapes entry.Callgraph.key cls))))
+         classes)
+    (Callgraph.budgeted_entries g)

@@ -1,0 +1,5 @@
+(** Rule R8: no exception may escape a [*_budgeted] entry point in
+    [lib/] — the entry catches and maps to an [Outcome.t].  See
+    DESIGN.md, "Static analysis". *)
+
+val check : Callgraph.t -> report:(Diagnostic.t -> unit) -> unit

@@ -3,36 +3,43 @@
     Grammar (inside an ordinary comment):
     - [lint: allow RULE reason...] — suppress findings of [RULE] on
       every line the comment spans and the line immediately below;
-    - [lint: domain-local reason...] — shorthand for allowing R3.
+    - [lint: domain-local reason...] — shorthand for allowing R3;
+    - [lint: hot-alloc reason...] — shorthand for allowing R9 (the
+      reason is optional here, but [--strict] reports the bare form).
 
-    Reasons are mandatory: a suppression without a recorded
+    Reasons are otherwise mandatory: a suppression without a recorded
     justification is itself reported (rule R0), as is any comment
-    starting with [lint:] that does not parse. *)
+    starting with [lint:] that does not parse, and any pragma naming a
+    retired rule id (e.g. R5, subsumed by R7).
+
+    Comment extraction is a self-contained scanner (no compiler-libs
+    [Lexer] global state), so per-file scans can run concurrently on a
+    domain pool; it understands nested comments, string/char literals,
+    CRLF line endings and a final line without a trailing newline. *)
 
 type pragma = {
   rule : Diagnostic.rule;
   line : int;  (* first line of the comment *)
   last_line : int;  (* last line of the comment *)
-  reason : string;
-  mutable used : bool;
+  reason : string;  (* "" only for the reason-optional [hot-alloc] form *)
 }
 
 type t = { pragmas : pragma list; malformed : Diagnostic.t list }
 
-(** [scan ~file source] lexes [source] and extracts pragmas from its
-    comments.  Uses the global compiler-libs lexer state; not
-    re-entrant. *)
+(** [scan ~file source] extracts pragmas from the comments of
+    [source].  Pure; safe to call from several domains at once. *)
 val scan : file:string -> string -> t
 
-(** [suppresses t d] tests whether a pragma covers finding [d] (same
-    rule, [d] within the comment's line span or on the line just below
-    it) and marks the first matching pragma used. *)
-val suppresses : t -> Diagnostic.t -> bool
+(** [find_suppressor t d] is the first pragma covering finding [d]
+    (same rule, [d] within the comment's line span or on the line just
+    below it), if any.  The caller accumulates the returned pragmas to
+    feed {!unused}. *)
+val find_suppressor : t -> Diagnostic.t -> pragma option
 
-(** Unused pragmas as R0 findings (the [file] field is left empty for
+(** [unused t ~used] is the pragmas of [t] not in [used] (physical
+    membership), as R0 findings (the [file] field is left empty for
     the caller to fill). *)
-val unused : t -> Diagnostic.t list
+val unused : t -> used:pragma list -> Diagnostic.t list
 
-(** Rules of pragmas that suppressed at least one finding, one entry
-    per pragma — the per-file suppression census behind [--stats]. *)
-val used_by_rule : t -> Diagnostic.rule list
+(** Pragmas whose reason is empty — reported by [--strict]. *)
+val reasonless : t -> pragma list

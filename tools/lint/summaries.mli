@@ -1,0 +1,79 @@
+(** Per-file, per-function summaries feeding the interprocedural rules.
+
+    [scan] walks one parsed structure and produces a summary of every
+    function binding it contains: the calls it makes (with labelled
+    arguments and the syntactic handler/loop context of each site), the
+    exceptions it can raise directly, its [for]/[while] loops and
+    whether it polls a [Budget].  [Callgraph] links the summaries of
+    all files into a project-wide graph for rules R7 and R8.
+
+    The walk also reports rule R9 (per-iteration allocation in engine
+    hot loops) when [hot] is set, because it is the only pass with
+    loop context. *)
+
+type exn_class =
+  | Exhausted  (** [Budget.Exhausted] — the sanctioned cooperative unwind *)
+  | Failure_
+  | Invalid_argument_
+  | Not_found_
+  | Other of string  (** any other constructor, by name *)
+
+val exn_class_name : exn_class -> string
+val exn_class_equal : exn_class -> exn_class -> bool
+
+type handler = Catch_all | Catch of exn_class list
+
+(** [caught hs c] — does the handler stack [hs] mask class [c]? *)
+val caught : handler list -> exn_class -> bool
+
+type call = {
+  callee : string list;  (** dotted path components, [Stdlib] stripped *)
+  labels : string list;  (** labelled/optional argument names supplied *)
+  call_loc : Location.t;
+  call_loop : int;  (** innermost enclosing loop index, -1 at top level *)
+  call_handlers : handler list;  (** innermost first *)
+}
+
+type raise_site = {
+  exn : exn_class;
+  via : string;  (** human-readable raiser, e.g. ["failwith"] *)
+  raise_loc : Location.t;
+  raise_handlers : handler list;
+}
+
+type loop = {
+  loop_loc : Location.t;
+  enclosing : int;  (** index of the enclosing loop, -1 *)
+  mutable nests : bool;  (** contains another [for]/[while] loop *)
+  mutable loop_poll : bool;  (** a [Budget] poll appears inside *)
+}
+
+type fn = {
+  fn_path : string;  (** dotted path within the file, e.g. ["M.count.go"] *)
+  fn_loc : Location.t;
+  fn_rec : bool;  (** bound with [let rec] *)
+  mutable fn_polls : bool;  (** body contains a direct [Budget] poll *)
+  mutable fn_calls : call list;
+  mutable fn_raises : raise_site list;
+  mutable fn_loops : loop list;
+      (** in definition order; indexed by [call_loop]/[enclosing] *)
+}
+
+type file_summary = {
+  sum_file : string;
+  sum_in_lib : bool;
+  sum_fns : fn list;
+  sum_aliases : (string * string list) list;
+      (** module aliases: [module B = Wlcq_robust.Budget] *)
+}
+
+(** [scan ~file ~in_lib ~hot ~report str] summarises [str].  When [hot]
+    (the file is an engine hot path per R6's definition), R9 findings
+    are emitted through [report]. *)
+val scan :
+  file:string ->
+  in_lib:bool ->
+  hot:bool ->
+  report:(Diagnostic.t -> unit) ->
+  Parsetree.structure ->
+  file_summary

@@ -1,6 +1,7 @@
 (* wlcq-lint: static correctness invariants for the wlcq tree.
 
-   Usage: wlcq_lint.exe [--stats] [--include-fixtures] [ROOT...]
+   Usage: wlcq_lint.exe [--stats] [--json] [--strict]
+                        [--census FILE] [--include-fixtures] [ROOT...]
 
    Rules (see DESIGN.md, "Static analysis"):
    - R1  no polymorphic =/<>/compare/Hashtbl.hash on structured values
@@ -8,40 +9,72 @@
          'Module.fn: detail'
    - R3  no unaudited top-level mutable state visible to Domain.spawn
    - R4  every lib/ module has a .mli; no printing from lib/
-   - R5  budgeted engines called from lib/ loops must thread a budget
    - R6  no hard-coded size thresholds in engine hot paths: cutoffs
          live in Wlcq_dispatch's calibration table
+   - R7  every loop/recursion cycle reachable from a *_budgeted entry
+         reaches a Budget poll (interprocedural; subsumes retired R5)
+   - R8  no exception escapes a *_budgeted entry: catch and return an
+         Outcome (interprocedural)
+   - R9  no per-iteration allocation in engine hot loops
+
+   [--strict] additionally fails on suppressions with no recorded
+   reason.  [--json] prints one machine-readable JSON object instead
+   of one line per finding.  [--census FILE] additionally fails when
+   the per-rule suppression counts drift from the census table
+   recorded in FILE (DESIGN.md): adding or removing a pragma must
+   update the census in the same change.
 
    Exit status: 0 when clean, 1 when any finding survives the in-source
-   allow pragmas, 2 on usage errors. *)
+   allow pragmas (or, under --strict, any reasonless suppression
+   exists), 2 on usage errors. *)
 
 open Lint_engine
 
-let default_roots = [ "lib"; "bin"; "bench"; "test" ]
+let default_roots = [ "lib"; "bin"; "bench"; "test"; "tools" ]
 
 let usage () =
   prerr_endline
-    "usage: wlcq_lint [--stats] [--include-fixtures] [ROOT...]\n\
-     default roots: lib bin bench test";
+    "usage: wlcq_lint [--stats] [--json] [--strict] [--census FILE] \
+     [--include-fixtures] [ROOT...]\n\
+     default roots: lib bin bench test tools";
   exit 2
 
 let () =
   let stats = ref false in
+  let json = ref false in
+  let strict = ref false in
   let include_fixtures = ref false in
+  let census_file = ref None in
+  let expect_census = ref false in
   let roots = ref [] in
   Array.iteri
     (fun i arg ->
        if i > 0 then
-         match arg with
-         | "--stats" -> stats := true
-         | "--include-fixtures" -> include_fixtures := true
-         | "--help" | "-help" -> usage ()
-         | _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
-         | root -> roots := root :: !roots)
+         if !expect_census then begin
+           census_file := Some arg;
+           expect_census := false
+         end
+         else
+           match arg with
+           | "--stats" -> stats := true
+           | "--json" -> json := true
+           | "--strict" -> strict := true
+           | "--census" -> expect_census := true
+           | "--include-fixtures" -> include_fixtures := true
+           | "--help" | "-help" -> usage ()
+           | _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
+           | root -> roots := root :: !roots)
     Sys.argv;
-  let roots = if !roots = [] then default_roots else List.rev !roots in
+  if !expect_census then usage ();
+  let roots =
+    match !roots with [] -> default_roots | rs -> List.rev rs
+  in
   let result = Engine.run ~include_fixtures:!include_fixtures ~roots () in
-  if !stats then begin
+  let strict_failures =
+    match !strict with true -> result.Engine.reasonless | false -> []
+  in
+  if !json then print_endline (Engine.to_json result)
+  else if !stats then begin
     Printf.printf "wlcq-lint --stats (files scanned: %d)\n"
       result.Engine.files_scanned;
     Printf.printf "%-4s %9s %12s  %s\n" "rule" "findings" "suppressions"
@@ -55,8 +88,37 @@ let () =
     Printf.printf "total-suppressions: %d\n" result.Engine.total_suppressions;
     Printf.printf "total-findings: %d\n" (List.length result.Engine.findings)
   end
-  else
+  else begin
     List.iter
       (fun d -> print_endline (Diagnostic.to_string d))
       result.Engine.findings;
-  if result.Engine.findings <> [] then exit 1
+    List.iter
+      (fun d -> print_endline (Diagnostic.to_string d))
+      strict_failures
+  end;
+  let census_drift =
+    match !census_file with
+    | None -> []
+    | Some file ->
+      let text =
+        match In_channel.with_open_text file In_channel.input_all with
+        | text -> text
+        | exception Sys_error msg ->
+          Printf.eprintf "wlcq-lint: cannot read census file: %s\n" msg;
+          exit 2
+      in
+      Engine.census_drift ~census:(Engine.parse_census text) result
+  in
+  List.iter
+    (fun (rule, recorded, actual) ->
+       Printf.eprintf
+         "wlcq-lint: suppression census drift for %s: DESIGN.md records %d, \
+          the tree has %d — update the census table in the same change\n"
+         (Diagnostic.rule_id rule) recorded actual)
+    census_drift;
+  let failed =
+    not (List.is_empty result.Engine.findings)
+    || not (List.is_empty strict_failures)
+    || not (List.is_empty census_drift)
+  in
+  if failed then exit 1
