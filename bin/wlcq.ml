@@ -61,26 +61,56 @@ let guarded f =
 (* ------------------------------------------------------------------ *)
 
 module Obs = Wlcq_obs.Obs
+module Snapshot = Wlcq_obs.Snapshot
 module Dispatch = Wlcq_dispatch.Dispatch
 
 (* Reporting runs from [at_exit] so the subcommands' own [exit] calls
-   (success/failure encodings) still flush metrics and traces. *)
-let obs_setup engine metrics trace =
+   (success/failure encodings, including the malformed-input exit 2 and
+   the degraded exit 3) still flush metrics, snapshots, traces and the
+   flight-recorder journal. *)
+let obs_setup engine metrics trace metrics_out folded journal =
   (match Dispatch.engine_of_string engine with
   | Ok e -> Dispatch.set_engine e
   | Error msg -> fail_malformed msg);
-  if metrics || Option.is_some trace then begin
+  if
+    metrics || Option.is_some metrics_out || Option.is_some trace
+    || Option.is_some folded
+  then begin
     Obs.set_enabled true;
     if Option.is_some trace then Obs.set_tracing true;
+    (* span allocation attribution rides along whenever the folded
+       profile was requested: it is the exporter that consumes it *)
+    if Option.is_some folded then Obs.set_alloc_profiling true;
     at_exit (fun () ->
         if metrics then prerr_string (Obs.metrics_table ());
+        (match metrics_out with
+         | None -> ()
+         | Some file ->
+           let oc = open_out file in
+           output_string oc (Snapshot.render (Snapshot.capture ()));
+           close_out oc);
+        (match folded with
+         | None -> ()
+         | Some file ->
+           let oc = open_out file in
+           output_string oc (Obs.folded ());
+           close_out oc);
         match trace with
         | None -> ()
         | Some file ->
           let oc = open_out file in
           output_string oc (Obs.trace_json ());
           close_out oc)
-  end
+  end;
+  match journal with
+  | None -> ()
+  | Some file ->
+    Obs.set_journal true;
+    Obs.set_journal_dump (Some file);
+    (* budget trips and fault injections dump eagerly; this final dump
+       covers clean runs and leaves the trip's trail untouched (it only
+       appends the closing exit event) *)
+    at_exit (fun () -> Obs.journal_dump ~trigger:"exit" ())
 
 let obs_term =
   let engine =
@@ -108,7 +138,30 @@ let obs_term =
                    to $(docv) on exit (load in chrome://tracing or \
                    Perfetto).")
   in
-  Term.(const obs_setup $ engine $ metrics $ trace)
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write an OpenMetrics text snapshot of all counters and \
+                   histograms to $(docv) on exit (any exit code); compare \
+                   two snapshots with $(b,wlcq obs-diff).")
+  in
+  let folded =
+    Arg.(value & opt (some string) None
+         & info [ "folded" ] ~docv:"FILE"
+             ~doc:"Write the span profile in collapsed-stack (folded) format \
+                   to $(docv) on exit, with per-span allocation attribution \
+                   enabled; feed it to flamegraph.pl, inferno or speedscope.")
+  in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Arm the flight recorder and dump its JSONL event journal \
+                   to $(docv) on exit; budget trips and injected faults \
+                   rewrite the dump eagerly at the moment they fire.")
+  in
+  Term.(
+    const obs_setup $ engine $ metrics $ trace $ metrics_out $ folded
+    $ journal)
 
 (* ------------------------------------------------------------------ *)
 (* Budget flags, shared by every subcommand                            *)
@@ -624,6 +677,59 @@ let profile_cmd =
           $ graph_opt "g2" "Second graph."
           $ max_size $ tw_bound)
 
+(* ------------------------------------------------------------------ *)
+(* wlcq obs-diff                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let obs_diff_cmd =
+  let load file =
+    let text =
+      try In_channel.with_open_bin file In_channel.input_all
+      with Sys_error msg -> fail_malformed ("obs-diff: " ^ msg)
+    in
+    match Snapshot.parse text with
+    | Ok snap -> snap
+    | Error msg -> fail_malformed (Printf.sprintf "obs-diff: %s: %s" file msg)
+  in
+  let run before after threshold =
+    if not (threshold > 1.0) then
+      fail_malformed "obs-diff: --threshold must be > 1";
+    let report, regressions =
+      Snapshot.diff ~threshold (load before) (load after)
+    in
+    print_string report;
+    match regressions with
+    | [] ->
+      print_string "no regressions\n";
+      exit 0
+    | _ :: _ ->
+      Printf.printf "%d regression(s) at threshold x%.2f\n"
+        (List.length regressions) threshold;
+      exit 1
+  in
+  let before =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"BEFORE"
+             ~doc:"Baseline OpenMetrics snapshot (from --metrics-out).")
+  in
+  let after =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"AFTER" ~doc:"Candidate OpenMetrics snapshot.")
+  in
+  let threshold =
+    Arg.(value & opt float 2.0
+         & info [ "threshold" ] ~docv:"RATIO"
+             ~doc:"Regression ratio: a counter delta or histogram \
+                   p50/p99 growing by at least this factor (above the \
+                   built-in noise floors) is a regression.  Exit code 1 \
+                   when any is found, 0 otherwise.")
+  in
+  let doc =
+    "Diff two OpenMetrics snapshots written by --metrics-out and flag \
+     thresholded counter/latency regressions."
+  in
+  Cmd.v (Cmd.info "obs-diff" ~doc) Term.(const run $ before $ after $ threshold)
+
 let main =
   let doc =
     "The Weisfeiler-Leman dimension of conjunctive queries (PODS 2024)"
@@ -631,6 +737,6 @@ let main =
   Cmd.group (Cmd.info "wlcq" ~version:"1.0.0" ~doc)
     [ widths_cmd; ans_cmd; tw_cmd; wl_cmd; cfi_cmd; witness_cmd; domsets_cmd;
       union_cmd; kg_widths_cmd; kg_ans_cmd; invariants_cmd; profile_cmd;
-      certify_cmd ]
+      certify_cmd; obs_diff_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -74,10 +74,14 @@ let build ?(budget = Budget.unlimited) base twist =
 (* lint: allow R8 Invalid_argument is precondition validation reporting
    a caller bug, deliberately outside the Outcome envelope *)
 let build_budgeted ~budget base twist =
+  Obs.entry_point "cfi.build" @@ fun () ->
   match build ~budget base twist with
   | t -> `Exact t
   | exception Budget.Exhausted r ->
     Obs.incr m_abandoned;
+    Obs.journal ~severity:Obs.Warn
+      ~attrs:[ ("reason", Budget.reason_to_string r) ]
+      "cfi.abandoned";
     `Exhausted r
 
 let even base = build base (Bitset.create (Graph.num_vertices base))

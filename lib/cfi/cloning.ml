@@ -52,10 +52,14 @@ let clone ?(budget = Budget.unlimited) ~g ~f ~c spec =
 (* lint: allow R8 Invalid_argument is precondition validation reporting
    a caller bug, deliberately outside the Outcome envelope *)
 let clone_budgeted ~budget ~g ~f ~c spec =
+  Obs.entry_point "cloning.clone" @@ fun () ->
   match clone ~budget ~g ~f ~c spec with
   | t -> `Exact t
   | exception Budget.Exhausted r ->
     Obs.incr m_abandoned;
+    Obs.journal ~severity:Obs.Warn
+      ~attrs:[ ("reason", Budget.reason_to_string r) ]
+      "cloning.abandoned";
     `Exhausted r
 
 let rho_is_homomorphism t g =

@@ -78,11 +78,17 @@ let count_answers ?budget q g =
 (* lint: allow R8 Invalid_argument is Brute's pin-range validation
    reporting a caller bug, deliberately outside the Outcome envelope *)
 let count_answers_budgeted ~budget q g =
+  Obs.entry_point "cq.count_answers" @@ fun () ->
   let n = ref 0 in
   match iter_answers ~budget q g (fun _ -> incr n) with
   | () -> `Exact !n
   | exception Budget.Exhausted r ->
     Obs.incr m_ans_partial;
+    Obs.journal ~severity:Obs.Warn
+      ~attrs:
+        [ ("reason", Budget.reason_to_string r);
+          ("partial", string_of_int !n) ]
+      "cq.ans_partial";
     `Exhausted (!n, r)
 
 let answers q g =

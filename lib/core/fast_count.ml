@@ -601,18 +601,24 @@ let count_answers_packed ~budget q g components =
          List.iter (fun (_, proj) -> Dp_key.release proj) grouped)
       rooted.Wlcq_treewidth.Decomposition.postorder;
     if on then begin
+      (* one flush per run, as in Td_count: per-value atomic incrs (or
+         a boxing [iter_values] traversal) bust the armed-observability
+         overhead bound *)
+      let entries = ref 0 and packed = ref 0 and hashed = ref 0 in
+      let bigs = ref 0 in
       Array.iter
         (fun tbl ->
            let len = Dp_key.length tbl in
-           Obs.add m_entries len;
-           if Dp_key.is_packed tbl then Obs.add m_packed_keys len
-           else Obs.add m_hashed_keys len;
-           Dp_key.iter_values
-             (fun v ->
-                if Count.is_small v then Obs.incr m_small_values
-                else Obs.incr m_big_values)
-             tbl)
-        tables
+           entries := !entries + len;
+           if Dp_key.is_packed tbl then packed := !packed + len
+           else hashed := !hashed + len;
+           bigs := !bigs + Dp_key.count_big tbl)
+        tables;
+      Obs.add m_entries !entries;
+      Obs.add m_packed_keys !packed;
+      Obs.add m_hashed_keys !hashed;
+      Obs.add m_small_values (!entries - !bigs);
+      Obs.add m_big_values !bigs
     end;
     Count.to_bigint
       (Dp_key.total tables.(rooted.Wlcq_treewidth.Decomposition.root))
@@ -662,8 +668,12 @@ let count_answers ?(budget = Budget.unlimited) q g =
    internal-invariant checks (decomposition coverage, DP key arity):
    programming errors, not budget outcomes *)
 let count_answers_budgeted ~budget q g =
+  Obs.entry_point "fast_count.count_answers" @@ fun () ->
   match count_answers ~budget q g with
   | v -> `Exact v
   | exception Budget.Exhausted r ->
     Obs.incr m_exhausted;
+    Obs.journal ~severity:Obs.Warn
+      ~attrs:[ ("reason", Budget.reason_to_string r) ]
+      "fast_count.exhausted";
     `Exhausted r

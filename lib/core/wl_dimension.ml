@@ -72,11 +72,18 @@ let rec dimension_upper_bound q =
 (* lint: allow R8 Invalid_argument is Cq.make validation on the
    component split — an internal invariant, not a budget outcome *)
 let dimension_budgeted ~budget q =
+  Obs.entry_point "wl_dimension.dimension" @@ fun () ->
   match dimension_exact ~budget q with
   | d -> `Exact d
   | exception Budget.Exhausted r ->
     Obs.incr m_interval;
-    `Exhausted ((0, dimension_upper_bound q), r)
+    let ub = dimension_upper_bound q in
+    Obs.journal ~severity:Obs.Warn
+      ~attrs:
+        [ ("reason", Budget.reason_to_string r);
+          ("upper_bound", string_of_int ub) ]
+      "wl_dimension.interval";
+    `Exhausted ((0, ub), r)
 
 (* ------------------------------------------------------------------ *)
 (* Lower-bound witness (Section 4)                                     *)

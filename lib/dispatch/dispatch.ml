@@ -133,6 +133,14 @@ let c_sparse = Wlcq_obs.Obs.counter "dispatch.chose_sparse"
 
 type hom_choice = Hom_brute | Hom_reference | Hom_packed
 
+(* Flight-recorder trail of dispatch decisions.  Guarded here (not just
+   inside [Obs.journal]) so the attrs list is never allocated on the
+   armed-metrics-but-no-journal path. *)
+let note choice attrs =
+  if Wlcq_obs.Obs.journal_on () then
+    Wlcq_obs.Obs.journal ~severity:Wlcq_obs.Obs.Debug ~attrs
+      ("dispatch." ^ choice)
+
 let choose_hom ~nh ~ng ~mg =
   match Atomic.get mode with
   | Brute ->
@@ -148,12 +156,15 @@ let choose_hom ~nh ~ng ~mg =
     Wlcq_obs.Obs.incr c_hom_packed;
     Hom_packed
   | Auto ->
-    if brute_cost ~nh ~ng ~mg <= !table.brute_hom_max then begin
+    let cost = brute_cost ~nh ~ng ~mg in
+    if cost <= !table.brute_hom_max then begin
       Wlcq_obs.Obs.incr c_hom_brute;
+      note "hom_brute" [ ("cost", string_of_int cost) ];
       Hom_brute
     end
     else begin
       Wlcq_obs.Obs.incr c_hom_packed;
+      note "hom_packed" [ ("cost", string_of_int cost) ];
       Hom_packed
     end
 
@@ -186,10 +197,12 @@ let choose_answers ~nx ~max_comp ~ng =
     let lim = !table.enum_answers_max in
     if sat_pow ng nx <= lim && sat_pow ng max_comp <= lim then begin
       Wlcq_obs.Obs.incr c_ans_enum;
+      note "ans_enum" [ ("nx", string_of_int nx); ("ng", string_of_int ng) ];
       Ans_enum
     end
     else begin
       Wlcq_obs.Obs.incr c_hom_packed;
+      note "ans_packed" [ ("nx", string_of_int nx); ("ng", string_of_int ng) ];
       Ans_packed
     end
 
@@ -206,6 +219,9 @@ let dp_domains ~requested ~subtrees ~work ~threshold =
     else min requested subtrees
   in
   Wlcq_obs.Obs.incr (if nd > 1 then c_par else c_seq);
+  note
+    (if nd > 1 then "dp_parallel" else "dp_sequential")
+    [ ("domains", string_of_int nd); ("work", string_of_int work) ];
   nd
 
 let wl_domains ~requested ~jobs ~weight ~threshold =
@@ -215,6 +231,9 @@ let wl_domains ~requested ~jobs ~weight ~threshold =
     else min requested (max 1 (jobs / !table.wl_chunk))
   in
   Wlcq_obs.Obs.incr (if nd > 1 then c_par else c_seq);
+  note
+    (if nd > 1 then "wl_parallel" else "wl_sequential")
+    [ ("domains", string_of_int nd); ("weight", string_of_int weight) ];
   nd
 
 let dense_fits ~bits ~cap =

@@ -105,6 +105,7 @@ let count ?budget ?pins ?candidates h g =
 (* lint: allow R8 Invalid_argument is the pin-range validation above,
    reporting a caller bug, deliberately outside the Outcome envelope *)
 let count_budgeted ~budget ?pins ?candidates h g =
+  Obs.entry_point "brute.count" @@ fun () ->
   let c = ref 0 in
   match iter ~budget ?pins ?candidates h g (fun _ -> incr c) with
   | () -> `Exact !c
@@ -112,6 +113,11 @@ let count_budgeted ~budget ?pins ?candidates h g =
     (* every enumerated homomorphism is real, so the partial count is
        a sound lower bound *)
     Obs.incr m_partial;
+    Obs.journal ~severity:Obs.Warn
+      ~attrs:
+        [ ("reason", Budget.reason_to_string r);
+          ("partial", string_of_int !c) ]
+      "brute.partial";
     `Exhausted (!c, r)
 
 let exists ?budget ?pins ?candidates h g =

@@ -66,6 +66,8 @@ type dense = {
      parallel DP workers own whole disjoint subtrees *)
   mutable keys : int list;
   (* lint: domain-local same ownership as [keys] *)
+  mutable n_keys : int;
+  (* lint: domain-local same ownership as [keys] *)
   mutable big : Count.t Int_tbl.t option;
 }
 
@@ -109,7 +111,9 @@ let alloc_data nbits =
    of the arena pool, so a recalibrated cutoff can only shrink it. *)
 let create_packed c ~arity =
   if Wlcq_dispatch.Dispatch.dense_fits ~bits:(arity * c.bits) ~cap:dense_bits
-  then Dense { data = alloc_data (arity * c.bits); keys = []; big = None }
+  then
+    Dense
+      { data = alloc_data (arity * c.bits); keys = []; n_keys = 0; big = None }
   else Packed (Int_tbl.create 64)
 
 (* Fault-injection hook: the robustness suite forces allocation
@@ -124,7 +128,7 @@ let table c ~arity =
 let is_packed = function Dense _ | Packed _ -> true | Hashed _ -> false
 
 let length = function
-  | Dense d -> List.length d.keys
+  | Dense d -> d.n_keys
   | Packed h -> Int_tbl.length h
   | Hashed h -> Arr_tbl.length h
 
@@ -156,6 +160,7 @@ let bump_dense d key v =
     let cur = d.data.(key) in
     if cur = 0 then begin
       d.keys <- key :: d.keys;
+      d.n_keys <- d.n_keys + 1;
       match v with
       | Count.Small s -> d.data.(key) <- s
       | Count.Big _ ->
@@ -279,6 +284,21 @@ let iter_values f = function
   | Packed h -> Int_tbl.iter (fun _ v -> f v) h
   | Hashed h -> Arr_tbl.iter (fun _ v -> f v) h
 
+(* O(1) on dense tables — promoted slots are exactly the [big] side
+   table's population.  The [Count.t]-valued modes pay one traversal,
+   but without the per-value [Count.Small] boxing [iter_values] on a
+   dense table would force. *)
+let count_big = function
+  | Dense d -> (match d.big with None -> 0 | Some h -> Int_tbl.length h)
+  | Packed h ->
+    let n = ref 0 in
+    Int_tbl.iter (fun _ v -> if not (Count.is_small v) then incr n) h;
+    !n
+  | Hashed h ->
+    let n = ref 0 in
+    Arr_tbl.iter (fun _ v -> if not (Count.is_small v) then incr n) h;
+    !n
+
 (* Decode each key into [scratch] (length >= arity) before calling [f];
    [f] must not retain [scratch]. *)
 let iter_decoded c tbl ~arity scratch f =
@@ -315,6 +335,7 @@ let release = function
   | Dense d ->
     List.iter (fun k -> d.data.(k) <- 0) d.keys;
     d.keys <- [];
+    d.n_keys <- 0;
     d.big <- None;
     let len = Array.length d.data in
     let nbits =

@@ -41,6 +41,7 @@ val restrict_packed : codec -> int -> int array -> int
 type dense = {
   data : int array;
   mutable keys : int list;
+  mutable n_keys : int;  (* O(1) population, [List.length keys] *)
   mutable big : Count.t Wlcq_util.Ordering.Int_tbl.t option;
 }
 
@@ -76,6 +77,11 @@ val project : codec -> table -> int array -> table
 (** [iter_values f tbl] applies [f] to every stored count (used for
     the promotion metrics flush). *)
 val iter_values : (Count.t -> unit) -> table -> unit
+
+(** [count_big tbl] is the number of stored counts that have left the
+    int63 fast path.  O(1) on dense tables; one unboxed traversal on
+    the others — cheap enough for armed-observability metric flushes. *)
+val count_big : table -> int
 
 (** [iter_decoded c tbl ~arity scratch f] calls [f scratch v] for every
     entry with the key decoded into [scratch] (length >= [arity]).

@@ -52,11 +52,17 @@ let count ?(budget = Budget.unlimited) h g =
 (* lint: allow R8 Invalid_argument is Bitset size validation reporting
    a caller bug, deliberately outside the Outcome envelope *)
 let count_budgeted ~budget h g =
+  Obs.entry_point "inj.count" @@ fun () ->
   let partial = ref 0 in
   match count_into ~budget h g partial with
   | () -> `Exact !partial
   | exception Budget.Exhausted r ->
     Obs.incr m_partial;
+    Obs.journal ~severity:Obs.Warn
+      ~attrs:
+        [ ("reason", Budget.reason_to_string r);
+          ("partial", string_of_int !partial) ]
+      "inj.partial";
     `Exhausted (!partial, r)
 
 (* Möbius function of the partition lattice between the discrete

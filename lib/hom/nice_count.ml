@@ -244,6 +244,14 @@ let count ?budget h g =
 (* lint: allow R8 Invalid_argument is precondition validation reporting
    a caller bug, deliberately outside the Outcome envelope *)
 let count_budgeted ~budget h g =
+  Obs.entry_point "nice_count.count" @@ fun () ->
+  let note_exhausted r =
+    Obs.incr m_exhausted;
+    Obs.journal ~severity:Obs.Warn
+      ~attrs:[ ("reason", Budget.reason_to_string r) ]
+      "nice_count.exhausted";
+    `Exhausted r
+  in
   if
     Graph.num_vertices h > 0
     && Graph.num_vertices g > 0
@@ -252,14 +260,10 @@ let count_budgeted ~budget h g =
     match Brute.count_budgeted ~budget h g with
     | `Exact n -> `Exact (Bigint.of_int n)
     | `Degraded (n, r) -> `Degraded (Bigint.of_int n, r)
-    | `Exhausted (_, r) ->
-      Obs.incr m_exhausted;
-      `Exhausted r
+    | `Exhausted (_, r) -> note_exhausted r
   else
   match Exact.optimal_decomposition_budgeted ~budget h with
-  | exception Budget.Exhausted r ->
-    Obs.incr m_exhausted;
-    `Exhausted r
+  | exception Budget.Exhausted r -> note_exhausted r
   | od ->
     let d, decomp_degraded =
       match od with
@@ -273,13 +277,14 @@ let count_budgeted ~budget h g =
       match decomp_degraded with None -> budget | Some _ -> Budget.fork budget
     in
     match count_with_nice ~budget:dp_budget nd h g with
-    | exception Budget.Exhausted r ->
-      Obs.incr m_exhausted;
-      `Exhausted r
+    | exception Budget.Exhausted r -> note_exhausted r
     | v ->
       (match decomp_degraded with
        | None -> `Exact v
        | Some r ->
          Obs.incr m_heuristic_decomp;
+         Obs.journal ~severity:Obs.Info
+           ~attrs:[ ("cause", Budget.reason_to_string r.Outcome.cause) ]
+           "nice_count.heuristic_decomp";
          Outcome.degraded ~cause:r.Outcome.cause
            ~fallback:"heuristic decomposition (count still exact)" v)

@@ -481,24 +481,35 @@ let run_packed ~budget d h g cand =
      | [] -> ()
      | _ :: _ ->
        Obs.incr m_seq_resume;
+       Obs.journal ~severity:Obs.Warn
+         ~attrs:
+           [ ("demoted_strides", string_of_int (List.length demoted)) ]
+         "td_count.seq_resume";
        List.iter process_stride demoted);
     List.iter Domain.join workers;
     if Budget.live budget then process_node root
   end;
   if on then begin
+    (* one flush per run, not per table or per value: each [Obs.add]
+       is an atomic round-trip, and on DP-heavy runs anything finer
+       (worst of all an [iter_values] traversal, which boxes dense
+       counts) busts the armed-observability overhead bound *)
+    let entries = ref 0 and packed = ref 0 and hashed = ref 0 in
+    let bigs = ref 0 in
     Array.iteri
       (fun t tbl ->
          let len = Dp_key.length tbl in
-         Obs.add m_entries len;
+         entries := !entries + len;
          Obs.observe d_bag (Bitset.cardinal bags.(t));
-         if Dp_key.is_packed tbl then Obs.add m_packed_keys len
-         else Obs.add m_hashed_keys len;
-         Dp_key.iter_values
-           (fun v ->
-              if Count.is_small v then Obs.incr m_small_values
-              else Obs.incr m_big_values)
-           tbl)
-      tables
+         if Dp_key.is_packed tbl then packed := !packed + len
+         else hashed := !hashed + len;
+         bigs := !bigs + Dp_key.count_big tbl)
+      tables;
+    Obs.add m_entries !entries;
+    Obs.add m_packed_keys !packed;
+    Obs.add m_hashed_keys !hashed;
+    Obs.add m_small_values (!entries - !bigs);
+    Obs.add m_big_values !bigs
   end;
   let result =
     match Budget.tripped budget with
@@ -548,14 +559,22 @@ let count ?(budget = Budget.unlimited) ?candidates h g =
     | Dispatch.Hom_packed ->
       run_packed_path ~budget ?candidates (Exact.optimal_decomposition h) h g
 
+(* One exhaustion bookkeeping point for every ladder exit: counter,
+   flight-recorder event, outcome. *)
+let note_exhausted r =
+  Obs.incr m_exhausted;
+  Obs.journal ~severity:Obs.Warn
+    ~attrs:[ ("reason", Budget.reason_to_string r) ]
+    "td_count.exhausted";
+  `Exhausted r
+
 (* lint: allow R8 Invalid_argument is engine-selection validation
    reporting a caller bug, deliberately outside the Outcome envelope *)
 let count_with_decomposition_budgeted ~budget ?candidates d h g =
+  Obs.entry_point "td_count.count_with_decomposition" @@ fun () ->
   match count_with_decomposition ~budget ?candidates d h g with
   | v -> `Exact v
-  | exception Budget.Exhausted r ->
-    Obs.incr m_exhausted;
-    `Exhausted r
+  | exception Budget.Exhausted r -> note_exhausted r
 
 (* The full ladder: the decomposition step degrades to the heuristic
    order before the DP runs (a wider decomposition slows the DP but the
@@ -564,6 +583,7 @@ let count_with_decomposition_budgeted ~budget ?candidates d h g =
 (* lint: allow R8 Invalid_argument is engine-selection validation
    reporting a caller bug, deliberately outside the Outcome envelope *)
 let count_budgeted ~budget ?candidates h g =
+  Obs.entry_point "td_count.count" @@ fun () ->
   if Graph.num_vertices h = 0 then `Exact Bigint.one
   else if Graph.num_vertices g = 0 then `Exact Bigint.zero
   else if
@@ -575,14 +595,10 @@ let count_budgeted ~budget ?candidates h g =
     match Brute.count_budgeted ~budget ?candidates h g with
     | `Exact n -> `Exact (Bigint.of_int n)
     | `Degraded (n, r) -> `Degraded (Bigint.of_int n, r)
-    | `Exhausted (_, r) ->
-      Obs.incr m_exhausted;
-      `Exhausted r
+    | `Exhausted (_, r) -> note_exhausted r
   else
     match Exact.optimal_decomposition_budgeted ~budget h with
-    | exception Budget.Exhausted r ->
-      Obs.incr m_exhausted;
-      `Exhausted r
+    | exception Budget.Exhausted r -> note_exhausted r
     | od ->
       let d, decomp_degraded =
         match od with
@@ -598,14 +614,15 @@ let count_budgeted ~budget ?candidates h g =
         match decomp_degraded with None -> budget | Some _ -> Budget.fork budget
       in
       match count_with_decomposition ~budget:dp_budget ?candidates d h g with
-      | exception Budget.Exhausted r ->
-        Obs.incr m_exhausted;
-        `Exhausted r
+      | exception Budget.Exhausted r -> note_exhausted r
       | v ->
         (match decomp_degraded with
          | None -> `Exact v
          | Some r ->
            Obs.incr m_heuristic_decomp;
+           Obs.journal ~severity:Obs.Info
+             ~attrs:[ ("cause", Budget.reason_to_string r.Outcome.cause) ]
+             "td_count.heuristic_decomp";
            Outcome.degraded ~cause:r.Outcome.cause
              ~fallback:"heuristic decomposition (count still exact)" v)
 

@@ -215,14 +215,21 @@ let run_pair k g1 g2 =
 (* lint: allow R8 Invalid_argument is the k >= 2 arity validation
    reporting a caller bug, deliberately outside the Outcome envelope *)
 let run_many_budgeted ~budget k graphs =
+  Obs.entry_point "kg_kwl.run_many" @@ fun () ->
   match run_many_core ~budget k graphs with
   | exception Budget.Exhausted r ->
     (* tripped during the initial atomic typing: no prefix exists *)
     Obs.incr m_exhausted;
+    Obs.journal ~severity:Obs.Warn
+      ~attrs:[ ("reason", Budget.reason_to_string r) ]
+      "kg_kwl.exhausted";
     `Exhausted r
   | results, None -> `Exact results
   | results, Some cause ->
     Obs.incr m_prefix;
+    Obs.journal ~severity:Obs.Warn
+      ~attrs:[ ("cause", Budget.reason_to_string cause) ]
+      "kg_kwl.prefix_fallback";
     Outcome.degraded ~cause
       ~fallback:
         (Printf.sprintf "stable colour prefix after %d completed rounds"
@@ -263,7 +270,9 @@ let equivalent k g1 g2 =
    reporting a caller bug, deliberately outside the Outcome envelope *)
 let equivalent_budgeted ~budget k g1 g2 =
   if k < 1 then invalid_arg "Kwl.equivalent_budgeted: k must be positive"
-  else if k = 1 then (
+  else
+  Obs.entry_point "kg_kwl.equivalent" @@ fun () ->
+  if k = 1 then (
     (* refinement polls the budget once per round, so a tripped
        deadline stops it mid-run *)
     match refine_many ~budget [ g1; g2 ] with

@@ -1,0 +1,358 @@
+(* OpenMetrics snapshots of the Obs registry, and regression diffing
+   between two of them.  The renderer and the parser are kept
+   deliberately symmetric: [parse] accepts exactly the exposition
+   subset [render] emits (# TYPE counter/histogram, _total, _bucket
+   with le labels, _sum, _count, # EOF), so snapshot files written by
+   [--metrics-out] round-trip and [wlcq obs-diff] never needs a
+   third-party parser. *)
+
+type hist = {
+  h_count : int;
+  h_sum : int;
+  h_buckets : (int * int) list;
+}
+
+type t = {
+  s_counters : (string * int) list;
+  s_hists : (string * hist) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Capture                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sanitize name =
+  let b = Bytes.create (String.length name) in
+  String.iteri
+    (fun i c ->
+       Bytes.set b i
+         (match c with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+          | _ -> '_'))
+    name;
+  "wlcq_" ^ Bytes.to_string b
+
+let capture () =
+  let counters =
+    List.filter_map
+      (fun (name, v) -> if v <> 0 then Some (sanitize name, v) else None)
+      (Obs.counters ())
+  in
+  let hists =
+    List.filter_map
+      (fun (name, (s : Obs.dist_summary)) ->
+         if s.Obs.d_count = 0 then None
+         else
+           match Obs.find_distribution name with
+           | None -> None
+           | Some d ->
+             let buckets = Obs.distribution_buckets d in
+             let cumulative = ref 0 in
+             let finite_rev = ref [] in
+             Array.iteri
+               (fun i n ->
+                  if i < Obs.num_buckets - 1 && n > 0 then begin
+                    cumulative := !cumulative + n;
+                    finite_rev := (Obs.bucket_upper i, !cumulative) :: !finite_rev
+                  end)
+               buckets;
+             Some
+               ( sanitize name,
+                 {
+                   h_count = s.Obs.d_count;
+                   h_sum = s.Obs.d_sum;
+                   h_buckets =
+                     List.rev ((max_int, s.Obs.d_count) :: !finite_rev);
+                 } ))
+      (Obs.distributions ())
+  in
+  let by_name (a, _) (b, _) = String.compare a b in
+  { s_counters = List.sort by_name counters;
+    s_hists = List.sort by_name hists }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let le_label ub = if ub = max_int then "+Inf" else string_of_int ub
+
+let render snap =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+       Buffer.add_string buf ("# TYPE " ^ name ^ " counter\n");
+       Buffer.add_string buf (Printf.sprintf "%s_total %d\n" name v))
+    snap.s_counters;
+  List.iter
+    (fun (name, h) ->
+       Buffer.add_string buf ("# TYPE " ^ name ^ " histogram\n");
+       List.iter
+         (fun (ub, c) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (le_label ub) c))
+         h.h_buckets;
+       Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" name h.h_sum);
+       Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.h_count))
+    snap.s_hists;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let strip_suffix ~suffix s =
+  if String.length s >= String.length suffix
+     && String.equal suffix
+          (String.sub s
+             (String.length s - String.length suffix)
+             (String.length suffix))
+  then Some (String.sub s 0 (String.length s - String.length suffix))
+  else None
+
+let split_value line =
+  match String.rindex_opt line ' ' with
+  | None -> None
+  | Some i -> (
+    let name = String.sub line 0 i in
+    let v = String.sub line (i + 1) (String.length line - i - 1) in
+    match int_of_string_opt v with
+    | Some n -> Some (name, n)
+    | None -> None)
+
+let parse_le series =
+  (* "<name>_bucket{le=\"...\"}" -> (name, upper_bound) *)
+  match String.index_opt series '{' with
+  | None -> None
+  | Some i -> (
+    match strip_suffix ~suffix:"_bucket" (String.sub series 0 i) with
+    | None -> None
+    | Some name ->
+      let label = String.sub series i (String.length series - i) in
+      let prefix = "{le=\"" and suffix = "\"}" in
+      if
+        String.length label > String.length prefix + String.length suffix
+        && String.equal prefix (String.sub label 0 (String.length prefix))
+        && String.equal suffix
+             (String.sub label
+                (String.length label - String.length suffix)
+                (String.length suffix))
+      then
+        let le =
+          String.sub label (String.length prefix)
+            (String.length label - String.length prefix
+             - String.length suffix)
+        in
+        if String.equal le "+Inf" then Some (name, max_int)
+        else
+          match int_of_string_opt le with
+          | Some ub -> Some (name, ub)
+          | None -> None
+      else None)
+
+type partial_hist = {
+  (* lint: domain-local parser scratch, created and consumed inside a
+     single [parse] call; never escapes to another domain *)
+  mutable p_buckets : (int * int) list;  (* reverse order *)
+  (* lint: domain-local same ownership as [p_buckets] *)
+  mutable p_sum : int option;
+  (* lint: domain-local same ownership as [p_buckets] *)
+  mutable p_count : int option;
+}
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let counters = ref [] in
+  let hists = ref [] in
+  let error = ref None in
+  let fail lineno msg =
+    if Option.is_none !error then
+      error := Some (Printf.sprintf "line %d: %s" lineno msg)
+  in
+  (* current histogram being accumulated, if any *)
+  let current : (string * partial_hist) option ref = ref None in
+  let finish_current lineno =
+    match !current with
+    | None -> ()
+    | Some (name, p) -> (
+      current := None;
+      match (p.p_sum, p.p_count) with
+      | Some s, Some c ->
+        hists :=
+          (name, { h_count = c; h_sum = s; h_buckets = List.rev p.p_buckets })
+          :: !hists
+      | _ -> fail lineno ("histogram " ^ name ^ " missing _sum or _count"))
+  in
+  let expecting_counter = ref None in
+  let seen_eof = ref false in
+  List.iteri
+    (fun i line ->
+       let lineno = i + 1 in
+       if Option.is_some !error || !seen_eof then begin
+         if Option.is_none !error && not (String.equal (String.trim line) "")
+         then fail lineno "content after # EOF"
+       end
+       else if String.equal line "" then ()
+       else if String.equal line "# EOF" then begin
+         (match !expecting_counter with
+          | Some n -> fail lineno ("counter " ^ n ^ " missing its _total line")
+          | None -> ());
+         finish_current lineno;
+         seen_eof := true
+       end
+       else if String.length line > 7 && String.equal (String.sub line 0 7) "# TYPE "
+       then begin
+         (match !expecting_counter with
+          | Some n -> fail lineno ("counter " ^ n ^ " missing its _total line")
+          | None -> ());
+         finish_current lineno;
+         match String.split_on_char ' ' (String.sub line 7 (String.length line - 7))
+         with
+         | [ name; "counter" ] -> expecting_counter := Some name
+         | [ name; "histogram" ] ->
+           current :=
+             Some (name, { p_buckets = []; p_sum = None; p_count = None })
+         | _ -> fail lineno "malformed # TYPE line"
+       end
+       else
+         match !expecting_counter with
+         | Some name -> (
+           expecting_counter := None;
+           match split_value line with
+           | Some (series, v)
+             when (match strip_suffix ~suffix:"_total" series with
+                   | Some n -> String.equal n name
+                   | None -> false) ->
+             counters := (name, v) :: !counters
+           | _ -> fail lineno ("expected " ^ name ^ "_total <value>"))
+         | None -> (
+           match !current with
+           | None -> fail lineno "sample outside any # TYPE block"
+           | Some (name, p) -> (
+             match split_value line with
+             | None -> fail lineno "malformed sample line"
+             | Some (series, v) -> (
+               match parse_le series with
+               | Some (n, ub) when String.equal n name ->
+                 p.p_buckets <- (ub, v) :: p.p_buckets
+               | Some _ -> fail lineno "bucket for a different metric"
+               | None -> (
+                 match strip_suffix ~suffix:"_sum" series with
+                 | Some n when String.equal n name -> p.p_sum <- Some v
+                 | _ -> (
+                   match strip_suffix ~suffix:"_count" series with
+                   | Some n when String.equal n name -> p.p_count <- Some v
+                   | _ -> fail lineno ("unexpected sample " ^ series)))))))
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None ->
+    if not !seen_eof then Error "missing # EOF terminator"
+    else
+      let by_name (a, _) (b, _) = String.compare a b in
+      Ok
+        { s_counters = List.sort by_name !counters;
+          s_hists = List.sort by_name !hists }
+
+(* ------------------------------------------------------------------ *)
+(* Quantiles and diffing                                               *)
+(* ------------------------------------------------------------------ *)
+
+let hist_quantile h q =
+  if h.h_count <= 0 then None
+  else begin
+    let rank =
+      max 1 (int_of_float (Float.ceil (q *. float_of_int h.h_count)))
+    in
+    let rec walk = function
+      | [] -> None
+      | (ub, cum) :: rest -> if cum >= rank then Some ub else walk rest
+    in
+    walk h.h_buckets
+  end
+
+type regression = {
+  r_metric : string;
+  r_what : string;
+  r_before : float;
+  r_after : float;
+  r_ratio : float;
+}
+
+let find name l = List.find_opt (fun (n, _) -> String.equal n name) l
+
+let union_names a b =
+  List.sort_uniq String.compare (List.map fst a @ List.map fst b)
+
+(* Noise floors: counter deltas below [min_counter_delta] events and
+   histograms with fewer than [min_samples] observations never
+   produce a verdict, whatever the ratio. *)
+let min_counter_delta = 8
+let min_samples = 2
+
+let diff ?(threshold = 2.0) before after =
+  let buf = Buffer.create 1024 in
+  let regressions = ref [] in
+  let flag metric what b a =
+    if b > 0.0 && a >= threshold *. b then
+      regressions :=
+        { r_metric = metric; r_what = what; r_before = b; r_after = a;
+          r_ratio = a /. b }
+        :: !regressions
+  in
+  List.iter
+    (fun name ->
+       match (find name before.s_counters, find name after.s_counters) with
+       | None, None -> ()
+       | Some (_, b), Some (_, a) ->
+         Buffer.add_string buf
+           (Printf.sprintf "counter %s %d -> %d (%+d)\n" name b a (a - b));
+         if a - b >= min_counter_delta then
+           flag name "count" (float_of_int b) (float_of_int a)
+       | None, Some (_, a) ->
+         Buffer.add_string buf
+           (Printf.sprintf "counter %s (new) -> %d\n" name a)
+       | Some (_, b), None ->
+         Buffer.add_string buf
+           (Printf.sprintf "counter %s %d -> (gone)\n" name b))
+    (union_names before.s_counters after.s_counters);
+  List.iter
+    (fun name ->
+       match (find name before.s_hists, find name after.s_hists) with
+       | None, None -> ()
+       | Some (_, b), Some (_, a) ->
+         let q h p =
+           match hist_quantile h p with Some v -> v | None -> 0
+         in
+         let bp50 = q b 0.5 and ap50 = q a 0.5 in
+         let bp99 = q b 0.99 and ap99 = q a 0.99 in
+         Buffer.add_string buf
+           (Printf.sprintf
+              "hist %s count %d -> %d  p50 %d -> %d  p99 %d -> %d\n" name
+              b.h_count a.h_count bp50 ap50 bp99 ap99);
+         if b.h_count >= min_samples && a.h_count >= min_samples then begin
+           flag name "p50" (float_of_int bp50) (float_of_int ap50);
+           flag name "p99" (float_of_int bp99) (float_of_int ap99)
+         end
+       | None, Some (_, a) ->
+         Buffer.add_string buf
+           (Printf.sprintf "hist %s (new) count %d\n" name a.h_count)
+       | Some (_, b), None ->
+         Buffer.add_string buf
+           (Printf.sprintf "hist %s count %d -> (gone)\n" name b.h_count))
+    (union_names before.s_hists after.s_hists);
+  let regressions =
+    List.sort
+      (fun a b ->
+         match String.compare a.r_metric b.r_metric with
+         | 0 -> String.compare a.r_what b.r_what
+         | c -> c)
+      !regressions
+  in
+  List.iter
+    (fun r ->
+       Buffer.add_string buf
+         (Printf.sprintf "regression %s %s %.0f -> %.0f (x%.2f >= x%.2f)\n"
+            r.r_metric r.r_what r.r_before r.r_after r.r_ratio threshold))
+    regressions;
+  (Buffer.contents buf, regressions)

@@ -1,0 +1,70 @@
+(** Metric snapshots: OpenMetrics exposition, parsing and regression
+    diffing.
+
+    A snapshot is a point-in-time copy of the {!Obs} registry —
+    counters plus bucketed histograms — rendered in the OpenMetrics
+    text format ([# TYPE] lines, [_total] counters, [_bucket{le=...}]
+    histogram series, a final [# EOF]).  {!parse} reads exactly what
+    {!render} writes, so two runs' [--metrics-out] files can be
+    diffed offline: {!diff} reports counter deltas and p50/p99
+    quantile shifts, flagging thresholded regressions.  [wlcq
+    obs-diff A B] and the bench harness's histogram-floor rows are
+    built on this module. *)
+
+(** A parsed histogram: total count, value sum, and cumulative
+    [(upper_bound, count_le)] buckets in ascending order ([max_int]
+    encodes the [+Inf] bound). *)
+type hist = {
+  h_count : int;
+  h_sum : int;
+  h_buckets : (int * int) list;
+}
+
+(** A snapshot: sanitized metric names (lowercase, [.] mapped to [_],
+    ["wlcq_"]-prefixed) with counter values and histograms, each
+    sorted by name. *)
+type t = {
+  s_counters : (string * int) list;
+  s_hists : (string * hist) list;
+}
+
+(** [capture ()] snapshots the live {!Obs} registry: all non-zero
+    counters and all non-empty distributions. *)
+val capture : unit -> t
+
+(** [sanitize name] is the OpenMetrics-safe metric name used in
+    snapshots: ["wlcq_"] + [name] with every character outside
+    [A-Za-z0-9_:] replaced by [_]. *)
+val sanitize : string -> string
+
+(** [render s] is the OpenMetrics text exposition of [s], ending in
+    [# EOF]. *)
+val render : t -> string
+
+(** [parse text] reads a {!render}-produced exposition back.
+    [Error msg] pinpoints the first offending line. *)
+val parse : string -> (t, string) result
+
+(** [hist_quantile h q] is the [q]-quantile estimate of a parsed
+    histogram (the smallest bucket upper bound covering rank
+    [ceil (q * count)]); [None] when empty. *)
+val hist_quantile : hist -> float -> int option
+
+(** One thresholded regression verdict from {!diff}. *)
+type regression = {
+  r_metric : string;
+  r_what : string;  (** ["count"], ["p50"] or ["p99"] *)
+  r_before : float;
+  r_after : float;
+  r_ratio : float;
+}
+
+(** [diff before after] compares two snapshots.  Returns a
+    human-readable report of every counter delta and histogram
+    quantile shift, plus the list of regressions: metrics whose
+    counter value or p50/p99 estimate grew by at least [threshold]
+    (default 2.0) relative to [before], above a small noise floor
+    (counter deltas of fewer than 8 events and histograms with fewer
+    than 2 samples are never flagged).  Two identical snapshots
+    produce zero regressions. *)
+val diff : ?threshold:float -> t -> t -> string * regression list

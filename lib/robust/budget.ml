@@ -88,13 +88,21 @@ let live b =
 
 let trip b r =
   if b.limited then
-    if Atomic.compare_and_set b.tripped_cell None (Some r) then
+    if Atomic.compare_and_set b.tripped_cell None (Some r) then begin
       Obs.incr
         (match r with
         | Deadline -> m_deadline
         | Memory -> m_memory
         | Cancelled -> m_cancelled
-        | Injected _ -> m_injected)
+        | Injected _ -> m_injected);
+      (* First writer on the latch leaves the postmortem trail: one
+         journal event naming the engine scope it interrupted, then
+         the automatic flight-recorder dump. *)
+      Obs.journal ~severity:Obs.Error
+        ~attrs:[ ("reason", reason_to_string r) ]
+        "budget.trip";
+      Obs.journal_dump ~trigger:("budget." ^ reason_to_string r) ()
+    end
 
 let poll b =
   if not b.limited then false

@@ -72,7 +72,14 @@ let should_fail site =
       let fail = h land ((1 lsl 30) - 1) < Atomic.get rate_bits in
       if fail then begin
         Atomic.incr injected_counters.(i);
-        Obs.incr m_injected.(i)
+        Obs.incr m_injected.(i);
+        (* Injected failures dump the flight recorder just like real
+           trips: the seeded fault suite asserts every forced
+           degradation leaves a postmortem trail. *)
+        Obs.journal ~severity:Obs.Warn
+          ~attrs:[ ("site", site_to_string site) ]
+          "fault.injected";
+        Obs.journal_dump ~trigger:("fault." ^ site_to_string site) ()
       end;
       fail
 

@@ -1,0 +1,143 @@
+(* One strict recursive-descent acceptor for one JSON value, plus the
+   escaping helpers every wlcq JSON exporter goes through.  Exact
+   RFC 8259 grammar, no extensions: this module is the single source
+   of truth for "is this output machine-parseable", used by the Obs
+   trace/journal exporters, the bench BENCH_*.json writer and
+   wlcq-lint's --json mode alike. *)
+
+let parseable s =
+  let n = String.length s in
+  let exception Bad in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = Stdlib.incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when Char.equal c c' -> advance ()
+    | _ -> raise Bad
+  in
+  let literal word =
+    String.iter (fun c -> expect c) word
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+     | Some '{' -> obj ()
+     | Some '[' -> arr ()
+     | Some '"' -> string_lit ()
+     | Some 't' -> literal "true"
+     | Some 'f' -> literal "false"
+     | Some 'n' -> literal "null"
+     | Some ('-' | '0' .. '9') -> number ()
+     | _ -> raise Bad);
+    skip_ws ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    (match peek () with
+     | Some '}' -> advance ()
+     | _ ->
+       let rec members () =
+         skip_ws ();
+         string_lit ();
+         skip_ws ();
+         expect ':';
+         value ();
+         match peek () with
+         | Some ',' -> advance (); members ()
+         | _ -> expect '}'
+       in
+       members ())
+  and arr () =
+    expect '[';
+    skip_ws ();
+    (match peek () with
+     | Some ']' -> advance ()
+     | _ ->
+       let rec elements () =
+         value ();
+         match peek () with
+         | Some ',' -> advance (); elements ()
+         | _ -> expect ']'
+       in
+       elements ())
+  and string_lit () =
+    expect '"';
+    let rec go () =
+      if !pos >= n then raise Bad
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (match peek () with
+           | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+             advance ()
+           | Some 'u' ->
+             advance ();
+             for _ = 1 to 4 do
+               (match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> raise Bad)
+             done
+           | _ -> raise Bad);
+          go ()
+        | c when Char.code c < 0x20 -> raise Bad
+        | _ -> advance (); go ()
+    in
+    go ()
+  and number () =
+    (match peek () with Some '-' -> advance () | _ -> ());
+    let digits () =
+      let seen = ref false in
+      while
+        match peek () with
+        | Some '0' .. '9' -> true
+        | _ -> false
+      do
+        seen := true;
+        advance ()
+      done;
+      if not !seen then raise Bad
+    in
+    digits ();
+    (match peek () with
+     | Some '.' -> advance (); digits ()
+     | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  match value () with
+  | () -> !pos = n || (skip_ws (); !pos = n)
+  | exception Bad -> false
+
+let escape_into buf s =
+  String.iter
+    (fun ch ->
+       match ch with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s
+
+let add_string buf s =
+  Buffer.add_char buf '"';
+  escape_into buf s;
+  Buffer.add_char buf '"'

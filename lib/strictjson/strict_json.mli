@@ -1,0 +1,29 @@
+(** A strict RFC 8259 JSON acceptor, shared by the observability
+    layer ([Obs.json_parseable], which gates the Chrome trace and the
+    flight-recorder JSONL exporters) and by wlcq-lint (which guards
+    its own [--json] output with the same grammar).  Kept as its own
+    dependency-free library so both sides validate against one
+    implementation instead of two drifting copies.
+
+    The acceptor favours simplicity over diagnostics: it answers
+    yes/no for exactly one JSON value spanning the whole string, with
+    no extensions (no trailing commas, no comments, no bare NaN). *)
+
+(** [parseable s] is [true] iff [s] is one syntactically valid JSON
+    value (the whole string, modulo surrounding whitespace). *)
+val parseable : string -> bool
+
+(** {1 Escaping}
+
+    The string-escaping half of the contract: exporters build their
+    output with {!escape_into}/{!add_string} so everything they emit
+    stays inside the grammar {!parseable} accepts. *)
+
+(** [escape_into buf s] appends [s] to [buf] with the JSON string
+    escapes applied (quote, backslash, control characters); no
+    surrounding quotes. *)
+val escape_into : Buffer.t -> string -> unit
+
+(** [add_string buf s] appends [s] as a complete JSON string literal:
+    opening quote, escaped body, closing quote. *)
+val add_string : Buffer.t -> string -> unit

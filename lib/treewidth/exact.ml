@@ -149,6 +149,11 @@ let solve_with ~budget g =
       | _ -> (ub, ub_order, None)
       | exception Budget.Exhausted r ->
         Obs.incr m_heuristic_fallbacks;
+        Obs.journal ~severity:Obs.Warn
+          ~attrs:
+            [ ("reason", Budget.reason_to_string r);
+              ("upper_bound", string_of_int ub) ]
+          "tw.heuristic_fallback";
         (ub, ub_order, Some r)
     end
 
@@ -162,6 +167,7 @@ let optimal_order g = snd (solve g)
 (* lint: allow R8 Invalid_argument is permutation validation on an
    internally built order — an invariant check, not a budget outcome *)
 let treewidth_budgeted ~budget g =
+  Obs.entry_point "tw.treewidth" @@ fun () ->
   match solve_with ~budget g with
   | w, _, None -> `Exact w
   | w, _, Some cause ->
@@ -194,6 +200,7 @@ let clear_decomposition_memo () = Graph_tbl.reset decomposition_memo
 (* lint: allow R8 Invalid_argument is Graph.create size validation on
    an internally built tree — an invariant check, not a budget outcome *)
 let optimal_decomposition_budgeted ~budget g =
+  Obs.entry_point "tw.decomposition" @@ fun () ->
   match Graph_tbl.find_opt decomposition_memo g with
   | Some d ->
     if Obs.enabled () then Obs.incr m_memo_hits;

@@ -2,7 +2,11 @@
    quality, and trivially splittable — ideal for reproducible
    experiments. *)
 
-type t = { mutable state : int64 }
+type t = {
+  (* lint: domain-local a generator belongs to the domain that created
+     it; parallel code splits via [copy]/[create] instead of sharing *)
+  mutable state : int64;
+}
 
 let gamma = 0x9E3779B97F4A7C15L
 

@@ -2,6 +2,7 @@ open Wlcq_graph
 module Bigint = Wlcq_util.Bigint
 module Budget = Wlcq_robust.Budget
 module Outcome = Wlcq_robust.Outcome
+module Obs = Wlcq_obs.Obs
 
 let equivalent k g1 g2 =
   if k < 1 then invalid_arg "Equivalence.equivalent: k must be positive"
@@ -18,7 +19,9 @@ let equivalent k g1 g2 =
    reporting a caller bug, deliberately outside the Outcome envelope *)
 let equivalent_budgeted ~budget k g1 g2 =
   if k < 1 then invalid_arg "Equivalence.equivalent_budgeted: k must be positive"
-  else if
+  else
+  Obs.entry_point "equivalence.equivalent" @@ fun () ->
+  if
     Graph.num_vertices g1 <> Graph.num_vertices g2
     || Graph.num_edges g1 <> Graph.num_edges g2
   then `Exact false

@@ -20,6 +20,7 @@ let m_seq_rounds = Obs.counter "kwl.sequential_rounds"
 let m_prefix_fallbacks = Obs.counter "robust.fallback.kwl_prefix"
 let m_exhausted = Obs.counter "robust.fallback.kwl_exhausted"
 let m_spawn_demotions = Obs.counter "robust.fallback.kwl_seq_compute"
+let d_round_ns = Obs.distribution "kwl.round_ns"
 
 (* Tuples are encoded in base n: the tuple (v_0, ..., v_{k-1}) has
    index sum_i v_i * n^(k-1-i).  [place] are the per-position place
@@ -523,6 +524,9 @@ let run_engine_inner ?domains ~budget ~on_round k states =
        | [] -> ()
        | _ :: _ ->
          Obs.incr m_spawn_demotions;
+         Obs.journal ~severity:Obs.Warn
+           ~attrs:[ ("demoted_chunks", string_of_int (List.length demoted)) ]
+           "kwl.spawn_demotion";
          List.iter (fun (lo, hi) -> if lo < hi then compute_range lo hi) demoted);
       List.iter Domain.join workers
     end
@@ -649,7 +653,13 @@ let run_engine_inner ?domains ~budget ~on_round k states =
       end)
     (fun () ->
        while !continue do
-         Obs.span "kwl.round" do_round
+         if on then begin
+           let t0 = Obs.now_ns () in
+           Obs.span "kwl.round" do_round;
+           Obs.observe d_round_ns
+             (Int64.to_int (Int64.sub (Obs.now_ns ()) t0))
+         end
+         else Obs.span "kwl.round" do_round
        done);
   (!next_colour, !rounds, !aborted)
 
@@ -675,6 +685,7 @@ let results_of_states states num rounds =
 let run_many ?domains k graphs =
   if k < 2 then
     invalid_arg "Kwl.run_many: requires k >= 2 (use Refinement for k = 1)";
+  Obs.entry_point "kwl.run_many" @@ fun () ->
   let states = Array.of_list (List.map (make_state k) graphs) in
   let num, rounds, _ = run_engine ?domains ~on_round:(fun _ -> ()) k states in
   results_of_states states num rounds
@@ -692,6 +703,7 @@ let run_pair ?domains k g1 g2 =
 let run_many_budgeted ?domains ~budget k graphs =
   if k < 2 then
     invalid_arg "Kwl.run_many_budgeted: requires k >= 2 (use Refinement for k = 1)";
+  Obs.entry_point "kwl.run_many" @@ fun () ->
   match
     let states = Array.of_list (List.map (make_state ~budget k) graphs) in
     (states, run_engine ?domains ~budget ~on_round:(fun _ -> ()) k states)
@@ -700,10 +712,18 @@ let run_many_budgeted ?domains ~budget k graphs =
     (* tripped during state construction or the initial colouring: no
        complete prefix exists *)
     Obs.incr m_exhausted;
+    Obs.journal ~severity:Obs.Warn
+      ~attrs:[ ("reason", Budget.reason_to_string r) ]
+      "kwl.exhausted";
     `Exhausted r
   | states, (num, rounds, None) -> `Exact (results_of_states states num rounds)
   | states, (num, rounds, Some cause) ->
     Obs.incr m_prefix_fallbacks;
+    Obs.journal ~severity:Obs.Warn
+      ~attrs:
+        [ ("cause", Budget.reason_to_string cause);
+          ("rounds", string_of_int rounds) ]
+      "kwl.prefix_fallback";
     Outcome.degraded ~cause
       ~fallback:
         (Printf.sprintf "stable colour prefix after %d completed rounds" rounds)
@@ -758,11 +778,17 @@ let equivalent_core ?domains ~budget k g1 g2 =
     | exception Histograms_diverged -> `Exact false
     | exception Budget.Exhausted r ->
       Obs.incr m_exhausted;
+      Obs.journal ~severity:Obs.Warn
+        ~attrs:[ ("reason", Budget.reason_to_string r) ]
+        "kwl.exhausted";
       `Exhausted r
     | _, _, Some r ->
       (* no divergence seen, but the run did not reach the stable
          colouring: equivalence is undecided *)
       Obs.incr m_exhausted;
+      Obs.journal ~severity:Obs.Warn
+        ~attrs:[ ("reason", Budget.reason_to_string r) ]
+        "kwl.exhausted";
       `Exhausted r
     | _, _, None -> `Exact true
   end
@@ -780,6 +806,7 @@ let equivalent_budgeted ?domains ~budget k g1 g2 =
   if k < 2 then
     invalid_arg
       "Kwl.equivalent_budgeted: requires k >= 2 (use Refinement for k = 1)";
+  Obs.entry_point "kwl.equivalent" @@ fun () ->
   equivalent_core ?domains ~budget k g1 g2
 
 let equivalent_reference k g1 g2 =

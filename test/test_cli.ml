@@ -65,6 +65,133 @@ let test_budget_exhaustion () =
   check_code "tw with slack deadline" 0
     "tw --graph cycle:8 --deadline-ms 10000"
 
+(* ---- PR 8: metrics exposition and offline diffing ---------------- *)
+
+let read_file file = In_channel.with_open_bin file In_channel.input_all
+
+let write_file file text =
+  Out_channel.with_open_bin file (fun oc -> Out_channel.output_string oc text)
+
+let contains needle s =
+  let n = String.length needle and h = String.length s in
+  let rec go i =
+    i + n <= h && (String.equal (String.sub s i n) needle || go (i + 1))
+  in
+  go 0
+
+let with_tmp suffix f =
+  let file = Filename.temp_file "wlcq_test" suffix in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () -> f file)
+
+(* A run with [--metrics-out] must leave a complete OpenMetrics file
+   behind whatever the exit code: the flush runs at exit, so degraded
+   (3) and malformed (2) paths still document themselves. *)
+let check_metrics_out ?(require_metrics = true) name expected_code args =
+  with_tmp ".om" (fun file ->
+      let code, _ =
+        run_capture (Printf.sprintf "%s --metrics-out %s" args file)
+      in
+      Alcotest.(check int) (name ^ ": exit code") expected_code code;
+      let text = read_file file in
+      Alcotest.(check bool)
+        (name ^ ": exposition ends with # EOF")
+        true
+        (contains "# EOF" text);
+      if require_metrics then
+        Alcotest.(check bool)
+          (name ^ ": exposition carries wlcq_ metrics")
+          true
+          (contains "# TYPE wlcq_" text))
+
+let test_metrics_out_success () =
+  check_metrics_out "tw success" 0 "tw --graph clique:4"
+
+let test_metrics_out_exhausted () =
+  check_metrics_out "tw degraded under 1 ms" 3
+    "tw --graph gnp:28,0.5,7 --deadline-ms 1"
+
+let test_metrics_out_malformed () =
+  (* the run dies validating its budget, before any engine work: the
+     flush still writes a complete (if empty) exposition *)
+  check_metrics_out ~require_metrics:false "bad deadline still flushes" 2
+    "tw --graph clique:4 --deadline-ms=-3"
+
+let test_journal_out () =
+  with_tmp ".jsonl" (fun file ->
+      let code, _ =
+        run_capture
+          (Printf.sprintf
+             "tw --graph gnp:28,0.5,7 --deadline-ms 1 --journal %s" file)
+      in
+      Alcotest.(check int) "journal run exit code" 3 code;
+      let lines = String.split_on_char '\n' (String.trim (read_file file)) in
+      Alcotest.(check bool) "journal has events" true (List.length lines >= 1);
+      Alcotest.(check bool)
+        "journal mentions the budget trip" true
+        (List.exists (contains "budget.trip") lines))
+
+let om_before =
+  "# TYPE wlcq_test_work counter\n\
+   wlcq_test_work_total 100\n\
+   # TYPE wlcq_test_lat_ns histogram\n\
+   wlcq_test_lat_ns_bucket{le=\"8\"} 10\n\
+   wlcq_test_lat_ns_bucket{le=\"+Inf\"} 10\n\
+   wlcq_test_lat_ns_sum 60\n\
+   wlcq_test_lat_ns_count 10\n\
+   # EOF\n"
+
+(* the histogram mass moves <=8 -> <=32 (a 4x p99 shift) and the
+   counter grows 10x: both above the 2x default threshold *)
+let om_after =
+  "# TYPE wlcq_test_work counter\n\
+   wlcq_test_work_total 1000\n\
+   # TYPE wlcq_test_lat_ns histogram\n\
+   wlcq_test_lat_ns_bucket{le=\"8\"} 0\n\
+   wlcq_test_lat_ns_bucket{le=\"32\"} 10\n\
+   wlcq_test_lat_ns_bucket{le=\"+Inf\"} 10\n\
+   wlcq_test_lat_ns_sum 250\n\
+   wlcq_test_lat_ns_count 10\n\
+   # EOF\n"
+
+let test_obs_diff_identical () =
+  with_tmp ".om" (fun a ->
+      with_tmp ".om" (fun b ->
+          write_file a om_before;
+          write_file b om_before;
+          let code, _ = run_capture (Printf.sprintf "obs-diff %s %s" a b) in
+          Alcotest.(check int) "identical snapshots exit 0" 0 code))
+
+let test_obs_diff_regression () =
+  with_tmp ".om" (fun a ->
+      with_tmp ".om" (fun b ->
+          write_file a om_before;
+          write_file b om_after;
+          let code, _ = run_capture (Printf.sprintf "obs-diff %s %s" a b) in
+          Alcotest.(check int) "2x regression exits 1" 1 code;
+          (* a threshold above the injected shift silences the verdict *)
+          let code, _ =
+            run_capture
+              (Printf.sprintf "obs-diff --threshold 20 %s %s" a b)
+          in
+          Alcotest.(check int) "threshold 20x exits 0" 0 code))
+
+let test_obs_diff_malformed () =
+  with_tmp ".om" (fun a ->
+      with_tmp ".om" (fun b ->
+          write_file a om_before;
+          write_file b "wlcq_x_total nonsense\n# EOF\n";
+          let code, stderr_text =
+            run_capture (Printf.sprintf "obs-diff %s %s" a b)
+          in
+          Alcotest.(check int) "malformed snapshot exits 2" 2 code;
+          Alcotest.(check bool)
+            "stderr uses the error: convention" true
+            (contains "error: " stderr_text)));
+  let code, _ = run_capture "obs-diff /nonexistent.a /nonexistent.b" in
+  Alcotest.(check int) "missing file exits 2" 2 code
+
 let () =
   Alcotest.run "cli"
     [
@@ -74,5 +201,21 @@ let () =
           Alcotest.test_case "negative verdict" `Quick test_negative_verdict;
           Alcotest.test_case "malformed input" `Quick test_malformed_inputs;
           Alcotest.test_case "budget exhaustion" `Quick test_budget_exhaustion;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "metrics-out on success" `Quick
+            test_metrics_out_success;
+          Alcotest.test_case "metrics-out on exit 3" `Quick
+            test_metrics_out_exhausted;
+          Alcotest.test_case "metrics-out on exit 2" `Quick
+            test_metrics_out_malformed;
+          Alcotest.test_case "journal file on exit 3" `Quick test_journal_out;
+          Alcotest.test_case "obs-diff identical" `Quick
+            test_obs_diff_identical;
+          Alcotest.test_case "obs-diff detects 2x shift" `Quick
+            test_obs_diff_regression;
+          Alcotest.test_case "obs-diff malformed input" `Quick
+            test_obs_diff_malformed;
         ] );
     ]

@@ -194,12 +194,12 @@ let test_default_run_skips_fixtures () =
   Alcotest.(check int) "no files scanned" 0 r.Engine.files_scanned
 
 let test_json_output_strictly_parseable () =
-  (* the --json report must satisfy the same strict JSON acceptor the
-     Obs trace exporter is held to — findings carry arbitrary message
-     text, so escaping bugs would surface here *)
+  (* the --json report must satisfy the shared strict JSON acceptor
+     (lib/strictjson) the Obs exporters are held to — findings carry
+     arbitrary message text, so escaping bugs would surface here *)
   let json = Engine.to_json (Lazy.force result) in
   Alcotest.(check bool) "lint --json passes the strict acceptor" true
-    (Wlcq_obs.Obs.json_parseable json)
+    (Wlcq_strictjson.Strict_json.parseable json)
 
 let test_census_parse_and_drift () =
   let census =

@@ -426,6 +426,88 @@ let test_kwl_spawn_demotion () =
                && a.Kwl.rounds = b.Kwl.rounds)
             plain demoted))
 
+(* ------------------------------------------------------------------ *)
+(* Postmortem flight-recorder dumps                                    *)
+(* ------------------------------------------------------------------ *)
+
+let contains needle s =
+  let n = String.length needle and h = String.length s in
+  let rec go i =
+    i + n <= h && (String.equal (String.sub s i n) needle || go (i + 1))
+  in
+  go 0
+
+(* Arm the flight recorder with an automatic dump file around [f] (a
+   scenario that must end in a trip or an injected fault), then assert
+   the PR 8 acceptance contract: the dump exists, every line is strict
+   JSON, and the final event names the engine it interrupted. *)
+let with_postmortem ~engine f =
+  let file = Filename.temp_file "wlcq_postmortem" ".jsonl" in
+  Obs.set_journal true;
+  Obs.set_journal_dump (Some file);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_journal_dump None;
+      Obs.set_journal false;
+      if Sys.file_exists file then Sys.remove file)
+    (fun () ->
+      f ();
+      check_bool "postmortem dump written" true (Sys.file_exists file);
+      let contents = In_channel.with_open_bin file In_channel.input_all in
+      let lines = String.split_on_char '\n' (String.trim contents) in
+      check_bool "dump is non-empty" true
+        (match lines with [] | [ "" ] -> false | _ -> true);
+      List.iter
+        (fun l ->
+           check_bool "dump line is strict JSON" true (Obs.json_parseable l))
+        lines;
+      let last = match List.rev lines with l :: _ -> l | [] -> "" in
+      check_bool "last event is a postmortem marker" true
+        (contains "journal.dump" last || contains "fault.injected" last
+         || contains "budget.trip" last);
+      check_bool
+        (Printf.sprintf "last event names the %s engine" engine)
+        true
+        (contains (Printf.sprintf "\"comp\":%S" engine) last))
+
+let test_postmortem_td_fault () =
+  let h = loose_bracket_graph () and g = Builders.clique 7 in
+  Exact.clear_decomposition_memo ();
+  with_postmortem ~engine:"td_count.count" (fun () ->
+      match
+        with_fault ~seed:5 ~sites:[ Fault.Dp_alloc ] (fun () ->
+            Td_count.count_budgeted ~budget:(Budget.create ()) h g)
+      with
+      | `Exhausted _ -> ()
+      | `Exact _ | `Degraded _ -> Alcotest.fail "dp_alloc fault must exhaust")
+
+let test_postmortem_kwl_trip () =
+  with_postmortem ~engine:"kwl.run_many" (fun () ->
+      match
+        Kwl.run_budgeted ~budget:(cancelled_budget ()) 2 (Builders.cycle 16)
+      with
+      | `Degraded _ | `Exhausted _ -> ()
+      | `Exact _ -> Alcotest.fail "cancelled token must not stay exact")
+
+let test_postmortem_spawn_demotion () =
+  if Domain.recommended_domain_count () <= 1 then ()
+  else begin
+    let h = Builders.path 6 and g = Builders.clique 6 in
+    let saved = !Td_count.parallel_threshold in
+    Td_count.parallel_threshold := 0;
+    Fun.protect
+      ~finally:(fun () -> Td_count.parallel_threshold := saved)
+      (fun () ->
+         with_postmortem ~engine:"td_count.count" (fun () ->
+             match
+               with_fault ~seed:9 ~sites:[ Fault.Domain_spawn ] (fun () ->
+                   Td_count.count_budgeted ~budget:(Budget.create ()) h g)
+             with
+             | `Exact _ -> ()
+             | `Degraded _ | `Exhausted _ ->
+               Alcotest.fail "spawn demotion must not change the outcome"))
+  end
+
 let test_cfi_cloning_ladder () =
   let base = Builders.cycle 5 in
   let even = Cfi.even base in
@@ -723,6 +805,15 @@ let () =
             test_dimension_interval;
           Alcotest.test_case "fast_count" `Quick test_fast_count_ladder;
           Alcotest.test_case "kg" `Quick test_kg_ladder;
+        ] );
+      ( "postmortem",
+        [
+          Alcotest.test_case "injected DP fault dumps the journal" `Quick
+            test_postmortem_td_fault;
+          Alcotest.test_case "kwl budget trip dumps the journal" `Quick
+            test_postmortem_kwl_trip;
+          Alcotest.test_case "spawn demotion dumps the journal" `Quick
+            test_postmortem_spawn_demotion;
         ] );
       ( "responsiveness",
         [

@@ -73,7 +73,17 @@ let () =
   let strict_failures =
     match !strict with true -> result.Engine.reasonless | false -> []
   in
-  if !json then print_endline (Engine.to_json result)
+  if !json then begin
+    let out = Engine.to_json result in
+    (* self-check against the shared strict acceptor before printing:
+       a malformed report must fail loudly here, not downstream in
+       whatever consumes it *)
+    if not (Wlcq_strictjson.Strict_json.parseable out) then begin
+      prerr_endline "wlcq_lint: internal error: --json output is not valid JSON";
+      exit 2
+    end;
+    print_endline out
+  end
   else if !stats then begin
     Printf.printf "wlcq-lint --stats (files scanned: %d)\n"
       result.Engine.files_scanned;
