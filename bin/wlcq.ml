@@ -68,10 +68,28 @@ module Dispatch = Wlcq_dispatch.Dispatch
    (success/failure encodings, including the malformed-input exit 2 and
    the degraded exit 3) still flush metrics, snapshots, traces and the
    flight-recorder journal. *)
-let obs_setup engine metrics trace metrics_out folded journal =
+let obs_setup engine metrics trace metrics_out folded journal cache_size_mb
+    cache_load cache_save =
   (match Dispatch.engine_of_string engine with
   | Ok e -> Dispatch.set_engine e
   | Error msg -> fail_malformed msg);
+  (match cache_size_mb with
+  | None -> ()
+  | Some mb ->
+    if mb < 0 then fail_malformed "--cache-size-mb must be >= 0";
+    Wlcq_cache.Cache.set_capacity_mb mb);
+  (match cache_load with
+  | None -> ()
+  | Some file -> (
+    match Wlcq_cache.Cache.load_file file with
+    | Ok _ -> ()
+    | Error msg -> fail_malformed msg));
+  (match cache_save with
+  | None -> ()
+  | Some file ->
+    (* saved from [at_exit] for the same reason the metrics are: the
+       subcommands encode success/degradation in their exit codes *)
+    at_exit (fun () -> ignore (Wlcq_cache.Cache.save_file file)));
   if
     metrics || Option.is_some metrics_out || Option.is_some trace
     || Option.is_some folded
@@ -159,9 +177,29 @@ let obs_term =
                    to $(docv) on exit; budget trips and injected faults \
                    rewrite the dump eagerly at the moment they fire.")
   in
+  let cache_size_mb =
+    Arg.(value & opt (some int) None
+         & info [ "cache-size-mb" ] ~docv:"MB"
+             ~doc:"Capacity of the content-addressed result cache \
+                   (decompositions, k-WL verdicts and colourings, hom \
+                   counts), in megabytes of live heap; default 256. \
+                   $(b,0) disables the cache entirely.")
+  in
+  let cache_load =
+    Arg.(value & opt (some string) None
+         & info [ "cache-load" ] ~docv:"FILE"
+             ~doc:"Warm-start the result cache from a snapshot written by \
+                   $(b,--cache-save) before the run.")
+  in
+  let cache_save =
+    Arg.(value & opt (some string) None
+         & info [ "cache-save" ] ~docv:"FILE"
+             ~doc:"Write the result cache to $(docv) on exit (any exit \
+                   code), for $(b,--cache-load) warm starts.")
+  in
   Term.(
     const obs_setup $ engine $ metrics $ trace $ metrics_out $ folded
-    $ journal)
+    $ journal $ cache_size_mb $ cache_load $ cache_save)
 
 (* ------------------------------------------------------------------ *)
 (* Budget flags, shared by every subcommand                            *)

@@ -1,0 +1,365 @@
+(* Content-addressed caching tier.
+
+   One shared, domain-safe, size-accounted LRU over string content
+   addresses.  Keys are canonical-form digests (Iso.canonical_form)
+   when the bounded search cracks the input, so isomorphic inputs are
+   the same key — counting-minimal representatives are unique up to
+   isomorphism (Definition 9) and every artifact cached here
+   (decompositions, colourings, hom counts) is isomorphism-invariant up
+   to the permutation returned alongside the address.  Inputs past the
+   size gate or the node budget get a structural as-labelled digest:
+   coarser (relabelled copies miss) but equally sound and cheap.
+
+   This module is the single sanctioned home for module-level memo state
+   in lib/ (lint rule R10 bans ad-hoc memo tables elsewhere); everything
+   below is guarded by [lock]. *)
+
+module Obs = Wlcq_obs.Obs
+module Graph = Wlcq_graph.Graph
+module Iso = Wlcq_graph.Iso
+module Perm = Wlcq_util.Perm
+
+let word_bytes = Sys.word_size / 8
+let words_per_mb = 1024 * 1024 / word_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let m_hit = Obs.counter "cache.hit"
+let m_miss = Obs.counter "cache.miss"
+let m_eviction = Obs.counter "cache.eviction"
+
+(* gauge in spirit: tracks the live byte total via signed deltas *)
+let m_bytes = Obs.counter "cache.bytes"
+let m_canon_fallback = Obs.counter "cache.canon_fallback"
+
+(* ------------------------------------------------------------------ *)
+(* LRU machinery                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type packed = ..
+type packed += Nil
+
+(* Intrusive doubly-linked list node; [sentinel.next] is the MRU end,
+   [sentinel.prev] the LRU end. *)
+type node = {
+  nd_key : string;
+  nd_value : packed;
+  nd_cost : int;  (* estimated live heap words, entry overhead included *)
+  (* lint: domain-local list links are only rewired under [lock] *)
+  mutable nd_prev : node;
+  (* lint: domain-local same ownership as [nd_prev] *)
+  mutable nd_next : node;
+}
+
+let rec sentinel =
+  { nd_key = ""; nd_value = Nil; nd_cost = 0; nd_prev = sentinel;
+    nd_next = sentinel }
+
+let lock = Mutex.create ()
+
+(* lint: domain-local guarded by [lock] *)
+let table : (string, node) Hashtbl.t = Hashtbl.create 1024
+
+(* lint: domain-local guarded by [lock]; plain int reads cannot tear *)
+let total_words = ref 0
+
+(* lint: domain-local guarded by [lock]; plain int reads cannot tear *)
+let capacity = ref (256 * words_per_mb)
+
+let with_lock f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+    Mutex.unlock lock;
+    v
+  | exception e ->
+    Mutex.unlock lock;
+    raise e
+
+let enabled () = !capacity > 0
+
+let unlink nd =
+  nd.nd_prev.nd_next <- nd.nd_next;
+  nd.nd_next.nd_prev <- nd.nd_prev
+
+let push_front nd =
+  nd.nd_next <- sentinel.nd_next;
+  nd.nd_prev <- sentinel;
+  sentinel.nd_next.nd_prev <- nd;
+  sentinel.nd_next <- nd
+
+(* caller holds [lock] *)
+let drop nd =
+  unlink nd;
+  Hashtbl.remove table nd.nd_key;
+  total_words := !total_words - nd.nd_cost;
+  Obs.add m_bytes (-(nd.nd_cost * word_bytes))
+
+(* caller holds [lock] *)
+let evict_until_fit () =
+  while !total_words > !capacity && sentinel.nd_prev != sentinel do
+    drop sentinel.nd_prev;
+    Obs.incr m_eviction
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Stores                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type 'a store = {
+  s_name : string;
+  s_words : 'a -> int;
+  s_inject : 'a -> packed;
+  s_project : packed -> 'a option;
+  s_marshal : 'a -> string;
+  s_unmarshal : string -> 'a;
+}
+
+type any_store = Any : 'a store -> any_store
+
+(* lint: domain-local guarded by [lock]; populated at module init *)
+let registry : (string, any_store) Hashtbl.t = Hashtbl.create 16
+
+let store (type a) ~name ~(words : a -> int) () : a store =
+  let module M = struct
+    type packed += V of a
+  end in
+  let s =
+    {
+      s_name = name;
+      s_words = words;
+      s_inject = (fun v -> M.V v);
+      s_project = (function M.V v -> Some v | _ -> None);
+      s_marshal = (fun (v : a) -> Marshal.to_string v []);
+      s_unmarshal = (fun str -> (Marshal.from_string str 0 : a));
+    }
+  in
+  with_lock (fun () -> Hashtbl.replace registry name (Any s));
+  s
+
+let full_key st addr = st.s_name ^ "\x00" ^ addr
+
+(* hashtable slot + node record + key string, in words *)
+let entry_overhead key = 16 + ((String.length key + word_bytes - 1) / word_bytes)
+
+let find st addr =
+  if not (enabled ()) then None
+  else
+    with_lock (fun () ->
+        match Hashtbl.find_opt table (full_key st addr) with
+        | None ->
+          Obs.incr m_miss;
+          None
+        | Some nd ->
+          (match st.s_project nd.nd_value with
+           | None ->
+             Obs.incr m_miss;
+             None
+           | Some v ->
+             Obs.incr m_hit;
+             unlink nd;
+             push_front nd;
+             Some v))
+
+let add st addr v =
+  if enabled () then
+    with_lock (fun () ->
+        let key = full_key st addr in
+        (match Hashtbl.find_opt table key with
+         | Some old -> drop old
+         | None -> ());
+        let cost = st.s_words v + entry_overhead key in
+        if cost <= !capacity then begin
+          let nd =
+            { nd_key = key; nd_value = st.s_inject v; nd_cost = cost;
+              nd_prev = sentinel; nd_next = sentinel }
+          in
+          Hashtbl.replace table key nd;
+          push_front nd;
+          total_words := !total_words + cost;
+          Obs.add m_bytes (cost * word_bytes);
+          evict_until_fit ()
+        end)
+
+module Graph_tbl = Hashtbl.Make (struct
+    type t = Graph.t
+
+    let equal = Graph.equal
+    let hash = Graph.hash
+  end)
+
+(* Structural memo in front of canonicalisation so resubmitting the
+   same (as-labelled) graph skips the I-R search entirely; bounded by
+   reset-on-full like the pre-tier decomposition memo was. *)
+(* lint: domain-local guarded by [lock] *)
+let addr_memo : (string * Perm.t) Graph_tbl.t = Graph_tbl.create 256
+let addr_memo_cap = 4096
+
+let clear_store st =
+  with_lock (fun () ->
+      let prefix = st.s_name ^ "\x00" in
+      let plen = String.length prefix in
+      let doomed = ref [] in
+      let nd = ref sentinel.nd_next in
+      while !nd != sentinel do
+        let k = !nd.nd_key in
+        if String.length k >= plen && String.equal (String.sub k 0 plen) prefix
+        then doomed := !nd :: !doomed;
+        nd := !nd.nd_next
+      done;
+      List.iter drop !doomed)
+
+let clear () =
+  with_lock (fun () ->
+      while sentinel.nd_prev != sentinel do
+        drop sentinel.nd_prev
+      done;
+      (* the address memo goes too, so post-clear traffic repays
+         canonicalisation — cold benchmarks stay honest *)
+      Graph_tbl.reset addr_memo)
+
+let set_capacity_words w =
+  with_lock (fun () ->
+      capacity := max 0 w;
+      evict_until_fit ())
+
+let set_capacity_mb mb = set_capacity_words (mb * words_per_mb)
+
+type stats = { entries : int; words : int; capacity_words : int }
+
+let stats () =
+  with_lock (fun () ->
+      { entries = Hashtbl.length table; words = !total_words;
+        capacity_words = !capacity })
+
+(* ------------------------------------------------------------------ *)
+(* Content addresses                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Node budget for the individualization–refinement search.  Inputs the
+   refinement cannot crack within this many nodes (CFI-style gadget
+   families, automorphism-rich grids, dense random blocks) fall back to
+   a structural as-labelled digest: still a correct key — identical
+   graphs collide — it merely stops recognising nontrivially relabelled
+   isomorphic copies.  The budget is deliberately small: a fallback
+   burns the whole search before giving up, and that burn is pure
+   overhead on every first touch of a hard graph, so cheap failure
+   matters more than cracking marginal instances (which would only be
+   re-recognised after a nontrivial relabelling — a rare event compared
+   to first-touch traffic). *)
+let canon_limit = 1_500
+
+(* Above this many vertices the search is not attempted at all: per-node
+   refinement cost scales with the graph, so even a failed search on a
+   large instance costs tens of milliseconds, and relabelled
+   resubmission of large hosts is not a workload we optimise for.
+   Paper-scale artifacts — query graphs, CFI companions, the instances
+   the F8 suite replays — sit well under the gate. *)
+let canon_max_vertices = 24
+
+let structural_digest g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "wlcq-struct-v1;";
+  Buffer.add_string buf (string_of_int (Graph.num_vertices g));
+  Buffer.add_char buf ';';
+  Graph.iter_edges g (fun u v ->
+      Buffer.add_string buf (string_of_int u);
+      Buffer.add_char buf '-';
+      Buffer.add_string buf (string_of_int v);
+      Buffer.add_char buf ',');
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let address g =
+  match with_lock (fun () -> Graph_tbl.find_opt addr_memo g) with
+  | Some r -> r
+  | None ->
+    let r =
+      if Graph.num_vertices g > canon_max_vertices then begin
+        Obs.incr m_canon_fallback;
+        ("S:" ^ structural_digest g, Perm.identity (Graph.num_vertices g))
+      end
+      else
+        match Iso.canonical_form ~limit:canon_limit g with
+        | c -> ("C:" ^ c.Iso.digest, c.Iso.perm)
+        | exception Iso.Canonical_limit ->
+          Obs.incr m_canon_fallback;
+          ("S:" ^ structural_digest g, Perm.identity (Graph.num_vertices g))
+    in
+    with_lock (fun () ->
+        if Graph_tbl.length addr_memo >= addr_memo_cap then
+          Graph_tbl.reset addr_memo;
+        Graph_tbl.replace addr_memo g r);
+    r
+
+(* ------------------------------------------------------------------ *)
+(* Warm-start snapshots                                                *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_magic = "WLCQCACHE1\n"
+
+let save_file path =
+  let payload =
+    with_lock (fun () ->
+        (* walk LRU -> MRU so replaying [add]s on load restores
+           recency order *)
+        let acc = ref [] in
+        let nd = ref sentinel.nd_prev in
+        while !nd != sentinel do
+          let k = !nd.nd_key in
+          (match String.index_opt k '\x00' with
+           | None -> ()
+           | Some i ->
+             let name = String.sub k 0 i in
+             let addr = String.sub k (i + 1) (String.length k - i - 1) in
+             (match Hashtbl.find_opt registry name with
+              | None -> ()
+              | Some (Any st) ->
+                (match st.s_project !nd.nd_value with
+                 | None -> ()
+                 | Some v -> acc := (name, addr, st.s_marshal v) :: !acc)));
+          nd := !nd.nd_prev
+        done;
+        List.rev !acc)
+  in
+  try
+    let oc = open_out_bin path in
+    output_string oc snapshot_magic;
+    Marshal.to_channel oc (payload : (string * string * string) list) [];
+    close_out oc;
+    Ok (List.length payload)
+  with Sys_error msg -> Error msg
+
+let load_file path =
+  try
+    let ic = open_in_bin path in
+    let finally () = close_in_noerr ic in
+    (try
+       let mlen = String.length snapshot_magic in
+       let hdr = really_input_string ic mlen in
+       if not (String.equal hdr snapshot_magic) then begin
+         finally ();
+         Error (path ^ ": not a wlcq cache snapshot")
+       end
+       else begin
+         let payload =
+           (Marshal.from_channel ic : (string * string * string) list)
+         in
+         finally ();
+         let loaded = ref 0 in
+         List.iter
+           (fun (name, addr, bytes) ->
+              match with_lock (fun () -> Hashtbl.find_opt registry name) with
+              | None -> ()
+              | Some (Any st) ->
+                add st addr (st.s_unmarshal bytes);
+                incr loaded)
+           payload;
+         Ok !loaded
+       end
+     with
+     | End_of_file | Failure _ ->
+       finally ();
+       Error (path ^ ": truncated or corrupt cache snapshot"))
+  with Sys_error msg -> Error msg

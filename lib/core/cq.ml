@@ -189,6 +189,11 @@ let relabel q p =
   let free = Bitset.to_list q.free in
   make graph (List.map (fun x -> p.(x)) free)
 
+let normal_form ?limit q =
+  let c = Iso.canonical_form ~init:(colours_of q) ?limit q.graph in
+  let free = List.map (fun x -> c.Iso.perm.(x)) (Bitset.to_list q.free) in
+  (make c.Iso.canon free, c.Iso.perm, c.Iso.digest)
+
 let pp ppf q =
   Format.fprintf ppf "(%a, X=%a)" Graph.pp q.graph Bitset.pp q.free
 

@@ -97,6 +97,15 @@ val partial_automorphisms : t -> int array list
 (** [relabel q p] renames the variables by the permutation [p]. *)
 val relabel : t -> Wlcq_util.Perm.t -> t
 
+(** [normal_form q] is the canonical representative of [q]'s
+    isomorphism class (free variables respected, Definition 9):
+    [(nf, p, digest)] with [nf = relabel q p] the canonically labelled
+    query and [digest] a stable content address — isomorphic queries
+    get identical [nf] and [digest].  [limit] bounds the underlying
+    individualization–refinement search
+    ({!Wlcq_graph.Iso.canonical_form}). *)
+val normal_form : ?limit:int -> t -> t * Wlcq_util.Perm.t * string
+
 (** [pp] prints as [(graph(...), X={...})]. *)
 val pp : Format.formatter -> t -> unit
 

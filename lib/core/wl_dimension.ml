@@ -171,36 +171,34 @@ let cp_ans_counts w =
 (* The k-WL oracle is called repeatedly on the same CFI pairs (per
    candidate k by the callers, and per query sharing a core by the
    bench tables), and a k-WL run is by far the costliest step of the
-   pipeline — memoise verdicts per (k, pair).  Graphs are immutable
-   and structurally comparable; the pair is ordered so both argument
-   orders share one entry. *)
-module Pair_tbl = Hashtbl.Make (struct
-    type t = int * Graph.t * Graph.t
-
-    let equal (k1, a1, b1) (k2, a2, b2) =
-      Int.equal k1 k2 && Graph.equal a1 a2 && Graph.equal b1 b2
-
-    let hash (k, a, b) =
-      let open Wlcq_util.Ordering in
-      hash_mix (hash_mix (hash_int k) (Graph.hash a)) (Graph.hash b)
-  end)
-
-(* lint: domain-local only the caller's domain touches the memo; Kwl's
-   worker domains never call back into this module *)
-let equivalent_memo : bool Pair_tbl.t = Pair_tbl.create 64
+   pipeline — memoise verdicts per (k, pair) in the shared
+   content-addressed tier.  The verdict is isomorphism-invariant, so
+   keying on canonical digests lets relabelled copies of a pair share
+   one entry; the two addresses are ordered so both argument orders do
+   too. *)
+let equivalent_store =
+  Wlcq_cache.Cache.store ~name:"wl_dimension.equivalent"
+    ~words:(fun (_ : bool) -> 1)
+    ()
 
 let equivalent_cached k g1 g2 =
-  let g1, g2 = if Graph.compare g1 g2 <= 0 then (g1, g2) else (g2, g1) in
-  let key = (k, g1, g2) in
-  match Pair_tbl.find_opt equivalent_memo key with
-  | Some v ->
-    Obs.incr m_cache_hits;
-    v
-  | None ->
-    Obs.incr m_cache_misses;
-    let v = Wlcq_wl.Equivalence.equivalent k g1 g2 in
-    Pair_tbl.add equivalent_memo key v;
-    v
+  if not (Wlcq_cache.Cache.enabled ()) then
+    Wlcq_wl.Equivalence.equivalent k g1 g2
+  else begin
+    let a1, _ = Wlcq_cache.Cache.address g1 in
+    let a2, _ = Wlcq_cache.Cache.address g2 in
+    let a1, a2 = if String.compare a1 a2 <= 0 then (a1, a2) else (a2, a1) in
+    let key = string_of_int k ^ "|" ^ a1 ^ "|" ^ a2 in
+    match Wlcq_cache.Cache.find equivalent_store key with
+    | Some v ->
+      Obs.incr m_cache_hits;
+      v
+    | None ->
+      Obs.incr m_cache_misses;
+      let v = Wlcq_wl.Equivalence.equivalent k g1 g2 in
+      Wlcq_cache.Cache.add equivalent_store key v;
+      v
+  end
 
 let witness_pair_equivalent w k =
   equivalent_cached k w.even.Cfi.graph w.odd.Cfi.graph

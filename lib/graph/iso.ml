@@ -40,6 +40,9 @@ let normalise colourings =
 
 let refine_many graphs inits =
   let colourings, c = normalise inits in
+  (* lint: allow R7 refinement stabilises in at most n rounds; budgeted
+     callers only reach it through the canonicaliser, whose own node
+     budget (Canonical_limit) bounds the whole search *)
   let rec go colourings c =
     let colourings', c' = refine_round graphs colourings in
     if c' = c then (colourings, c) else go colourings' c'
@@ -151,6 +154,128 @@ let find_isomorphism_respecting g1 init1 g2 init2 =
   search ~init1 ~init2 g1 g2 []
 
 let isomorphic g1 g2 = Option.is_some (find_isomorphism g1 g2)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical labelling (individualization–refinement)                  *)
+(* ------------------------------------------------------------------ *)
+
+exception Canonical_limit
+
+type canonical = {
+  canon : Graph.t;
+  perm : Wlcq_util.Perm.t;
+  digest : string;
+}
+
+(* Encode the canonical form byte-stably: vertex count, the canonical
+   initial colouring, then the sorted edge list of the canonical graph.
+   Isomorphic inputs (with corresponding initial colourings) reach the
+   same canonical graph and the same canonical colouring, hence the
+   same digest. *)
+let digest_of_canonical canon init_canon =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "wlcq-canon-v1;";
+  Buffer.add_string buf (string_of_int (Graph.num_vertices canon));
+  Buffer.add_char buf ';';
+  Array.iter
+    (fun c ->
+       Buffer.add_string buf (string_of_int c);
+       Buffer.add_char buf ',')
+    init_canon;
+  Buffer.add_char buf ';';
+  Graph.iter_edges canon (fun u v ->
+      Buffer.add_string buf (string_of_int u);
+      Buffer.add_char buf '-';
+      Buffer.add_string buf (string_of_int v);
+      Buffer.add_char buf ',');
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Canonical form by individualization–refinement backtracking on top
+   of [refine].  Key structural facts that make the simple scheme
+   sound:
+
+   - [refine_round] assigns new colour ids in sorted signature order
+     with the old colour as the leading component, so the stable
+     colour order (a) is canonical across isomorphic inputs and
+     (b) refines the initial colour order.
+   - The target cell — the smallest colour id of size >= 2 — is
+     therefore an isomorphism-invariant choice, and individualizing
+     each of its members in turn explores corresponding branches on
+     corresponding inputs.
+   - At a discrete leaf the stable colouring IS a permutation; the
+     candidate minimising [Graph.compare] on the relabelled graph is
+     compared over an input-independent candidate set, so the minimum
+     is canonical.
+
+   Each visited search node costs one full refinement.  [limit] bounds
+   the node count: refinement-homogeneous inputs (CFI gadgets) can
+   force an exponential tree, and callers that only need a correct —
+   not isomorphism-complete — address catch [Canonical_limit] and fall
+   back to a structural digest. *)
+let canonical_form ?init ?(limit = max_int) g =
+  let n = Graph.num_vertices g in
+  let base =
+    match init with
+    | None -> Array.make n 0
+    | Some a ->
+      if Array.length a <> n then
+        invalid_arg "Iso.canonical_form: colouring size mismatch";
+      a
+  in
+  let init_norm =
+    match normalise [ base ] with [ a ], _ -> a | _ -> assert false
+  in
+  if n = 0 then
+    { canon = g; perm = [||]; digest = digest_of_canonical g [||] }
+  else begin
+    let nodes = ref 0 in
+    let best = ref None in
+    let consider colours =
+      let p = Array.copy colours in
+      let h = Ops.relabel g p in
+      match !best with
+      | Some (bh, _) when Graph.compare bh h <= 0 -> ()
+      | _ -> best := Some (h, p)
+    in
+    (* lint: allow R7 the I-R search runs under its own node budget:
+       every node increments [nodes] and trips [Canonical_limit], and
+       the cache address falls back to a structural digest on the trip
+       — threading the caller's Budget here would make content
+       addresses depend on how much budget was left *)
+    let rec go colours c =
+      incr nodes;
+      if !nodes > limit then raise Canonical_limit;
+      if c = n then consider colours
+      else begin
+        (* smallest colour id with a non-singleton class: canonical
+           because colour ids are ordered by refinement history *)
+        let hist = histogram colours c in
+        let target = ref 0 in
+        while hist.(!target) < 2 do incr target done;
+        let t = !target in
+        (* lint: allow R7 one pass over the target cell per search
+           node; bounded by the same Canonical_limit node budget *)
+        for v = 0 to n - 1 do
+          if colours.(v) = t then begin
+            (* split v below its classmates, preserving the relative
+               order of all other classes *)
+            let init' = Array.map (fun col -> (2 * col) + 1) colours in
+            init'.(v) <- 2 * t;
+            let colours', c' = refine g init' in
+            go colours' c'
+          end
+        done
+      end
+    in
+    let colours0, c0 = refine g init_norm in
+    go colours0 c0;
+    match !best with
+    | None -> assert false
+    | Some (h, p) ->
+      let init_canon = Array.make n 0 in
+      Array.iteri (fun v c -> init_canon.(p.(v)) <- c) init_norm;
+      { canon = h; perm = p; digest = digest_of_canonical h init_canon }
+  end
 
 (* Enumerate all automorphisms by exhaustive colour-pruned
    backtracking.  Meant for query graphs (small), not data graphs. *)

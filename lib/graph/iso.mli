@@ -49,3 +49,31 @@ val refine : Graph.t -> int array -> int array * int
     colour namespace and returns [(colours1, colours2, c)]. *)
 val refine_pair :
   Graph.t -> int array -> Graph.t -> int array -> int array * int array * int
+
+(** A canonical labelling of a graph: the canonically relabelled graph
+    itself, the renaming permutation (original vertex [v] has canonical
+    id [perm.(v)]), and a stable hex digest of the canonical encoding.
+    Two isomorphic graphs (refined with corresponding initial
+    colourings) produce [Graph.equal] canonical graphs and identical
+    digests — the foundation of content-addressed caching: isomorphic
+    inputs are the same key (Definition 9's counting-minimal
+    representatives are unique up to isomorphism). *)
+type canonical = {
+  canon : Graph.t;
+  perm : Wlcq_util.Perm.t;
+  digest : string;
+}
+
+(** Raised by {!canonical_form} when the individualization–refinement
+    search exceeds its node budget (refinement-homogeneous inputs such
+    as CFI gadgets can force an exponential tree). *)
+exception Canonical_limit
+
+(** [canonical_form ?init ?limit g] computes a canonical labelling by
+    individualization–refinement backtracking on top of {!refine}.
+    [init] seeds the refinement (default: uniform), and the canonical
+    form respects it: isomorphic inputs with corresponding colourings
+    get identical digests, inputs with different colourings do not
+    collide.  [limit] (default: unbounded) caps the number of visited
+    search nodes; @raise Canonical_limit when exceeded. *)
+val canonical_form : ?init:int array -> ?limit:int -> Graph.t -> canonical

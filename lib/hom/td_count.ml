@@ -535,6 +535,59 @@ let choose h g =
   Dispatch.choose_hom ~nh:(Graph.num_vertices h) ~ng:(Graph.num_vertices g)
     ~mg:(Graph.num_edges g)
 
+(* ------------------------------------------------------------------ *)
+(* Content-addressed count cache                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Cache = Wlcq_cache.Cache
+
+let m_cache_hits = Obs.counter "td_count.cache_hits"
+let m_cache_misses = Obs.counter "td_count.cache_misses"
+
+let count_store =
+  Cache.store ~name:"td_count.count"
+    ~words:(fun (v : Bigint.t) -> 8 + (String.length (Bigint.to_string v) / 8))
+    ()
+
+(* hom(h, g) is isomorphism-invariant in both arguments, so the DP's
+   root aggregate can be keyed on the pair of canonical digests and
+   reused verbatim — no per-vertex translation needed for a total.
+   The cache only arms itself where (a) the instance is DP-scale by
+   the auto cost model — tiny brute instances would pay more in
+   canonicalisation than the count costs, (b) the caller did not
+   restrict [?candidates] (a restricted count is not hom(h, g)), and
+   (c) the engine is not forced — forced runs are differential probes
+   and must exercise the engine they name. *)
+let count_cacheable ?candidates h g =
+  (match candidates with None -> true | Some _ -> false)
+  && (match Dispatch.engine () with Dispatch.Auto -> true | _ -> false)
+  && Cache.enabled ()
+  && Dispatch.brute_cost ~nh:(Graph.num_vertices h)
+       ~ng:(Graph.num_vertices g) ~mg:(Graph.num_edges g)
+     > (Dispatch.calibration ()).Dispatch.brute_hom_max
+
+(* [compute] raises [Budget.Exhausted] on a trip, so a value reaching
+   [add] is exact by construction; degraded outcomes go through
+   [count_budgeted], which bypasses this helper's [add]. *)
+let count_via_cache ~cacheable ~key compute =
+  if not cacheable then compute ()
+  else
+    match Cache.find count_store (Lazy.force key) with
+    | Some v ->
+      Obs.incr m_cache_hits;
+      v
+    | None ->
+      Obs.incr m_cache_misses;
+      let v = compute () in
+      Cache.add count_store (Lazy.force key) v;
+      v
+
+let count_key h g =
+  lazy
+    (let ah, _ = Cache.address h in
+     let ag, _ = Cache.address g in
+     ah ^ "|" ^ ag)
+
 let count_with_decomposition ?(budget = Budget.unlimited) ?candidates d h g =
   if not (Decomposition.is_valid_for d h) then
     invalid_arg "Td_count.count_with_decomposition: decomposition does not match the pattern";
@@ -551,13 +604,20 @@ let count ?(budget = Budget.unlimited) ?candidates h g =
   if Graph.num_vertices h = 0 then Bigint.one
   else if Graph.num_vertices g = 0 then Bigint.zero
   else
-    (* dispatch before the decomposition: the point of the brute path is
-       that tiny instances skip the treewidth machinery entirely *)
-    match choose h g with
-    | Dispatch.Hom_brute -> Bigint.of_int (Brute.count ~budget ?candidates h g)
-    | Dispatch.Hom_reference -> count_reference ?candidates h g
-    | Dispatch.Hom_packed ->
-      run_packed_path ~budget ?candidates (Exact.optimal_decomposition h) h g
+    count_via_cache
+      ~cacheable:(Budget.is_unlimited budget && count_cacheable ?candidates h g)
+      ~key:(count_key h g)
+      (fun () ->
+         (* dispatch before the decomposition: the point of the brute
+            path is that tiny instances skip the treewidth machinery
+            entirely *)
+         match choose h g with
+         | Dispatch.Hom_brute ->
+           Bigint.of_int (Brute.count ~budget ?candidates h g)
+         | Dispatch.Hom_reference -> count_reference ?candidates h g
+         | Dispatch.Hom_packed ->
+           run_packed_path ~budget ?candidates
+             (Exact.optimal_decomposition h) h g)
 
 (* One exhaustion bookkeeping point for every ladder exit: counter,
    flight-recorder event, outcome. *)
@@ -596,35 +656,65 @@ let count_budgeted ~budget ?candidates h g =
     | `Exact n -> `Exact (Bigint.of_int n)
     | `Degraded (n, r) -> `Degraded (Bigint.of_int n, r)
     | `Exhausted (_, r) -> note_exhausted r
-  else
-    match Exact.optimal_decomposition_budgeted ~budget h with
-    | exception Budget.Exhausted r -> note_exhausted r
-    | od ->
-      let d, decomp_degraded =
-        match od with
-        | `Exact d -> (d, None)
-        | `Degraded (d, r) -> (d, Some r)
-        | `Exhausted _ -> assert false
+  else begin
+    (* a limited budget bypasses the cache read: budgeted runs exist to
+       exercise bounded execution (degradation ladders, fault
+       injection), and a memoised total would short-circuit exactly the
+       machinery the caller asked to run.  Exact results still enter
+       the cache below — they are exact however bounded the run was. *)
+    let cacheable = count_cacheable ?candidates h g in
+    let key = count_key h g in
+    let cached =
+      if cacheable && Budget.is_unlimited budget then
+        Cache.find count_store (Lazy.force key)
+      else None
+    in
+    match cached with
+    | Some v ->
+      Obs.incr m_cache_hits;
+      `Exact v
+    | None ->
+      if cacheable then Obs.incr m_cache_misses;
+      let outcome =
+        match Exact.optimal_decomposition_budgeted ~budget h with
+        | exception Budget.Exhausted r -> note_exhausted r
+        | od ->
+          let d, decomp_degraded =
+            match od with
+            | `Exact d -> (d, None)
+            | `Degraded (d, r) -> (d, Some r)
+            | `Exhausted _ -> assert false
+          in
+          (* the DP rung runs under a fork: the decomposition phase's
+             trip latch must not poison an otherwise-completable DP
+             (the fork re-trips immediately if the
+             deadline/ceiling/token condition still holds) *)
+          let dp_budget =
+            match decomp_degraded with
+            | None -> budget
+            | Some _ -> Budget.fork budget
+          in
+          match count_with_decomposition ~budget:dp_budget ?candidates d h g
+          with
+          | exception Budget.Exhausted r -> note_exhausted r
+          | v ->
+            (match decomp_degraded with
+             | None -> `Exact v
+             | Some r ->
+               Obs.incr m_heuristic_decomp;
+               Obs.journal ~severity:Obs.Info
+                 ~attrs:[ ("cause", Budget.reason_to_string r.Outcome.cause) ]
+                 "td_count.heuristic_decomp";
+               Outcome.degraded ~cause:r.Outcome.cause
+                 ~fallback:"heuristic decomposition (count still exact)" v)
       in
-      (* the DP rung runs under a fork: the decomposition phase's trip
-         latch must not poison an otherwise-completable DP (the fork
-         re-trips immediately if the deadline/ceiling/token condition
-         still holds) *)
-      let dp_budget =
-        match decomp_degraded with None -> budget | Some _ -> Budget.fork budget
-      in
-      match count_with_decomposition ~budget:dp_budget ?candidates d h g with
-      | exception Budget.Exhausted r -> note_exhausted r
-      | v ->
-        (match decomp_degraded with
-         | None -> `Exact v
-         | Some r ->
-           Obs.incr m_heuristic_decomp;
-           Obs.journal ~severity:Obs.Info
-             ~attrs:[ ("cause", Budget.reason_to_string r.Outcome.cause) ]
-             "td_count.heuristic_decomp";
-           Outcome.degraded ~cause:r.Outcome.cause
-             ~fallback:"heuristic decomposition (count still exact)" v)
+      (* never cache [`Degraded]: only fully-trusted exact totals
+         enter the tier *)
+      (match outcome with
+       | `Exact v when cacheable -> Cache.add count_store (Lazy.force key) v
+       | _ -> ());
+      outcome
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Batch API.                                                          *)
@@ -698,34 +788,40 @@ let count_many ?(budget = Budget.unlimited) ?candidates hs g =
            | Dispatch.Hom_brute ->
              Bigint.of_int (Brute.count ~budget ?candidates h g)
            | Dispatch.Hom_reference -> count_reference ?candidates h g
-           | Dispatch.Hom_packed -> begin
-             let d =
-               (* a size-n_max "prefix" is full adjacency equality with
-                  hmax — same vertex count alone is not enough *)
-               if not (is_prefix_induced h hmax) then
-                 Exact.optimal_decomposition h
-               else if n_i = n_max then begin
-                 if on then Obs.incr m_decomp_shared;
-                 d_max
-               end
-               else begin
-                 let d' = restrict_decomposition d_max n_i in
-                 if Decomposition.is_valid_for d' h then begin
-                   if on then Obs.incr m_decomp_shared;
-                   d'
-                 end
-                 else Exact.optimal_decomposition h
-               end
-             in
-             if on then Obs.incr m_runs;
-             let work = work_estimate d.Decomposition.bags ng in
-             let cand =
-               if Dispatch.prune_candidates ~work then
-                 arc_consistent ?candidates ~seed h g
-               else seeded_candidates ?candidates ~seed h g
-             in
-             match run_packed ~budget d h g cand with
-             | Ok v -> v
-             | Error r -> raise (Budget.Exhausted r)
-           end)
+           | Dispatch.Hom_packed ->
+             count_via_cache
+               ~cacheable:
+                 (Budget.is_unlimited budget
+                  && count_cacheable ?candidates h g)
+               ~key:(count_key h g)
+               (fun () ->
+                  let d =
+                    (* a size-n_max "prefix" is full adjacency equality
+                       with hmax — same vertex count alone is not
+                       enough *)
+                    if not (is_prefix_induced h hmax) then
+                      Exact.optimal_decomposition h
+                    else if n_i = n_max then begin
+                      if on then Obs.incr m_decomp_shared;
+                      d_max
+                    end
+                    else begin
+                      let d' = restrict_decomposition d_max n_i in
+                      if Decomposition.is_valid_for d' h then begin
+                        if on then Obs.incr m_decomp_shared;
+                        d'
+                      end
+                      else Exact.optimal_decomposition h
+                    end
+                  in
+                  if on then Obs.incr m_runs;
+                  let work = work_estimate d.Decomposition.bags ng in
+                  let cand =
+                    if Dispatch.prune_candidates ~work then
+                      arc_consistent ?candidates ~seed h g
+                    else seeded_candidates ?candidates ~seed h g
+                  in
+                  match run_packed ~budget d h g cand with
+                  | Ok v -> v
+                  | Error r -> raise (Budget.Exhausted r)))
         hs

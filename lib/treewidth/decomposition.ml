@@ -17,6 +17,17 @@ let singleton h =
   let n = Graph.num_vertices h in
   { tree = Graph.empty 1; bags = [| Bitset.full n |] }
 
+let relabel d p =
+  let bags =
+    Array.map
+      (fun b ->
+         let nb = Bitset.create (Bitset.capacity b) in
+         Bitset.iter (fun v -> Bitset.set nb p.(v)) b;
+         nb)
+      d.bags
+  in
+  { d with bags }
+
 let is_valid_for d h =
   let n = Graph.num_vertices h in
   let nodes = Graph.num_vertices d.tree in

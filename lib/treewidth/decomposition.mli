@@ -25,6 +25,13 @@ val width : t -> int
 (** [is_valid_for d h] checks (T1), (T2), (T3) against [h]. *)
 val is_valid_for : t -> Graph.t -> bool
 
+(** [relabel d p] maps every bag through the vertex permutation [p]
+    (vertex [v] becomes [p.(v)]); the tree is unchanged.  If [d] is
+    valid for [h] then [relabel d p] is valid for [Ops.relabel h p] —
+    this is how content-addressed cache entries stored against a
+    canonical graph are translated back to caller vertex ids. *)
+val relabel : t -> Wlcq_util.Perm.t -> t
+
 (** [singleton h] is the trivial decomposition with one bag containing
     all of [V(h)]. *)
 val singleton : Graph.t -> t

@@ -173,51 +173,65 @@ let treewidth_budgeted ~budget g =
   | w, _, Some cause ->
     Outcome.degraded ~cause ~fallback:"Heuristics.upper_bound" w
 
-module Graph_tbl = Hashtbl.Make (struct
-    type t = Graph.t
-
-    let equal = Graph.equal
-    let hash = Graph.hash
-  end)
+module Cache = Wlcq_cache.Cache
 
 let m_memo_hits = Obs.counter "tw.decomp_memo_hits"
 let m_memo_misses = Obs.counter "tw.decomp_memo_misses"
 
+(* one bitset block per bag plus the tree's adjacency, in words *)
+let decomposition_words (d : Decomposition.t) =
+  let bag_words b = 4 + ((Bitset.capacity b + 61) / 62) in
+  let bags =
+    Array.fold_left (fun acc b -> acc + bag_words b) 0 d.Decomposition.bags
+  in
+  16 + bags + (4 * Graph.num_vertices d.Decomposition.tree)
+
 (* Pattern graphs are tiny and recur heavily (every interpolation step
    re-counts against the same extension family), so decompositions are
-   worth caching.  Keys are compared with Graph.equal, so a hash
-   collision can never return a wrong decomposition. *)
-(* lint: domain-local the decomposition memo is touched only by the
-   driver domain: Td_count spawns workers strictly after the
-   decomposition has been obtained, and no worker calls back into
-   Exact. *)
-let decomposition_memo : Decomposition.t Graph_tbl.t = Graph_tbl.create 64
+   worth caching.  Entries live in the shared content-addressed tier:
+   the key is the canonical-form digest, so isomorphic resubmissions
+   hit even when relabelled, and the stored decomposition is the
+   canonical graph's — translated to and from caller vertex ids via
+   the canonicalising permutation. *)
+let decomposition_store =
+  Cache.store ~name:"tw.decomposition" ~words:decomposition_words ()
 
-let memo_capacity = 512
-
-let clear_decomposition_memo () = Graph_tbl.reset decomposition_memo
+(* Compatibility shim over the pre-tier memo API. *)
+let clear_decomposition_memo () = Cache.clear_store decomposition_store
 
 (* lint: allow R8 Invalid_argument is Graph.create size validation on
    an internally built tree — an invariant check, not a budget outcome *)
 let optimal_decomposition_budgeted ~budget g =
   Obs.entry_point "tw.decomposition" @@ fun () ->
-  match Graph_tbl.find_opt decomposition_memo g with
-  | Some d ->
-    if Obs.enabled () then Obs.incr m_memo_hits;
-    `Exact d
-  | None ->
-    if Obs.enabled () then Obs.incr m_memo_misses;
+  let solve_plain () =
     let _, order, tripped = solve_with ~budget g in
     let d = Elimination.decomposition_of_order g order in
-    (match tripped with
-     | None ->
-       (* only proven-optimal decompositions may enter the memo *)
-       if Graph_tbl.length decomposition_memo >= memo_capacity then
-         Graph_tbl.reset decomposition_memo;
-       Graph_tbl.replace decomposition_memo g d;
-       `Exact d
-     | Some cause ->
-       Outcome.degraded ~cause ~fallback:"Heuristics order" d)
+    (d, tripped)
+  in
+  (* a limited budget bypasses the tier entirely: budgeted runs exist
+     to exercise bounded execution, and the canonicalisation a cache
+     probe pays is itself work a tight deadline never sanctioned *)
+  if not (Cache.enabled ()) || not (Budget.is_unlimited budget) then begin
+    match solve_plain () with
+    | d, None -> `Exact d
+    | d, Some cause -> Outcome.degraded ~cause ~fallback:"Heuristics order" d
+  end
+  else begin
+    let addr, perm = Cache.address g in
+    match Cache.find decomposition_store addr with
+    | Some dc ->
+      if Obs.enabled () then Obs.incr m_memo_hits;
+      `Exact (Decomposition.relabel dc (Wlcq_util.Perm.inverse perm))
+    | None ->
+      if Obs.enabled () then Obs.incr m_memo_misses;
+      (match solve_plain () with
+       | d, None ->
+         (* only proven-optimal decompositions may enter the tier *)
+         Cache.add decomposition_store addr (Decomposition.relabel d perm);
+         `Exact d
+       | d, Some cause ->
+         Outcome.degraded ~cause ~fallback:"Heuristics order" d)
+  end
 
 let optimal_decomposition g =
   match optimal_decomposition_budgeted ~budget:Budget.unlimited g with

@@ -7,11 +7,16 @@ let m_misses = Obs.counter "hom_profile.cache_misses"
 
 (* Pattern enumeration is pure in (max_size, tw_bound) and is
    re-requested by every [first_difference] call (T15 runs one per
-   witness pair), so memoise it; the graphs are immutable. *)
-(* lint: domain-local memo is read and written by the calling domain only;
-   nothing in this module crosses a Domain.spawn boundary *)
-let patterns_memo : Graph.t list Wlcq_util.Ordering.Int_pair_tbl.t =
-  Wlcq_util.Ordering.Int_pair_tbl.create 8
+   witness pair), so memoise it in the shared tier; the parameters
+   themselves are the content address. *)
+let graph_words g =
+  let n = Graph.num_vertices g in
+  8 + (n * (4 + ((n + 61) / 62)))
+
+let patterns_store =
+  Wlcq_cache.Cache.store ~name:"hom_profile.patterns"
+    ~words:(fun ps -> List.fold_left (fun acc g -> acc + graph_words g) 4 ps)
+    ()
 
 let patterns_uncached ~max_size ~tw_bound =
   let acc = ref [] in
@@ -43,17 +48,15 @@ let patterns_uncached ~max_size ~tw_bound =
   !acc
 
 let patterns ~max_size ~tw_bound =
-  match
-    Wlcq_util.Ordering.Int_pair_tbl.find_opt patterns_memo
-      (max_size, tw_bound)
-  with
+  let key = string_of_int max_size ^ "," ^ string_of_int tw_bound in
+  match Wlcq_cache.Cache.find patterns_store key with
   | Some ps ->
     Obs.incr m_hits;
     ps
   | None ->
     Obs.incr m_misses;
     let ps = patterns_uncached ~max_size ~tw_bound in
-    Wlcq_util.Ordering.Int_pair_tbl.add patterns_memo (max_size, tw_bound) ps;
+    Wlcq_cache.Cache.add patterns_store key ps;
     ps
 
 let profile ?budget ~patterns g =

@@ -1,0 +1,21 @@
+(* R10 fixture: module-level memo tables in lib/ outside lib/cache.
+   Parsed by the linter only, never compiled. *)
+
+(* plain Hashtbl.create at top level: fires *)
+let memo : (int, int) Hashtbl.t = Hashtbl.create 256
+
+(* a functor-made table module (the repo's *_tbl naming): fires *)
+let graph_memo = Graph_tbl.create 64
+
+(* pragma-suppressed: counted, not reported *)
+(* lint: allow R10 bounded at 16 entries by construction, cleared per run *)
+let scratch = Hashtbl.create 16
+
+(* negatives: a function-local table is per-call state, not a memo *)
+let local_count xs =
+  let seen = Hashtbl.create 8 in
+  List.iter (fun x -> Hashtbl.replace seen x ()) xs;
+  Hashtbl.length seen
+
+(* negative: non-table mutable state is R3's business, not R10's *)
+let cursor = ref 0

@@ -1,0 +1,8 @@
+(* R10 fixture, negative side: lib/cache is the sanctioned home for
+   module-level memo state, so the same shapes that fire in
+   ../bad_memo_table.ml stay clean here.  Parsed by the linter only,
+   never compiled. *)
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 1024
+
+let addr_memo = Graph_tbl.create 256

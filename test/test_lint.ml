@@ -140,6 +140,31 @@ let test_r9_fires () =
   check_count "R9 count on lib/hom/bad_hot_alloc" "lib/hom/bad_hot_alloc.ml"
     "R9" 2
 
+let test_r10_fires () =
+  (* the plain Hashtbl.create and the *_tbl functor table, both at top
+     level; the pragma-suppressed table, the function-local table and
+     the ref cell stay clean *)
+  check_count "R10 count on lib/bad_memo_table" "lib/bad_memo_table.ml"
+    "R10" 2;
+  message_of "lib/bad_memo_table.ml" "R10" "memo";
+  message_of "lib/bad_memo_table.ml" "R10" "graph_memo";
+  message_of "lib/bad_memo_table.ml" "R10" "Wlcq_cache.Cache.store"
+
+let test_r10_exempts_cache_tier () =
+  (* the same shapes under a lib/cache path component are the tier's
+     own state and stay clean *)
+  check_count "R10 silent in lib/cache" "lib/cache/good_tier_table.ml"
+    "R10" 0
+
+let test_r10_suppression_counted () =
+  let r = Lazy.force result in
+  List.iter
+    (fun (rc : Engine.rule_count) ->
+       if String.equal (Diagnostic.rule_id rc.rule) "R10" then
+         Alcotest.(check bool) "R10 suppression counted" true
+           (rc.suppressions >= 1))
+    r.Engine.by_rule
+
 let test_r6_fires () =
   (* the literal and shifted-literal cutoffs; the small-constant,
      non-constant-bound, equality and pragma-suppressed comparisons
@@ -256,6 +281,12 @@ let () =
           Alcotest.test_case "R8 witness chain crosses modules" `Quick
             test_r8_cross_module;
           Alcotest.test_case "R9 hot-loop allocation" `Quick test_r9_fires;
+          Alcotest.test_case "R10 module-level memo table" `Quick
+            test_r10_fires;
+          Alcotest.test_case "R10 exempts the cache tier" `Quick
+            test_r10_exempts_cache_tier;
+          Alcotest.test_case "R10 suppression counted" `Quick
+            test_r10_suppression_counted;
         ] );
       ( "pragmas",
         [

@@ -15,9 +15,15 @@ type facts = {
      only read after the scan returns *)
   mutable top_mutable : (Location.t * string) list;
       (* top-level mutable bindings: location + description *)
+  (* lint: domain-local facts are built per file inside one scan call and
+     only read after the scan returns *)
+  mutable top_tables : (Location.t * string) list;
+      (* the Hashtbl-shaped subset of [top_mutable]: location + binding
+         name, consumed by the R10 memo-table ban *)
 }
 
-let empty_facts () = { spawns = []; module_refs = []; top_mutable = [] }
+let empty_facts () =
+  { spawns = []; module_refs = []; top_mutable = []; top_tables = [] }
 
 (* ------------------------------------------------------------------ *)
 (* Longident helpers                                                   *)
@@ -256,7 +262,13 @@ let rec collect_top_mutable (facts : facts) (str : structure) =
                      (vb.pvb_loc,
                       Printf.sprintf "top-level binding '%s' holds %s"
                         (binding_name vb.pvb_pat) what)
-                     :: facts.top_mutable
+                     :: facts.top_mutable;
+                   (match what with
+                    | "a Hashtbl.t" | "a hash table" ->
+                      facts.top_tables <-
+                        (vb.pvb_loc, binding_name vb.pvb_pat)
+                        :: facts.top_tables
+                    | _ -> ())
                  | None -> ())
               | _ -> ())
            bindings

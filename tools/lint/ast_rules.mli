@@ -20,6 +20,11 @@ type facts = {
      only read after the scan returns *)
   mutable top_mutable : (Location.t * string) list;
       (** top-level mutable bindings and mutable record fields *)
+  (* lint: domain-local facts are built per file inside one scan call and
+     only read after the scan returns *)
+  mutable top_tables : (Location.t * string) list;
+      (** the Hashtbl-shaped subset of {!top_mutable} — location plus
+          binding name — consumed by the R10 memo-table ban *)
 }
 
 (** [hot_engine_file ~in_lib file] — is [file] an engine hot path

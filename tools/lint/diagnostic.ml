@@ -1,4 +1,4 @@
-type rule = R0 | R1 | R2 | R3 | R4 | R6 | R7 | R8 | R9
+type rule = R0 | R1 | R2 | R3 | R4 | R6 | R7 | R8 | R9 | R10
 
 let rule_id = function
   | R0 -> "R0"
@@ -10,6 +10,7 @@ let rule_id = function
   | R7 -> "R7"
   | R8 -> "R8"
   | R9 -> "R9"
+  | R10 -> "R10"
 
 let rule_of_id = function
   | "R0" -> Some R0
@@ -21,6 +22,7 @@ let rule_of_id = function
   | "R7" -> Some R7
   | "R8" -> Some R8
   | "R9" -> Some R9
+  | "R10" -> Some R10
   | _ -> None
 
 (* Rules that once existed and were replaced: naming one in a pragma is
@@ -41,8 +43,11 @@ let rule_summary = function
   | R7 -> "loop or recursion reachable from a *_budgeted entry without a budget poll"
   | R8 -> "exception escaping a *_budgeted entry instead of an Outcome"
   | R9 -> "per-iteration allocation in an engine hot loop"
+  | R10 ->
+    "module-level memo table in lib/ outside the shared cache tier \
+     (use Wlcq_cache.Cache.store)"
 
-let all_rules = [ R0; R1; R2; R3; R4; R6; R7; R8; R9 ]
+let all_rules = [ R0; R1; R2; R3; R4; R6; R7; R8; R9; R10 ]
 
 type t = { file : string; line : int; col : int; rule : rule; message : string }
 

@@ -27,6 +27,12 @@ type rule =
       (** per-iteration allocation (closures, boxed tuples, options,
           [List.map]-family combinators) inside a [for]/[while] loop of
           an engine hot path; escape hatch: [(* lint: hot-alloc ... *)] *)
+  | R10
+      (** module-level memo table ([Hashtbl.create] or a [*_tbl]/[Tbl]
+          functor application at top level) in [lib/] outside
+          [lib/cache]: ad-hoc memos are unbounded and invisible to the
+          shared tier's size accounting — route the artifact through
+          [Wlcq_cache.Cache.store] instead *)
 
 val rule_id : rule -> string
 val rule_of_id : string -> rule option

@@ -72,6 +72,17 @@ let in_lib file =
   List.exists (String.equal "lib")
     (String.split_on_char '/' (Filename.dirname file))
 
+(* lib/cache is the one sanctioned home for module-level memo state
+   (R10); matched as the path component pair so the fixture tree under
+   test/lint_fixtures/lib/cache/ is exempt too *)
+let in_cache_tier file =
+  let rec scan = function
+    | "lib" :: "cache" :: _ -> true
+    | _ :: rest -> scan rest
+    | [] -> false
+  in
+  scan (String.split_on_char '/' (Filename.dirname file))
+
 let scan_file ~parse_mutex file =
   let in_lib = in_lib file in
   match read_file file with
@@ -116,6 +127,19 @@ let scan_file ~parse_mutex file =
       | None -> (None, None)
       | Some str ->
         let facts = Ast_rules.check ~file ~in_lib ~report str in
+        if in_lib && not (in_cache_tier file) then
+          List.iter
+            (fun (loc, name) ->
+               report
+                 (Diagnostic.of_location ~file ~rule:Diagnostic.R10 loc
+                    (Printf.sprintf
+                       "module-level table '%s' is an ad-hoc memo outside \
+                        the shared cache tier: it is unbounded and invisible \
+                        to size accounting — route the artifact through \
+                        Wlcq_cache.Cache.store, or justify with (* lint: \
+                        allow R10 <reason> *)"
+                       name)))
+            (List.rev facts.Ast_rules.top_tables);
         let hot = Ast_rules.hot_engine_file ~in_lib file in
         let summary = Summaries.scan ~file ~in_lib ~hot ~report str in
         (Some (Domain_safety.make_info file facts), Some summary)
