@@ -1178,6 +1178,242 @@ let f8 () =
   write_bench_json ~pr:9 "BENCH_PR9.json"
 
 (* ------------------------------------------------------------------ *)
+(* F9: the wlcq daemon under concurrent load — the PR10 acceptance     *)
+(* series.  An in-process daemon serves a mixed                        *)
+(* decide/count/count-batch/treewidth workload from concurrent client  *)
+(* domains (p50/p99/throughput rows), a warm repeated count workload   *)
+(* must beat spawning the one-shot CLI per request by >= 2x, and a     *)
+(* burst against a one-worker, shallow-queue daemon must shed with    *)
+(* retry-after hints rather than queue without bound.  Rows land in    *)
+(* BENCH_PR10.json.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Wlcq_serve.Server
+module Sclient = Wlcq_serve.Client
+module Wire = Wlcq_serve.Wire
+
+let serve_socket tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "wlcq-bench-%s-%d.sock" tag (Unix.getpid ()))
+
+(* run [f] against a live in-process daemon; always drains it *)
+let with_daemon ~tag cfg_of f =
+  let socket = serve_socket tag in
+  if Sys.file_exists socket then Sys.remove socket;
+  let t = Serve.create (cfg_of (Serve.default_config ~socket_path:socket)) in
+  let ready = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Serve.run ~on_listening:(fun () -> Atomic.set ready true) t)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.shutdown t;
+      Domain.join d;
+      if Sys.file_exists socket then Sys.remove socket)
+    (fun () ->
+      while not (Atomic.get ready) do
+        Unix.sleepf 0.002
+      done;
+      f ~socket)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (p * n / 100))
+
+let f9 () =
+  header "F9" "wlcq serve: concurrent load, latency and backpressure";
+  pr4_rows := [];
+  let star2 = "(x1, x2) := exists y . E(x1, y) & E(x2, y)" in
+  let edgeq = "(x1, x2) := E(x1, x2)" in
+  let count_graph = "gnp:24,0.3,5" in
+  let req id op = { Wire.id; deadline_ms = None; max_live_mb = None; op } in
+  let expect_ok what = function
+    | Ok v -> v
+    | Error e -> failwith (Printf.sprintf "Main.f9: %s: %s" what e)
+  in
+  (* ground truth for the result checks, computed in-process *)
+  let parse_q s = (Wlcq_core.Parser.parse_exn s).Wlcq_core.Parser.query in
+  let parse_g s =
+    match G.Spec.parse s with
+    | Ok g -> g
+    | Error e -> failwith ("Main.f9: " ^ e)
+  in
+  let star2_count =
+    Cq.count_answers (parse_q star2) (parse_g count_graph)
+  in
+  let edge_count = Cq.count_answers (parse_q edgeq) (parse_g "cycle:8") in
+  let star2_c8 = Cq.count_answers (parse_q star2) (parse_g "cycle:8") in
+  (* ---- mixed concurrent load: p50 / p99 / throughput --------------- *)
+  let clients = 3 and per_client = 60 in
+  let mixed_ok = Atomic.make true in
+  let latencies_of ~socket cid =
+    let c = expect_ok "connect" (Sclient.connect ~socket ()) in
+    Fun.protect ~finally:(fun () -> Sclient.close c) (fun () ->
+        Array.init per_client (fun i ->
+            let id = Printf.sprintf "c%d-%d" cid i in
+            let op, check =
+              match i mod 4 with
+              | 0 ->
+                ( Wire.Count { query = star2; graph = count_graph },
+                  fun (r : Wire.response) ->
+                    String.equal r.Wire.r_value (string_of_int star2_count) )
+              | 1 ->
+                ( Wire.Decide { k = 1; g1 = "cycle:6"; g2 = "twotriangles" },
+                  fun r -> String.equal r.Wire.r_value "true" )
+              | 2 ->
+                ( Wire.Count_batch
+                    { queries = [ edgeq; star2 ]; graph = "cycle:8" },
+                  fun r ->
+                    String.equal r.Wire.r_value
+                      (Printf.sprintf "%d,%d" edge_count star2_c8) )
+              | _ ->
+                ( Wire.Treewidth { graph = "clique:6" },
+                  fun r -> String.equal r.Wire.r_value "5" )
+            in
+            let t0 = Obs.now_ns () in
+            let r = expect_ok "request" (Sclient.request c (req id op)) in
+            let dt = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e9 in
+            (match r.Wire.r_status with
+             | Wire.Ok_ -> if not (check r) then Atomic.set mixed_ok false
+             | _ -> Atomic.set mixed_ok false);
+            dt))
+  in
+  let total_wall, all_lat =
+    with_daemon ~tag:"f9-load"
+      (fun c -> { c with Serve.workers = 2 })
+      (fun ~socket ->
+        (* one warm-up pass primes the content tier and the decomp memo *)
+        ignore (latencies_of ~socket 999);
+        let t0 = Obs.now_ns () in
+        let doms =
+          List.init clients (fun cid ->
+              Domain.spawn (fun () -> latencies_of ~socket cid))
+        in
+        let lat = List.concat_map (fun d -> Array.to_list (Domain.join d)) doms in
+        let wall = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e9 in
+        (wall, Array.of_list lat))
+  in
+  Array.sort Float.compare all_lat;
+  let n_req = Array.length all_lat in
+  let p50 = percentile all_lat 50 and p99 = percentile all_lat 99 in
+  let throughput = float_of_int n_req /. Float.max total_wall 1e-9 in
+  let ok = Atomic.get mixed_ok && n_req = clients * per_client in
+  record ok;
+  pr4_rows := ("F9", "mixed-load/p50-vs-p99", p99, p50) :: !pr4_rows;
+  Printf.printf
+    "F9  mixed load: %d req / %d clients  p50 %.2f ms  p99 %.2f ms  %7.0f \
+     req/s %s\n"
+    n_req clients (p50 *. 1e3) (p99 *. 1e3) throughput (verdict ok);
+  (* ---- warm daemon vs one-shot CLI: the >= 2x floor ----------------- *)
+  let cli =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bin/wlcq.exe"
+  in
+  if not (Sys.file_exists cli) then begin
+    record false;
+    Printf.printf "F9  one-shot CLI not found at %s FAIL\n" cli
+  end
+  else begin
+    let min_speedup = 2.0 in
+    let shots = 8 in
+    let cli_cmd =
+      Printf.sprintf "%s ans %s --graph %s >/dev/null 2>&1"
+        (Filename.quote cli)
+        (Filename.quote star2)
+        count_graph
+    in
+    (* every CLI shot pays process start-up and a cold cache: that is
+       the baseline the resident daemon exists to beat *)
+    let t0 = Obs.now_ns () in
+    for _ = 1 to shots do
+      if Sys.command cli_cmd <> 0 then failwith "Main.f9: one-shot CLI failed"
+    done;
+    let t_cli =
+      Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e9
+      /. float_of_int shots
+    in
+    let t_daemon =
+      with_daemon ~tag:"f9-oneshot"
+        (fun c -> { c with Serve.workers = 1 })
+        (fun ~socket ->
+          let c = expect_ok "connect" (Sclient.connect ~socket ()) in
+          Fun.protect ~finally:(fun () -> Sclient.close c) (fun () ->
+              let shot i =
+                let r =
+                  expect_ok "request"
+                    (Sclient.request c
+                       (req (string_of_int i)
+                          (Wire.Count { query = star2; graph = count_graph })))
+                in
+                if not (String.equal r.Wire.r_value (string_of_int star2_count))
+                then failwith "Main.f9: daemon count disagrees with the engine"
+              in
+              shot 0 (* warm-up: primes the tier *);
+              let t0 = Obs.now_ns () in
+              for i = 1 to shots do
+                shot i
+              done;
+              Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e9
+              /. float_of_int shots))
+    in
+    let speedup = t_cli /. Float.max t_daemon 1e-9 in
+    let ok = speedup >= min_speedup in
+    record ok;
+    pr4_rows :=
+      ("F9", "oneshot-cli-vs-daemon/star2-count", t_cli, t_daemon)
+      :: !pr4_rows;
+    Printf.printf
+      "F9  one-shot CLI %8.2f ms vs warm daemon %8.2f ms %8.1fx (floor \
+       %.0fx) %s\n"
+      (t_cli *. 1e3) (t_daemon *. 1e3) speedup min_speedup (verdict ok)
+  end;
+  (* ---- backpressure: a burst against a shallow queue must shed ------ *)
+  let burst = 24 in
+  let shed, answered, retry_ok =
+    with_daemon ~tag:"f9-burst"
+      (fun c ->
+        {
+          c with
+          Serve.workers = 1;
+          max_queue = 4;
+          max_queue_per_client = 2;
+        })
+      (fun ~socket ->
+        let c = expect_ok "connect" (Sclient.connect ~socket ()) in
+        Fun.protect ~finally:(fun () -> Sclient.close c) (fun () ->
+            for i = 1 to burst do
+              expect_ok "send"
+                (Sclient.send c
+                   {
+                     Wire.id = Printf.sprintf "b%d" i;
+                     deadline_ms = Some 400.0;
+                     max_live_mb = None;
+                     op = Wire.Treewidth { graph = "gnp:36,0.35,9" };
+                   })
+            done;
+            let shed = ref 0 and answered = ref 0 and retry_ok = ref true in
+            for _ = 1 to burst do
+              let r = expect_ok "receive" (Sclient.receive c) in
+              match r.Wire.r_status with
+              | Wire.Overloaded ->
+                incr shed;
+                if Option.is_none r.Wire.r_retry_after_ms then retry_ok := false
+              | Wire.Ok_ | Wire.Degraded | Wire.Exhausted -> incr answered
+              | Wire.Error_ | Wire.Draining -> retry_ok := false
+            done;
+            (!shed, !answered, !retry_ok)))
+  in
+  let ok = shed >= 1 && answered >= 1 && retry_ok in
+  record ok;
+  Printf.printf
+    "F9  burst %d on q=4/w=1: shed %d (rate %.2f, retry-after on all) \
+     answered %d %s\n"
+    burst shed
+    (float_of_int shed /. float_of_int burst)
+    answered (verdict ok);
+  write_bench_json ~pr:10 "BENCH_PR10.json"
+
+(* ------------------------------------------------------------------ *)
 (* calibrate: re-derive the dispatch calibration constants.  Times the *)
 (* candidate engines across an instance ladder and prints the observed *)
 (* crossover points in the calibration table's own format; paste the   *)
@@ -1900,6 +2136,49 @@ let timing_smoke () =
   record diff_ok;
   Printf.printf "F8  obs-diff cold-vs-armed: %d regressions %s\n"
     (List.length regs) (verdict diff_ok);
+  (* mini-F9: the daemon answers, contains a malformed request and
+     drains cleanly — a per-runtest tripwire for the service tier (the
+     full load/backpressure series is `main.exe F9`) *)
+  let f9_ok =
+    with_daemon ~tag:"smoke"
+      (fun c -> { c with Serve.workers = 1 })
+      (fun ~socket ->
+        let req id op =
+          { Wire.id; deadline_ms = None; max_live_mb = None; op }
+        in
+        match Sclient.connect ~socket () with
+        | Error _ -> false
+        | Ok c ->
+          Fun.protect ~finally:(fun () -> Sclient.close c) (fun () ->
+              let ok1 =
+                match Sclient.request c (req "s1" Wire.Ping) with
+                | Ok { Wire.r_status = Wire.Ok_; r_value; _ } ->
+                  String.equal r_value "pong"
+                | Ok _ | Error _ -> false
+              in
+              let ok2 =
+                match
+                  Sclient.request c
+                    (req "s2" (Wire.Treewidth { graph = "nonsense:1" }))
+                with
+                | Ok { Wire.r_status = Wire.Error_; _ } -> true
+                | Ok _ | Error _ -> false
+              in
+              let ok3 =
+                match
+                  Sclient.request c
+                    (req "s3" (Wire.Treewidth { graph = "clique:4" }))
+                with
+                | Ok { Wire.r_status = Wire.Ok_; r_value; _ } ->
+                  String.equal r_value "3"
+                | Ok _ | Error _ -> false
+              in
+              ok1 && ok2 && ok3))
+  in
+  record f9_ok;
+  Printf.printf
+    "F9  daemon smoke: ping, contained error, treewidth, clean drain %s\n"
+    (verdict f9_ok);
   (* lint wall-time tripwire: the whole-tree interprocedural lint runs
      on every `dune runtest`, so a pathological slowdown (say the call
      graph going quadratic) would tax every build.  The 2 s ceiling is
@@ -1936,7 +2215,7 @@ let all_experiments =
     ("T7", t7); ("T8", t8); ("T9", t9); ("T10", t10); ("T11", t11);
     ("T12", t12); ("T13", t13); ("T14", t14); ("T15", t15);
     ("F1", f1); ("F1b", f1b); ("F2", f2); ("F3", f3); ("F4", f4); ("F5", f5);
-    ("F8", f8); ("A1", ablation); ("calibrate", calibrate);
+    ("F8", f8); ("F9", f9); ("A1", ablation); ("calibrate", calibrate);
     ("timing-smoke", timing_smoke) ]
 
 let () =

@@ -64,6 +64,14 @@ module Obs = Wlcq_obs.Obs
 module Snapshot = Wlcq_obs.Snapshot
 module Dispatch = Wlcq_dispatch.Dispatch
 
+(* What [obs_setup] hands back to the few subcommands that keep
+   running after setup ([wlcq serve] re-renders the snapshot and
+   rotates the journal periodically instead of only at exit). *)
+type obs_paths = {
+  o_metrics_out : string option;
+  o_journal : string option;
+}
+
 (* Reporting runs from [at_exit] so the subcommands' own [exit] calls
    (success/failure encodings, including the malformed-input exit 2 and
    the degraded exit 3) still flush metrics, snapshots, traces and the
@@ -120,15 +128,16 @@ let obs_setup engine metrics trace metrics_out folded journal cache_size_mb
           output_string oc (Obs.trace_json ());
           close_out oc)
   end;
-  match journal with
-  | None -> ()
-  | Some file ->
-    Obs.set_journal true;
-    Obs.set_journal_dump (Some file);
-    (* budget trips and fault injections dump eagerly; this final dump
-       covers clean runs and leaves the trip's trail untouched (it only
-       appends the closing exit event) *)
-    at_exit (fun () -> Obs.journal_dump ~trigger:"exit" ())
+  (match journal with
+   | None -> ()
+   | Some file ->
+     Obs.set_journal true;
+     Obs.set_journal_dump (Some file);
+     (* budget trips and fault injections dump eagerly; this final dump
+        covers clean runs and leaves the trip's trail untouched (it only
+        appends the closing exit event) *)
+     at_exit (fun () -> Obs.journal_dump ~trigger:"exit" ()));
+  { o_metrics_out = metrics_out; o_journal = journal }
 
 let obs_term =
   let engine =
@@ -234,7 +243,7 @@ let budget_term =
 (* ------------------------------------------------------------------ *)
 
 let widths_cmd =
-  let run () budget query_str =
+  let run _ budget query_str =
     guarded @@ fun () ->
     let p = parse_query query_str in
     let q = p.Core.Parser.query in
@@ -298,7 +307,7 @@ let widths_cmd =
 (* ------------------------------------------------------------------ *)
 
 let ans_cmd =
-  let run () budget query_str graph_str interpolate injective =
+  let run _ budget query_str graph_str interpolate injective =
     guarded @@ fun () ->
     let p = parse_query query_str in
     let q = p.Core.Parser.query in
@@ -341,7 +350,7 @@ let ans_cmd =
 (* ------------------------------------------------------------------ *)
 
 let tw_cmd =
-  let run () budget graph_str =
+  let run _ budget graph_str =
     guarded @@ fun () ->
     let graph = parse_graph graph_str in
     match Wlcq_treewidth.Exact.treewidth_budgeted ~budget graph with
@@ -361,7 +370,7 @@ let tw_cmd =
 (* ------------------------------------------------------------------ *)
 
 let wl_cmd =
-  let run () budget k g1 g2 =
+  let run _ budget k g1 g2 =
     guarded @@ fun () ->
     let g1 = parse_graph g1 and g2 = parse_graph g2 in
     match Wlcq_wl.Equivalence.equivalent_budgeted ~budget k g1 g2 with
@@ -389,7 +398,7 @@ let wl_cmd =
 (* ------------------------------------------------------------------ *)
 
 let cfi_cmd =
-  let run () budget base_str check_k =
+  let run _ budget base_str check_k =
     guarded @@ fun () ->
     let base = parse_graph base_str in
     let degraded = ref false in
@@ -446,7 +455,7 @@ let cfi_cmd =
 (* ------------------------------------------------------------------ *)
 
 let witness_cmd =
-  let run () budget query_str check_wl emit =
+  let run _ budget query_str check_wl emit =
     guarded @@ fun () ->
     let p = parse_query query_str in
     let q = p.Core.Parser.query in
@@ -498,7 +507,7 @@ let witness_cmd =
 (* ------------------------------------------------------------------ *)
 
 let domsets_cmd =
-  let run () budget k graph_str via =
+  let run _ budget k graph_str via =
     guarded @@ fun () ->
     let graph = parse_graph graph_str in
     let count =
@@ -530,7 +539,7 @@ let domsets_cmd =
 (* ------------------------------------------------------------------ *)
 
 let union_cmd =
-  let run () _budget union_str graph_str =
+  let run _ _budget union_str graph_str =
     guarded @@ fun () ->
     match Core.Ucq.of_string union_str with
     | Error e -> fail_malformed e
@@ -571,7 +580,7 @@ let parse_kg_query s =
   match Wlcq_kg.Kparser.parse s with Ok p -> p | Error e -> fail_malformed e
 
 let kg_widths_cmd =
-  let run () _budget query_str =
+  let run _ _budget query_str =
     guarded @@ fun () ->
     let p = parse_kg_query query_str in
     let q = p.Wlcq_kg.Kparser.query in
@@ -592,7 +601,7 @@ let kg_widths_cmd =
     Term.(const run $ obs_term $ budget_term $ query_arg)
 
 let kg_ans_cmd =
-  let run () budget query_str graph_str =
+  let run _ budget query_str graph_str =
     guarded @@ fun () ->
     let p = parse_kg_query query_str in
     match Wlcq_kg.Kspec.parse graph_str with
@@ -619,7 +628,7 @@ let kg_ans_cmd =
 (* ------------------------------------------------------------------ *)
 
 let certify_cmd =
-  let run () _budget query_str sample_str =
+  let run _ _budget query_str sample_str =
     guarded @@ fun () ->
     let p = parse_query query_str in
     let sample = Option.map parse_graph sample_str in
@@ -652,7 +661,7 @@ let certify_cmd =
 (* ------------------------------------------------------------------ *)
 
 let invariants_cmd =
-  let run () _budget () =
+  let run _ _budget () =
     guarded @@ fun () ->
     Printf.printf "%-16s %-22s %s\n" "parameter" "dimension lower bound"
       "witness pair";
@@ -679,7 +688,7 @@ let invariants_cmd =
 (* ------------------------------------------------------------------ *)
 
 let profile_cmd =
-  let run () budget g1 g2 max_size tw_bound =
+  let run _ budget g1 g2 max_size tw_bound =
     guarded @@ fun () ->
     let g1 = parse_graph g1 and g2 = parse_graph g2 in
     match
@@ -716,6 +725,269 @@ let profile_cmd =
           $ max_size $ tw_bound)
 
 (* ------------------------------------------------------------------ *)
+(* wlcq serve                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Wlcq_serve.Server
+module Client = Wlcq_serve.Client
+module Wire = Wlcq_serve.Wire
+module Fault = Wlcq_robust.Fault
+
+let socket_arg =
+  Arg.(required & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path the daemon binds (serve) or \
+                 connects to (call).")
+
+let serve_cmd =
+  let run obs socket workers max_sessions max_queue max_queue_per_client
+      max_deadline_ms default_deadline_ms max_live_mb idle_timeout_s
+      write_timeout_s drain_timeout_s flush_interval_s fault_seed fault_rate
+      fault_sites =
+    guarded @@ fun () ->
+    (* a zero cap on either deadline flag means "no cap at all" *)
+    let opt_ms v = if v > 0.0 then Some v else None in
+    (match fault_seed with
+     | None -> ()
+     | Some seed ->
+       let sites =
+         match fault_sites with
+         | [] -> None
+         | names ->
+           Some
+             (List.map
+                (fun n ->
+                   match Fault.site_of_string n with
+                   | Some s -> s
+                   | None ->
+                     fail_malformed
+                       (Printf.sprintf "serve: unknown fault site %S" n))
+                names)
+       in
+       Fault.arm ~seed ?rate:fault_rate ?sites ());
+    let cfg =
+      { (Server.default_config ~socket_path:socket) with
+        Server.workers; max_sessions; max_queue; max_queue_per_client;
+        max_deadline_ms = opt_ms max_deadline_ms;
+        default_deadline_ms = opt_ms default_deadline_ms;
+        max_live_mb; idle_timeout_s; write_timeout_s; drain_timeout_s;
+        flush_interval_s;
+        metrics_out = obs.o_metrics_out;
+        journal_path = obs.o_journal }
+    in
+    let t = Server.create cfg in
+    let stop _ = Server.shutdown t in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    (try
+       Sys.set_signal Sys.sighup
+         (Sys.Signal_handle (fun _ -> Server.request_flush t))
+     with Invalid_argument _ -> ());
+    Server.run t;
+    exit 0
+  in
+  let pos_int ~default name doc =
+    Arg.(value & opt int default & info [ name ] ~docv:"N" ~doc)
+  in
+  let pos_float ~default name doc =
+    Arg.(value & opt float default & info [ name ] ~docv:"S" ~doc)
+  in
+  let workers = pos_int ~default:2 "workers" "Worker domains executing requests." in
+  let max_sessions =
+    pos_int ~default:128 "max-sessions"
+      "Concurrent client connections; over it, new connections get an \
+       immediate $(b,overloaded) reply."
+  in
+  let max_queue =
+    pos_int ~default:256 "max-queue"
+      "Total queued-request admission cap; over it, requests are shed \
+       with $(b,overloaded) and a retry-after hint."
+  in
+  let max_queue_per_client =
+    pos_int ~default:32 "max-queue-per-client"
+      "Queued-request cap per connection (fairness against one chatty \
+       client)."
+  in
+  let max_deadline_ms =
+    pos_float ~default:30000.0 "max-deadline-ms"
+      "Server-side cap in milliseconds: client deadlines are clamped \
+       to it.  $(b,0) removes the cap."
+  in
+  let default_deadline_ms =
+    pos_float ~default:5000.0 "default-deadline-ms"
+      "Deadline applied when a request carries none.  $(b,0) means \
+       unlimited."
+  in
+  let max_live_mb =
+    Arg.(value & opt (some int) None
+         & info [ "max-live-mb" ] ~docv:"MB"
+             ~doc:"Live-heap ceiling cap per request, clamping client \
+                   requests (shared with the one-shot commands' flag).")
+  in
+  let idle_timeout_s =
+    pos_float ~default:60.0 "idle-timeout-s"
+      "Sessions quiet for this long are reaped."
+  in
+  let write_timeout_s =
+    pos_float ~default:5.0 "write-timeout-s"
+      "A client not draining its responses for this long is reaped."
+  in
+  let drain_timeout_s =
+    pos_float ~default:5.0 "drain-timeout-s"
+      "SIGTERM grace period before in-flight budgets are cancelled."
+  in
+  let flush_interval_s =
+    pos_float ~default:10.0 "flush-interval-s"
+      "Seconds between periodic sink flushes (snapshot re-render, \
+       journal rotation); $(b,0) disables them.  SIGHUP forces one."
+  in
+  let fault_seed =
+    Arg.(value & opt (some int) None
+         & info [ "fault-seed" ] ~docv:"SEED"
+             ~doc:"Test only: arm deterministic fault injection with \
+                   this seed before serving.")
+  in
+  let fault_rate =
+    Arg.(value & opt (some float) None
+         & info [ "fault-rate" ] ~docv:"P"
+             ~doc:"Test only: per-draw failure probability in [0,1] \
+                   (default 1 when --fault-seed is given).")
+  in
+  let fault_sites =
+    Arg.(value & opt (list string) []
+         & info [ "fault-sites" ] ~docv:"SITES"
+             ~doc:"Test only: comma-separated fault sites to arm \
+                   (accept_fail, read_stall, write_stall, worker_raise, \
+                   deadline_check, domain_spawn, dp_alloc); default all.")
+  in
+  let doc =
+    "Serve decide/count/treewidth requests over a Unix-domain socket: a \
+     fault-contained, backpressured multi-client daemon.  SIGTERM or \
+     SIGINT starts a graceful drain (stop accepting, answer queued \
+     work, flush sinks, exit 0); SIGHUP forces a sink flush."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ obs_term $ socket_arg $ workers $ max_sessions
+          $ max_queue $ max_queue_per_client $ max_deadline_ms
+          $ default_deadline_ms $ max_live_mb $ idle_timeout_s
+          $ write_timeout_s $ drain_timeout_s $ flush_interval_s
+          $ fault_seed $ fault_rate $ fault_sites)
+
+(* ------------------------------------------------------------------ *)
+(* wlcq call                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let exit_unavailable = 4
+
+let call_cmd =
+  let run _obs deadline_ms max_live_mb socket timeout_s id verb k g1 g2
+      queries graph =
+    guarded @@ fun () ->
+    let need flag = function
+      | Some v -> v
+      | None ->
+        fail_malformed (Printf.sprintf "call: %s requires %s" verb flag)
+    in
+    let op =
+      match verb with
+      | "ping" -> Wire.Ping
+      | "decide" ->
+        Wire.Decide { k; g1 = need "--g1" g1; g2 = need "--g2" g2 }
+      | "count" -> (
+        match queries with
+        | [ query ] -> Wire.Count { query; graph = need "--graph" graph }
+        | _ -> fail_malformed "call: count takes exactly one --query")
+      | "count-batch" ->
+        if List.length queries = 0 then
+          fail_malformed "call: count-batch needs at least one --query";
+        Wire.Count_batch { queries; graph = need "--graph" graph }
+      | "treewidth" -> Wire.Treewidth { graph = need "--graph" graph }
+      | v -> fail_malformed (Printf.sprintf "call: unknown verb %S" v)
+    in
+    let req = { Wire.id; deadline_ms; max_live_mb; op } in
+    match Client.call ~timeout_s ~socket req with
+    | Error msg -> fail_malformed ("call: " ^ msg)
+    | Ok resp -> (
+      (match resp.Wire.r_status with
+       | Wire.Ok_ -> Printf.printf "%s\n" resp.Wire.r_value
+       | Wire.Degraded ->
+         Printf.printf "%s   (degraded: %s)\n" resp.Wire.r_value
+           resp.Wire.r_detail
+       | Wire.Exhausted ->
+         Printf.eprintf "exhausted: %s\n" resp.Wire.r_detail
+       | Wire.Error_ -> Printf.eprintf "error: %s\n" resp.Wire.r_detail
+       | Wire.Overloaded ->
+         Printf.eprintf "overloaded%s\n"
+           (match resp.Wire.r_retry_after_ms with
+            | Some ms -> Printf.sprintf ": retry after %dms" ms
+            | None -> "")
+       | Wire.Draining -> Printf.eprintf "draining: daemon is shutting down\n");
+      match resp.Wire.r_status with
+      | Wire.Ok_ -> exit 0
+      | Wire.Degraded | Wire.Exhausted -> exit exit_degraded
+      | Wire.Error_ -> exit exit_malformed
+      | Wire.Overloaded | Wire.Draining -> exit exit_unavailable)
+  in
+  (* the familiar budget flags, but forwarded on the wire: the daemon
+     clamps them against its own caps and enforces them server-side *)
+  let deadline_ms =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Request deadline, clamped by the daemon's \
+                   --max-deadline-ms cap.")
+  in
+  let max_live_mb =
+    Arg.(value & opt (some int) None
+         & info [ "max-live-mb" ] ~docv:"MB"
+             ~doc:"Request heap ceiling, clamped by the daemon's cap.")
+  in
+  let timeout_s =
+    Arg.(value & opt float 10.0
+         & info [ "timeout-s" ] ~docv:"S"
+             ~doc:"Client-side timeout for connect/send/receive.")
+  in
+  let id =
+    Arg.(value & opt string ""
+         & info [ "id" ] ~docv:"ID"
+             ~doc:"Correlation id echoed in the reply.")
+  in
+  let verb =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"VERB"
+             ~doc:"One of $(b,ping), $(b,decide), $(b,count), \
+                   $(b,count-batch), $(b,treewidth).")
+  in
+  let k =
+    Arg.(value & opt int 1
+         & info [ "k" ] ~docv:"K" ~doc:"WL dimension for $(b,decide).")
+  in
+  let g1 =
+    Arg.(value & opt (some string) None
+         & info [ "g1" ] ~docv:"GRAPH" ~doc:"First graph for $(b,decide).")
+  in
+  let g2 =
+    Arg.(value & opt (some string) None
+         & info [ "g2" ] ~docv:"GRAPH" ~doc:"Second graph for $(b,decide).")
+  in
+  let queries =
+    Arg.(value & opt_all string []
+         & info [ "query" ] ~docv:"QUERY"
+             ~doc:"Conjunctive query; repeatable for $(b,count-batch).")
+  in
+  let graph =
+    Arg.(value & opt (some string) None
+         & info [ "graph" ] ~docv:"GRAPH"
+             ~doc:"Graph for $(b,count)/$(b,count-batch)/$(b,treewidth).")
+  in
+  let doc =
+    "Send one request to a running $(b,wlcq serve) daemon.  Exit codes: \
+     0 ok, 3 degraded/exhausted, 2 error, 4 overloaded or draining."
+  in
+  Cmd.v (Cmd.info "call" ~doc)
+    Term.(const run $ obs_term $ deadline_ms $ max_live_mb $ socket_arg
+          $ timeout_s $ id $ verb $ k $ g1 $ g2 $ queries $ graph)
+
+(* ------------------------------------------------------------------ *)
 (* wlcq obs-diff                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -729,11 +1001,11 @@ let obs_diff_cmd =
     | Ok snap -> snap
     | Error msg -> fail_malformed (Printf.sprintf "obs-diff: %s: %s" file msg)
   in
-  let run before after threshold =
+  let run before after threshold rate =
     if not (threshold > 1.0) then
       fail_malformed "obs-diff: --threshold must be > 1";
     let report, regressions =
-      Snapshot.diff ~threshold (load before) (load after)
+      Snapshot.diff ~threshold ~rate (load before) (load after)
     in
     print_string report;
     match regressions with
@@ -762,11 +1034,20 @@ let obs_diff_cmd =
                    built-in noise floors) is a regression.  Exit code 1 \
                    when any is found, 0 otherwise.")
   in
+  let rate =
+    Arg.(value & flag
+         & info [ "rate" ]
+             ~doc:"Compare counters as events per second (each divided \
+                   by its snapshot's wlcq_process_uptime_ns), so two \
+                   snapshots taken from two still-running daemons with \
+                   different uptimes diff meaningfully.")
+  in
   let doc =
     "Diff two OpenMetrics snapshots written by --metrics-out and flag \
      thresholded counter/latency regressions."
   in
-  Cmd.v (Cmd.info "obs-diff" ~doc) Term.(const run $ before $ after $ threshold)
+  Cmd.v (Cmd.info "obs-diff" ~doc)
+    Term.(const run $ before $ after $ threshold $ rate)
 
 let main =
   let doc =
@@ -775,6 +1056,6 @@ let main =
   Cmd.group (Cmd.info "wlcq" ~version:"1.0.0" ~doc)
     [ widths_cmd; ans_cmd; tw_cmd; wl_cmd; cfi_cmd; witness_cmd; domsets_cmd;
       union_cmd; kg_widths_cmd; kg_ans_cmd; invariants_cmd; profile_cmd;
-      certify_cmd; obs_diff_cmd ]
+      certify_cmd; obs_diff_cmd; serve_cmd; call_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -605,7 +605,7 @@ let count ?(budget = Budget.unlimited) ?candidates h g =
   else if Graph.num_vertices g = 0 then Bigint.zero
   else
     count_via_cache
-      ~cacheable:(Budget.is_unlimited budget && count_cacheable ?candidates h g)
+      ~cacheable:(count_cacheable ?candidates h g)
       ~key:(count_key h g)
       (fun () ->
          (* dispatch before the decomposition: the point of the brute
@@ -657,17 +657,15 @@ let count_budgeted ~budget ?candidates h g =
     | `Degraded (n, r) -> `Degraded (Bigint.of_int n, r)
     | `Exhausted (_, r) -> note_exhausted r
   else begin
-    (* a limited budget bypasses the cache read: budgeted runs exist to
-       exercise bounded execution (degradation ladders, fault
-       injection), and a memoised total would short-circuit exactly the
-       machinery the caller asked to run.  Exact results still enter
-       the cache below — they are exact however bounded the run was. *)
+    (* budgeted runs read the cache too: a memoised total is exact
+       whatever budget produced it, and a warm daemon answering
+       deadline-bound requests is exactly the reader that profits.
+       Only writes are gated — the [`Exact] arm below — so degraded
+       values never enter the tier. *)
     let cacheable = count_cacheable ?candidates h g in
     let key = count_key h g in
     let cached =
-      if cacheable && Budget.is_unlimited budget then
-        Cache.find count_store (Lazy.force key)
-      else None
+      if cacheable then Cache.find count_store (Lazy.force key) else None
     in
     match cached with
     | Some v ->
@@ -790,9 +788,7 @@ let count_many ?(budget = Budget.unlimited) ?candidates hs g =
            | Dispatch.Hom_reference -> count_reference ?candidates h g
            | Dispatch.Hom_packed ->
              count_via_cache
-               ~cacheable:
-                 (Budget.is_unlimited budget
-                  && count_cacheable ?candidates h g)
+               ~cacheable:(count_cacheable ?candidates h g)
                ~key:(count_key h g)
                (fun () ->
                   let d =

@@ -21,6 +21,12 @@ type t = {
 (* Capture                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* Process start, for the synthetic uptime counter below.  Immutable:
+   stamped once at module initialisation. *)
+let t0_ns = Obs.now_ns ()
+
+let uptime_metric = "wlcq_process_uptime_ns"
+
 let sanitize name =
   let b = Bytes.create (String.length name) in
   String.iteri
@@ -37,6 +43,13 @@ let capture () =
     List.filter_map
       (fun (name, v) -> if v <> 0 then Some (sanitize name, v) else None)
       (Obs.counters ())
+  in
+  (* Synthetic monotonic counter so two snapshots of still-running
+     daemons can be rate-normalised offline ([diff ~rate:true]).  It
+     is never flagged as a regression — wall time always grows. *)
+  let counters =
+    (uptime_metric, Int64.to_int (Int64.sub (Obs.now_ns ()) t0_ns))
+    :: counters
   in
   let hists =
     List.filter_map
@@ -290,7 +303,12 @@ let union_names a b =
 let min_counter_delta = 8
 let min_samples = 2
 
-let diff ?(threshold = 2.0) before after =
+let uptime_of snap =
+  match find uptime_metric snap.s_counters with
+  | Some (_, ns) when ns > 0 -> Some (float_of_int ns /. 1e9)
+  | _ -> None
+
+let diff ?(threshold = 2.0) ?(rate = false) before after =
   let buf = Buffer.create 1024 in
   let regressions = ref [] in
   let flag metric what b a =
@@ -300,15 +318,48 @@ let diff ?(threshold = 2.0) before after =
           r_ratio = a /. b }
         :: !regressions
   in
+  (* Rate normalisation: when both snapshots carry the synthetic
+     uptime counter, [~rate:true] compares counters as events per
+     second instead of absolute totals, so two still-running daemons
+     with different uptimes can be diffed meaningfully. *)
+  let uptimes =
+    if rate then
+      match (uptime_of before, uptime_of after) with
+      | Some ub, Some ua -> Some (ub, ua)
+      | _ -> None
+    else None
+  in
+  (match (rate, uptimes) with
+   | true, None ->
+     Buffer.add_string buf
+       "note: --rate requested but a snapshot lacks wlcq_process_uptime_ns; \
+        falling back to absolute counters\n"
+   | _ -> ());
   List.iter
     (fun name ->
        match (find name before.s_counters, find name after.s_counters) with
        | None, None -> ()
        | Some (_, b), Some (_, a) ->
-         Buffer.add_string buf
-           (Printf.sprintf "counter %s %d -> %d (%+d)\n" name b a (a - b));
-         if a - b >= min_counter_delta then
-           flag name "count" (float_of_int b) (float_of_int a)
+         (match uptimes with
+          | Some (ub, ua) ->
+            Buffer.add_string buf
+              (Printf.sprintf "counter %s %d -> %d (%.3f/s -> %.3f/s)\n" name
+                 b a
+                 (float_of_int b /. ub)
+                 (float_of_int a /. ua))
+          | None ->
+            Buffer.add_string buf
+              (Printf.sprintf "counter %s %d -> %d (%+d)\n" name b a (a - b)));
+         (* wall time always grows: never a verdict in itself *)
+         if not (String.equal name uptime_metric) then begin
+           match uptimes with
+           | Some (ub, ua) ->
+             if a >= min_counter_delta then
+               flag name "rate" (float_of_int b /. ub) (float_of_int a /. ua)
+           | None ->
+             if a - b >= min_counter_delta then
+               flag name "count" (float_of_int b) (float_of_int a)
+         end
        | None, Some (_, a) ->
          Buffer.add_string buf
            (Printf.sprintf "counter %s (new) -> %d\n" name a)

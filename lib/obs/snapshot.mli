@@ -29,8 +29,15 @@ type t = {
 }
 
 (** [capture ()] snapshots the live {!Obs} registry: all non-zero
-    counters and all non-empty distributions. *)
+    counters and all non-empty distributions, plus the synthetic
+    {!uptime_metric} counter (nanoseconds since this process loaded
+    the library) used by {!diff}[ ~rate:true]. *)
 val capture : unit -> t
+
+(** Name of the synthetic uptime counter ["wlcq_process_uptime_ns"].
+    Always present in a {!capture}d snapshot and never flagged as a
+    regression by {!diff} — wall time always grows. *)
+val uptime_metric : string
 
 (** [sanitize name] is the OpenMetrics-safe metric name used in
     snapshots: ["wlcq_"] + [name] with every character outside
@@ -53,7 +60,7 @@ val hist_quantile : hist -> float -> int option
 (** One thresholded regression verdict from {!diff}. *)
 type regression = {
   r_metric : string;
-  r_what : string;  (** ["count"], ["p50"] or ["p99"] *)
+  r_what : string;  (** ["count"], ["rate"], ["p50"] or ["p99"] *)
   r_before : float;
   r_after : float;
   r_ratio : float;
@@ -66,5 +73,13 @@ type regression = {
     (default 2.0) relative to [before], above a small noise floor
     (counter deltas of fewer than 8 events and histograms with fewer
     than 2 samples are never flagged).  Two identical snapshots
-    produce zero regressions. *)
-val diff : ?threshold:float -> t -> t -> string * regression list
+    produce zero regressions.
+
+    With [~rate:true], counters are first divided by each snapshot's
+    {!uptime_metric} value, so two snapshots taken from two
+    still-running daemons with different uptimes compare events per
+    second rather than absolute totals ([r_what] is ["rate"]).  When
+    either snapshot lacks the uptime counter the diff falls back to
+    absolute mode and says so in the report.  {!uptime_metric} itself
+    is reported but never flagged. *)
+val diff : ?threshold:float -> ?rate:bool -> t -> t -> string * regression list

@@ -1,14 +1,43 @@
 module Obs = Wlcq_obs.Obs
 
-type site = Deadline_check | Domain_spawn | Dp_alloc
+type site =
+  | Deadline_check
+  | Domain_spawn
+  | Dp_alloc
+  | Accept_fail
+  | Read_stall
+  | Write_stall
+  | Worker_raise
 
 let site_to_string = function
   | Deadline_check -> "deadline_check"
   | Domain_spawn -> "domain_spawn"
   | Dp_alloc -> "dp_alloc"
+  | Accept_fail -> "accept_fail"
+  | Read_stall -> "read_stall"
+  | Write_stall -> "write_stall"
+  | Worker_raise -> "worker_raise"
 
-let site_index = function Deadline_check -> 0 | Domain_spawn -> 1 | Dp_alloc -> 2
-let num_sites = 3
+let site_index = function
+  | Deadline_check -> 0
+  | Domain_spawn -> 1
+  | Dp_alloc -> 2
+  | Accept_fail -> 3
+  | Read_stall -> 4
+  | Write_stall -> 5
+  | Worker_raise -> 6
+
+let num_sites = 7
+
+let site_of_string = function
+  | "deadline_check" -> Some Deadline_check
+  | "domain_spawn" -> Some Domain_spawn
+  | "dp_alloc" -> Some Dp_alloc
+  | "accept_fail" -> Some Accept_fail
+  | "read_stall" -> Some Read_stall
+  | "write_stall" -> Some Write_stall
+  | "worker_raise" -> Some Worker_raise
+  | _ -> None
 
 (* All layer state is atomic so hooks may be consulted from worker
    domains while the test driver arms/disarms. *)
@@ -31,6 +60,10 @@ let m_injected =
     Obs.counter "robust.fault.deadline_check";
     Obs.counter "robust.fault.domain_spawn";
     Obs.counter "robust.fault.dp_alloc";
+    Obs.counter "robust.fault.accept_fail";
+    Obs.counter "robust.fault.read_stall";
+    Obs.counter "robust.fault.write_stall";
+    Obs.counter "robust.fault.worker_raise";
   |]
 
 let arm ~seed ?(rate = 1.0) ?sites () =

@@ -1,10 +1,13 @@
 (** Deterministic, seeded fault injection for the robustness layer.
 
-    The engines contain compiled-in hooks at three kinds of sites:
-    budget deadline checks ({!Deadline_check}), [Domain.spawn] call
-    sites ({!Domain_spawn}) and flat DP table allocation
-    ({!Dp_alloc}).  When the layer is {e disarmed} — the default, and
-    the only state production code ever runs in — every hook is a
+    The engines contain compiled-in hooks at budget deadline checks
+    ({!Deadline_check}), [Domain.spawn] call sites ({!Domain_spawn})
+    and flat DP table allocation ({!Dp_alloc}); the service tier
+    ([Wlcq_serve]) adds socket/scheduler sites: failing an [accept]
+    ({!Accept_fail}), treating a client read or write as stalled
+    ({!Read_stall}/{!Write_stall}) and raising inside a worker domain
+    ({!Worker_raise}).  When the layer is {e disarmed} — the default,
+    and the only state production code ever runs in — every hook is a
     single [Atomic.get] and a branch.
 
     When armed with a seed, each site draws from its own deterministic
@@ -25,14 +28,22 @@ type site =
   | Deadline_check  (** a full budget poll (inside {!Budget.poll}) *)
   | Domain_spawn  (** just before a [Domain.spawn] in an engine *)
   | Dp_alloc  (** a [Dp_key] flat-table allocation *)
+  | Accept_fail  (** a [Unix.accept] in the serve event loop *)
+  | Read_stall  (** a client read treated as stalled by the daemon *)
+  | Write_stall  (** a client write treated as timed out *)
+  | Worker_raise  (** an artificial exception inside a worker domain *)
 
 val site_to_string : site -> string
+
+(** [site_of_string s] inverts {!site_to_string}; [None] on unknown
+    names (used by the [--fault-sites] CLI flag). *)
+val site_of_string : string -> site option
 
 (** [arm ~seed ?rate ?sites ()] arms the layer.  [rate] is the
     per-draw failure probability in [\[0, 1\]] (default [1.0]: every
     draw at an armed site fails, which forces the fallback path on
     first contact).  [sites] restricts injection to the listed sites
-    (default: all three).  Resets all draw counters so runs are
+    (default: all of them).  Resets all draw counters so runs are
     reproducible.
     @raise Invalid_argument when [rate] is outside [\[0, 1\]]. *)
 val arm : seed:int -> ?rate:float -> ?sites:site list -> unit -> unit

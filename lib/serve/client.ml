@@ -1,0 +1,53 @@
+(* A minimal blocking client for the wlcq/1 protocol, shared by the
+   [wlcq call] subcommand, the tests and the F9 load generator.
+
+   One connection carries any number of request/response exchanges;
+   responses are matched to requests positionally (the daemon answers
+   admission-control rejections immediately but in-order per
+   connection, so pipelining stays unambiguous per the protocol's
+   one-reply-per-frame rule). *)
+
+type conn = { fd : Unix.file_descr; defr : Wire.deframer; timeout_s : float }
+
+let connect ?(timeout_s = 10.0) ~socket () =
+  (* a daemon that drops the connection mid-send must surface as a
+     [`Closed] write result, not a fatal SIGPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  match Io.connect ~timeout_s ~path:socket with
+  | Ok fd -> Ok { fd; defr = Wire.deframer (); timeout_s }
+  | Error _ as e -> e
+
+let close c = Io.close c.fd
+
+let send c req =
+  match Io.write_all ~timeout_s:c.timeout_s c.fd (Wire.encode_request req) 0 with
+  | `All -> Ok ()
+  | `Partial _ -> Error "Client.send: write timed out"
+  | `Closed -> Error "Client.send: connection closed"
+
+let receive c =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match Wire.next_frame c.defr with
+    | `Frame payload -> Wire.decode_response payload
+    | `Oversize n ->
+      Error (Printf.sprintf "Client.receive: oversize frame (%d bytes)" n)
+    | `Await -> (
+      match Io.read ~timeout_s:c.timeout_s c.fd buf with
+      | Io.Data n ->
+        Wire.feed c.defr buf n;
+        go ()
+      | Io.Timeout -> Error "Client.receive: timed out waiting for a reply"
+      | Io.Eof | Io.Closed -> Error "Client.receive: connection closed")
+  in
+  go ()
+
+let request c req =
+  match send c req with Ok () -> receive c | Error _ as e -> e
+
+let call ?timeout_s ~socket req =
+  match connect ?timeout_s ~socket () with
+  | Error _ as e -> e
+  | Ok c ->
+    Fun.protect ~finally:(fun () -> close c) (fun () -> request c req)

@@ -1,0 +1,21 @@
+(** Blocking client for the wlcq/1 protocol ([wlcq call], the tests
+    and the F9 load generator).  Every operation is bounded by the
+    connection's timeout; failures are [Error msg], never
+    exceptions. *)
+
+type conn
+
+val connect :
+  ?timeout_s:float -> socket:string -> unit -> (conn, string) result
+
+val close : conn -> unit
+val send : conn -> Wire.request -> (unit, string) result
+val receive : conn -> (Wire.response, string) result
+
+(** [request c req] is {!send} then {!receive}. *)
+val request : conn -> Wire.request -> (Wire.response, string) result
+
+(** One-shot: connect, exchange one request, close. *)
+val call :
+  ?timeout_s:float -> socket:string -> Wire.request ->
+  (Wire.response, string) result

@@ -1,0 +1,17 @@
+(** Request execution: decoded wire requests onto the budgeted engine
+    entry points.
+
+    Spec parsing happens here in the worker, so malformed payloads
+    become structured [Error] responses; engine outcomes map onto the
+    wire statuses ([`Exact] → [Ok_], [`Degraded] → [Degraded],
+    [`Exhausted] and a raised [Budget.Exhausted] → [Exhausted]).
+    Other exceptions propagate — the server's worker wrapper owns
+    containment and post-mortem journaling. *)
+
+module Budget = Wlcq_robust.Budget
+
+(** [execute ~budget req] never raises [Invalid_argument]/[Failure]
+    for malformed payloads (those are [Error] responses) but may let
+    unexpected exceptions escape to the caller's containment
+    wrapper. *)
+val execute : budget:Budget.t -> Wire.request -> Wire.response

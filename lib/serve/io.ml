@@ -1,0 +1,113 @@
+(* The designated blocking-I/O module of the service tier.
+
+   Lint rule R11 confines every blocking [Unix] call in lib/serve
+   (accept/read/write/select/recv/send) to this file, and inside it to
+   functions that carry an explicit [~timeout_s] parameter — so no
+   code path in the daemon can block indefinitely on a socket.  Each
+   wrapper bounds the wait with a [Unix.select] on the single
+   descriptor before performing the operation; a timeout is a normal
+   result, never an exception. *)
+
+let wait_readable ~timeout_s fd =
+  match Unix.select [ fd ] [] [] timeout_s with
+  | [], _, _ -> false
+  | _ -> true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+let wait_writable ~timeout_s fd =
+  match Unix.select [] [ fd ] [] timeout_s with
+  | _, [], _ -> false
+  | _ -> true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+let listen ~path ~backlog =
+  (match Unix.lstat path with
+   | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+   | _ -> ()
+   | exception Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX path);
+     Unix.listen fd backlog
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let accept ~timeout_s fd =
+  if not (wait_readable ~timeout_s fd) then None
+  else
+    match Unix.accept ~cloexec:true fd with
+    | cfd, _ -> Some cfd
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
+      -> None
+
+(* [select ~timeout_s fds] is the event-loop multiplexer: descriptors
+   readable now, [] on timeout or EINTR. *)
+let select ~timeout_s fds =
+  match Unix.select fds [] [] timeout_s with
+  | ready, _, _ -> ready
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+
+type read_result = Data of int | Eof | Timeout | Closed
+
+let read ~timeout_s fd buf =
+  if not (wait_readable ~timeout_s fd) then Timeout
+  else
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> Eof
+    | n -> Data n
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      -> Timeout
+    | exception Unix.Unix_error (_, _, _) -> Closed
+
+(* [write_all ~timeout_s fd s pos] writes [s] from [pos] on; [`All] on
+   completion, [`Partial n] with the new offset when the per-call
+   timeout expired first, [`Closed] on a dead peer (EPIPE et al.). *)
+let write_all ~timeout_s fd s pos =
+  let n = String.length s in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go pos =
+    if pos >= n then `All
+    else
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0.0 then `Partial pos
+      else if not (wait_writable ~timeout_s:left fd) then `Partial pos
+      else
+        match Unix.write_substring fd s pos (n - pos) with
+        | written -> go (pos + written)
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          -> go pos
+        | exception Unix.Unix_error (_, _, _) -> `Closed
+  in
+  go pos
+
+let connect ~timeout_s ~path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+    Unix.close fd;
+    ignore timeout_s;
+    Error (Printf.sprintf "Io.connect: %s: %s" path (Unix.error_message e))
+
+(* Self-pipe wakeup: workers poke one byte at the event loop so a
+   completed job interrupts the loop's select immediately. *)
+let notify ~timeout_s fd =
+  if wait_writable ~timeout_s fd then
+    match Unix.write_substring fd "!" 0 1 with
+    | _ -> ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+
+let drain_notifications ~timeout_s fd =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    if wait_readable ~timeout_s fd then
+      match Unix.read fd buf 0 64 with
+      | 64 -> go ()
+      | _ -> ()
+      | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  go ()
+
+let close fd = try Unix.close fd with Unix.Unix_error (_, _, _) -> ()

@@ -1,0 +1,50 @@
+(** Bounded blocking I/O for the service tier.
+
+    The one module in [lib/serve] allowed to perform blocking [Unix]
+    calls (lint rule R11); every operation takes a [~timeout_s] bound
+    and reports expiry as a normal result, so no daemon code path can
+    block indefinitely on a socket. *)
+
+(** [listen ~path ~backlog] binds and listens on a Unix-domain socket,
+    unlinking a stale socket file left by a previous daemon.
+    @raise Unix.Unix_error when the bind/listen fails. *)
+val listen : path:string -> backlog:int -> Unix.file_descr
+
+(** [accept ~timeout_s fd] waits up to [timeout_s] for a connection;
+    [None] on timeout or a transient accept error. *)
+val accept : timeout_s:float -> Unix.file_descr -> Unix.file_descr option
+
+(** [select ~timeout_s fds] is the event-loop multiplexer: the subset
+    of [fds] readable now; [[]] on timeout or [EINTR]. *)
+val select :
+  timeout_s:float -> Unix.file_descr list -> Unix.file_descr list
+
+type read_result =
+  | Data of int  (** bytes read *)
+  | Eof  (** orderly close by the peer *)
+  | Timeout
+  | Closed  (** read error: treat as a dead peer *)
+
+val read : timeout_s:float -> Unix.file_descr -> bytes -> read_result
+
+(** [write_all ~timeout_s fd s pos] writes [s] from offset [pos]:
+    [`All] on completion, [`Partial pos'] when the bound expired with
+    [pos'] bytes sent in total, [`Closed] on a dead peer. *)
+val write_all :
+  timeout_s:float -> Unix.file_descr -> string -> int ->
+  [ `All | `Partial of int | `Closed ]
+
+(** [connect ~timeout_s ~path] opens a client connection. *)
+val connect :
+  timeout_s:float -> path:string -> (Unix.file_descr, string) result
+
+(** [notify ~timeout_s fd] writes one wakeup byte to the self-pipe
+    (best effort: a full pipe already guarantees a pending wakeup). *)
+val notify : timeout_s:float -> Unix.file_descr -> unit
+
+(** [drain_notifications ~timeout_s fd] consumes pending wakeup
+    bytes. *)
+val drain_notifications : timeout_s:float -> Unix.file_descr -> unit
+
+(** [close fd] closes, ignoring errors (double close included). *)
+val close : Unix.file_descr -> unit

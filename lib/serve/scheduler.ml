@@ -1,0 +1,146 @@
+(* The Domain-pool job scheduler: fair per-client queueing with
+   admission control.
+
+   Jobs live in one queue per client, and worker domains pop in
+   round-robin order over the clients that currently have work — a
+   client flooding the daemon with requests cannot starve the others;
+   it only deepens its own queue until admission control sheds it.
+
+   Admission is bounded twice: a total depth cap (protects the daemon)
+   and a per-client cap (protects the other clients).  A rejected
+   submission carries a retry-after hint derived from the current
+   depth and an EWMA of observed service time.
+
+   All state sits behind one mutex; [next] blocks on a condition
+   variable (not a Unix call — R11 does not apply) until a job or
+   [stop] arrives. *)
+
+type job = {
+  j_sid : int;
+  j_req : Wire.request;
+  j_cancel : Wlcq_robust.Budget.token;
+  j_enq_ns : int64;
+}
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queues : (int, job Queue.t) Hashtbl.t;
+  (* lint: domain-local guarded by [lock] *)
+  mutable rotation : int list;  (* sids with pending work, pop order *)
+  (* lint: domain-local guarded by [lock] *)
+  mutable total : int;
+  (* lint: domain-local guarded by [lock] *)
+  mutable stopped : bool;
+  max_total : int;
+  max_per_client : int;
+  workers : int;
+  (* lint: domain-local guarded by [lock] *)
+  mutable ewma_service_ns : float;
+}
+
+let create ~max_total ~max_per_client ~workers =
+  if max_total < 1 then invalid_arg "Scheduler.create: max_total must be >= 1";
+  if max_per_client < 1 then
+    invalid_arg "Scheduler.create: max_per_client must be >= 1";
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    queues = Hashtbl.create 64;
+    rotation = [];
+    total = 0;
+    stopped = false;
+    max_total;
+    max_per_client;
+    workers = max 1 workers;
+    ewma_service_ns = 1_000_000.0 (* 1ms prior, refined by real jobs *);
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Retry hint: expected time for the backlog ahead of a resubmission
+   to clear, given the smoothed service time and the pool width. *)
+let retry_after_ms_locked t =
+  let est =
+    t.ewma_service_ns *. float_of_int (t.total + 1)
+    /. float_of_int t.workers /. 1e6
+  in
+  max 1 (int_of_float (Float.min est 60_000.0))
+
+let submit t job =
+  locked t @@ fun () ->
+  if t.stopped then `Stopped
+  else
+    let q =
+      match Hashtbl.find_opt t.queues job.j_sid with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.replace t.queues job.j_sid q;
+        q
+    in
+    if t.total >= t.max_total || Queue.length q >= t.max_per_client then
+      `Rejected (retry_after_ms_locked t)
+    else begin
+      if Queue.is_empty q then t.rotation <- t.rotation @ [ job.j_sid ];
+      Queue.add job q;
+      t.total <- t.total + 1;
+      Condition.signal t.nonempty;
+      `Accepted
+    end
+
+let next t =
+  locked t @@ fun () ->
+  let rec wait () =
+    if t.total > 0 then begin
+      match t.rotation with
+      | [] -> assert false
+      | sid :: rest -> (
+        match Hashtbl.find_opt t.queues sid with
+        | None ->
+          t.rotation <- rest;
+          wait ()
+        | Some q ->
+          let job = Queue.pop q in
+          t.total <- t.total - 1;
+          (* move the client to the back of the rotation while it
+             still has work; drop it otherwise *)
+          t.rotation <-
+            (if Queue.is_empty q then rest else rest @ [ sid ]);
+          Some job)
+    end
+    else if t.stopped then None
+    else begin
+      Condition.wait t.nonempty t.lock;
+      wait ()
+    end
+  in
+  wait ()
+
+let note_service_ns t ns =
+  locked t @@ fun () ->
+  t.ewma_service_ns <-
+    (0.8 *. t.ewma_service_ns) +. (0.2 *. Int64.to_float ns)
+
+let drop_client t sid =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.queues sid with
+  | None -> []
+  | Some q ->
+    let dropped = List.of_seq (Queue.to_seq q) in
+    t.total <- t.total - Queue.length q;
+    Queue.clear q;
+    Hashtbl.remove t.queues sid;
+    t.rotation <- List.filter (fun s -> s <> sid) t.rotation;
+    dropped
+
+let depth t = locked t @@ fun () -> t.total
+
+let stop t =
+  locked t @@ fun () ->
+  t.stopped <- true;
+  Condition.broadcast t.nonempty
+
+let stopped t = locked t @@ fun () -> t.stopped

@@ -1,0 +1,40 @@
+(** Fair per-client job queueing with bounded admission.
+
+    One queue per client, popped round-robin over clients with pending
+    work, so a flooding client deepens only its own queue.  Admission
+    is capped per client and in total; a rejection carries a
+    retry-after hint from an EWMA of observed service times.  [next]
+    blocks worker domains on a condition variable until work or
+    {!stop} arrives, and keeps handing out queued jobs after [stop]
+    until the queues drain (the SIGTERM drain path). *)
+
+type job = {
+  j_sid : int;
+  j_req : Wire.request;
+  j_cancel : Wlcq_robust.Budget.token;
+      (** the owning session's token: cancelled when the client is
+          reaped, so queued work for a dead client unwinds *)
+  j_enq_ns : int64;
+}
+
+type t
+
+(** @raise Invalid_argument on non-positive caps. *)
+val create : max_total:int -> max_per_client:int -> workers:int -> t
+
+val submit : t -> job -> [ `Accepted | `Rejected of int | `Stopped ]
+
+(** Blocking pop; [None] once stopped and fully drained. *)
+val next : t -> job option
+
+(** Feed one completed job's wall time into the EWMA behind the
+    retry-after hint. *)
+val note_service_ns : t -> int64 -> unit
+
+(** [drop_client t sid] removes and returns the still-queued jobs of a
+    reaped client. *)
+val drop_client : t -> int -> job list
+
+val depth : t -> int
+val stop : t -> unit
+val stopped : t -> bool

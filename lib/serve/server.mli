@@ -1,0 +1,58 @@
+(** The wlcq daemon: accept loop, session table, worker pool, drain.
+
+    One event-loop thread owns every socket and session; [workers]
+    domains execute requests popped from the {!Scheduler}.  Crash
+    containment is total: a request that raises, exhausts its budget,
+    or whose client disconnects mid-flight is answered or journaled
+    and the daemon lives on.  See DESIGN.md "Service tier" for the
+    shed/drain state machine. *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** worker domains executing requests *)
+  max_sessions : int;
+  max_queue : int;  (** total admission cap across clients *)
+  max_queue_per_client : int;
+  max_deadline_ms : float option;
+      (** server cap: client-requested deadlines are clamped to it *)
+  default_deadline_ms : float option;
+      (** applied when the client requests no deadline *)
+  max_live_mb : int option;  (** heap-ceiling cap, clamped likewise *)
+  idle_timeout_s : float;  (** quiet sessions are reaped after this *)
+  write_timeout_s : float;  (** a client not draining its responses
+                                for this long is reaped *)
+  drain_timeout_s : float;
+      (** SIGTERM grace before in-flight budgets are cancelled *)
+  flush_interval_s : float;  (** periodic sink re-render; 0 disables *)
+  metrics_out : string option;
+      (** OpenMetrics snapshot target, rewritten atomically each flush *)
+  journal_path : string option;
+      (** the flight-recorder dump path (as armed via Obs), used for
+          size-based rotation to [path ^ ".1"] *)
+  journal_rotate_bytes : int;
+}
+
+val default_config : socket_path:string -> config
+
+type t
+
+(** @raise Invalid_argument on a non-positive worker count. *)
+val create : config -> t
+
+(** [run t] binds the socket and serves until {!shutdown}; returns
+    after the drain completes (sinks flushed, sockets closed, socket
+    file removed).  [on_listening] fires once the socket accepts
+    connections.
+    @raise Unix.Unix_error when the socket cannot be bound. *)
+val run : ?on_listening:(unit -> unit) -> t -> unit
+
+(** Signal-safe: flips an atomic the event loop polls every tick.  The
+    drain stops accepting, answers queued work, finishes or
+    [Exhausted]-cancels in-flight work, flushes sinks. *)
+val shutdown : t -> unit
+
+(** Signal-safe (SIGHUP): request an immediate sink flush. *)
+val request_flush : t -> unit
+
+(** Whether the daemon is currently bound and serving. *)
+val listening : t -> bool

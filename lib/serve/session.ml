@@ -1,0 +1,58 @@
+(* Per-client session state.
+
+   A session is owned by the event loop: every mutable field here is
+   read and written from the loop thread only.  Workers interact with
+   a session exclusively through its cancellation token (an atomic
+   inside Budget) and through the server's completion queue, so no
+   field needs a lock. *)
+
+module Budget = Wlcq_robust.Budget
+
+type t = {
+  sid : int;
+  fd : Unix.file_descr;
+  deframer : Wire.deframer;
+  (* lint: domain-local single-writer, owned by the event loop *)
+  mutable out : string;  (* bytes not yet written to the client *)
+  (* lint: domain-local single-writer, owned by the event loop *)
+  mutable out_pos : int;  (* prefix of [out] already written *)
+  (* lint: domain-local single-writer, owned by the event loop *)
+  mutable last_activity_ns : int64;
+  (* lint: domain-local single-writer, owned by the event loop *)
+  mutable in_flight : int;  (* jobs queued or executing for this client *)
+  (* lint: domain-local single-writer, owned by the event loop *)
+  mutable closing : bool;  (* flush pending output, then close *)
+  cancel : Budget.token;  (* cancelled when the session is reaped *)
+}
+
+let next_sid = Atomic.make 1
+
+let create ~now_ns fd =
+  {
+    sid = Atomic.fetch_and_add next_sid 1;
+    fd;
+    deframer = Wire.deframer ();
+    out = "";
+    out_pos = 0;
+    last_activity_ns = now_ns;
+    in_flight = 0;
+    closing = false;
+    cancel = Budget.token ();
+  }
+
+let touch s ~now_ns = s.last_activity_ns <- now_ns
+
+let idle_ns s ~now_ns = Int64.sub now_ns s.last_activity_ns
+
+let enqueue_output s bytes =
+  (* compact the consumed prefix before appending, so the buffer does
+     not grow with the total bytes ever sent *)
+  if s.out_pos > 0 then begin
+    s.out <- String.sub s.out s.out_pos (String.length s.out - s.out_pos);
+    s.out_pos <- 0
+  end;
+  s.out <- s.out ^ bytes
+
+let pending_output s = String.length s.out - s.out_pos
+
+let wrote s pos = s.out_pos <- pos

@@ -1,0 +1,34 @@
+(** Per-client session state, owned by the event loop.
+
+    Every mutable field is single-writer (the loop thread); workers
+    only see a session through its cancellation {!Wlcq_robust.Budget}
+    token, which is cancelled when the session is reaped so in-flight
+    work for a dead client unwinds cooperatively. *)
+
+module Budget = Wlcq_robust.Budget
+
+type t = {
+  sid : int;  (** unique per daemon lifetime *)
+  fd : Unix.file_descr;
+  deframer : Wire.deframer;
+  mutable out : string;
+  mutable out_pos : int;
+  mutable last_activity_ns : int64;
+  mutable in_flight : int;
+  mutable closing : bool;
+  cancel : Budget.token;
+}
+
+val create : now_ns:int64 -> Unix.file_descr -> t
+val touch : t -> now_ns:int64 -> unit
+val idle_ns : t -> now_ns:int64 -> int64
+
+(** [enqueue_output s bytes] appends an encoded frame to the write
+    buffer (compacting the already-written prefix). *)
+val enqueue_output : t -> string -> unit
+
+(** Bytes queued but not yet written. *)
+val pending_output : t -> int
+
+(** [wrote s pos] records that the buffer is consumed up to [pos]. *)
+val wrote : t -> int -> unit

@@ -1,0 +1,302 @@
+(* The wlcq/1 wire protocol: length-delimited frames carrying a small
+   line-oriented text payload.
+
+   A frame is a 4-byte big-endian payload length followed by that many
+   payload bytes.  The payload is text: a first line "wlcq/1 <verb>"
+   and then "key=value" lines, with '\n' and '\\' escaped inside
+   values so any string round-trips.  Everything here is pure —
+   decoding never raises and never touches a socket; the incremental
+   deframer buffers bytes fed by the event loop and yields complete
+   payloads.  Malformed input comes back as [Error msg] so the server
+   can answer with a structured error response instead of
+   disconnecting. *)
+
+let max_payload = 1 lsl 20
+let max_batch = 256
+
+type op =
+  | Ping
+  | Decide of { k : int; g1 : string; g2 : string }
+  | Count of { query : string; graph : string }
+  | Count_batch of { queries : string list; graph : string }
+  | Treewidth of { graph : string }
+
+type request = {
+  id : string;
+  deadline_ms : float option;
+  max_live_mb : int option;
+  op : op;
+}
+
+type status = Ok_ | Degraded | Exhausted | Error_ | Overloaded | Draining
+
+let status_to_string = function
+  | Ok_ -> "ok"
+  | Degraded -> "degraded"
+  | Exhausted -> "exhausted"
+  | Error_ -> "error"
+  | Overloaded -> "overloaded"
+  | Draining -> "draining"
+
+let status_of_string = function
+  | "ok" -> Some Ok_
+  | "degraded" -> Some Degraded
+  | "exhausted" -> Some Exhausted
+  | "error" -> Some Error_
+  | "overloaded" -> Some Overloaded
+  | "draining" -> Some Draining
+  | _ -> None
+
+type response = {
+  r_id : string;
+  r_status : status;
+  r_value : string;
+  r_detail : string;
+  r_retry_after_ms : int option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Value escaping                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let n = String.length s in
+  let b = Buffer.create (n + 8) in
+  for i = 0 to n - 1 do
+    match s.[i] with
+    | '\n' -> Buffer.add_string b "\\n"
+    | '\\' -> Buffer.add_string b "\\\\"
+    | c -> Buffer.add_char b c
+  done;
+  Buffer.contents b
+
+(* Total: an unrecognised or trailing escape is kept literally, so
+   decoding arbitrary bytes never raises. *)
+let unescape s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+        | 'n' -> Buffer.add_char b '\n'
+        | '\\' -> Buffer.add_char b '\\'
+        | c ->
+          Buffer.add_char b '\\';
+          Buffer.add_char b c);
+       incr i
+     end
+     else Buffer.add_char b s.[!i]);
+    incr i
+  done;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Payload encode/decode                                               *)
+(* ------------------------------------------------------------------ *)
+
+let add_kv b k v =
+  Buffer.add_char b '\n';
+  Buffer.add_string b k;
+  Buffer.add_char b '=';
+  Buffer.add_string b (escape v)
+
+let payload_of_request r =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "wlcq/1 ";
+  Buffer.add_string b
+    (match r.op with
+     | Ping -> "ping"
+     | Decide _ -> "decide"
+     | Count _ -> "count"
+     | Count_batch _ -> "count-batch"
+     | Treewidth _ -> "treewidth");
+  if not (String.equal r.id "") then add_kv b "id" r.id;
+  Option.iter (fun ms -> add_kv b "deadline-ms" (Printf.sprintf "%g" ms))
+    r.deadline_ms;
+  Option.iter (fun mb -> add_kv b "max-live-mb" (string_of_int mb))
+    r.max_live_mb;
+  (match r.op with
+   | Ping -> ()
+   | Decide { k; g1; g2 } ->
+     add_kv b "k" (string_of_int k);
+     add_kv b "g1" g1;
+     add_kv b "g2" g2
+   | Count { query; graph } ->
+     add_kv b "query" query;
+     add_kv b "graph" graph
+   | Count_batch { queries; graph } ->
+     List.iter (fun q -> add_kv b "query" q) queries;
+     add_kv b "graph" graph
+   | Treewidth { graph } -> add_kv b "graph" graph);
+  Buffer.contents b
+
+let payload_of_response r =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "wlcq/1 reply";
+  if not (String.equal r.r_id "") then add_kv b "id" r.r_id;
+  add_kv b "status" (status_to_string r.r_status);
+  if not (String.equal r.r_value "") then add_kv b "value" r.r_value;
+  if not (String.equal r.r_detail "") then add_kv b "detail" r.r_detail;
+  Option.iter (fun ms -> add_kv b "retry-after-ms" (string_of_int ms))
+    r.r_retry_after_ms;
+  Buffer.contents b
+
+(* key=value lines after the first; lines without '=' are malformed *)
+let parse_kvs lines =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match String.index_opt line '=' with
+      | None -> Error (Printf.sprintf "Wire.decode: malformed line %S" line)
+      | Some i ->
+        let k = String.sub line 0 i in
+        let v = unescape (String.sub line (i + 1) (String.length line - i - 1))
+        in
+        go ((k, v) :: acc) rest)
+  in
+  go [] lines
+
+let split_payload payload =
+  match String.split_on_char '\n' payload with
+  | [] -> Error "Wire.decode: empty payload"
+  | first :: rest -> (
+    match String.split_on_char ' ' first with
+    | [ "wlcq/1"; verb ] -> (
+      match parse_kvs rest with
+      | Ok kvs -> Ok (verb, kvs)
+      | Error _ as e -> e)
+    | _ -> Error (Printf.sprintf "Wire.decode: bad header %S" first))
+
+let find kvs k = List.assoc_opt k kvs
+let find_all kvs k = List.filter_map (fun (k', v) -> if String.equal k k' then Some v else None) kvs
+
+let require kvs k =
+  match find kvs k with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "Wire.decode: missing key %S" k)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let int_field kvs k =
+  let* v = require kvs k in
+  match int_of_string_opt v with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "Wire.decode: key %S is not an integer" k)
+
+let opt_num kvs k of_string what =
+  match find kvs k with
+  | None -> Ok None
+  | Some v -> (
+    match of_string v with
+    | Some n -> Ok (Some n)
+    | None -> Error (Printf.sprintf "Wire.decode: key %S is not %s" k what))
+
+let decode_request payload =
+  let* verb, kvs = split_payload payload in
+  let id = Option.value ~default:"" (find kvs "id") in
+  let* deadline_ms = opt_num kvs "deadline-ms" float_of_string_opt "a number" in
+  let* max_live_mb = opt_num kvs "max-live-mb" int_of_string_opt "an integer" in
+  let* op =
+    match verb with
+    | "ping" -> Ok Ping
+    | "decide" ->
+      let* k = int_field kvs "k" in
+      let* g1 = require kvs "g1" in
+      let* g2 = require kvs "g2" in
+      Ok (Decide { k; g1; g2 })
+    | "count" ->
+      let* query = require kvs "query" in
+      let* graph = require kvs "graph" in
+      Ok (Count { query; graph })
+    | "count-batch" ->
+      let queries = find_all kvs "query" in
+      let* graph = require kvs "graph" in
+      if List.length queries = 0 then
+        Error "Wire.decode: count-batch needs >= 1 query"
+      else if List.length queries > max_batch then
+        Error
+          (Printf.sprintf "Wire.decode: count-batch capped at %d queries"
+             max_batch)
+      else Ok (Count_batch { queries; graph })
+    | "treewidth" ->
+      let* graph = require kvs "graph" in
+      Ok (Treewidth { graph })
+    | v -> Error (Printf.sprintf "Wire.decode: unknown verb %S" v)
+  in
+  Ok { id; deadline_ms; max_live_mb; op }
+
+let decode_response payload =
+  let* verb, kvs = split_payload payload in
+  if not (String.equal verb "reply") then
+    Error (Printf.sprintf "Wire.decode: expected reply, got %S" verb)
+  else
+    let* status_s = require kvs "status" in
+    let* r_status =
+      match status_of_string status_s with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "Wire.decode: unknown status %S" status_s)
+    in
+    let* r_retry_after_ms =
+      opt_num kvs "retry-after-ms" int_of_string_opt "an integer"
+    in
+    Ok
+      {
+        r_id = Option.value ~default:"" (find kvs "id");
+        r_status;
+        r_value = Option.value ~default:"" (find kvs "value");
+        r_detail = Option.value ~default:"" (find kvs "detail");
+        r_retry_after_ms;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let frame payload =
+  let n = String.length payload in
+  if n > max_payload then
+    invalid_arg
+      (Printf.sprintf "Wire.frame: payload of %d bytes exceeds the %d cap" n
+         max_payload);
+  let b = Bytes.create (4 + n) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+let encode_request r = frame (payload_of_request r)
+let encode_response r = frame (payload_of_response r)
+
+type deframer = {
+  (* lint: domain-local a deframer belongs to the session that owns it,
+     touched only by the event loop *)
+  mutable pending : string;
+}
+
+let deframer () = { pending = "" }
+
+let feed d bytes len =
+  if len > 0 then d.pending <- d.pending ^ Bytes.sub_string bytes 0 len
+
+let buffered d = String.length d.pending
+
+let next_frame d =
+  let n = String.length d.pending in
+  if n < 4 then `Await
+  else
+    let len =
+      (Char.code d.pending.[0] lsl 24)
+      lor (Char.code d.pending.[1] lsl 16)
+      lor (Char.code d.pending.[2] lsl 8)
+      lor Char.code d.pending.[3]
+    in
+    if len > max_payload then `Oversize len
+    else if n < 4 + len then `Await
+    else begin
+      let payload = String.sub d.pending 4 len in
+      d.pending <- String.sub d.pending (4 + len) (n - 4 - len);
+      `Frame payload
+    end

@@ -1,0 +1,93 @@
+(** The wlcq/1 wire protocol: length-delimited frames over a Unix
+    socket, each carrying a small line-oriented text payload.
+
+    Frame layout: a 4-byte big-endian payload length, then the
+    payload.  Payload grammar (see DESIGN.md "Service tier"):
+
+    {v
+    payload  ::= "wlcq/1 " verb ("\n" key "=" value)*
+    verb     ::= "ping" | "decide" | "count" | "count-batch"
+               | "treewidth" | "reply"
+    v}
+
+    Values escape ['\n'] as ["\\n"] and ['\\'] as ["\\\\"] so any
+    string round-trips.  Everything in this module is pure: decoding
+    never raises and never performs I/O, so a malformed frame can be
+    answered with a structured [error] response instead of a
+    disconnect. *)
+
+(** Hard cap on a payload, in bytes (1 MiB).  A frame header
+    announcing more is unrecoverable (the stream cannot be resynced)
+    and closes the connection. *)
+val max_payload : int
+
+(** Cap on queries per [count-batch] request. *)
+val max_batch : int
+
+type op =
+  | Ping
+  | Decide of { k : int; g1 : string; g2 : string }
+      (** [k]-WL equivalence of two graph specs *)
+  | Count of { query : string; graph : string }
+      (** answer count of a conjunctive query *)
+  | Count_batch of { queries : string list; graph : string }
+      (** several queries against one graph under one shared budget *)
+  | Treewidth of { graph : string }
+
+type request = {
+  id : string;  (** client-chosen correlation id, echoed in the reply *)
+  deadline_ms : float option;  (** clamped by the server's cap *)
+  max_live_mb : int option;  (** clamped by the server's cap *)
+  op : op;
+}
+
+type status =
+  | Ok_
+  | Degraded  (** sound value from a fallback rung; see [detail] *)
+  | Exhausted  (** budget tripped before any sound value *)
+  | Error_  (** malformed input or contained worker failure *)
+  | Overloaded  (** admission control shed the request *)
+  | Draining  (** daemon is in SIGTERM drain; no new work accepted *)
+
+val status_to_string : status -> string
+val status_of_string : string -> status option
+
+type response = {
+  r_id : string;
+  r_status : status;
+  r_value : string;
+  r_detail : string;
+  r_retry_after_ms : int option;  (** set on [Overloaded] *)
+}
+
+(** [encode_request r] / [encode_response r] are complete frames
+    (header + payload), ready to write.
+    @raise Invalid_argument when the payload exceeds {!max_payload}. *)
+val encode_request : request -> string
+
+val encode_response : response -> string
+
+(** Payload decoders ([decode_request] is applied by the server to
+    each deframed payload, [decode_response] by clients).  Total:
+    malformed input is [Error msg], never an exception. *)
+val decode_request : string -> (request, string) result
+
+val decode_response : string -> (response, string) result
+
+(** {1 Incremental deframing} *)
+
+type deframer
+
+val deframer : unit -> deframer
+
+(** [feed d bytes len] appends the first [len] bytes just read from
+    the socket. *)
+val feed : deframer -> bytes -> int -> unit
+
+(** Bytes buffered but not yet consumed by {!next_frame}. *)
+val buffered : deframer -> int
+
+(** [`Frame payload] pops one complete payload; [`Await] needs more
+    bytes; [`Oversize n] reports a header announcing [n] bytes beyond
+    {!max_payload} — the connection must be closed. *)
+val next_frame : deframer -> [ `Frame of string | `Await | `Oversize of int ]

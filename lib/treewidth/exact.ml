@@ -208,10 +208,12 @@ let optimal_decomposition_budgeted ~budget g =
     let d = Elimination.decomposition_of_order g order in
     (d, tripped)
   in
-  (* a limited budget bypasses the tier entirely: budgeted runs exist
-     to exercise bounded execution, and the canonicalisation a cache
-     probe pays is itself work a tight deadline never sanctioned *)
-  if not (Cache.enabled ()) || not (Budget.is_unlimited budget) then begin
+  (* budgeted runs may READ the tier: a warm daemon answering a
+     deadline-bound request should profit from results an unlimited
+     (or earlier budgeted) run proved exact.  Only writes stay
+     exact-only — the [d, None] arm below — so a degraded decomposition
+     never enters the tier. *)
+  if not (Cache.enabled ()) then begin
     match solve_plain () with
     | d, None -> `Exact d
     | d, Some cause -> Outcome.degraded ~cause ~fallback:"Heuristics order" d

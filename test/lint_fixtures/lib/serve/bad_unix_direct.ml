@@ -1,0 +1,23 @@
+(* R11 fixture: blocking Unix calls in a lib/serve file that is not
+   the designated io.ml must each be flagged — including through a
+   module alias.  Non-blocking Unix calls stay clean. *)
+
+module U = Unix
+
+(* finding: Unix.read outside io.ml *)
+let pump fd buf = Unix.read fd buf 0 64
+
+(* finding: Unix.select outside io.ml *)
+let wait fds = Unix.select fds [] [] 1.0
+
+(* finding: Unix.accept outside io.ml *)
+let take fd = Unix.accept fd
+
+(* finding: the alias resolves to Unix.write_substring *)
+let poke fd = U.write_substring fd "!" 0 1
+
+(* clean: not a blocking socket call *)
+let pid () = Unix.getpid ()
+
+(* clean: fcntl-style setup does not block *)
+let setup fd = Unix.set_nonblock fd

@@ -1,0 +1,25 @@
+(* R11 fixture: the designated I/O module.  Blocking calls inside
+   functions carrying a ~timeout_s bound are sanctioned — including in
+   local helpers that close over the wrapper's bound — but a blocking
+   call in a function with no timeout parameter is a finding even
+   here. *)
+
+(* clean: the wrapper takes the bound *)
+let wait_readable ~timeout_s fd =
+  match Unix.select [ fd ] [] [] timeout_s with
+  | [], _, _ -> false
+  | _ -> true
+
+(* clean: the nested helper closes over the wrapper's ~timeout_s *)
+let read_all ~timeout_s fd buf =
+  let rec go acc =
+    if not (wait_readable ~timeout_s fd) then acc
+    else
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> acc
+      | n -> go (acc + n)
+  in
+  go 0
+
+(* finding: blocks with no caller-supplied bound, even in io.ml *)
+let read_forever fd buf = Unix.read fd buf 0 (Bytes.length buf)

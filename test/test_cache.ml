@@ -300,6 +300,63 @@ let test_disabled_tier_is_inert () =
   Cache.set_capacity_mb 256
 
 (* ------------------------------------------------------------------ *)
+(* Budgeted runs and the tier                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Budget = Wlcq_robust.Budget
+
+(* A budgeted run may read the tier (a memoised total is exact
+   whatever budget produced it): warm the cache with an unlimited run,
+   then a deadline-bound rerun must hit and agree to the byte. *)
+let test_budgeted_run_reads_warm_cache () =
+  reset_tier ();
+  let h = Builders.cycle 5 in
+  let g = Gen.gnp (Prng.create 11) 30 0.25 in
+  let warm = Td_count.count h g in
+  let hits0 = counter_value "td_count.cache_hits" in
+  let budget = Budget.create ~deadline_ms:60_000.0 () in
+  (match Td_count.count_budgeted ~budget h g with
+   | `Exact v ->
+     Alcotest.(check string) "budgeted warm total agrees"
+       (Bigint.to_string warm) (Bigint.to_string v)
+   | `Degraded _ | `Exhausted _ ->
+     Alcotest.fail "generously budgeted warm rerun was not exact");
+  Alcotest.(check bool) "budgeted rerun hit the tier" true
+    (counter_value "td_count.cache_hits" > hits0);
+  (* and cold-vs-warm under the same budget still agrees *)
+  Cache.set_capacity_mb 0;
+  let budget' = Budget.create ~deadline_ms:60_000.0 () in
+  (match Td_count.count_budgeted ~budget:budget' h g with
+   | `Exact v ->
+     Alcotest.(check string) "budgeted cold total agrees"
+       (Bigint.to_string warm) (Bigint.to_string v)
+   | `Degraded _ | `Exhausted _ ->
+     Alcotest.fail "generously budgeted cold rerun was not exact");
+  Cache.set_capacity_mb 256
+
+(* The write gate stays exact-only: a degraded decomposition (forced
+   here by an already-cancelled budget) must never enter the tier, so
+   the next unlimited run misses and recomputes. *)
+let test_degraded_never_written () =
+  reset_tier ();
+  (* big enough that branch-and-bound crosses a poll point: the
+     cancelled token must trip it into the heuristic-order fallback *)
+  let g = Gen.gnp (Prng.create 12) 26 0.3 in
+  let tk = Budget.token () in
+  Budget.cancel tk;
+  let budget = Budget.create ~cancel:tk () in
+  (match Exact.optimal_decomposition_budgeted ~budget g with
+   | `Degraded (d, _) ->
+     Alcotest.(check bool) "degraded decomposition still valid" true
+       (Decomposition.is_valid_for d g)
+   | `Exact _ -> Alcotest.fail "cancelled budget produced an exact run"
+   | `Exhausted _ -> Alcotest.fail "treewidth_budgeted never exhausts");
+  let misses0 = counter_value "tw.decomp_memo_misses" in
+  ignore (Exact.optimal_decomposition g : Decomposition.t);
+  Alcotest.(check bool) "unlimited rerun misses (nothing was written)" true
+    (counter_value "tw.decomp_memo_misses" > misses0)
+
+(* ------------------------------------------------------------------ *)
 (* Warm-start snapshots                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -358,6 +415,10 @@ let () =
           Alcotest.test_case "permuted resubmission hits" `Quick
             test_permuted_resubmission_hits;
           QCheck_alcotest.to_alcotest qcheck_permuted_hit;
+          Alcotest.test_case "budgeted runs read a warm tier" `Quick
+            test_budgeted_run_reads_warm_cache;
+          Alcotest.test_case "degraded results are never written" `Quick
+            test_degraded_never_written;
         ] );
       ( "eviction",
         [

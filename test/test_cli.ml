@@ -192,6 +192,162 @@ let test_obs_diff_malformed () =
   let code, _ = run_capture "obs-diff /nonexistent.a /nonexistent.b" in
   Alcotest.(check int) "missing file exits 2" 2 code
 
+(* ---- PR 10: the daemon and its client ---------------------------- *)
+
+(* spawn [wlcq serve ...] detached from our stdio; returns the pid *)
+let start_daemon args =
+  let argv = Array.of_list (wlcq :: args) in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close devnull)
+    (fun () -> Unix.create_process wlcq argv devnull devnull devnull)
+
+let fresh_socket =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wlcq-cli-%d-%d.sock" (Unix.getpid ()) !n)
+
+let wait_for ?(timeout_s = 10.0) what f =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if f () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Unix.sleepf 0.02;
+      go ()
+    end
+  in
+  go ()
+
+(* bounded waitpid: a drain that never finishes must fail the test,
+   not hang the suite *)
+let wait_exit ?(timeout_s = 15.0) pid =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+      if Unix.gettimeofday () > deadline then begin
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid);
+        Alcotest.fail "daemon did not exit within the grace period"
+      end
+      else begin
+        Unix.sleepf 0.02;
+        go ()
+      end
+    | _, status -> status
+  in
+  go ()
+
+let kill_if_alive pid =
+  match Unix.waitpid [ Unix.WNOHANG ] pid with
+  | 0, _ ->
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    ignore (Unix.waitpid [] pid)
+  | _ -> ()
+  | exception Unix.Unix_error _ -> ()
+
+let with_daemon args f =
+  let socket = fresh_socket () in
+  let pid = start_daemon ([ "serve"; "--socket"; socket ] @ args) in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_if_alive pid;
+      if Sys.file_exists socket then Sys.remove socket)
+    (fun () ->
+      wait_for "daemon socket" (fun () -> Sys.file_exists socket);
+      f ~socket ~pid)
+
+let call_code socket args =
+  fst (run_capture (Printf.sprintf "call --socket %s %s" socket args))
+
+let test_serve_sigterm_drain () =
+  with_daemon [ "--workers"; "1" ] (fun ~socket ~pid ->
+      Alcotest.(check int) "call ping exits 0" 0 (call_code socket "ping");
+      Alcotest.(check int) "call treewidth exits 0" 0
+        (call_code socket "treewidth --graph clique:4");
+      Unix.kill pid Sys.sigterm;
+      (match wait_exit pid with
+       | Unix.WEXITED 0 -> ()
+       | Unix.WEXITED n -> Alcotest.failf "drain exited %d, wanted 0" n
+       | Unix.WSIGNALED _ | Unix.WSTOPPED _ ->
+         Alcotest.fail "drain must exit, not die on a signal");
+      Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket))
+
+let test_serve_call_exit_codes () =
+  with_daemon [ "--workers"; "1" ] (fun ~socket ~pid:_ ->
+      Alcotest.(check int) "unknown verb exits 2" 2
+        (call_code socket "frobnicate");
+      Alcotest.(check int) "bad graph spec exits 2" 2
+        (call_code socket "treewidth --graph zzz");
+      Alcotest.(check int) "1 ms deadline exits 3" 3
+        (call_code socket "treewidth --graph gnp:40,0.4,3 --deadline-ms 1");
+      Alcotest.(check int) "daemon still serves, exit 0" 0
+        (call_code socket "ping"));
+  (* no daemon at all: connect failure is malformed input, exit 2 *)
+  Alcotest.(check int) "missing socket exits 2" 2
+    (call_code "/nonexistent-wlcq.sock" "ping")
+
+(* satellite: a periodic flush plus an atomic snapshot rename means a
+   kill -9 still leaves a complete, parseable OpenMetrics file *)
+let test_serve_kill9_snapshot () =
+  with_tmp ".om" (fun metrics ->
+      Sys.remove metrics;
+      with_daemon
+        [ "--workers"; "1"; "--flush-interval-s"; "0.05"; "--metrics-out";
+          metrics ]
+        (fun ~socket ~pid ->
+          Alcotest.(check int) "served before the kill" 0
+            (call_code socket "ping");
+          wait_for "first periodic flush" (fun () -> Sys.file_exists metrics);
+          Unix.kill pid Sys.sigkill;
+          (match wait_exit pid with
+           | Unix.WSIGNALED s when s = Sys.sigkill -> ()
+           | _ -> Alcotest.fail "kill -9 must terminate the daemon");
+          let text = read_file metrics in
+          Alcotest.(check bool)
+            "snapshot is complete (# EOF)" true (contains "# EOF" text);
+          Alcotest.(check bool)
+            "snapshot carries wlcq_ metrics" true
+            (contains "# TYPE wlcq_" text)))
+
+(* storm-lite through the real binary: seeded faults on the live
+   socket paths; the daemon must keep answering and drain cleanly *)
+let test_serve_fault_storm_lite () =
+  with_daemon
+    [ "--workers"; "1"; "--fault-seed"; "42"; "--fault-rate"; "0.3";
+      "--fault-sites"; "read_stall,write_stall,worker_raise";
+      "--write-timeout-s"; "0.2" ]
+    (fun ~socket ~pid ->
+      (* every call may be shed or dropped — that is the point; the
+         binary must keep exiting with contract codes, never crash *)
+      for i = 1 to 25 do
+        let code =
+          call_code socket
+            (if i mod 3 = 0 then "treewidth --graph clique:4 --timeout-s 2"
+             else "ping --timeout-s 2")
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "call %d exits within the contract" i)
+          true
+          (List.mem code [ 0; 2; 3; 4 ])
+      done;
+      (* under rate 0.3 a ping soon gets through *)
+      let rec ping_until n =
+        if call_code socket "ping --timeout-s 2" = 0 then ()
+        else if n = 0 then Alcotest.fail "daemon unresponsive under storm"
+        else ping_until (n - 1)
+      in
+      ping_until 20;
+      Unix.kill pid Sys.sigterm;
+      match wait_exit pid with
+      | Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "storm-lite daemon must drain to exit 0")
+
 let () =
   Alcotest.run "cli"
     [
@@ -217,5 +373,16 @@ let () =
             test_obs_diff_regression;
           Alcotest.test_case "obs-diff malformed input" `Quick
             test_obs_diff_malformed;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "SIGTERM drains to exit 0" `Quick
+            test_serve_sigterm_drain;
+          Alcotest.test_case "call exit-code contract" `Quick
+            test_serve_call_exit_codes;
+          Alcotest.test_case "kill -9 leaves a parseable snapshot" `Quick
+            test_serve_kill9_snapshot;
+          Alcotest.test_case "fault storm-lite over the binary" `Slow
+            test_serve_fault_storm_lite;
         ] );
     ]

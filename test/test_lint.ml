@@ -156,6 +156,21 @@ let test_r10_exempts_cache_tier () =
   check_count "R10 silent in lib/cache" "lib/cache/good_tier_table.ml"
     "R10" 0
 
+let test_r11_fires_outside_io () =
+  (* Unix.read, Unix.select, Unix.accept and the aliased
+     U.write_substring, all in a lib/serve file that is not io.ml;
+     getpid and set_nonblock stay clean *)
+  check_count "R11 count on lib/serve/bad_unix_direct"
+    "lib/serve/bad_unix_direct.ml" "R11" 4;
+  message_of "lib/serve/bad_unix_direct.ml" "R11" "Io wrapper"
+
+let test_r11_io_needs_timeout () =
+  (* in the designated io.ml, only read_forever (no ~timeout_s
+     parameter) is a finding; the bounded wrapper and the nested
+     helper that closes over its wrapper's bound stay clean *)
+  check_count "R11 count on lib/serve/io" "lib/serve/io.ml" "R11" 1;
+  message_of "lib/serve/io.ml" "R11" "read_forever"
+
 let test_r10_suppression_counted () =
   let r = Lazy.force result in
   List.iter
@@ -287,6 +302,10 @@ let () =
             test_r10_exempts_cache_tier;
           Alcotest.test_case "R10 suppression counted" `Quick
             test_r10_suppression_counted;
+          Alcotest.test_case "R11 blocking Unix outside io.ml" `Quick
+            test_r11_fires_outside_io;
+          Alcotest.test_case "R11 io.ml wrappers need a timeout bound"
+            `Quick test_r11_io_needs_timeout;
         ] );
       ( "pragmas",
         [

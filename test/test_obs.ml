@@ -701,6 +701,75 @@ let test_snapshot_detects_regression () =
   let _, quiet = Snapshot.diff ~threshold:20.0 before after in
   check_int "threshold 20x sees nothing" 0 (List.length quiet)
 
+let test_snapshot_rate_mode () =
+  (* a daemon that has run 4x longer and done 4x the work is healthy:
+     absolute diffing flags it, rate diffing must not *)
+  let snap uptime_ns work =
+    {
+      Snapshot.s_counters =
+        [ (Snapshot.uptime_metric, uptime_ns); ("wlcq_test_work_total", work) ];
+      s_hists = [];
+    }
+  in
+  let before = snap 1_000_000_000 100 in
+  let steady = snap 4_000_000_000 400 in
+  let _, absolute = Snapshot.diff ~threshold:2.0 before steady in
+  check_bool "absolute diff flags the 4x counter" true
+    (List.exists
+       (fun r ->
+          String.equal r.Snapshot.r_metric "wlcq_test_work_total"
+          && String.equal r.Snapshot.r_what "count")
+       absolute);
+  let report, rated = Snapshot.diff ~threshold:2.0 ~rate:true before steady in
+  check_int "rate diff sees a steady 100/s as clean" 0 (List.length rated);
+  check_bool "rate report shows per-second figures" true
+    (let has_sub needle hay =
+       let nl = String.length needle and hl = String.length hay in
+       let rec go i = i + nl <= hl
+                      && (String.equal (String.sub hay i nl) needle || go (i + 1))
+       in
+       go 0
+     in
+     has_sub "/s" report);
+  (* a genuine throughput blowup: 100/s -> 500/s over flat wall time *)
+  let blowup = snap 2_000_000_000 1000 in
+  let _, hot = Snapshot.diff ~threshold:2.0 ~rate:true before blowup in
+  check_bool "5x rate increase flagged as a rate regression" true
+    (List.exists
+       (fun r ->
+          String.equal r.Snapshot.r_metric "wlcq_test_work_total"
+          && String.equal r.Snapshot.r_what "rate"
+          && r.Snapshot.r_ratio >= 4.9)
+       hot);
+  check_bool "uptime itself never flagged" true
+    (not
+       (List.exists
+          (fun r -> String.equal r.Snapshot.r_metric Snapshot.uptime_metric)
+          hot));
+  (* a snapshot without the uptime counter degrades to absolute mode *)
+  let bare =
+    { Snapshot.s_counters = [ ("wlcq_test_work_total", 400) ]; s_hists = [] }
+  in
+  let note, fallback = Snapshot.diff ~threshold:2.0 ~rate:true before bare in
+  check_bool "fallback notes the missing uptime counter" true
+    (let has_sub needle hay =
+       let nl = String.length needle and hl = String.length hay in
+       let rec go i = i + nl <= hl
+                      && (String.equal (String.sub hay i nl) needle || go (i + 1))
+       in
+       go 0
+     in
+     has_sub "falling back to absolute" note);
+  check_bool "fallback flags in absolute terms" true
+    (List.exists
+       (fun r -> String.equal r.Snapshot.r_what "count")
+       fallback);
+  (* live captures always carry the synthetic uptime counter *)
+  with_obs (fun () ->
+      let live = Snapshot.capture () in
+      check_bool "capture injects the uptime counter" true
+        (List.mem_assoc Snapshot.uptime_metric live.Snapshot.s_counters))
+
 (* ------------------------------------------------------------------ *)
 (* Differential: instrumentation must not perturb the engines          *)
 (* ------------------------------------------------------------------ *)
@@ -803,6 +872,8 @@ let () =
             test_snapshot_self_diff_clean;
           Alcotest.test_case "injected regression detected" `Quick
             test_snapshot_detects_regression;
+          Alcotest.test_case "rate mode normalises by uptime" `Quick
+            test_snapshot_rate_mode;
         ] );
       ( "spans",
         [

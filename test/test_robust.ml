@@ -18,6 +18,7 @@
 open Wlcq_graph
 open Wlcq_robust
 module Obs = Wlcq_obs.Obs
+module Cache = Wlcq_cache.Cache
 module Exact = Wlcq_treewidth.Exact
 module Brute = Wlcq_hom.Brute
 module Inj = Wlcq_hom.Inj
@@ -308,8 +309,11 @@ let test_td_count_ladder () =
    | `Exact v -> check_bool "live budget: exact count" true (Bigint.equal v exact)
    | `Degraded _ | `Exhausted _ -> Alcotest.fail "live budget must stay exact");
   (* hand trip: decomposition degrades, the forked DP completes — the
-     count is still exact, over the heuristic decomposition *)
+     count is still exact, over the heuristic decomposition.  The
+     content-addressed tier is now readable under a budget, so it must
+     be emptied or the memoised total short-circuits the ladder. *)
   Exact.clear_decomposition_memo ();
+  Cache.clear ();
   (match
      expect_bump "robust.fallback.td_heuristic_decomp" (fun () ->
          Td_count.count_budgeted ~budget:(hand_tripped ()) h g)
@@ -320,8 +324,10 @@ let test_td_count_ladder () =
    | `Exact _ -> Alcotest.fail "tripped budget cannot report exact"
    | `Exhausted _ ->
      Alcotest.fail "condition-free trip must reach the heuristic-DP rung");
-  (* an injected allocation failure exhausts the DP itself *)
+  (* an injected allocation failure exhausts the DP itself — again the
+     warm content tier would mask the fault, so empty it first *)
   Exact.clear_decomposition_memo ();
+  Cache.clear ();
   match
     with_fault ~seed:5 ~sites:[ Fault.Dp_alloc ] (fun () ->
         expect_bump "robust.fallback.td_exhausted" (fun () ->
@@ -473,6 +479,9 @@ let with_postmortem ~engine f =
 let test_postmortem_td_fault () =
   let h = loose_bracket_graph () and g = Builders.clique 7 in
   Exact.clear_decomposition_memo ();
+  (* the ladder tests memoised this exact (h, g) total; a warm content
+     tier would answer before the DP fault can fire *)
+  Cache.clear ();
   with_postmortem ~engine:"td_count.count" (fun () ->
       match
         with_fault ~seed:5 ~sites:[ Fault.Dp_alloc ] (fun () ->

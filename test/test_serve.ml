@@ -1,0 +1,695 @@
+(* Tests for Wlcq_serve: the wlcq/1 wire protocol (round-trip and
+   fuzz — malformed frames must come back as structured errors, never
+   exceptions or disconnects), end-to-end daemon behaviour against an
+   in-process server (sessions, deadlines, shedding, drain, idle
+   reaping), and the seeded fault storm: hundreds of injected
+   accept/read/write/worker failures against a live daemon, which must
+   survive them all and still drain cleanly.
+
+   Every server here runs in its own [Domain] on a fresh temp socket;
+   [workers = 1] keeps the fault-injection draw streams deterministic
+   (each site is drawn from a single domain, see Fault's contract). *)
+
+module Wire = Wlcq_serve.Wire
+module Server = Wlcq_serve.Server
+module Client = Wlcq_serve.Client
+module Budget = Wlcq_robust.Budget
+module Fault = Wlcq_robust.Fault
+module Obs = Wlcq_obs.Obs
+module Cq = Wlcq_core.Cq
+module Parser = Wlcq_core.Parser
+module Spec = Wlcq_graph.Spec
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let status_is st (r : Wire.response) =
+  String.equal
+    (Wire.status_to_string r.Wire.r_status)
+    (Wire.status_to_string st)
+
+let qtest ?(count = 200) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen f)
+
+(* ------------------------------------------------------------------ *)
+(* Wire: round-trip                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* strings exercising the escaping: newlines, backslashes, '=',
+   spaces, NULs and high bytes must all round-trip *)
+let gen_string =
+  QCheck.Gen.(
+    map (String.concat "")
+      (list_size (int_bound 8)
+         (oneofl
+            [ "a"; "Z"; "0"; " "; "="; "\n"; "\\"; "\\n"; "\x00"; "\xff";
+              "cycle:6"; "E(x1, y)"; ":="; "-" ])))
+
+(* deadlines are printed with %g: whole milliseconds round-trip *)
+let gen_deadline =
+  QCheck.Gen.(
+    oneof [ return None; map (fun n -> Some (float_of_int n)) (int_range 1 60_000) ])
+
+let gen_op =
+  QCheck.Gen.(
+    oneof
+      [ return Wire.Ping;
+        map3
+          (fun k g1 g2 -> Wire.Decide { k; g1; g2 })
+          (int_range 1 5) gen_string gen_string;
+        map2 (fun query graph -> Wire.Count { query; graph }) gen_string
+          gen_string;
+        map2
+          (fun queries graph -> Wire.Count_batch { queries; graph })
+          (list_size (int_range 1 5) gen_string)
+          gen_string;
+        map (fun graph -> Wire.Treewidth { graph }) gen_string ])
+
+let gen_request =
+  QCheck.Gen.(
+    map
+      (fun (id, deadline_ms, max_live_mb, op) ->
+         { Wire.id; deadline_ms; max_live_mb; op })
+      (quad gen_string gen_deadline
+         (oneof [ return None; map Option.some (int_range 1 4096) ])
+         gen_op))
+
+let gen_response =
+  QCheck.Gen.(
+    map
+      (fun (r_id, st, (r_value, r_detail), retry) ->
+         {
+           Wire.r_id;
+           r_status = st;
+           r_value;
+           r_detail;
+           r_retry_after_ms = retry;
+         })
+      (quad gen_string
+         (oneofl
+            [ Wire.Ok_; Wire.Degraded; Wire.Exhausted; Wire.Error_;
+              Wire.Overloaded; Wire.Draining ])
+         (pair gen_string gen_string)
+         (oneof [ return None; map Option.some (int_range 0 10_000) ])))
+
+let op_eq (a : Wire.op) (b : Wire.op) =
+  match (a, b) with
+  | Wire.Ping, Wire.Ping -> true
+  | Wire.Decide a, Wire.Decide b ->
+    a.k = b.k && String.equal a.g1 b.g1 && String.equal a.g2 b.g2
+  | Wire.Count a, Wire.Count b ->
+    String.equal a.query b.query && String.equal a.graph b.graph
+  | Wire.Count_batch a, Wire.Count_batch b ->
+    List.length a.queries = List.length b.queries
+    && List.for_all2 String.equal a.queries b.queries
+    && String.equal a.graph b.graph
+  | Wire.Treewidth a, Wire.Treewidth b -> String.equal a.graph b.graph
+  | _ -> false
+
+let request_eq (a : Wire.request) (b : Wire.request) =
+  String.equal a.id b.id
+  && a.deadline_ms = b.deadline_ms
+  && a.max_live_mb = b.max_live_mb
+  && op_eq a.op b.op
+
+let response_eq (a : Wire.response) (b : Wire.response) =
+  String.equal a.r_id b.r_id
+  && a.r_status = b.r_status
+  && String.equal a.r_value b.r_value
+  && String.equal a.r_detail b.r_detail
+  && a.r_retry_after_ms = b.r_retry_after_ms
+
+(* encode -> deframe -> decode is the identity *)
+let deframe_one frame =
+  let d = Wire.deframer () in
+  Wire.feed d (Bytes.of_string frame) (String.length frame);
+  match Wire.next_frame d with
+  | `Frame payload when Wire.buffered d = 0 -> Some payload
+  | `Frame _ | `Await | `Oversize _ -> None
+
+let prop_request_roundtrip =
+  qtest "request encode/decode round-trip" (QCheck.make gen_request) (fun r ->
+      match deframe_one (Wire.encode_request r) with
+      | None -> false
+      | Some payload -> (
+        match Wire.decode_request payload with
+        | Ok r' -> request_eq r r'
+        | Error _ -> false))
+
+let prop_response_roundtrip =
+  qtest "response encode/decode round-trip" (QCheck.make gen_response)
+    (fun r ->
+      match deframe_one (Wire.encode_response r) with
+      | None -> false
+      | Some payload -> (
+        match Wire.decode_response payload with
+        | Ok r' -> response_eq r r'
+        | Error _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Wire: fuzz                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_junk =
+  QCheck.Gen.(
+    map (String.concat "")
+      (list_size (int_bound 16)
+         (oneof
+            [ oneofl
+                [ "wlcq/1 "; "wlcq/1 ping"; "wlcq/2 ping"; "reply"; "id=";
+                  "=x"; "status=ok"; "k=1"; "\n"; "\\"; "deadline-ms=nan";
+                  "query="; "count-batch" ];
+              map (String.make 1) (map Char.chr (int_range 0 255)) ])))
+
+let prop_decode_total =
+  qtest ~count:500 "decoders are total on junk payloads"
+    (QCheck.make ~print:(Printf.sprintf "%S") gen_junk) (fun s ->
+      (match Wire.decode_request s with Ok _ | Error _ -> ());
+      (match Wire.decode_response s with Ok _ | Error _ -> ());
+      true)
+
+(* random bytes fed in random chunk sizes: the deframer never raises
+   and either awaits, yields frames, or reports an oversize header *)
+let prop_deframer_total =
+  qtest ~count:300 "deframer is total on junk streams"
+    (QCheck.make
+       ~print:(fun (s, k) -> Printf.sprintf "(%S, %d)" s k)
+       QCheck.Gen.(pair gen_junk (int_range 1 7)))
+    (fun (s, chunk) ->
+      let d = Wire.deframer () in
+      let n = String.length s in
+      let i = ref 0 in
+      let ok = ref true in
+      while !ok && !i < n do
+        let len = min chunk (n - !i) in
+        Wire.feed d (Bytes.of_string (String.sub s !i len)) len;
+        i := !i + len;
+        let rec drain () =
+          match Wire.next_frame d with
+          | `Frame _ -> drain ()
+          | `Await -> ()
+          | `Oversize _ -> ok := false  (* terminal, like the server *)
+        in
+        drain ()
+      done;
+      true)
+
+let test_deframer_reassembles () =
+  let r1 = { Wire.id = "a"; deadline_ms = None; max_live_mb = None; op = Wire.Ping } in
+  let r2 =
+    {
+      Wire.id = "b";
+      deadline_ms = Some 5.0;
+      max_live_mb = None;
+      op = Wire.Treewidth { graph = "cycle:6" };
+    }
+  in
+  let stream = Wire.encode_request r1 ^ Wire.encode_request r2 in
+  let d = Wire.deframer () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+       Wire.feed d (Bytes.make 1 c) 1;
+       match Wire.next_frame d with
+       | `Frame p -> got := p :: !got
+       | `Await -> ()
+       | `Oversize _ -> Alcotest.fail "oversize on a valid stream")
+    stream;
+  match List.rev !got with
+  | [ p1; p2 ] ->
+    (match (Wire.decode_request p1, Wire.decode_request p2) with
+     | Ok a, Ok b ->
+       check_bool "first frame round-trips" true (request_eq a r1);
+       check_bool "second frame round-trips" true (request_eq b r2)
+     | _ -> Alcotest.fail "reassembled frames must decode")
+  | frames ->
+    Alcotest.failf "expected 2 frames, got %d" (List.length frames)
+
+let test_oversize_header () =
+  let d = Wire.deframer () in
+  let header = Bytes.of_string "\xff\xff\xff\xff" in
+  Wire.feed d header 4;
+  match Wire.next_frame d with
+  | `Oversize n -> check_bool "oversize exceeds the cap" true (n > Wire.max_payload)
+  | `Frame _ | `Await -> Alcotest.fail "a lying header must report Oversize"
+
+(* ------------------------------------------------------------------ *)
+(* In-process server harness                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_socket =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wlcq-test-%d-%d.sock" (Unix.getpid ()) !n)
+
+let wait_for ?(timeout_s = 5.0) what f =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if f () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Unix.sleepf 0.005;
+      go ()
+    end
+  in
+  go ()
+
+(* run [f] against a live in-process daemon; always drains it *)
+let with_server ?(tweak = fun c -> c) f =
+  let socket = fresh_socket () in
+  let cfg = tweak (Server.default_config ~socket_path:socket) in
+  let t = Server.create cfg in
+  let ready = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Server.run ~on_listening:(fun () -> Atomic.set ready true) t)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown t;
+      Domain.join d;
+      try Sys.remove socket with Sys_error _ -> ())
+    (fun () ->
+      wait_for "server to listen" (fun () -> Atomic.get ready);
+      f ~socket ~t)
+
+let req ?deadline_ms ?max_live_mb ~id op =
+  { Wire.id; deadline_ms; max_live_mb; op }
+
+let expect_ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+(* a raw socket speaking the framing by hand, for malformed frames *)
+let raw_connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  fd
+
+let raw_send fd s =
+  let n = String.length s in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write_substring fd s !written (n - !written)
+  done
+
+let raw_receive ?(timeout_s = 5.0) fd =
+  let d = Wire.deframer () in
+  let buf = Bytes.create 4096 in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    match Wire.next_frame d with
+    | `Frame p -> Wire.decode_response p
+    | `Oversize _ -> Error "oversize reply"
+    | `Await -> (
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0.0 then Error "timeout"
+      else
+        match Unix.select [ fd ] [] [] remaining with
+        | [], _, _ -> Error "timeout"
+        | _ -> (
+          match Unix.read fd buf 0 (Bytes.length buf) with
+          | 0 -> Error "eof"
+          | n ->
+            Wire.feed d buf n;
+            go ()
+          | exception Unix.Unix_error _ -> Error "read error"))
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let hom_query = "(x1, x2) := exists y . E(x1, y) & E(x2, y)"
+let edge_query = "(x1, x2) := E(x1, x2)"
+
+let parse_query s = (Parser.parse_exn s).Parser.query
+
+let parse_graph s =
+  match Spec.parse s with
+  | Ok g -> g
+  | Error e -> Alcotest.failf "bad graph spec %s: %s" s e
+
+let test_request_cycle () =
+  with_server (fun ~socket ~t:_ ->
+      let c = expect_ok "connect" (Client.connect ~socket ()) in
+      Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+          (* ping *)
+          let r = expect_ok "ping" (Client.request c (req ~id:"p1" Wire.Ping)) in
+          check_string "ping id echoed" "p1" r.Wire.r_id;
+          check_bool "ping ok" true (status_is Wire.Ok_ r);
+          check_string "ping value" "pong" r.Wire.r_value;
+          (* decide: a 6-cycle and two triangles are 1-WL equivalent *)
+          let r =
+            expect_ok "decide"
+              (Client.request c
+                 (req ~id:"d1"
+                    (Wire.Decide { k = 1; g1 = "cycle:6"; g2 = "twotriangles" })))
+          in
+          check_bool "decide ok" true (status_is Wire.Ok_ r);
+          check_string "1-WL cannot split C6 from 2xC3" "true" r.Wire.r_value;
+          (* count agrees with the in-process engine *)
+          let expected =
+            Cq.count_answers (parse_query hom_query) (parse_graph "cycle:5")
+          in
+          let r =
+            expect_ok "count"
+              (Client.request c
+                 (req ~id:"c1" (Wire.Count { query = hom_query; graph = "cycle:5" })))
+          in
+          check_bool "count ok" true (status_is Wire.Ok_ r);
+          check_string "count value" (string_of_int expected) r.Wire.r_value;
+          (* batch: counts come back comma-joined, in request order *)
+          let e1 =
+            Cq.count_answers (parse_query edge_query) (parse_graph "cycle:4")
+          in
+          let e2 =
+            Cq.count_answers (parse_query hom_query) (parse_graph "cycle:4")
+          in
+          let r =
+            expect_ok "batch"
+              (Client.request c
+                 (req ~id:"b1"
+                    (Wire.Count_batch
+                       { queries = [ edge_query; hom_query ]; graph = "cycle:4" })))
+          in
+          check_bool "batch ok" true (status_is Wire.Ok_ r);
+          check_string "batch values" (Printf.sprintf "%d,%d" e1 e2)
+            r.Wire.r_value;
+          (* treewidth *)
+          let r =
+            expect_ok "treewidth"
+              (Client.request c
+                 (req ~id:"t1" (Wire.Treewidth { graph = "clique:4" })))
+          in
+          check_bool "treewidth ok" true (status_is Wire.Ok_ r);
+          check_string "tw(K4)" "3" r.Wire.r_value))
+
+let test_malformed_keeps_connection () =
+  with_server (fun ~socket ~t:_ ->
+      let fd = raw_connect socket in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          (* a well-framed but non-protocol payload: structured error *)
+          let junk = "this is not wlcq/1" in
+          let frame =
+            let n = String.length junk in
+            let b = Bytes.create (4 + n) in
+            Bytes.set b 0 '\x00';
+            Bytes.set b 1 '\x00';
+            Bytes.set b 2 '\x00';
+            Bytes.set b 3 (Char.chr n);
+            Bytes.blit_string junk 0 b 4 n;
+            Bytes.to_string b
+          in
+          raw_send fd frame;
+          (match raw_receive fd with
+           | Ok r ->
+             check_bool "malformed answered with error" true
+               (status_is Wire.Error_ r);
+             check_bool "error names the problem" true
+               (String.length r.Wire.r_detail > 0)
+           | Error e -> Alcotest.failf "expected an error reply, got %s" e);
+          (* an unparseable but well-formed request line: same deal *)
+          raw_send fd
+            (Wire.encode_request
+               (req ~id:"bad" (Wire.Treewidth { graph = "nonsense:99" })));
+          (match raw_receive fd with
+           | Ok r ->
+             check_bool "bad spec answered with error" true
+               (status_is Wire.Error_ r)
+           | Error e -> Alcotest.failf "expected an error reply, got %s" e);
+          (* the connection survived both *)
+          raw_send fd (Wire.encode_request (req ~id:"after" Wire.Ping));
+          match raw_receive fd with
+          | Ok r ->
+            check_string "connection still serves" "pong" r.Wire.r_value
+          | Error e -> Alcotest.failf "connection must survive: %s" e))
+
+let test_deadline_exhausts () =
+  with_server (fun ~socket ~t:_ ->
+      (* 1 ms against a graph the exact solver cannot finish that fast:
+         a sound non-Ok_ outcome, and the daemon stays responsive *)
+      let r =
+        expect_ok "budgeted treewidth"
+          (Client.call ~timeout_s:30.0 ~socket
+             (req ~id:"dl" ~deadline_ms:1.0
+                (Wire.Treewidth { graph = "gnp:40,0.4,3" })))
+      in
+      check_bool "1 ms deadline cannot stay exact" true
+        (match r.Wire.r_status with
+         | Wire.Degraded | Wire.Exhausted -> true
+         | Wire.Ok_ | Wire.Error_ | Wire.Overloaded | Wire.Draining -> false);
+      let r = expect_ok "ping after" (Client.call ~socket (req ~id:"p" Wire.Ping)) in
+      check_string "still serving" "pong" r.Wire.r_value)
+
+let test_overload_sheds () =
+  with_server
+    ~tweak:(fun c ->
+      { c with Server.workers = 1; max_queue = 2; max_queue_per_client = 1 })
+    (fun ~socket ~t:_ ->
+      let c = expect_ok "connect" (Client.connect ~socket ()) in
+      Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+          (* a burst of slow requests against one worker and a
+             one-deep per-client queue: the tail must be shed with a
+             structured Overloaded carrying retry-after *)
+          let slow i =
+            req ~id:(Printf.sprintf "s%d" i) ~deadline_ms:300.0
+              (Wire.Treewidth { graph = "gnp:40,0.4,9" })
+          in
+          for i = 1 to 6 do
+            expect_ok "send" (Client.send c (slow i))
+          done;
+          let responses =
+            List.init 6 (fun _ -> expect_ok "receive" (Client.receive c))
+          in
+          let shed =
+            List.filter (fun r -> status_is Wire.Overloaded r) responses
+          in
+          check_bool "burst sheds at least one request" true
+            (List.length shed >= 1);
+          List.iter
+            (fun r ->
+               check_bool "shed reply carries retry-after" true
+                 (match r.Wire.r_retry_after_ms with
+                  | Some ms -> ms >= 0
+                  | None -> false))
+            shed;
+          check_bool "some request was still served" true
+            (List.exists
+               (fun r ->
+                  match r.Wire.r_status with
+                  | Wire.Ok_ | Wire.Degraded | Wire.Exhausted -> true
+                  | Wire.Error_ | Wire.Overloaded | Wire.Draining -> false)
+               responses);
+          (* once the burst is done, admission is open again *)
+          let r = expect_ok "ping" (Client.request c (req ~id:"p" Wire.Ping)) in
+          check_string "recovered" "pong" r.Wire.r_value))
+
+let test_drain_rejects_and_exits () =
+  let socket = fresh_socket () in
+  let cfg =
+    { (Server.default_config ~socket_path:socket) with Server.workers = 1 }
+  in
+  let t = Server.create cfg in
+  let ready = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Server.run ~on_listening:(fun () -> Atomic.set ready true) t)
+  in
+  wait_for "server to listen" (fun () -> Atomic.get ready);
+  let c = expect_ok "connect" (Client.connect ~socket ()) in
+  let r = expect_ok "ping" (Client.request c (req ~id:"p" Wire.Ping)) in
+  check_string "served before drain" "pong" r.Wire.r_value;
+  Server.shutdown t;
+  (* the flag is polled every tick; give it a moment *)
+  Unix.sleepf 0.3;
+  (match Client.request c (req ~id:"late" Wire.Ping) with
+   | Ok r ->
+     check_bool "late request answered Draining" true
+       (status_is Wire.Draining r)
+   | Error _ ->
+     (* equally acceptable: the daemon finished its drain and closed *)
+     ());
+  Client.close c;
+  Domain.join d;
+  check_bool "socket file removed after drain" false (Sys.file_exists socket);
+  check_bool "not listening after drain" false (Server.listening t)
+
+let test_idle_reap () =
+  with_server
+    ~tweak:(fun c -> { c with Server.idle_timeout_s = 0.05 })
+    (fun ~socket ~t:_ ->
+      let c = expect_ok "connect" (Client.connect ~socket ()) in
+      Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+          let r = expect_ok "ping" (Client.request c (req ~id:"p" Wire.Ping)) in
+          check_string "served while fresh" "pong" r.Wire.r_value;
+          Unix.sleepf 0.5;
+          (match Client.request c (req ~id:"q" Wire.Ping) with
+           | Ok _ -> Alcotest.fail "idle session must have been reaped"
+           | Error _ -> ());
+          (* a fresh connection is welcome *)
+          let r =
+            expect_ok "reconnect" (Client.call ~socket (req ~id:"r" Wire.Ping))
+          in
+          check_string "fresh connection served" "pong" r.Wire.r_value))
+
+let test_periodic_flush_writes_metrics () =
+  let metrics = Filename.temp_file "wlcq-metrics" ".prom" in
+  Sys.remove metrics;
+  with_server
+    ~tweak:(fun c ->
+      { c with Server.flush_interval_s = 0.05; metrics_out = Some metrics })
+    (fun ~socket ~t:_ ->
+      let was_enabled = Obs.enabled () in
+      Obs.set_enabled true;
+      Fun.protect ~finally:(fun () -> Obs.set_enabled was_enabled) (fun () ->
+          let r = expect_ok "ping" (Client.call ~socket (req ~id:"p" Wire.Ping)) in
+          check_string "served" "pong" r.Wire.r_value;
+          wait_for "periodic metrics flush" (fun () -> Sys.file_exists metrics);
+          let ic = open_in metrics in
+          let len = in_channel_length ic in
+          let body = really_input_string ic len in
+          close_in ic;
+          Sys.remove metrics;
+          check_bool "snapshot is non-empty" true (String.length body > 0);
+          check_bool "snapshot is OpenMetrics" true
+            (String.length body >= 2 && String.equal (String.sub body 0 2) "# ")))
+
+(* ------------------------------------------------------------------ *)
+(* Fault storm                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let storm_sites =
+  [ Fault.Accept_fail; Fault.Read_stall; Fault.Write_stall; Fault.Worker_raise ]
+
+let storm_injected () =
+  List.fold_left (fun acc s -> acc + Fault.injected s) 0 storm_sites
+
+(* Hundreds of seeded faults — dropped accepts, stalled reads and
+   writes, workers blowing up mid-request — interleaved with malformed
+   frames, tight deadlines and abrupt disconnects.  The daemon must
+   survive every one of them, answer a clean ping afterwards, and
+   drain to a normal exit. *)
+let test_fault_storm () =
+  let socket = fresh_socket () in
+  let cfg =
+    {
+      (Server.default_config ~socket_path:socket) with
+      Server.workers = 1;
+      idle_timeout_s = 0.5;
+      write_timeout_s = 0.2;
+      drain_timeout_s = 2.0;
+      flush_interval_s = 0.0;
+    }
+  in
+  let t = Server.create cfg in
+  let ready = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Server.run ~on_listening:(fun () -> Atomic.set ready true) t)
+  in
+  wait_for "server to listen" (fun () -> Atomic.get ready);
+  Fault.arm ~seed:1234 ~rate:0.4 ~sites:storm_sites ();
+  Fun.protect ~finally:Fault.disarm (fun () ->
+      let rounds = ref 0 in
+      while storm_injected () < 500 && !rounds < 3000 do
+        incr rounds;
+        let salvo i op = req ~id:(Printf.sprintf "r%d-%d" !rounds i) op in
+        (* a short-lived client issuing a mixed burst; every call may
+           fail (that is the point) but must fail as a value *)
+        (match Client.connect ~timeout_s:0.5 ~socket () with
+         | Error _ -> ()
+         | Ok c ->
+           let fire i op =
+             match Client.request c (salvo i op) with
+             | Ok _ | Error _ -> ()
+           in
+           fire 0 Wire.Ping;
+           fire 1 (Wire.Count { query = edge_query; graph = "cycle:4" });
+           (* leave one request un-received: an abrupt disconnect with
+              work in flight *)
+           (match Client.send c (salvo 2 Wire.Ping) with
+            | Ok () | Error _ -> ());
+           Client.close c);
+        (* a deliberately hostile client: garbage frame, then vanish *)
+        (match raw_connect socket with
+         | fd ->
+           (try raw_send fd "\x00\x00\x00\x05splat" with _ -> ());
+           Unix.close fd
+         | exception Unix.Unix_error _ -> ());
+        (* a tight-deadline request, one-shot *)
+        (match
+           Client.call ~timeout_s:0.5 ~socket
+             (req ~id:"tight" ~deadline_ms:1.0
+                (Wire.Treewidth { graph = "gnp:30,0.3,7" }))
+         with
+         | Ok _ | Error _ -> ())
+      done;
+      let injected = storm_injected () in
+      check_bool
+        (Printf.sprintf "storm injected >= 500 faults (got %d)" injected)
+        true (injected >= 500));
+  (* faults off: the daemon must still be alive and serving *)
+  let rec ping_until n =
+    match Client.call ~timeout_s:2.0 ~socket (req ~id:"alive" Wire.Ping) with
+    | Ok r -> r
+    | Error e ->
+      if n = 0 then Alcotest.failf "daemon unresponsive after the storm: %s" e
+      else begin
+        Unix.sleepf 0.05;
+        ping_until (n - 1)
+      end
+  in
+  let r = ping_until 20 in
+  check_string "daemon survived the storm" "pong" r.Wire.r_value;
+  check_bool "still listening" true (Server.listening t);
+  (* clean SIGTERM-style drain: run returns, socket removed *)
+  Server.shutdown t;
+  Domain.join d;
+  check_bool "socket removed after drain" false (Sys.file_exists socket);
+  check_bool "drained" false (Server.listening t)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  Obs.set_enabled true;
+  Alcotest.run "serve"
+    [
+      ( "wire",
+        [
+          prop_request_roundtrip;
+          prop_response_roundtrip;
+          prop_decode_total;
+          prop_deframer_total;
+          Alcotest.test_case "deframer reassembles split frames" `Quick
+            test_deframer_reassembles;
+          Alcotest.test_case "oversize header detected" `Quick
+            test_oversize_header;
+        ] );
+      ( "e2e",
+        [
+          Alcotest.test_case "request cycle over one connection" `Quick
+            test_request_cycle;
+          Alcotest.test_case "malformed frames keep the connection" `Quick
+            test_malformed_keeps_connection;
+          Alcotest.test_case "1 ms deadline degrades, daemon lives" `Quick
+            test_deadline_exhausts;
+          Alcotest.test_case "overload sheds with retry-after" `Quick
+            test_overload_sheds;
+          Alcotest.test_case "drain rejects late work and exits" `Quick
+            test_drain_rejects_and_exits;
+          Alcotest.test_case "idle sessions are reaped" `Quick test_idle_reap;
+          Alcotest.test_case "periodic flush writes the snapshot" `Quick
+            test_periodic_flush_writes_metrics;
+        ] );
+      ( "storm",
+        [ Alcotest.test_case "500-fault storm, clean drain" `Slow
+            test_fault_storm ] );
+    ]

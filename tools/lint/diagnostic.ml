@@ -1,4 +1,4 @@
-type rule = R0 | R1 | R2 | R3 | R4 | R6 | R7 | R8 | R9 | R10
+type rule = R0 | R1 | R2 | R3 | R4 | R6 | R7 | R8 | R9 | R10 | R11
 
 let rule_id = function
   | R0 -> "R0"
@@ -11,6 +11,7 @@ let rule_id = function
   | R8 -> "R8"
   | R9 -> "R9"
   | R10 -> "R10"
+  | R11 -> "R11"
 
 let rule_of_id = function
   | "R0" -> Some R0
@@ -23,6 +24,7 @@ let rule_of_id = function
   | "R8" -> Some R8
   | "R9" -> Some R9
   | "R10" -> Some R10
+  | "R11" -> Some R11
   | _ -> None
 
 (* Rules that once existed and were replaced: naming one in a pragma is
@@ -46,8 +48,11 @@ let rule_summary = function
   | R10 ->
     "module-level memo table in lib/ outside the shared cache tier \
      (use Wlcq_cache.Cache.store)"
+  | R11 ->
+    "blocking Unix call in the service tier outside the designated I/O \
+     module (or without a timeout bound)"
 
-let all_rules = [ R0; R1; R2; R3; R4; R6; R7; R8; R9; R10 ]
+let all_rules = [ R0; R1; R2; R3; R4; R6; R7; R8; R9; R10; R11 ]
 
 type t = { file : string; line : int; col : int; rule : rule; message : string }
 

@@ -33,6 +33,14 @@ type rule =
           [lib/cache]: ad-hoc memos are unbounded and invisible to the
           shared tier's size accounting — route the artifact through
           [Wlcq_cache.Cache.store] instead *)
+  | R11
+      (** blocking Unix call discipline in the service tier: inside
+          [lib/serve], every blocking socket call
+          ([Unix.accept]/[read]/[write]/[select]/…) must live in the
+          designated I/O module ([io.ml]), and there only inside
+          functions that take an explicit [~timeout_s]-style bound —
+          an unbounded blocking call anywhere else can stall the
+          daemon's event loop behind one slow client *)
 
 val rule_id : rule -> string
 val rule_of_id : string -> rule option

@@ -215,6 +215,9 @@ let run ?(include_fixtures = false) ~roots () =
   in
   Budget_reach.check graph ~report:preport;
   Outcome_escape.check graph ~report:preport;
+  Serve_io.check
+    (List.filter_map (fun s -> s.summary) scanned)
+    ~report:preport;
   let by_file =
     List.map
       (fun s ->

@@ -1,0 +1,8 @@
+(** Rule R11: blocking Unix calls in the service tier ([lib/serve])
+    must live in the designated I/O module ([io.ml]), and there only
+    inside functions taking an explicit [~timeout_s]-style parameter.
+    An unbounded blocking call anywhere else can stall the daemon's
+    single event-loop thread behind one slow client. *)
+
+val check :
+  Summaries.file_summary list -> report:(Diagnostic.t -> unit) -> unit

@@ -82,6 +82,7 @@ type fn = {
   fn_path : string;  (* dotted path within the file, e.g. "M.count.go" *)
   fn_loc : Location.t;
   fn_rec : bool;  (* bound with [let rec] *)
+  fn_params : string list;  (* labelled/optional parameter names *)
   (* lint: domain-local function summaries are built per file inside one
      scan call and only read after the scan returns *)
   mutable fn_polls : bool;  (* body contains a direct Budget poll *)
@@ -226,6 +227,17 @@ let binding_name pat =
   | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) -> Some txt
   | _ -> None
 
+(* Labelled/optional parameter names of a function binding's fun-chain
+   (feeds R11: io.ml wrappers must take an explicit timeout bound). *)
+let rec param_labels e =
+  match (strip_constraint e).pexp_desc with
+  | Pexp_fun (lbl, _, _, body) -> (
+    match lbl with
+    | Asttypes.Labelled s | Asttypes.Optional s -> s :: param_labels body
+    | Asttypes.Nolabel -> param_labels body)
+  | Pexp_newtype (_, body) -> param_labels body
+  | _ -> []
+
 let scan ~file ~in_lib ~hot ~report (str : structure) =
   let fns = ref [] in
   let aliases = ref [] in
@@ -238,10 +250,10 @@ let scan ~file ~in_lib ~hot ~report (str : structure) =
   let cur_loop = ref (-1) in
   let loop_stack = ref [] in
   let handlers = ref [] in
-  let new_fn ~path ~loc ~is_rec =
+  let new_fn ~path ~loc ~is_rec ~params =
     let f =
-      { fn_path = path; fn_loc = loc; fn_rec = is_rec; fn_polls = false;
-        fn_calls = []; fn_raises = []; fn_loops = [] }
+      { fn_path = path; fn_loc = loc; fn_rec = is_rec; fn_params = params;
+        fn_polls = false; fn_calls = []; fn_raises = []; fn_loops = [] }
     in
     fns := f :: !fns;
     f
@@ -251,7 +263,9 @@ let scan ~file ~in_lib ~hot ~report (str : structure) =
     | Some f -> f
     | None ->
       (* top-level effectful code outside any function binding *)
-      let f = new_fn ~path:"<init>" ~loc:Location.none ~is_rec:false in
+      let f =
+        new_fn ~path:"<init>" ~loc:Location.none ~is_rec:false ~params:[]
+      in
       current := Some f;
       f
   in
@@ -447,7 +461,10 @@ let scan ~file ~in_lib ~hot ~report (str : structure) =
         | Asttypes.Recursive -> true
         | Asttypes.Nonrecursive -> false
       in
-      let f = new_fn ~path ~loc:vb.pvb_loc ~is_rec in
+      let f =
+        new_fn ~path ~loc:vb.pvb_loc ~is_rec
+          ~params:(param_labels vb.pvb_expr)
+      in
       let saved_fn = !current in
       let saved_loop = !cur_loop in
       let saved_stack = !loop_stack in

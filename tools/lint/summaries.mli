@@ -52,6 +52,9 @@ type fn = {
   fn_path : string;  (** dotted path within the file, e.g. ["M.count.go"] *)
   fn_loc : Location.t;
   fn_rec : bool;  (** bound with [let rec] *)
+  fn_params : string list;
+      (** labelled/optional parameter names of the binding's fun-chain
+          (feeds R11's timeout-bound requirement) *)
   mutable fn_polls : bool;  (** body contains a direct [Budget] poll *)
   mutable fn_calls : call list;
   mutable fn_raises : raise_site list;
