@@ -42,6 +42,11 @@ let accept ~timeout_s fd =
     | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
       -> None
 
+(* [Unix.select] cannot watch descriptors >= FD_SETSIZE (1024 on
+   Linux); callers sizing a descriptor set (the server's session cap)
+   must stay below this or the multiplexer itself raises. *)
+let max_select_fds = 1024
+
 (* [select ~timeout_s fds] is the event-loop multiplexer: descriptors
    readable now, [] on timeout or EINTR. *)
 let select ~timeout_s fds =
@@ -82,14 +87,49 @@ let write_all ~timeout_s fd s pos =
   in
   go pos
 
+(* Non-blocking connect so the declared [~timeout_s] really bounds the
+   call.  Two asynchronous shapes exist for Unix-domain sockets: a
+   connect parked in progress (EINPROGRESS: await writability, then
+   check SO_ERROR) and a full accept backlog, which Linux reports as
+   an immediate EAGAIN with nothing in flight — retried with a short
+   sleep until the deadline. *)
 let connect ~timeout_s ~path =
-  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX path) with
-  | () -> Ok fd
-  | exception Unix.Unix_error (e, _, _) ->
-    Unix.close fd;
-    ignore timeout_s;
-    Error (Printf.sprintf "Io.connect: %s: %s" path (Unix.error_message e))
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let err msg = Error (Printf.sprintf "Io.connect: %s: %s" path msg) in
+  let rec attempt () =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let finish () =
+      Unix.clear_nonblock fd;
+      Ok fd
+    in
+    let fail msg =
+      Unix.close fd;
+      err msg
+    in
+    Unix.set_nonblock fd;
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> finish ()
+    | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) ->
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0.0 || not (wait_writable ~timeout_s:left fd) then
+        fail "timed out"
+      else (
+        match Unix.getsockopt_error fd with
+        | None -> finish ()
+        | Some e -> fail (Unix.error_message e))
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+      Unix.close fd;
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0.0 then err "timed out (backlog full)"
+      else begin
+        ignore (Unix.select [] [] [] (Float.min 0.01 left));
+        attempt ()
+      end
+    | exception Unix.Unix_error (e, _, _) -> fail (Unix.error_message e)
+  in
+  attempt ()
 
 (* Self-pipe wakeup: workers poke one byte at the event loop so a
    completed job interrupts the loop's select immediately. *)

@@ -14,6 +14,11 @@ val listen : path:string -> backlog:int -> Unix.file_descr
     [None] on timeout or a transient accept error. *)
 val accept : timeout_s:float -> Unix.file_descr -> Unix.file_descr option
 
+(** [Unix.select] cannot watch descriptors at or above [FD_SETSIZE]
+    (1024 on Linux): anything sizing a descriptor set — notably the
+    server's session cap — must leave headroom below this bound. *)
+val max_select_fds : int
+
 (** [select ~timeout_s fds] is the event-loop multiplexer: the subset
     of [fds] readable now; [[]] on timeout or [EINTR]. *)
 val select :
@@ -34,7 +39,10 @@ val write_all :
   timeout_s:float -> Unix.file_descr -> string -> int ->
   [ `All | `Partial of int | `Closed ]
 
-(** [connect ~timeout_s ~path] opens a client connection. *)
+(** [connect ~timeout_s ~path] opens a client connection with a
+    non-blocking connect bounded by [timeout_s] — a daemon whose
+    accept backlog is full yields [Error "... timed out ..."] at the
+    deadline instead of blocking indefinitely. *)
 val connect :
   timeout_s:float -> path:string -> (Unix.file_descr, string) result
 

@@ -90,8 +90,24 @@ type t = {
   wake_w : Unix.file_descr;
 }
 
+(* Io.select tops out at FD_SETSIZE descriptors; beyond it the
+   multiplexer raises and the loop dies.  Budget for the listen fd,
+   the wake pipe and stdio before sizing the session table. *)
+let session_cap = Io.max_select_fds - 24
+
 let create cfg =
   if cfg.workers < 1 then invalid_arg "Server.create: workers must be >= 1";
+  let cfg =
+    if cfg.max_sessions <= session_cap then cfg
+    else begin
+      Obs.journal ~severity:Obs.Warn
+        ~attrs:
+          [ ("requested", string_of_int cfg.max_sessions);
+            ("clamped", string_of_int session_cap) ]
+        "serve.max_sessions.clamped";
+      { cfg with max_sessions = session_cap }
+    end
+  in
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock wake_w;
   {
@@ -117,15 +133,27 @@ let listening t = Atomic.get t.listening
 (* ------------------------------------------------------------------ *)
 
 (* The OpenMetrics snapshot is written to a temp file and renamed so a
-   kill -9 mid-flush still leaves the previous parseable snapshot. *)
+   kill -9 mid-flush still leaves the previous parseable snapshot.
+   Total: a sink that turns unwritable mid-life (directory removed,
+   permissions, full disk) is a journaled warning, not an exception
+   loose in the event loop at the next periodic flush. *)
 let write_atomic file content =
   let tmp = file ^ ".tmp" in
-  let oc = open_out tmp in
-  (try
-     output_string oc content;
-     close_out oc;
-     Sys.rename tmp file
-   with Sys_error _ -> close_out_noerr oc)
+  let warn msg =
+    Obs.journal ~severity:Obs.Warn
+      ~attrs:[ ("file", file); ("error", msg) ]
+      "serve.flush.sink_failed"
+  in
+  match open_out tmp with
+  | exception Sys_error msg -> warn msg
+  | oc -> (
+    try
+      output_string oc content;
+      close_out oc;
+      Sys.rename tmp file
+    with Sys_error msg ->
+      close_out_noerr oc;
+      warn msg)
 
 let rotate_journal t =
   match t.cfg.journal_path with
@@ -310,7 +338,15 @@ let reap st (s : Session.t) ~why =
 
 let send (s : Session.t) resp =
   if not s.Session.closing then
-    Session.enqueue_output s (Wire.encode_response resp)
+    let bytes =
+      (* Wire.encode_response is total, but a raise here would kill
+         the event loop: belt and braces, degrade to a stub error *)
+      match Wire.encode_response resp with
+      | b -> b
+      | exception _ ->
+        Wire.encode_response (resp_error resp.Wire.r_id "encode failure")
+    in
+    Session.enqueue_output s bytes
 
 (* a decoded frame: admission control, then the scheduler *)
 let handle_request st (s : Session.t) (req : Wire.request) =

@@ -14,6 +14,18 @@
 let max_payload = 1 lsl 20
 let max_batch = 256
 
+(* Decode errors echo the offending input, and a hostile frame can be
+   ~[max_payload] bytes: cap the echoed excerpt so the resulting error
+   response is always far below the frame cap itself. *)
+let excerpt_bytes = 256
+
+let excerpt s =
+  if String.length s <= excerpt_bytes then s
+  else
+    Printf.sprintf "%s... (%d bytes total)"
+      (String.sub s 0 excerpt_bytes)
+      (String.length s)
+
 type op =
   | Ping
   | Decide of { k : int; g1 : string; g2 : string }
@@ -131,13 +143,23 @@ let payload_of_request r =
    | Treewidth { graph } -> add_kv b "graph" graph);
   Buffer.contents b
 
+(* Responses must always be encodable, whatever the server puts in
+   them: [detail] (which may embed client-controlled text from an
+   error path) and the echoed [id] are clamped here so only [value]
+   can ever push a payload near the frame cap. *)
+let max_clamped = 4096
+
+let clamp s =
+  if String.length s <= max_clamped then s
+  else String.sub s 0 max_clamped ^ "... (truncated)"
+
 let payload_of_response r =
   let b = Buffer.create 128 in
   Buffer.add_string b "wlcq/1 reply";
-  if not (String.equal r.r_id "") then add_kv b "id" r.r_id;
+  if not (String.equal r.r_id "") then add_kv b "id" (clamp r.r_id);
   add_kv b "status" (status_to_string r.r_status);
   if not (String.equal r.r_value "") then add_kv b "value" r.r_value;
-  if not (String.equal r.r_detail "") then add_kv b "detail" r.r_detail;
+  if not (String.equal r.r_detail "") then add_kv b "detail" (clamp r.r_detail);
   Option.iter (fun ms -> add_kv b "retry-after-ms" (string_of_int ms))
     r.r_retry_after_ms;
   Buffer.contents b
@@ -148,7 +170,9 @@ let parse_kvs lines =
     | [] -> Ok (List.rev acc)
     | line :: rest -> (
       match String.index_opt line '=' with
-      | None -> Error (Printf.sprintf "Wire.decode: malformed line %S" line)
+      | None ->
+        Error
+          (Printf.sprintf "Wire.decode: malformed line %S" (excerpt line))
       | Some i ->
         let k = String.sub line 0 i in
         let v = unescape (String.sub line (i + 1) (String.length line - i - 1))
@@ -166,7 +190,7 @@ let split_payload payload =
       match parse_kvs rest with
       | Ok kvs -> Ok (verb, kvs)
       | Error _ as e -> e)
-    | _ -> Error (Printf.sprintf "Wire.decode: bad header %S" first))
+    | _ -> Error (Printf.sprintf "Wire.decode: bad header %S" (excerpt first)))
 
 let find kvs k = List.assoc_opt k kvs
 let find_all kvs k = List.filter_map (fun (k', v) -> if String.equal k k' then Some v else None) kvs
@@ -222,20 +246,22 @@ let decode_request payload =
     | "treewidth" ->
       let* graph = require kvs "graph" in
       Ok (Treewidth { graph })
-    | v -> Error (Printf.sprintf "Wire.decode: unknown verb %S" v)
+    | v -> Error (Printf.sprintf "Wire.decode: unknown verb %S" (excerpt v))
   in
   Ok { id; deadline_ms; max_live_mb; op }
 
 let decode_response payload =
   let* verb, kvs = split_payload payload in
   if not (String.equal verb "reply") then
-    Error (Printf.sprintf "Wire.decode: expected reply, got %S" verb)
+    Error (Printf.sprintf "Wire.decode: expected reply, got %S" (excerpt verb))
   else
     let* status_s = require kvs "status" in
     let* r_status =
       match status_of_string status_s with
       | Some s -> Ok s
-      | None -> Error (Printf.sprintf "Wire.decode: unknown status %S" status_s)
+      | None ->
+        Error
+          (Printf.sprintf "Wire.decode: unknown status %S" (excerpt status_s))
     in
     let* r_retry_after_ms =
       opt_num kvs "retry-after-ms" int_of_string_opt "an integer"
@@ -268,35 +294,66 @@ let frame payload =
   Bytes.unsafe_to_string b
 
 let encode_request r = frame (payload_of_request r)
-let encode_response r = frame (payload_of_response r)
+
+(* Total: [frame] raising inside the server's event loop would kill
+   the daemon, so an oversized payload — only possible via [r_value],
+   since [r_id]/[r_detail] are clamped — degrades to a stub error. *)
+let encode_response r =
+  let payload = payload_of_response r in
+  if String.length payload <= max_payload then frame payload
+  else
+    frame
+      (payload_of_response
+         {
+           r with
+           r_status = Error_;
+           r_value = "";
+           r_detail = "response exceeded the frame cap";
+         })
 
 type deframer = {
+  buf : Buffer.t;  (* fed bytes; [off] is the already-consumed prefix *)
   (* lint: domain-local a deframer belongs to the session that owns it,
      touched only by the event loop *)
-  mutable pending : string;
+  mutable off : int;
 }
 
-let deframer () = { pending = "" }
+let deframer () = { buf = Buffer.create 256; off = 0 }
 
-let feed d bytes len =
-  if len > 0 then d.pending <- d.pending ^ Bytes.sub_string bytes 0 len
+(* Appending into a [Buffer.t] is amortized O(len), so a frame
+   trickled in byte-sized reads costs O(n) total, not the O(n^2) of
+   repeated string concatenation on the event-loop thread. *)
+let feed d bytes len = if len > 0 then Buffer.add_subbytes d.buf bytes 0 len
 
-let buffered d = String.length d.pending
+let buffered d = Buffer.length d.buf - d.off
+
+(* Drop the consumed prefix once it dominates the buffer; rebuilding
+   costs O(live bytes), so it amortizes away across frames. *)
+let compact d =
+  let n = Buffer.length d.buf in
+  if d.off = n then begin
+    Buffer.clear d.buf;
+    d.off <- 0
+  end
+  else if d.off >= 4096 && 2 * d.off >= n then begin
+    let rest = Buffer.sub d.buf d.off (n - d.off) in
+    Buffer.clear d.buf;
+    Buffer.add_string d.buf rest;
+    d.off <- 0
+  end
 
 let next_frame d =
-  let n = String.length d.pending in
-  if n < 4 then `Await
+  if buffered d < 4 then `Await
   else
+    let byte i = Char.code (Buffer.nth d.buf (d.off + i)) in
     let len =
-      (Char.code d.pending.[0] lsl 24)
-      lor (Char.code d.pending.[1] lsl 16)
-      lor (Char.code d.pending.[2] lsl 8)
-      lor Char.code d.pending.[3]
+      (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3
     in
     if len > max_payload then `Oversize len
-    else if n < 4 + len then `Await
+    else if buffered d < 4 + len then `Await
     else begin
-      let payload = String.sub d.pending 4 len in
-      d.pending <- String.sub d.pending (4 + len) (n - 4 - len);
+      let payload = Buffer.sub d.buf (d.off + 4) len in
+      d.off <- d.off + 4 + len;
+      compact d;
       `Frame payload
     end

@@ -60,11 +60,16 @@ type response = {
   r_retry_after_ms : int option;  (** set on [Overloaded] *)
 }
 
-(** [encode_request r] / [encode_response r] are complete frames
-    (header + payload), ready to write.
+(** [encode_request r] is a complete frame (header + payload), ready
+    to write.
     @raise Invalid_argument when the payload exceeds {!max_payload}. *)
 val encode_request : request -> string
 
+(** [encode_response r] is total: [r_id] and [r_detail] are clamped to
+    a few KiB (decode-error details may echo client-controlled text),
+    and a payload that still exceeds {!max_payload} — only possible
+    through [r_value] — degrades to a stub [Error_] response instead
+    of raising inside the server's event loop. *)
 val encode_response : response -> string
 
 (** Payload decoders ([decode_request] is applied by the server to

@@ -233,6 +233,92 @@ let test_oversize_header () =
   | `Oversize n -> check_bool "oversize exceeds the cap" true (n > Wire.max_payload)
   | `Frame _ | `Await -> Alcotest.fail "a lying header must report Oversize"
 
+(* A legal near-cap payload with no '=' (or a bad header) must not
+   yield a decode error that echoes the whole input: the server puts
+   that message in an error response's [r_detail], and an unencodable
+   response would crash the event loop. *)
+let test_decode_error_is_bounded () =
+  let junk = String.make 900_000 'x' in
+  let check_small what = function
+    | Ok _ -> Alcotest.failf "%s: junk must not decode" what
+    | Error msg ->
+      check_bool
+        (Printf.sprintf "%s: error message is bounded" what)
+        true
+        (String.length msg < 1024)
+  in
+  check_small "malformed line" (Wire.decode_request ("wlcq/1 count\n" ^ junk));
+  check_small "bad header" (Wire.decode_request junk);
+  check_small "unknown verb" (Wire.decode_request ("wlcq/1 " ^ junk))
+
+(* encode_response is total: hostile-sized detail/id are clamped, an
+   oversized value degrades to a stub error — never Invalid_argument
+   (which would escape into the daemon's event loop). *)
+let test_encode_response_total () =
+  let base =
+    {
+      Wire.r_id = "";
+      r_status = Wire.Ok_;
+      r_value = "";
+      r_detail = "";
+      r_retry_after_ms = None;
+    }
+  in
+  let redecode what r =
+    let frame = Wire.encode_response r in
+    check_bool
+      (Printf.sprintf "%s: frame within cap" what)
+      true
+      (String.length frame <= 4 + Wire.max_payload);
+    match deframe_one frame with
+    | None -> Alcotest.failf "%s: frame must deframe" what
+    | Some payload -> (
+      match Wire.decode_response payload with
+      | Ok r' -> r'
+      | Error e -> Alcotest.failf "%s: must decode: %s" what e)
+  in
+  let huge = String.make (2 * Wire.max_payload) 'z' in
+  let r = redecode "huge detail" { base with r_detail = huge } in
+  check_bool "huge detail clamped" true (String.length r.Wire.r_detail < 8192);
+  let r = redecode "huge id" { base with r_id = huge } in
+  check_bool "huge id clamped" true (String.length r.Wire.r_id < 8192);
+  let r = redecode "huge value" { base with r_value = huge } in
+  check_bool "huge value dropped" true (String.equal r.Wire.r_value "");
+  check_bool "huge value degrades to Error_" true (status_is Wire.Error_ r)
+
+(* a near-cap frame trickled in small chunks must reassemble (and do
+   so in amortized linear time — the deframer buffers in a Buffer.t,
+   not by repeated string concatenation) *)
+let test_deframer_trickle () =
+  let req =
+    {
+      Wire.id = "trickle";
+      deadline_ms = None;
+      max_live_mb = None;
+      op = Wire.Count { query = "q"; graph = String.make 200_000 'g' };
+    }
+  in
+  let stream = Wire.encode_request req ^ Wire.encode_request req in
+  let d = Wire.deframer () in
+  let got = ref 0 in
+  let n = String.length stream in
+  let i = ref 0 in
+  while !i < n do
+    let len = min 37 (n - !i) in
+    Wire.feed d (Bytes.of_string (String.sub stream !i len)) len;
+    i := !i + len;
+    (match Wire.next_frame d with
+     | `Frame p ->
+       (match Wire.decode_request p with
+        | Ok r -> check_bool "trickled frame intact" true (request_eq r req)
+        | Error e -> Alcotest.failf "trickled frame must decode: %s" e);
+       incr got
+     | `Await -> ()
+     | `Oversize _ -> Alcotest.fail "oversize on a valid trickled stream")
+  done;
+  Alcotest.(check int) "both frames reassembled" 2 !got;
+  Alcotest.(check int) "buffer fully consumed" 0 (Wire.buffered d)
+
 (* ------------------------------------------------------------------ *)
 (* In-process server harness                                           *)
 (* ------------------------------------------------------------------ *)
@@ -423,7 +509,30 @@ let test_malformed_keeps_connection () =
              check_bool "bad spec answered with error" true
                (status_is Wire.Error_ r)
            | Error e -> Alcotest.failf "expected an error reply, got %s" e);
-          (* the connection survived both *)
+          (* a legal near-cap frame with no '=' anywhere: the decode
+             error echoing it must be truncated, the error response
+             must encode, and the daemon must live (a full echo would
+             blow the frame cap and raise inside the event loop) *)
+          let big = "wlcq/1 count\n" ^ String.make 900_000 'x' in
+          let frame =
+            let n = String.length big in
+            let b = Bytes.create (4 + n) in
+            Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+            Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+            Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+            Bytes.set b 3 (Char.chr (n land 0xff));
+            Bytes.blit_string big 0 b 4 n;
+            Bytes.to_string b
+          in
+          raw_send fd frame;
+          (match raw_receive fd with
+           | Ok r ->
+             check_bool "near-cap junk answered with error" true
+               (status_is Wire.Error_ r);
+             check_bool "echoed excerpt is bounded" true
+               (String.length r.Wire.r_detail < 1024)
+           | Error e -> Alcotest.failf "expected an error reply, got %s" e);
+          (* the connection survived all three *)
           raw_send fd (Wire.encode_request (req ~id:"after" Wire.Ping));
           match raw_receive fd with
           | Ok r ->
@@ -672,6 +781,12 @@ let () =
             test_deframer_reassembles;
           Alcotest.test_case "oversize header detected" `Quick
             test_oversize_header;
+          Alcotest.test_case "decode errors bound the echoed input" `Quick
+            test_decode_error_is_bounded;
+          Alcotest.test_case "encode_response is total on hostile sizes" `Quick
+            test_encode_response_total;
+          Alcotest.test_case "near-cap frames reassemble from a trickle" `Quick
+            test_deframer_trickle;
         ] );
       ( "e2e",
         [
